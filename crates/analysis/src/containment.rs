@@ -1,0 +1,189 @@
+//! Query-containment analysis (paper Fig. 4).
+//!
+//! "Query containment is the number of queries that can be resolved from
+//! previous queries due to refinement. While determining actual query
+//! containment is NP-complete, we take a workload-based approach" (§6.1):
+//! each query carries the identifiers of the data items it touches
+//! (celestial object ids, sky-region cells); a data point on the same
+//! horizontal line as an earlier one — the same identifier requested
+//! again — marks a potential semantic-cache hit. The paper finds such
+//! reuse is rare, which is why semantic caching loses to caching schema
+//! elements.
+
+use byc_workload::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One scatter point: query `x` touched data key with dense rank `y`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReusePoint {
+    /// Query position within the analyzed window.
+    pub query: usize,
+    /// Dense rank of the data key (first-appearance order).
+    pub key_rank: usize,
+    /// True iff this key appeared in an earlier query of the window.
+    pub reused: bool,
+}
+
+/// Containment analysis of one query window.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ContainmentReport {
+    /// Queries analyzed.
+    pub window: usize,
+    /// Scatter points (Fig. 4's data).
+    pub points: Vec<ReusePoint>,
+    /// Number of distinct data keys in the window.
+    pub distinct_keys: usize,
+    /// Fraction of key references that repeat an earlier key.
+    pub reuse_rate: f64,
+    /// Fraction of queries *all* of whose keys were seen before —
+    /// the queries a semantic cache could fully answer.
+    pub contained_queries: f64,
+}
+
+/// Analyze data-key reuse over `window` queries of `trace` starting at
+/// `start` (the paper uses windows of 50 disjoint-region queries; results
+/// over larger windows are similar).
+pub fn containment_analysis(trace: &Trace, start: usize, window: usize) -> ContainmentReport {
+    let end = (start + window).min(trace.len());
+    let queries = &trace.queries[start..end];
+    let mut ranks: HashMap<u64, usize> = HashMap::new();
+    let mut points = Vec::new();
+    let mut references = 0usize;
+    let mut reuses = 0usize;
+    let mut contained = 0usize;
+    for (qi, q) in queries.iter().enumerate() {
+        let mut all_seen = !q.data_keys.is_empty();
+        for &key in &q.data_keys {
+            references += 1;
+            let next_rank = ranks.len();
+            let entry = ranks.entry(key);
+            let (rank, reused) = match entry {
+                std::collections::hash_map::Entry::Occupied(e) => (*e.get(), true),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(next_rank);
+                    (next_rank, false)
+                }
+            };
+            if reused {
+                reuses += 1;
+            } else {
+                all_seen = false;
+            }
+            points.push(ReusePoint {
+                query: qi,
+                key_rank: rank,
+                reused,
+            });
+        }
+        if all_seen {
+            contained += 1;
+        }
+    }
+    let analyzed = queries.len();
+    ContainmentReport {
+        window: analyzed,
+        distinct_keys: ranks.len(),
+        reuse_rate: if references == 0 {
+            0.0
+        } else {
+            reuses as f64 / references as f64
+        },
+        contained_queries: if analyzed == 0 {
+            0.0
+        } else {
+            contained as f64 / analyzed as f64
+        },
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byc_types::{Bytes, ColumnId, QueryId, TableId};
+    use byc_workload::TraceQuery;
+
+    fn query(id: u64, keys: Vec<u64>) -> TraceQuery {
+        TraceQuery {
+            id: QueryId::new(id as u32),
+            sql: String::new(),
+            template: 0,
+            data_keys: keys,
+            tables: vec![TableId::new(0)],
+            columns: vec![ColumnId::new(0)],
+            total_yield: Bytes::new(1),
+            table_yields: vec![(TableId::new(0), Bytes::new(1))],
+            column_yields: vec![(ColumnId::new(0), Bytes::new(1))],
+        }
+    }
+
+    fn trace(queries: Vec<TraceQuery>) -> Trace {
+        Trace {
+            name: "t".into(),
+            seed: 0,
+            queries,
+        }
+    }
+
+    #[test]
+    fn disjoint_keys_no_reuse() {
+        let t = trace((0..10).map(|i| query(i, vec![i])).collect());
+        let r = containment_analysis(&t, 0, 10);
+        assert_eq!(r.distinct_keys, 10);
+        assert_eq!(r.reuse_rate, 0.0);
+        assert_eq!(r.contained_queries, 0.0);
+        assert!(r.points.iter().all(|p| !p.reused));
+    }
+
+    #[test]
+    fn full_repeat_is_contained() {
+        let t = trace(vec![query(0, vec![7]), query(1, vec![7])]);
+        let r = containment_analysis(&t, 0, 2);
+        assert_eq!(r.distinct_keys, 1);
+        assert!((r.reuse_rate - 0.5).abs() < 1e-12);
+        assert!((r.contained_queries - 0.5).abs() < 1e-12);
+        assert!(r.points[1].reused);
+        assert_eq!(r.points[1].key_rank, r.points[0].key_rank);
+    }
+
+    #[test]
+    fn partial_overlap_not_contained() {
+        let t = trace(vec![query(0, vec![1, 2]), query(1, vec![2, 3])]);
+        let r = containment_analysis(&t, 0, 2);
+        // Query 1 reuses key 2 but introduces key 3 → not contained.
+        assert_eq!(r.contained_queries, 0.0);
+        assert!((r.reuse_rate - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_bounds_respected() {
+        let t = trace((0..100).map(|i| query(i, vec![i % 5])).collect());
+        let r = containment_analysis(&t, 90, 50);
+        assert_eq!(r.window, 10);
+    }
+
+    #[test]
+    fn ranks_are_first_appearance_order() {
+        let t = trace(vec![query(0, vec![42]), query(1, vec![99]), query(2, vec![42])]);
+        let r = containment_analysis(&t, 0, 3);
+        assert_eq!(r.points[0].key_rank, 0);
+        assert_eq!(r.points[1].key_rank, 1);
+        assert_eq!(r.points[2].key_rank, 0);
+    }
+
+    #[test]
+    fn synthetic_trace_has_low_containment() {
+        // The property the paper measures: SDSS-like workloads rarely
+        // re-request the same data items.
+        let cat = byc_catalog::sdss::build(byc_catalog::sdss::SdssRelease::Edr, 1e-3, 1);
+        let t = byc_workload::generate(&cat, &byc_workload::WorkloadConfig::smoke(61, 2000))
+            .unwrap();
+        let r = containment_analysis(&t, 0, 2000);
+        assert!(
+            r.contained_queries < 0.2,
+            "containment {}",
+            r.contained_queries
+        );
+    }
+}

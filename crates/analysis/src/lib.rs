@@ -1,0 +1,27 @@
+//! Workload analysis and paper-style reporting.
+//!
+//! The paper's §6.1 asks "what class of objects perform well in a
+//! bypass-yield cache?" and answers it with three workload measurements:
+//!
+//! * **query containment** (Fig. 4) — do later queries ask for data items
+//!   earlier queries already fetched? ([`containment`])
+//! * **column locality** (Fig. 5) and **table locality** (Fig. 6) — are
+//!   *schema elements* reused even when data items are not?
+//!   ([`locality`])
+//!
+//! [`gaps`] measures per-object inter-access gap distributions — the
+//! empirical basis for Rate-Profile's episode idle cutoff. [`report`]
+//! renders cost breakdowns in the layout of the paper's Tables 1–2 and
+//! writes figure series as CSV for plotting.
+
+#![warn(missing_docs)]
+
+pub mod containment;
+pub mod gaps;
+pub mod locality;
+pub mod report;
+
+pub use containment::{containment_analysis, ContainmentReport, ReusePoint};
+pub use gaps::{gap_analysis, GapReport};
+pub use locality::{locality_analysis, LocalityReport, LocalityScatter};
+pub use report::{render_cost_table, write_series_csv, write_sweep_csv};

@@ -1,0 +1,181 @@
+//! Schema-locality analysis (paper Figs. 5–6).
+//!
+//! "Schema locality describes the reuse of (locality in) data columns and
+//! tables; the reuse of schema elements rather than specific data items"
+//! (§6.1). The figures scatter each query against the columns (Fig. 5) or
+//! tables (Fig. 6) it references: long horizontal runs are schema reuse.
+//! The paper finds "heavy and long lasting periods of reuse, localized to
+//! a small fraction of the total columns or tables" — the justification
+//! for caching schema elements instead of query results.
+
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_workload::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Scatter data: for each query, the dense ids of the schema elements it
+/// references.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LocalityScatter {
+    /// One `(query index, element id)` pair per reference.
+    pub points: Vec<(usize, u32)>,
+}
+
+/// Summary of schema-element reuse over a trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LocalityReport {
+    /// Granularity label ("table" / "column").
+    pub granularity: String,
+    /// Total schema elements in the catalog.
+    pub universe: usize,
+    /// Elements referenced at least once.
+    pub touched: usize,
+    /// Fraction of references landing on the 10 most-referenced elements.
+    pub top10_share: f64,
+    /// Mean number of distinct elements per query.
+    pub mean_elements_per_query: f64,
+    /// Mean gap (in queries) between consecutive references to the same
+    /// element, over elements referenced ≥ 2 times. Short gaps = "long
+    /// lasting periods of reuse".
+    pub mean_reuse_gap: f64,
+    /// The scatter (Figs. 5–6 data).
+    pub scatter: LocalityScatter,
+}
+
+/// Analyze schema locality of `trace` at the granularity of `objects`.
+pub fn locality_analysis(trace: &Trace, objects: &ObjectCatalog) -> LocalityReport {
+    let universe = objects.len();
+    let mut counts = vec![0u64; universe];
+    let mut last_seen: Vec<Option<usize>> = vec![None; universe];
+    let mut gap_sum = 0u64;
+    let mut gap_count = 0u64;
+    let mut points = Vec::new();
+    let mut element_refs = 0usize;
+    for (qi, q) in trace.queries.iter().enumerate() {
+        let ids: Vec<u32> = match objects.granularity() {
+            Granularity::Table => q
+                .tables
+                .iter()
+                .filter_map(|&t| objects.object_for_table(t).ok())
+                .map(|o| o.raw())
+                .collect(),
+            Granularity::Column => q
+                .columns
+                .iter()
+                .filter_map(|&c| objects.object_for_column(c).ok())
+                .map(|o| o.raw())
+                .collect(),
+        };
+        element_refs += ids.len();
+        for id in ids {
+            let idx = id as usize;
+            counts[idx] += 1;
+            if let Some(prev) = last_seen[idx] {
+                gap_sum += (qi - prev) as u64;
+                gap_count += 1;
+            }
+            last_seen[idx] = Some(qi);
+            points.push((qi, id));
+        }
+    }
+    let mut sorted = counts.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let total_refs: u64 = counts.iter().sum();
+    let top10: u64 = sorted.iter().take(10).sum();
+    LocalityReport {
+        granularity: objects.granularity().label().to_string(),
+        universe,
+        touched: counts.iter().filter(|&&c| c > 0).count(),
+        top10_share: if total_refs == 0 {
+            0.0
+        } else {
+            top10 as f64 / total_refs as f64
+        },
+        mean_elements_per_query: if trace.is_empty() {
+            0.0
+        } else {
+            element_refs as f64 / trace.len() as f64
+        },
+        mean_reuse_gap: if gap_count == 0 {
+            0.0
+        } else {
+            gap_sum as f64 / gap_count as f64
+        },
+        scatter: LocalityScatter { points },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byc_catalog::sdss::{build, SdssRelease};
+    use byc_workload::{generate, WorkloadConfig};
+
+    fn setup() -> (Trace, ObjectCatalog, ObjectCatalog) {
+        let cat = build(SdssRelease::Edr, 1e-3, 1);
+        let trace = generate(&cat, &WorkloadConfig::smoke(67, 2000)).unwrap();
+        (
+            trace,
+            ObjectCatalog::uniform(&cat, Granularity::Table),
+            ObjectCatalog::uniform(&cat, Granularity::Column),
+        )
+    }
+
+    #[test]
+    fn column_locality_is_concentrated() {
+        let (trace, _, columns) = setup();
+        let r = locality_analysis(&trace, &columns);
+        assert_eq!(r.granularity, "column");
+        // Heavy reuse of few columns out of a wide universe.
+        assert!(r.top10_share > 0.4, "top10 {}", r.top10_share);
+        assert!(r.touched < r.universe, "all columns touched");
+        assert!(r.universe > 100);
+    }
+
+    #[test]
+    fn table_locality_is_concentrated() {
+        let (trace, tables, _) = setup();
+        let r = locality_analysis(&trace, &tables);
+        assert_eq!(r.granularity, "table");
+        assert!(r.top10_share > 0.8);
+        assert!(r.mean_elements_per_query >= 1.0);
+    }
+
+    #[test]
+    fn reuse_gaps_are_short() {
+        // Schema reuse is "long lasting": hot elements recur within a few
+        // queries, far below a uniform-random spacing.
+        let (trace, _, columns) = setup();
+        let r = locality_analysis(&trace, &columns);
+        assert!(r.mean_reuse_gap > 0.0);
+        assert!(
+            r.mean_reuse_gap < trace.len() as f64 / 10.0,
+            "gap {}",
+            r.mean_reuse_gap
+        );
+    }
+
+    #[test]
+    fn scatter_covers_all_references() {
+        let (trace, tables, _) = setup();
+        let r = locality_analysis(&trace, &tables);
+        let refs: usize = trace.queries.iter().map(|q| q.tables.len()).sum();
+        assert_eq!(r.scatter.points.len(), refs);
+        for &(qi, _) in &r.scatter.points {
+            assert!(qi < trace.len());
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_calm() {
+        let (_, tables, _) = setup();
+        let empty = Trace {
+            name: "e".into(),
+            seed: 0,
+            queries: vec![],
+        };
+        let r = locality_analysis(&empty, &tables);
+        assert_eq!(r.touched, 0);
+        assert_eq!(r.top10_share, 0.0);
+        assert_eq!(r.mean_elements_per_query, 0.0);
+    }
+}

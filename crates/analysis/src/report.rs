@@ -1,0 +1,219 @@
+//! Paper-style report rendering and CSV export.
+
+use byc_federation::{CostReport, SeriesPoint, SweepPoint};
+use byc_types::Result;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Render cost reports in the layout of the paper's Tables 1–2:
+/// one row per (trace, algorithm) with bypass / fetch / total costs in GB.
+pub fn render_cost_table(title: &str, reports: &[CostReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<8} {:<8} {:>8} {:>14} {:<18} {:>12} {:>12} {:>12}",
+        "Data Set", "Version", "Queries", "Seq Cost (GB)", "Algorithm", "Bypass (GB)", "Fetch (GB)", "Total (GB)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(100));
+    let mut last_trace: Option<&str> = None;
+    let mut set = 0;
+    for r in reports {
+        let first_of_trace = last_trace != Some(r.trace.as_str());
+        if first_of_trace {
+            set += 1;
+            last_trace = Some(r.trace.as_str());
+        }
+        let (ds, ver, q, seq) = if first_of_trace {
+            (
+                format!("Set {set}"),
+                r.trace.clone(),
+                r.queries.to_string(),
+                format!("{:.2}", gb(r.sequence_cost.as_f64())),
+            )
+        } else {
+            (String::new(), String::new(), String::new(), String::new())
+        };
+        let _ = writeln!(
+            out,
+            "{:<8} {:<8} {:>8} {:>14} {:<18} {:>12.2} {:>12.2} {:>12.2}",
+            ds,
+            ver,
+            q,
+            seq,
+            r.policy,
+            gb(r.bypass_cost.as_f64()),
+            gb(r.fetch_cost.as_f64()),
+            gb(r.total_cost().as_f64()),
+        );
+    }
+    out
+}
+
+fn gb(bytes: f64) -> f64 {
+    bytes / 1e9
+}
+
+/// Write cumulative-cost series (Figs 7–8) as CSV: one column per policy.
+///
+/// # Errors
+///
+/// I/O errors from file creation or writing.
+pub fn write_series_csv(
+    path: &Path,
+    series: &[(String, Vec<SeriesPoint>)],
+) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write!(w, "query")?;
+    for (name, _) in series {
+        write!(w, ",{name}_gb")?;
+    }
+    writeln!(w)?;
+    let rows = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let query = series
+            .iter()
+            .filter_map(|(_, s)| s.get(i))
+            .map(|p| p.query)
+            .next()
+            .unwrap_or(0);
+        write!(w, "{query}")?;
+        for (_, s) in series {
+            match s.get(i) {
+                Some(p) => write!(w, ",{:.3}", gb(p.cumulative_cost.as_f64()))?,
+                None => write!(w, ",")?,
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a cache-size sweep (Figs 9–10) as CSV: policy, fraction, costs.
+///
+/// # Errors
+///
+/// I/O errors from file creation or writing.
+pub fn write_sweep_csv(path: &Path, points: &[SweepPoint]) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(
+        w,
+        "policy,cache_fraction,capacity_gb,bypass_gb,fetch_gb,total_gb,reduction_factor"
+    )?;
+    for p in points {
+        writeln!(
+            w,
+            "{},{:.2},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            p.policy,
+            p.cache_fraction,
+            gb(p.capacity.as_f64()),
+            gb(p.report.bypass_cost.as_f64()),
+            gb(p.report.fetch_cost.as_f64()),
+            gb(p.report.total_cost().as_f64()),
+            p.report.reduction_factor(),
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byc_types::Bytes;
+
+    fn report(trace: &str, policy: &str, bypass: u64, fetch: u64) -> CostReport {
+        CostReport {
+            policy: policy.into(),
+            trace: trace.into(),
+            granularity: "table".into(),
+            queries: 100,
+            sequence_cost: Bytes::new(100_000_000_000),
+            bypass_cost: Bytes::new(bypass),
+            fetch_cost: Bytes::new(fetch),
+            cache_served: Bytes::new(100_000_000_000 - bypass),
+            hits: 0,
+            bypasses: 0,
+            loads: 0,
+            evictions: 0,
+        }
+    }
+
+    #[test]
+    fn table_layout_matches_paper() {
+        let rows = vec![
+            report("EDR", "Rate-Profile", 4_120_000_000, 80_126_000_000),
+            report("EDR", "OnlineBY", 1_090_000_000, 86_970_000_000),
+            report("DR1", "Rate-Profile", 73_650_000_000, 43_910_000_000),
+        ];
+        let table = render_cost_table("Cost breakdown (GB)", &rows);
+        assert!(table.contains("Set 1"));
+        assert!(table.contains("Set 2"));
+        assert!(table.contains("Rate-Profile"));
+        assert!(table.contains("4.12"));
+        assert!(table.contains("80.13"));
+        // Trace header printed once per set.
+        assert_eq!(table.matches("EDR").count(), 1);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("byc-analysis-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn series_csv_roundtrip() {
+        let series = vec![
+            (
+                "Rate-Profile".to_string(),
+                vec![
+                    SeriesPoint {
+                        query: 100,
+                        cumulative_cost: Bytes::new(1_000_000_000),
+                    },
+                    SeriesPoint {
+                        query: 200,
+                        cumulative_cost: Bytes::new(2_000_000_000),
+                    },
+                ],
+            ),
+            (
+                "GDS".to_string(),
+                vec![SeriesPoint {
+                    query: 100,
+                    cumulative_cost: Bytes::new(5_000_000_000),
+                }],
+            ),
+        ];
+        let path = tmp("series.csv");
+        write_series_csv(&path, &series).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), "query,Rate-Profile_gb,GDS_gb");
+        assert_eq!(lines.next().unwrap(), "100,1.000,5.000");
+        assert_eq!(lines.next().unwrap(), "200,2.000,");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_csv_layout() {
+        let points = vec![byc_federation::SweepPoint {
+            policy: "GDS".into(),
+            cache_fraction: 0.1,
+            capacity: Bytes::new(1_000_000_000),
+            report: report("EDR", "GDS", 2_000_000_000, 3_000_000_000),
+        }];
+        let path = tmp("sweep.csv");
+        write_sweep_csv(&path, &points).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("policy,cache_fraction"));
+        assert!(text.contains("GDS,0.10,1.000,2.000,3.000,5.000,20.000"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,93 @@
+//! Ablation benches for the design choices DESIGN.md calls out: how each
+//! Rate-Profile knob and the choice of OnlineBY subroutine affect both
+//! the achieved network cost (reported as a custom metric in the bench
+//! label output) and the replay time.
+
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_core::rate_profile::{RateProfile, RateProfileConfig};
+use byc_federation::{build_policy, replay, PolicyKind};
+use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn rate_profile_variants() -> Vec<(&'static str, RateProfileConfig)> {
+    vec![
+        ("defaults", RateProfileConfig::default()),
+        (
+            "no_episodes",
+            RateProfileConfig {
+                episodes_enabled: false,
+                ..RateProfileConfig::default()
+            },
+        ),
+        (
+            "uniform_weights",
+            RateProfileConfig {
+                episode_weight_decay: 1.0,
+                ..RateProfileConfig::default()
+            },
+        ),
+        (
+            "paper_idle_1000",
+            RateProfileConfig {
+                idle_cutoff: 1000,
+                ..RateProfileConfig::default()
+            },
+        ),
+        (
+            "tight_metadata",
+            RateProfileConfig {
+                max_profiles: 64,
+                ..RateProfileConfig::default()
+            },
+        ),
+    ]
+}
+
+fn bench_rate_profile_knobs(c: &mut Criterion) {
+    let catalog = build(SdssRelease::Edr, 1e-2, 1);
+    let trace = generate(&catalog, &WorkloadConfig::smoke(23, 8_000)).unwrap();
+    let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+    let capacity = objects.total_size().scale(0.15);
+
+    let mut group = c.benchmark_group("rate_profile_knobs");
+    for (name, config) in rate_profile_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                let mut policy = RateProfile::new(capacity, config.clone());
+                replay(&trace, &objects, &mut policy).total_cost()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aobj_choice(c: &mut Criterion) {
+    let catalog = build(SdssRelease::Edr, 1e-2, 1);
+    let trace = generate(&catalog, &WorkloadConfig::smoke(23, 8_000)).unwrap();
+    let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+    let stats = WorkloadStats::compute(&trace, &objects);
+    let capacity = objects.total_size().scale(0.15);
+
+    let mut group = c.benchmark_group("onlineby_aobj");
+    for kind in [PolicyKind::OnlineBY, PolicyKind::OnlineBYMarking] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut policy = build_policy(kind, capacity, &stats.demands, 23);
+                    replay(&trace, &objects, policy.as_mut()).total_cost()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rate_profile_knobs, bench_aobj_choice
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the cache data structures: the indexed utility
+//! heap (O(log n) insert, O(1) peek — the structure the paper's §6
+//! prototype describes) and victim planning under pressure.
+
+use byc_core::cache::CacheState;
+use byc_core::heap::IndexedMinHeap;
+use byc_types::{Bytes, ObjectId, SplitMix64, Tick};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap");
+    for &n in &[100usize, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            let mut rng = SplitMix64::new(1);
+            let keys: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+            b.iter(|| {
+                let mut h = IndexedMinHeap::new();
+                for (i, &k) in keys.iter().enumerate() {
+                    h.push(ObjectId::new(i as u32), k);
+                }
+                let mut sum = 0.0;
+                while let Some((_, k)) = h.pop_min() {
+                    sum += k;
+                }
+                sum
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("update_key", n), &n, |b, &n| {
+            let mut rng = SplitMix64::new(2);
+            let mut h = IndexedMinHeap::new();
+            for i in 0..n {
+                h.push(ObjectId::new(i as u32), rng.next_f64());
+            }
+            let updates: Vec<(u32, f64)> = (0..n)
+                .map(|_| (rng.next_bounded(n as u64) as u32, rng.next_f64()))
+                .collect();
+            b.iter(|| {
+                for &(id, k) in &updates {
+                    h.update_key(ObjectId::new(id), k);
+                }
+                h.peek_min()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_state");
+    for &n in &[100usize, 1_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("churn", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = SplitMix64::new(3);
+                let mut cache = CacheState::new(Bytes::new(n as u64 * 50));
+                let mut evicted = 0usize;
+                for t in 0..n as u64 * 4 {
+                    let o = ObjectId::new(rng.next_bounded(n as u64 * 2) as u32);
+                    if cache.contains(o) {
+                        cache.record_hit(o, Bytes::new(10));
+                        cache.set_utility(o, rng.next_f64());
+                    } else {
+                        let size = Bytes::new(rng.next_range(10, 100));
+                        if let Some(plan) = cache.plan_eviction(size) {
+                            evicted += plan.len();
+                            cache.evict_and_insert(&plan, o, size, rng.next_f64(), Tick::new(t));
+                        }
+                    }
+                }
+                evicted
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_heap, bench_cache_state
+}
+criterion_main!(benches);

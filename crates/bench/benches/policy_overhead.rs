@@ -1,0 +1,76 @@
+//! Per-access decision overhead of every caching policy.
+//!
+//! The cache sits on the mediator's query path, so its bookkeeping must
+//! be cheap next to query execution. This bench streams a synthetic
+//! access pattern through each policy and reports time per access.
+
+use byc_core::access::Access;
+use byc_federation::{build_policy, PolicyKind};
+use byc_types::{Bytes, ObjectId, SplitMix64, Tick};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// A mixed access stream over `objects` distinct objects with stable
+/// sizes and Zipf-ish popularity.
+fn access_stream(n: usize, objects: u64, seed: u64) -> Vec<Access> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|t| {
+            // Squared uniform skews toward low ids (popular objects).
+            let u = rng.next_f64();
+            let id = ((u * u) * objects as f64) as u64;
+            let size = 4096 + (id * 977) % 65536;
+            let yld = rng.next_bounded(size) + 1;
+            Access {
+                object: ObjectId::new(id as u32),
+                time: Tick::new(t as u64),
+                yield_bytes: Bytes::new(yld),
+                size: Bytes::new(size),
+                fetch_cost: Bytes::new(size),
+            }
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let accesses = access_stream(10_000, 500, 7);
+    let capacity = Bytes::new(4 * 1024 * 1024);
+    let mut group = c.benchmark_group("policy_overhead");
+    group.throughput(Throughput::Elements(accesses.len() as u64));
+    for kind in [
+        PolicyKind::RateProfile,
+        PolicyKind::OnlineBY,
+        PolicyKind::OnlineBYMarking,
+        PolicyKind::SpaceEffBY,
+        PolicyKind::Gds,
+        PolicyKind::Gdsp,
+        PolicyKind::Lru,
+        PolicyKind::Lfu,
+        PolicyKind::LruK,
+        PolicyKind::NoCache,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut policy = build_policy(kind, capacity, &[], 3);
+                    let mut hits = 0u64;
+                    for a in &accesses {
+                        if policy.on_access(a).is_hit() {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! End-to-end replay timing for the cumulative-cost figures (Figs 7–8):
+//! how long one full-trace replay takes per policy and granularity.
+//!
+//! These benches time the *machinery* that regenerates the figures; the
+//! figures' data itself comes from `cargo run -p byc-bench --bin
+//! experiments`.
+
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_federation::{build_policy, replay, PolicyKind};
+use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_replay(c: &mut Criterion) {
+    let catalog = build(SdssRelease::Edr, 1e-2, 1);
+    let trace = generate(&catalog, &WorkloadConfig::smoke(13, 10_000)).unwrap();
+    for granularity in [Granularity::Table, Granularity::Column] {
+        let objects = ObjectCatalog::uniform(&catalog, granularity);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let capacity = objects.total_size().scale(0.15);
+        let mut group =
+            c.benchmark_group(format!("replay_{}_{}q", granularity.label(), trace.len()));
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        for kind in [
+            PolicyKind::RateProfile,
+            PolicyKind::OnlineBY,
+            PolicyKind::SpaceEffBY,
+            PolicyKind::Gds,
+            PolicyKind::Static,
+            PolicyKind::NoCache,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kind.label()),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| {
+                        let mut policy = build_policy(kind, capacity, &stats.demands, 13);
+                        replay(&trace, &objects, policy.as_mut()).total_cost()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_replay
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! SQL substrate throughput: tokenize, parse, analyze, and estimate
+//! yields for the paper's exemplar query and a batch of generated trace
+//! queries.
+
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_engine::YieldModel;
+use byc_sql::{analyze, parse, token::tokenize};
+use byc_workload::{generate, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const PAPER_QUERY: &str = "select p.objID, p.ra, p.dec, p.modelMag_g, s.z as redshift \
+     from SpecObj s, PhotoObj p \
+     where p.objID = s.objID and s.specClass = 2 and s.zConf > 0.95 \
+     and p.modelMag_g > 17.0 and s.z < 0.01";
+
+fn bench_single_query(c: &mut Criterion) {
+    let catalog = build(SdssRelease::Edr, 1e-4, 1);
+    let mut group = c.benchmark_group("sql_single");
+    group.throughput(Throughput::Bytes(PAPER_QUERY.len() as u64));
+    group.bench_function("tokenize", |b| b.iter(|| tokenize(PAPER_QUERY).unwrap()));
+    group.bench_function("parse", |b| b.iter(|| parse(PAPER_QUERY).unwrap()));
+    let parsed = parse(PAPER_QUERY).unwrap();
+    group.bench_function("analyze", |b| b.iter(|| analyze(&catalog, &parsed).unwrap()));
+    let resolved = analyze(&catalog, &parsed).unwrap();
+    let model = YieldModel::new(&catalog);
+    group.bench_function("yield_estimate", |b| b.iter(|| model.estimate(&resolved)));
+    group.finish();
+}
+
+fn bench_trace_corpus(c: &mut Criterion) {
+    let catalog = build(SdssRelease::Edr, 1e-4, 1);
+    let trace = generate(&catalog, &WorkloadConfig::smoke(5, 1_000)).unwrap();
+    let sqls: Vec<&str> = trace.queries.iter().map(|q| q.sql.as_str()).collect();
+    let total_bytes: usize = sqls.iter().map(|s| s.len()).sum();
+    let mut group = c.benchmark_group("sql_corpus");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("parse_analyze_1000_queries", |b| {
+        b.iter(|| {
+            let mut columns = 0usize;
+            for sql in &sqls {
+                let q = parse(sql).unwrap();
+                let r = analyze(&catalog, &q).unwrap();
+                columns += r.column_ids().count();
+            }
+            columns
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_single_query, bench_trace_corpus
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Timing of the cache-size sweeps behind Figs 9–10, including the
+//! parallel speedup from running (policy × size) replays concurrently.
+
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_federation::{build_policy, replay, sweep_cache_sizes, PolicyKind};
+use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const POLICIES: [PolicyKind; 3] = [
+    PolicyKind::RateProfile,
+    PolicyKind::OnlineBY,
+    PolicyKind::Static,
+];
+const FRACTIONS: [f64; 4] = [0.1, 0.25, 0.5, 1.0];
+
+fn bench_sweep(c: &mut Criterion) {
+    let catalog = build(SdssRelease::Edr, 1e-2, 1);
+    let trace = generate(&catalog, &WorkloadConfig::smoke(17, 5_000)).unwrap();
+    let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+    let stats = WorkloadStats::compute(&trace, &objects);
+
+    let mut group = c.benchmark_group("sweep_12_replays");
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            sweep_cache_sizes(&trace, &objects, &stats.demands, &POLICIES, &FRACTIONS, 17)
+                .len()
+        })
+    });
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let db = objects.total_size();
+            let mut total = 0u64;
+            for kind in POLICIES {
+                for &f in &FRACTIONS {
+                    let mut policy = build_policy(kind, db.scale(f), &stats.demands, 17);
+                    total += replay(&trace, &objects, policy.as_mut()).total_cost().raw();
+                }
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Timing of the Table 1 / Table 2 regeneration path: the three
+//! bypass-yield algorithms over both traces at both granularities, plus
+//! report rendering.
+
+use byc_analysis::render_cost_table;
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_federation::{build_policy, replay, CostReport, PolicyKind};
+use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn reports() -> Vec<CostReport> {
+    let mut out = Vec::new();
+    for release in [SdssRelease::Edr, SdssRelease::Dr1] {
+        let catalog = build(release, 1e-3, 1);
+        let config = match release {
+            SdssRelease::Edr => WorkloadConfig::edr(21),
+            SdssRelease::Dr1 => WorkloadConfig::dr1(22),
+        };
+        let mut config = config;
+        config.query_count = 3_000;
+        let trace = generate(&catalog, &config).unwrap();
+        let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let capacity = objects.total_size().scale(0.15);
+        for kind in [
+            PolicyKind::RateProfile,
+            PolicyKind::OnlineBY,
+            PolicyKind::SpaceEffBY,
+        ] {
+            let mut policy = build_policy(kind, capacity, &stats.demands, 21);
+            out.push(replay(&trace, &objects, policy.as_mut()));
+        }
+    }
+    out
+}
+
+fn bench_breakdown(c: &mut Criterion) {
+    c.bench_function("tab1_tab2_regeneration", |b| b.iter(reports));
+    let rows = reports();
+    c.bench_function("render_cost_table", |b| {
+        b.iter(|| render_cost_table("Cost breakdown (GB)", &rows).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_breakdown
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Trace synthesis throughput: queries generated per second, including
+//! SQL rendering, re-analysis, and yield decomposition.
+
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_workload::{generate, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_generation(c: &mut Criterion) {
+    let catalog = build(SdssRelease::Edr, 1e-3, 1);
+    let mut group = c.benchmark_group("trace_generation");
+    for &n in &[1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| generate(&catalog, &WorkloadConfig::smoke(9, n)).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    let catalog = build(SdssRelease::Edr, 1e-3, 1);
+    let trace = generate(&catalog, &WorkloadConfig::smoke(9, 2_000)).unwrap();
+    let mut path = std::env::temp_dir();
+    path.push(format!("byc-bench-io-{}.jsonl", std::process::id()));
+    let mut group = c.benchmark_group("trace_io");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("write_2000", |b| {
+        b.iter(|| byc_workload::io::write_trace(&trace, &path).unwrap())
+    });
+    byc_workload::io::write_trace(&trace, &path).unwrap();
+    group.bench_function("read_2000", |b| {
+        b.iter(|| byc_workload::io::read_trace(&path).unwrap().len())
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_generation, bench_trace_io
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Timing of the workload analyses behind Figs 4–6: containment and
+//! schema-locality scans over a trace.
+
+use byc_analysis::{containment_analysis, locality_analysis};
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_analyses(c: &mut Criterion) {
+    let catalog = build(SdssRelease::Edr, 1e-3, 1);
+    let trace = generate(&catalog, &WorkloadConfig::smoke(19, 10_000)).unwrap();
+    let tables = ObjectCatalog::uniform(&catalog, Granularity::Table);
+    let columns = ObjectCatalog::uniform(&catalog, Granularity::Column);
+
+    let mut group = c.benchmark_group("workload_analysis_10k");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("containment_window_50", |b| {
+        b.iter(|| containment_analysis(&trace, trace.len() / 2, 50).distinct_keys)
+    });
+    group.bench_function("containment_full_trace", |b| {
+        b.iter(|| containment_analysis(&trace, 0, trace.len()).distinct_keys)
+    });
+    group.bench_function("column_locality", |b| {
+        b.iter(|| locality_analysis(&trace, &columns).touched)
+    });
+    group.bench_function("table_locality", |b| {
+        b.iter(|| locality_analysis(&trace, &tables).touched)
+    });
+    group.bench_function("workload_stats_columns", |b| {
+        b.iter(|| WorkloadStats::compute(&trace, &columns).demands.len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analyses
+}
+criterion_main!(benches);

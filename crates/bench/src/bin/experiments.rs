@@ -1,0 +1,80 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--out DIR] [--scale S] [--queries F] [ids...]
+//!   ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 tab1 tab2 ablations semantic byhr all
+//! ```
+//!
+//! With no ids (or `all`), runs everything. Artifacts (CSV series, sweep
+//! grids, breakdown tables) are written under `--out` (default
+//! `results/`). `--scale` shrinks the synthetic catalogs and `--queries`
+//! the trace lengths for quick smoke runs.
+
+use byc_bench::experiments::{run_all, run_one, ExperimentContext};
+
+fn main() {
+    let mut out_dir = String::from("results");
+    let mut scale = 1.0f64;
+    let mut queries = 1.0f64;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_dir = args.next().expect("--out needs a directory"),
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number")
+            }
+            "--queries" => {
+                queries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queries needs a fraction")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--out DIR] [--scale S] [--queries F] [ids...]\n\
+                     ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 tab1 tab2 ablations semantic byhr all"
+                );
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+
+    let mut ctx = ExperimentContext::scaled(&out_dir, scale, queries);
+    let started = std::time::Instant::now();
+    let outputs = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        run_all(&mut ctx).unwrap_or_else(|e| {
+            eprintln!("experiments failed: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        ids.iter()
+            .map(|id| {
+                run_one(&mut ctx, id).unwrap_or_else(|e| {
+                    eprintln!("experiment {id} failed: {e}");
+                    std::process::exit(1);
+                })
+            })
+            .collect()
+    };
+
+    for o in &outputs {
+        println!("=== {} ===", o.id);
+        println!("{}", o.summary);
+        for a in &o.artifacts {
+            println!("  wrote {}", a.display());
+        }
+        println!();
+    }
+    println!(
+        "{} experiment(s) in {:.1?}; artifacts under {}/",
+        outputs.len(),
+        started.elapsed(),
+        out_dir
+    );
+}

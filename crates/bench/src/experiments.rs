@@ -1,0 +1,675 @@
+//! One function per paper artifact.
+
+use byc_analysis::{
+    containment_analysis, locality_analysis, render_cost_table, write_series_csv,
+    write_sweep_csv,
+};
+use byc_catalog::sdss::{self, SdssRelease};
+use byc_catalog::{Catalog, Granularity, ObjectCatalog};
+use byc_core::rate_profile::{RateProfile, RateProfileConfig};
+use byc_federation::{
+    build_policy, replay, replay_with_series, sweep_cache_sizes, CostReport,
+    PolicyKind, SeriesPoint,
+};
+use byc_types::Result;
+use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Headline cache size for Figs 7–8 and Tables 1–2, as a fraction of the
+/// database. Figures 9–10 sweep 10–100%; 15% sits on the knee the paper
+/// identifies ("bypass caches need to be relatively large, 20% to 30% of
+/// the database" — our knee lands slightly earlier because the synthetic
+/// hot set is a bit more concentrated; see EXPERIMENTS.md).
+pub const HEADLINE_CACHE_FRACTION: f64 = 0.15;
+
+/// Sweep grid of Figs 9–10 (fraction of the database size).
+pub const SWEEP_FRACTIONS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// The random seed all headline experiments use.
+pub const EXPERIMENT_SEED: u64 = 42;
+
+/// Result of one experiment: a summary plus written artifact paths.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// Experiment id ("fig7", "tab1", ...).
+    pub id: String,
+    /// Human-readable summary (printed by the binary).
+    pub summary: String,
+    /// Files written (CSV / text).
+    pub artifacts: Vec<PathBuf>,
+}
+
+/// Shared, lazily-built experiment inputs: the two catalogs and traces.
+pub struct ExperimentContext {
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+    /// Workload scale: 1.0 is the full paper-size configuration; tests
+    /// use smaller scales for speed.
+    pub scale: f64,
+    /// Fraction of the configured query counts to generate.
+    pub query_fraction: f64,
+    edr: Option<(Catalog, Trace)>,
+    dr1: Option<(Catalog, Trace)>,
+}
+
+impl ExperimentContext {
+    /// Full-scale context (the configuration EXPERIMENTS.md reports).
+    pub fn full(out_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            out_dir: out_dir.into(),
+            scale: 1.0,
+            query_fraction: 1.0,
+            edr: None,
+            dr1: None,
+        }
+    }
+
+    /// Reduced-scale context for tests and smoke runs.
+    pub fn scaled(out_dir: impl Into<PathBuf>, scale: f64, query_fraction: f64) -> Self {
+        Self {
+            out_dir: out_dir.into(),
+            scale,
+            query_fraction,
+            edr: None,
+            dr1: None,
+        }
+    }
+
+    fn dataset(&mut self, release: SdssRelease) -> Result<&(Catalog, Trace)> {
+        let slot = match release {
+            SdssRelease::Edr => &mut self.edr,
+            SdssRelease::Dr1 => &mut self.dr1,
+        };
+        if slot.is_none() {
+            let catalog = sdss::build(release, self.scale, 1);
+            let mut config = match release {
+                SdssRelease::Edr => WorkloadConfig::edr(EXPERIMENT_SEED),
+                SdssRelease::Dr1 => WorkloadConfig::dr1(EXPERIMENT_SEED + 1),
+            };
+            config.query_count =
+                ((config.query_count as f64 * self.query_fraction) as usize).max(100);
+            let trace = generate(&catalog, &config)?;
+            *slot = Some((catalog, trace));
+        }
+        Ok(slot.as_ref().expect("just filled"))
+    }
+
+    /// The EDR catalog and trace.
+    pub fn edr(&mut self) -> Result<&(Catalog, Trace)> {
+        self.dataset(SdssRelease::Edr)
+    }
+
+    /// The DR1 catalog and trace.
+    pub fn dr1(&mut self) -> Result<&(Catalog, Trace)> {
+        self.dataset(SdssRelease::Dr1)
+    }
+
+    fn artifact(&self, name: &str) -> Result<PathBuf> {
+        std::fs::create_dir_all(&self.out_dir)?;
+        Ok(self.out_dir.join(name))
+    }
+}
+
+fn scatter_csv(path: &Path, header: &str, rows: impl Iterator<Item = String>) -> Result<()> {
+    use std::io::Write;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "{header}")?;
+    for r in rows {
+        writeln!(w, "{r}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Fig. 4: query containment over a 50-query window of the EDR trace.
+pub fn fig4(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
+    let (_, trace) = ctx.edr()?;
+    let window = 50usize;
+    // The paper samples a sub-sequence of disjoint continuous queries;
+    // we take a window from the middle of the trace.
+    let start = trace.len() / 2;
+    let report = containment_analysis(trace, start, window);
+    // A wide-window sanity measurement as well.
+    let wide = containment_analysis(trace, 0, trace.len());
+    let path = ctx.artifact("fig4_containment.csv")?;
+    scatter_csv(
+        &path,
+        "query,key_rank,reused",
+        report
+            .points
+            .iter()
+            .map(|p| format!("{},{},{}", p.query, p.key_rank, p.reused as u8)),
+    )?;
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "fig4 query containment: window of {} queries touches {} distinct data keys",
+        report.window, report.distinct_keys
+    );
+    let _ = writeln!(
+        summary,
+        "  key reuse rate {:.1}% | fully-contained queries {:.1}% (whole trace: {:.1}%)",
+        report.reuse_rate * 100.0,
+        report.contained_queries * 100.0,
+        wide.contained_queries * 100.0
+    );
+    let _ = writeln!(
+        summary,
+        "  paper: \"few objects experience reuse in any portion of the trace\" — semantic caching has little to work with"
+    );
+    Ok(ExperimentOutput {
+        id: "fig4".into(),
+        summary,
+        artifacts: vec![path],
+    })
+}
+
+fn locality_fig(
+    ctx: &mut ExperimentContext,
+    id: &str,
+    granularity: Granularity,
+) -> Result<ExperimentOutput> {
+    let (catalog, trace) = ctx.edr()?;
+    let objects = ObjectCatalog::uniform(catalog, granularity);
+    let report = locality_analysis(trace, &objects);
+    let path = ctx.artifact(&format!("{id}_{}_locality.csv", granularity.label()))?;
+    scatter_csv(
+        &path,
+        "query,element",
+        report
+            .scatter
+            .points
+            .iter()
+            .map(|&(q, e)| format!("{q},{e}")),
+    )?;
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "{id} {} locality: {}/{} elements touched; top-10 elements take {:.1}% of references",
+        granularity.label(),
+        report.touched,
+        report.universe,
+        report.top10_share * 100.0
+    );
+    let _ = writeln!(
+        summary,
+        "  mean {:.2} elements/query, mean reuse gap {:.1} queries — heavy, long-lasting schema reuse",
+        report.mean_elements_per_query, report.mean_reuse_gap
+    );
+    Ok(ExperimentOutput {
+        id: id.into(),
+        summary,
+        artifacts: vec![path],
+    })
+}
+
+/// Fig. 5: column locality over the EDR trace.
+pub fn fig5(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
+    locality_fig(ctx, "fig5", Granularity::Column)
+}
+
+/// Fig. 6: table locality over the EDR trace.
+pub fn fig6(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
+    locality_fig(ctx, "fig6", Granularity::Table)
+}
+
+/// The four curves of Figs 7–8: Rate-Profile, GDS, static, no cache.
+const SERIES_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::RateProfile,
+    PolicyKind::Gds,
+    PolicyKind::Static,
+    PolicyKind::NoCache,
+];
+
+fn cumulative_fig(
+    ctx: &mut ExperimentContext,
+    id: &str,
+    granularity: Granularity,
+) -> Result<ExperimentOutput> {
+    let (catalog, trace) = ctx.edr()?;
+    let objects = ObjectCatalog::uniform(catalog, granularity);
+    let stats = WorkloadStats::compute(trace, &objects);
+    let capacity = objects.total_size().scale(HEADLINE_CACHE_FRACTION);
+    let sample = (trace.len() / 200).max(1);
+    let mut series: Vec<(String, Vec<SeriesPoint>)> = Vec::new();
+    let mut finals: Vec<(String, f64)> = Vec::new();
+    for kind in SERIES_POLICIES {
+        let mut policy = build_policy(kind, capacity, &stats.demands, EXPERIMENT_SEED);
+        let (report, points) = replay_with_series(trace, &objects, policy.as_mut(), sample);
+        finals.push((kind.label().to_string(), report.total_cost().as_f64() / 1e9));
+        series.push((kind.label().to_string(), points));
+    }
+    let path = ctx.artifact(&format!("{id}_{}_series.csv", granularity.label()))?;
+    write_series_csv(&path, &series)?;
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "{id} cumulative network cost, {} caching, cache = {:.0}% of DB:",
+        granularity.label(),
+        HEADLINE_CACHE_FRACTION * 100.0
+    );
+    for (name, gb) in &finals {
+        let _ = writeln!(summary, "  {name:14} {gb:9.1} GB");
+    }
+    Ok(ExperimentOutput {
+        id: id.into(),
+        summary,
+        artifacts: vec![path],
+    })
+}
+
+/// Fig. 7: cumulative network cost over the trace, table caching.
+pub fn fig7(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
+    cumulative_fig(ctx, "fig7", Granularity::Table)
+}
+
+/// Fig. 8: cumulative network cost over the trace, column caching.
+pub fn fig8(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
+    cumulative_fig(ctx, "fig8", Granularity::Column)
+}
+
+fn sweep_fig(
+    ctx: &mut ExperimentContext,
+    id: &str,
+    granularity: Granularity,
+) -> Result<ExperimentOutput> {
+    let (catalog, trace) = ctx.edr()?;
+    let objects = ObjectCatalog::uniform(catalog, granularity);
+    let stats = WorkloadStats::compute(trace, &objects);
+    let policies = [
+        PolicyKind::RateProfile,
+        PolicyKind::OnlineBY,
+        PolicyKind::SpaceEffBY,
+        PolicyKind::Gds,
+        PolicyKind::Static,
+    ];
+    let points = sweep_cache_sizes(
+        trace,
+        &objects,
+        &stats.demands,
+        &policies,
+        &SWEEP_FRACTIONS,
+        EXPERIMENT_SEED,
+    );
+    let path = ctx.artifact(&format!("{id}_{}_sweep.csv", granularity.label()))?;
+    write_sweep_csv(&path, &points)?;
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "{id} total cost (GB) vs cache size, {} caching:",
+        granularity.label()
+    );
+    let _ = write!(summary, "  {:14}", "% of DB");
+    for f in SWEEP_FRACTIONS {
+        let _ = write!(summary, " {:>8.0}", f * 100.0);
+    }
+    let _ = writeln!(summary);
+    for kind in policies {
+        let _ = write!(summary, "  {:14}", kind.label());
+        for f in SWEEP_FRACTIONS {
+            let p = points
+                .iter()
+                .find(|p| p.policy == kind.label() && (p.cache_fraction - f).abs() < 1e-9)
+                .expect("sweep point present");
+            let _ = write!(summary, " {:>8.0}", p.report.total_cost().as_f64() / 1e9);
+        }
+        let _ = writeln!(summary);
+    }
+    Ok(ExperimentOutput {
+        id: id.into(),
+        summary,
+        artifacts: vec![path],
+    })
+}
+
+/// Fig. 9: total cost vs cache size (10–100% of DB), table caching.
+pub fn fig9(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
+    sweep_fig(ctx, "fig9", Granularity::Table)
+}
+
+/// Fig. 10: total cost vs cache size, column caching.
+pub fn fig10(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
+    sweep_fig(ctx, "fig10", Granularity::Column)
+}
+
+/// The algorithms of Tables 1–2.
+const TABLE_POLICIES: [PolicyKind; 3] = [
+    PolicyKind::RateProfile,
+    PolicyKind::OnlineBY,
+    PolicyKind::SpaceEffBY,
+];
+
+fn cost_table(
+    ctx: &mut ExperimentContext,
+    id: &str,
+    granularity: Granularity,
+) -> Result<ExperimentOutput> {
+    let mut reports: Vec<CostReport> = Vec::new();
+    let mut bounds: Vec<(String, f64)> = Vec::new();
+    for release in [SdssRelease::Edr, SdssRelease::Dr1] {
+        let (catalog, trace) = ctx.dataset(release)?;
+        let objects = ObjectCatalog::uniform(catalog, granularity);
+        let stats = WorkloadStats::compute(trace, &objects);
+        let capacity = objects.total_size().scale(HEADLINE_CACHE_FRACTION);
+        for kind in TABLE_POLICIES {
+            let mut policy = build_policy(kind, capacity, &stats.demands, EXPERIMENT_SEED);
+            reports.push(replay(trace, &objects, policy.as_mut()));
+        }
+        // Capacity-relaxed offline lower bound: no policy can beat this.
+        let accesses: Vec<byc_core::access::Access> = trace
+            .queries
+            .iter()
+            .enumerate()
+            .flat_map(|(i, q)| {
+                byc_federation::simulator::accesses_of(q, &objects, byc_types::Tick::new(i as u64))
+            })
+            .collect();
+        let bound = byc_core::offline::offline_lower_bound(accesses.iter());
+        bounds.push((trace.name.clone(), bound.total.as_f64() / 1e9));
+    }
+    let title = format!(
+        "{id}: cost breakdown for {} caching (GB), cache = {:.0}% of DB",
+        granularity.label(),
+        HEADLINE_CACHE_FRACTION * 100.0
+    );
+    let mut table = render_cost_table(&title, &reports);
+    for (name, gb) in &bounds {
+        let _ = writeln!(
+            table,
+            "{name} offline lower bound (capacity-relaxed): {gb:.2} GB"
+        );
+    }
+    let path = ctx.artifact(&format!("{id}_{}_breakdown.txt", granularity.label()))?;
+    std::fs::write(&path, &table)?;
+    Ok(ExperimentOutput {
+        id: id.into(),
+        summary: table,
+        artifacts: vec![path],
+    })
+}
+
+/// Table 1: cost breakdown for column caching (EDR and DR1).
+pub fn tab1(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
+    cost_table(ctx, "tab1", Granularity::Column)
+}
+
+/// Table 2: cost breakdown for table caching (EDR and DR1).
+pub fn tab2(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
+    cost_table(ctx, "tab2", Granularity::Table)
+}
+
+/// Ablations of the design choices DESIGN.md calls out: episodes on/off,
+/// episode weighting, metadata cap, and OnlineBY's `A_obj` choice.
+pub fn ablations(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
+    let (catalog, trace) = ctx.edr()?;
+    let objects = ObjectCatalog::uniform(catalog, Granularity::Column);
+    let stats = WorkloadStats::compute(trace, &objects);
+    let capacity = objects.total_size().scale(HEADLINE_CACHE_FRACTION);
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    let run_rp = |label: &str, config: RateProfileConfig, rows: &mut Vec<(String, f64)>| {
+        let mut policy = RateProfile::new(capacity, config);
+        let report = replay(trace, &objects, &mut policy);
+        rows.push((label.to_string(), report.total_cost().as_f64() / 1e9));
+    };
+    run_rp("Rate-Profile (paper defaults)", RateProfileConfig::default(), &mut rows);
+    run_rp(
+        "  episodes disabled",
+        RateProfileConfig {
+            episodes_enabled: false,
+            ..RateProfileConfig::default()
+        },
+        &mut rows,
+    );
+    run_rp(
+        "  uniform episode weights",
+        RateProfileConfig {
+            episode_weight_decay: 1.0,
+            ..RateProfileConfig::default()
+        },
+        &mut rows,
+    );
+    run_rp(
+        "  aggressive decline c=0.9",
+        RateProfileConfig {
+            episode_decline: 0.9,
+            ..RateProfileConfig::default()
+        },
+        &mut rows,
+    );
+    run_rp(
+        "  paper idle cutoff k=1000",
+        RateProfileConfig {
+            idle_cutoff: 1000,
+            ..RateProfileConfig::default()
+        },
+        &mut rows,
+    );
+    run_rp(
+        "  short idle cutoff k=100",
+        RateProfileConfig {
+            idle_cutoff: 100,
+            ..RateProfileConfig::default()
+        },
+        &mut rows,
+    );
+    run_rp(
+        "  tight metadata cap (64 profiles)",
+        RateProfileConfig {
+            max_profiles: 64,
+            ..RateProfileConfig::default()
+        },
+        &mut rows,
+    );
+    for kind in [PolicyKind::OnlineBY, PolicyKind::OnlineBYMarking] {
+        let mut policy = build_policy(kind, capacity, &stats.demands, EXPERIMENT_SEED);
+        let report = replay(trace, &objects, policy.as_mut());
+        rows.push((
+            format!("OnlineBY with {}", if kind == PolicyKind::OnlineBY { "Landlord" } else { "SizeClassMarking" }),
+            report.total_cost().as_f64() / 1e9,
+        ));
+    }
+    // SpaceEffBY seed sensitivity.
+    for seed in [1u64, 2, 3] {
+        let mut policy = build_policy(PolicyKind::SpaceEffBY, capacity, &stats.demands, seed);
+        let report = replay(trace, &objects, policy.as_mut());
+        rows.push((format!("SpaceEffBY seed {seed}"), report.total_cost().as_f64() / 1e9));
+    }
+
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "ablations: column caching, cache = {:.0}% of DB, total WAN cost (GB)",
+        HEADLINE_CACHE_FRACTION * 100.0
+    );
+    for (label, gb) in &rows {
+        let _ = writeln!(summary, "  {label:40} {gb:9.1}");
+    }
+    let path = ctx.artifact("ablations.txt")?;
+    std::fs::write(&path, &summary)?;
+    Ok(ExperimentOutput {
+        id: "ablations".into(),
+        summary,
+        artifacts: vec![path],
+    })
+}
+
+/// Extension experiment: the semantic (query-result) cache the paper
+/// rejects in §6.1, measured head-to-head against Rate-Profile.
+pub fn semantic(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
+    let (catalog, trace) = ctx.edr()?;
+    let objects = ObjectCatalog::uniform(catalog, Granularity::Column);
+    let stats = WorkloadStats::compute(trace, &objects);
+    let capacity = objects.total_size().scale(HEADLINE_CACHE_FRACTION);
+    let report = byc_federation::SemanticCache::new(capacity).replay(trace);
+    let mut rp = build_policy(PolicyKind::RateProfile, capacity, &stats.demands, EXPERIMENT_SEED);
+    let rp_report = replay(trace, &objects, rp.as_mut());
+
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "semantic (query-result) caching vs bypass-yield, cache = {:.0}% of DB:",
+        HEADLINE_CACHE_FRACTION * 100.0
+    );
+    let _ = writeln!(
+        summary,
+        "  semantic cache: {:>6.1}% query hit rate, {:>5.1}% byte hit rate, total {:.1} GB",
+        report.hit_rate * 100.0,
+        report.byte_hit_rate * 100.0,
+        report.total_cost.as_f64() / 1e9
+    );
+    let _ = writeln!(
+        summary,
+        "  Rate-Profile:   {:>5.1}% byte hit rate, total {:.1} GB",
+        rp_report.byte_hit_rate() * 100.0,
+        rp_report.total_cost().as_f64() / 1e9
+    );
+    let _ = writeln!(
+        summary,
+        "  paper §6.1: astronomy workloads do not exhibit the query reuse and \
+         containment semantic caching relies on — measured, not asserted."
+    );
+    let path = ctx.artifact("semantic.txt")?;
+    std::fs::write(&path, &summary)?;
+    Ok(ExperimentOutput {
+        id: "semantic".into(),
+        summary,
+        artifacts: vec![path],
+    })
+}
+
+/// Extension experiment: non-uniform networks (the BYHR regime, paper
+/// §3). Four servers with fetch-cost multipliers 1/2/4/8; Rate-Profile
+/// with true costs (BYHR-aware) vs behind the uniform-cost assumption
+/// (BYU), both charged true costs by the simulator.
+pub fn byhr(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
+    let scale = ctx.scale;
+    let query_fraction = ctx.query_fraction;
+    // A 4-server federation: tables spread round-robin, increasingly
+    // expensive WAN paths.
+    let catalog = sdss::build(SdssRelease::Edr, scale, 4);
+    let mut config = WorkloadConfig::edr(EXPERIMENT_SEED);
+    config.query_count = ((config.query_count as f64 * query_fraction) as usize).max(100);
+    let trace = generate(&catalog, &config)?;
+    let multipliers = [1.0, 2.0, 4.0, 8.0];
+    let objects = ObjectCatalog::with_server_costs(&catalog, Granularity::Column, &|s| {
+        multipliers[s.index() % multipliers.len()]
+    });
+    let capacity = objects.total_size().scale(HEADLINE_CACHE_FRACTION);
+
+    let mut aware = RateProfile::new(capacity, RateProfileConfig::default());
+    let aware_report = replay(&trace, &objects, &mut aware);
+    let mut blind = byc_federation::policies::UniformCostAdapter::new(RateProfile::new(
+        capacity,
+        RateProfileConfig::default(),
+    ));
+    let blind_report = replay(&trace, &objects, &mut blind);
+
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "byhr: non-uniform federation (server cost multipliers 1/2/4/8), column caching:"
+    );
+    let _ = writeln!(
+        summary,
+        "  Rate-Profile, BYHR-aware (true fetch costs):   bypass {:>7.1} fetch {:>7.1} total {:>7.1} GB",
+        aware_report.bypass_cost.as_f64() / 1e9,
+        aware_report.fetch_cost.as_f64() / 1e9,
+        aware_report.total_cost().as_f64() / 1e9
+    );
+    let _ = writeln!(
+        summary,
+        "  Rate-Profile, BYU assumption (f = s):          bypass {:>7.1} fetch {:>7.1} total {:>7.1} GB",
+        blind_report.bypass_cost.as_f64() / 1e9,
+        blind_report.fetch_cost.as_f64() / 1e9,
+        blind_report.total_cost().as_f64() / 1e9
+    );
+    let _ = writeln!(
+        summary,
+        "  BYHR-awareness is *conservative*: pricing the true (higher) fetch cost\n  \
+         delays loads of hot-but-remote objects, trading bypass traffic for a\n  \
+         bounded worst case. On stable hot sets the optimistic uniform assumption\n  \
+         loads earlier and wins on average — the rent-to-buy analogue of ski\n  \
+         rental being 2-competitive rather than prescient."
+    );
+    let path = ctx.artifact("byhr.txt")?;
+    std::fs::write(&path, &summary)?;
+    Ok(ExperimentOutput {
+        id: "byhr".into(),
+        summary,
+        artifacts: vec![path],
+    })
+}
+
+/// Run every experiment in paper order.
+pub fn run_all(ctx: &mut ExperimentContext) -> Result<Vec<ExperimentOutput>> {
+    Ok(vec![
+        fig4(ctx)?,
+        fig5(ctx)?,
+        fig6(ctx)?,
+        fig7(ctx)?,
+        fig8(ctx)?,
+        fig9(ctx)?,
+        fig10(ctx)?,
+        tab1(ctx)?,
+        tab2(ctx)?,
+        ablations(ctx)?,
+        semantic(ctx)?,
+        byhr(ctx)?,
+    ])
+}
+
+/// Run one experiment by id.
+pub fn run_one(ctx: &mut ExperimentContext, id: &str) -> Result<ExperimentOutput> {
+    match id {
+        "fig4" => fig4(ctx),
+        "fig5" => fig5(ctx),
+        "fig6" => fig6(ctx),
+        "fig7" => fig7(ctx),
+        "fig8" => fig8(ctx),
+        "fig9" => fig9(ctx),
+        "fig10" => fig10(ctx),
+        "tab1" => tab1(ctx),
+        "tab2" => tab2(ctx),
+        "ablations" => ablations(ctx),
+        "semantic" => semantic(ctx),
+        "byhr" => byhr(ctx),
+        other => Err(byc_types::Error::InvalidConfig(format!(
+            "unknown experiment {other:?} (expected fig4..fig10, tab1, tab2, ablations, \
+             semantic, byhr)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExperimentContext {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("byc-experiments-{}", std::process::id()));
+        // Tiny scale for test speed.
+        ExperimentContext::scaled(dir, 1e-3, 0.05)
+    }
+
+    #[test]
+    fn all_experiments_run_at_small_scale() {
+        let mut c = ctx();
+        let outputs = run_all(&mut c).unwrap();
+        assert_eq!(outputs.len(), 12);
+        for o in &outputs {
+            assert!(!o.summary.is_empty(), "{} empty summary", o.id);
+            for a in &o.artifacts {
+                assert!(a.exists(), "{} missing artifact {a:?}", o.id);
+            }
+        }
+        std::fs::remove_dir_all(&c.out_dir).ok();
+    }
+
+    #[test]
+    fn unknown_experiment_rejected() {
+        let mut c = ctx();
+        assert!(run_one(&mut c, "fig99").is_err());
+    }
+}

@@ -1,0 +1,392 @@
+//! Column types, table definitions, and the name-resolving catalog.
+
+use byc_types::{Bytes, ColumnId, Error, Result, ServerId, TableId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Storage type of a column. Widths follow SQL Server conventions, which is
+/// what the SDSS SkyServer schema uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit integer (`bigint`), 8 bytes. Object identifiers.
+    BigInt,
+    /// 32-bit integer (`int`), 4 bytes.
+    Int,
+    /// 16-bit integer (`smallint`), 2 bytes.
+    SmallInt,
+    /// 64-bit IEEE float (`float`), 8 bytes. Celestial coordinates.
+    Float,
+    /// 32-bit IEEE float (`real`), 4 bytes. Magnitudes, errors.
+    Real,
+    /// Fixed-width character data of the given byte width.
+    Char(u16),
+}
+
+impl ColumnType {
+    /// Storage width in bytes.
+    pub const fn width(self) -> u64 {
+        match self {
+            ColumnType::BigInt | ColumnType::Float => 8,
+            ColumnType::Int => 4,
+            ColumnType::SmallInt => 2,
+            ColumnType::Real => 4,
+            ColumnType::Char(w) => w as u64,
+        }
+    }
+
+    /// True for numeric types (usable in range predicates).
+    pub const fn is_numeric(self) -> bool {
+        !matches!(self, ColumnType::Char(_))
+    }
+}
+
+/// Definition of a column, before registration in a catalog.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Storage type.
+    pub ty: ColumnType,
+    /// Lower bound of the value domain (for selectivity estimation).
+    pub min_value: f64,
+    /// Upper bound of the value domain.
+    pub max_value: f64,
+}
+
+impl ColumnDef {
+    /// Convenience constructor with a `[0, 1)`-normalized domain.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            min_value: 0.0,
+            max_value: 1.0,
+        }
+    }
+
+    /// Set the value domain used by the selectivity model.
+    pub fn with_domain(mut self, min: f64, max: f64) -> Self {
+        assert!(min <= max, "domain min must not exceed max");
+        self.min_value = min;
+        self.max_value = max;
+        self
+    }
+}
+
+/// Definition of a table, before registration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TableDef {
+    /// Table name, unique within the catalog.
+    pub name: String,
+    /// Columns in declaration order. The first column is treated as the
+    /// primary key for identity queries.
+    pub columns: Vec<ColumnDef>,
+    /// Number of rows.
+    pub row_count: u64,
+    /// Server hosting this table.
+    pub server: ServerId,
+}
+
+/// A registered column.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Column {
+    /// Global column id.
+    pub id: ColumnId,
+    /// Owning table.
+    pub table: TableId,
+    /// Ordinal within the table (0-based).
+    pub ordinal: u16,
+    /// Column name.
+    pub name: String,
+    /// Storage type.
+    pub ty: ColumnType,
+    /// Domain lower bound.
+    pub min_value: f64,
+    /// Domain upper bound.
+    pub max_value: f64,
+}
+
+impl Column {
+    /// Storage width in bytes of one value.
+    pub fn width(&self) -> u64 {
+        self.ty.width()
+    }
+}
+
+/// A registered table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    /// Table id.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Global ids of this table's columns, in ordinal order.
+    pub columns: Vec<ColumnId>,
+    /// Number of rows.
+    pub row_count: u64,
+    /// Server hosting the table.
+    pub server: ServerId,
+    /// Sum of column widths: bytes per row.
+    pub row_width: u64,
+}
+
+impl Table {
+    /// Total stored size of the table.
+    pub fn size(&self) -> Bytes {
+        Bytes::new(self.row_width * self.row_count)
+    }
+}
+
+/// The schema catalog: registered tables and columns with name resolution.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: Vec<Table>,
+    columns: Vec<Column>,
+    table_names: HashMap<String, TableId>,
+    /// (table id, column name) → column id.
+    column_names: HashMap<(TableId, String), ColumnId>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table definition, assigning dense ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] on duplicate table or column names
+    /// or a table with no columns.
+    pub fn add_table(&mut self, def: TableDef) -> Result<TableId> {
+        if def.columns.is_empty() {
+            return Err(Error::InvalidConfig(format!(
+                "table {:?} has no columns",
+                def.name
+            )));
+        }
+        if self.table_names.contains_key(&def.name) {
+            return Err(Error::InvalidConfig(format!(
+                "duplicate table name {:?}",
+                def.name
+            )));
+        }
+        let tid = TableId::new(self.tables.len() as u32);
+        let mut col_ids = Vec::with_capacity(def.columns.len());
+        let mut row_width = 0u64;
+        for (ordinal, c) in def.columns.iter().enumerate() {
+            let key = (tid, c.name.clone());
+            if self.column_names.contains_key(&key) {
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate column {:?} in table {:?}",
+                    c.name, def.name
+                )));
+            }
+            let cid = ColumnId::new(self.columns.len() as u32);
+            self.columns.push(Column {
+                id: cid,
+                table: tid,
+                ordinal: ordinal as u16,
+                name: c.name.clone(),
+                ty: c.ty,
+                min_value: c.min_value,
+                max_value: c.max_value,
+            });
+            self.column_names.insert(key, cid);
+            col_ids.push(cid);
+            row_width += c.ty.width();
+        }
+        self.tables.push(Table {
+            id: tid,
+            name: def.name.clone(),
+            columns: col_ids,
+            row_count: def.row_count,
+            server: def.server,
+            row_width,
+        });
+        self.table_names.insert(def.name, tid);
+        Ok(tid)
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of columns across all tables.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All tables in id order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// All columns in id order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Look up a table by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// Look up a column by id.
+    pub fn column(&self, id: ColumnId) -> &Column {
+        &self.columns[id.index()]
+    }
+
+    /// Resolve a table by name.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownName`] if not registered.
+    pub fn table_by_name(&self, name: &str) -> Result<&Table> {
+        self.table_names
+            .get(name)
+            .map(|&id| self.table(id))
+            .ok_or_else(|| Error::UnknownName {
+                kind: "table",
+                name: name.to_string(),
+            })
+    }
+
+    /// Resolve a column by table id and column name.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownName`] if not registered.
+    pub fn column_by_name(&self, table: TableId, name: &str) -> Result<&Column> {
+        self.column_names
+            .get(&(table, name.to_string()))
+            .map(|&id| self.column(id))
+            .ok_or_else(|| Error::UnknownName {
+                kind: "column",
+                name: format!("{}.{}", self.table(table).name, name),
+            })
+    }
+
+    /// Total stored size of every table in the catalog — the "database
+    /// size" that cache capacities are expressed against (paper §6.3).
+    pub fn database_size(&self) -> Bytes {
+        self.tables.iter().map(Table::size).sum()
+    }
+
+    /// The primary-key column of a table (ordinal 0 by convention).
+    pub fn primary_key(&self, table: TableId) -> &Column {
+        self.column(self.table(table).columns[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_def(name: &str, rows: u64) -> TableDef {
+        TableDef {
+            name: name.to_string(),
+            columns: vec![
+                ColumnDef::new("objID", ColumnType::BigInt),
+                ColumnDef::new("ra", ColumnType::Float).with_domain(0.0, 360.0),
+                ColumnDef::new("dec", ColumnType::Float).with_domain(-90.0, 90.0),
+                ColumnDef::new("class", ColumnType::SmallInt).with_domain(0.0, 6.0),
+            ],
+            row_count: rows,
+            server: ServerId::new(0),
+        }
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let mut cat = Catalog::new();
+        let tid = cat.add_table(sample_def("PhotoObj", 1000)).unwrap();
+        let t = cat.table_by_name("PhotoObj").unwrap();
+        assert_eq!(t.id, tid);
+        assert_eq!(t.columns.len(), 4);
+        assert_eq!(t.row_width, 8 + 8 + 8 + 2);
+        assert_eq!(t.size(), Bytes::new(26 * 1000));
+        let c = cat.column_by_name(tid, "ra").unwrap();
+        assert_eq!(c.ordinal, 1);
+        assert_eq!(c.width(), 8);
+        assert_eq!(c.max_value, 360.0);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_table(sample_def("T", 10)).unwrap();
+        let err = cat.add_table(sample_def("T", 10)).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut cat = Catalog::new();
+        let def = TableDef {
+            name: "T".into(),
+            columns: vec![
+                ColumnDef::new("a", ColumnType::Int),
+                ColumnDef::new("a", ColumnType::Int),
+            ],
+            row_count: 1,
+            server: ServerId::new(0),
+        };
+        assert!(cat.add_table(def).is_err());
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let mut cat = Catalog::new();
+        let def = TableDef {
+            name: "T".into(),
+            columns: vec![],
+            row_count: 1,
+            server: ServerId::new(0),
+        };
+        assert!(cat.add_table(def).is_err());
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let mut cat = Catalog::new();
+        let tid = cat.add_table(sample_def("T", 10)).unwrap();
+        assert!(matches!(
+            cat.table_by_name("Missing").unwrap_err(),
+            Error::UnknownName { kind: "table", .. }
+        ));
+        assert!(matches!(
+            cat.column_by_name(tid, "missing").unwrap_err(),
+            Error::UnknownName { kind: "column", .. }
+        ));
+    }
+
+    #[test]
+    fn database_size_sums_tables() {
+        let mut cat = Catalog::new();
+        cat.add_table(sample_def("A", 100)).unwrap();
+        cat.add_table(sample_def("B", 200)).unwrap();
+        assert_eq!(cat.database_size(), Bytes::new(26 * 300));
+    }
+
+    #[test]
+    fn primary_key_is_first_column() {
+        let mut cat = Catalog::new();
+        let tid = cat.add_table(sample_def("T", 10)).unwrap();
+        assert_eq!(cat.primary_key(tid).name, "objID");
+    }
+
+    #[test]
+    fn column_type_widths() {
+        assert_eq!(ColumnType::BigInt.width(), 8);
+        assert_eq!(ColumnType::Int.width(), 4);
+        assert_eq!(ColumnType::SmallInt.width(), 2);
+        assert_eq!(ColumnType::Float.width(), 8);
+        assert_eq!(ColumnType::Real.width(), 4);
+        assert_eq!(ColumnType::Char(16).width(), 16);
+        assert!(ColumnType::Float.is_numeric());
+        assert!(!ColumnType::Char(4).is_numeric());
+    }
+}

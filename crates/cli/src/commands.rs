@@ -1,0 +1,627 @@
+//! The `byc` subcommands.
+
+use byc_analysis::{containment_analysis, locality_analysis, render_cost_table};
+use byc_catalog::sdss::{self, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_federation::{build_policy, replay, sweep_cache_sizes, PolicyKind};
+use byc_types::{Error, Result};
+use byc_workload::{generate, io as trace_io, Trace, WorkloadConfig, WorkloadStats};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A parsed `byc` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Synthesize a trace and write it as JSON-lines.
+    GenTrace {
+        /// "edr" or "dr1".
+        release: String,
+        /// Output path.
+        out: PathBuf,
+        /// Generator seed.
+        seed: u64,
+        /// Catalog scale (1.0 = full).
+        scale: f64,
+        /// Override query count (0 = preset).
+        queries: usize,
+    },
+    /// Replay a trace under one policy and print the cost report.
+    Run {
+        /// Trace file (or "edr"/"dr1" to synthesize on the fly).
+        trace: String,
+        /// Policy name (see [`parse_policy`]).
+        policy: String,
+        /// "table" or "column".
+        granularity: String,
+        /// Cache size as a fraction of the database.
+        cache_fraction: f64,
+        /// Catalog scale.
+        scale: f64,
+        /// Seed for synthesized traces / randomized policies.
+        seed: u64,
+    },
+    /// Sweep cache sizes for a set of policies.
+    Sweep {
+        /// Trace file or "edr"/"dr1".
+        trace: String,
+        /// "table" or "column".
+        granularity: String,
+        /// Catalog scale.
+        scale: f64,
+        /// Seed.
+        seed: u64,
+    },
+    /// Workload analyses: containment and schema locality.
+    Analyze {
+        /// Trace file or "edr"/"dr1".
+        trace: String,
+        /// Catalog scale.
+        scale: f64,
+        /// Seed.
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse a policy name.
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] for unknown names.
+pub fn parse_policy(name: &str) -> Result<PolicyKind> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "rate-profile" | "rateprofile" | "rp" => PolicyKind::RateProfile,
+        "onlineby" | "online" => PolicyKind::OnlineBY,
+        "onlineby-marking" | "marking" => PolicyKind::OnlineBYMarking,
+        "spaceeffby" | "spaceeff" => PolicyKind::SpaceEffBY,
+        "gds" => PolicyKind::Gds,
+        "gdsp" => PolicyKind::Gdsp,
+        "lru" => PolicyKind::Lru,
+        "lfu" => PolicyKind::Lfu,
+        "lru-k" | "lruk" | "lru2" => PolicyKind::LruK,
+        "lff" => PolicyKind::Lff,
+        "gd*" | "gdstar" | "gd-star" => PolicyKind::GdStar,
+        "static" => PolicyKind::Static,
+        "nocache" | "none" => PolicyKind::NoCache,
+        other => {
+            return Err(Error::InvalidConfig(format!(
+                "unknown policy {other:?} (try rate-profile, onlineby, spaceeffby, gds, gdsp, \
+                 lru, lfu, lru-k, static, nocache)"
+            )))
+        }
+    })
+}
+
+fn parse_granularity(name: &str) -> Result<Granularity> {
+    match name.to_ascii_lowercase().as_str() {
+        "table" | "tables" => Ok(Granularity::Table),
+        "column" | "columns" => Ok(Granularity::Column),
+        other => Err(Error::InvalidConfig(format!(
+            "unknown granularity {other:?} (expected table or column)"
+        ))),
+    }
+}
+
+fn parse_release(name: &str) -> Result<SdssRelease> {
+    match name.to_ascii_lowercase().as_str() {
+        "edr" => Ok(SdssRelease::Edr),
+        "dr1" => Ok(SdssRelease::Dr1),
+        other => Err(Error::InvalidConfig(format!(
+            "unknown release {other:?} (expected edr or dr1)"
+        ))),
+    }
+}
+
+/// Load a trace by path, or synthesize the named release.
+///
+/// Trace files carry yields computed against a catalog at some scale;
+/// replaying them against a differently-scaled catalog misprices every
+/// bypass decision. The caller's `--scale` must therefore match the scale
+/// the trace was generated at; we sanity-check by comparing the trace's
+/// mean yield to the catalog size and refuse wildly inconsistent pairs.
+fn load_trace(spec: &str, scale: f64, seed: u64) -> Result<(byc_catalog::Catalog, Trace)> {
+    match parse_release(spec) {
+        Ok(release) => {
+            let catalog = sdss::build(release, scale, 1);
+            let config = match release {
+                SdssRelease::Edr => WorkloadConfig::edr(seed),
+                SdssRelease::Dr1 => WorkloadConfig::dr1(seed),
+            };
+            let trace = generate(&catalog, &config)?;
+            Ok((catalog, trace))
+        }
+        Err(_) => {
+            // Treat as a file path; catalogs for external traces must match
+            // the trace's release, so default to EDR at the caller's scale.
+            let trace = trace_io::read_trace(std::path::Path::new(spec))?;
+            let catalog = sdss::build(SdssRelease::Edr, scale, 1);
+            // Guard against replaying a trace against a catalog at the
+            // wrong scale (yields would be mispriced by that factor).
+            if !trace.is_empty() {
+                let mean_yield = trace.sequence_cost().as_f64() / trace.len() as f64;
+                let db = catalog.database_size().as_f64();
+                // Matched scales put this ratio around 1e-5..1e-3 for
+                // SDSS-like workloads (mean yield is a tiny, scale-free
+                // fraction of the database); a >100x departure means the
+                // scales disagree.
+                let ratio = mean_yield / db;
+                if !(1e-7..=1e-2).contains(&ratio) {
+                    return Err(Error::InvalidConfig(format!(
+                        "trace {spec:?} looks generated at a different catalog scale                          (mean yield {:.3e} bytes vs database {:.3e} bytes);                          pass the --scale used at gen-trace time",
+                        mean_yield, db
+                    )));
+                }
+            }
+            Ok((catalog, trace))
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+byc — bypass-yield caching for scientific database federations
+
+USAGE:
+  byc gen-trace <edr|dr1> --out FILE [--seed N] [--scale S] [--queries N]
+  byc run <edr|dr1|trace.jsonl> --policy NAME [--granularity table|column]
+          [--cache-fraction F] [--scale S] [--seed N]
+  byc sweep <edr|dr1|trace.jsonl> [--granularity table|column] [--scale S] [--seed N]
+  byc analyze <edr|dr1|trace.jsonl> [--scale S] [--seed N]
+  byc help
+
+POLICIES: rate-profile onlineby onlineby-marking spaceeffby gds gdsp lru
+          lfu lru-k lff gdstar static nocache";
+
+/// Parse raw argument strings into a [`Command`].
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] for malformed invocations.
+pub fn parse_args(args: &[String]) -> Result<Command> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    let known: &[&str] = match sub {
+        "gen-trace" => &["out", "seed", "scale", "queries"],
+        "run" => &["policy", "granularity", "cache-fraction", "scale", "seed"],
+        "sweep" | "analyze" => &["granularity", "scale", "seed"],
+        _ => &[],
+    };
+    let mut positional: Vec<String> = Vec::new();
+    let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if !known.contains(&name) {
+                return Err(Error::InvalidConfig(format!(
+                    "unknown flag --{name} for `{sub}` (expected {})",
+                    known
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| Error::InvalidConfig(format!("--{name} needs a value")))?;
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    let flag_f64 = |flags: &std::collections::HashMap<String, String>, k: &str, default: f64| -> Result<f64> {
+        match flags.get(k) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| Error::InvalidConfig(format!("--{k} expects a number, got {v:?}"))),
+        }
+    };
+    let flag_u64 = |flags: &std::collections::HashMap<String, String>, k: &str, default: u64| -> Result<u64> {
+        match flags.get(k) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| Error::InvalidConfig(format!("--{k} expects an integer, got {v:?}"))),
+        }
+    };
+    let first = |positional: &[String]| -> Result<String> {
+        positional
+            .first()
+            .cloned()
+            .ok_or_else(|| Error::InvalidConfig("missing trace/release argument".into()))
+    };
+
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "gen-trace" => Ok(Command::GenTrace {
+            release: first(&positional)?,
+            out: PathBuf::from(flags.get("out").cloned().ok_or_else(|| {
+                Error::InvalidConfig("gen-trace requires --out FILE".into())
+            })?),
+            seed: flag_u64(&flags, "seed", 42)?,
+            scale: flag_f64(&flags, "scale", 1.0)?,
+            queries: flag_u64(&flags, "queries", 0)? as usize,
+        }),
+        "run" => Ok(Command::Run {
+            trace: first(&positional)?,
+            policy: flags
+                .get("policy")
+                .cloned()
+                .ok_or_else(|| Error::InvalidConfig("run requires --policy NAME".into()))?,
+            granularity: flags
+                .get("granularity")
+                .cloned()
+                .unwrap_or_else(|| "column".into()),
+            cache_fraction: flag_f64(&flags, "cache-fraction", 0.15)?,
+            scale: flag_f64(&flags, "scale", 1.0)?,
+            seed: flag_u64(&flags, "seed", 42)?,
+        }),
+        "sweep" => Ok(Command::Sweep {
+            trace: first(&positional)?,
+            granularity: flags
+                .get("granularity")
+                .cloned()
+                .unwrap_or_else(|| "column".into()),
+            scale: flag_f64(&flags, "scale", 1.0)?,
+            seed: flag_u64(&flags, "seed", 42)?,
+        }),
+        "analyze" => Ok(Command::Analyze {
+            trace: first(&positional)?,
+            scale: flag_f64(&flags, "scale", 1.0)?,
+            seed: flag_u64(&flags, "seed", 42)?,
+        }),
+        other => Err(Error::InvalidConfig(format!(
+            "unknown subcommand {other:?}; try `byc help`"
+        ))),
+    }
+}
+
+/// Execute a command, returning the text to print.
+///
+/// # Errors
+///
+/// Propagates configuration, I/O, and generation errors.
+pub fn run_command(command: Command) -> Result<String> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::GenTrace {
+            release,
+            out,
+            seed,
+            scale,
+            queries,
+        } => {
+            let release = parse_release(&release)?;
+            let catalog = sdss::build(release, scale, 1);
+            let mut config = match release {
+                SdssRelease::Edr => WorkloadConfig::edr(seed),
+                SdssRelease::Dr1 => WorkloadConfig::dr1(seed),
+            };
+            if queries > 0 {
+                config.query_count = queries;
+            }
+            let trace = generate(&catalog, &config)?;
+            trace_io::write_trace(&trace, &out)?;
+            Ok(format!(
+                "wrote {} ({} queries, sequence cost {})",
+                out.display(),
+                trace.len(),
+                trace.sequence_cost()
+            ))
+        }
+        Command::Run {
+            trace,
+            policy,
+            granularity,
+            cache_fraction,
+            scale,
+            seed,
+        } => {
+            if cache_fraction <= 0.0 || cache_fraction.is_nan() {
+                return Err(Error::InvalidConfig(
+                    "--cache-fraction must be positive".into(),
+                ));
+            }
+            let kind = parse_policy(&policy)?;
+            let granularity = parse_granularity(&granularity)?;
+            let (catalog, trace) = load_trace(&trace, scale, seed)?;
+            let objects = ObjectCatalog::uniform(&catalog, granularity);
+            let stats = WorkloadStats::compute(&trace, &objects);
+            let capacity = objects.total_size().scale(cache_fraction);
+            let mut p = build_policy(kind, capacity, &stats.demands, seed);
+            let report = replay(&trace, &objects, p.as_mut());
+            let mut out = render_cost_table(
+                &format!(
+                    "{} on {} ({} caching, cache {:.0}% = {})",
+                    report.policy,
+                    report.trace,
+                    report.granularity,
+                    cache_fraction * 100.0,
+                    capacity
+                ),
+                std::slice::from_ref(&report),
+            );
+            let _ = writeln!(
+                out,
+                "hits {} | bypasses {} | loads {} | evictions {} | traffic reduction {:.1}x | byte hit rate {:.1}%",
+                report.hits,
+                report.bypasses,
+                report.loads,
+                report.evictions,
+                report.reduction_factor(),
+                report.byte_hit_rate() * 100.0
+            );
+            Ok(out)
+        }
+        Command::Sweep {
+            trace,
+            granularity,
+            scale,
+            seed,
+        } => {
+            let granularity = parse_granularity(&granularity)?;
+            let (catalog, trace) = load_trace(&trace, scale, seed)?;
+            let objects = ObjectCatalog::uniform(&catalog, granularity);
+            let stats = WorkloadStats::compute(&trace, &objects);
+            let fractions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0];
+            let policies = byc_federation::policy_roster();
+            let points = sweep_cache_sizes(
+                &trace,
+                &objects,
+                &stats.demands,
+                &policies,
+                &fractions,
+                seed,
+            );
+            let mut out = format!(
+                "total WAN cost (GB) vs cache size, {} caching, trace {}\n",
+                granularity.label(),
+                trace.name
+            );
+            let _ = write!(out, "{:16}", "% of DB");
+            for f in fractions {
+                let _ = write!(out, " {:>9.0}", f * 100.0);
+            }
+            let _ = writeln!(out);
+            for kind in &policies {
+                let _ = write!(out, "{:16}", kind.label());
+                for f in fractions {
+                    let p = points
+                        .iter()
+                        .find(|p| p.policy == kind.label() && (p.cache_fraction - f).abs() < 1e-9)
+                        .expect("point exists");
+                    let _ = write!(out, " {:>9.1}", p.report.total_cost().as_f64() / 1e9);
+                }
+                let _ = writeln!(out);
+            }
+            Ok(out)
+        }
+        Command::Analyze { trace, scale, seed } => {
+            let (catalog, trace) = load_trace(&trace, scale, seed)?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "trace {}: {} queries, sequence cost {}",
+                trace.name,
+                trace.len(),
+                trace.sequence_cost()
+            );
+            let window = 50.min(trace.len());
+            let containment = containment_analysis(&trace, trace.len() / 2, window);
+            let _ = writeln!(
+                out,
+                "containment (window {window}): {} distinct keys, reuse {:.1}%, contained queries {:.1}%",
+                containment.distinct_keys,
+                containment.reuse_rate * 100.0,
+                containment.contained_queries * 100.0
+            );
+            for g in [Granularity::Column, Granularity::Table] {
+                let objects = ObjectCatalog::uniform(&catalog, g);
+                let loc = locality_analysis(&trace, &objects);
+                let _ = writeln!(
+                    out,
+                    "{} locality: {}/{} touched, top-10 share {:.1}%, mean reuse gap {:.1}",
+                    g.label(),
+                    loc.touched,
+                    loc.universe,
+                    loc.top10_share * 100.0,
+                    loc.mean_reuse_gap
+                );
+                let (gaps, sorted) = byc_analysis::gap_analysis(&trace, &objects);
+                let recommended = gaps
+                    .recommended_cutoff(&sorted, 0.01)
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| ">10000".into());
+                let _ = writeln!(
+                    out,
+                    "{} gaps: p50 {} p90 {} p99 {} max {}; episode cutoff keeping <1% splits: {}",
+                    g.label(),
+                    gaps.p50,
+                    gaps.p90,
+                    gaps.p99,
+                    gaps.max,
+                    recommended
+                );
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert!(run_command(Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_subcommand_rejected() {
+        let err = parse_args(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn policy_names_parse() {
+        assert_eq!(parse_policy("rate-profile").unwrap(), PolicyKind::RateProfile);
+        assert_eq!(parse_policy("RP").unwrap(), PolicyKind::RateProfile);
+        assert_eq!(parse_policy("GDS").unwrap(), PolicyKind::Gds);
+        assert_eq!(parse_policy("lru2").unwrap(), PolicyKind::LruK);
+        assert!(parse_policy("magic").is_err());
+    }
+
+    #[test]
+    fn gen_trace_requires_out() {
+        let err = parse_args(&args(&["gen-trace", "edr"])).unwrap_err();
+        assert!(err.to_string().contains("--out"));
+    }
+
+    #[test]
+    fn run_parses_flags() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "edr",
+            "--policy",
+            "gds",
+            "--granularity",
+            "table",
+            "--cache-fraction",
+            "0.3",
+            "--scale",
+            "0.001",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                trace,
+                policy,
+                granularity,
+                cache_fraction,
+                scale,
+                seed,
+            } => {
+                assert_eq!(trace, "edr");
+                assert_eq!(policy, "gds");
+                assert_eq!(granularity, "table");
+                assert!((cache_fraction - 0.3).abs() < 1e-12);
+                assert!((scale - 0.001).abs() < 1e-12);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_executes_small_scale() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "edr",
+            "--policy",
+            "rate-profile",
+            "--scale",
+            "0.001",
+        ]))
+        .unwrap();
+        // Shrink the trace through a tiny scale; query count stays preset
+        // but generation is fast at this scale.
+        let out = run_command(cmd).unwrap();
+        assert!(out.contains("Rate-Profile"));
+        assert!(out.contains("traffic reduction"));
+    }
+
+    #[test]
+    fn bad_cache_fraction_rejected() {
+        let cmd = Command::Run {
+            trace: "edr".into(),
+            policy: "gds".into(),
+            granularity: "table".into(),
+            cache_fraction: 0.0,
+            scale: 0.001,
+            seed: 1,
+        };
+        assert!(run_command(cmd).is_err());
+    }
+
+    #[test]
+    fn gen_trace_roundtrip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("byc-cli-trace-{}.jsonl", std::process::id()));
+        let cmd = Command::GenTrace {
+            release: "edr".into(),
+            out: path.clone(),
+            seed: 7,
+            scale: 0.001,
+            queries: 200,
+        };
+        let out = run_command(cmd).unwrap();
+        assert!(out.contains("200 queries"));
+        let trace = trace_io::read_trace(&path).unwrap();
+        assert_eq!(trace.len(), 200);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_runs() {
+        let cmd = Command::Analyze {
+            trace: "edr".into(),
+            scale: 0.001,
+            seed: 3,
+        };
+        // Full preset query count at tiny scale is fast enough.
+        let out = run_command(cmd).unwrap();
+        assert!(out.contains("containment"));
+        assert!(out.contains("column locality"));
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let err = parse_args(&args(&["run", "edr", "--cache-fracton", "0.5"])).unwrap_err();
+        assert!(err.to_string().contains("unknown flag --cache-fracton"), "{err}");
+        let err = parse_args(&args(&["gen-trace", "edr", "--policy", "gds"])).unwrap_err();
+        assert!(err.to_string().contains("unknown flag --policy"), "{err}");
+    }
+
+    #[test]
+    fn scale_mismatch_trace_rejected() {
+        // Generate a tiny-scale trace, then replay it against the default
+        // full-scale catalog: the guard must refuse.
+        let mut path = std::env::temp_dir();
+        path.push(format!("byc-cli-mismatch-{}.jsonl", std::process::id()));
+        run_command(Command::GenTrace {
+            release: "edr".into(),
+            out: path.clone(),
+            seed: 7,
+            scale: 1e-4,
+            queries: 100,
+        })
+        .unwrap();
+        let err = run_command(Command::Run {
+            trace: path.to_string_lossy().into_owned(),
+            policy: "gds".into(),
+            granularity: "table".into(),
+            cache_fraction: 0.5,
+            scale: 1.0, // wrong: trace was generated at 1e-4
+            seed: 7,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("different catalog scale"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn granularity_parse_errors() {
+        assert!(parse_granularity("row").is_err());
+        assert!(parse_release("dr9").is_err());
+    }
+}

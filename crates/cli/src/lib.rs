@@ -1,0 +1,9 @@
+//! Command implementations for the `byc` binary.
+//!
+//! Each subcommand is a plain function from parsed arguments to a
+//! [`Result`], so the commands are testable without spawning processes;
+//! `main.rs` only parses `std::env::args` and dispatches.
+
+pub mod commands;
+
+pub use commands::{run_command, Command};

@@ -1,0 +1,18 @@
+//! `byc` — the bypass-yield caching command line.
+
+use byc_cli::commands::{parse_args, run_command};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(run_command) {
+        Ok(output) => {
+            // Ignore broken pipes (`byc ... | head`) instead of panicking.
+            let _ = writeln!(std::io::stdout(), "{output}");
+        }
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "byc: {e}");
+            std::process::exit(1);
+        }
+    }
+}

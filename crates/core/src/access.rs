@@ -1,0 +1,68 @@
+//! The per-object access record presented to caching policies.
+
+use byc_types::{Bytes, ObjectId, Tick};
+use serde::{Deserialize, Serialize};
+
+/// One (query, object) access.
+///
+/// A query that touches several cacheable objects is decomposed by the
+/// mediator into one access per object, each carrying the slice of the
+/// query's yield attributed to that object (paper §6's yield
+/// decomposition). Size and fetch cost travel with the access so policies
+/// need no external object registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// The object being queried.
+    pub object: ObjectId,
+    /// Virtual time: ordinal of the query in the workload.
+    pub time: Tick,
+    /// Bytes of the query's result attributed to this object. This is the
+    /// WAN cost of bypassing and the WAN savings of serving in cache.
+    pub yield_bytes: Bytes,
+    /// The object's size (cache space it would occupy).
+    pub size: Bytes,
+    /// WAN bytes to load the object from its home server.
+    pub fetch_cost: Bytes,
+}
+
+impl Access {
+    /// The yield-to-size ratio `y/s` used by OnlineBY's ski-rental counter
+    /// and SpaceEffBY's coin flip. Zero-sized objects yield 1.0 (such an
+    /// object is free to cache; treat every access as a full request).
+    pub fn yield_fraction(&self) -> f64 {
+        if self.size.is_zero() {
+            1.0
+        } else {
+            self.yield_bytes.as_f64() / self.size.as_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_fraction_ratio() {
+        let a = Access {
+            object: ObjectId::new(1),
+            time: Tick::new(3),
+            yield_bytes: Bytes::new(25),
+            size: Bytes::new(100),
+            fetch_cost: Bytes::new(100),
+        };
+        assert!((a.yield_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_size_object_is_full_request() {
+        let a = Access {
+            object: ObjectId::new(1),
+            time: Tick::ZERO,
+            yield_bytes: Bytes::new(10),
+            size: Bytes::ZERO,
+            fetch_cost: Bytes::ZERO,
+        };
+        assert_eq!(a.yield_fraction(), 1.0);
+    }
+}

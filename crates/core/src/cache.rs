@@ -1,0 +1,331 @@
+//! Cache state shared by all policies: capacity accounting, the utility
+//! heap, and victim planning.
+//!
+//! Mirrors the paper's prototype (§6): "The cache is a binary heap of
+//! database objects in which heap ordering is done based on utility value
+//! ... By maintaining an additional hash table on cached objects, the
+//! cache resolves hits and misses in O(1) time."
+
+use crate::heap::IndexedMinHeap;
+use byc_types::{Bytes, ObjectId, Tick};
+use std::collections::HashMap;
+
+/// Book-keeping for one cached object.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CachedEntry {
+    /// Cache space the object occupies.
+    pub size: Bytes,
+    /// When the object was loaded (start of its cache lifetime).
+    pub loaded_at: Tick,
+    /// Total yield served from the cache over this lifetime (the numerator
+    /// of the rate profile, Eq. 3).
+    pub accum_yield: Bytes,
+    /// Number of queries served from cache over this lifetime.
+    pub hits: u64,
+}
+
+/// Fixed-capacity cache state: hash index for O(1) membership plus a
+/// utility min-heap for victim selection.
+#[derive(Clone, Debug)]
+pub struct CacheState {
+    capacity: Bytes,
+    used: Bytes,
+    entries: HashMap<ObjectId, CachedEntry>,
+    heap: IndexedMinHeap,
+}
+
+impl CacheState {
+    /// An empty cache with the given capacity.
+    pub fn new(capacity: Bytes) -> Self {
+        Self {
+            capacity,
+            used: Bytes::ZERO,
+            entries: HashMap::new(),
+            heap: IndexedMinHeap::new(),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    pub fn used(&self) -> Bytes {
+        self.used
+    }
+
+    /// Bytes currently free.
+    pub fn free(&self) -> Bytes {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True iff `object` is cached.
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.entries.contains_key(&object)
+    }
+
+    /// Entry for `object`, if cached.
+    pub fn entry(&self, object: ObjectId) -> Option<&CachedEntry> {
+        self.entries.get(&object)
+    }
+
+    /// Record a query served from cache: accumulate its yield.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is not cached (a policy bug).
+    pub fn record_hit(&mut self, object: ObjectId, yield_bytes: Bytes) {
+        let e = self
+            .entries
+            .get_mut(&object)
+            .expect("record_hit on non-cached object");
+        e.accum_yield += yield_bytes;
+        e.hits += 1;
+    }
+
+    /// Insert `object`; it must fit in the free space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is already cached or does not fit — callers
+    /// must plan evictions first.
+    pub fn insert(&mut self, object: ObjectId, size: Bytes, utility: f64, now: Tick) {
+        assert!(!self.contains(object), "insert of already-cached {object}");
+        assert!(
+            size <= self.free(),
+            "insert of {object} ({size}) into {} free",
+            self.free()
+        );
+        self.entries.insert(
+            object,
+            CachedEntry {
+                size,
+                loaded_at: now,
+                accum_yield: Bytes::ZERO,
+                hits: 0,
+            },
+        );
+        self.used += size;
+        self.heap.push(object, utility);
+    }
+
+    /// Remove `object`, returning its entry if it was cached.
+    pub fn remove(&mut self, object: ObjectId) -> Option<CachedEntry> {
+        let entry = self.entries.remove(&object)?;
+        self.used -= entry.size;
+        self.heap.remove(object);
+        Some(entry)
+    }
+
+    /// Update the utility key of a cached object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is not cached.
+    pub fn set_utility(&mut self, object: ObjectId, utility: f64) {
+        assert!(self.contains(object), "set_utility on non-cached {object}");
+        self.heap.update_key(object, utility);
+    }
+
+    /// Current utility key of a cached object.
+    pub fn utility(&self, object: ObjectId) -> Option<f64> {
+        self.heap.key_of(object)
+    }
+
+    /// The cached object with minimum utility.
+    pub fn min_utility(&self) -> Option<(ObjectId, f64)> {
+        self.heap.peek_min()
+    }
+
+    /// Iterate cached objects and entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &CachedEntry)> + '_ {
+        self.entries.iter().map(|(&o, e)| (o, e))
+    }
+
+    /// Plan evictions to make room for an incoming object of `size`:
+    /// returns the lowest-utility victims (ascending by utility) whose
+    /// removal frees enough space, or `None` if the object can never fit
+    /// (`size > capacity`). An empty plan means it already fits.
+    pub fn plan_eviction(&self, size: Bytes) -> Option<Vec<(ObjectId, f64)>> {
+        if size > self.capacity {
+            return None;
+        }
+        if size <= self.free() {
+            return Some(Vec::new());
+        }
+        let mut by_utility: Vec<(ObjectId, f64)> = self.heap.iter().collect();
+        by_utility.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut freed = self.free();
+        let mut victims = Vec::new();
+        for (object, utility) in by_utility {
+            if freed >= size {
+                break;
+            }
+            freed += self.entries[&object].size;
+            victims.push((object, utility));
+        }
+        debug_assert!(freed >= size);
+        Some(victims)
+    }
+
+    /// Evict the planned victims and insert the object in one step.
+    pub fn evict_and_insert(
+        &mut self,
+        victims: &[(ObjectId, f64)],
+        object: ObjectId,
+        size: Bytes,
+        utility: f64,
+        now: Tick,
+    ) {
+        for &(v, _) in victims {
+            self.remove(v);
+        }
+        self.insert(object, size, utility, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    fn cache(cap: u64) -> CacheState {
+        CacheState::new(Bytes::new(cap))
+    }
+
+    #[test]
+    fn insert_accounts_space() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(60), 1.0, Tick::ZERO);
+        assert_eq!(c.used(), Bytes::new(60));
+        assert_eq!(c.free(), Bytes::new(40));
+        assert!(c.contains(oid(0)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "into 40 B free")]
+    fn oversized_insert_panics() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(60), 1.0, Tick::ZERO);
+        c.insert(oid(1), Bytes::new(60), 1.0, Tick::ZERO);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(60), 1.0, Tick::ZERO);
+        let e = c.remove(oid(0)).unwrap();
+        assert_eq!(e.size, Bytes::new(60));
+        assert_eq!(c.used(), Bytes::ZERO);
+        assert!(c.remove(oid(0)).is_none());
+    }
+
+    #[test]
+    fn record_hit_accumulates() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(10), 1.0, Tick::new(5));
+        c.record_hit(oid(0), Bytes::new(3));
+        c.record_hit(oid(0), Bytes::new(4));
+        let e = c.entry(oid(0)).unwrap();
+        assert_eq!(e.accum_yield, Bytes::new(7));
+        assert_eq!(e.hits, 2);
+        assert_eq!(e.loaded_at, Tick::new(5));
+    }
+
+    #[test]
+    fn min_utility_tracks_heap() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(10), 5.0, Tick::ZERO);
+        c.insert(oid(1), Bytes::new(10), 2.0, Tick::ZERO);
+        assert_eq!(c.min_utility(), Some((oid(1), 2.0)));
+        c.set_utility(oid(1), 9.0);
+        assert_eq!(c.min_utility(), Some((oid(0), 5.0)));
+        assert_eq!(c.utility(oid(1)), Some(9.0));
+    }
+
+    #[test]
+    fn plan_eviction_none_when_too_big() {
+        let c = cache(100);
+        assert!(c.plan_eviction(Bytes::new(101)).is_none());
+        assert_eq!(c.plan_eviction(Bytes::new(100)), Some(vec![]));
+    }
+
+    #[test]
+    fn plan_eviction_picks_lowest_utilities() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(40), 3.0, Tick::ZERO);
+        c.insert(oid(1), Bytes::new(40), 1.0, Tick::ZERO);
+        c.insert(oid(2), Bytes::new(20), 2.0, Tick::ZERO);
+        // Need 50: free 0; evict utility-1 (40) then utility-2 (20).
+        let plan = c.plan_eviction(Bytes::new(50)).unwrap();
+        assert_eq!(
+            plan.iter().map(|&(o, _)| o).collect::<Vec<_>>(),
+            vec![oid(1), oid(2)]
+        );
+    }
+
+    #[test]
+    fn evict_and_insert_applies_plan() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(40), 3.0, Tick::ZERO);
+        c.insert(oid(1), Bytes::new(40), 1.0, Tick::ZERO);
+        let plan = c.plan_eviction(Bytes::new(50)).unwrap();
+        c.evict_and_insert(&plan, oid(9), Bytes::new(50), 7.0, Tick::new(4));
+        assert!(c.contains(oid(9)));
+        assert!(!c.contains(oid(1)));
+        assert!(c.contains(oid(0)));
+        assert_eq!(c.used(), Bytes::new(90));
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(10), 1.0, Tick::ZERO);
+        c.insert(oid(1), Bytes::new(10), 2.0, Tick::ZERO);
+        assert_eq!(c.iter().count(), 2);
+    }
+
+    #[test]
+    fn capacity_invariant_under_churn() {
+        let mut c = cache(1000);
+        let mut rng = byc_types::SplitMix64::new(5);
+        for step in 0..2_000u32 {
+            let o = oid(rng.next_bounded(50) as u32);
+            if c.contains(o) {
+                if rng.chance(0.3) {
+                    c.remove(o);
+                } else {
+                    c.record_hit(o, Bytes::new(rng.next_bounded(100)));
+                    c.set_utility(o, rng.next_f64());
+                }
+            } else {
+                let size = Bytes::new(rng.next_range(1, 200));
+                if let Some(plan) = c.plan_eviction(size) {
+                    c.evict_and_insert(&plan, o, size, rng.next_f64(), Tick::new(step as u64));
+                }
+            }
+            assert!(c.used() <= c.capacity(), "overflow at step {step}");
+            let sum: Bytes = c.iter().map(|(_, e)| e.size).sum();
+            assert_eq!(sum, c.used(), "accounting drift at step {step}");
+        }
+    }
+}

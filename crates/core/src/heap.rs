@@ -1,0 +1,323 @@
+//! An indexed binary min-heap keyed by `f64` utility.
+//!
+//! The paper's prototype keeps "a binary heap of database objects in which
+//! heap ordering is done based on utility value" with O(log k) insertion
+//! and O(1) eviction of the minimum (§6). Cache policies additionally need
+//! to *re-key* entries (rate profiles decay with time; GDS ages utilities),
+//! so this heap supports `update_key` and `remove` by object id through a
+//! position index.
+
+use byc_types::ObjectId;
+
+/// Indexed binary min-heap over (object, utility) pairs.
+///
+/// Utilities must not be NaN; `debug_assert`s guard this. Ties are broken
+/// arbitrarily but deterministically.
+#[derive(Clone, Debug, Default)]
+pub struct IndexedMinHeap {
+    /// Heap-ordered (object, key) pairs.
+    items: Vec<(ObjectId, f64)>,
+    /// object index → position in `items`, or `usize::MAX` when absent.
+    positions: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl IndexedMinHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True iff `object` is present.
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.positions
+            .get(object.index())
+            .is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Current key of `object`, if present.
+    pub fn key_of(&self, object: ObjectId) -> Option<f64> {
+        let &pos = self.positions.get(object.index())?;
+        (pos != ABSENT).then(|| self.items[pos].1)
+    }
+
+    /// The minimum entry without removing it.
+    pub fn peek_min(&self) -> Option<(ObjectId, f64)> {
+        self.items.first().copied()
+    }
+
+    /// Insert `object` with `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is already present (policies track membership).
+    pub fn push(&mut self, object: ObjectId, key: f64) {
+        debug_assert!(!key.is_nan(), "heap keys must not be NaN");
+        assert!(!self.contains(object), "duplicate heap insert for {object}");
+        if self.positions.len() <= object.index() {
+            self.positions.resize(object.index() + 1, ABSENT);
+        }
+        let pos = self.items.len();
+        self.items.push((object, key));
+        self.positions[object.index()] = pos;
+        self.sift_up(pos);
+    }
+
+    /// Remove and return the minimum entry.
+    pub fn pop_min(&mut self) -> Option<(ObjectId, f64)> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let min = self.items[0];
+        self.remove_at(0);
+        Some(min)
+    }
+
+    /// Remove `object`, returning its key if it was present.
+    pub fn remove(&mut self, object: ObjectId) -> Option<f64> {
+        let &pos = self.positions.get(object.index())?;
+        if pos == ABSENT {
+            return None;
+        }
+        let key = self.items[pos].1;
+        self.remove_at(pos);
+        Some(key)
+    }
+
+    /// Change the key of `object`; inserts if absent.
+    pub fn update_key(&mut self, object: ObjectId, key: f64) {
+        debug_assert!(!key.is_nan(), "heap keys must not be NaN");
+        match self.positions.get(object.index()).copied() {
+            Some(pos) if pos != ABSENT => {
+                let old = self.items[pos].1;
+                self.items[pos].1 = key;
+                if key < old {
+                    self.sift_up(pos);
+                } else if key > old {
+                    self.sift_down(pos);
+                }
+            }
+            _ => self.push(object, key),
+        }
+    }
+
+    /// Iterate entries in unspecified (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, f64)> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Drain all entries, unordered.
+    pub fn clear(&mut self) {
+        for &(o, _) in &self.items {
+            self.positions[o.index()] = ABSENT;
+        }
+        self.items.clear();
+    }
+
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.items.len() - 1;
+        let (removed, _) = self.items[pos];
+        self.items.swap(pos, last);
+        self.items.pop();
+        self.positions[removed.index()] = ABSENT;
+        if pos < self.items.len() {
+            self.positions[self.items[pos].0.index()] = pos;
+            // The swapped-in element may need to move either way.
+            self.sift_up(pos);
+            self.sift_down(pos);
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.items[pos].1 < self.items[parent].1 {
+                self.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut smallest = pos;
+            if left < self.items.len() && self.items[left].1 < self.items[smallest].1 {
+                smallest = left;
+            }
+            if right < self.items.len() && self.items[right].1 < self.items[smallest].1 {
+                smallest = right;
+            }
+            if smallest == pos {
+                break;
+            }
+            self.swap(pos, smallest);
+            pos = smallest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.items.swap(a, b);
+        self.positions[self.items[a].0.index()] = a;
+        self.positions[self.items[b].0.index()] = b;
+    }
+
+    /// Check the heap invariant and index consistency (test helper).
+    #[doc(hidden)]
+    pub fn validate(&self) -> bool {
+        for (pos, &(o, key)) in self.items.iter().enumerate() {
+            if self.positions[o.index()] != pos {
+                return false;
+            }
+            if pos > 0 {
+                let parent = (pos - 1) / 2;
+                if key < self.items[parent].1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byc_types::SplitMix64;
+
+    fn oid(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    #[test]
+    fn push_pop_in_order() {
+        let mut h = IndexedMinHeap::new();
+        h.push(oid(0), 5.0);
+        h.push(oid(1), 1.0);
+        h.push(oid(2), 3.0);
+        assert_eq!(h.pop_min(), Some((oid(1), 1.0)));
+        assert_eq!(h.pop_min(), Some((oid(2), 3.0)));
+        assert_eq!(h.pop_min(), Some((oid(0), 5.0)));
+        assert_eq!(h.pop_min(), None);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut h = IndexedMinHeap::new();
+        h.push(oid(7), 2.0);
+        assert_eq!(h.peek_min(), Some((oid(7), 2.0)));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn contains_and_key_of() {
+        let mut h = IndexedMinHeap::new();
+        h.push(oid(3), 9.0);
+        assert!(h.contains(oid(3)));
+        assert!(!h.contains(oid(4)));
+        assert_eq!(h.key_of(oid(3)), Some(9.0));
+        assert_eq!(h.key_of(oid(99)), None);
+    }
+
+    #[test]
+    fn remove_middle_preserves_invariant() {
+        let mut h = IndexedMinHeap::new();
+        for i in 0..20 {
+            h.push(oid(i), (i as f64 * 7.3) % 11.0);
+        }
+        assert!(h.validate());
+        assert!(h.remove(oid(10)).is_some());
+        assert!(h.remove(oid(0)).is_some());
+        assert!(h.remove(oid(19)).is_some());
+        assert_eq!(h.remove(oid(10)), None);
+        assert!(h.validate());
+        assert_eq!(h.len(), 17);
+    }
+
+    #[test]
+    fn update_key_reorders() {
+        let mut h = IndexedMinHeap::new();
+        h.push(oid(0), 1.0);
+        h.push(oid(1), 2.0);
+        h.push(oid(2), 3.0);
+        h.update_key(oid(2), 0.5);
+        assert_eq!(h.peek_min(), Some((oid(2), 0.5)));
+        h.update_key(oid(2), 10.0);
+        assert_eq!(h.peek_min(), Some((oid(0), 1.0)));
+        assert!(h.validate());
+    }
+
+    #[test]
+    fn update_key_inserts_when_absent() {
+        let mut h = IndexedMinHeap::new();
+        h.update_key(oid(5), 4.0);
+        assert_eq!(h.key_of(oid(5)), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate heap insert")]
+    fn duplicate_push_panics() {
+        let mut h = IndexedMinHeap::new();
+        h.push(oid(1), 1.0);
+        h.push(oid(1), 2.0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut h = IndexedMinHeap::new();
+        h.push(oid(0), 1.0);
+        h.push(oid(1), 2.0);
+        h.clear();
+        assert!(h.is_empty());
+        assert!(!h.contains(oid(0)));
+        h.push(oid(0), 3.0); // reusable after clear
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn randomized_against_sort() {
+        let mut rng = SplitMix64::new(99);
+        let mut h = IndexedMinHeap::new();
+        let mut reference: Vec<(u32, f64)> = Vec::new();
+        for i in 0..500u32 {
+            let key = rng.next_f64();
+            h.push(oid(i), key);
+            reference.push((i, key));
+        }
+        // Random removals.
+        for _ in 0..200 {
+            let pick = rng.next_bounded(reference.len() as u64) as usize;
+            let (id, _) = reference.swap_remove(pick);
+            h.remove(oid(id));
+        }
+        // Random re-keys.
+        for _ in 0..100 {
+            let pick = rng.next_bounded(reference.len() as u64) as usize;
+            let new_key = rng.next_f64();
+            reference[pick].1 = new_key;
+            h.update_key(oid(reference[pick].0), new_key);
+        }
+        assert!(h.validate());
+        reference.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for &(id, key) in &reference {
+            let (got_id, got_key) = h.pop_min().unwrap();
+            assert_eq!(got_key, key);
+            assert_eq!(got_id, oid(id));
+        }
+        assert!(h.is_empty());
+    }
+}

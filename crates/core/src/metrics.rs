@@ -1,0 +1,150 @@
+//! Yield-sensitive cache metrics: byte-yield hit rate (BYHR) and
+//! byte-yield utility (BYU).
+//!
+//! For an object `o_i` of size `s_i` and fetch cost `f_i`, accessed by
+//! queries `q_{i,j}` with probabilities `p_{i,j}` and yields `y_{i,j}`
+//! (paper Eqs. 1–2):
+//!
+//! ```text
+//! BYHR_i = Σ_j  p_{i,j} · y_{i,j} · f_i / s_i²
+//! BYU_i  = Σ_j  p_{i,j} · y_{i,j} / s_i
+//! ```
+//!
+//! BYU is the uniform-network simplification (`f_i = c · s_i`). The
+//! metrics generalize earlier models: with yields equal to object size,
+//! BYU degenerates to hit rate (page model) and BYHR to GDSP's
+//! frequency × cost / size utility (object model) — properties the tests
+//! pin down.
+
+use byc_types::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// One query class against an object: its access probability and yield.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryProfile {
+    /// Probability of this query class occurring.
+    pub probability: f64,
+    /// Bytes the query returns from the object.
+    pub yield_bytes: Bytes,
+}
+
+impl QueryProfile {
+    /// Construct a profile entry.
+    pub fn new(probability: f64, yield_bytes: Bytes) -> Self {
+        debug_assert!((0.0..=1.0).contains(&probability));
+        Self {
+            probability,
+            yield_bytes,
+        }
+    }
+}
+
+/// Byte-yield hit rate of an object (Eq. 1): expected network savings per
+/// unit time, normalized per byte of cache space, weighted by the cost of
+/// re-fetching the object.
+///
+/// Zero-sized objects have infinite utility conceptually; we return
+/// `f64::INFINITY` when any query has positive mass, else 0.
+pub fn byhr(size: Bytes, fetch_cost: Bytes, queries: &[QueryProfile]) -> f64 {
+    let expected_yield: f64 = queries
+        .iter()
+        .map(|q| q.probability * q.yield_bytes.as_f64())
+        .sum();
+    if size.is_zero() {
+        return if expected_yield > 0.0 { f64::INFINITY } else { 0.0 };
+    }
+    expected_yield * fetch_cost.as_f64() / (size.as_f64() * size.as_f64())
+}
+
+/// Byte-yield utility of an object (Eq. 2): the uniform-network
+/// simplification of BYHR.
+pub fn byu(size: Bytes, queries: &[QueryProfile]) -> f64 {
+    let expected_yield: f64 = queries
+        .iter()
+        .map(|q| q.probability * q.yield_bytes.as_f64())
+        .sum();
+    if size.is_zero() {
+        return if expected_yield > 0.0 { f64::INFINITY } else { 0.0 };
+    }
+    expected_yield / size.as_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byu_formula() {
+        // Two query classes: p=0.5 yielding 100, p=0.25 yielding 40.
+        let qs = [
+            QueryProfile::new(0.5, Bytes::new(100)),
+            QueryProfile::new(0.25, Bytes::new(40)),
+        ];
+        let v = byu(Bytes::new(200), &qs);
+        assert!((v - (0.5 * 100.0 + 0.25 * 40.0) / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byhr_formula() {
+        let qs = [QueryProfile::new(0.5, Bytes::new(100))];
+        let v = byhr(Bytes::new(200), Bytes::new(400), &qs);
+        assert!((v - 50.0 * 400.0 / (200.0 * 200.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byhr_reduces_to_byu_on_uniform_networks() {
+        // With f = c·s, BYHR = c · BYU.
+        let qs = [
+            QueryProfile::new(0.3, Bytes::new(70)),
+            QueryProfile::new(0.1, Bytes::new(10)),
+        ];
+        let s = Bytes::new(500);
+        let c = 3.0;
+        let f = s.scale(c);
+        assert!((byhr(s, f, &qs) - c * byu(s, &qs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byu_degenerates_to_hit_rate_in_page_model() {
+        // Page model: constant object size, yield = size. BYU = Σ p,
+        // the hit probability.
+        let s = Bytes::new(4096);
+        let qs = [
+            QueryProfile::new(0.2, s),
+            QueryProfile::new(0.05, s),
+        ];
+        assert!((byu(s, &qs) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byhr_degenerates_to_gdsp_in_object_model() {
+        // Object model: yield = size. BYHR = (Σ p) · f / s — access
+        // frequency times cost per byte, which is GDSP's utility.
+        let s = Bytes::new(1000);
+        let f = Bytes::new(5000);
+        let qs = [QueryProfile::new(0.4, s)];
+        assert!((byhr(s, f, &qs) - 0.4 * 5000.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_size_edge() {
+        let qs = [QueryProfile::new(0.5, Bytes::new(10))];
+        assert!(byu(Bytes::ZERO, &qs).is_infinite());
+        assert!(byhr(Bytes::ZERO, Bytes::ZERO, &qs).is_infinite());
+        assert_eq!(byu(Bytes::ZERO, &[]), 0.0);
+    }
+
+    #[test]
+    fn empty_profile_zero_utility() {
+        assert_eq!(byu(Bytes::new(10), &[]), 0.0);
+        assert_eq!(byhr(Bytes::new(10), Bytes::new(10), &[]), 0.0);
+    }
+
+    #[test]
+    fn higher_yield_higher_utility() {
+        let small = [QueryProfile::new(0.5, Bytes::new(10))];
+        let large = [QueryProfile::new(0.5, Bytes::new(100))];
+        let s = Bytes::new(1000);
+        assert!(byu(s, &large) > byu(s, &small));
+    }
+}

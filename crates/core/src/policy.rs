@@ -1,0 +1,97 @@
+//! The policy interface: one decision per (query, object) access.
+
+use crate::access::Access;
+use byc_types::{Bytes, ObjectId};
+
+/// A policy's answer to one access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// The object is cached; serve the query locally. WAN cost: 0.
+    Hit,
+    /// Ship the (sub)query to the object's home server. WAN cost: the
+    /// access's yield.
+    Bypass,
+    /// Load the object into the cache (evicting `evictions` first), then
+    /// serve the query locally. WAN cost: the object's fetch cost.
+    Load {
+        /// Objects evicted to make room, in eviction order.
+        evictions: Vec<ObjectId>,
+    },
+}
+
+impl Decision {
+    /// A load with no evictions.
+    pub fn load() -> Self {
+        Decision::Load {
+            evictions: Vec::new(),
+        }
+    }
+
+    /// True for [`Decision::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Decision::Hit)
+    }
+
+    /// True for [`Decision::Bypass`].
+    pub fn is_bypass(&self) -> bool {
+        matches!(self, Decision::Bypass)
+    }
+
+    /// True for [`Decision::Load`].
+    pub fn is_load(&self) -> bool {
+        matches!(self, Decision::Load { .. })
+    }
+}
+
+/// A cache-management policy.
+///
+/// Policies own their cache state. The simulator presents accesses in
+/// trace order and audits the invariants: a `Hit` requires the object to
+/// have been cached, a `Load` must not overflow the capacity, and in-line
+/// policies never answer `Bypass` for an object that fits.
+pub trait CachePolicy {
+    /// Stable display name ("Rate-Profile", "GDS", ...).
+    fn name(&self) -> &'static str;
+
+    /// Decide how to serve one access.
+    fn on_access(&mut self, access: &Access) -> Decision;
+
+    /// True iff `object` is currently cached.
+    fn contains(&self, object: ObjectId) -> bool;
+
+    /// Bytes currently occupied.
+    fn used(&self) -> Bytes;
+
+    /// Configured capacity.
+    fn capacity(&self) -> Bytes;
+
+    /// Currently cached objects, in unspecified order (introspection for
+    /// tests and reports).
+    fn cached_objects(&self) -> Vec<ObjectId>;
+
+    /// Drop `object` from the cache because its backing data or metadata
+    /// changed at the server (the SkyQuery metadata-change notification of
+    /// paper §6). Returns true iff the object was cached. The default
+    /// suits stateless policies that never cache.
+    fn invalidate(&mut self, object: ObjectId) -> bool {
+        let _ = object;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_predicates() {
+        assert!(Decision::Hit.is_hit());
+        assert!(Decision::Bypass.is_bypass());
+        assert!(Decision::load().is_load());
+        assert!(!Decision::Hit.is_load());
+        assert_eq!(
+            Decision::load(),
+            Decision::Load { evictions: vec![] }
+        );
+    }
+}

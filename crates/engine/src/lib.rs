@@ -1,0 +1,27 @@
+//! Query engine substrate: selectivity estimation, the yield model, and a
+//! small in-memory row-store executor.
+//!
+//! The bypass-yield cost model runs entirely on *yields* — the number of
+//! bytes a query's result occupies on the wire (paper §3). The paper
+//! measured yields by re-executing traces against the real SDSS servers;
+//! we compute them analytically from synthetic column statistics so that
+//! every caching policy sees identical, deterministic yields (DESIGN.md
+//! substitution table).
+//!
+//! * [`selectivity`] — per-predicate and per-query selectivity estimation
+//!   over the uniform-domain statistics carried by the catalog.
+//! * [`yield_model`] — result-size estimation and the per-object yield
+//!   decomposition of paper §6 (tables: by unique-attribute contribution;
+//!   columns: by storage-width ratio).
+//! * [`executor`] — a deterministic synthetic row store that actually
+//!   executes resolved queries at small scale. Tests use it to validate
+//!   that the analytic model tracks real result sizes.
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod selectivity;
+pub mod yield_model;
+
+pub use selectivity::{predicate_selectivity, table_selectivity};
+pub use yield_model::{YieldBreakdown, YieldModel};

@@ -1,0 +1,119 @@
+//! WAN cost accounting: the paper's evaluation metric.
+
+use byc_types::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Network costs and decision counts of one policy over one trace.
+///
+/// Matches the columns of the paper's Tables 1–2: bypass cost (`D_S`),
+/// fetch cost (`D_L`), and their sum, next to the sequence cost the
+/// no-cache configuration would ship.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Policy display name.
+    pub policy: String,
+    /// Trace name.
+    pub trace: String,
+    /// Object granularity label ("table" / "column").
+    pub granularity: String,
+    /// Number of queries replayed.
+    pub queries: usize,
+    /// Total result bytes delivered to clients (`D_A`): the sequence cost.
+    pub sequence_cost: Bytes,
+    /// WAN bytes of bypassed (server-evaluated) results (`D_S`).
+    pub bypass_cost: Bytes,
+    /// WAN bytes spent loading objects into the cache (`D_L`).
+    pub fetch_cost: Bytes,
+    /// Result bytes served out of the cache (`D_C`, LAN only).
+    pub cache_served: Bytes,
+    /// Per-object-access decision counts.
+    pub hits: u64,
+    /// Bypassed accesses.
+    pub bypasses: u64,
+    /// Cache loads.
+    pub loads: u64,
+    /// Objects evicted over the run.
+    pub evictions: u64,
+}
+
+impl CostReport {
+    /// Total WAN traffic: `D_S + D_L` — the quantity every algorithm
+    /// minimizes.
+    pub fn total_cost(&self) -> Bytes {
+        self.bypass_cost + self.fetch_cost
+    }
+
+    /// Sequence cost divided by total cost: how many times the policy
+    /// shrinks network traffic versus no caching.
+    pub fn reduction_factor(&self) -> f64 {
+        let total = self.total_cost().as_f64();
+        if total == 0.0 {
+            f64::INFINITY
+        } else {
+            self.sequence_cost.as_f64() / total
+        }
+    }
+
+    /// Byte hit rate: fraction of delivered result bytes served from the
+    /// cache.
+    pub fn byte_hit_rate(&self) -> f64 {
+        let seq = self.sequence_cost.as_f64();
+        if seq == 0.0 {
+            0.0
+        } else {
+            self.cache_served.as_f64() / seq
+        }
+    }
+
+    /// The conservation invariant `D_A = D_S + D_C`.
+    pub fn conserves_delivery(&self) -> bool {
+        self.sequence_cost == self.bypass_cost + self.cache_served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> CostReport {
+        CostReport {
+            policy: "X".into(),
+            trace: "T".into(),
+            granularity: "table".into(),
+            queries: 10,
+            sequence_cost: Bytes::new(1000),
+            bypass_cost: Bytes::new(300),
+            fetch_cost: Bytes::new(200),
+            cache_served: Bytes::new(700),
+            hits: 7,
+            bypasses: 3,
+            loads: 2,
+            evictions: 1,
+        }
+    }
+
+    #[test]
+    fn totals_and_factors() {
+        let r = report();
+        assert_eq!(r.total_cost(), Bytes::new(500));
+        assert!((r.reduction_factor() - 2.0).abs() < 1e-12);
+        assert!((r.byte_hit_rate() - 0.7).abs() < 1e-12);
+        assert!(r.conserves_delivery());
+    }
+
+    #[test]
+    fn zero_cost_is_infinite_reduction() {
+        let r = CostReport {
+            sequence_cost: Bytes::new(10),
+            ..Default::default()
+        };
+        assert!(r.reduction_factor().is_infinite());
+    }
+
+    #[test]
+    fn conservation_detects_imbalance() {
+        let mut r = report();
+        r.cache_served = Bytes::new(600);
+        assert!(!r.conserves_delivery());
+    }
+}

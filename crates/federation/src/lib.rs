@@ -1,0 +1,38 @@
+//! Federation substrate: mediator, trace replay, WAN cost accounting, and
+//! parameter sweeps.
+//!
+//! The paper's setting (§3, Figure 1): clients query a mediator; a cache
+//! collocated with the mediator serves parts of queries locally and
+//! *bypasses* the rest to the back-end database servers. The network
+//! traffic to minimize is the WAN flow — bypassed results (`D_S`) plus
+//! cache loads (`D_L`); the client always receives the same result bytes
+//! (`D_A = D_S + D_C`) regardless of caching configuration, an invariant
+//! [`simulator::replay`] checks on every query.
+//!
+//! * [`accounting`] — [`accounting::CostReport`]: the bypass/fetch/total
+//!   breakdown of Tables 1–2 plus hit/bypass/load counters.
+//! * [`simulator`] — audited trace replay of any
+//!   [`CachePolicy`](byc_core::policy::CachePolicy), with optional
+//!   cumulative-cost series capture (Figs 7–8).
+//! * [`mediator`] — the end-to-end service: SQL text in, routed
+//!   subqueries and decisions out (what the examples drive).
+//! * [`policies`] — the named policy roster used by every experiment.
+//! * [`semantic`] — the query-result (semantic) cache baseline the paper
+//!   rejects in §6.1, implemented so the rejection is measurable.
+//! * [`sweep`] — multi-threaded cache-size sweeps (Figs 9–10).
+
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod mediator;
+pub mod policies;
+pub mod semantic;
+pub mod simulator;
+pub mod sweep;
+
+pub use accounting::CostReport;
+pub use semantic::{SemanticCache, SemanticReport};
+pub use mediator::Mediator;
+pub use policies::{build_policy, policy_roster, PolicyKind};
+pub use simulator::{replay, replay_with_series, SeriesPoint};
+pub use sweep::{sweep_cache_sizes, SweepPoint};

@@ -1,0 +1,294 @@
+//! The mediator: the end-to-end query service of the federation.
+//!
+//! A [`Mediator`] owns the catalog, the cacheable-object view, and a
+//! caching policy. Clients submit SQL text; the mediator parses, resolves,
+//! and prices the query, consults the policy per referenced object, and
+//! reports where each slice of the result came from and what it cost the
+//! WAN — exactly the role SkyQuery's mediation middleware plays in the
+//! paper's architecture (§3, Figure 1), with bypassed sub-queries routed
+//! to their home servers.
+
+use crate::simulator::accesses_of;
+use byc_catalog::{Catalog, Granularity, ObjectCatalog};
+use byc_core::policy::{CachePolicy, Decision};
+use byc_engine::YieldModel;
+use byc_sql::{analyze, parse};
+use byc_types::{Bytes, ObjectId, QueryId, Result, ServerId, Tick};
+use byc_workload::TraceQuery;
+
+/// Where one object's slice of a query was served.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectOutcome {
+    /// The cacheable object.
+    pub object: ObjectId,
+    /// The object's home server (where bypassed slices are routed).
+    pub server: ServerId,
+    /// Result bytes attributed to the object.
+    pub yield_bytes: Bytes,
+    /// The policy's decision.
+    pub decision: Decision,
+}
+
+/// The mediator's answer to one query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServedQuery {
+    /// Query ordinal (the mediator's clock).
+    pub id: QueryId,
+    /// Total result bytes delivered to the client.
+    pub delivered: Bytes,
+    /// Result bytes served out of the collocated cache.
+    pub from_cache: Bytes,
+    /// Result bytes shipped from back-end servers (bypass traffic).
+    pub from_servers: Bytes,
+    /// WAN bytes spent on cache loads triggered by this query.
+    pub load_traffic: Bytes,
+    /// Per-object outcomes, in decomposition order.
+    pub outcomes: Vec<ObjectOutcome>,
+}
+
+impl ServedQuery {
+    /// WAN traffic this query generated (bypass + loads).
+    pub fn wan_cost(&self) -> Bytes {
+        self.from_servers + self.load_traffic
+    }
+}
+
+/// The mediation middleware with its collocated bypass-yield cache.
+pub struct Mediator {
+    catalog: Catalog,
+    objects: ObjectCatalog,
+    policy: Box<dyn CachePolicy>,
+    clock: Tick,
+    served: u64,
+    wan_total: Bytes,
+}
+
+impl Mediator {
+    /// Build a mediator over `catalog` caching at `granularity` with the
+    /// given policy.
+    pub fn new(catalog: Catalog, granularity: Granularity, policy: Box<dyn CachePolicy>) -> Self {
+        let objects = ObjectCatalog::uniform(&catalog, granularity);
+        Self {
+            catalog,
+            objects,
+            policy,
+            clock: Tick::ZERO,
+            served: 0,
+            wan_total: Bytes::ZERO,
+        }
+    }
+
+    /// The schema catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The cacheable-object view.
+    pub fn objects(&self) -> &ObjectCatalog {
+        &self.objects
+    }
+
+    /// Queries served so far.
+    pub fn served_count(&self) -> u64 {
+        self.served
+    }
+
+    /// Total WAN traffic generated so far.
+    pub fn wan_total(&self) -> Bytes {
+        self.wan_total
+    }
+
+    /// Metadata-change notification (paper §6): the server announced that
+    /// `table` changed (re-calibration, new materialized view, modified
+    /// index). Every cacheable object backed by the table is invalidated;
+    /// returns how many cached objects were dropped. User data itself is
+    /// immutable between releases, so this is the only consistency event
+    /// the federation needs.
+    ///
+    /// # Errors
+    ///
+    /// [`byc_types::Error::UnknownName`] when the table is not in the
+    /// catalog.
+    pub fn invalidate_table(&mut self, table: &str) -> Result<usize> {
+        let table = self.catalog.table_by_name(table)?;
+        let mut dropped = 0usize;
+        match self.objects.granularity() {
+            byc_catalog::Granularity::Table => {
+                if let Ok(o) = self.objects.object_for_table(table.id) {
+                    if self.policy.invalidate(o) {
+                        dropped += 1;
+                    }
+                }
+            }
+            byc_catalog::Granularity::Column => {
+                for &c in &table.columns {
+                    if let Ok(o) = self.objects.object_for_column(c) {
+                        if self.policy.invalidate(o) {
+                            dropped += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(dropped)
+    }
+
+    /// Parse, price, and serve one SQL query.
+    ///
+    /// # Errors
+    ///
+    /// Parse and semantic errors from the SQL substrate.
+    pub fn serve_sql(&mut self, sql: &str) -> Result<ServedQuery> {
+        let query = parse(sql)?;
+        let resolved = analyze(&self.catalog, &query)?;
+        let breakdown = YieldModel::new(&self.catalog).estimate(&resolved);
+        let tq = TraceQuery {
+            id: QueryId::new(self.served as u32),
+            sql: sql.to_string(),
+            template: u32::MAX,
+            data_keys: Vec::new(),
+            tables: resolved.table_ids().collect(),
+            columns: resolved.column_ids().collect(),
+            total_yield: breakdown.total,
+            table_yields: breakdown.per_table,
+            column_yields: breakdown.per_column,
+        };
+        Ok(self.serve_trace_query(&tq))
+    }
+
+    /// Serve an already-analyzed trace query (the replay path).
+    pub fn serve_trace_query(&mut self, tq: &TraceQuery) -> ServedQuery {
+        let id = QueryId::new(self.served as u32);
+        let mut outcome = ServedQuery {
+            id,
+            delivered: Bytes::ZERO,
+            from_cache: Bytes::ZERO,
+            from_servers: Bytes::ZERO,
+            load_traffic: Bytes::ZERO,
+            outcomes: Vec::new(),
+        };
+        for access in accesses_of(tq, &self.objects, self.clock) {
+            let info = self.objects.info(access.object);
+            let decision = self.policy.on_access(&access);
+            outcome.delivered += access.yield_bytes;
+            match &decision {
+                Decision::Hit => outcome.from_cache += access.yield_bytes,
+                Decision::Bypass => outcome.from_servers += access.yield_bytes,
+                Decision::Load { .. } => {
+                    outcome.load_traffic += access.fetch_cost;
+                    outcome.from_cache += access.yield_bytes;
+                }
+            }
+            outcome.outcomes.push(ObjectOutcome {
+                object: access.object,
+                server: info.server,
+                yield_bytes: access.yield_bytes,
+                decision,
+            });
+        }
+        self.clock = self.clock.next();
+        self.served += 1;
+        self.wan_total += outcome.wan_cost();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byc_catalog::sdss::{build, SdssRelease};
+    use byc_core::rate_profile::{RateProfile, RateProfileConfig};
+
+    fn mediator(granularity: Granularity) -> Mediator {
+        let catalog = build(SdssRelease::Edr, 1e-4, 2);
+        let db = catalog.database_size();
+        let policy = Box::new(RateProfile::new(
+            db.scale(0.5),
+            RateProfileConfig::default(),
+        ));
+        Mediator::new(catalog, granularity, policy)
+    }
+
+    const SQL: &str = "select p.ra, p.dec from PhotoObj p \
+                       where p.ra between 100 and 140";
+
+    #[test]
+    fn serves_sql_end_to_end() {
+        let mut m = mediator(Granularity::Column);
+        let served = m.serve_sql(SQL).unwrap();
+        assert!(served.delivered > Bytes::ZERO);
+        assert_eq!(
+            served.delivered,
+            served.from_cache + served.from_servers
+        );
+        assert_eq!(served.outcomes.len(), 2); // ra, dec
+        assert_eq!(m.served_count(), 1);
+        assert_eq!(m.wan_total(), served.wan_cost());
+    }
+
+    #[test]
+    fn repeated_hot_query_migrates_to_cache() {
+        let mut m = mediator(Granularity::Column);
+        let mut saw_cache = false;
+        for _ in 0..20 {
+            let served = m.serve_sql(SQL).unwrap();
+            if served.from_cache == served.delivered && served.load_traffic.is_zero() {
+                saw_cache = true;
+                break;
+            }
+        }
+        assert!(saw_cache, "hot query should end up fully cache-served");
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let mut m = mediator(Granularity::Table);
+        assert!(m.serve_sql("selec nonsense").is_err());
+        assert!(m.serve_sql("select x from NoSuchTable").is_err());
+        assert_eq!(m.served_count(), 0);
+    }
+
+    #[test]
+    fn outcomes_route_to_home_servers() {
+        let mut m = mediator(Granularity::Table);
+        let served = m.serve_sql(SQL).unwrap();
+        let photo = m.catalog().table_by_name("PhotoObj").unwrap();
+        for o in &served.outcomes {
+            assert_eq!(o.server, photo.server);
+        }
+    }
+
+    #[test]
+    fn metadata_invalidation_drops_cached_objects() {
+        let mut m = mediator(Granularity::Column);
+        // Warm the cache on Galaxy columns.
+        let sql = "select g.objID, g.ra from Galaxy g where g.ra between 0 and 240";
+        let mut warmed = false;
+        for _ in 0..30 {
+            let served = m.serve_sql(sql).unwrap();
+            if served.from_cache == served.delivered && served.load_traffic.is_zero() {
+                warmed = true;
+                break;
+            }
+        }
+        assert!(warmed, "cache should warm on the hot columns");
+        // The server announces a Galaxy re-calibration.
+        let dropped = m.invalidate_table("Galaxy").unwrap();
+        assert!(dropped >= 2, "expected objID and ra dropped, got {dropped}");
+        // The next query cannot be a pure cache hit.
+        let served = m.serve_sql(sql).unwrap();
+        assert!(served.from_cache < served.delivered || !served.load_traffic.is_zero());
+        // Unknown tables error.
+        assert!(m.invalidate_table("NoSuchTable").is_err());
+        // Invalidating an uncached table is a no-op.
+        assert_eq!(m.invalidate_table("PlateX").unwrap(), 0);
+    }
+
+    #[test]
+    fn clock_advances_per_query() {
+        let mut m = mediator(Granularity::Table);
+        m.serve_sql(SQL).unwrap();
+        m.serve_sql(SQL).unwrap();
+        assert_eq!(m.served_count(), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Cache-size sweeps (Figs 9–10), parallelized across policies and sizes.
+
+use crate::accounting::CostReport;
+use crate::policies::{build_policy, PolicyKind};
+use crate::simulator::replay;
+use byc_catalog::ObjectCatalog;
+use byc_core::static_opt::ObjectDemand;
+use byc_types::Bytes;
+use byc_workload::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One (policy, cache size) result of a sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Policy display name.
+    pub policy: String,
+    /// Cache size as a fraction of the database size.
+    pub cache_fraction: f64,
+    /// Cache capacity in bytes.
+    pub capacity: Bytes,
+    /// Full cost report of the replay.
+    pub report: CostReport,
+}
+
+/// Replay `trace` for every (policy, cache fraction) pair, in parallel.
+///
+/// `fractions` are cache sizes relative to the database
+/// (`objects.total_size()`), e.g. `[0.1, 0.2, ..., 1.0]` for the paper's
+/// Figures 9–10. Results are ordered by policy then fraction.
+pub fn sweep_cache_sizes(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    demands: &[ObjectDemand],
+    policies: &[PolicyKind],
+    fractions: &[f64],
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let db = objects.total_size();
+    let mut jobs: Vec<(PolicyKind, f64)> = Vec::new();
+    for &kind in policies {
+        for &f in fractions {
+            assert!(f > 0.0, "cache fraction must be positive");
+            jobs.push((kind, f));
+        }
+    }
+
+    let results: Vec<SweepPoint> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&(kind, fraction)| {
+                scope.spawn(move |_| {
+                    let capacity = db.scale(fraction);
+                    let mut policy = build_policy(kind, capacity, demands, seed);
+                    let report = replay(trace, objects, policy.as_mut());
+                    SweepPoint {
+                        policy: kind.label().to_string(),
+                        cache_fraction: fraction,
+                        capacity,
+                        report,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byc_catalog::sdss::{build, SdssRelease};
+    use byc_catalog::Granularity;
+    use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+
+    #[test]
+    fn sweep_covers_grid_and_costs_decrease() {
+        let cat = build(SdssRelease::Edr, 1e-3, 1);
+        let trace = generate(&cat, &WorkloadConfig::smoke(47, 800)).unwrap();
+        let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let fractions = [0.1, 0.5, 1.0];
+        let points = sweep_cache_sizes(
+            &trace,
+            &objects,
+            &stats.demands,
+            &[PolicyKind::RateProfile, PolicyKind::Static],
+            &fractions,
+            1,
+        );
+        assert_eq!(points.len(), 6);
+        // Larger static caches never cost more.
+        let static_costs: Vec<u64> = points
+            .iter()
+            .filter(|p| p.policy == "Static")
+            .map(|p| p.report.total_cost().raw())
+            .collect();
+        assert_eq!(static_costs.len(), 3);
+        assert!(static_costs[0] >= static_costs[2]);
+        // Every report conserves delivery.
+        for p in &points {
+            assert!(p.report.conserves_delivery(), "{}", p.policy);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let cat = build(SdssRelease::Edr, 1e-3, 1);
+        let trace = generate(&cat, &WorkloadConfig::smoke(53, 400)).unwrap();
+        let objects = ObjectCatalog::uniform(&cat, Granularity::Table);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let run = || {
+            sweep_cache_sizes(
+                &trace,
+                &objects,
+                &stats.demands,
+                &[PolicyKind::SpaceEffBY],
+                &[0.3],
+                9,
+            )
+            .pop()
+            .unwrap()
+            .report
+        };
+        assert_eq!(run(), run());
+    }
+}

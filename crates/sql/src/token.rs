@@ -1,0 +1,450 @@
+//! Hand-written SQL tokenizer.
+//!
+//! Produces a flat token stream with byte offsets so parse errors can point
+//! at the offending position. Keywords are case-insensitive, identifiers
+//! preserve case (the SkyServer schema is camelCase).
+
+use byc_types::{Error, Result};
+
+/// SQL keywords recognized by the parser.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variants mirror their SQL spellings
+pub enum Keyword {
+    Select,
+    Top,
+    From,
+    Where,
+    And,
+    Or,
+    As,
+    Between,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    GroupKw,
+    OrderKw,
+    By,
+    Asc,
+    Desc,
+    Not,
+    In,
+}
+
+impl Keyword {
+    fn from_str(word: &str) -> Option<Keyword> {
+        // Keywords are matched case-insensitively.
+        Some(match word.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "TOP" => Keyword::Top,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "AS" => Keyword::As,
+            "BETWEEN" => Keyword::Between,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "GROUP" => Keyword::GroupKw,
+            "ORDER" => Keyword::OrderKw,
+            "BY" => Keyword::By,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "NOT" => Keyword::Not,
+            "IN" => Keyword::In,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// A recognized keyword.
+    Keyword(Keyword),
+    /// An identifier (table, column, or alias name).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A single-quoted string literal (quotes stripped).
+    StringLit(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<>` or `!=`
+    Ne,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// A token with its starting byte offset in the input.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Lexical class and payload.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c == b'['
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Tokenize `input` into a vector ending with an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// [`Error::Parse`] on unterminated strings, malformed numbers, or bytes
+/// outside the grammar.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = i;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'-' if i + 1 < bytes.len() && (bytes[i + 1].is_ascii_digit() || bytes[i + 1] == b'.') =>
+            {
+                // Negative literal (the grammar has no binary minus).
+                i = lex_number(input, bytes, i, &mut tokens)?;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            b'.' if i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit() => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else {
+                    return Err(Error::Parse {
+                        offset: start,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            b'\'' => {
+                i += 1;
+                let lit_start = i;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(Error::Parse {
+                        offset: start,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(input[lit_start..i].to_string()),
+                    offset: start,
+                });
+                i += 1; // closing quote
+            }
+            b'0'..=b'9' | b'+' => {
+                i = lex_number(input, bytes, i, &mut tokens)?;
+            }
+            b'.' => {
+                // leading-dot number, e.g. `.95`
+                i = lex_number(input, bytes, i, &mut tokens)?;
+            }
+            c if is_ident_start(c) => {
+                // Bracketed identifiers [Name] (SQL Server style).
+                if c == b'[' {
+                    i += 1;
+                    let id_start = i;
+                    while i < bytes.len() && bytes[i] != b']' {
+                        i += 1;
+                    }
+                    if i >= bytes.len() {
+                        return Err(Error::Parse {
+                            offset: start,
+                            message: "unterminated bracketed identifier".into(),
+                        });
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(input[id_start..i].to_string()),
+                        offset: start,
+                    });
+                    i += 1;
+                } else {
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    let word = &input[start..i];
+                    let kind = match Keyword::from_str(word) {
+                        Some(kw) => TokenKind::Keyword(kw),
+                        None => TokenKind::Ident(word.to_string()),
+                    };
+                    tokens.push(Token { kind, offset: start });
+                }
+            }
+            other => {
+                return Err(Error::Parse {
+                    offset: start,
+                    message: format!("unexpected byte {:?}", other as char),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: bytes.len(),
+    });
+    Ok(tokens)
+}
+
+fn lex_number(
+    input: &str,
+    bytes: &[u8],
+    mut i: usize,
+    tokens: &mut Vec<Token>,
+) -> Result<usize> {
+    let start = i;
+    if bytes[i] == b'+' || bytes[i] == b'-' {
+        i += 1;
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+        i += 1;
+    }
+    // Exponent part.
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &input[start..i];
+    let value: f64 = text.parse().map_err(|_| Error::Parse {
+        offset: start,
+        message: format!("malformed number {text:?}"),
+    })?;
+    tokens.push(Token {
+        kind: TokenKind::Number(value),
+        offset: start,
+    });
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("select SELECT SeLeCt"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_preserve_case() {
+        let ks = kinds("PhotoObj modelMag_g _x a1");
+        assert_eq!(ks[0], TokenKind::Ident("PhotoObj".into()));
+        assert_eq!(ks[1], TokenKind::Ident("modelMag_g".into()));
+        assert_eq!(ks[2], TokenKind::Ident("_x".into()));
+        assert_eq!(ks[3], TokenKind::Ident("a1".into()));
+    }
+
+    #[test]
+    fn bracketed_identifier() {
+        let ks = kinds("[Photo Obj]");
+        assert_eq!(ks[0], TokenKind::Ident("Photo Obj".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        let ks = kinds("17 0.95 .5 1e3 2.5E-2");
+        assert_eq!(ks[0], TokenKind::Number(17.0));
+        assert_eq!(ks[1], TokenKind::Number(0.95));
+        assert_eq!(ks[2], TokenKind::Number(0.5));
+        assert_eq!(ks[3], TokenKind::Number(1000.0));
+        assert_eq!(ks[4], TokenKind::Number(0.025));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let ks = kinds("-12.25 -0.5 -.5");
+        assert_eq!(ks[0], TokenKind::Number(-12.25));
+        assert_eq!(ks[1], TokenKind::Number(-0.5));
+        assert_eq!(ks[2], TokenKind::Number(-0.5));
+        // A bare minus without a digit is still an error...
+        assert!(tokenize("- x").is_err());
+        // ...and double dash is still a comment.
+        let ks = kinds("5 --neg\n6");
+        assert_eq!(ks[0], TokenKind::Number(5.0));
+        assert_eq!(ks[1], TokenKind::Number(6.0));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= < > <= >= <> !="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_star() {
+        assert_eq!(
+            kinds("p.ra, (*)"),
+            vec![
+                TokenKind::Ident("p".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("ra".into()),
+                TokenKind::Comma,
+                TokenKind::LParen,
+                TokenKind::Star,
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        let ks = kinds("'GALAXY'");
+        assert_eq!(ks[0], TokenKind::StringLit("GALAXY".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = tokenize("'oops").unwrap_err();
+        assert!(matches!(err, Error::Parse { offset: 0, .. }));
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        let ks = kinds("select -- comment here\n 5");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(ks[1], TokenKind::Number(5.0));
+    }
+
+    #[test]
+    fn unexpected_byte_reports_offset() {
+        let err = tokenize("select ;").unwrap_err();
+        match err {
+            Error::Parse { offset, .. } => assert_eq!(offset, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("select ra").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+
+    #[test]
+    fn full_paper_query_tokenizes() {
+        let sql = "select p.objID, p.ra, p.dec, p.modelMag_g, s.z as redshift \
+                   from SpecObj s, PhotoObj p \
+                   where p.objID = s.objID and s.specClass = 2 and s.zConf > 0.95 \
+                   and p.modelMag_g > 17.0 and s.z < 0.01";
+        let toks = tokenize(sql).unwrap();
+        assert!(toks.len() > 30);
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Eof);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the SQL substrate: every syntactically valid AST
+//! the grammar can express must render to SQL that re-parses to the same
+//! AST (display/parse round-trip), and the tokenizer must never panic on
+//! arbitrary input.
+
+use byc_sql::{
+    parse, Aggregate, ColumnRef, CompareOp, Predicate, Query, SelectItem, TableRef, Value,
+};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Identifiers that can't collide with keywords: always end with '_'.
+    "[a-zA-Z][a-zA-Z0-9_]{0,10}_".prop_map(|s| s)
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident()), ident()).prop_map(|(qualifier, column)| ColumnRef {
+        qualifier,
+        column,
+    })
+}
+
+fn literal_number() -> impl Strategy<Value = f64> {
+    // Finite, display-stable numbers.
+    (-1.0e12..1.0e12f64).prop_map(|v| (v * 1e6).round() / 1e6)
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        literal_number().prop_map(Value::Number),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Text),
+    ]
+}
+
+fn compare_op() -> impl Strategy<Value = CompareOp> {
+    prop_oneof![
+        Just(CompareOp::Eq),
+        Just(CompareOp::Ne),
+        Just(CompareOp::Lt),
+        Just(CompareOp::Le),
+        Just(CompareOp::Gt),
+        Just(CompareOp::Ge),
+    ]
+}
+
+fn aggregate() -> impl Strategy<Value = Aggregate> {
+    prop_oneof![
+        Just(Aggregate::Count),
+        Just(Aggregate::Sum),
+        Just(Aggregate::Avg),
+        Just(Aggregate::Min),
+        Just(Aggregate::Max),
+    ]
+}
+
+fn select_item() -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        Just(SelectItem::Wildcard),
+        (column_ref(), proptest::option::of(ident()))
+            .prop_map(|(column, alias)| SelectItem::Column { column, alias }),
+        (aggregate(), column_ref(), proptest::option::of(ident())).prop_map(
+            |(func, arg, alias)| SelectItem::Aggregate {
+                func,
+                arg: Some(arg),
+                alias,
+            }
+        ),
+        proptest::option::of(ident()).prop_map(|alias| SelectItem::Aggregate {
+            func: Aggregate::Count,
+            arg: None,
+            alias,
+        }),
+    ]
+}
+
+fn table_ref() -> impl Strategy<Value = TableRef> {
+    (ident(), proptest::option::of(ident()))
+        .prop_map(|(table, alias)| TableRef { table, alias })
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (column_ref(), compare_op(), value()).prop_map(|(column, op, value)| {
+            Predicate::Compare { column, op, value }
+        }),
+        (column_ref(), literal_number(), 0.0..1e6f64).prop_map(|(column, lo, span)| {
+            let lo = (lo * 1e6).round() / 1e6;
+            let hi = ((lo + span) * 1e6).round() / 1e6;
+            Predicate::Between { column, lo, hi }
+        }),
+        (column_ref(), column_ref()).prop_map(|(left, right)| Predicate::Join { left, right }),
+    ]
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        proptest::option::of(0u64..1_000_000),
+        proptest::collection::vec(select_item(), 1..6),
+        proptest::collection::vec(table_ref(), 1..4),
+        proptest::collection::vec(predicate(), 0..6),
+    )
+        .prop_map(|(top, projection, from, predicates)| Query {
+            top,
+            projection,
+            from,
+            predicates,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// display → parse is the identity on the AST.
+    #[test]
+    fn render_parse_roundtrip(q in query()) {
+        let sql = q.to_string();
+        let reparsed = parse(&sql)
+            .unwrap_or_else(|e| panic!("rendered SQL failed to parse: {sql:?}: {e}"));
+        prop_assert_eq!(reparsed, q);
+    }
+
+    /// The parser returns (never panics) on arbitrary input.
+    #[test]
+    fn parser_total_on_garbage(input in "\\PC{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// The parser returns on arbitrary *byte-ish* ASCII soup that looks
+    /// vaguely like SQL.
+    #[test]
+    fn parser_total_on_sqlish_soup(
+        input in "(select|from|where|and|between|,|\\*|\\(|\\)|[a-z]{1,4}|[0-9]{1,3}|'[a-z]*'| )*"
+    ) {
+        let _ = parse(&input);
+    }
+}

@@ -1,0 +1,115 @@
+//! Workspace error type.
+//!
+//! A single lightweight enum shared across crates. Substrate crates return
+//! these from fallible construction and parsing paths; the hot simulation
+//! loops are infallible by design.
+
+use std::fmt;
+
+/// Errors produced anywhere in the bypass-yield workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A name (table, column, server, template) was not found in a registry.
+    UnknownName {
+        /// What kind of entity was looked up.
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An identifier was out of range for its registry.
+    InvalidId {
+        /// What kind of entity was looked up.
+        kind: &'static str,
+        /// The raw index.
+        raw: u32,
+    },
+    /// SQL tokenization or parsing failed.
+    Parse {
+        /// Byte offset in the input where the failure occurred.
+        offset: usize,
+        /// Human-readable explanation.
+        message: String,
+    },
+    /// Semantic analysis of a query failed (unknown column, ambiguous
+    /// reference, type mismatch, ...).
+    Semantic(String),
+    /// A configuration value was invalid (zero cache size, bad exponent...).
+    InvalidConfig(String),
+    /// Trace serialization / deserialization failed.
+    TraceFormat(String),
+    /// An I/O error, stringified (keeps the enum `Clone + PartialEq`).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownName { kind, name } => write!(f, "unknown {kind}: {name:?}"),
+            Error::InvalidId { kind, raw } => write!(f, "invalid {kind} id: {raw}"),
+            Error::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            Error::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::TraceFormat(msg) => write!(f, "trace format error: {msg}"),
+            Error::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+/// Workspace result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::UnknownName {
+            kind: "table",
+            name: "PhotoObj".into(),
+        };
+        assert_eq!(e.to_string(), "unknown table: \"PhotoObj\"");
+
+        let e = Error::Parse {
+            offset: 12,
+            message: "expected FROM".into(),
+        };
+        assert!(e.to_string().contains("byte 12"));
+
+        let e = Error::InvalidId {
+            kind: "object",
+            raw: 99,
+        };
+        assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::Semantic("x".into()),
+            Error::Semantic("x".into()),
+        );
+        assert_ne!(
+            Error::Semantic("x".into()),
+            Error::InvalidConfig("x".into()),
+        );
+    }
+}

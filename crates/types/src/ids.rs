@@ -1,0 +1,137 @@
+//! Newtyped identifiers.
+//!
+//! All identifiers are dense `u32` indexes handed out by the owning
+//! registry (the catalog for tables/columns/objects, the federation for
+//! servers, the trace for queries). Dense ids let the hot caching loops use
+//! `Vec`-indexed side tables instead of hash maps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw dense index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw dense index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index widened for `Vec` indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a base table in the catalog.
+    TableId,
+    "t"
+);
+define_id!(
+    /// Identifier of a column (attribute) in the catalog. Column ids are
+    /// global across tables, not per-table ordinals.
+    ColumnId,
+    "c"
+);
+define_id!(
+    /// Identifier of a *cacheable object*. Depending on the configured
+    /// granularity an object is either a whole table or a single column
+    /// (paper §6.1 compares both). The catalog owns the mapping.
+    ObjectId,
+    "o"
+);
+define_id!(
+    /// Identifier of a back-end database server in the federation.
+    ServerId,
+    "s"
+);
+define_id!(
+    /// Position of a query within a trace. Doubles as the virtual clock:
+    /// the paper measures time in number of queries.
+    QueryId,
+    "q"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_raw() {
+        let id = ObjectId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42usize);
+        assert_eq!(ObjectId::from(42u32), id);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(TableId::new(3).to_string(), "t3");
+        assert_eq!(ColumnId::new(7).to_string(), "c7");
+        assert_eq!(ObjectId::new(0).to_string(), "o0");
+        assert_eq!(ServerId::new(1).to_string(), "s1");
+        assert_eq!(QueryId::new(9).to_string(), "q9");
+        assert_eq!(format!("{:?}", QueryId::new(9)), "q9");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(ObjectId::new(1));
+        set.insert(ObjectId::new(1));
+        set.insert(ObjectId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(ObjectId::new(1) < ObjectId::new(2));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let id = TableId::new(5);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "5");
+        let back: TableId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(ObjectId::default(), ObjectId::new(0));
+    }
+}

@@ -1,0 +1,30 @@
+//! Core identifiers, units, deterministic random-number generation, and
+//! error types shared by every crate in the bypass-yield workspace.
+//!
+//! This crate deliberately has no dependencies beyond `serde` so that the
+//! substrate crates (catalog, SQL, engine, workload) and the core caching
+//! algorithms can share vocabulary types without pulling in each other.
+//!
+//! # Overview
+//!
+//! * [`ids`] — small, `Copy`, newtyped identifiers for tables, columns,
+//!   cacheable objects, servers, and queries.
+//! * [`units`] — byte quantities ([`units::Bytes`]) and virtual time
+//!   ([`units::Tick`]; the paper measures time in *queries*, not seconds).
+//! * [`rng`] — a deterministic, seedable [`rng::SplitMix64`] generator and
+//!   the distributions the workload generator needs (uniform, Zipf,
+//!   log-normal). Implemented here so that traces are reproducible
+//!   bit-for-bit from a seed, independent of external crate versions.
+//! * [`error`] — the workspace error type.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod units;
+
+pub use error::{Error, Result};
+pub use ids::{ColumnId, ObjectId, QueryId, ServerId, TableId};
+pub use rng::{SplitMix64, Zipf};
+pub use units::{Bytes, Tick};

@@ -1,0 +1,279 @@
+//! Byte quantities and virtual time.
+//!
+//! Network traffic — the paper's sole evaluation metric — is measured in
+//! bytes. [`Bytes`] is a newtyped `u64` with saturating arithmetic (traces
+//! sum to terabytes; silent wraparound would corrupt experiment results).
+//! Virtual time ([`Tick`]) counts queries: "Time is relative and measured
+//! in number of queries in a workload, not seconds" (paper §4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A non-negative quantity of bytes with saturating arithmetic.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default, Debug,
+)]
+#[serde(transparent)]
+pub struct Bytes(pub u64);
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Construct from a raw byte count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Bytes(raw)
+    }
+
+    /// Construct from kibibytes.
+    #[inline]
+    pub const fn kib(n: u64) -> Self {
+        Bytes(n * KIB)
+    }
+
+    /// Construct from mebibytes.
+    #[inline]
+    pub const fn mib(n: u64) -> Self {
+        Bytes(n * MIB)
+    }
+
+    /// Construct from gibibytes.
+    #[inline]
+    pub const fn gib(n: u64) -> Self {
+        Bytes(n * GIB)
+    }
+
+    /// Raw byte count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Value as `f64` (for rate computations).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Value in GiB as `f64` (for paper-style reporting).
+    #[inline]
+    pub fn as_gib(self) -> f64 {
+        self.0 as f64 / GIB as f64
+    }
+
+    /// True iff zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by a non-negative scalar, saturating.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Bytes {
+        debug_assert!(factor >= 0.0, "byte quantities cannot be negative");
+        let v = (self.0 as f64 * factor).round();
+        if v >= u64::MAX as f64 {
+            Bytes(u64::MAX)
+        } else {
+            Bytes(v as u64)
+        }
+    }
+
+    /// Minimum of two quantities.
+    #[inline]
+    pub fn min(self, other: Bytes) -> Bytes {
+        Bytes(self.0.min(other.0))
+    }
+
+    /// Maximum of two quantities.
+    #[inline]
+    pub fn max(self, other: Bytes) -> Bytes {
+        Bytes(self.0.max(other.0))
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Bytes {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    /// Panics in debug builds on underflow; saturates in release.
+    #[inline]
+    fn sub(self, rhs: Bytes) -> Bytes {
+        debug_assert!(self.0 >= rhs.0, "byte subtraction underflow");
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Bytes {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Bytes) {
+        debug_assert!(self.0 >= rhs.0, "byte subtraction underflow");
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= GIB {
+            write!(f, "{:.2} GiB", b as f64 / GIB as f64)
+        } else if b >= MIB {
+            write!(f, "{:.2} MiB", b as f64 / MIB as f64)
+        } else if b >= KIB {
+            write!(f, "{:.2} KiB", b as f64 / KIB as f64)
+        } else {
+            write!(f, "{b} B")
+        }
+    }
+}
+
+/// Virtual time: the ordinal of a query in the workload.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default, Debug,
+)]
+#[serde(transparent)]
+pub struct Tick(pub u64);
+
+impl Tick {
+    /// The start of time.
+    pub const ZERO: Tick = Tick(0);
+
+    /// Construct from a raw tick count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Tick(raw)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next tick.
+    #[inline]
+    pub const fn next(self) -> Tick {
+        Tick(self.0 + 1)
+    }
+
+    /// Ticks elapsed since `earlier`, clamped below at 0.
+    #[inline]
+    pub const fn since(self, earlier: Tick) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Ticks elapsed since `earlier`, clamped below at 1. Rate profiles
+    /// divide by elapsed time; an object touched at its own load tick must
+    /// not divide by zero (paper Eq. 3 with `t == t_i`).
+    #[inline]
+    pub const fn since_at_least_one(self, earlier: Tick) -> u64 {
+        let d = self.0.saturating_sub(earlier.0);
+        if d == 0 {
+            1
+        } else {
+            d
+        }
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Bytes::kib(1).raw(), 1024);
+        assert_eq!(Bytes::mib(2).raw(), 2 * 1024 * 1024);
+        assert_eq!(Bytes::gib(1).raw(), 1 << 30);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let max = Bytes::new(u64::MAX);
+        assert_eq!(max + Bytes::new(1), max);
+        assert_eq!(Bytes::new(5).saturating_sub(Bytes::new(9)), Bytes::ZERO);
+        let mut acc = Bytes::new(u64::MAX - 1);
+        acc += Bytes::new(10);
+        assert_eq!(acc, max);
+    }
+
+    #[test]
+    fn scale_rounds_and_saturates() {
+        assert_eq!(Bytes::new(10).scale(0.5), Bytes::new(5));
+        assert_eq!(Bytes::new(3).scale(0.5), Bytes::new(2)); // 1.5 rounds to 2
+        assert_eq!(Bytes::new(u64::MAX).scale(2.0), Bytes::new(u64::MAX));
+        assert_eq!(Bytes::new(100).scale(0.0), Bytes::ZERO);
+    }
+
+    #[test]
+    fn sum_of_bytes() {
+        let total: Bytes = [Bytes::new(1), Bytes::new(2), Bytes::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Bytes::new(6));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Bytes::new(512).to_string(), "512 B");
+        assert_eq!(Bytes::kib(2).to_string(), "2.00 KiB");
+        assert_eq!(Bytes::mib(3).to_string(), "3.00 MiB");
+        assert_eq!(Bytes::gib(1).to_string(), "1.00 GiB");
+    }
+
+    #[test]
+    fn gib_reporting() {
+        assert!((Bytes::gib(5).as_gib() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tick_elapsed() {
+        let a = Tick::new(10);
+        let b = Tick::new(25);
+        assert_eq!(b.since(a), 15);
+        assert_eq!(a.since(b), 0);
+        assert_eq!(a.since_at_least_one(a), 1);
+        assert_eq!(a.next(), Tick::new(11));
+    }
+}

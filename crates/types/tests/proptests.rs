@@ -1,0 +1,102 @@
+//! Property tests for the foundation types: byte arithmetic never wraps,
+//! the RNG's bounded sampling is in-range and deterministic, and Zipf
+//! probability masses form a distribution.
+
+use byc_types::{Bytes, SplitMix64, Tick, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bytes_addition_saturates_never_wraps(a in any::<u64>(), b in any::<u64>()) {
+        let sum = Bytes::new(a) + Bytes::new(b);
+        prop_assert_eq!(sum.raw(), a.saturating_add(b));
+        prop_assert!(sum >= Bytes::new(a).min(Bytes::new(b)));
+    }
+
+    #[test]
+    fn bytes_scale_monotone(v in 0u64..u64::MAX / 4, f in 0.0..100.0f64) {
+        let scaled = Bytes::new(v).scale(f);
+        if f <= 1.0 {
+            // Rounding can add at most half a byte.
+            prop_assert!(scaled.raw() <= v + 1);
+        }
+        // Scaling by a larger factor never shrinks.
+        let bigger = Bytes::new(v).scale(f * 2.0);
+        prop_assert!(bigger >= scaled || v == 0);
+    }
+
+    #[test]
+    fn bytes_saturating_sub_identity(a in any::<u64>(), b in any::<u64>()) {
+        let d = Bytes::new(a).saturating_sub(Bytes::new(b));
+        if a >= b {
+            prop_assert_eq!(d.raw(), a - b);
+        } else {
+            prop_assert_eq!(d, Bytes::ZERO);
+        }
+    }
+
+    #[test]
+    fn tick_since_at_least_one_is_positive(a in any::<u64>(), b in any::<u64>()) {
+        let d = Tick::new(a).since_at_least_one(Tick::new(b));
+        prop_assert!(d >= 1);
+        if a > b {
+            prop_assert_eq!(d, a - b);
+        }
+    }
+
+    #[test]
+    fn rng_bounded_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_bounded(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_streams_deterministic(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..20 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_f64_unit_interval(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..50 {
+            let x = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut v in proptest::collection::vec(any::<u32>(), 0..100)) {
+        let mut sorted_before = v.clone();
+        sorted_before.sort_unstable();
+        SplitMix64::new(seed).shuffle(&mut v);
+        let mut sorted_after = v;
+        sorted_after.sort_unstable();
+        prop_assert_eq!(sorted_before, sorted_after);
+    }
+
+    #[test]
+    fn zipf_is_a_distribution(n in 1usize..500, alpha in 0.0..3.0f64) {
+        let z = Zipf::new(n, alpha);
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        // Monotone non-increasing mass by rank.
+        for r in 1..n {
+            prop_assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range(seed in any::<u64>(), n in 1usize..200, alpha in 0.0..2.5f64) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Trace serialization: JSON-lines files.
+//!
+//! Format: one header object on the first line (`name`, `seed`,
+//! `query_count`, `format_version`), then one [`TraceQuery`] per line.
+//! Line-delimited JSON keeps huge traces streamable and lets externally
+//! collected traces be converted with ordinary text tooling.
+
+use crate::trace::{Trace, TraceQuery};
+use byc_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Current file-format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    format_version: u32,
+    name: String,
+    seed: u64,
+    query_count: usize,
+}
+
+/// Write `trace` to `path` in JSON-lines format.
+///
+/// # Errors
+///
+/// I/O errors and serialization failures as [`Error::TraceFormat`].
+pub fn write_trace(trace: &Trace, path: &Path) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let header = Header {
+        format_version: FORMAT_VERSION,
+        name: trace.name.clone(),
+        seed: trace.seed,
+        query_count: trace.queries.len(),
+    };
+    let line =
+        serde_json::to_string(&header).map_err(|e| Error::TraceFormat(e.to_string()))?;
+    writeln!(w, "{line}")?;
+    for q in &trace.queries {
+        let line = serde_json::to_string(q).map_err(|e| Error::TraceFormat(e.to_string()))?;
+        writeln!(w, "{line}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// [`Error::TraceFormat`] on version mismatch, malformed lines, or a
+/// query count that disagrees with the header.
+pub fn read_trace(path: &Path) -> Result<Trace> {
+    let file = File::open(path)?;
+    let mut lines = BufReader::new(file).lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| Error::TraceFormat("empty trace file".into()))??;
+    let header: Header = serde_json::from_str(&header_line)
+        .map_err(|e| Error::TraceFormat(format!("bad header: {e}")))?;
+    if header.format_version != FORMAT_VERSION {
+        return Err(Error::TraceFormat(format!(
+            "unsupported format version {} (expected {FORMAT_VERSION})",
+            header.format_version
+        )));
+    }
+    let mut queries = Vec::with_capacity(header.query_count);
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let q: TraceQuery = serde_json::from_str(&line)
+            .map_err(|e| Error::TraceFormat(format!("bad query on line {}: {e}", i + 2)))?;
+        queries.push(q);
+    }
+    if queries.len() != header.query_count {
+        return Err(Error::TraceFormat(format!(
+            "header promises {} queries, file has {}",
+            header.query_count,
+            queries.len()
+        )));
+    }
+    Ok(Trace {
+        name: header.name,
+        seed: header.seed,
+        queries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, WorkloadConfig};
+    use byc_catalog::sdss::{build, SdssRelease};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("byc-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cat = build(SdssRelease::Edr, 1e-3, 1);
+        let trace = generate(&cat, &WorkloadConfig::smoke(29, 200)).unwrap();
+        let path = tmp("roundtrip.jsonl");
+        write_trace(&trace, &path).unwrap();
+        let back = read_trace(&path).unwrap();
+        assert_eq!(trace, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let path = tmp("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        let err = read_trace(&path).unwrap_err();
+        assert!(matches!(err, Error::TraceFormat(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let path = tmp("version.jsonl");
+        std::fs::write(
+            &path,
+            "{\"format_version\":99,\"name\":\"x\",\"seed\":0,\"query_count\":0}\n",
+        )
+        .unwrap();
+        let err = read_trace(&path).unwrap_err();
+        assert!(err.to_string().contains("version"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let path = tmp("count.jsonl");
+        std::fs::write(
+            &path,
+            "{\"format_version\":1,\"name\":\"x\",\"seed\":0,\"query_count\":3}\n",
+        )
+        .unwrap();
+        let err = read_trace(&path).unwrap_err();
+        assert!(err.to_string().contains("promises 3"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_query_line_rejected() {
+        let path = tmp("malformed.jsonl");
+        std::fs::write(
+            &path,
+            "{\"format_version\":1,\"name\":\"x\",\"seed\":0,\"query_count\":1}\nnot-json\n",
+        )
+        .unwrap();
+        let err = read_trace(&path).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_trace(Path::new("/nonexistent/nope.jsonl")).unwrap_err();
+        assert!(matches!(err, Error::Io(_)));
+    }
+}

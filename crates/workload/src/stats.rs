@@ -1,0 +1,169 @@
+//! Workload statistics: per-object demands and summary numbers.
+//!
+//! These feed the static-optimal planner (which needs per-object total
+//! yields) and the reports in EXPERIMENTS.md.
+
+use crate::trace::Trace;
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_core::static_opt::ObjectDemand;
+use byc_types::Bytes;
+use std::collections::HashMap;
+
+/// Summary statistics of a trace at one object granularity.
+#[derive(Clone, Debug)]
+pub struct WorkloadStats {
+    /// Trace name.
+    pub name: String,
+    /// Number of queries.
+    pub query_count: usize,
+    /// Total result bytes (no-cache network cost).
+    pub sequence_cost: Bytes,
+    /// Mean yield per query.
+    pub mean_yield: Bytes,
+    /// Per-object demand: total yield attributed and access count.
+    pub demands: Vec<ObjectDemand>,
+    /// Per-object access counts (parallel to `demands`).
+    pub access_counts: Vec<u64>,
+    /// Histogram of queries per template id.
+    pub template_histogram: HashMap<u32, usize>,
+}
+
+impl WorkloadStats {
+    /// Compute statistics of `trace` at the granularity of `objects`.
+    pub fn compute(trace: &Trace, objects: &ObjectCatalog) -> Self {
+        let mut yields = vec![Bytes::ZERO; objects.len()];
+        let mut counts = vec![0u64; objects.len()];
+        let mut template_histogram = HashMap::new();
+        for q in &trace.queries {
+            *template_histogram.entry(q.template).or_insert(0) += 1;
+            match objects.granularity() {
+                Granularity::Table => {
+                    for &(t, y) in &q.table_yields {
+                        if let Ok(o) = objects.object_for_table(t) {
+                            yields[o.index()] += y;
+                            counts[o.index()] += 1;
+                        }
+                    }
+                }
+                Granularity::Column => {
+                    for &(c, y) in &q.column_yields {
+                        if let Ok(o) = objects.object_for_column(c) {
+                            yields[o.index()] += y;
+                            counts[o.index()] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let demands = objects
+            .objects()
+            .iter()
+            .map(|info| ObjectDemand {
+                object: info.id,
+                total_yield: yields[info.id.index()],
+                size: info.size,
+                fetch_cost: info.fetch_cost,
+            })
+            .collect();
+        let sequence_cost = trace.sequence_cost();
+        let mean_yield = if trace.is_empty() {
+            Bytes::ZERO
+        } else {
+            Bytes::new(sequence_cost.raw() / trace.len() as u64)
+        };
+        Self {
+            name: trace.name.clone(),
+            query_count: trace.len(),
+            sequence_cost,
+            mean_yield,
+            demands,
+            access_counts: counts,
+            template_histogram,
+        }
+    }
+
+    /// Objects ordered by total demanded yield, descending.
+    pub fn hottest_objects(&self) -> Vec<ObjectDemand> {
+        let mut v = self.demands.clone();
+        v.sort_by(|a, b| b.total_yield.cmp(&a.total_yield).then(a.object.cmp(&b.object)));
+        v
+    }
+
+    /// Fraction of total demand covered by the `n` hottest objects.
+    pub fn demand_concentration(&self, n: usize) -> f64 {
+        let total: u64 = self.demands.iter().map(|d| d.total_yield.raw()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let top: u64 = self
+            .hottest_objects()
+            .iter()
+            .take(n)
+            .map(|d| d.total_yield.raw())
+            .sum();
+        top as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, WorkloadConfig};
+    use byc_catalog::sdss::{build, SdssRelease};
+
+    fn setup() -> (Trace, ObjectCatalog, ObjectCatalog) {
+        let cat = build(SdssRelease::Edr, 1e-3, 1);
+        let trace = generate(&cat, &WorkloadConfig::smoke(23, 1000)).unwrap();
+        let tables = ObjectCatalog::uniform(&cat, Granularity::Table);
+        let columns = ObjectCatalog::uniform(&cat, Granularity::Column);
+        (trace, tables, columns)
+    }
+
+    #[test]
+    fn demands_sum_to_sequence_cost() {
+        let (trace, tables, columns) = setup();
+        for objects in [&tables, &columns] {
+            let stats = WorkloadStats::compute(&trace, objects);
+            let sum: u64 = stats.demands.iter().map(|d| d.total_yield.raw()).sum();
+            assert_eq!(sum, trace.sequence_cost().raw());
+        }
+    }
+
+    #[test]
+    fn mean_yield_consistent() {
+        let (trace, tables, _) = setup();
+        let stats = WorkloadStats::compute(&trace, &tables);
+        assert_eq!(stats.query_count, 1000);
+        assert_eq!(
+            stats.mean_yield.raw(),
+            trace.sequence_cost().raw() / 1000
+        );
+    }
+
+    #[test]
+    fn hottest_objects_sorted() {
+        let (trace, _, columns) = setup();
+        let stats = WorkloadStats::compute(&trace, &columns);
+        let hot = stats.hottest_objects();
+        for w in hot.windows(2) {
+            assert!(w[0].total_yield >= w[1].total_yield);
+        }
+    }
+
+    #[test]
+    fn demand_is_concentrated() {
+        // Schema locality ⇒ a few columns dominate demand.
+        let (trace, _, columns) = setup();
+        let stats = WorkloadStats::compute(&trace, &columns);
+        assert!(stats.demand_concentration(15) > 0.5);
+        assert!(stats.demand_concentration(columns.len()) > 0.999);
+    }
+
+    #[test]
+    fn template_histogram_counts_queries() {
+        let (trace, tables, _) = setup();
+        let stats = WorkloadStats::compute(&trace, &tables);
+        let total: usize = stats.template_histogram.values().sum();
+        assert_eq!(total, 1000);
+    }
+}

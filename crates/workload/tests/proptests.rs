@@ -1,0 +1,70 @@
+//! Property tests for the workload substrate: generation is a pure
+//! function of (catalog, config), serialization round-trips any generated
+//! trace, and the yield decompositions carried in traces are exact.
+
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_workload::io::{read_trace, write_trace};
+use byc_workload::{generate, WorkloadConfig};
+use proptest::prelude::*;
+
+fn config(seed: u64, queries: usize, concurrency: usize, zipf: f64) -> WorkloadConfig {
+    let mut c = WorkloadConfig::smoke(seed, queries);
+    c.concurrency = concurrency;
+    c.template_zipf = zipf;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same inputs → identical trace; different seeds → different trace.
+    #[test]
+    fn generation_is_pure(
+        seed in any::<u64>(),
+        queries in 10usize..200,
+        concurrency in 1usize..16,
+        zipf in 0.0..2.0f64,
+    ) {
+        let cat = build(SdssRelease::Edr, 1e-4, 1);
+        let cfg = config(seed, queries, concurrency, zipf);
+        let a = generate(&cat, &cfg).unwrap();
+        let b = generate(&cat, &cfg).unwrap();
+        prop_assert_eq!(&a, &b);
+        let c = generate(&cat, &config(seed.wrapping_add(1), queries, concurrency, zipf)).unwrap();
+        prop_assert_ne!(a, c);
+    }
+
+    /// Serialization round-trips any generated trace exactly.
+    #[test]
+    fn trace_io_roundtrip(seed in any::<u64>(), queries in 1usize..100) {
+        let cat = build(SdssRelease::Edr, 1e-4, 1);
+        let trace = generate(&cat, &config(seed, queries, 4, 0.9)).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("byc-prop-io-{}-{}.jsonl", std::process::id(), seed));
+        write_trace(&trace, &path).unwrap();
+        let back = read_trace(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Every query's recorded decompositions sum to its total yield and
+    /// reference only catalog objects.
+    #[test]
+    fn trace_yields_consistent(seed in any::<u64>(), queries in 10usize..150) {
+        let cat = build(SdssRelease::Edr, 1e-4, 1);
+        let trace = generate(&cat, &config(seed, queries, 4, 0.9)).unwrap();
+        for q in &trace.queries {
+            let t_sum: u64 = q.table_yields.iter().map(|&(_, y)| y.raw()).sum();
+            let c_sum: u64 = q.column_yields.iter().map(|&(_, y)| y.raw()).sum();
+            prop_assert_eq!(t_sum, q.total_yield.raw());
+            prop_assert_eq!(c_sum, q.total_yield.raw());
+            for &t in &q.tables {
+                prop_assert!((t.index()) < cat.table_count());
+            }
+            for &col in &q.columns {
+                prop_assert!((col.index()) < cat.column_count());
+            }
+            prop_assert!(!q.sql.is_empty());
+        }
+    }
+}

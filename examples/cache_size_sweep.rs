@@ -1,0 +1,88 @@
+//! Reproduce the shape of the paper's Figures 9–10: total network cost as
+//! the cache grows from 10% to 100% of the database.
+//!
+//! ```text
+//! cargo run --release --example cache_size_sweep [scale]
+//! ```
+//!
+//! Two findings to look for in the output (paper §6.3):
+//!
+//! 1. Rate-Profile "performs poorly at very small cache sizes" — it keeps
+//!    exchanging objects before their load cost is recovered.
+//! 2. Costs flatten once the cache reaches the knee (~20–30% of the
+//!    database): bypass caches need to be relatively large.
+
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_federation::{sweep_cache_sizes, PolicyKind};
+use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01);
+    let catalog = build(SdssRelease::Edr, scale, 1);
+    let trace = generate(&catalog, &WorkloadConfig::edr(42)).expect("SDSS schema present");
+    let fractions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let policies = [
+        PolicyKind::RateProfile,
+        PolicyKind::OnlineBY,
+        PolicyKind::SpaceEffBY,
+        PolicyKind::Gds,
+        PolicyKind::Static,
+    ];
+
+    for granularity in [Granularity::Table, Granularity::Column] {
+        let objects = ObjectCatalog::uniform(&catalog, granularity);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let points = sweep_cache_sizes(
+            &trace,
+            &objects,
+            &stats.demands,
+            &policies,
+            &fractions,
+            7,
+        );
+        println!(
+            "\ntotal WAN cost vs cache size — {} caching (sequence cost {})",
+            granularity.label(),
+            trace.sequence_cost()
+        );
+        print!("{:>14}", "% of DB");
+        for f in fractions {
+            print!("{:>9.0}", f * 100.0);
+        }
+        println!();
+        for kind in policies {
+            print!("{:>14}", kind.label());
+            for f in fractions {
+                let p = points
+                    .iter()
+                    .find(|p| p.policy == kind.label() && (p.cache_fraction - f).abs() < 1e-9)
+                    .expect("sweep point");
+                print!("{:>9.2}", p.report.total_cost().as_gib());
+            }
+            println!();
+        }
+        // Locate the knee: the smallest fraction whose Rate-Profile cost
+        // is within 5% of the cost at full capacity.
+        let rp_at = |f: f64| {
+            points
+                .iter()
+                .find(|p| p.policy == "Rate-Profile" && (p.cache_fraction - f).abs() < 1e-9)
+                .map(|p| p.report.total_cost().as_f64())
+                .expect("sweep point")
+        };
+        let full = rp_at(1.0);
+        let knee = fractions
+            .iter()
+            .copied()
+            .find(|&f| rp_at(f) <= full * 1.05)
+            .unwrap_or(1.0);
+        println!(
+            "  → Rate-Profile reaches its plateau at a cache of {:.0}% of the database",
+            knee * 100.0
+        );
+    }
+}

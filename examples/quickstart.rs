@@ -1,0 +1,77 @@
+//! Quickstart: stand up a mediator with a bypass-yield cache and serve a
+//! few SQL queries against a synthetic SDSS catalog.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The example builds a small federation, submits the paper's exemplar
+//! photometry ⋈ spectroscopy query repeatedly, and shows the cache
+//! migrating the hot columns close to the client: the first submissions
+//! are bypassed to the servers; once the expected savings justify the
+//! load investment, the referenced columns are cached and later
+//! submissions are served locally at zero WAN cost.
+
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_catalog::Granularity;
+use byc_core::rate_profile::{RateProfile, RateProfileConfig};
+use byc_federation::Mediator;
+
+fn main() {
+    // A scaled-down EDR catalog so the example runs instantly.
+    let catalog = build(SdssRelease::Edr, 1e-3, 2);
+    println!(
+        "federation: {} tables, {} columns, {} of catalog data",
+        catalog.table_count(),
+        catalog.column_count(),
+        catalog.database_size()
+    );
+
+    // Bypass-yield cache sized at 30% of the database, caching columns.
+    let capacity = catalog.database_size().scale(0.3);
+    let policy = Box::new(RateProfile::new(capacity, RateProfileConfig::default()));
+    let mut mediator = Mediator::new(catalog, Granularity::Column, policy);
+    println!("cache: {capacity} at the mediator, column granularity\n");
+
+    // A typical region scan: "iterate over regions of the sky looking
+    // for objects with specific properties" (§6.1). Each round sweeps a
+    // fresh region — same schema, different data.
+    println!("sweeping sky regions over Galaxy (same columns, new region each round):\n");
+    for round in 0..14u32 {
+        let ra_lo = 20.0 + 18.0 * round as f64;
+        let sql = format!(
+            "select g.objID, g.ra, g.dec, g.modelMag_r from Galaxy g \
+             where g.ra between {ra_lo} and {}",
+            ra_lo + 60.0
+        );
+        let served = mediator.serve_sql(&sql).expect("valid SDSS query");
+        println!(
+            "round {round}: delivered {:>10} | from cache {:>10} | bypassed {:>10} | load traffic {:>10}",
+            served.delivered.to_string(),
+            served.from_cache.to_string(),
+            served.from_servers.to_string(),
+            served.load_traffic.to_string(),
+        );
+    }
+
+    // The paper's §6 exemplar join still works end-to-end, of course.
+    let sql = "select p.objID, p.ra, p.dec, p.modelMag_g, s.z as redshift \
+               from SpecObj s, PhotoObj p \
+               where p.objID = s.objID and s.specClass = 2 and s.zConf > 0.95 \
+               and p.modelMag_g > 17.0 and s.z < 0.01";
+    let served = mediator.serve_sql(sql).expect("valid SDSS query");
+    println!(
+        "\nexemplar join query delivers {} ({} from cache, {} bypassed)",
+        served.delivered, served.from_cache, served.from_servers
+    );
+
+    println!(
+        "\nafter {} queries the mediator generated {} of WAN traffic total",
+        mediator.served_count(),
+        mediator.wan_total()
+    );
+    println!(
+        "a no-cache federation would have shipped the full result every time — \
+         that is the network citizenship bypass-yield buys"
+    );
+}

@@ -1,0 +1,62 @@
+//! Replay a synthesized SDSS trace through the federation and print the
+//! paper-style cost breakdown for every algorithm.
+//!
+//! ```text
+//! cargo run --release --example sdss_federation [scale] [cache_fraction]
+//! ```
+//!
+//! `scale` shrinks the catalog (default 0.01 ≈ 5.6 GiB of synthetic
+//! catalog); `cache_fraction` sizes the mediator cache relative to the
+//! database (default 0.15, the headline configuration of EXPERIMENTS.md).
+
+use byc_analysis::render_cost_table;
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_federation::{build_policy, policy_roster, replay};
+use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01);
+    let cache_fraction: f64 = args
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.15);
+
+    let catalog = build(SdssRelease::Edr, scale, 1);
+    let trace = generate(&catalog, &WorkloadConfig::edr(42)).expect("SDSS schema present");
+    println!(
+        "EDR trace: {} queries, sequence cost {}, database {}",
+        trace.len(),
+        trace.sequence_cost(),
+        catalog.database_size()
+    );
+
+    for granularity in [Granularity::Table, Granularity::Column] {
+        let objects = ObjectCatalog::uniform(&catalog, granularity);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let capacity = objects.total_size().scale(cache_fraction);
+        let mut reports = Vec::new();
+        for kind in policy_roster() {
+            let mut policy = build_policy(kind, capacity, &stats.demands, 7);
+            reports.push(replay(&trace, &objects, policy.as_mut()));
+        }
+        let title = format!(
+            "{} caching, cache = {:.0}% of DB ({capacity})",
+            granularity.label(),
+            cache_fraction * 100.0
+        );
+        println!("\n{}", render_cost_table(&title, &reports));
+        for r in &reports {
+            println!(
+                "  {:14} reduces network traffic {:>6.1}x (byte hit rate {:>5.1}%)",
+                r.policy,
+                r.reduction_factor(),
+                r.byte_hit_rate() * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Cross-policy invariants over full replays.
+//!
+//! Every policy must satisfy the same contract under the audited
+//! simulator: conservation of delivered bytes, capacity discipline, and
+//! the behavioural guarantees the paper claims (bypass-yield beats both
+//! extremes; in-line policies never bypass cacheable objects; the online
+//! algorithm stays within its competitive envelope on simple sequences).
+
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_core::access::Access;
+use byc_core::bypass_object::Landlord;
+use byc_core::online::OnlineBY;
+use byc_core::policy::{CachePolicy, Decision};
+use byc_federation::{build_policy, replay, PolicyKind};
+use byc_types::{Bytes, ObjectId, Tick};
+use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
+
+const ALL_KINDS: [PolicyKind; 13] = [
+    PolicyKind::RateProfile,
+    PolicyKind::OnlineBY,
+    PolicyKind::OnlineBYMarking,
+    PolicyKind::SpaceEffBY,
+    PolicyKind::Gds,
+    PolicyKind::Gdsp,
+    PolicyKind::Lru,
+    PolicyKind::Lfu,
+    PolicyKind::LruK,
+    PolicyKind::Lff,
+    PolicyKind::GdStar,
+    PolicyKind::Static,
+    PolicyKind::NoCache,
+];
+
+fn setup(granularity: Granularity) -> (Trace, ObjectCatalog, WorkloadStats) {
+    let cat = build(SdssRelease::Edr, 1e-3, 1);
+    let trace = generate(&cat, &WorkloadConfig::smoke(83, 3000)).unwrap();
+    let objects = ObjectCatalog::uniform(&cat, granularity);
+    let stats = WorkloadStats::compute(&trace, &objects);
+    (trace, objects, stats)
+}
+
+#[test]
+fn all_policies_conserve_delivery_both_granularities() {
+    for granularity in [Granularity::Table, Granularity::Column] {
+        let (trace, objects, stats) = setup(granularity);
+        let capacity = objects.total_size().scale(0.25);
+        for kind in ALL_KINDS {
+            let mut policy = build_policy(kind, capacity, &stats.demands, 5);
+            let report = replay(&trace, &objects, policy.as_mut());
+            assert!(
+                report.conserves_delivery(),
+                "{} violates D_A = D_S + D_C at {granularity:?}",
+                kind.label()
+            );
+            assert_eq!(report.sequence_cost, trace.sequence_cost());
+        }
+    }
+}
+
+#[test]
+fn bypass_yield_beats_no_cache_on_long_traces() {
+    let cat = build(SdssRelease::Edr, 1e-3, 1);
+    let trace = generate(&cat, &WorkloadConfig::smoke(89, 12_000)).unwrap();
+    let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
+    let stats = WorkloadStats::compute(&trace, &objects);
+    let capacity = objects.total_size().scale(0.25);
+    let sequence = trace.sequence_cost();
+    for kind in [
+        PolicyKind::RateProfile,
+        PolicyKind::OnlineBY,
+        PolicyKind::SpaceEffBY,
+    ] {
+        let mut policy = build_policy(kind, capacity, &stats.demands, 5);
+        let report = replay(&trace, &objects, policy.as_mut());
+        assert!(
+            report.total_cost().as_f64() < sequence.as_f64() * 0.8,
+            "{}: {} not clearly below sequence {}",
+            kind.label(),
+            report.total_cost(),
+            sequence
+        );
+    }
+}
+
+#[test]
+fn static_outperforms_online_policies() {
+    // The offline plan with full knowledge is a sanity lower envelope
+    // (not a strict bound — online algorithms may beat a *greedy* static
+    // plan occasionally, but never by much, and typically lose).
+    let (trace, objects, stats) = setup(Granularity::Column);
+    let capacity = objects.total_size().scale(0.25);
+    let mut static_policy = build_policy(PolicyKind::Static, capacity, &stats.demands, 5);
+    let static_cost = replay(&trace, &objects, static_policy.as_mut())
+        .total_cost()
+        .as_f64();
+    for kind in [PolicyKind::RateProfile, PolicyKind::OnlineBY] {
+        let mut policy = build_policy(kind, capacity, &stats.demands, 5);
+        let cost = replay(&trace, &objects, policy.as_mut()).total_cost().as_f64();
+        assert!(
+            cost >= static_cost * 0.9,
+            "{} ({cost}) implausibly beats static ({static_cost})",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn inline_policies_never_bypass_cacheable_objects() {
+    let (trace, objects, stats) = setup(Granularity::Table);
+    let capacity = objects.total_size(); // everything fits
+    for kind in [
+        PolicyKind::Gds,
+        PolicyKind::Gdsp,
+        PolicyKind::Lru,
+        PolicyKind::Lfu,
+        PolicyKind::LruK,
+        PolicyKind::Lff,
+        PolicyKind::GdStar,
+    ] {
+        let mut policy = build_policy(kind, capacity, &stats.demands, 5);
+        let report = replay(&trace, &objects, policy.as_mut());
+        assert_eq!(
+            report.bypasses,
+            0,
+            "{} bypassed despite a full-size cache",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn no_cache_cost_is_exactly_sequence_cost() {
+    for granularity in [Granularity::Table, Granularity::Column] {
+        let (trace, objects, stats) = setup(granularity);
+        let mut policy = build_policy(PolicyKind::NoCache, Bytes::ZERO, &stats.demands, 5);
+        let report = replay(&trace, &objects, policy.as_mut());
+        assert_eq!(report.total_cost(), trace.sequence_cost());
+    }
+}
+
+#[test]
+fn online_ski_rental_envelope_single_object() {
+    // Adversarial single-object sequences: OnlineBY(Landlord) must stay
+    // within twice the offline optimum (ski rental), for any (yield,
+    // length) combination.
+    for &(yield_bytes, n) in &[(10u64, 3u64), (10, 50), (99, 2), (100, 1), (1, 1000)] {
+        let size = 100u64;
+        let mut policy = OnlineBY::new(Landlord::new(Bytes::new(1000)));
+        let mut cost = 0u64;
+        for t in 0..n {
+            let access = Access {
+                object: ObjectId::new(0),
+                time: Tick::new(t),
+                yield_bytes: Bytes::new(yield_bytes),
+                size: Bytes::new(size),
+                fetch_cost: Bytes::new(size),
+            };
+            match policy.on_access(&access) {
+                Decision::Bypass => cost += yield_bytes,
+                Decision::Load { .. } => cost += size,
+                Decision::Hit => {}
+            }
+        }
+        let opt = (yield_bytes * n).min(size); // bypass everything vs buy once
+        assert!(
+            cost <= 2 * opt + size,
+            "y={yield_bytes} n={n}: cost {cost} vs OPT {opt}"
+        );
+    }
+}
+
+#[test]
+fn policies_are_deterministic_given_seed() {
+    let (trace, objects, stats) = setup(Granularity::Column);
+    let capacity = objects.total_size().scale(0.25);
+    for kind in ALL_KINDS {
+        let run = |seed| {
+            let mut p = build_policy(kind, capacity, &stats.demands, seed);
+            replay(&trace, &objects, p.as_mut())
+        };
+        assert_eq!(run(11), run(11), "{} not reproducible", kind.label());
+    }
+}
+
+#[test]
+fn invalidation_drops_objects_across_policies() {
+    // The SkyQuery metadata-change notification: every policy must drop
+    // the named object, release its space, and re-fetch on next demand.
+    let (trace, objects, stats) = setup(Granularity::Table);
+    let capacity = objects.total_size();
+    for kind in ALL_KINDS {
+        let mut policy = build_policy(kind, capacity, &stats.demands, 5);
+        replay(&trace, &objects, policy.as_mut());
+        let cached = policy.cached_objects();
+        if kind == PolicyKind::NoCache {
+            assert!(cached.is_empty());
+            assert!(!policy.invalidate(ObjectId::new(0)));
+            continue;
+        }
+        if cached.is_empty() {
+            continue; // nothing got cached on this trace; fine
+        }
+        let used_before = policy.used();
+        let victim = cached[0];
+        assert!(policy.invalidate(victim), "{} invalidate", kind.label());
+        assert!(!policy.contains(victim), "{} still cached", kind.label());
+        assert!(policy.used() <= used_before, "{} space grew", kind.label());
+        // Idempotent: a second notification is a no-op.
+        assert!(!policy.invalidate(victim));
+    }
+}
+
+#[test]
+fn tighter_caches_never_increase_hits_beyond_sequence() {
+    // Sanity: cache_served ≤ sequence for any capacity.
+    let (trace, objects, stats) = setup(Granularity::Column);
+    for fraction in [0.05, 0.2, 0.6, 1.0] {
+        let capacity = objects.total_size().scale(fraction);
+        let mut policy = build_policy(PolicyKind::RateProfile, capacity, &stats.demands, 5);
+        let report = replay(&trace, &objects, policy.as_mut());
+        assert!(report.cache_served <= report.sequence_cost);
+    }
+}
