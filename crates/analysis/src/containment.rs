@@ -11,11 +11,10 @@
 //! elements.
 
 use byc_workload::Trace;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One scatter point: query `x` touched data key with dense rank `y`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReusePoint {
     /// Query position within the analyzed window.
     pub query: usize,
@@ -26,7 +25,7 @@ pub struct ReusePoint {
 }
 
 /// Containment analysis of one query window.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ContainmentReport {
     /// Queries analyzed.
     pub window: usize,
@@ -165,7 +164,11 @@ mod tests {
 
     #[test]
     fn ranks_are_first_appearance_order() {
-        let t = trace(vec![query(0, vec![42]), query(1, vec![99]), query(2, vec![42])]);
+        let t = trace(vec![
+            query(0, vec![42]),
+            query(1, vec![99]),
+            query(2, vec![42]),
+        ]);
         let r = containment_analysis(&t, 0, 3);
         assert_eq!(r.points[0].key_rank, 0);
         assert_eq!(r.points[1].key_rank, 1);
@@ -177,8 +180,8 @@ mod tests {
         // The property the paper measures: SDSS-like workloads rarely
         // re-request the same data items.
         let cat = byc_catalog::sdss::build(byc_catalog::sdss::SdssRelease::Edr, 1e-3, 1);
-        let t = byc_workload::generate(&cat, &byc_workload::WorkloadConfig::smoke(61, 2000))
-            .unwrap();
+        let t =
+            byc_workload::generate(&cat, &byc_workload::WorkloadConfig::smoke(61, 2000)).unwrap();
         let r = containment_analysis(&t, 0, 2000);
         assert!(
             r.contained_queries < 0.2,

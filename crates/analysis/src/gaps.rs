@@ -10,10 +10,9 @@
 
 use byc_catalog::{Granularity, ObjectCatalog};
 use byc_workload::Trace;
-use serde::{Deserialize, Serialize};
 
 /// Distribution summary of inter-access gaps across all objects.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GapReport {
     /// Granularity label ("table" / "column").
     pub granularity: String,

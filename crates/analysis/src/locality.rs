@@ -10,18 +10,17 @@
 
 use byc_catalog::{Granularity, ObjectCatalog};
 use byc_workload::Trace;
-use serde::{Deserialize, Serialize};
 
 /// Scatter data: for each query, the dense ids of the schema elements it
 /// references.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LocalityScatter {
     /// One `(query index, element id)` pair per reference.
     pub points: Vec<(usize, u32)>,
 }
 
 /// Summary of schema-element reuse over a trace.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LocalityReport {
     /// Granularity label ("table" / "column").
     pub granularity: String,

@@ -15,7 +15,14 @@ pub fn render_cost_table(title: &str, reports: &[CostReport]) -> String {
     let _ = writeln!(
         out,
         "{:<8} {:<8} {:>8} {:>14} {:<18} {:>12} {:>12} {:>12}",
-        "Data Set", "Version", "Queries", "Seq Cost (GB)", "Algorithm", "Bypass (GB)", "Fetch (GB)", "Total (GB)"
+        "Data Set",
+        "Version",
+        "Queries",
+        "Seq Cost (GB)",
+        "Algorithm",
+        "Bypass (GB)",
+        "Fetch (GB)",
+        "Total (GB)"
     );
     let _ = writeln!(out, "{}", "-".repeat(100));
     let mut last_trace: Option<&str> = None;
@@ -61,10 +68,7 @@ fn gb(bytes: f64) -> f64 {
 /// # Errors
 ///
 /// I/O errors from file creation or writing.
-pub fn write_series_csv(
-    path: &Path,
-    series: &[(String, Vec<SeriesPoint>)],
-) -> Result<()> {
+pub fn write_series_csv(path: &Path, series: &[(String, Vec<SeriesPoint>)]) -> Result<()> {
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
     write!(w, "query")?;

@@ -1,0 +1,190 @@
+//! The `audit.toml` allowlist.
+//!
+//! Every tolerated finding is declared up front, with a count and a
+//! reason. The parser accepts exactly the subset of TOML the file uses
+//! (the auditor must build before anything else, so it takes no TOML
+//! dependency):
+//!
+//! ```toml
+//! [[allow]]
+//! file = "crates/federation/src/sweep.rs"
+//! rule = "no-panic"
+//! count = 1
+//! reason = "scoped-thread join: worker panics must propagate"
+//! ```
+//!
+//! `count` is exact on the high side and audited on the low side: more
+//! findings than `count` fail the lint, and *fewer* findings than
+//! `count` fail it too — a stale entry means debt was paid off and the
+//! allowlist must shrink with it.
+
+use std::fs;
+use std::path::Path;
+
+/// One allowlist entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Workspace-relative file the findings are in.
+    pub file: String,
+    /// Rule name (e.g. `no-panic`).
+    pub rule: String,
+    /// Exact number of tolerated findings for (file, rule).
+    pub count: usize,
+    /// Why they are tolerated.
+    pub reason: String,
+}
+
+/// The parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Load and parse `path`. A missing file is an empty allowlist.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable file or a line outside the accepted subset.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        if !path.exists() {
+            return Ok(Allowlist::default());
+        }
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parse allowlist text.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending line.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(entry) = current.take() {
+                    finish(entry, &mut entries, lineno)?;
+                }
+                current = Some(AllowEntry {
+                    file: String::new(),
+                    rule: String::new(),
+                    count: 0,
+                    reason: String::new(),
+                });
+                continue;
+            }
+            let entry = current
+                .as_mut()
+                .ok_or_else(|| format!("line {lineno}: key outside [[allow]] table"))?;
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "file" => entry.file = unquote(value, lineno)?,
+                "rule" => entry.rule = unquote(value, lineno)?,
+                "reason" => entry.reason = unquote(value, lineno)?,
+                "count" => {
+                    entry.count = value
+                        .parse()
+                        .map_err(|_| format!("line {lineno}: count must be an integer"))?;
+                }
+                other => return Err(format!("line {lineno}: unknown key {other:?}")),
+            }
+        }
+        if let Some(entry) = current.take() {
+            finish(entry, &mut entries, text.lines().count())?;
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Total tolerated findings for `rule` across all files.
+    pub fn total_for_rule(&self, rule: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.rule == rule)
+            .map(|e| e.count)
+            .sum()
+    }
+}
+
+fn finish(entry: AllowEntry, entries: &mut Vec<AllowEntry>, lineno: usize) -> Result<(), String> {
+    if entry.file.is_empty() || entry.rule.is_empty() {
+        return Err(format!(
+            "entry ending near line {lineno}: `file` and `rule` are required"
+        ));
+    }
+    if entry.count == 0 {
+        return Err(format!(
+            "entry for {} near line {lineno}: count must be >= 1 (delete the entry instead)",
+            entry.file
+        ));
+    }
+    if entry.reason.is_empty() {
+        return Err(format!(
+            "entry for {} near line {lineno}: a `reason` is required",
+            entry.file
+        ));
+    }
+    entries.push(entry);
+    Ok(())
+}
+
+fn unquote(value: &str, lineno: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("line {lineno}: expected a double-quoted string"))?;
+    Ok(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let text = "# comment\n\n[[allow]]\nfile = \"a.rs\"\nrule = \"no-panic\"\ncount = 2\nreason = \"why\"\n\n[[allow]]\nfile = \"b.rs\"\nrule = \"no-raw-cast\"\ncount = 1\nreason = \"because\"\n";
+        let list = Allowlist::parse(text).unwrap();
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].file, "a.rs");
+        assert_eq!(list.entries[0].count, 2);
+        assert_eq!(list.total_for_rule("no-panic"), 2);
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        let text = "[[allow]]\nfile = \"a.rs\"\nrule = \"no-panic\"\ncount = 1\n";
+        assert!(Allowlist::parse(text).unwrap_err().contains("reason"));
+    }
+
+    #[test]
+    fn rejects_zero_count() {
+        let text = "[[allow]]\nfile = \"a.rs\"\nrule = \"no-panic\"\ncount = 0\nreason = \"x\"\n";
+        assert!(Allowlist::parse(text).unwrap_err().contains("count"));
+    }
+
+    #[test]
+    fn rejects_stray_keys() {
+        assert!(Allowlist::parse("file = \"a.rs\"\n").is_err());
+        let text =
+            "[[allow]]\nfile = \"a.rs\"\nrule = \"r\"\ncount = 1\nreason = \"x\"\nbogus = \"y\"\n";
+        assert!(Allowlist::parse(text).unwrap_err().contains("bogus"));
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let list = Allowlist::load(Path::new("/nonexistent/audit.toml")).unwrap();
+        assert!(list.entries.is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! `byc-audit`: the workspace invariant auditor.
+//!
+//! The workspace has coding rules that `rustc` and `clippy` cannot express
+//! precisely enough — *library* code must not panic while test code may,
+//! accounting paths must be deterministic, `byc-core` must not move byte
+//! counts through raw `as` casts, and every shipped policy type must plug
+//! into the [`CachePolicy`] hierarchy. This crate enforces them with a
+//! line-oriented source scan:
+//!
+//! ```text
+//! cargo run -p byc-audit -- lint
+//! ```
+//!
+//! exits non-zero when any rule fires outside the checked-in
+//! `audit.toml` allowlist. CI runs it next to `cargo clippy`.
+//!
+//! The scan is deliberately not a full parser: it strips comments and
+//! string literals with a small state machine ([`source`]), tracks
+//! `#[cfg(test)]` module extents by brace depth, and matches rule
+//! patterns against the sanitized text ([`rules`]). That keeps the
+//! auditor dependency-free (it must build offline, before anything else)
+//! while staying immune to the obvious false positives — patterns inside
+//! comments, strings, or test modules.
+//!
+//! The runtime half of the audit story — [`CacheState::check_invariants`]
+//! and `PolicyAuditor` — lives in `byc-core`, so the decision checks can
+//! run inside replays without a dependency cycle.
+//!
+//! [`CachePolicy`]: ../byc_core/policy/trait.CachePolicy.html
+//! [`CacheState::check_invariants`]: ../byc_core/cache/struct.CacheState.html
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::path::Path;
+
+/// Run the full lint pass over the workspace rooted at `root`.
+///
+/// Returns the findings that survive the allowlist, plus allowlist
+/// hygiene problems (stale or over-generous entries). An empty vector
+/// means the tree is clean.
+///
+/// # Errors
+///
+/// An I/O or allowlist-syntax error as a human-readable message.
+pub fn lint_workspace(root: &Path, allowlist: &Path) -> Result<Vec<report::Finding>, String> {
+    let config = config::Allowlist::load(allowlist)?;
+    let files = source::scan_workspace(root)?;
+    let mut findings = rules::run_all(&files);
+    findings.extend(rules::policy_coverage(&files));
+    Ok(report::apply_allowlist(findings, &config))
+}

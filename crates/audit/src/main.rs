@@ -1,0 +1,89 @@
+//! CLI entry point: `cargo run -p byc-audit -- lint [--root DIR]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: byc-audit lint [--root DIR] [--allowlist FILE]
+
+Runs the workspace invariant lints (see crates/audit/src/rules.rs):
+  no-panic            no unwrap/expect/panic! in library code of the
+                      core/engine/federation/sql/catalog crates
+  no-nondeterminism   no wall clocks or OS-seeded RNGs anywhere; no hash
+                      containers on the accounting/report path
+  no-raw-cast         no raw integer `as` casts in byc-core
+  policy-impl         every public policy type plugs into CachePolicy
+
+Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+Tolerated findings are declared in audit.toml at the workspace root.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "lint" if command.is_none() => command = Some("lint"),
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => return usage_error("--root needs a directory"),
+                }
+            }
+            "--allowlist" => {
+                i += 1;
+                match args.get(i) {
+                    Some(file) => allowlist = Some(PathBuf::from(file)),
+                    None => return usage_error("--allowlist needs a file"),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    if command != Some("lint") {
+        return usage_error("expected the `lint` subcommand");
+    }
+    // Default the root to the workspace the binary was built from, so
+    // `cargo run -p byc-audit -- lint` works from any subdirectory.
+    if root.as_os_str() == "." && !root.join("crates").is_dir() {
+        if let Some(manifest_root) = option_env!("CARGO_MANIFEST_DIR") {
+            let workspace = PathBuf::from(manifest_root).join("../..");
+            if workspace.join("crates").is_dir() {
+                root = workspace;
+            }
+        }
+    }
+    let allowlist = allowlist.unwrap_or_else(|| root.join("audit.toml"));
+
+    match byc_audit::lint_workspace(&root, &allowlist) {
+        Ok(findings) if findings.is_empty() => {
+            println!("byc-audit: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("byc-audit: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("byc-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("byc-audit: {message}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,159 @@
+//! Findings and allowlist reconciliation.
+
+use crate::config::Allowlist;
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (e.g. `no-panic`).
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings (allowlist hygiene).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Construct a finding.
+    pub fn new(rule: &str, file: &str, line: usize, message: String) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// Reconcile raw findings against the allowlist.
+///
+/// Per (file, rule) pair with an allowlist entry of count `n`:
+/// * exactly `n` findings — all silenced;
+/// * more than `n` — the excess is reported (worst offenders stay visible);
+/// * fewer than `n` — a `stale-allowlist` finding is reported, so paid-off
+///   debt shrinks the allowlist in the same change.
+pub fn apply_allowlist(findings: Vec<Finding>, allowlist: &Allowlist) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // (file, rule) pairs covered by an entry, with their budgets.
+    let mut budgets: Vec<(&str, &str, usize, usize)> = allowlist
+        .entries
+        .iter()
+        .map(|e| (e.file.as_str(), e.rule.as_str(), e.count, 0usize))
+        .collect();
+
+    for finding in findings {
+        let slot = budgets
+            .iter_mut()
+            .find(|(file, rule, _, _)| *file == finding.file && *rule == finding.rule);
+        match slot {
+            Some((_, _, budget, used)) => {
+                *used += 1;
+                if *used > *budget {
+                    out.push(finding);
+                }
+            }
+            None => out.push(finding),
+        }
+    }
+
+    for (file, rule, budget, used) in budgets {
+        if used < budget {
+            out.push(Finding::new(
+                "stale-allowlist",
+                file,
+                0,
+                format!(
+                    "allowlist tolerates {budget} `{rule}` finding(s) but only {used} exist; \
+                     shrink the entry"
+                ),
+            ));
+        }
+    }
+
+    out.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(&b.rule))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Allowlist;
+
+    fn finding(file: &str, rule: &str, line: usize) -> Finding {
+        Finding::new(rule, file, line, "m".into())
+    }
+
+    fn allowlist(file: &str, rule: &str, count: usize) -> Allowlist {
+        Allowlist::parse(&format!(
+            "[[allow]]\nfile = \"{file}\"\nrule = \"{rule}\"\ncount = {count}\nreason = \"r\"\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_budget_silences() {
+        let out = apply_allowlist(
+            vec![
+                finding("a.rs", "no-panic", 1),
+                finding("a.rs", "no-panic", 2),
+            ],
+            &allowlist("a.rs", "no-panic", 2),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn excess_over_budget_reported() {
+        let out = apply_allowlist(
+            vec![
+                finding("a.rs", "no-panic", 1),
+                finding("a.rs", "no-panic", 2),
+            ],
+            &allowlist("a.rs", "no-panic", 1),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn stale_entry_reported() {
+        let out = apply_allowlist(vec![], &allowlist("a.rs", "no-panic", 3));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "stale-allowlist");
+    }
+
+    #[test]
+    fn unrelated_findings_pass_through_sorted() {
+        let out = apply_allowlist(
+            vec![
+                finding("b.rs", "no-raw-cast", 9),
+                finding("a.rs", "no-panic", 1),
+            ],
+            &Allowlist::default(),
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].file, "a.rs");
+    }
+}

@@ -1,0 +1,366 @@
+//! The lint rules.
+//!
+//! Each rule is a pure function from sanitized sources to findings.
+//! Rules are deliberately narrow: they encode *this workspace's*
+//! conventions, not general style. Anything a rule flags that is
+//! genuinely fine gets an `audit.toml` entry with a reason — the
+//! allowlist is the paper trail, not a silencing mechanism.
+
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Crates whose library code must never panic: the simulation substrate
+/// and the caching algorithms. A panic mid-replay would abort a sweep
+/// that may have been running for hours; these crates return
+/// `byc_types::Result` instead.
+const NO_PANIC_CRATES: &[&str] = &["core", "engine", "federation", "sql", "catalog"];
+
+/// Panicking constructs forbidden in library code of [`NO_PANIC_CRATES`].
+const PANIC_PATTERNS: &[&str] = &[
+    "unwrap()",
+    "expect(",
+    "panic!(",
+    "unimplemented!(",
+    "todo!(",
+];
+
+/// Nondeterminism sources forbidden everywhere outside `bench`/`cli`
+/// (which are not scanned): replays must be bit-for-bit reproducible
+/// from a seed, so wall clocks and OS-seeded RNGs cannot appear in any
+/// library crate.
+const NONDET_PATTERNS: &[&str] = &[
+    "thread_rng",
+    "Instant::now",
+    "SystemTime::now",
+    "rand::random",
+];
+
+/// Files on the accounting/reporting path, where even *iteration order*
+/// must be deterministic because it feeds serialized reports and
+/// tie-breaking. Hash-based containers are banned here outright;
+/// ordered structures (`Vec`, `BTreeMap`) replace them.
+const ACCOUNTING_FILES: &[&str] = &["accounting.rs", "metrics.rs", "report.rs", "json.rs"];
+
+/// Hash-container markers matched in [`ACCOUNTING_FILES`].
+const HASH_CONTAINER_PATTERNS: &[&str] = &["HashMap", "HashSet"];
+
+/// Integer cast targets forbidden in `byc-core` library code: byte and
+/// count quantities must move through `From`/`TryFrom`/`Bytes` instead
+/// of truncating `as` casts.
+const INT_CAST_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Run every per-line rule over `files`.
+pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if !file.is_library() {
+            continue;
+        }
+        for line in &file.lines {
+            if line.in_test {
+                continue;
+            }
+            no_panic(file, &line.text, line.number, &mut findings);
+            no_nondeterminism(file, &line.text, line.number, &mut findings);
+            no_raw_int_cast(file, &line.text, line.number, &mut findings);
+        }
+    }
+    findings
+}
+
+fn no_panic(file: &SourceFile, text: &str, number: usize, out: &mut Vec<Finding>) {
+    if !NO_PANIC_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    for pat in PANIC_PATTERNS {
+        if let Some(col) = text.find(pat) {
+            // `.expect(` only: don't flag identifiers like `expected`.
+            if *pat == "expect(" && !text[..col].ends_with('.') {
+                continue;
+            }
+            out.push(Finding::new(
+                "no-panic",
+                &file.rel_path,
+                number,
+                format!("`{pat}` in library code (return byc_types::Result instead)"),
+            ));
+        }
+    }
+}
+
+fn no_nondeterminism(file: &SourceFile, text: &str, number: usize, out: &mut Vec<Finding>) {
+    // Benchmarks time things and the CLI talks to a human; the
+    // determinism contract covers the simulation library crates.
+    if file.crate_name == "bench" || file.crate_name == "cli" {
+        return;
+    }
+    for pat in NONDET_PATTERNS {
+        if text.contains(pat) {
+            out.push(Finding::new(
+                "no-nondeterminism",
+                &file.rel_path,
+                number,
+                format!("`{pat}`: replays must be reproducible from a seed"),
+            ));
+        }
+    }
+    if ACCOUNTING_FILES.contains(&file.file_name()) {
+        for pat in HASH_CONTAINER_PATTERNS {
+            if text.contains(pat) {
+                out.push(Finding::new(
+                    "no-nondeterminism",
+                    &file.rel_path,
+                    number,
+                    format!("`{pat}` on the accounting/report path: iteration order feeds output"),
+                ));
+            }
+        }
+    }
+}
+
+fn no_raw_int_cast(file: &SourceFile, text: &str, number: usize, out: &mut Vec<Finding>) {
+    if file.crate_name != "core" {
+        return;
+    }
+    let mut rest = text;
+    while let Some(pos) = rest.find(" as ") {
+        let after = &rest[pos + 4..];
+        let target: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if INT_CAST_TARGETS.contains(&target.as_str()) {
+            out.push(Finding::new(
+                "no-raw-cast",
+                &file.rel_path,
+                number,
+                format!("raw `as {target}` cast in byc-core (use From/TryFrom or Bytes)"),
+            ));
+        }
+        rest = after;
+    }
+}
+
+/// The structural rule: every public policy-like type in `byc-core`'s
+/// policy modules must plug into the policy hierarchy — it must be the
+/// target of an `impl CachePolicy`, `impl UtilityRule`, or
+/// `impl BypassObjectAlgorithm` somewhere in the workspace. A public
+/// struct in a policy module that implements none of these is either
+/// dead weight or an algorithm the replay harness cannot drive.
+pub fn policy_coverage(files: &[SourceFile]) -> Vec<Finding> {
+    const POLICY_MODULES: &[&str] = &[
+        "online.rs",
+        "spaceeff.rs",
+        "inline.rs",
+        "rate_profile.rs",
+        "static_opt.rs",
+        "bypass_object.rs",
+    ];
+    const POLICY_TRAITS: &[&str] = &["CachePolicy", "UtilityRule", "BypassObjectAlgorithm"];
+
+    // Pass 1: all impl targets of the policy traits, workspace-wide.
+    let mut implemented: Vec<String> = Vec::new();
+    for file in files {
+        for line in &file.lines {
+            let text = line.text.trim();
+            if !text.starts_with("impl") {
+                continue;
+            }
+            for t in POLICY_TRAITS {
+                let marker = format!("{t} for ");
+                if let Some(pos) = text.find(&marker) {
+                    let name: String = text[pos + marker.len()..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() && !implemented.contains(&name) {
+                        implemented.push(name);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: public structs declared in core's policy modules.
+    let mut findings = Vec::new();
+    for file in files {
+        if file.crate_name != "core" || !POLICY_MODULES.contains(&file.file_name()) {
+            continue;
+        }
+        for line in &file.lines {
+            if line.in_test {
+                continue;
+            }
+            let text = line.text.trim();
+            if let Some(rest) = text.strip_prefix("pub struct ") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() && !implemented.contains(&name) {
+                    findings.push(Finding::new(
+                        "policy-impl",
+                        &file.rel_path,
+                        line.number,
+                        format!(
+                            "public type `{name}` in a policy module implements none of \
+                             CachePolicy/UtilityRule/BypassObjectAlgorithm"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{sanitize, SourceFile};
+
+    fn file(crate_name: &str, rel: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            lines: sanitize(src),
+        }
+    }
+
+    #[test]
+    fn flags_unwrap_in_core_library_code() {
+        let f = file(
+            "core",
+            "crates/core/src/cache.rs",
+            "fn f() { x.unwrap(); }\n",
+        );
+        let findings = run_all(&[f]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-panic");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn ignores_unwrap_in_test_module() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        let f = file("core", "crates/core/src/cache.rs", src);
+        assert!(run_all(&[f]).is_empty());
+    }
+
+    #[test]
+    fn ignores_unwrap_in_comments_and_strings() {
+        let src = "// x.unwrap()\nfn f() { let s = \"unwrap()\"; }\n";
+        let f = file("core", "crates/core/src/cache.rs", src);
+        assert!(run_all(&[f]).is_empty());
+    }
+
+    #[test]
+    fn ignores_unwrap_in_exempt_crate() {
+        let f = file(
+            "workload",
+            "crates/workload/src/gen.rs",
+            "fn f() { x.unwrap(); }\n",
+        );
+        assert!(run_all(&[f]).is_empty());
+    }
+
+    #[test]
+    fn expect_needs_method_call_position() {
+        let f = file(
+            "core",
+            "crates/core/src/cache.rs",
+            "fn f(expected: u32) { let expectation = expected; }\n",
+        );
+        assert!(run_all(&[f]).is_empty());
+        let g = file(
+            "core",
+            "crates/core/src/cache.rs",
+            "fn f() { x.expect(1); }\n",
+        );
+        assert_eq!(run_all(&[g]).len(), 1);
+    }
+
+    #[test]
+    fn flags_wall_clock_everywhere() {
+        let f = file(
+            "workload",
+            "crates/workload/src/gen.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        let findings = run_all(&[f]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-nondeterminism");
+    }
+
+    #[test]
+    fn flags_hash_containers_only_on_accounting_path() {
+        let acct = file(
+            "federation",
+            "crates/federation/src/accounting.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert_eq!(run_all(&[acct]).len(), 1);
+        let other = file(
+            "federation",
+            "crates/federation/src/mediator.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert!(run_all(&[other]).is_empty());
+    }
+
+    #[test]
+    fn flags_int_casts_only_in_core() {
+        let core = file(
+            "core",
+            "crates/core/src/cache.rs",
+            "fn f(x: u64) -> usize { x as usize }\n",
+        );
+        let findings = run_all(&[core]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-raw-cast");
+        let engine = file(
+            "engine",
+            "crates/engine/src/rows.rs",
+            "fn f(x: u64) -> usize { x as usize }\n",
+        );
+        assert!(run_all(&[engine]).is_empty());
+        // Float casts are out of scope for this rule.
+        let fl = file(
+            "core",
+            "crates/core/src/x.rs",
+            "fn f(x: u64) -> f64 { x as f64 }\n",
+        );
+        assert!(run_all(&[fl]).is_empty());
+    }
+
+    #[test]
+    fn policy_coverage_requires_trait_impl() {
+        let covered = file(
+            "core",
+            "crates/core/src/inline.rs",
+            "pub struct GdsRule;\nimpl UtilityRule for GdsRule {}\n",
+        );
+        assert!(policy_coverage(&[covered]).is_empty());
+        let uncovered = file("core", "crates/core/src/inline.rs", "pub struct Orphan;\n");
+        let findings = policy_coverage(&[uncovered]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "policy-impl");
+    }
+
+    #[test]
+    fn policy_coverage_sees_cross_file_impls() {
+        let decl = file(
+            "core",
+            "crates/core/src/online.rs",
+            "pub struct OnlineBY;\n",
+        );
+        let imp = file(
+            "federation",
+            "crates/federation/src/policies.rs",
+            "impl CachePolicy for OnlineBY {}\n",
+        );
+        assert!(policy_coverage(&[decl, imp]).is_empty());
+    }
+}

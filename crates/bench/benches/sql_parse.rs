@@ -20,7 +20,9 @@ fn bench_single_query(c: &mut Criterion) {
     group.bench_function("tokenize", |b| b.iter(|| tokenize(PAPER_QUERY).unwrap()));
     group.bench_function("parse", |b| b.iter(|| parse(PAPER_QUERY).unwrap()));
     let parsed = parse(PAPER_QUERY).unwrap();
-    group.bench_function("analyze", |b| b.iter(|| analyze(&catalog, &parsed).unwrap()));
+    group.bench_function("analyze", |b| {
+        b.iter(|| analyze(&catalog, &parsed).unwrap())
+    });
     let resolved = analyze(&catalog, &parsed).unwrap();
     let model = YieldModel::new(&catalog);
     group.bench_function("yield_estimate", |b| b.iter(|| model.estimate(&resolved)));

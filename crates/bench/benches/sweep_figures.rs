@@ -23,8 +23,7 @@ fn bench_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_12_replays");
     group.bench_function("parallel", |b| {
         b.iter(|| {
-            sweep_cache_sizes(&trace, &objects, &stats.demands, &POLICIES, &FRACTIONS, 17)
-                .len()
+            sweep_cache_sizes(&trace, &objects, &stats.demands, &POLICIES, &FRACTIONS, 17).len()
         })
     });
     group.bench_function("serial", |b| {

@@ -11,7 +11,11 @@ fn bench_generation(c: &mut Criterion) {
     for &n in &[1_000usize, 10_000] {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| generate(&catalog, &WorkloadConfig::smoke(9, n)).unwrap().len())
+            b.iter(|| {
+                generate(&catalog, &WorkloadConfig::smoke(9, n))
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();

@@ -1,15 +1,14 @@
 //! One function per paper artifact.
 
 use byc_analysis::{
-    containment_analysis, locality_analysis, render_cost_table, write_series_csv,
-    write_sweep_csv,
+    containment_analysis, locality_analysis, render_cost_table, write_series_csv, write_sweep_csv,
 };
 use byc_catalog::sdss::{self, SdssRelease};
 use byc_catalog::{Catalog, Granularity, ObjectCatalog};
 use byc_core::rate_profile::{RateProfile, RateProfileConfig};
 use byc_federation::{
-    build_policy, replay, replay_with_series, sweep_cache_sizes, CostReport,
-    PolicyKind, SeriesPoint,
+    build_policy, replay, replay_with_series, sweep_cache_sizes, CostReport, PolicyKind,
+    SeriesPoint,
 };
 use byc_types::Result;
 use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
@@ -413,7 +412,11 @@ pub fn ablations(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
         let report = replay(trace, &objects, &mut policy);
         rows.push((label.to_string(), report.total_cost().as_f64() / 1e9));
     };
-    run_rp("Rate-Profile (paper defaults)", RateProfileConfig::default(), &mut rows);
+    run_rp(
+        "Rate-Profile (paper defaults)",
+        RateProfileConfig::default(),
+        &mut rows,
+    );
     run_rp(
         "  episodes disabled",
         RateProfileConfig {
@@ -466,7 +469,14 @@ pub fn ablations(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
         let mut policy = build_policy(kind, capacity, &stats.demands, EXPERIMENT_SEED);
         let report = replay(trace, &objects, policy.as_mut());
         rows.push((
-            format!("OnlineBY with {}", if kind == PolicyKind::OnlineBY { "Landlord" } else { "SizeClassMarking" }),
+            format!(
+                "OnlineBY with {}",
+                if kind == PolicyKind::OnlineBY {
+                    "Landlord"
+                } else {
+                    "SizeClassMarking"
+                }
+            ),
             report.total_cost().as_f64() / 1e9,
         ));
     }
@@ -474,7 +484,10 @@ pub fn ablations(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
     for seed in [1u64, 2, 3] {
         let mut policy = build_policy(PolicyKind::SpaceEffBY, capacity, &stats.demands, seed);
         let report = replay(trace, &objects, policy.as_mut());
-        rows.push((format!("SpaceEffBY seed {seed}"), report.total_cost().as_f64() / 1e9));
+        rows.push((
+            format!("SpaceEffBY seed {seed}"),
+            report.total_cost().as_f64() / 1e9,
+        ));
     }
 
     let mut summary = String::new();
@@ -503,7 +516,12 @@ pub fn semantic(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
     let stats = WorkloadStats::compute(trace, &objects);
     let capacity = objects.total_size().scale(HEADLINE_CACHE_FRACTION);
     let report = byc_federation::SemanticCache::new(capacity).replay(trace);
-    let mut rp = build_policy(PolicyKind::RateProfile, capacity, &stats.demands, EXPERIMENT_SEED);
+    let mut rp = build_policy(
+        PolicyKind::RateProfile,
+        capacity,
+        &stats.demands,
+        EXPERIMENT_SEED,
+    );
     let rp_report = replay(trace, &objects, rp.as_mut());
 
     let mut summary = String::new();

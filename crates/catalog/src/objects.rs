@@ -17,10 +17,9 @@
 
 use crate::schema::Catalog;
 use byc_types::{Bytes, ColumnId, Error, ObjectId, Result, ServerId, TableId};
-use serde::{Deserialize, Serialize};
 
 /// Granularity at which database objects are cached.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Granularity {
     /// One cacheable object per base table.
     Table,
@@ -39,7 +38,7 @@ impl Granularity {
 }
 
 /// What a cacheable object denotes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ObjectKind {
     /// A whole table.
     Table(TableId),
@@ -48,7 +47,7 @@ pub enum ObjectKind {
 }
 
 /// Size and cost metadata for one cacheable object.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ObjectInfo {
     /// The object id (dense, equals its index in the catalog).
     pub id: ObjectId,
@@ -63,7 +62,7 @@ pub struct ObjectInfo {
 }
 
 /// Enumeration of a schema's cacheable objects at one granularity.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ObjectCatalog {
     granularity: Granularity,
     objects: Vec<ObjectInfo>,

@@ -1,12 +1,11 @@
 //! Column types, table definitions, and the name-resolving catalog.
 
 use byc_types::{Bytes, ColumnId, Error, Result, ServerId, TableId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Storage type of a column. Widths follow SQL Server conventions, which is
 /// what the SDSS SkyServer schema uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ColumnType {
     /// 64-bit integer (`bigint`), 8 bytes. Object identifiers.
     BigInt,
@@ -41,7 +40,7 @@ impl ColumnType {
 }
 
 /// Definition of a column, before registration in a catalog.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ColumnDef {
     /// Column name, unique within its table.
     pub name: String,
@@ -74,7 +73,7 @@ impl ColumnDef {
 }
 
 /// Definition of a table, before registration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TableDef {
     /// Table name, unique within the catalog.
     pub name: String,
@@ -88,7 +87,7 @@ pub struct TableDef {
 }
 
 /// A registered column.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Column {
     /// Global column id.
     pub id: ColumnId,
@@ -114,7 +113,7 @@ impl Column {
 }
 
 /// A registered table.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Table id.
     pub id: TableId,
@@ -138,7 +137,7 @@ impl Table {
 }
 
 /// The schema catalog: registered tables and columns with name resolution.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Catalog {
     tables: Vec<Table>,
     columns: Vec<Column>,

@@ -351,10 +351,18 @@ mod tests {
         // finds bypass caches need 20–30% of the database to be
         // effective; our knee is placed accordingly.
         let cat = edr();
-        let hot: f64 = ["Galaxy", "Star", "Neighbors", "PhotoZ", "SpecLineIndex", "SpecObj", "Field"]
-            .iter()
-            .map(|n| cat.table_by_name(n).unwrap().size().as_f64())
-            .sum();
+        let hot: f64 = [
+            "Galaxy",
+            "Star",
+            "Neighbors",
+            "PhotoZ",
+            "SpecLineIndex",
+            "SpecObj",
+            "Field",
+        ]
+        .iter()
+        .map(|n| cat.table_by_name(n).unwrap().size().as_f64())
+        .sum();
         let frac = hot / cat.database_size().as_f64();
         assert!((0.05..0.20).contains(&frac), "hot fraction {frac}");
     }

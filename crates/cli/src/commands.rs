@@ -212,22 +212,24 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             positional.push(a.clone());
         }
     }
-    let flag_f64 = |flags: &std::collections::HashMap<String, String>, k: &str, default: f64| -> Result<f64> {
-        match flags.get(k) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| Error::InvalidConfig(format!("--{k} expects a number, got {v:?}"))),
-        }
-    };
-    let flag_u64 = |flags: &std::collections::HashMap<String, String>, k: &str, default: u64| -> Result<u64> {
-        match flags.get(k) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| Error::InvalidConfig(format!("--{k} expects an integer, got {v:?}"))),
-        }
-    };
+    let flag_f64 =
+        |flags: &std::collections::HashMap<String, String>, k: &str, default: f64| -> Result<f64> {
+            match flags.get(k) {
+                None => Ok(default),
+                Some(v) => v.parse().map_err(|_| {
+                    Error::InvalidConfig(format!("--{k} expects a number, got {v:?}"))
+                }),
+            }
+        };
+    let flag_u64 =
+        |flags: &std::collections::HashMap<String, String>, k: &str, default: u64| -> Result<u64> {
+            match flags.get(k) {
+                None => Ok(default),
+                Some(v) => v.parse().map_err(|_| {
+                    Error::InvalidConfig(format!("--{k} expects an integer, got {v:?}"))
+                }),
+            }
+        };
     let first = |positional: &[String]| -> Result<String> {
         positional
             .first()
@@ -239,9 +241,12 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "gen-trace" => Ok(Command::GenTrace {
             release: first(&positional)?,
-            out: PathBuf::from(flags.get("out").cloned().ok_or_else(|| {
-                Error::InvalidConfig("gen-trace requires --out FILE".into())
-            })?),
+            out: PathBuf::from(
+                flags
+                    .get("out")
+                    .cloned()
+                    .ok_or_else(|| Error::InvalidConfig("gen-trace requires --out FILE".into()))?,
+            ),
             seed: flag_u64(&flags, "seed", 42)?,
             scale: flag_f64(&flags, "scale", 1.0)?,
             queries: flag_u64(&flags, "queries", 0)? as usize,
@@ -474,7 +479,10 @@ mod tests {
 
     #[test]
     fn policy_names_parse() {
-        assert_eq!(parse_policy("rate-profile").unwrap(), PolicyKind::RateProfile);
+        assert_eq!(
+            parse_policy("rate-profile").unwrap(),
+            PolicyKind::RateProfile
+        );
         assert_eq!(parse_policy("RP").unwrap(), PolicyKind::RateProfile);
         assert_eq!(parse_policy("GDS").unwrap(), PolicyKind::Gds);
         assert_eq!(parse_policy("lru2").unwrap(), PolicyKind::LruK);
@@ -587,7 +595,10 @@ mod tests {
     #[test]
     fn unknown_flags_rejected() {
         let err = parse_args(&args(&["run", "edr", "--cache-fracton", "0.5"])).unwrap_err();
-        assert!(err.to_string().contains("unknown flag --cache-fracton"), "{err}");
+        assert!(
+            err.to_string().contains("unknown flag --cache-fracton"),
+            "{err}"
+        );
         let err = parse_args(&args(&["gen-trace", "edr", "--policy", "gds"])).unwrap_err();
         assert!(err.to_string().contains("unknown flag --policy"), "{err}");
     }

@@ -1,7 +1,6 @@
 //! The per-object access record presented to caching policies.
 
 use byc_types::{Bytes, ObjectId, Tick};
-use serde::{Deserialize, Serialize};
 
 /// One (query, object) access.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// query's yield attributed to that object (paper §6's yield
 /// decomposition). Size and fetch cost travel with the access so policies
 /// need no external object registry.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Access {
     /// The object being queried.
     pub object: ObjectId,

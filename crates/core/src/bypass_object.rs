@@ -125,8 +125,7 @@ impl BypassObjectAlgorithm for Landlord {
         }
         let s = size.as_f64().max(1.0);
         let key = self.inflation + fetch_cost.as_f64() / s;
-        self.cache
-            .evict_and_insert(&plan, object, size, key, now);
+        self.cache.evict_and_insert(&plan, object, size, key, now);
         Decision::Load {
             evictions: plan.into_iter().map(|(o, _)| o).collect(),
         }
@@ -263,10 +262,11 @@ impl BypassObjectAlgorithm for SizeClassMarking {
         }
         let class = size_class(size);
         self.rekey(class);
-        let plan = self
-            .cache
-            .plan_eviction(size)
-            .expect("size <= capacity checked above");
+        let Some(plan) = self.cache.plan_eviction(size) else {
+            // Unreachable: size <= capacity was checked above. Bypassing
+            // is the safe, conservative answer if it ever fires.
+            return Decision::Bypass;
+        };
         for &(v, _) in &plan {
             self.meta.remove(&v);
         }

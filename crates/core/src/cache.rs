@@ -82,14 +82,16 @@ impl CacheState {
 
     /// Record a query served from cache: accumulate its yield.
     ///
-    /// # Panics
+    /// Hitting a non-cached object is a policy bug; debug builds assert,
+    /// release builds ignore the call (the [`PolicyAuditor`] catches and
+    /// reports the inconsistency during replay).
     ///
-    /// Panics if the object is not cached (a policy bug).
+    /// [`PolicyAuditor`]: crate::audit::PolicyAuditor
     pub fn record_hit(&mut self, object: ObjectId, yield_bytes: Bytes) {
-        let e = self
-            .entries
-            .get_mut(&object)
-            .expect("record_hit on non-cached object");
+        let Some(e) = self.entries.get_mut(&object) else {
+            debug_assert!(false, "record_hit on non-cached object {object}");
+            return;
+        };
         e.accum_yield += yield_bytes;
         e.hits += 1;
     }
@@ -183,6 +185,54 @@ impl CacheState {
         Some(victims)
     }
 
+    /// Verify the structural invariants of the cache state:
+    ///
+    /// 1. `used` equals the sum of the cached entries' sizes;
+    /// 2. `used` never exceeds `capacity`;
+    /// 3. the utility heap indexes exactly the cached objects, and its
+    ///    internal heap/index structure is consistent.
+    ///
+    /// Cheap enough to run per-access in debug replays; the
+    /// [`PolicyAuditor`](crate::audit::PolicyAuditor) calls it through
+    /// the policies' deep-check hooks.
+    ///
+    /// # Errors
+    ///
+    /// A message describing every violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut problems: Vec<String> = Vec::new();
+        let sum: Bytes = self.entries.values().map(|e| e.size).sum();
+        if sum != self.used {
+            problems.push(format!("used {} != sum of entry sizes {sum}", self.used));
+        }
+        if self.used > self.capacity {
+            problems.push(format!(
+                "used {} exceeds capacity {}",
+                self.used, self.capacity
+            ));
+        }
+        if self.heap.len() != self.entries.len() {
+            problems.push(format!(
+                "heap tracks {} objects, index tracks {}",
+                self.heap.len(),
+                self.entries.len()
+            ));
+        }
+        for &object in self.entries.keys() {
+            if !self.heap.contains(object) {
+                problems.push(format!("cached {object} missing from the heap"));
+            }
+        }
+        if !self.heap.validate() {
+            problems.push("utility heap structure is corrupt".to_string());
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("; "))
+        }
+    }
+
     /// Evict the planned victims and insert the object in one step.
     pub fn evict_and_insert(
         &mut self,
@@ -249,6 +299,47 @@ mod tests {
         assert_eq!(e.accum_yield, Bytes::new(7));
         assert_eq!(e.hits, 2);
         assert_eq!(e.loaded_at, Tick::new(5));
+    }
+
+    #[test]
+    fn invariants_hold_through_normal_operation() {
+        let mut c = cache(100);
+        assert!(c.check_invariants().is_ok());
+        c.insert(oid(0), Bytes::new(60), 1.0, Tick::ZERO);
+        c.insert(oid(1), Bytes::new(30), 2.0, Tick::ZERO);
+        assert!(c.check_invariants().is_ok());
+        c.record_hit(oid(0), Bytes::new(5));
+        c.set_utility(oid(0), 9.0);
+        c.remove(oid(1));
+        assert!(c.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn corrupted_used_counter_is_caught() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(60), 1.0, Tick::ZERO);
+        c.used = Bytes::new(10); // break accounting behind the API's back
+        let err = c.check_invariants().unwrap_err();
+        assert!(err.contains("sum of entry sizes"), "{err}");
+    }
+
+    #[test]
+    fn over_capacity_state_is_caught() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(60), 1.0, Tick::ZERO);
+        c.capacity = Bytes::new(50); // capacity shrank under live entries
+        let err = c.check_invariants().unwrap_err();
+        assert!(err.contains("exceeds capacity"), "{err}");
+    }
+
+    #[test]
+    fn heap_desync_is_caught() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(60), 1.0, Tick::ZERO);
+        c.insert(oid(1), Bytes::new(30), 2.0, Tick::ZERO);
+        c.heap.remove(oid(1)); // heap forgets an entry the index keeps
+        let err = c.check_invariants().unwrap_err();
+        assert!(err.contains("heap"), "{err}");
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   LRU-K ([`inline`]), static-optimal caching, and no caching
 //!   ([`static_opt`]);
 //! * an offline, capacity-relaxed lower bound on any policy's WAN cost
-//!   ([`offline`]).
+//!   ([`offline`]);
+//! * a runtime decision-stream auditor that validates any policy's
+//!   `Hit`/`Bypass`/`Load` answers against a shadow cache model
+//!   ([`audit`]).
 //!
 //! All policies implement [`policy::CachePolicy`]: the simulator presents
 //! one [`access::Access`] per (query, object) pair — carrying the object's
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod audit;
 pub mod bypass_object;
 pub mod cache;
 pub mod heap;

@@ -17,10 +17,9 @@
 //! pin down.
 
 use byc_types::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// One query class against an object: its access probability and yield.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct QueryProfile {
     /// Probability of this query class occurring.
     pub probability: f64,
@@ -51,7 +50,11 @@ pub fn byhr(size: Bytes, fetch_cost: Bytes, queries: &[QueryProfile]) -> f64 {
         .map(|q| q.probability * q.yield_bytes.as_f64())
         .sum();
     if size.is_zero() {
-        return if expected_yield > 0.0 { f64::INFINITY } else { 0.0 };
+        return if expected_yield > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
     }
     expected_yield * fetch_cost.as_f64() / (size.as_f64() * size.as_f64())
 }
@@ -64,7 +67,11 @@ pub fn byu(size: Bytes, queries: &[QueryProfile]) -> f64 {
         .map(|q| q.probability * q.yield_bytes.as_f64())
         .sum();
     if size.is_zero() {
-        return if expected_yield > 0.0 { f64::INFINITY } else { 0.0 };
+        return if expected_yield > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
     }
     expected_yield / size.as_f64()
 }
@@ -109,10 +116,7 @@ mod tests {
         // Page model: constant object size, yield = size. BYU = Σ p,
         // the hit probability.
         let s = Bytes::new(4096);
-        let qs = [
-            QueryProfile::new(0.2, s),
-            QueryProfile::new(0.05, s),
-        ];
+        let qs = [QueryProfile::new(0.2, s), QueryProfile::new(0.05, s)];
         assert!((byu(s, &qs) - 0.25).abs() < 1e-12);
     }
 

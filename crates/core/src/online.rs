@@ -78,12 +78,9 @@ impl<A: BypassObjectAlgorithm> CachePolicy for OnlineBY<A> {
         let mut load_evictions = None;
         if fire {
             // The object becomes the next input for A_obj.
-            let d = self.inner.on_request(
-                access.object,
-                access.size,
-                access.fetch_cost,
-                access.time,
-            );
+            let d =
+                self.inner
+                    .on_request(access.object, access.size, access.fetch_cost, access.time);
             if let Decision::Load { evictions } = d {
                 load_evictions = Some(evictions);
             }

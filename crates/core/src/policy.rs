@@ -79,6 +79,66 @@ pub trait CachePolicy {
     }
 }
 
+impl<P: CachePolicy + ?Sized> CachePolicy for &mut P {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_access(&mut self, access: &Access) -> Decision {
+        (**self).on_access(access)
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        (**self).contains(object)
+    }
+
+    fn used(&self) -> Bytes {
+        (**self).used()
+    }
+
+    fn capacity(&self) -> Bytes {
+        (**self).capacity()
+    }
+
+    fn cached_objects(&self) -> Vec<ObjectId> {
+        (**self).cached_objects()
+    }
+
+    fn invalidate(&mut self, object: ObjectId) -> bool {
+        (**self).invalidate(object)
+    }
+}
+
+impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_access(&mut self, access: &Access) -> Decision {
+        (**self).on_access(access)
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        (**self).contains(object)
+    }
+
+    fn used(&self) -> Bytes {
+        (**self).used()
+    }
+
+    fn capacity(&self) -> Bytes {
+        (**self).capacity()
+    }
+
+    fn cached_objects(&self) -> Vec<ObjectId> {
+        (**self).cached_objects()
+    }
+
+    fn invalidate(&mut self, object: ObjectId) -> bool {
+        (**self).invalidate(object)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,9 +149,6 @@ mod tests {
         assert!(Decision::Bypass.is_bypass());
         assert!(Decision::load().is_load());
         assert!(!Decision::Hit.is_load());
-        assert_eq!(
-            Decision::load(),
-            Decision::Load { evictions: vec![] }
-        );
+        assert_eq!(Decision::load(), Decision::Load { evictions: vec![] });
     }
 }

@@ -220,10 +220,7 @@ impl RateProfile {
 
         // Rule 2: idle gap closes the episode (evaluated lazily on the
         // next access).
-        if episodes_enabled
-            && profile.open
-            && access.time.since(profile.last_access) > cfg_idle
-        {
+        if episodes_enabled && profile.open && access.time.since(profile.last_access) > cfg_idle {
             profile.close_episode(cfg_max_eps);
         }
         if !profile.open {
@@ -403,10 +400,20 @@ mod tests {
         }
     }
 
-    fn hot_loop(policy: &mut RateProfile, object: u32, start: u64, n: u64, yld: u64, size: u64) -> u64 {
+    fn hot_loop(
+        policy: &mut RateProfile,
+        object: u32,
+        start: u64,
+        n: u64,
+        yld: u64,
+        size: u64,
+    ) -> u64 {
         let mut loads = 0;
         for i in 0..n {
-            if policy.on_access(&acc(object, start + i, yld, size)).is_load() {
+            if policy
+                .on_access(&acc(object, start + i, yld, size))
+                .is_load()
+            {
                 loads += 1;
             }
         }

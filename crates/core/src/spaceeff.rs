@@ -57,12 +57,9 @@ impl<A: BypassObjectAlgorithm> CachePolicy for SpaceEffBY<A> {
         let was_cached = self.inner.contains(access.object);
         let mut load_evictions = None;
         if fire {
-            let d = self.inner.on_request(
-                access.object,
-                access.size,
-                access.fetch_cost,
-                access.time,
-            );
+            let d =
+                self.inner
+                    .on_request(access.object, access.size, access.fetch_cost, access.time);
             if let Decision::Load { evictions } = d {
                 load_evictions = Some(evictions);
             }

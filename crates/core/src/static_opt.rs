@@ -69,16 +69,25 @@ pub fn plan_exact(demands: &[ObjectDemand], capacity: Bytes, grid: usize) -> Vec
     if capacity.is_zero() {
         return Vec::new();
     }
-    let unit = (capacity.raw() as f64 / grid as f64).max(1.0);
+    // All grid math is exact integer arithmetic: a byte count never moves
+    // through a float or a truncating cast.
+    let grid_max = u64::try_from(grid).unwrap_or(u64::MAX);
+    // Unit rounded *up* so the budget in units never exceeds `grid`;
+    // rounding down would clamp the budget and discard real capacity.
+    let unit = capacity.raw().div_ceil(grid_max).max(1);
     // Budget in grid units, floored so rounded-up item weights can never
     // overshoot the true capacity.
-    let grid = ((capacity.as_f64() / unit).floor() as usize).min(grid).max(1);
+    let grid = usize::try_from(capacity.raw() / unit)
+        .unwrap_or(grid)
+        .min(grid)
+        .max(1);
     let items: Vec<(&ObjectDemand, usize)> = demands
         .iter()
         .filter(|d| d.size <= capacity && !d.net_savings().is_zero())
         .map(|d| {
-            let w = (d.size.as_f64() / unit).ceil() as usize;
-            (d, w.max(1))
+            // Weight = ceil(size / unit), rounded up.
+            let w = d.size.raw().div_ceil(unit);
+            (d, usize::try_from(w).unwrap_or(usize::MAX).max(1))
         })
         .filter(|&(_, w)| w <= grid)
         .collect();
@@ -157,6 +166,11 @@ impl CachePolicy for StaticCache {
         }
         if self.loaded.contains_key(&access.object) {
             return Decision::Hit;
+        }
+        if self.used + access.size > self.capacity {
+            // The planner guarantees the selection fits; a mis-planned
+            // set must degrade to bypassing, never overflow the cache.
+            return Decision::Bypass;
         }
         self.loaded.insert(access.object, access.size);
         self.used += access.size;
@@ -320,13 +334,7 @@ mod tests {
         for trial in 0..50 {
             let n = rng.next_range(1, 12) as usize;
             let demands: Vec<ObjectDemand> = (0..n)
-                .map(|i| {
-                    demand(
-                        i as u32,
-                        rng.next_range(1, 1000),
-                        rng.next_range(1, 300),
-                    )
-                })
+                .map(|i| demand(i as u32, rng.next_range(1, 1000), rng.next_range(1, 300)))
                 .collect();
             let cap = Bytes::new(rng.next_range(50, 600));
             let value = |plan: &[ObjectId]| -> u64 {

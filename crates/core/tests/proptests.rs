@@ -6,15 +6,16 @@
 //! small instances.
 
 use byc_core::access::Access;
+use byc_core::audit::PolicyAuditor;
+use byc_core::bypass_object::{BypassObjectAlgorithm, Landlord, SizeClassMarking};
 use byc_core::cache::CacheState;
 use byc_core::heap::IndexedMinHeap;
 use byc_core::inline::make;
 use byc_core::online::OnlineBY;
-use byc_core::bypass_object::{Landlord, SizeClassMarking, BypassObjectAlgorithm};
 use byc_core::policy::{CachePolicy, Decision};
 use byc_core::rate_profile::{RateProfile, RateProfileConfig};
 use byc_core::spaceeff::SpaceEffBY;
-use byc_core::static_opt::{plan_exact, plan_greedy, ObjectDemand};
+use byc_core::static_opt::{plan_exact, plan_greedy, NoCache, ObjectDemand, StaticCache};
 use byc_types::{Bytes, ObjectId, Tick};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -157,6 +158,72 @@ proptest! {
                 }
                 prop_assert!(p.used() <= p.capacity(), "{} over capacity", p.name());
             }
+        }
+    }
+
+    /// Every shipped policy produces a violation-free decision stream
+    /// under the [`PolicyAuditor`]'s shadow model on arbitrary traces,
+    /// and the auditor's delivery accounting is conserved: every byte of
+    /// yield is served either from cache (`D_C`) or by bypassing (`D_S`).
+    #[test]
+    fn auditor_clears_every_shipped_policy(
+        seed in any::<u64>(),
+        capacity in 500u64..5_000,
+        accesses in proptest::collection::vec((0u32..40, 1u64..800), 1..250),
+    ) {
+        let cap = Bytes::new(capacity);
+        let static_set: Vec<ObjectId> =
+            (0..4).map(|i| ObjectId::new(i * 7)).collect();
+        let policies: Vec<Box<dyn CachePolicy>> = vec![
+            Box::new(RateProfile::new(cap, RateProfileConfig::default())),
+            Box::new(OnlineBY::new(Landlord::new(cap))),
+            Box::new(OnlineBY::new(SizeClassMarking::new(cap))),
+            Box::new(SpaceEffBY::new(Landlord::new(cap), seed)),
+            Box::new(make::gds(cap)),
+            Box::new(make::gdsp(cap)),
+            Box::new(make::lru(cap)),
+            Box::new(make::lfu(cap)),
+            Box::new(make::lru_k(cap, 2)),
+            Box::new(make::lff(cap)),
+            Box::new(make::gd_star(cap)),
+            Box::new(StaticCache::new(static_set, cap, true)),
+            Box::new(NoCache),
+        ];
+        let mut auditors: Vec<PolicyAuditor<Box<dyn CachePolicy>>> =
+            policies.into_iter().map(PolicyAuditor::new).collect();
+        let mut expected_delivery = Bytes::ZERO;
+        for (t, &(id, yld)) in accesses.iter().enumerate() {
+            // Size is a stable function of the object id; some objects
+            // are deliberately larger than any capacity in range.
+            let size = (1 + (id as u64 * 137) % 6_000).max(1);
+            let access = Access {
+                object: ObjectId::new(id),
+                time: Tick::new(t as u64),
+                yield_bytes: Bytes::new(yld.min(size)),
+                size: Bytes::new(size),
+                fetch_cost: Bytes::new(size),
+            };
+            expected_delivery += access.yield_bytes;
+            for a in auditors.iter_mut() {
+                a.on_access(&access);
+                // Occasional invalidation exercises the shadow-model
+                // bookkeeping on the same stream.
+                if t % 17 == 16 {
+                    a.invalidate(access.object);
+                }
+            }
+        }
+        for a in auditors {
+            let name = a.name();
+            let report = a.finish();
+            prop_assert!(
+                report.is_clean(),
+                "{}: {:?}", name, report.violations
+            );
+            prop_assert_eq!(report.delivered(), expected_delivery);
+            prop_assert_eq!(
+                report.accesses, accesses.len() as u64
+            );
         }
     }
 

@@ -75,9 +75,7 @@ impl<'a> RowStore<'a> {
     fn filter_rows(&self, table: TableId, filters: &[ResolvedPredicate]) -> Vec<u64> {
         let rows = self.catalog.table(table).row_count;
         (0..rows)
-            .filter(|&r| {
-                filters.iter().all(|f| self.eval_filter(table, r, f))
-            })
+            .filter(|&r| filters.iter().all(|f| self.eval_filter(table, r, f)))
             .collect()
     }
 
@@ -177,9 +175,8 @@ impl<'a> RowStore<'a> {
             let mut row = Vec::new();
             for item in &query.projection {
                 if let SelectItem::Aggregate { func, arg, .. } = item {
-                    row.push(self.aggregate(*func, arg.is_some().then(|| {
-                        self.arg_values(resolved, &combos, arg.as_ref().expect("some"))
-                    }), combos.len()));
+                    let args = arg.as_ref().map(|a| self.arg_values(resolved, &combos, a));
+                    row.push(self.aggregate(*func, args, combos.len()));
                 }
             }
             let bytes = Bytes::new(row.len() as u64 * AGGREGATE_VALUE_WIDTH);
@@ -202,11 +199,9 @@ impl<'a> RowStore<'a> {
         for &(r0, r1) in combos.iter().take(limit) {
             let mut row = Vec::new();
             for (slot, access) in resolved.tables.iter().enumerate() {
-                let r = if slot == 0 {
-                    r0
-                } else {
-                    r1.expect("two-table combo")
-                };
+                // Non-zero slots only exist for two-table combos, where
+                // `r1` is always populated; fall back to `r0` defensively.
+                let r = if slot == 0 { r0 } else { r1.unwrap_or(r0) };
                 for &cid in &access.projected {
                     row.push(self.value(access.table, r, cid));
                 }
@@ -234,11 +229,7 @@ impl<'a> RowStore<'a> {
                     return combos
                         .iter()
                         .map(|&(r0, r1)| {
-                            let r = if slot == 0 {
-                                r0
-                            } else {
-                                r1.expect("two-table combo")
-                            };
+                            let r = if slot == 0 { r0 } else { r1.unwrap_or(r0) };
                             self.value(access.table, r, cid)
                         })
                         .collect();

@@ -54,9 +54,7 @@ pub fn predicate_selectivity(catalog: &Catalog, pred: &ResolvedPredicate) -> f64
         ResolvedPredicate::Compare { op, value, .. } => match (op, value) {
             (CompareOp::Eq, Value::Number(_)) => 1.0 / distinct_estimate(column, rows),
             (CompareOp::Eq, Value::Text(_)) => TEXT_EQ_SELECTIVITY,
-            (CompareOp::Ne, Value::Number(_)) => {
-                1.0 - 1.0 / distinct_estimate(column, rows)
-            }
+            (CompareOp::Ne, Value::Number(_)) => 1.0 - 1.0 / distinct_estimate(column, rows),
             (CompareOp::Ne, Value::Text(_)) => 1.0 - TEXT_EQ_SELECTIVITY,
             (CompareOp::Lt, Value::Number(v)) | (CompareOp::Le, Value::Number(v)) => {
                 domain_fraction(column, column.min_value, *v)
@@ -180,7 +178,9 @@ mod tests {
     #[test]
     fn distinct_caps_at_rows() {
         let cat = catalog();
-        let id = cat.column_by_name(cat.table_by_name("T").unwrap().id, "id").unwrap();
+        let id = cat
+            .column_by_name(cat.table_by_name("T").unwrap().id, "id")
+            .unwrap();
         // Domain span 1e12 but only 10_000 rows.
         assert_eq!(distinct_estimate(id, 10_000), 10_000.0);
     }
@@ -188,7 +188,9 @@ mod tests {
     #[test]
     fn float_distinct_is_rows() {
         let cat = catalog();
-        let ra = cat.column_by_name(cat.table_by_name("T").unwrap().id, "ra").unwrap();
+        let ra = cat
+            .column_by_name(cat.table_by_name("T").unwrap().id, "ra")
+            .unwrap();
         assert_eq!(distinct_estimate(ra, 10_000), 10_000.0);
     }
 

@@ -20,13 +20,12 @@ use crate::selectivity::{join_selectivity, table_selectivity};
 use byc_catalog::Catalog;
 use byc_sql::ResolvedQuery;
 use byc_types::{Bytes, ColumnId, TableId};
-use serde::{Deserialize, Serialize};
 
 /// Width in bytes of one aggregate output value.
 pub const AGGREGATE_VALUE_WIDTH: u64 = 8;
 
 /// A query's estimated yield and its decomposition over objects.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct YieldBreakdown {
     /// Total result size on the wire.
     pub total: Bytes,
@@ -210,9 +209,9 @@ mod tests {
     use super::*;
     use byc_catalog::{ColumnDef, ColumnType, TableDef};
     use byc_sql::{analyze, parse};
-    use byc_types::ServerId;
+    use byc_types::{Result, ServerId};
 
-    fn catalog() -> Catalog {
+    fn catalog() -> Result<Catalog> {
         let mut cat = Catalog::new();
         cat.add_table(TableDef {
             name: "PhotoObj".into(),
@@ -224,8 +223,7 @@ mod tests {
             ],
             row_count: 100_000,
             server: ServerId::new(0),
-        })
-        .unwrap();
+        })?;
         cat.add_table(TableDef {
             name: "SpecObj".into(),
             columns: vec![
@@ -236,107 +234,113 @@ mod tests {
             ],
             row_count: 1_000,
             server: ServerId::new(0),
-        })
-        .unwrap();
-        cat
+        })?;
+        Ok(cat)
     }
 
-    fn breakdown(cat: &Catalog, sql: &str) -> YieldBreakdown {
-        let q = parse(sql).unwrap();
-        let r = analyze(cat, &q).unwrap();
-        YieldModel::new(cat).estimate(&r)
+    fn breakdown(cat: &Catalog, sql: &str) -> Result<YieldBreakdown> {
+        let q = parse(sql)?;
+        let r = analyze(cat, &q)?;
+        Ok(YieldModel::new(cat).estimate(&r))
     }
 
     #[test]
-    fn full_scan_yield_is_projection_width_times_rows() {
-        let cat = catalog();
-        let b = breakdown(&cat, "select ra, dec from PhotoObj");
+    fn full_scan_yield_is_projection_width_times_rows() -> Result<()> {
+        let cat = catalog()?;
+        let b = breakdown(&cat, "select ra, dec from PhotoObj")?;
         assert_eq!(b.result_rows, 100_000);
         assert_eq!(b.total, Bytes::new(100_000 * 16));
+        Ok(())
     }
 
     #[test]
-    fn range_scales_rows() {
-        let cat = catalog();
-        let b = breakdown(&cat, "select ra from PhotoObj where ra between 0 and 36");
+    fn range_scales_rows() -> Result<()> {
+        let cat = catalog()?;
+        let b = breakdown(&cat, "select ra from PhotoObj where ra between 0 and 36")?;
         assert_eq!(b.result_rows, 10_000);
         assert_eq!(b.total, Bytes::new(10_000 * 8));
+        Ok(())
     }
 
     #[test]
-    fn top_caps_rows() {
-        let cat = catalog();
-        let b = breakdown(&cat, "select top 50 ra from PhotoObj");
+    fn top_caps_rows() -> Result<()> {
+        let cat = catalog()?;
+        let b = breakdown(&cat, "select top 50 ra from PhotoObj")?;
         assert_eq!(b.result_rows, 50);
         assert_eq!(b.total, Bytes::new(50 * 8));
+        Ok(())
     }
 
     #[test]
-    fn aggregate_only_single_row() {
-        let cat = catalog();
-        let b = breakdown(&cat, "select count(*), max(ra) from PhotoObj");
+    fn aggregate_only_single_row() -> Result<()> {
+        let cat = catalog()?;
+        let b = breakdown(&cat, "select count(*), max(ra) from PhotoObj")?;
         assert_eq!(b.result_rows, 1);
         assert_eq!(b.total, Bytes::new(2 * AGGREGATE_VALUE_WIDTH));
+        Ok(())
     }
 
     #[test]
-    fn join_cardinality_uses_join_selectivity() {
-        let cat = catalog();
+    fn join_cardinality_uses_join_selectivity() -> Result<()> {
+        let cat = catalog()?;
         // |Photo| * |Spec| / max(d_photo.objID, d_spec.objID)
         //   = 1e5 * 1e3 / 1e5 = 1e3 rows.
         let b = breakdown(
             &cat,
             "select p.ra, s.z from PhotoObj p, SpecObj s where p.objID = s.objID",
-        );
+        )?;
         assert_eq!(b.result_rows, 1_000);
         assert_eq!(b.total, Bytes::new(1_000 * 12));
+        Ok(())
     }
 
     #[test]
-    fn table_decomposition_by_unique_attributes() {
-        let cat = catalog();
+    fn table_decomposition_by_unique_attributes() -> Result<()> {
+        let cat = catalog()?;
         // Photo references objID, ra (2 cols); Spec references objID, z (2
         // cols): equal split, like the paper's four-and-four example.
         let b = breakdown(
             &cat,
             "select p.ra, s.z from PhotoObj p, SpecObj s where p.objID = s.objID",
-        );
-        let photo = cat.table_by_name("PhotoObj").unwrap().id;
-        let spec = cat.table_by_name("SpecObj").unwrap().id;
+        )?;
+        let photo = cat.table_by_name("PhotoObj")?.id;
+        let spec = cat.table_by_name("SpecObj")?.id;
         assert_eq!(b.table_yield(photo), b.table_yield(spec));
         let sum: Bytes = b.per_table.iter().map(|&(_, y)| y).sum();
         assert_eq!(sum, b.total);
+        Ok(())
     }
 
     #[test]
-    fn table_decomposition_weights_differ() {
-        let cat = catalog();
+    fn table_decomposition_weights_differ() -> Result<()> {
+        let cat = catalog()?;
         // Photo references 3 columns, Spec references 1 (via join: objID
         // on both sides counts for each table).
         let b = breakdown(
             &cat,
             "select p.ra, p.dec from PhotoObj p, SpecObj s where p.objID = s.objID",
-        );
-        let photo = cat.table_by_name("PhotoObj").unwrap().id;
-        let spec = cat.table_by_name("SpecObj").unwrap().id;
+        )?;
+        let photo = cat.table_by_name("PhotoObj")?.id;
+        let spec = cat.table_by_name("SpecObj")?.id;
         // Photo: ra, dec, objID = 3; Spec: objID = 1.
         let py = b.table_yield(photo).as_f64();
         let sy = b.table_yield(spec).as_f64();
         assert!((py / (py + sy) - 0.75).abs() < 1e-6);
+        Ok(())
     }
 
     #[test]
-    fn column_decomposition_by_width() {
-        let cat = catalog();
+    fn column_decomposition_by_width() -> Result<()> {
+        let cat = catalog()?;
         let b = breakdown(
             &cat,
             "select ra from PhotoObj where modelMag_g > 17.0 and dec > 0",
-        );
+        )?;
         // Referenced: ra (8), modelMag_g (4), dec (8) — total 20 bytes.
-        let t = cat.table_by_name("PhotoObj").unwrap().id;
-        let ra = cat.column_by_name(t, "ra").unwrap().id;
-        let mag = cat.column_by_name(t, "modelMag_g").unwrap().id;
-        let dec = cat.column_by_name(t, "dec").unwrap().id;
+        let t = cat.table_by_name("PhotoObj")?.id;
+        let ra = cat.column_by_name(t, "ra")?.id;
+        let mag = cat.column_by_name(t, "modelMag_g")?.id;
+        let dec = cat.column_by_name(t, "dec")?.id;
         let total = b.total.as_f64();
         assert!(total > 1e4, "need a large yield for tight ratios: {total}");
         assert!((b.column_yield(ra).as_f64() / total - 8.0 / 20.0).abs() < 1e-3);
@@ -344,36 +348,39 @@ mod tests {
         assert!((b.column_yield(dec).as_f64() / total - 8.0 / 20.0).abs() < 1e-3);
         let sum: Bytes = b.per_column.iter().map(|&(_, y)| y).sum();
         assert_eq!(sum, b.total);
+        Ok(())
     }
 
     #[test]
-    fn paper_example_column_ratio() {
+    fn paper_example_column_ratio() -> Result<()> {
         // "Storage of p.objid is 8 bytes ... total storage of all columns
         // is 46 bytes, so its yield is 8/46 * Y."
-        let cat = catalog();
+        let cat = catalog()?;
         let b = breakdown(
             &cat,
             "select p.objID, p.ra, p.dec, p.modelMag_g, s.z \
              from SpecObj s, PhotoObj p \
              where p.objID = s.objID and s.zConf > 0.95 and p.modelMag_g > 17.0",
-        );
+        )?;
         // Referenced: p.objID 8, p.ra 8, p.dec 8, p.modelMag_g 4,
         //             s.z 4, s.objID 8, s.zConf 4  → 44 bytes total.
-        let photo = cat.table_by_name("PhotoObj").unwrap().id;
-        let oid = cat.column_by_name(photo, "objID").unwrap().id;
+        let photo = cat.table_by_name("PhotoObj")?.id;
+        let oid = cat.column_by_name(photo, "objID")?.id;
         let frac = b.column_yield(oid).as_f64() / b.total.as_f64();
         // Largest-remainder rounding leaves sub-byte granularity error.
         assert!((frac - 8.0 / 44.0).abs() < 1e-3, "{frac}");
+        Ok(())
     }
 
     #[test]
-    fn zero_yield_decomposes_to_zero() {
-        let cat = catalog();
-        let b = breakdown(&cat, "select ra from PhotoObj where ra > 9999");
+    fn zero_yield_decomposes_to_zero() -> Result<()> {
+        let cat = catalog()?;
+        let b = breakdown(&cat, "select ra from PhotoObj where ra > 9999")?;
         // Selectivity floor gives ~0 rows; rounded to 1 row minimum when
         // positive, so check decomposition consistency instead of zero.
         let sum: Bytes = b.per_table.iter().map(|&(_, y)| y).sum();
         assert_eq!(sum, b.total);
+        Ok(())
     }
 
     #[test]

@@ -1,14 +1,13 @@
 //! WAN cost accounting: the paper's evaluation metric.
 
 use byc_types::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// Network costs and decision counts of one policy over one trace.
 ///
 /// Matches the columns of the paper's Tables 1–2: bypass cost (`D_S`),
 /// fetch cost (`D_L`), and their sum, next to the sequence cost the
 /// no-cache configuration would ship.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CostReport {
     /// Policy display name.
     pub policy: String,

@@ -31,8 +31,8 @@ pub mod simulator;
 pub mod sweep;
 
 pub use accounting::CostReport;
-pub use semantic::{SemanticCache, SemanticReport};
 pub use mediator::Mediator;
 pub use policies::{build_policy, policy_roster, PolicyKind};
+pub use semantic::{SemanticCache, SemanticReport};
 pub use simulator::{replay, replay_with_series, SeriesPoint};
 pub use sweep::{sweep_cache_sizes, SweepPoint};

@@ -10,6 +10,7 @@
 
 use crate::simulator::accesses_of;
 use byc_catalog::{Catalog, Granularity, ObjectCatalog};
+use byc_core::audit::{AuditReport, PolicyAuditor};
 use byc_core::policy::{CachePolicy, Decision};
 use byc_engine::YieldModel;
 use byc_sql::{analyze, parse};
@@ -54,10 +55,16 @@ impl ServedQuery {
 }
 
 /// The mediation middleware with its collocated bypass-yield cache.
+///
+/// The policy sits behind a [`PolicyAuditor`] that validates its decision
+/// stream against a shadow cache model. Auditing is on in debug builds;
+/// release deployments opt in with [`Mediator::with_audit`] (one shadow-map
+/// update per object access). The auditor records violations rather than
+/// panicking — poll [`Mediator::audit_report`].
 pub struct Mediator {
     catalog: Catalog,
     objects: ObjectCatalog,
-    policy: Box<dyn CachePolicy>,
+    policy: PolicyAuditor<Box<dyn CachePolicy>>,
     clock: Tick,
     served: u64,
     wan_total: Bytes,
@@ -65,9 +72,27 @@ pub struct Mediator {
 
 impl Mediator {
     /// Build a mediator over `catalog` caching at `granularity` with the
-    /// given policy.
+    /// given policy. Decision auditing follows the build profile: enabled
+    /// in debug, pass-through in release.
     pub fn new(catalog: Catalog, granularity: Granularity, policy: Box<dyn CachePolicy>) -> Self {
+        Self::with_audit(catalog, granularity, policy, cfg!(debug_assertions))
+    }
+
+    /// Build a mediator with decision auditing explicitly on or off.
+    /// The choice is fixed for the mediator's lifetime: an auditor
+    /// attached mid-stream would not know the cache contents.
+    pub fn with_audit(
+        catalog: Catalog,
+        granularity: Granularity,
+        policy: Box<dyn CachePolicy>,
+        audit: bool,
+    ) -> Self {
         let objects = ObjectCatalog::uniform(&catalog, granularity);
+        let policy = if audit {
+            PolicyAuditor::new(policy)
+        } else {
+            PolicyAuditor::pass_through(policy)
+        };
         Self {
             catalog,
             objects,
@@ -76,6 +101,17 @@ impl Mediator {
             served: 0,
             wan_total: Bytes::ZERO,
         }
+    }
+
+    /// True iff the decision stream is being validated (not just counted).
+    pub fn audit_enabled(&self) -> bool {
+        self.policy.is_enabled()
+    }
+
+    /// The decision-stream audit accumulated so far: counts, delivery
+    /// accounting, and any invariant violations.
+    pub fn audit_report(&self) -> &AuditReport {
+        self.policy.report()
     }
 
     /// The schema catalog.
@@ -217,10 +253,7 @@ mod tests {
         let mut m = mediator(Granularity::Column);
         let served = m.serve_sql(SQL).unwrap();
         assert!(served.delivered > Bytes::ZERO);
-        assert_eq!(
-            served.delivered,
-            served.from_cache + served.from_servers
-        );
+        assert_eq!(served.delivered, served.from_cache + served.from_servers);
         assert_eq!(served.outcomes.len(), 2); // ra, dec
         assert_eq!(m.served_count(), 1);
         assert_eq!(m.wan_total(), served.wan_cost());
@@ -282,6 +315,37 @@ mod tests {
         assert!(m.invalidate_table("NoSuchTable").is_err());
         // Invalidating an uncached table is a no-op.
         assert_eq!(m.invalidate_table("PlateX").unwrap(), 0);
+    }
+
+    #[test]
+    fn audit_stays_clean_and_tracks_traffic() {
+        let mut m = mediator(Granularity::Column);
+        for _ in 0..10 {
+            m.serve_sql(SQL).unwrap();
+        }
+        m.invalidate_table("PhotoObj").unwrap();
+        m.serve_sql(SQL).unwrap();
+        let audit = m.audit_report();
+        assert!(audit.is_clean(), "{:?}", audit.violations);
+        assert_eq!(audit.accesses, 22); // 11 queries x 2 columns
+        assert_eq!(audit.wan_cost(), m.wan_total());
+    }
+
+    #[test]
+    fn audit_opt_out_is_a_pass_through() {
+        let catalog = build(SdssRelease::Edr, 1e-4, 2);
+        let db = catalog.database_size();
+        let policy = Box::new(RateProfile::new(
+            db.scale(0.5),
+            RateProfileConfig::default(),
+        ));
+        let mut m = Mediator::with_audit(catalog, Granularity::Column, policy, false);
+        assert!(!m.audit_enabled());
+        m.serve_sql(SQL).unwrap();
+        let audit = m.audit_report();
+        assert!(audit.is_clean());
+        assert_eq!(audit.accesses, 2);
+        assert_eq!(audit.deep_checks, 0);
     }
 
     #[test]

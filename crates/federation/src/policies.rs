@@ -97,10 +97,9 @@ pub fn build_policy(
     seed: u64,
 ) -> Box<dyn CachePolicy> {
     match kind {
-        PolicyKind::RateProfile => Box::new(RateProfile::new(
-            capacity,
-            RateProfileConfig::default(),
-        )),
+        PolicyKind::RateProfile => {
+            Box::new(RateProfile::new(capacity, RateProfileConfig::default()))
+        }
         PolicyKind::OnlineBY => Box::new(OnlineBY::new(Landlord::new(capacity))),
         PolicyKind::OnlineBYMarking => Box::new(OnlineBY::with_name(
             SizeClassMarking::new(capacity),

@@ -19,11 +19,10 @@
 
 use byc_types::{Bytes, QueryId};
 use byc_workload::{Trace, TraceQuery};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Outcome statistics of replaying a trace through a semantic cache.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SemanticReport {
     /// Queries replayed.
     pub queries: usize,
@@ -255,8 +254,8 @@ mod tests {
         // The paper's conclusion, measured: semantic caching barely helps
         // on SDSS-like traces even with a generous cache.
         let cat = byc_catalog::sdss::build(byc_catalog::sdss::SdssRelease::Edr, 1e-3, 1);
-        let t = byc_workload::generate(&cat, &byc_workload::WorkloadConfig::smoke(111, 3000))
-            .unwrap();
+        let t =
+            byc_workload::generate(&cat, &byc_workload::WorkloadConfig::smoke(111, 3000)).unwrap();
         let capacity = cat.database_size().scale(0.3);
         let report = SemanticCache::new(capacity).replay(&t);
         assert!(

@@ -3,23 +3,29 @@
 //! The mediator decomposes each trace query into one [`Access`] per
 //! referenced cacheable object (carrying that object's slice of the
 //! query's yield) and presents them to the policy in order. Decisions are
-//! audited — a `Hit` must name a cached object, capacity must never be
-//! exceeded — and converted to WAN costs:
+//! converted to WAN costs:
 //!
 //! * `Hit`    → 0 WAN, yield served from cache (`D_C`);
 //! * `Bypass` → yield shipped from the server (`D_S`);
 //! * `Load`   → fetch cost on the WAN (`D_L`), then yield from cache.
+//!
+//! Replays are *audited*: the policy is wrapped in a
+//! [`PolicyAuditor`](byc_core::audit::PolicyAuditor) that validates every
+//! decision against a shadow cache model (a `Hit` must name a cached
+//! object, evictions must be real, capacity must never be exceeded).
+//! Auditing defaults on in debug builds and off in release; force it
+//! either way with [`ReplayOptions`] or [`replay_audited`].
 
 use crate::accounting::CostReport;
 use byc_catalog::{Granularity, ObjectCatalog};
 use byc_core::access::Access;
+use byc_core::audit::{AuditReport, PolicyAuditor};
 use byc_core::policy::{CachePolicy, Decision};
 use byc_types::{Bytes, Tick};
 use byc_workload::{Trace, TraceQuery};
-use serde::{Deserialize, Serialize};
 
 /// One point of a cumulative-cost curve (Figs 7–8).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SeriesPoint {
     /// Query index (1-based, end of the sampled window).
     pub query: usize,
@@ -27,12 +33,41 @@ pub struct SeriesPoint {
     pub cumulative_cost: Bytes,
 }
 
+/// How to run a replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayOptions {
+    /// Validate the decision stream with a
+    /// [`PolicyAuditor`](byc_core::audit::PolicyAuditor). Defaults to on
+    /// in debug builds, off in release (the shadow model costs one map
+    /// update per access).
+    pub audit: bool,
+    /// Sample the cumulative WAN cost every this many queries (plus the
+    /// final query). `None` skips series collection.
+    pub sample_every: Option<usize>,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            audit: cfg!(debug_assertions),
+            sample_every: None,
+        }
+    }
+}
+
+/// Everything a replay produces.
+#[derive(Clone, Debug)]
+pub struct Replay {
+    /// WAN cost accounting.
+    pub report: CostReport,
+    /// Cumulative-cost samples (empty unless requested).
+    pub series: Vec<SeriesPoint>,
+    /// The decision-stream audit, when auditing was enabled.
+    pub audit: Option<AuditReport>,
+}
+
 /// The per-object accesses of one trace query at one granularity.
-pub fn accesses_of(
-    query: &TraceQuery,
-    objects: &ObjectCatalog,
-    time: Tick,
-) -> Vec<Access> {
+pub fn accesses_of(query: &TraceQuery, objects: &ObjectCatalog, time: Tick) -> Vec<Access> {
     let mut out = Vec::new();
     match objects.granularity() {
         Granularity::Table => {
@@ -67,21 +102,11 @@ pub fn accesses_of(
     out
 }
 
-fn apply_access(
-    policy: &mut dyn CachePolicy,
-    access: &Access,
-    report: &mut CostReport,
-) {
-    let was_cached = policy.contains(access.object);
-    let decision = policy.on_access(access);
-    match decision {
+/// Convert one decision into WAN-cost accounting. Decision validity is
+/// the auditor's job, not this function's.
+fn apply_access(policy: &mut dyn CachePolicy, access: &Access, report: &mut CostReport) {
+    match policy.on_access(access) {
         Decision::Hit => {
-            assert!(
-                was_cached,
-                "{} answered Hit for non-cached {}",
-                policy.name(),
-                access.object
-            );
             report.hits += 1;
             report.cache_served += access.yield_bytes;
         }
@@ -90,36 +115,24 @@ fn apply_access(
             report.bypass_cost += access.yield_bytes;
         }
         Decision::Load { evictions } => {
-            assert!(
-                policy.contains(access.object),
-                "{} answered Load but did not cache {}",
-                policy.name(),
-                access.object
-            );
             report.loads += 1;
             report.evictions += evictions.len() as u64;
             report.fetch_cost += access.fetch_cost;
             report.cache_served += access.yield_bytes;
         }
     }
-    assert!(
-        policy.used() <= policy.capacity() || policy.capacity().is_zero(),
-        "{} exceeded capacity: {} > {}",
-        policy.name(),
-        policy.used(),
-        policy.capacity()
-    );
     report.sequence_cost += access.yield_bytes;
 }
 
 /// Replay `trace` against `policy` at the granularity of `objects`.
-pub fn replay(
-    trace: &Trace,
-    objects: &ObjectCatalog,
-    policy: &mut dyn CachePolicy,
-) -> CostReport {
-    let (report, _) = replay_inner(trace, objects, policy, None);
-    report
+///
+/// In debug builds the decision stream is audited and a violation panics
+/// via `debug_assert!`; use [`replay_audited`] to inspect violations
+/// instead, or [`replay_with_options`] for full control.
+pub fn replay(trace: &Trace, objects: &ObjectCatalog, policy: &mut dyn CachePolicy) -> CostReport {
+    let replay = replay_with_options(trace, objects, policy, ReplayOptions::default());
+    debug_assert_audit(&replay);
+    replay.report
 }
 
 /// Replay and additionally sample the cumulative WAN cost every
@@ -130,15 +143,39 @@ pub fn replay_with_series(
     policy: &mut dyn CachePolicy,
     sample_every: usize,
 ) -> (CostReport, Vec<SeriesPoint>) {
-    replay_inner(trace, objects, policy, Some(sample_every.max(1)))
+    let options = ReplayOptions {
+        sample_every: Some(sample_every.max(1)),
+        ..ReplayOptions::default()
+    };
+    let replay = replay_with_options(trace, objects, policy, options);
+    debug_assert_audit(&replay);
+    (replay.report, replay.series)
 }
 
-fn replay_inner(
+/// Replay with auditing forced on (even in release builds) and return the
+/// audit alongside the costs. Violations are reported, not panicked on.
+pub fn replay_audited(
     trace: &Trace,
     objects: &ObjectCatalog,
     policy: &mut dyn CachePolicy,
-    sample_every: Option<usize>,
-) -> (CostReport, Vec<SeriesPoint>) {
+) -> (CostReport, AuditReport) {
+    let options = ReplayOptions {
+        audit: true,
+        sample_every: None,
+    };
+    let replay = replay_with_options(trace, objects, policy, options);
+    let audit = replay.audit.unwrap_or_default(); // audit: true always yields a report
+    (replay.report, audit)
+}
+
+/// Replay with explicit [`ReplayOptions`]. Never panics on audit
+/// violations — inspect [`Replay::audit`].
+pub fn replay_with_options(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    policy: &mut dyn CachePolicy,
+    options: ReplayOptions,
+) -> Replay {
     let mut report = CostReport {
         policy: policy.name().to_string(),
         trace: trace.name.clone(),
@@ -147,10 +184,48 @@ fn replay_inner(
         ..CostReport::default()
     };
     let mut series = Vec::new();
+    let audit = if options.audit {
+        let mut auditor = PolicyAuditor::new(policy);
+        run_queries(
+            trace,
+            objects,
+            &mut auditor,
+            options.sample_every,
+            &mut report,
+            &mut series,
+        );
+        Some(auditor.finish())
+    } else {
+        run_queries(
+            trace,
+            objects,
+            policy,
+            options.sample_every,
+            &mut report,
+            &mut series,
+        );
+        None
+    };
+    debug_assert!(report.conserves_delivery());
+    Replay {
+        report,
+        series,
+        audit,
+    }
+}
+
+fn run_queries(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    policy: &mut dyn CachePolicy,
+    sample_every: Option<usize>,
+    report: &mut CostReport,
+    series: &mut Vec<SeriesPoint>,
+) {
     for (i, q) in trace.queries.iter().enumerate() {
         let time = Tick::new(i as u64);
         for access in accesses_of(q, objects, time) {
-            apply_access(policy, &access, &mut report);
+            apply_access(policy, &access, report);
         }
         if let Some(every) = sample_every {
             if (i + 1) % every == 0 || i + 1 == trace.len() {
@@ -161,8 +236,17 @@ fn replay_inner(
             }
         }
     }
-    debug_assert!(report.conserves_delivery());
-    (report, series)
+}
+
+fn debug_assert_audit(replay: &Replay) {
+    if let Some(audit) = &replay.audit {
+        debug_assert!(
+            audit.is_clean(),
+            "policy {} violated cache invariants: {}",
+            replay.report.policy,
+            audit.violations.join("; ")
+        );
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +256,7 @@ mod tests {
     use byc_core::inline::make;
     use byc_core::rate_profile::{RateProfile, RateProfileConfig};
     use byc_core::static_opt::NoCache;
+    use byc_types::ObjectId;
     use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 
     fn setup(granularity: Granularity) -> (Trace, ObjectCatalog) {
@@ -209,6 +294,71 @@ mod tests {
             assert!(report.conserves_delivery(), "{}", report.policy);
             assert_eq!(report.sequence_cost, trace.sequence_cost());
         }
+    }
+
+    #[test]
+    fn audited_replay_is_clean_and_matches_costs() {
+        let (trace, objects) = setup(Granularity::Column);
+        let cap = objects.total_size().scale(0.3);
+        let mut rp = RateProfile::new(cap, RateProfileConfig::default());
+        let (report, audit) = replay_audited(&trace, &objects, &mut rp);
+        assert!(audit.is_clean(), "{:?}", audit.violations);
+        // The auditor's independent accounting must agree with the
+        // CostReport on every column.
+        assert_eq!(audit.hits, report.hits);
+        assert_eq!(audit.bypasses, report.bypasses);
+        assert_eq!(audit.loads, report.loads);
+        assert_eq!(audit.evictions, report.evictions);
+        assert_eq!(audit.cache_served, report.cache_served);
+        assert_eq!(audit.bypass_served, report.bypass_cost);
+        assert_eq!(audit.load_cost, report.fetch_cost);
+        assert_eq!(audit.delivered(), report.sequence_cost);
+        assert!(audit.deep_checks > 0);
+    }
+
+    #[test]
+    fn audit_catches_a_lying_policy() {
+        /// Claims a Hit on every access but never caches anything.
+        struct AlwaysHit;
+        impl CachePolicy for AlwaysHit {
+            fn name(&self) -> &'static str {
+                "AlwaysHit"
+            }
+            fn on_access(&mut self, _: &Access) -> Decision {
+                Decision::Hit
+            }
+            fn contains(&self, _: ObjectId) -> bool {
+                false
+            }
+            fn used(&self) -> Bytes {
+                Bytes::ZERO
+            }
+            fn capacity(&self) -> Bytes {
+                Bytes::mib(1)
+            }
+            fn cached_objects(&self) -> Vec<ObjectId> {
+                Vec::new()
+            }
+        }
+        let (trace, objects) = setup(Granularity::Table);
+        let mut liar = AlwaysHit;
+        let (_, audit) = replay_audited(&trace, &objects, &mut liar);
+        assert!(!audit.is_clean());
+        assert!(audit.violations[0].contains("not cached"));
+    }
+
+    #[test]
+    fn release_style_unaudited_replay_works() {
+        let (trace, objects) = setup(Granularity::Table);
+        let cap = objects.total_size().scale(0.3);
+        let mut rp = RateProfile::new(cap, RateProfileConfig::default());
+        let options = ReplayOptions {
+            audit: false,
+            sample_every: None,
+        };
+        let replay = replay_with_options(&trace, &objects, &mut rp, options);
+        assert!(replay.audit.is_none());
+        assert!(replay.report.conserves_delivery());
     }
 
     #[test]
@@ -250,8 +400,7 @@ mod tests {
         let (trace, objects) = setup(Granularity::Table);
         let stats = WorkloadStats::compute(&trace, &objects);
         let cap = objects.total_size().scale(0.4);
-        let mut static_policy =
-            byc_core::static_opt::StaticCache::plan(&stats.demands, cap, true);
+        let mut static_policy = byc_core::static_opt::StaticCache::plan(&stats.demands, cap, true);
         let report = replay(&trace, &objects, &mut static_policy);
         assert!(report.conserves_delivery());
         // Static caching must do no worse than no caching on fetch+bypass

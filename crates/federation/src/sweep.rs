@@ -7,10 +7,9 @@ use byc_catalog::ObjectCatalog;
 use byc_core::static_opt::ObjectDemand;
 use byc_types::Bytes;
 use byc_workload::Trace;
-use serde::{Deserialize, Serialize};
 
 /// One (policy, cache size) result of a sweep.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SweepPoint {
     /// Policy display name.
     pub policy: String,
@@ -44,11 +43,11 @@ pub fn sweep_cache_sizes(
         }
     }
 
-    let results: Vec<SweepPoint> = crossbeam::thread::scope(|scope| {
+    let results: Vec<SweepPoint> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .iter()
             .map(|&(kind, fraction)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let capacity = db.scale(fraction);
                     let mut policy = build_policy(kind, capacity, demands, seed);
                     let report = replay(trace, objects, policy.as_mut());
@@ -63,10 +62,9 @@ pub fn sweep_cache_sizes(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|_| panic!("sweep worker panicked")))
             .collect()
-    })
-    .expect("sweep scope");
+    });
     results
 }
 

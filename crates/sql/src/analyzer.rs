@@ -6,13 +6,12 @@
 //! predicates), the filter predicates per table, and the equi-join pairs.
 
 use crate::ast::{ColumnRef, CompareOp, Predicate, Query, SelectItem, Value};
-use byc_types::{ColumnId, Error, Result, TableId};
 use byc_catalog::Catalog;
-use serde::{Deserialize, Serialize};
+use byc_types::{ColumnId, Error, Result, TableId};
 use std::collections::HashMap;
 
 /// A resolved single-table filter predicate.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ResolvedPredicate {
     /// `column OP literal`.
     Compare {
@@ -45,7 +44,7 @@ impl ResolvedPredicate {
 }
 
 /// Everything the query touches in one table.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TableAccess {
     /// The table.
     pub table: TableId,
@@ -60,7 +59,7 @@ pub struct TableAccess {
 }
 
 /// An equi-join between columns of two different tables.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct JoinPair {
     /// Column on one side.
     pub left: ColumnId,
@@ -69,7 +68,7 @@ pub struct JoinPair {
 }
 
 /// The resolved, id-based view of a query.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ResolvedQuery {
     /// Per-table access information, in `FROM` order.
     pub tables: Vec<TableAccess>,
@@ -135,9 +134,7 @@ impl<'a> Resolver<'a> {
                         found = Some((slot, col.id));
                     }
                 }
-                found.ok_or_else(|| {
-                    Error::Semantic(format!("unknown column {:?}", r.column))
-                })
+                found.ok_or_else(|| Error::Semantic(format!("unknown column {:?}", r.column)))
             }
         }
     }
@@ -159,9 +156,7 @@ pub fn analyze(catalog: &Catalog, query: &Query) -> Result<ResolvedQuery> {
         let table = catalog.table_by_name(&tref.table)?;
         let name = tref.binding_name().to_string();
         if bindings.insert(name.clone(), slot).is_some() {
-            return Err(Error::Semantic(format!(
-                "duplicate table binding {name:?}"
-            )));
+            return Err(Error::Semantic(format!("duplicate table binding {name:?}")));
         }
         // The bare table name also resolves when aliased tables are unique.
         table_ids.push(table.id);
@@ -288,7 +283,7 @@ mod tests {
     use byc_catalog::{ColumnDef, ColumnType, TableDef};
     use byc_types::ServerId;
 
-    fn catalog() -> Catalog {
+    fn catalog() -> Result<Catalog> {
         let mut cat = Catalog::new();
         cat.add_table(TableDef {
             name: "PhotoObj".into(),
@@ -300,8 +295,7 @@ mod tests {
             ],
             row_count: 1000,
             server: ServerId::new(0),
-        })
-        .unwrap();
+        })?;
         cat.add_table(TableDef {
             name: "SpecObj".into(),
             columns: vec![
@@ -313,22 +307,29 @@ mod tests {
             ],
             row_count: 100,
             server: ServerId::new(0),
-        })
-        .unwrap();
-        cat
+        })?;
+        Ok(cat)
+    }
+
+    /// Invert an analysis result: succeed with the error, fail if the
+    /// analysis unexpectedly succeeded.
+    fn expect_err<T>(r: Result<T>) -> Result<Error> {
+        match r {
+            Ok(_) => Err(Error::Semantic("analysis unexpectedly succeeded".into())),
+            Err(e) => Ok(e),
+        }
     }
 
     #[test]
-    fn resolves_paper_query() {
-        let cat = catalog();
+    fn resolves_paper_query() -> Result<()> {
+        let cat = catalog()?;
         let q = parse(
             "select p.objID, p.ra, p.dec, p.modelMag_g, s.z as redshift \
              from SpecObj s, PhotoObj p \
              where p.objID = s.objID and s.specClass = 2 and s.zConf > 0.95 \
              and p.modelMag_g > 17.0 and s.z < 0.01",
-        )
-        .unwrap();
-        let r = analyze(&cat, &q).unwrap();
+        )?;
+        let r = analyze(&cat, &q)?;
         assert_eq!(r.tables.len(), 2);
         let spec = &r.tables[0];
         let photo = &r.tables[1];
@@ -342,108 +343,123 @@ mod tests {
         assert_eq!(spec.filters.len(), 3);
         assert_eq!(photo.filters.len(), 1);
         assert!(!r.aggregate_only);
+        Ok(())
     }
 
     #[test]
-    fn wildcard_expands_all_tables() {
-        let cat = catalog();
-        let q = parse("select * from PhotoObj, SpecObj s").unwrap();
-        let r = analyze(&cat, &q).unwrap();
+    fn wildcard_expands_all_tables() -> Result<()> {
+        let cat = catalog()?;
+        let q = parse("select * from PhotoObj, SpecObj s")?;
+        let r = analyze(&cat, &q)?;
         assert_eq!(r.tables[0].projected.len(), 4);
         assert_eq!(r.tables[1].projected.len(), 5);
+        Ok(())
     }
 
     #[test]
-    fn unqualified_unique_column_resolves() {
-        let cat = catalog();
-        let q = parse("select ra from PhotoObj where dec > 0").unwrap();
-        let r = analyze(&cat, &q).unwrap();
+    fn unqualified_unique_column_resolves() -> Result<()> {
+        let cat = catalog()?;
+        let q = parse("select ra from PhotoObj where dec > 0")?;
+        let r = analyze(&cat, &q)?;
         assert_eq!(r.tables[0].columns.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn ambiguous_unqualified_column_errors() {
-        let cat = catalog();
-        let q = parse("select objID from PhotoObj, SpecObj").unwrap();
-        let err = analyze(&cat, &q).unwrap_err();
+    fn ambiguous_unqualified_column_errors() -> Result<()> {
+        let cat = catalog()?;
+        let q = parse("select objID from PhotoObj, SpecObj")?;
+        let err = expect_err(analyze(&cat, &q))?;
         assert!(err.to_string().contains("ambiguous"));
+        Ok(())
     }
 
     #[test]
-    fn unknown_table_errors() {
-        let cat = catalog();
-        let q = parse("select x from Nope").unwrap();
-        assert!(analyze(&cat, &q).is_err());
+    fn unknown_table_errors() -> Result<()> {
+        let cat = catalog()?;
+        let q = parse("select x from Nope")?;
+        expect_err(analyze(&cat, &q))?;
+        Ok(())
     }
 
     #[test]
-    fn unknown_column_errors() {
-        let cat = catalog();
-        let q = parse("select p.nope from PhotoObj p").unwrap();
-        assert!(analyze(&cat, &q).is_err());
+    fn unknown_column_errors() -> Result<()> {
+        let cat = catalog()?;
+        let q = parse("select p.nope from PhotoObj p")?;
+        expect_err(analyze(&cat, &q))?;
+        Ok(())
     }
 
     #[test]
-    fn unknown_alias_errors() {
-        let cat = catalog();
-        let q = parse("select q.ra from PhotoObj p").unwrap();
-        let err = analyze(&cat, &q).unwrap_err();
+    fn unknown_alias_errors() -> Result<()> {
+        let cat = catalog()?;
+        let q = parse("select q.ra from PhotoObj p")?;
+        let err = expect_err(analyze(&cat, &q))?;
         assert!(err.to_string().contains("unknown table or alias"));
+        Ok(())
     }
 
     #[test]
-    fn duplicate_binding_errors() {
-        let cat = catalog();
-        let q = parse("select p.ra from PhotoObj p, SpecObj p").unwrap();
-        assert!(analyze(&cat, &q).is_err());
+    fn duplicate_binding_errors() -> Result<()> {
+        let cat = catalog()?;
+        let q = parse("select p.ra from PhotoObj p, SpecObj p")?;
+        expect_err(analyze(&cat, &q))?;
+        Ok(())
     }
 
     #[test]
-    fn aggregate_only_flag() {
-        let cat = catalog();
-        let q = parse("select count(*) from PhotoObj where ra between 100 and 110").unwrap();
-        let r = analyze(&cat, &q).unwrap();
+    fn aggregate_only_flag() -> Result<()> {
+        let cat = catalog()?;
+        let q = parse("select count(*) from PhotoObj where ra between 100 and 110")?;
+        let r = analyze(&cat, &q)?;
         assert!(r.aggregate_only);
         assert_eq!(r.aggregate_items, 1);
         assert!(r.tables[0].projected.is_empty());
         assert_eq!(r.tables[0].filters.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn aggregate_arg_is_projected() {
-        let cat = catalog();
-        let q = parse("select max(s.z) from SpecObj s").unwrap();
-        let r = analyze(&cat, &q).unwrap();
+    fn aggregate_arg_is_projected() -> Result<()> {
+        let cat = catalog()?;
+        let q = parse("select max(s.z) from SpecObj s")?;
+        let r = analyze(&cat, &q)?;
         assert_eq!(r.tables[0].projected.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn same_table_join_becomes_filter() {
-        let cat = catalog();
-        let q = parse("select p.ra from PhotoObj p where p.objID = p.objID").unwrap();
-        let r = analyze(&cat, &q).unwrap();
+    fn same_table_join_becomes_filter() -> Result<()> {
+        let cat = catalog()?;
+        let q = parse("select p.ra from PhotoObj p where p.objID = p.objID")?;
+        let r = analyze(&cat, &q)?;
         assert!(r.joins.is_empty());
         assert_eq!(r.tables[0].filters.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn columns_deduplicated() {
-        let cat = catalog();
-        let q =
-            parse("select p.ra, p.ra from PhotoObj p where p.ra > 10 and p.ra < 20").unwrap();
-        let r = analyze(&cat, &q).unwrap();
+    fn columns_deduplicated() -> Result<()> {
+        let cat = catalog()?;
+        let q = parse("select p.ra, p.ra from PhotoObj p where p.ra > 10 and p.ra < 20")?;
+        let r = analyze(&cat, &q)?;
         assert_eq!(r.tables[0].columns.len(), 1);
         assert_eq!(r.tables[0].projected.len(), 1);
         assert_eq!(r.tables[0].filters.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn accessors() {
-        let cat = catalog();
-        let q = parse("select p.ra from PhotoObj p").unwrap();
-        let r = analyze(&cat, &q).unwrap();
-        let tid = r.table_ids().next().unwrap();
+    fn accessors() -> Result<()> {
+        let cat = catalog()?;
+        let q = parse("select p.ra from PhotoObj p")?;
+        let r = analyze(&cat, &q)?;
+        let tid = r
+            .table_ids()
+            .next()
+            .ok_or_else(|| Error::Semantic("no tables resolved".into()))?;
         assert!(r.access(tid).is_some());
         assert_eq!(r.column_ids().count(), 1);
+        Ok(())
     }
 }

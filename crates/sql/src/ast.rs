@@ -5,11 +5,10 @@
 //! a conjunctive `WHERE` clause. `Display` renders back to SQL so that
 //! synthesized traces are readable and parse⟲render round-trips.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A possibly-qualified column reference, e.g. `p.ra` or `ra`.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ColumnRef {
     /// Table name or alias qualifier, if written.
     pub qualifier: Option<String>,
@@ -45,7 +44,7 @@ impl fmt::Display for ColumnRef {
 }
 
 /// Aggregate functions in the trace grammar.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Aggregate {
     /// `COUNT(*)` or `COUNT(col)`.
     Count,
@@ -73,7 +72,7 @@ impl Aggregate {
 }
 
 /// One item in the projection list.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SelectItem {
     /// All columns of all tables in scope (`*`).
     Wildcard,
@@ -121,7 +120,7 @@ impl fmt::Display for SelectItem {
 }
 
 /// A table in the `FROM` list.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TableRef {
     /// Base table name.
     pub table: String,
@@ -163,7 +162,7 @@ impl fmt::Display for TableRef {
 }
 
 /// Comparison operators.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CompareOp {
     /// `=`
     Eq,
@@ -194,7 +193,7 @@ impl CompareOp {
 }
 
 /// A literal value on the right-hand side of a comparison.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Value {
     /// Numeric literal.
     Number(f64),
@@ -218,7 +217,7 @@ impl fmt::Display for Value {
 }
 
 /// One conjunct of the `WHERE` clause.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Predicate {
     /// `col OP literal`.
     Compare {
@@ -263,7 +262,7 @@ impl fmt::Display for Predicate {
 }
 
 /// A parsed SELECT query.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Query {
     /// `TOP n` row limit, if present.
     pub top: Option<u64>,

@@ -15,9 +15,7 @@
 //! colref     := ident ['.' ident]
 //! ```
 
-use crate::ast::{
-    Aggregate, ColumnRef, CompareOp, Predicate, Query, SelectItem, TableRef, Value,
-};
+use crate::ast::{Aggregate, ColumnRef, CompareOp, Predicate, Query, SelectItem, TableRef, Value};
 use crate::token::{tokenize, Keyword, Token, TokenKind};
 use byc_types::{Error, Result};
 
@@ -236,7 +234,9 @@ impl Parser {
             TokenKind::Le => CompareOp::Le,
             TokenKind::Gt => CompareOp::Gt,
             TokenKind::Ge => CompareOp::Ge,
-            other => return Err(self.error(format!("expected comparison operator, found {other:?}"))),
+            other => {
+                return Err(self.error(format!("expected comparison operator, found {other:?}")))
+            }
         };
         self.bump();
         Ok(op)
@@ -279,9 +279,9 @@ impl Parser {
             }
             TokenKind::Ident(_) => {
                 if op != CompareOp::Eq {
-                    return Err(self.error(
-                        "column-to-column predicates must use '=' (equi-join)".into(),
-                    ));
+                    return Err(
+                        self.error("column-to-column predicates must use '=' (equi-join)".into())
+                    );
                 }
                 let right = self.column_ref()?;
                 Ok(Predicate::Join {

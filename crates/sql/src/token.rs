@@ -138,59 +138,96 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
             }
-            b'-' if i + 1 < bytes.len() && (bytes[i + 1].is_ascii_digit() || bytes[i + 1] == b'.') =>
+            b'-' if i + 1 < bytes.len()
+                && (bytes[i + 1].is_ascii_digit() || bytes[i + 1] == b'.') =>
             {
                 // Negative literal (the grammar has no binary minus).
                 i = lex_number(input, bytes, i, &mut tokens)?;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             b'.' if i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit() => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             b'<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             b'!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(Error::Parse {
@@ -252,7 +289,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         Some(kw) => TokenKind::Keyword(kw),
                         None => TokenKind::Ident(word.to_string()),
                     };
-                    tokens.push(Token { kind, offset: start });
+                    tokens.push(Token {
+                        kind,
+                        offset: start,
+                    });
                 }
             }
             other => {
@@ -270,12 +310,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
     Ok(tokens)
 }
 
-fn lex_number(
-    input: &str,
-    bytes: &[u8],
-    mut i: usize,
-    tokens: &mut Vec<Token>,
-) -> Result<usize> {
+fn lex_number(input: &str, bytes: &[u8], mut i: usize, tokens: &mut Vec<Token>) -> Result<usize> {
     let start = i;
     if bytes[i] == b'+' || bytes[i] == b'-' {
         i += 1;
@@ -313,7 +348,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -14,10 +14,8 @@ fn ident() -> impl Strategy<Value = String> {
 }
 
 fn column_ref() -> impl Strategy<Value = ColumnRef> {
-    (proptest::option::of(ident()), ident()).prop_map(|(qualifier, column)| ColumnRef {
-        qualifier,
-        column,
-    })
+    (proptest::option::of(ident()), ident())
+        .prop_map(|(qualifier, column)| ColumnRef { qualifier, column })
 }
 
 fn literal_number() -> impl Strategy<Value = f64> {
@@ -74,15 +72,13 @@ fn select_item() -> impl Strategy<Value = SelectItem> {
 }
 
 fn table_ref() -> impl Strategy<Value = TableRef> {
-    (ident(), proptest::option::of(ident()))
-        .prop_map(|(table, alias)| TableRef { table, alias })
+    (ident(), proptest::option::of(ident())).prop_map(|(table, alias)| TableRef { table, alias })
 }
 
 fn predicate() -> impl Strategy<Value = Predicate> {
     prop_oneof![
-        (column_ref(), compare_op(), value()).prop_map(|(column, op, value)| {
-            Predicate::Compare { column, op, value }
-        }),
+        (column_ref(), compare_op(), value())
+            .prop_map(|(column, op, value)| { Predicate::Compare { column, op, value } }),
         (column_ref(), literal_number(), 0.0..1e6f64).prop_map(|(column, lo, span)| {
             let lo = (lo * 1e6).round() / 1e6;
             let hi = ((lo + span) * 1e6).round() / 1e6;

@@ -103,10 +103,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            Error::Semantic("x".into()),
-            Error::Semantic("x".into()),
-        );
+        assert_eq!(Error::Semantic("x".into()), Error::Semantic("x".into()),);
         assert_ne!(
             Error::Semantic("x".into()),
             Error::InvalidConfig("x".into()),

@@ -5,16 +5,14 @@
 //! servers, the trace for queries). Dense ids let the hot caching loops use
 //! `Vec`-indexed side tables instead of hash maps.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
         )]
-        #[serde(transparent)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -122,11 +120,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_is_transparent() {
+    fn json_representation_is_transparent() {
         let id = TableId::new(5);
-        let json = serde_json::to_string(&id).unwrap();
+        let json = crate::json::Value::u64(u64::from(id.raw())).to_string();
         assert_eq!(json, "5");
-        let back: TableId = serde_json::from_str(&json).unwrap();
+        let parsed = crate::json::Value::parse(&json).unwrap();
+        let back = TableId::new(parsed.as_u32().unwrap());
         assert_eq!(back, id);
     }
 

@@ -1,8 +1,8 @@
 //! Core identifiers, units, deterministic random-number generation, and
 //! error types shared by every crate in the bypass-yield workspace.
 //!
-//! This crate deliberately has no dependencies beyond `serde` so that the
-//! substrate crates (catalog, SQL, engine, workload) and the core caching
+//! This crate deliberately has no dependencies so that the substrate
+//! crates (catalog, SQL, engine, workload) and the core caching
 //! algorithms can share vocabulary types without pulling in each other.
 //!
 //! # Overview
@@ -15,12 +15,15 @@
 //!   the distributions the workload generator needs (uniform, Zipf,
 //!   log-normal). Implemented here so that traces are reproducible
 //!   bit-for-bit from a seed, independent of external crate versions.
+//! * [`json`] — a small, dependency-free JSON value type with a parser
+//!   and compact writer, used for trace files and report output.
 //! * [`error`] — the workspace error type.
 
 #![warn(missing_docs)]
 
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod units;
 

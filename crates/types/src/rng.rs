@@ -7,11 +7,9 @@
 //! rather than relying on an external crate whose stream may change across
 //! versions. The workload crate layers Zipf and log-normal samplers on top.
 
-use serde::{Deserialize, Serialize};
-
 /// SplitMix64: a tiny, fast, full-period 64-bit generator. Good enough for
 /// workload synthesis (not cryptographic). Deterministic across platforms.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SplitMix64 {
     state: u64,
 }
@@ -41,6 +39,8 @@ impl SplitMix64 {
     }
 
     /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    // Truncating a u128 product to its 64-bit halves IS the algorithm.
+    #[allow(clippy::cast_possible_truncation)]
     #[inline]
     pub fn next_bounded(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
@@ -96,7 +96,8 @@ impl SplitMix64 {
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.next_bounded(i as u64 + 1) as usize;
+            // The draw is bounded by i + 1, so it always fits a usize.
+            let j = usize::try_from(self.next_bounded(i as u64 + 1)).unwrap_or(i);
             items.swap(i, j);
         }
     }
@@ -104,7 +105,9 @@ impl SplitMix64 {
     /// Pick a uniformly random element of a non-empty slice.
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         assert!(!items.is_empty(), "pick from empty slice");
-        &items[self.next_bounded(items.len() as u64) as usize]
+        // The draw is bounded by len, so it always fits a usize.
+        let i = usize::try_from(self.next_bounded(items.len() as u64)).unwrap_or(0);
+        &items[i]
     }
 }
 
@@ -141,7 +144,9 @@ impl Zipf {
             *v /= total;
         }
         // Guard against floating-point shortfall at the tail.
-        *cdf.last_mut().expect("n > 0") = 1.0;
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
         Self { cdf }
     }
 

@@ -6,16 +6,12 @@
 //! Virtual time ([`Tick`]) counts queries: "Time is relative and measured
 //! in number of queries in a workload, not seconds" (paper §4).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// A non-negative quantity of bytes with saturating arithmetic.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default, Debug,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
 pub struct Bytes(pub u64);
 
 /// One kibibyte.
@@ -84,6 +80,8 @@ impl Bytes {
     }
 
     /// Multiply by a non-negative scalar, saturating.
+    // The cast is guarded: v is rounded, non-negative, and < u64::MAX.
+    #[allow(clippy::cast_possible_truncation)]
     #[inline]
     pub fn scale(self, factor: f64) -> Bytes {
         debug_assert!(factor >= 0.0, "byte quantities cannot be negative");
@@ -163,10 +161,7 @@ impl fmt::Display for Bytes {
 }
 
 /// Virtual time: the ordinal of a query in the workload.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default, Debug,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
 pub struct Tick(pub u64);
 
 impl Tick {

@@ -153,9 +153,8 @@ pub fn generate(catalog: &Catalog, config: &WorkloadConfig) -> Result<Trace> {
     };
 
     let mut queries = Vec::with_capacity(config.query_count);
-    let mut sessions: Vec<(Session, usize)> = (0..concurrency)
-        .map(|_| new_session(&mut rng))
-        .collect();
+    let mut sessions: Vec<(Session, usize)> =
+        (0..concurrency).map(|_| new_session(&mut rng)).collect();
 
     while queries.len() < config.query_count {
         // Each arriving query belongs to one of the concurrent users.
@@ -345,8 +344,10 @@ mod tests {
             assert!((1..=600).contains(&l));
         }
         // Mean roughly matches.
-        let mean: f64 =
-            (0..5000).map(|_| geometric_len(&mut rng, 60.0) as f64).sum::<f64>() / 5000.0;
+        let mean: f64 = (0..5000)
+            .map(|_| geometric_len(&mut rng, 60.0) as f64)
+            .sum::<f64>()
+            / 5000.0;
         assert!((40.0..80.0).contains(&mean), "mean {mean}");
     }
 

@@ -6,8 +6,8 @@
 //! collected traces be converted with ordinary text tooling.
 
 use crate::trace::{Trace, TraceQuery};
-use byc_types::{Error, Result};
-use serde::{Deserialize, Serialize};
+use byc_types::json::Value;
+use byc_types::{Bytes, ColumnId, Error, QueryId, Result, TableId};
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -15,12 +15,187 @@ use std::path::Path;
 /// Current file-format version.
 pub const FORMAT_VERSION: u32 = 1;
 
-#[derive(Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct Header {
     format_version: u32,
     name: String,
     seed: u64,
     query_count: usize,
+}
+
+impl Header {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            (
+                "format_version".into(),
+                Value::u64(self.format_version.into()),
+            ),
+            ("name".into(), Value::str(&self.name)),
+            ("seed".into(), Value::u64(self.seed)),
+            ("query_count".into(), Value::u64(self.query_count as u64)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Header> {
+        if !v.is_object() {
+            return Err(Error::TraceFormat("header is not an object".into()));
+        }
+        Ok(Header {
+            format_version: field_u32(v, "format_version")?,
+            name: field_str(v, "name")?.to_string(),
+            seed: field_u64(v, "seed")?,
+            query_count: field_u64(v, "query_count")? as usize,
+        })
+    }
+}
+
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value> {
+    v.get(key)
+        .ok_or_else(|| Error::TraceFormat(format!("missing field {key:?}")))
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| Error::TraceFormat(format!("field {key:?} is not a u64")))
+}
+
+fn field_u32(v: &Value, key: &str) -> Result<u32> {
+    field(v, key)?
+        .as_u32()
+        .ok_or_else(|| Error::TraceFormat(format!("field {key:?} is not a u32")))
+}
+
+fn field_str<'v>(v: &'v Value, key: &str) -> Result<&'v str> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| Error::TraceFormat(format!("field {key:?} is not a string")))
+}
+
+fn field_array<'v>(v: &'v Value, key: &str) -> Result<&'v [Value]> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| Error::TraceFormat(format!("field {key:?} is not an array")))
+}
+
+fn yield_pairs(pairs: &[(u32, Bytes)]) -> Value {
+    Value::Array(
+        pairs
+            .iter()
+            .map(|&(id, b)| Value::Array(vec![Value::u64(id.into()), Value::u64(b.raw())]))
+            .collect(),
+    )
+}
+
+fn parse_yield_pairs(v: &Value, key: &str) -> Result<Vec<(u32, Bytes)>> {
+    field_array(v, key)?
+        .iter()
+        .map(|pair| {
+            let items = pair
+                .as_array()
+                .filter(|items| items.len() == 2)
+                .ok_or_else(|| {
+                    Error::TraceFormat(format!("field {key:?} entries must be [id, bytes] pairs"))
+                })?;
+            let id = items[0]
+                .as_u32()
+                .ok_or_else(|| Error::TraceFormat(format!("bad id in {key:?}")))?;
+            let bytes = items[1]
+                .as_u64()
+                .ok_or_else(|| Error::TraceFormat(format!("bad byte count in {key:?}")))?;
+            Ok((id, Bytes::new(bytes)))
+        })
+        .collect()
+}
+
+fn query_to_json(q: &TraceQuery) -> Value {
+    Value::Object(vec![
+        ("id".into(), Value::u64(q.id.raw().into())),
+        ("sql".into(), Value::str(&q.sql)),
+        ("template".into(), Value::u64(q.template.into())),
+        (
+            "data_keys".into(),
+            Value::Array(q.data_keys.iter().map(|&k| Value::u64(k)).collect()),
+        ),
+        (
+            "tables".into(),
+            Value::Array(
+                q.tables
+                    .iter()
+                    .map(|t| Value::u64(t.raw().into()))
+                    .collect(),
+            ),
+        ),
+        (
+            "columns".into(),
+            Value::Array(
+                q.columns
+                    .iter()
+                    .map(|c| Value::u64(c.raw().into()))
+                    .collect(),
+            ),
+        ),
+        ("total_yield".into(), Value::u64(q.total_yield.raw())),
+        (
+            "table_yields".into(),
+            yield_pairs(
+                &q.table_yields
+                    .iter()
+                    .map(|&(t, b)| (t.raw(), b))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
+            "column_yields".into(),
+            yield_pairs(
+                &q.column_yields
+                    .iter()
+                    .map(|&(c, b)| (c.raw(), b))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+    ])
+}
+
+fn query_from_json(v: &Value) -> Result<TraceQuery> {
+    if !v.is_object() {
+        return Err(Error::TraceFormat("query is not an object".into()));
+    }
+    let u64_list = |key: &str| -> Result<Vec<u64>> {
+        field_array(v, key)?
+            .iter()
+            .map(|item| {
+                item.as_u64()
+                    .ok_or_else(|| Error::TraceFormat(format!("bad entry in {key:?}")))
+            })
+            .collect()
+    };
+    let id_list = |key: &str| -> Result<Vec<u32>> {
+        field_array(v, key)?
+            .iter()
+            .map(|item| {
+                item.as_u32()
+                    .ok_or_else(|| Error::TraceFormat(format!("bad id in {key:?}")))
+            })
+            .collect()
+    };
+    Ok(TraceQuery {
+        id: QueryId::new(field_u32(v, "id")?),
+        sql: field_str(v, "sql")?.to_string(),
+        template: field_u32(v, "template")?,
+        data_keys: u64_list("data_keys")?,
+        tables: id_list("tables")?.into_iter().map(TableId::new).collect(),
+        columns: id_list("columns")?.into_iter().map(ColumnId::new).collect(),
+        total_yield: Bytes::new(field_u64(v, "total_yield")?),
+        table_yields: parse_yield_pairs(v, "table_yields")?
+            .into_iter()
+            .map(|(id, b)| (TableId::new(id), b))
+            .collect(),
+        column_yields: parse_yield_pairs(v, "column_yields")?
+            .into_iter()
+            .map(|(id, b)| (ColumnId::new(id), b))
+            .collect(),
+    })
 }
 
 /// Write `trace` to `path` in JSON-lines format.
@@ -37,12 +212,9 @@ pub fn write_trace(trace: &Trace, path: &Path) -> Result<()> {
         seed: trace.seed,
         query_count: trace.queries.len(),
     };
-    let line =
-        serde_json::to_string(&header).map_err(|e| Error::TraceFormat(e.to_string()))?;
-    writeln!(w, "{line}")?;
+    writeln!(w, "{}", header.to_json())?;
     for q in &trace.queries {
-        let line = serde_json::to_string(q).map_err(|e| Error::TraceFormat(e.to_string()))?;
-        writeln!(w, "{line}")?;
+        writeln!(w, "{}", query_to_json(q))?;
     }
     w.flush()?;
     Ok(())
@@ -60,7 +232,9 @@ pub fn read_trace(path: &Path) -> Result<Trace> {
     let header_line = lines
         .next()
         .ok_or_else(|| Error::TraceFormat("empty trace file".into()))??;
-    let header: Header = serde_json::from_str(&header_line)
+    let header_value =
+        Value::parse(&header_line).map_err(|e| Error::TraceFormat(format!("bad header: {e}")))?;
+    let header = Header::from_json(&header_value)
         .map_err(|e| Error::TraceFormat(format!("bad header: {e}")))?;
     if header.format_version != FORMAT_VERSION {
         return Err(Error::TraceFormat(format!(
@@ -74,8 +248,12 @@ pub fn read_trace(path: &Path) -> Result<Trace> {
         if line.trim().is_empty() {
             continue;
         }
-        let q: TraceQuery = serde_json::from_str(&line)
-            .map_err(|e| Error::TraceFormat(format!("bad query on line {}: {e}", i + 2)))?;
+        let q = Value::parse(&line)
+            .map_err(|e| Error::TraceFormat(format!("bad query on line {}: {e}", i + 2)))
+            .and_then(|v| {
+                query_from_json(&v)
+                    .map_err(|e| Error::TraceFormat(format!("bad query on line {}: {e}", i + 2)))
+            })?;
         queries.push(q);
     }
     if queries.len() != header.query_count {

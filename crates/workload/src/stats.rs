@@ -85,7 +85,11 @@ impl WorkloadStats {
     /// Objects ordered by total demanded yield, descending.
     pub fn hottest_objects(&self) -> Vec<ObjectDemand> {
         let mut v = self.demands.clone();
-        v.sort_by(|a, b| b.total_yield.cmp(&a.total_yield).then(a.object.cmp(&b.object)));
+        v.sort_by(|a, b| {
+            b.total_yield
+                .cmp(&a.total_yield)
+                .then(a.object.cmp(&b.object))
+        });
         v
     }
 
@@ -134,10 +138,7 @@ mod tests {
         let (trace, tables, _) = setup();
         let stats = WorkloadStats::compute(&trace, &tables);
         assert_eq!(stats.query_count, 1000);
-        assert_eq!(
-            stats.mean_yield.raw(),
-            trace.sequence_cost().raw() / 1000
-        );
+        assert_eq!(stats.mean_yield.raw(), trace.sequence_cost().raw() / 1000);
     }
 
     #[test]

@@ -7,9 +7,7 @@
 //! one such shape; a generator *session* instantiates a template with a
 //! fixed column subset and sweeps its parameters query by query.
 
-use byc_sql::{
-    Aggregate, ColumnRef, CompareOp, Predicate, Query, SelectItem, TableRef, Value,
-};
+use byc_sql::{Aggregate, ColumnRef, CompareOp, Predicate, Query, SelectItem, TableRef, Value};
 use byc_types::SplitMix64;
 
 /// The template catalog. Order matters: the generator draws templates
@@ -110,9 +108,15 @@ impl TemplateKind {
             ],
             TemplateKind::TailScan => &["objID", "val_a", "val_b", "flag", "mjd"],
             TemplateKind::PhotoZRange => &["objID", "z", "zErr", "tClass", "chiSq", "quality"],
-            TemplateKind::SpecLineScan => {
-                &["specObjID", "wave", "ew", "height", "sigma", "ewErr", "lineID"]
-            }
+            TemplateKind::SpecLineScan => &[
+                "specObjID",
+                "wave",
+                "ew",
+                "height",
+                "sigma",
+                "ewErr",
+                "lineID",
+            ],
             TemplateKind::PhotoSpecJoin => &[
                 "objID",
                 "ra",
@@ -283,13 +287,10 @@ impl Session {
             TemplateKind::TailScan => {
                 // Tag tail keys by table (FNV-1a over the name) so reuse
                 // analysis never conflates different tail tables.
-                let tag = 16 + self
-                    .table
-                    .bytes()
-                    .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                let tag = 16
+                    + self.table.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
                         (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-                    })
-                    % 4096;
+                    }) % 4096;
                 self.keyed_range(frac, cursor, self.table, "mjd", (50000.0, 60000.0), tag)
             }
             TemplateKind::Identity => self.identity(rng),

@@ -2,11 +2,10 @@
 //! precomputed yields.
 
 use byc_types::{Bytes, ColumnId, QueryId, TableId};
-use serde::{Deserialize, Serialize};
 
 /// One query of a trace, fully analyzed: the mediator needs only the
 /// referenced objects and the yield decomposition to replay it.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceQuery {
     /// Position in the trace (doubles as the virtual clock).
     pub id: QueryId,
@@ -31,7 +30,7 @@ pub struct TraceQuery {
 }
 
 /// A replayable query trace.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Trace {
     /// Human-readable name ("EDR", "DR1", ...).
     pub name: String,

@@ -36,14 +36,7 @@ fn main() {
     for granularity in [Granularity::Table, Granularity::Column] {
         let objects = ObjectCatalog::uniform(&catalog, granularity);
         let stats = WorkloadStats::compute(&trace, &objects);
-        let points = sweep_cache_sizes(
-            &trace,
-            &objects,
-            &stats.demands,
-            &policies,
-            &fractions,
-            7,
-        );
+        let points = sweep_cache_sizes(&trace, &objects, &stats.demands, &policies, &fractions, 7);
         println!(
             "\ntotal WAN cost vs cache size — {} caching (sequence cost {})",
             granularity.label(),

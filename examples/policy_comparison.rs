@@ -13,9 +13,9 @@
 //! small hot table whose traffic justifies it.
 
 use byc_core::access::Access;
+use byc_core::bypass_object::Landlord;
 use byc_core::inline::make;
 use byc_core::online::OnlineBY;
-use byc_core::bypass_object::Landlord;
 use byc_core::policy::{CachePolicy, Decision};
 use byc_core::rate_profile::{RateProfile, RateProfileConfig};
 use byc_types::{Bytes, ObjectId, Tick};
@@ -57,7 +57,11 @@ fn main() {
     println!("with a 200 MiB hot table (40 MiB yields)\n");
     for t in 0..20u64 {
         let access = if t % 4 == 3 { huge(t) } else { hot(t) };
-        let label = if t % 4 == 3 { "cold 1.5 GiB" } else { "hot 200 MiB" };
+        let label = if t % 4 == 3 {
+            "cold 1.5 GiB"
+        } else {
+            "hot 200 MiB"
+        };
         let policies: [&mut dyn CachePolicy; 3] = [&mut rate_profile, &mut online, &mut gds];
         print!("t={t:2} {label:13}");
         for (i, p) in policies.into_iter().enumerate() {

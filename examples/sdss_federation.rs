@@ -17,14 +17,8 @@ use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let scale: f64 = args
-        .next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.01);
-    let cache_fraction: f64 = args
-        .next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.15);
+    let scale: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(0.01);
+    let cache_fraction: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(0.15);
 
     let catalog = build(SdssRelease::Edr, scale, 1);
     let trace = generate(&catalog, &WorkloadConfig::edr(42)).expect("SDSS schema present");

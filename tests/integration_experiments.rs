@@ -25,11 +25,7 @@ fn dataset() -> &'static (byc_catalog::Catalog, byc_workload::Trace) {
     })
 }
 
-fn setup(granularity: Granularity) -> (
-    byc_workload::Trace,
-    ObjectCatalog,
-    WorkloadStats,
-) {
+fn setup(granularity: Granularity) -> (byc_workload::Trace, ObjectCatalog, WorkloadStats) {
     let (cat, trace) = dataset();
     let objects = ObjectCatalog::uniform(cat, granularity);
     let stats = WorkloadStats::compute(trace, &objects);
@@ -155,8 +151,18 @@ fn experiment_harness_smoke_run_produces_all_artifacts() {
     assert_eq!(
         ids,
         [
-            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tab1", "tab2",
-            "ablations", "semantic", "byhr"
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "tab1",
+            "tab2",
+            "ablations",
+            "semantic",
+            "byhr"
         ]
     );
     for o in &outputs {

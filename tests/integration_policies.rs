@@ -96,7 +96,9 @@ fn static_outperforms_online_policies() {
         .as_f64();
     for kind in [PolicyKind::RateProfile, PolicyKind::OnlineBY] {
         let mut policy = build_policy(kind, capacity, &stats.demands, 5);
-        let cost = replay(&trace, &objects, policy.as_mut()).total_cost().as_f64();
+        let cost = replay(&trace, &objects, policy.as_mut())
+            .total_cost()
+            .as_f64();
         assert!(
             cost >= static_cost * 0.9,
             "{} ({cost}) implausibly beats static ({static_cost})",

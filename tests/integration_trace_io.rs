@@ -46,11 +46,11 @@ fn trace_files_are_line_delimited_json() {
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), 51); // header + 50 queries
     for line in lines {
-        let value: serde_json::Value = serde_json::from_str(line).expect("each line is JSON");
+        let value = byc_types::json::Value::parse(line).expect("each line is JSON");
         assert!(value.is_object());
     }
     // The header carries the metadata.
-    let header: serde_json::Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+    let header = byc_types::json::Value::parse(text.lines().next().unwrap()).unwrap();
     assert_eq!(header["query_count"], 50);
     assert_eq!(header["seed"], 101);
     std::fs::remove_file(&path).ok();
@@ -64,11 +64,7 @@ fn truncated_trace_file_is_rejected() {
     write_trace(&trace, &path).unwrap();
     // Drop the last line.
     let text = std::fs::read_to_string(&path).unwrap();
-    let truncated: String = text
-        .lines()
-        .take(20)
-        .map(|l| format!("{l}\n"))
-        .collect();
+    let truncated: String = text.lines().take(20).map(|l| format!("{l}\n")).collect();
     std::fs::write(&path, truncated).unwrap();
     let err = read_trace(&path).unwrap_err();
     assert!(err.to_string().contains("promises"), "{err}");

@@ -1,0 +1,231 @@
+//! A small, dependency-free stand-in for the `criterion` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! benchmarks compile and run against this shim. It implements the API
+//! surface the workspace's benches use — groups, throughput annotations,
+//! `bench_function` / `bench_with_input`, `iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — measuring plain
+//! walltime means without criterion's statistical machinery.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new<P: std::fmt::Display>(name: &str, param: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter<P: std::fmt::Display>(param: P) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput annotation; reported next to the timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Configure measurement time (accepted and ignored by the shim).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Configure warm-up time (accepted and ignored by the shim).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Samples per benchmark for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut wrapper = |b: &mut Bencher| f(b, input);
+        run_one(&label, self.sample_size, self.throughput, &mut wrapper);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then `samples` timed iterations.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = Some(start.elapsed());
+        self.iters = self.samples as u64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        samples,
+        elapsed: None,
+        iters: 0,
+    };
+    f(&mut b);
+    match b.elapsed {
+        Some(total) if b.iters > 0 => {
+            let per_iter = total / b.iters as u32;
+            let rate = match throughput {
+                Some(Throughput::Bytes(n)) => {
+                    let secs = per_iter.as_secs_f64().max(1e-12);
+                    format!(" ({:.1} MiB/s)", n as f64 / secs / (1 << 20) as f64)
+                }
+                Some(Throughput::Elements(n)) => {
+                    let secs = per_iter.as_secs_f64().max(1e-12);
+                    format!(" ({:.0} elem/s)", n as f64 / secs)
+                }
+                None => String::new(),
+            };
+            println!("bench {label:<60} {per_iter:>12.2?}/iter{rate}");
+        }
+        _ => println!("bench {label:<60}   (no measurement)"),
+    }
+}
+
+/// `criterion_group!`: collect benchmark functions into one group entry
+/// point. Both the simple and the `name/config/targets` forms compile.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!`: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

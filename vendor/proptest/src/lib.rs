@@ -1,0 +1,204 @@
+//! A small, dependency-free stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the property tests run against this shim instead of the real crate. It
+//! implements exactly the API surface the workspace uses: the
+//! [`strategy::Strategy`] trait, range / tuple / string-pattern / `any`
+//! strategies, the `collection::vec`, `option::of`, and
+//! `sample::subsequence` combinators, and the `proptest!` /
+//! `prop_oneof!` / `prop_assert*!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message instead of a minimized counterexample.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name, so failures reproduce bit-for-bit across runs and
+//!   machines — the same property the workspace demands of its traces.
+//! * **String strategies** interpret the subset of regex syntax the
+//!   workspace's tests use (classes, ranges, alternation, groups,
+//!   `{m,n}` / `*` / `+` / `?` quantifiers, and `\PC` for printable
+//!   characters).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// String-pattern support used by `&str` strategies.
+pub mod string_gen;
+
+/// `proptest::collection` — collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option` — optional-value strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of`: `None` or `Some` of the inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() % 2 == 0 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `proptest::sample` — sampling from explicit collections.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for order-preserving subsequences of a vector.
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        len: Range<usize>,
+    }
+
+    /// `proptest::sample::subsequence`: a random subsequence of `items`
+    /// whose length falls in `len`, preserving the original order.
+    pub fn subsequence<T: Clone>(items: Vec<T>, len: Range<usize>) -> Subsequence<T> {
+        Subsequence { items, len }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let max_len = self.len.end.min(self.items.len() + 1);
+            let min_len = self.len.start.min(max_len.saturating_sub(1));
+            let span = (max_len - min_len).max(1) as u64;
+            let target = min_len + (rng.next_u64() % span) as usize;
+            // Mark `target` distinct positions, then emit in order.
+            let mut chosen = vec![false; self.items.len()];
+            let mut picked = 0;
+            while picked < target {
+                let i = (rng.next_u64() % self.items.len().max(1) as u64) as usize;
+                if !chosen[i] {
+                    chosen[i] = true;
+                    picked += 1;
+                }
+            }
+            self.items
+                .iter()
+                .zip(&chosen)
+                .filter(|&(_, &c)| c)
+                .map(|(v, _)| v.clone())
+                .collect()
+        }
+    }
+}
+
+/// What `use proptest::prelude::*` brings into scope.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// `prop_oneof!`: pick uniformly among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// `prop_assert!`: plain assertion (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!`: plain equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!`: plain inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// `proptest! { ... }`: run each enclosed `#[test]` function over
+/// `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&$strategy, &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,298 @@
+//! Generation of strings from the regex subset used in the workspace's
+//! string strategies: character classes, ranges, alternation, groups,
+//! `{m}` / `{m,n}` / `*` / `+` / `?` quantifiers, and `\PC` (any
+//! printable character).
+
+use crate::test_runner::TestRng;
+
+/// Unbounded quantifiers (`*`, `+`) are capped at this many repetitions.
+const STAR_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One literal character.
+    Literal(char),
+    /// One character drawn from a set.
+    Class(Vec<(char, char)>),
+    /// Any printable character (`\PC`).
+    Printable,
+    /// Choice among alternatives.
+    Alternation(Vec<Vec<Node>>),
+    /// A repeated node with inclusive bounds.
+    Repeat(Box<Node>, u32, u32),
+    /// A parenthesized sequence.
+    Group(Vec<Node>),
+}
+
+/// Generate a string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax the subset does not cover — a test-authoring error,
+/// surfaced loudly rather than generating the wrong language.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let nodes = parse_alternation(&mut pattern.chars().collect::<Vec<_>>().as_slice(), pattern);
+    let mut out = String::new();
+    emit_alt(&nodes, rng, &mut out);
+    out
+}
+
+fn emit_alt(alt: &[Vec<Node>], rng: &mut TestRng, out: &mut String) {
+    let arm = &alt[(rng.next_u64() % alt.len() as u64) as usize];
+    for node in arm {
+        emit(node, rng, out);
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+            let mut pick = (rng.next_u64() % total as u64) as u32;
+            for &(a, b) in ranges {
+                let span = b as u32 - a as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(a as u32 + pick).unwrap_or(a));
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Printable => {
+            // Mostly ASCII printables with an occasional non-ASCII char.
+            if rng.next_u64() % 16 == 0 {
+                let extras = ['é', 'λ', '→', '⊕', '文'];
+                out.push(extras[(rng.next_u64() % extras.len() as u64) as usize]);
+            } else {
+                out.push(char::from_u32(0x20 + (rng.next_u64() % 95) as u32).unwrap_or(' '));
+            }
+        }
+        Node::Alternation(arms) => emit_alt(arms, rng, out),
+        Node::Repeat(inner, lo, hi) => {
+            let span = (hi - lo + 1) as u64;
+            let n = lo + (rng.next_u64() % span) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+        Node::Group(seq) => {
+            for n in seq {
+                emit(n, rng, out);
+            }
+        }
+    }
+}
+
+type Chars<'a> = &'a [char];
+
+fn parse_alternation(input: &mut Chars<'_>, pattern: &str) -> Vec<Vec<Node>> {
+    let mut arms = vec![Vec::new()];
+    loop {
+        match input.first() {
+            None | Some(')') => break,
+            Some('|') => {
+                *input = &input[1..];
+                arms.push(Vec::new());
+            }
+            Some(_) => {
+                let node = parse_repeat(input, pattern);
+                arms.last_mut().expect("non-empty arms").push(node);
+            }
+        }
+    }
+    arms
+}
+
+fn parse_repeat(input: &mut Chars<'_>, pattern: &str) -> Node {
+    let atom = parse_atom(input, pattern);
+    match input.first() {
+        Some('*') => {
+            *input = &input[1..];
+            Node::Repeat(Box::new(atom), 0, STAR_CAP)
+        }
+        Some('+') => {
+            *input = &input[1..];
+            Node::Repeat(Box::new(atom), 1, STAR_CAP)
+        }
+        Some('?') => {
+            *input = &input[1..];
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        Some('{') => {
+            *input = &input[1..];
+            let mut digits = String::new();
+            while let Some(&c) = input.first() {
+                *input = &input[1..];
+                if c == '}' {
+                    let n: u32 = digits
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad {{m}} quantifier in pattern {pattern:?}"));
+                    return Node::Repeat(Box::new(atom), n, n);
+                }
+                if c == ',' {
+                    let lo: u32 = digits.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad {{m,n}} quantifier in pattern {pattern:?}")
+                    });
+                    let mut hi_digits = String::new();
+                    for &c in input.iter() {
+                        if c == '}' {
+                            break;
+                        }
+                        hi_digits.push(c);
+                    }
+                    *input = &input[hi_digits.len() + 1..];
+                    let hi: u32 = hi_digits.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad {{m,n}} quantifier in pattern {pattern:?}")
+                    });
+                    return Node::Repeat(Box::new(atom), lo, hi);
+                }
+                digits.push(c);
+            }
+            panic!("unterminated quantifier in pattern {pattern:?}");
+        }
+        _ => atom,
+    }
+}
+
+fn parse_atom(input: &mut Chars<'_>, pattern: &str) -> Node {
+    let c = input
+        .first()
+        .copied()
+        .unwrap_or_else(|| panic!("truncated pattern {pattern:?}"));
+    *input = &input[1..];
+    match c {
+        '(' => {
+            let arms = parse_alternation(input, pattern);
+            match input.first() {
+                Some(')') => *input = &input[1..],
+                _ => panic!("unclosed group in pattern {pattern:?}"),
+            }
+            if arms.len() == 1 {
+                Node::Group(arms.into_iter().next().expect("one arm"))
+            } else {
+                Node::Alternation(arms)
+            }
+        }
+        '[' => {
+            let mut ranges = Vec::new();
+            loop {
+                let c = input
+                    .first()
+                    .copied()
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                *input = &input[1..];
+                if c == ']' {
+                    break;
+                }
+                let lo = if c == '\\' {
+                    let e = input
+                        .first()
+                        .copied()
+                        .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                    *input = &input[1..];
+                    e
+                } else {
+                    c
+                };
+                if input.first() == Some(&'-') && input.get(1) != Some(&']') {
+                    *input = &input[1..];
+                    let hi = input
+                        .first()
+                        .copied()
+                        .unwrap_or_else(|| panic!("dangling range in {pattern:?}"));
+                    *input = &input[1..];
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+            assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+            Node::Class(ranges)
+        }
+        '\\' => {
+            let e = input
+                .first()
+                .copied()
+                .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+            *input = &input[1..];
+            match e {
+                // \PC — "printable character" (unicode category shorthand).
+                'P' | 'p' => {
+                    match input.first() {
+                        Some('C') | Some('c') => *input = &input[1..],
+                        _ => panic!("unsupported \\P class in pattern {pattern:?}"),
+                    }
+                    Node::Printable
+                }
+                'n' => Node::Literal('\n'),
+                't' => Node::Literal('\t'),
+                'r' => Node::Literal('\r'),
+                other => Node::Literal(other),
+            }
+        }
+        other => Node::Literal(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn identifier_pattern_shape() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z][a-zA-Z0-9_]{0,10}_", &mut rng);
+            assert!(s.ends_with('_'), "{s:?}");
+            assert!(s.len() >= 2 && s.len() <= 12, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_class_repetition() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z0-9 ]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn printable_any_char() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate("\\PC{0,120}", &mut rng);
+            assert!(s.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn alternation_with_escapes() {
+        let mut rng = rng();
+        let pattern =
+            "(select|from|where|and|between|,|\\*|\\(|\\)|[a-z]{1,4}|[0-9]{1,3}|'[a-z]*'| )*";
+        for _ in 0..100 {
+            // Must not panic; output drawn from the alternation language.
+            let _ = generate(pattern, &mut rng);
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut rng = rng();
+        assert_eq!(generate("a{3}", &mut rng), "aaa");
+        for _ in 0..50 {
+            let s = generate("ab?c+", &mut rng);
+            assert!(s.starts_with('a'));
+            assert!(s.ends_with('c'));
+        }
+    }
+}
