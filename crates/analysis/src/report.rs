@@ -1,6 +1,6 @@
 //! Paper-style report rendering and CSV export.
 
-use byc_federation::{CostReport, SeriesPoint, SweepPoint};
+use byc_federation::{CostReport, SeriesPoint, ServerCosts, SweepPoint};
 use byc_types::Result;
 use std::fmt::Write as _;
 use std::fs::File;
@@ -61,6 +61,65 @@ pub fn render_cost_table(title: &str, reports: &[CostReport]) -> String {
 
 fn gb(bytes: f64) -> f64 {
     bytes / 1e9
+}
+
+/// Render a per-server WAN breakdown (the BYHR view): one row per
+/// back-end server with delivered / bypass / fetch / WAN traffic in GB,
+/// plus a totals row. `delivered` is raw result bytes; `bypass` and
+/// `fetch` are network-priced, so on non-uniform federations the rows
+/// show which links actually carry the cost.
+pub fn render_server_table(title: &str, servers: &[ServerCosts]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>14} {:>12} {:>12} {:>12} {:>9} {:>9} {:>7}",
+        "Server",
+        "Delivered (GB)",
+        "Bypass (GB)",
+        "Fetch (GB)",
+        "WAN (GB)",
+        "Hits",
+        "Bypasses",
+        "Loads"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(90));
+    let mut total = ServerCosts::default();
+    for s in servers {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>14.2} {:>12.2} {:>12.2} {:>12.2} {:>9} {:>9} {:>7}",
+            format!("S{}", s.server.raw()),
+            gb(s.delivered.as_f64()),
+            gb(s.bypass_cost.as_f64()),
+            gb(s.fetch_cost.as_f64()),
+            gb(s.wan_cost().as_f64()),
+            s.hits,
+            s.bypasses,
+            s.loads,
+        );
+        total.delivered += s.delivered;
+        total.bypass_served += s.bypass_served;
+        total.bypass_cost += s.bypass_cost;
+        total.fetch_cost += s.fetch_cost;
+        total.cache_served += s.cache_served;
+        total.hits += s.hits;
+        total.bypasses += s.bypasses;
+        total.loads += s.loads;
+    }
+    let _ = writeln!(
+        out,
+        "{:<8} {:>14.2} {:>12.2} {:>12.2} {:>12.2} {:>9} {:>9} {:>7}",
+        "total",
+        gb(total.delivered.as_f64()),
+        gb(total.bypass_cost.as_f64()),
+        gb(total.fetch_cost.as_f64()),
+        gb(total.wan_cost().as_f64()),
+        total.hits,
+        total.bypasses,
+        total.loads,
+    );
+    out
 }
 
 /// Write cumulative-cost series (Figs 7–8) as CSV: one column per policy.
@@ -138,6 +197,7 @@ mod tests {
             granularity: "table".into(),
             queries: 100,
             sequence_cost: Bytes::new(100_000_000_000),
+            bypass_served: Bytes::new(bypass),
             bypass_cost: Bytes::new(bypass),
             fetch_cost: Bytes::new(fetch),
             cache_served: Bytes::new(100_000_000_000 - bypass),
@@ -203,6 +263,32 @@ mod tests {
         assert_eq!(lines.next().unwrap(), "100,1.000,5.000");
         assert_eq!(lines.next().unwrap(), "200,2.000,");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn server_table_rows_and_totals() {
+        use byc_types::ServerId;
+        let mut near = ServerCosts::default();
+        near.server = ServerId::new(0);
+        near.delivered = Bytes::new(2_000_000_000);
+        near.bypass_cost = Bytes::new(1_000_000_000);
+        near.fetch_cost = Bytes::new(500_000_000);
+        near.hits = 3;
+        near.bypasses = 4;
+        near.loads = 1;
+        let mut far = ServerCosts::default();
+        far.server = ServerId::new(1);
+        far.delivered = Bytes::new(1_000_000_000);
+        far.bypass_cost = Bytes::new(4_000_000_000);
+        far.fetch_cost = Bytes::new(0);
+        far.bypasses = 2;
+        let table = render_server_table("per-server WAN", &[near, far]);
+        assert!(table.contains("per-server WAN"));
+        assert!(table.contains("S0"));
+        assert!(table.contains("S1"));
+        // Totals row sums WAN = (1.0 + 0.5) + (4.0 + 0.0) GB.
+        assert!(table.contains("total"));
+        assert!(table.contains("5.50"), "{table}");
     }
 
     #[test]

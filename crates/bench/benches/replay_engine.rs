@@ -1,0 +1,94 @@
+//! Overhead of the observer-based replay engine.
+//!
+//! The engine funnels every decision through `CostEvent` construction and
+//! dynamic `Observer` dispatch; the pre-refactor replay loop accumulated
+//! costs inline. This bench times both over the same trace and policies
+//! so the abstraction's price stays visible — the budget is ≤5% over the
+//! hand-rolled loop.
+
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_core::policy::{CachePolicy, Decision};
+use byc_federation::simulator::accesses_of;
+use byc_federation::{build_policy, replay, PolicyKind};
+use byc_types::{Bytes, Tick};
+use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// The shape of the replay loop before the engine existed: decompose,
+/// ask the policy, accumulate the full cost breakdown inline. No events,
+/// no observers.
+fn inline_replay(trace: &Trace, objects: &ObjectCatalog, policy: &mut dyn CachePolicy) -> Bytes {
+    let mut sequence = Bytes::ZERO;
+    let mut bypass = Bytes::ZERO;
+    let mut fetch = Bytes::ZERO;
+    let mut cache_served = Bytes::ZERO;
+    let (mut hits, mut bypasses, mut loads, mut evictions) = (0u64, 0u64, 0u64, 0u64);
+    for (i, q) in trace.queries.iter().enumerate() {
+        for access in accesses_of(q, objects, Tick::new(i as u64)) {
+            sequence += access.yield_bytes;
+            match policy.on_access(&access) {
+                Decision::Hit => {
+                    hits += 1;
+                    cache_served += access.yield_bytes;
+                }
+                Decision::Bypass => {
+                    bypasses += 1;
+                    bypass += access.yield_bytes;
+                }
+                Decision::Load { evictions: ev } => {
+                    loads += 1;
+                    evictions += ev.len() as u64;
+                    fetch += access.fetch_cost;
+                }
+            }
+        }
+    }
+    let _ = (sequence, cache_served, hits, bypasses, loads, evictions);
+    bypass + fetch
+}
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    let catalog = build(SdssRelease::Edr, 1e-2, 1);
+    let trace = generate(&catalog, &WorkloadConfig::smoke(29, 10_000)).unwrap();
+    let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+    let stats = WorkloadStats::compute(&trace, &objects);
+    let capacity = objects.total_size().scale(0.15);
+
+    let mut group = c.benchmark_group("replay_engine");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for kind in [
+        PolicyKind::Gds,
+        PolicyKind::RateProfile,
+        PolicyKind::NoCache,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("inline", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut policy = build_policy(kind, capacity, &stats.demands, 29);
+                    inline_replay(&trace, &objects, policy.as_mut())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut policy = build_policy(kind, capacity, &stats.demands, 29);
+                    replay(&trace, &objects, policy.as_mut()).total_cost()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_overhead
+}
+criterion_main!(benches);

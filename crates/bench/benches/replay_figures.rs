@@ -19,7 +19,7 @@ fn bench_replay(c: &mut Criterion) {
         let stats = WorkloadStats::compute(&trace, &objects);
         let capacity = objects.total_size().scale(0.15);
         let mut group =
-            c.benchmark_group(format!("replay_{}_{}q", granularity.label(), trace.len()));
+            c.benchmark_group(&format!("replay_{}_{}q", granularity.label(), trace.len()));
         group.throughput(Throughput::Elements(trace.len() as u64));
         for kind in [
             PolicyKind::RateProfile,

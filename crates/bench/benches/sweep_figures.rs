@@ -3,7 +3,7 @@
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{build_policy, replay, sweep_cache_sizes, PolicyKind};
+use byc_federation::{build_policy, replay, sweep_cache_sizes, PolicyKind, Uniform};
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -23,7 +23,16 @@ fn bench_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_12_replays");
     group.bench_function("parallel", |b| {
         b.iter(|| {
-            sweep_cache_sizes(&trace, &objects, &stats.demands, &POLICIES, &FRACTIONS, 17).len()
+            sweep_cache_sizes(
+                &trace,
+                &objects,
+                &stats.demands,
+                &POLICIES,
+                &FRACTIONS,
+                17,
+                &Uniform,
+            )
+            .len()
         })
     });
     group.bench_function("serial", |b| {

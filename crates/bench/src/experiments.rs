@@ -1,14 +1,16 @@
 //! One function per paper artifact.
 
 use byc_analysis::{
-    containment_analysis, locality_analysis, render_cost_table, write_series_csv, write_sweep_csv,
+    containment_analysis, locality_analysis, render_cost_table, render_server_table,
+    write_series_csv, write_sweep_csv,
 };
 use byc_catalog::sdss::{self, SdssRelease};
 use byc_catalog::{Catalog, Granularity, ObjectCatalog};
 use byc_core::rate_profile::{RateProfile, RateProfileConfig};
 use byc_federation::{
-    build_policy, replay, replay_with_series, sweep_cache_sizes, CostReport, PolicyKind,
-    SeriesPoint,
+    build_policy, replay, replay_with_series, sweep_cache_sizes, CostObserver, CostReport,
+    Observer, PerServerMultipliers, PerServerObserver, PolicyKind, ReplayEngine, SeriesPoint,
+    Uniform,
 };
 use byc_types::Result;
 use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
@@ -290,6 +292,7 @@ fn sweep_fig(
         &policies,
         &SWEEP_FRACTIONS,
         EXPERIMENT_SEED,
+        &Uniform,
     );
     let path = ctx.artifact(&format!("{id}_{}_sweep.csv", granularity.label()))?;
     write_sweep_csv(&path, &points)?;
@@ -515,7 +518,8 @@ pub fn semantic(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
     let objects = ObjectCatalog::uniform(catalog, Granularity::Column);
     let stats = WorkloadStats::compute(trace, &objects);
     let capacity = objects.total_size().scale(HEADLINE_CACHE_FRACTION);
-    let report = byc_federation::SemanticCache::new(capacity).replay(trace);
+    let engine = ReplayEngine::new(&objects);
+    let report = byc_federation::SemanticCache::new(capacity).replay(trace, &engine);
     let mut rp = build_policy(
         PolicyKind::RateProfile,
         capacity,
@@ -558,9 +562,11 @@ pub fn semantic(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
 }
 
 /// Extension experiment: non-uniform networks (the BYHR regime, paper
-/// §3). Four servers with fetch-cost multipliers 1/2/4/8; Rate-Profile
-/// with true costs (BYHR-aware) vs behind the uniform-cost assumption
-/// (BYU), both charged true costs by the simulator.
+/// §3). Four servers with link cost multipliers 1/2/4/8 priced by a
+/// [`PerServerMultipliers`] network model; Rate-Profile with true costs
+/// (BYHR-aware) vs behind the uniform-cost assumption (BYU), both
+/// charged true costs by the engine — plus the per-server WAN breakdown
+/// only the engine's [`PerServerObserver`] can see.
 pub fn byhr(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
     let scale = ctx.scale;
     let query_fraction = ctx.query_fraction;
@@ -570,19 +576,28 @@ pub fn byhr(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
     let mut config = WorkloadConfig::edr(EXPERIMENT_SEED);
     config.query_count = ((config.query_count as f64 * query_fraction) as usize).max(100);
     let trace = generate(&catalog, &config)?;
-    let multipliers = [1.0, 2.0, 4.0, 8.0];
-    let objects = ObjectCatalog::with_server_costs(&catalog, Granularity::Column, &|s| {
-        multipliers[s.index() % multipliers.len()]
-    });
+    let network = PerServerMultipliers::new(vec![1.0, 2.0, 4.0, 8.0])?;
+    let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
     let capacity = objects.total_size().scale(HEADLINE_CACHE_FRACTION);
+    let engine = ReplayEngine::with_network(&objects, &network);
+
+    let replay_on_engine = |policy: &mut dyn byc_core::policy::CachePolicy| {
+        let mut cost = CostObserver::new(policy.name(), &trace.name, objects.granularity().label());
+        let mut per_server = PerServerObserver::new();
+        {
+            let mut observers: Vec<&mut dyn Observer> = vec![&mut cost, &mut per_server];
+            engine.replay(&trace, policy, &mut observers);
+        }
+        (cost.into_report(), per_server.into_costs())
+    };
 
     let mut aware = RateProfile::new(capacity, RateProfileConfig::default());
-    let aware_report = replay(&trace, &objects, &mut aware);
+    let (aware_report, aware_servers) = replay_on_engine(&mut aware);
     let mut blind = byc_federation::policies::UniformCostAdapter::new(RateProfile::new(
         capacity,
         RateProfileConfig::default(),
     ));
-    let blind_report = replay(&trace, &objects, &mut blind);
+    let (blind_report, _) = replay_on_engine(&mut blind);
 
     let mut summary = String::new();
     let _ = writeln!(
@@ -610,6 +625,15 @@ pub fn byhr(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
          bounded worst case. On stable hot sets the optimistic uniform assumption\n  \
          loads earlier and wins on average — the rent-to-buy analogue of ski\n  \
          rental being 2-competitive rather than prescient."
+    );
+    let _ = writeln!(summary);
+    let _ = write!(
+        summary,
+        "{}",
+        render_server_table(
+            "per-server WAN breakdown, BYHR-aware Rate-Profile (multipliers 1/2/4/8):",
+            &aware_servers,
+        )
     );
     let path = ctx.artifact("byhr.txt")?;
     std::fs::write(&path, &summary)?;

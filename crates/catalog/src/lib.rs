@@ -11,14 +11,18 @@
 //! * [`objects`] — the cacheable-object view of a catalog at a chosen
 //!   [`objects::Granularity`] (whole tables or single columns, the two
 //!   granularities compared in paper §6.1).
+//! * [`placement`] — table→server [`placement::Placement`] builders for
+//!   multi-server federations (single-server, round-robin, size-balanced).
 //! * [`sdss`] — builders for the synthetic SDSS-like schemas (EDR and DR1
 //!   releases) used by the experiments.
 
 #![warn(missing_docs)]
 
 pub mod objects;
+pub mod placement;
 pub mod schema;
 pub mod sdss;
 
 pub use objects::{Granularity, ObjectCatalog, ObjectInfo, ObjectKind};
+pub use placement::Placement;
 pub use schema::{Catalog, Column, ColumnDef, ColumnType, Table, TableDef};

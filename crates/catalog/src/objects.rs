@@ -11,9 +11,11 @@
 //!
 //! The fetch cost follows the paper's proportional model `f_i = c · s_i`
 //! (§3): load traffic scales linearly with object size on TCP networks when
-//! transfers are much larger than the frame size. Per-server multipliers
-//! allow modelling non-uniform WAN paths, which is what distinguishes BYHR
-//! from the simplified BYU metric.
+//! transfers are much larger than the frame size. The catalog stores the
+//! *raw* cost (`fetch_cost = size`); non-uniform WAN paths — what
+//! distinguishes BYHR from the simplified BYU metric — are priced at
+//! replay time by the federation's `NetworkModel` using each object's
+//! [`ObjectInfo::server`].
 
 use crate::schema::Catalog;
 use byc_types::{Bytes, ColumnId, Error, ObjectId, Result, ServerId, TableId};
@@ -75,23 +77,11 @@ pub struct ObjectCatalog {
 }
 
 impl ObjectCatalog {
-    /// Build the object view of `catalog` at `granularity`, with a uniform
-    /// fetch-cost multiplier of 1 for every server (the BYU regime).
+    /// Build the object view of `catalog` at `granularity`. Fetch costs
+    /// are the raw proportional model (`fetch_cost = size`, `c = 1`);
+    /// per-server link pricing is applied downstream by the federation's
+    /// network model, not baked into the catalog.
     pub fn uniform(catalog: &Catalog, granularity: Granularity) -> Self {
-        Self::with_server_costs(catalog, granularity, &|_| 1.0)
-    }
-
-    /// Build the object view with a per-server fetch-cost multiplier: the
-    /// fetch cost of an object of size `s` on server `v` is `s ·
-    /// multiplier(v)` (the BYHR regime on non-uniform networks).
-    ///
-    /// Multipliers must be positive; values below 1 model well-connected
-    /// replicas, values above 1 model distant or congested servers.
-    pub fn with_server_costs(
-        catalog: &Catalog,
-        granularity: Granularity,
-        multiplier: &dyn Fn(ServerId) -> f64,
-    ) -> Self {
         let mut objects = Vec::new();
         let mut by_table = vec![None; catalog.table_count()];
         let mut by_column = vec![None; catalog.column_count()];
@@ -100,13 +90,11 @@ impl ObjectCatalog {
                 for t in catalog.tables() {
                     let id = ObjectId::new(objects.len() as u32);
                     let size = t.size();
-                    let m = multiplier(t.server);
-                    assert!(m > 0.0, "fetch-cost multiplier must be positive");
                     objects.push(ObjectInfo {
                         id,
                         kind: ObjectKind::Table(t.id),
                         size,
-                        fetch_cost: size.scale(m),
+                        fetch_cost: size,
                         server: t.server,
                     });
                     by_table[t.id.index()] = Some(id);
@@ -117,13 +105,11 @@ impl ObjectCatalog {
                     let t = catalog.table(c.table);
                     let id = ObjectId::new(objects.len() as u32);
                     let size = Bytes::new(c.width() * t.row_count);
-                    let m = multiplier(t.server);
-                    assert!(m > 0.0, "fetch-cost multiplier must be positive");
                     objects.push(ObjectInfo {
                         id,
                         kind: ObjectKind::Column(c.id),
                         size,
-                        fetch_cost: size.scale(m),
+                        fetch_cost: size,
                         server: t.server,
                     });
                     by_column[c.id.index()] = Some(id);
@@ -215,6 +201,17 @@ impl ObjectCatalog {
     pub fn total_size(&self) -> Bytes {
         self.total_size
     }
+
+    /// Number of distinct servers the objects span: one more than the
+    /// highest home-server id present (0 for an empty catalog). Useful
+    /// for sizing per-server cost tables and network models.
+    pub fn server_count(&self) -> u32 {
+        self.objects
+            .iter()
+            .map(|o| o.server.raw() + 1)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -283,19 +280,14 @@ mod tests {
     }
 
     #[test]
-    fn server_multiplier_scales_fetch_cost() {
+    fn objects_remember_their_home_servers() {
         let cat = two_table_catalog();
-        let oc = ObjectCatalog::with_server_costs(&cat, Granularity::Table, &|s| {
-            if s == ServerId::new(1) {
-                2.0
-            } else {
-                1.0
-            }
-        });
+        let oc = ObjectCatalog::uniform(&cat, Granularity::Table);
         let a = oc.info(oc.object_for_table(TableId::new(0)).unwrap());
         let b = oc.info(oc.object_for_table(TableId::new(1)).unwrap());
-        assert_eq!(a.fetch_cost, a.size);
-        assert_eq!(b.fetch_cost.raw(), b.size.raw() * 2);
+        assert_eq!(a.server, ServerId::new(0));
+        assert_eq!(b.server, ServerId::new(1));
+        assert_eq!(oc.server_count(), 2);
     }
 
     #[test]

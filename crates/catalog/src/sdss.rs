@@ -23,8 +23,9 @@
 //! table to answer a 10 MB query is exactly the bandwidth waste the
 //! paper's §1 warns about.
 
+use crate::placement::Placement;
 use crate::schema::{Catalog, ColumnDef, ColumnType, TableDef};
-use byc_types::ServerId;
+use byc_types::Bytes;
 
 /// Which synthetic data release to build.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -272,10 +273,16 @@ pub const TAIL_TABLES: &[&str] = &[
 /// `scale = 1.0` yields ≈ 18 GiB for EDR). `server_count` spreads tables
 /// round-robin across that many federation servers (must be ≥ 1).
 pub fn build(release: SdssRelease, scale: f64, server_count: u32) -> Catalog {
-    assert!(scale > 0.0, "scale must be positive");
     assert!(server_count >= 1, "need at least one server");
+    build_with_placement(release, scale, Placement::RoundRobin(server_count))
+}
+
+/// Build a release with an explicit table→server [`Placement`].
+///
+/// `scale` multiplies every row count, as in [`build`].
+pub fn build_with_placement(release: SdssRelease, scale: f64, placement: Placement) -> Catalog {
+    assert!(scale > 0.0, "scale must be positive");
     let factor = scale * release.release_factor();
-    let mut cat = Catalog::new();
     let columns_for = |name: &str| -> Vec<ColumnDef> {
         match name {
             "PhotoObj" => photoobj_columns(),
@@ -290,13 +297,25 @@ pub fn build(release: SdssRelease, scale: f64, server_count: u32) -> Catalog {
             other => unreachable!("unknown base table {other}"),
         }
     };
-    for (i, &(name, base_rows)) in BASE_ROWS.iter().enumerate() {
-        let rows = ((base_rows as f64 * factor).round() as u64).max(1);
+    let defs: Vec<(&str, Vec<ColumnDef>, u64)> = BASE_ROWS
+        .iter()
+        .map(|&(name, base_rows)| {
+            let rows = ((base_rows as f64 * factor).round() as u64).max(1);
+            (name, columns_for(name), rows)
+        })
+        .collect();
+    let sizes: Vec<Bytes> = defs
+        .iter()
+        .map(|(_, cols, rows)| Bytes::new(cols.iter().map(|c| c.ty.width()).sum::<u64>() * rows))
+        .collect();
+    let servers = placement.assign(&sizes);
+    let mut cat = Catalog::new();
+    for ((name, columns, rows), server) in defs.into_iter().zip(servers) {
         cat.add_table(TableDef {
             name: name.to_string(),
-            columns: columns_for(name),
+            columns,
             row_count: rows,
-            server: ServerId::new(i as u32 % server_count),
+            server,
         })
         .expect("static schema definitions are valid");
     }
@@ -400,6 +419,23 @@ mod tests {
         let servers: Vec<u32> = cat.tables().iter().map(|t| t.server.raw()).collect();
         let expected: Vec<u32> = (0..BASE_ROWS.len() as u32).map(|i| i % 3).collect();
         assert_eq!(servers, expected);
+    }
+
+    #[test]
+    fn size_balanced_placement_splits_the_database() {
+        let cat = build_with_placement(SdssRelease::Edr, 1e-4, Placement::SizeBalanced(4));
+        let mut per_server = [0u64; 4];
+        for t in cat.tables() {
+            per_server[t.server.index()] += t.size().raw();
+        }
+        // PhotoObj dominates the database, so its server is the heaviest;
+        // but every server must hold something, and the non-PhotoObj
+        // servers must be within 4x of one another.
+        assert!(per_server.iter().all(|&b| b > 0));
+        let mut rest: Vec<u64> = per_server.to_vec();
+        rest.sort_unstable();
+        let (lightest, heaviest_rest) = (rest[0], rest[2]);
+        assert!(heaviest_rest < lightest * 4, "rest spread {rest:?}");
     }
 
     #[test]

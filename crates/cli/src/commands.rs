@@ -1,9 +1,14 @@
 //! The `byc` subcommands.
 
-use byc_analysis::{containment_analysis, locality_analysis, render_cost_table};
+use byc_analysis::{
+    containment_analysis, locality_analysis, render_cost_table, render_server_table,
+};
 use byc_catalog::sdss::{self, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{build_policy, replay, sweep_cache_sizes, PolicyKind};
+use byc_federation::{
+    build_policy, sweep_cache_sizes, CostObserver, NetworkModel, Observer, PerServerMultipliers,
+    PerServerObserver, PolicyKind, ReplayEngine, Uniform,
+};
 use byc_types::{Error, Result};
 use byc_workload::{generate, io as trace_io, Trace, WorkloadConfig, WorkloadStats};
 use std::fmt::Write as _;
@@ -39,6 +44,10 @@ pub enum Command {
         scale: f64,
         /// Seed for synthesized traces / randomized policies.
         seed: u64,
+        /// Number of back-end servers (tables spread round-robin).
+        servers: u32,
+        /// Per-server WAN cost multipliers (None = uniform pricing).
+        multipliers: Option<Vec<f64>>,
     },
     /// Sweep cache sizes for a set of policies.
     Sweep {
@@ -50,6 +59,10 @@ pub enum Command {
         scale: f64,
         /// Seed.
         seed: u64,
+        /// Number of back-end servers (tables spread round-robin).
+        servers: u32,
+        /// Per-server WAN cost multipliers (None = uniform pricing).
+        multipliers: Option<Vec<f64>>,
     },
     /// Workload analyses: containment and schema locality.
     Analyze {
@@ -103,6 +116,15 @@ fn parse_granularity(name: &str) -> Result<Granularity> {
     }
 }
 
+/// Build the WAN pricing model for `--cost-multipliers` (uniform when
+/// the flag is absent).
+fn build_network(multipliers: &Option<Vec<f64>>) -> Result<Box<dyn NetworkModel>> {
+    Ok(match multipliers {
+        Some(m) => Box::new(PerServerMultipliers::new(m.clone())?),
+        None => Box::new(Uniform),
+    })
+}
+
 fn parse_release(name: &str) -> Result<SdssRelease> {
     match name.to_ascii_lowercase().as_str() {
         "edr" => Ok(SdssRelease::Edr),
@@ -120,10 +142,15 @@ fn parse_release(name: &str) -> Result<SdssRelease> {
 /// bypass decision. The caller's `--scale` must therefore match the scale
 /// the trace was generated at; we sanity-check by comparing the trace's
 /// mean yield to the catalog size and refuse wildly inconsistent pairs.
-fn load_trace(spec: &str, scale: f64, seed: u64) -> Result<(byc_catalog::Catalog, Trace)> {
+fn load_trace(
+    spec: &str,
+    scale: f64,
+    seed: u64,
+    servers: u32,
+) -> Result<(byc_catalog::Catalog, Trace)> {
     match parse_release(spec) {
         Ok(release) => {
-            let catalog = sdss::build(release, scale, 1);
+            let catalog = sdss::build(release, scale, servers);
             let config = match release {
                 SdssRelease::Edr => WorkloadConfig::edr(seed),
                 SdssRelease::Dr1 => WorkloadConfig::dr1(seed),
@@ -135,7 +162,7 @@ fn load_trace(spec: &str, scale: f64, seed: u64) -> Result<(byc_catalog::Catalog
             // Treat as a file path; catalogs for external traces must match
             // the trace's release, so default to EDR at the caller's scale.
             let trace = trace_io::read_trace(std::path::Path::new(spec))?;
-            let catalog = sdss::build(SdssRelease::Edr, scale, 1);
+            let catalog = sdss::build(SdssRelease::Edr, scale, servers);
             // Guard against replaying a trace against a catalog at the
             // wrong scale (yields would be mispriced by that factor).
             if !trace.is_empty() {
@@ -166,12 +193,20 @@ USAGE:
   byc gen-trace <edr|dr1> --out FILE [--seed N] [--scale S] [--queries N]
   byc run <edr|dr1|trace.jsonl> --policy NAME [--granularity table|column]
           [--cache-fraction F] [--scale S] [--seed N]
+          [--servers N] [--cost-multipliers A,B,...]
   byc sweep <edr|dr1|trace.jsonl> [--granularity table|column] [--scale S] [--seed N]
+          [--servers N] [--cost-multipliers A,B,...]
   byc analyze <edr|dr1|trace.jsonl> [--scale S] [--seed N]
   byc help
 
 POLICIES: rate-profile onlineby onlineby-marking spaceeffby gds gdsp lru
-          lfu lru-k lff gdstar static nocache";
+          lfu lru-k lff gdstar static nocache
+
+NETWORK:  --servers spreads tables round-robin over N back-end servers;
+          --cost-multipliers prices each server's WAN link (cycled when
+          shorter than the server count) and implies --servers when that
+          flag is absent. With more than one server, `run` appends a
+          per-server WAN breakdown table.";
 
 /// Parse raw argument strings into a [`Command`].
 ///
@@ -186,8 +221,23 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
     };
     let known: &[&str] = match sub {
         "gen-trace" => &["out", "seed", "scale", "queries"],
-        "run" => &["policy", "granularity", "cache-fraction", "scale", "seed"],
-        "sweep" | "analyze" => &["granularity", "scale", "seed"],
+        "run" => &[
+            "policy",
+            "granularity",
+            "cache-fraction",
+            "scale",
+            "seed",
+            "servers",
+            "cost-multipliers",
+        ],
+        "sweep" => &[
+            "granularity",
+            "scale",
+            "seed",
+            "servers",
+            "cost-multipliers",
+        ],
+        "analyze" => &["granularity", "scale", "seed"],
         _ => &[],
     };
     let mut positional: Vec<String> = Vec::new();
@@ -230,6 +280,23 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 }),
             }
         };
+    let flag_multipliers =
+        |flags: &std::collections::HashMap<String, String>| -> Result<Option<Vec<f64>>> {
+            match flags.get("cost-multipliers") {
+                None => Ok(None),
+                Some(v) => v
+                    .split(',')
+                    .map(|part| {
+                        part.trim().parse::<f64>().map_err(|_| {
+                            Error::InvalidConfig(format!(
+                                "--cost-multipliers expects comma-separated numbers, got {v:?}"
+                            ))
+                        })
+                    })
+                    .collect::<Result<Vec<f64>>>()
+                    .map(Some),
+            }
+        };
     let first = |positional: &[String]| -> Result<String> {
         positional
             .first()
@@ -251,29 +318,41 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             scale: flag_f64(&flags, "scale", 1.0)?,
             queries: flag_u64(&flags, "queries", 0)? as usize,
         }),
-        "run" => Ok(Command::Run {
-            trace: first(&positional)?,
-            policy: flags
-                .get("policy")
-                .cloned()
-                .ok_or_else(|| Error::InvalidConfig("run requires --policy NAME".into()))?,
-            granularity: flags
-                .get("granularity")
-                .cloned()
-                .unwrap_or_else(|| "column".into()),
-            cache_fraction: flag_f64(&flags, "cache-fraction", 0.15)?,
-            scale: flag_f64(&flags, "scale", 1.0)?,
-            seed: flag_u64(&flags, "seed", 42)?,
-        }),
-        "sweep" => Ok(Command::Sweep {
-            trace: first(&positional)?,
-            granularity: flags
-                .get("granularity")
-                .cloned()
-                .unwrap_or_else(|| "column".into()),
-            scale: flag_f64(&flags, "scale", 1.0)?,
-            seed: flag_u64(&flags, "seed", 42)?,
-        }),
+        "run" => {
+            let multipliers = flag_multipliers(&flags)?;
+            let default_servers = multipliers.as_ref().map_or(1, |m| m.len() as u64);
+            Ok(Command::Run {
+                trace: first(&positional)?,
+                policy: flags
+                    .get("policy")
+                    .cloned()
+                    .ok_or_else(|| Error::InvalidConfig("run requires --policy NAME".into()))?,
+                granularity: flags
+                    .get("granularity")
+                    .cloned()
+                    .unwrap_or_else(|| "column".into()),
+                cache_fraction: flag_f64(&flags, "cache-fraction", 0.15)?,
+                scale: flag_f64(&flags, "scale", 1.0)?,
+                seed: flag_u64(&flags, "seed", 42)?,
+                servers: flag_u64(&flags, "servers", default_servers)? as u32,
+                multipliers,
+            })
+        }
+        "sweep" => {
+            let multipliers = flag_multipliers(&flags)?;
+            let default_servers = multipliers.as_ref().map_or(1, |m| m.len() as u64);
+            Ok(Command::Sweep {
+                trace: first(&positional)?,
+                granularity: flags
+                    .get("granularity")
+                    .cloned()
+                    .unwrap_or_else(|| "column".into()),
+                scale: flag_f64(&flags, "scale", 1.0)?,
+                seed: flag_u64(&flags, "seed", 42)?,
+                servers: flag_u64(&flags, "servers", default_servers)? as u32,
+                multipliers,
+            })
+        }
         "analyze" => Ok(Command::Analyze {
             trace: first(&positional)?,
             scale: flag_f64(&flags, "scale", 1.0)?,
@@ -325,6 +404,8 @@ pub fn run_command(command: Command) -> Result<String> {
             cache_fraction,
             scale,
             seed,
+            servers,
+            multipliers,
         } => {
             if cache_fraction <= 0.0 || cache_fraction.is_nan() {
                 return Err(Error::InvalidConfig(
@@ -333,12 +414,23 @@ pub fn run_command(command: Command) -> Result<String> {
             }
             let kind = parse_policy(&policy)?;
             let granularity = parse_granularity(&granularity)?;
-            let (catalog, trace) = load_trace(&trace, scale, seed)?;
+            let (catalog, trace) = load_trace(&trace, scale, seed, servers.max(1))?;
             let objects = ObjectCatalog::uniform(&catalog, granularity);
             let stats = WorkloadStats::compute(&trace, &objects);
             let capacity = objects.total_size().scale(cache_fraction);
             let mut p = build_policy(kind, capacity, &stats.demands, seed);
-            let report = replay(&trace, &objects, p.as_mut());
+            let network = build_network(&multipliers)?;
+            let (report, server_costs) = {
+                let engine = ReplayEngine::with_network(&objects, network.as_ref());
+                let mut cost =
+                    CostObserver::new(p.name(), &trace.name, objects.granularity().label());
+                let mut per_server = PerServerObserver::new();
+                {
+                    let mut observers: Vec<&mut dyn Observer> = vec![&mut cost, &mut per_server];
+                    engine.replay(&trace, p.as_mut(), &mut observers);
+                }
+                (cost.into_report(), per_server.into_costs())
+            };
             let mut out = render_cost_table(
                 &format!(
                     "{} on {} ({} caching, cache {:.0}% = {})",
@@ -360,6 +452,17 @@ pub fn run_command(command: Command) -> Result<String> {
                 report.reduction_factor(),
                 report.byte_hit_rate() * 100.0
             );
+            if server_costs.len() > 1 {
+                let _ = writeln!(out);
+                let _ = write!(
+                    out,
+                    "{}",
+                    render_server_table(
+                        &format!("per-server WAN breakdown ({} pricing)", network.name()),
+                        &server_costs,
+                    )
+                );
+            }
             Ok(out)
         }
         Command::Sweep {
@@ -367,13 +470,16 @@ pub fn run_command(command: Command) -> Result<String> {
             granularity,
             scale,
             seed,
+            servers,
+            multipliers,
         } => {
             let granularity = parse_granularity(&granularity)?;
-            let (catalog, trace) = load_trace(&trace, scale, seed)?;
+            let (catalog, trace) = load_trace(&trace, scale, seed, servers.max(1))?;
             let objects = ObjectCatalog::uniform(&catalog, granularity);
             let stats = WorkloadStats::compute(&trace, &objects);
             let fractions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0];
             let policies = byc_federation::policy_roster();
+            let network = build_network(&multipliers)?;
             let points = sweep_cache_sizes(
                 &trace,
                 &objects,
@@ -381,6 +487,7 @@ pub fn run_command(command: Command) -> Result<String> {
                 &policies,
                 &fractions,
                 seed,
+                network.as_ref(),
             );
             let mut out = format!(
                 "total WAN cost (GB) vs cache size, {} caching, trace {}\n",
@@ -406,7 +513,7 @@ pub fn run_command(command: Command) -> Result<String> {
             Ok(out)
         }
         Command::Analyze { trace, scale, seed } => {
-            let (catalog, trace) = load_trace(&trace, scale, seed)?;
+            let (catalog, trace) = load_trace(&trace, scale, seed, 1)?;
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -518,6 +625,8 @@ mod tests {
                 cache_fraction,
                 scale,
                 seed,
+                servers,
+                multipliers,
             } => {
                 assert_eq!(trace, "edr");
                 assert_eq!(policy, "gds");
@@ -525,9 +634,88 @@ mod tests {
                 assert!((cache_fraction - 0.3).abs() < 1e-12);
                 assert!((scale - 0.001).abs() < 1e-12);
                 assert_eq!(seed, 42);
+                assert_eq!(servers, 1);
+                assert_eq!(multipliers, None);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn network_flags_parse() {
+        // --cost-multipliers implies --servers from its length.
+        let cmd = parse_args(&args(&[
+            "run",
+            "edr",
+            "--policy",
+            "gds",
+            "--cost-multipliers",
+            "1,2,4,8",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                servers,
+                multipliers,
+                ..
+            } => {
+                assert_eq!(servers, 4);
+                assert_eq!(multipliers, Some(vec![1.0, 2.0, 4.0, 8.0]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // An explicit --servers wins over the implied count.
+        let cmd = parse_args(&args(&[
+            "sweep",
+            "edr",
+            "--servers",
+            "2",
+            "--cost-multipliers",
+            "1,3",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sweep {
+                servers,
+                multipliers,
+                ..
+            } => {
+                assert_eq!(servers, 2);
+                assert_eq!(multipliers, Some(vec![1.0, 3.0]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Malformed multiplier lists are rejected at parse time.
+        let err = parse_args(&args(&[
+            "run",
+            "edr",
+            "--policy",
+            "gds",
+            "--cost-multipliers",
+            "1,x",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("comma-separated"), "{err}");
+    }
+
+    #[test]
+    fn run_with_network_prints_server_table() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "edr",
+            "--policy",
+            "nocache",
+            "--scale",
+            "0.001",
+            "--cost-multipliers",
+            "1,2,4",
+        ]))
+        .unwrap();
+        let out = run_command(cmd).unwrap();
+        assert!(out.contains("per-server WAN breakdown"), "{out}");
+        assert!(out.contains("S0"));
+        assert!(out.contains("S2"));
+        assert!(out.contains("total"));
     }
 
     #[test]
@@ -557,6 +745,8 @@ mod tests {
             cache_fraction: 0.0,
             scale: 0.001,
             seed: 1,
+            servers: 1,
+            multipliers: None,
         };
         assert!(run_command(cmd).is_err());
     }
@@ -624,6 +814,8 @@ mod tests {
             cache_fraction: 0.5,
             scale: 1.0, // wrong: trace was generated at 1e-4
             seed: 7,
+            servers: 1,
+            multipliers: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("different catalog scale"), "{err}");

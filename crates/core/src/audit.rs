@@ -98,13 +98,262 @@ impl AuditReport {
     }
 }
 
-/// A [`CachePolicy`] wrapper that validates the wrapped policy's decision
-/// stream. See the [module docs](self) for the invariants checked.
+/// The shadow-model checker behind [`PolicyAuditor`], usable on its own.
 ///
-/// The shadow model is built purely from decisions, so it assumes the
-/// cache starts empty. A policy whose cache is warm before its first
-/// decision (e.g. a pre-populated `StaticCache` with `charge_loads:
-/// false`) is outside the model and must not be audited.
+/// A `DecisionAuditor` owns no policy: callers feed it the `(access,
+/// decision)` pairs of a replay via [`DecisionAuditor::observe`] together
+/// with a borrow of the policy that produced them, and it validates the
+/// stream against a shadow cache model rebuilt purely from decisions.
+/// This is what lets the federation's replay engine audit *as an
+/// observer* while the policy itself stays un-wrapped; [`PolicyAuditor`]
+/// composes one of these with an owned policy for the wrapper-style API.
+///
+/// The shadow model assumes the cache starts empty. A policy whose cache
+/// is warm before its first decision (e.g. a pre-populated `StaticCache`
+/// with `charge_loads: false`) is outside the model and must not be
+/// audited.
+#[derive(Debug, Default)]
+pub struct DecisionAuditor {
+    enabled: bool,
+    /// Shadow model: object -> size, rebuilt independently from the
+    /// decision stream. `BTreeMap` keeps deep checks deterministic.
+    shadow: BTreeMap<ObjectId, Bytes>,
+    shadow_used: Bytes,
+    report: AuditReport,
+}
+
+impl DecisionAuditor {
+    /// An auditor with invariant checking enabled.
+    pub fn new() -> Self {
+        DecisionAuditor {
+            enabled: true,
+            ..DecisionAuditor::default()
+        }
+    }
+
+    /// A pure pass-through: decisions are counted for the report but no
+    /// invariants are checked and no shadow state is kept. Checking
+    /// cannot be turned on later (the shadow model would be incomplete),
+    /// so the choice is made at construction.
+    pub fn pass_through() -> Self {
+        DecisionAuditor::default()
+    }
+
+    /// True iff invariants are being checked (not a pass-through).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &AuditReport {
+        &self.report
+    }
+
+    /// Run the final deep check against `policy` and take the completed
+    /// report, leaving this auditor empty.
+    pub fn finish(&mut self, policy: &dyn CachePolicy) -> AuditReport {
+        if self.enabled {
+            self.deep_check(policy);
+        }
+        std::mem::take(&mut self.report)
+    }
+
+    fn record_violation(&mut self, message: String) {
+        self.report.violation_count += 1;
+        if self.report.violations.len() < MAX_RECORDED_VIOLATIONS {
+            self.report.violations.push(message);
+        }
+    }
+
+    /// Validate one decision `policy` made for `access` and fold it into
+    /// the shadow model. Call in decision order, once per access.
+    pub fn observe(&mut self, access: &Access, decision: &Decision, policy: &dyn CachePolicy) {
+        self.report.accesses += 1;
+        if !self.enabled {
+            self.count_only(access, decision);
+            return;
+        }
+        let was_cached = self.shadow.contains_key(&access.object);
+        self.audit_decision(access, decision, was_cached, policy);
+        self.audit_post_state(access, policy);
+        if self.report.accesses.is_multiple_of(DEEP_CHECK_PERIOD) {
+            self.deep_check(policy);
+        }
+    }
+
+    /// Record an invalidation: `removed` is what the policy answered.
+    pub fn observe_invalidate(&mut self, object: ObjectId, removed: bool, policy_name: &str) {
+        if !self.enabled {
+            return;
+        }
+        let shadow_had = self.shadow.remove(&object);
+        if let Some(size) = shadow_had {
+            self.shadow_used -= size;
+        }
+        if removed != shadow_had.is_some() {
+            self.record_violation(format!(
+                "{policy_name}: invalidate({object}) returned {removed}, but \
+                 the decision stream says cached={}",
+                shadow_had.is_some()
+            ));
+        }
+    }
+
+    /// Pass-through accounting: tally the decision without checking it.
+    fn count_only(&mut self, access: &Access, decision: &Decision) {
+        match decision {
+            Decision::Hit => {
+                self.report.hits += 1;
+                self.report.cache_served += access.yield_bytes;
+            }
+            Decision::Bypass => {
+                self.report.bypasses += 1;
+                self.report.bypass_served += access.yield_bytes;
+            }
+            Decision::Load { evictions } => {
+                self.report.loads += 1;
+                self.report.load_cost += access.fetch_cost;
+                self.report.cache_served += access.yield_bytes;
+                self.report.evictions += u64::try_from(evictions.len()).unwrap_or(u64::MAX);
+            }
+        }
+    }
+
+    /// Cross-check the policy's full cached-object set against the shadow
+    /// model. O(n log n); run periodically and from [`Self::finish`].
+    fn deep_check(&mut self, policy: &dyn CachePolicy) {
+        self.report.deep_checks += 1;
+        let mut actual = policy.cached_objects();
+        actual.sort_unstable();
+        actual.dedup();
+        let expected: Vec<ObjectId> = self.shadow.keys().copied().collect();
+        if actual != expected {
+            let missing: Vec<&ObjectId> = expected
+                .iter()
+                .filter(|o| actual.binary_search(o).is_err())
+                .collect();
+            let extra: Vec<ObjectId> = actual
+                .iter()
+                .copied()
+                .filter(|o| !self.shadow.contains_key(o))
+                .collect();
+            self.record_violation(format!(
+                "cached-object set diverged from the decision stream: \
+                 policy dropped {missing:?}, policy grew {extra:?}"
+            ));
+        }
+        if policy.used() != self.shadow_used {
+            self.record_violation(format!(
+                "used() reports {} but the decision stream accounts for {}",
+                policy.used(),
+                self.shadow_used
+            ));
+        }
+    }
+
+    /// Validate one decision against the shadow model and apply its
+    /// effects to it. `was_cached` is the shadow state before the access.
+    fn audit_decision(
+        &mut self,
+        access: &Access,
+        decision: &Decision,
+        was_cached: bool,
+        policy: &dyn CachePolicy,
+    ) {
+        match decision {
+            Decision::Hit => {
+                self.report.hits += 1;
+                self.report.cache_served += access.yield_bytes;
+                if !was_cached {
+                    self.record_violation(format!(
+                        "{}: Hit on {}, which was not cached",
+                        policy.name(),
+                        access.object
+                    ));
+                }
+            }
+            Decision::Bypass => {
+                self.report.bypasses += 1;
+                self.report.bypass_served += access.yield_bytes;
+            }
+            Decision::Load { evictions } => {
+                self.report.loads += 1;
+                self.report.load_cost += access.fetch_cost;
+                self.report.cache_served += access.yield_bytes;
+                if was_cached {
+                    self.record_violation(format!(
+                        "{}: Load of {}, which was already cached",
+                        policy.name(),
+                        access.object
+                    ));
+                }
+                for &victim in evictions {
+                    if victim == access.object {
+                        self.record_violation(format!(
+                            "{}: Load of {} lists itself as an eviction",
+                            policy.name(),
+                            access.object
+                        ));
+                        continue;
+                    }
+                    match self.shadow.remove(&victim) {
+                        Some(size) => {
+                            self.shadow_used -= size;
+                            self.report.evictions += 1;
+                        }
+                        None => self.record_violation(format!(
+                            "{}: Load of {} evicts {victim}, which was \
+                             not cached (or listed twice)",
+                            policy.name(),
+                            access.object
+                        )),
+                    }
+                }
+                if self.shadow_used + access.size > policy.capacity() {
+                    self.record_violation(format!(
+                        "{}: Load of {} ({}) overflows capacity {}: {} \
+                         used after planned evictions",
+                        policy.name(),
+                        access.object,
+                        access.size,
+                        policy.capacity(),
+                        self.shadow_used
+                    ));
+                }
+                self.shadow.insert(access.object, access.size);
+                self.shadow_used += access.size;
+            }
+        }
+    }
+
+    /// Verify the policy's cheap introspection agrees with the shadow
+    /// model after the decision took effect.
+    fn audit_post_state(&mut self, access: &Access, policy: &dyn CachePolicy) {
+        let shadow_has = self.shadow.contains_key(&access.object);
+        if policy.contains(access.object) != shadow_has {
+            self.record_violation(format!(
+                "{}: contains({}) disagrees with the decision stream \
+                 after the access (expected {shadow_has})",
+                policy.name(),
+                access.object
+            ));
+        }
+        if policy.used() != self.shadow_used {
+            self.record_violation(format!(
+                "{}: used() reports {} after serving {}, but the \
+                 decision stream accounts for {}",
+                policy.name(),
+                policy.used(),
+                access.object,
+                self.shadow_used
+            ));
+        }
+    }
+}
+
+/// A [`CachePolicy`] wrapper that validates the wrapped policy's decision
+/// stream with a [`DecisionAuditor`]. See the [module docs](self) for the
+/// invariants checked.
 ///
 /// The auditor itself implements [`CachePolicy`], so it drops into any
 /// replay loop unchanged:
@@ -129,18 +378,16 @@ impl AuditReport {
 #[derive(Debug)]
 pub struct PolicyAuditor<P> {
     inner: P,
-    enabled: bool,
-    /// Shadow model: object -> size, rebuilt independently from the
-    /// decision stream. `BTreeMap` keeps deep checks deterministic.
-    shadow: BTreeMap<ObjectId, Bytes>,
-    shadow_used: Bytes,
-    report: AuditReport,
+    auditor: DecisionAuditor,
 }
 
 impl<P: CachePolicy> PolicyAuditor<P> {
     /// Wrap `inner` with auditing enabled.
     pub fn new(inner: P) -> Self {
-        Self::with_enabled(inner, true)
+        PolicyAuditor {
+            inner,
+            auditor: DecisionAuditor::new(),
+        }
     }
 
     /// Wrap `inner` as a pure pass-through: decisions are counted for the
@@ -148,22 +395,15 @@ impl<P: CachePolicy> PolicyAuditor<P> {
     /// Auditing cannot be turned on later (the shadow model would be
     /// incomplete), so the choice is made at construction.
     pub fn pass_through(inner: P) -> Self {
-        Self::with_enabled(inner, false)
-    }
-
-    fn with_enabled(inner: P, enabled: bool) -> Self {
         PolicyAuditor {
             inner,
-            enabled,
-            shadow: BTreeMap::new(),
-            shadow_used: Bytes::ZERO,
-            report: AuditReport::default(),
+            auditor: DecisionAuditor::pass_through(),
         }
     }
 
     /// True iff invariants are being checked (not a pass-through).
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        self.auditor.is_enabled()
     }
 
     /// The wrapped policy.
@@ -178,147 +418,12 @@ impl<P: CachePolicy> PolicyAuditor<P> {
 
     /// The report accumulated so far.
     pub fn report(&self) -> &AuditReport {
-        &self.report
+        self.auditor.report()
     }
 
     /// Run a final deep check and return the completed report.
     pub fn finish(mut self) -> AuditReport {
-        if self.enabled {
-            self.deep_check();
-        }
-        self.report
-    }
-
-    fn record_violation(&mut self, message: String) {
-        self.report.violation_count += 1;
-        if self.report.violations.len() < MAX_RECORDED_VIOLATIONS {
-            self.report.violations.push(message);
-        }
-    }
-
-    /// Cross-check the policy's full cached-object set against the shadow
-    /// model. O(n log n); run periodically and from [`Self::finish`].
-    fn deep_check(&mut self) {
-        self.report.deep_checks += 1;
-        let mut actual = self.inner.cached_objects();
-        actual.sort_unstable();
-        actual.dedup();
-        let expected: Vec<ObjectId> = self.shadow.keys().copied().collect();
-        if actual != expected {
-            let missing: Vec<&ObjectId> = expected
-                .iter()
-                .filter(|o| actual.binary_search(o).is_err())
-                .collect();
-            let extra: Vec<ObjectId> = actual
-                .iter()
-                .copied()
-                .filter(|o| !self.shadow.contains_key(o))
-                .collect();
-            self.record_violation(format!(
-                "cached-object set diverged from the decision stream: \
-                 policy dropped {missing:?}, policy grew {extra:?}"
-            ));
-        }
-        if self.inner.used() != self.shadow_used {
-            self.record_violation(format!(
-                "used() reports {} but the decision stream accounts for {}",
-                self.inner.used(),
-                self.shadow_used
-            ));
-        }
-    }
-
-    /// Validate one decision against the shadow model and apply its
-    /// effects to it. `was_cached` is the shadow state before the access.
-    fn audit_decision(&mut self, access: &Access, decision: &Decision, was_cached: bool) {
-        match decision {
-            Decision::Hit => {
-                self.report.hits += 1;
-                self.report.cache_served += access.yield_bytes;
-                if !was_cached {
-                    self.record_violation(format!(
-                        "{}: Hit on {}, which was not cached",
-                        self.inner.name(),
-                        access.object
-                    ));
-                }
-            }
-            Decision::Bypass => {
-                self.report.bypasses += 1;
-                self.report.bypass_served += access.yield_bytes;
-            }
-            Decision::Load { evictions } => {
-                self.report.loads += 1;
-                self.report.load_cost += access.fetch_cost;
-                self.report.cache_served += access.yield_bytes;
-                if was_cached {
-                    self.record_violation(format!(
-                        "{}: Load of {}, which was already cached",
-                        self.inner.name(),
-                        access.object
-                    ));
-                }
-                for &victim in evictions {
-                    if victim == access.object {
-                        self.record_violation(format!(
-                            "{}: Load of {} lists itself as an eviction",
-                            self.inner.name(),
-                            access.object
-                        ));
-                        continue;
-                    }
-                    match self.shadow.remove(&victim) {
-                        Some(size) => {
-                            self.shadow_used -= size;
-                            self.report.evictions += 1;
-                        }
-                        None => self.record_violation(format!(
-                            "{}: Load of {} evicts {victim}, which was \
-                             not cached (or listed twice)",
-                            self.inner.name(),
-                            access.object
-                        )),
-                    }
-                }
-                if self.shadow_used + access.size > self.inner.capacity() {
-                    self.record_violation(format!(
-                        "{}: Load of {} ({}) overflows capacity {}: {} \
-                         used after planned evictions",
-                        self.inner.name(),
-                        access.object,
-                        access.size,
-                        self.inner.capacity(),
-                        self.shadow_used
-                    ));
-                }
-                self.shadow.insert(access.object, access.size);
-                self.shadow_used += access.size;
-            }
-        }
-    }
-
-    /// Verify the policy's cheap introspection agrees with the shadow
-    /// model after the decision took effect.
-    fn audit_post_state(&mut self, access: &Access) {
-        let shadow_has = self.shadow.contains_key(&access.object);
-        if self.inner.contains(access.object) != shadow_has {
-            self.record_violation(format!(
-                "{}: contains({}) disagrees with the decision stream \
-                 after the access (expected {shadow_has})",
-                self.inner.name(),
-                access.object
-            ));
-        }
-        if self.inner.used() != self.shadow_used {
-            self.record_violation(format!(
-                "{}: used() reports {} after serving {}, but the \
-                 decision stream accounts for {}",
-                self.inner.name(),
-                self.inner.used(),
-                access.object,
-                self.shadow_used
-            ));
-        }
+        self.auditor.finish(&self.inner)
     }
 }
 
@@ -328,34 +433,8 @@ impl<P: CachePolicy> CachePolicy for PolicyAuditor<P> {
     }
 
     fn on_access(&mut self, access: &Access) -> Decision {
-        self.report.accesses += 1;
-        if !self.enabled {
-            let decision = self.inner.on_access(access);
-            match &decision {
-                Decision::Hit => {
-                    self.report.hits += 1;
-                    self.report.cache_served += access.yield_bytes;
-                }
-                Decision::Bypass => {
-                    self.report.bypasses += 1;
-                    self.report.bypass_served += access.yield_bytes;
-                }
-                Decision::Load { evictions } => {
-                    self.report.loads += 1;
-                    self.report.load_cost += access.fetch_cost;
-                    self.report.cache_served += access.yield_bytes;
-                    self.report.evictions += u64::try_from(evictions.len()).unwrap_or(u64::MAX);
-                }
-            }
-            return decision;
-        }
-        let was_cached = self.shadow.contains_key(&access.object);
         let decision = self.inner.on_access(access);
-        self.audit_decision(access, &decision, was_cached);
-        self.audit_post_state(access);
-        if self.report.accesses.is_multiple_of(DEEP_CHECK_PERIOD) {
-            self.deep_check();
-        }
+        self.auditor.observe(access, &decision, &self.inner);
         decision
     }
 
@@ -377,20 +456,8 @@ impl<P: CachePolicy> CachePolicy for PolicyAuditor<P> {
 
     fn invalidate(&mut self, object: ObjectId) -> bool {
         let removed = self.inner.invalidate(object);
-        if self.enabled {
-            let shadow_had = self.shadow.remove(&object);
-            if let Some(size) = shadow_had {
-                self.shadow_used -= size;
-            }
-            if removed != shadow_had.is_some() {
-                self.record_violation(format!(
-                    "{}: invalidate({object}) returned {removed}, but \
-                     the decision stream says cached={}",
-                    self.inner.name(),
-                    shadow_had.is_some()
-                ));
-            }
-        }
+        self.auditor
+            .observe_invalidate(object, removed, self.inner.name());
         removed
     }
 }

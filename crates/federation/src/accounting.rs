@@ -19,9 +19,15 @@ pub struct CostReport {
     pub queries: usize,
     /// Total result bytes delivered to clients (`D_A`): the sequence cost.
     pub sequence_cost: Bytes,
-    /// WAN bytes of bypassed (server-evaluated) results (`D_S`).
+    /// Raw result bytes of bypassed slices, before network pricing —
+    /// the server-shipped share of delivery. Equals `bypass_cost` on a
+    /// uniform network.
+    pub bypass_served: Bytes,
+    /// WAN bytes of bypassed (server-evaluated) results (`D_S`), priced
+    /// by each object's home-server link.
     pub bypass_cost: Bytes,
-    /// WAN bytes spent loading objects into the cache (`D_L`).
+    /// WAN bytes spent loading objects into the cache (`D_L`), priced by
+    /// each object's home-server link.
     pub fetch_cost: Bytes,
     /// Result bytes served out of the cache (`D_C`, LAN only).
     pub cache_served: Bytes,
@@ -64,9 +70,13 @@ impl CostReport {
         }
     }
 
-    /// The conservation invariant `D_A = D_S + D_C`.
+    /// The conservation invariant `D_A = D_S + D_C`, stated in delivered
+    /// bytes: everything the client received was either shipped from the
+    /// servers or served out of the cache. Uses the *raw* bypassed bytes
+    /// so the invariant holds on non-uniform networks, where `bypass_cost`
+    /// is link-inflated.
     pub fn conserves_delivery(&self) -> bool {
-        self.sequence_cost == self.bypass_cost + self.cache_served
+        self.sequence_cost == self.bypass_served + self.cache_served
     }
 }
 
@@ -81,6 +91,7 @@ mod tests {
             granularity: "table".into(),
             queries: 10,
             sequence_cost: Bytes::new(1000),
+            bypass_served: Bytes::new(300),
             bypass_cost: Bytes::new(300),
             fetch_cost: Bytes::new(200),
             cache_served: Bytes::new(700),
@@ -114,5 +125,15 @@ mod tests {
         let mut r = report();
         r.cache_served = Bytes::new(600);
         assert!(!r.conserves_delivery());
+    }
+
+    #[test]
+    fn conservation_uses_raw_bypassed_bytes() {
+        // On a non-uniform network the WAN cost of bypasses is inflated
+        // by link multipliers; delivery conservation must still hold.
+        let mut r = report();
+        r.bypass_cost = Bytes::new(900);
+        assert!(r.conserves_delivery());
+        assert_eq!(r.total_cost(), Bytes::new(1100));
     }
 }

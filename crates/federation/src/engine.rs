@@ -1,0 +1,743 @@
+//! The one replay engine behind every federation entry point.
+//!
+//! Historically the simulator's free functions, the [`Mediator`], and the
+//! semantic-cache baseline each carried their own copy of the
+//! decision→cost conversion. This module hosts the single kernel:
+//!
+//! ```text
+//! TraceQuery → Access stream → Decision → CostEvent → observers
+//! ```
+//!
+//! A [`ReplayEngine`] decomposes each query into per-object accesses,
+//! prices them through a [`NetworkModel`] (each object's traffic costs
+//! what its *home server's* link charges), asks the policy for a
+//! decision, and converts it into one [`CostEvent`] — the only place in
+//! `byc-federation` where `Decision` variants are interpreted as WAN
+//! costs. Everything downstream is an [`Observer`] composition:
+//!
+//! * [`CostObserver`] — accumulates a [`CostReport`] (Tables 1–2);
+//! * [`SeriesObserver`] — samples the cumulative-cost curves (Figs 7–8);
+//! * [`AuditObserver`] — validates the decision stream with a
+//!   [`DecisionAuditor`] shadow model;
+//! * [`PerServerObserver`] — per-[`ServerId`] `D_S`/`D_L`/`D_C`
+//!   breakdown for heterogeneous-network experiments.
+//!
+//! [`Mediator`]: crate::mediator::Mediator
+
+use crate::accounting::CostReport;
+use crate::network::NetworkModel;
+use crate::simulator::SeriesPoint;
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_core::access::Access;
+use byc_core::audit::{AuditReport, DecisionAuditor};
+use byc_core::policy::{CachePolicy, Decision};
+use byc_types::{Bytes, ObjectId, ServerId, Tick};
+use byc_workload::{Trace, TraceQuery};
+use std::collections::BTreeMap;
+
+/// The cost consequences of serving one object slice of one query — what
+/// the engine's kernel emits to every observer.
+///
+/// Exactly one of the `hits` / `bypasses` / `loads` counters is 1 (they
+/// are counters, not flags, so observers can sum them blindly), and the
+/// byte fields are pre-split by decision: observers accumulate without
+/// ever matching on [`Decision`] themselves.
+///
+/// Byte fields come in two currencies. *Delivered* quantities
+/// (`delivered`, `bypass_served`, `cache_served`) are raw result bytes —
+/// what the client receives, independent of link costs. *WAN* quantities
+/// (`bypass_cost`, `fetch_cost`) are priced through the engine's
+/// [`NetworkModel`]; under [`Uniform`](crate::network::Uniform) the two
+/// currencies coincide.
+#[derive(Clone, Copy)]
+pub struct CostEvent<'a> {
+    /// Query ordinal within the replay.
+    pub query: usize,
+    /// The cacheable object served.
+    pub object: ObjectId,
+    /// The object's home server (prices the WAN quantities).
+    pub server: ServerId,
+    /// The policy-visible access, when a policy was consulted (`None` on
+    /// the query-level path used by the semantic baseline).
+    pub access: Option<&'a Access>,
+    /// Raw result bytes delivered to the client for this slice (`D_A`).
+    pub delivered: Bytes,
+    /// Raw result bytes shipped from the server (nonzero iff bypassed).
+    pub bypass_served: Bytes,
+    /// WAN cost of the bypassed slice (`D_S`, network-priced).
+    pub bypass_cost: Bytes,
+    /// WAN cost of the cache load (`D_L`, network-priced; nonzero iff
+    /// loaded).
+    pub fetch_cost: Bytes,
+    /// Raw result bytes served out of the cache (`D_C`).
+    pub cache_served: Bytes,
+    /// 1 iff the decision was a hit.
+    pub hits: u64,
+    /// 1 iff the decision was a bypass.
+    pub bypasses: u64,
+    /// 1 iff the decision was a load.
+    pub loads: u64,
+    /// Objects evicted by this decision.
+    pub evictions: u64,
+    /// The policy's decision, when a policy was consulted.
+    pub decision: Option<&'a Decision>,
+    /// The deciding policy, for observers that introspect cache state
+    /// (the auditor's post-decision checks).
+    pub policy: Option<&'a dyn CachePolicy>,
+}
+
+impl std::fmt::Debug for CostEvent<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CostEvent")
+            .field("query", &self.query)
+            .field("object", &self.object)
+            .field("server", &self.server)
+            .field("delivered", &self.delivered)
+            .field("bypass_served", &self.bypass_served)
+            .field("bypass_cost", &self.bypass_cost)
+            .field("fetch_cost", &self.fetch_cost)
+            .field("cache_served", &self.cache_served)
+            .field("hits", &self.hits)
+            .field("bypasses", &self.bypasses)
+            .field("loads", &self.loads)
+            .field("evictions", &self.evictions)
+            .field("decision", &self.decision)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A composable consumer of the engine's replay stream.
+///
+/// All hooks default to no-ops; implement only what the observer needs.
+/// The engine guarantees the call order `on_query_start → on_access* →
+/// on_query_end` per query, and exactly one `finish` after the last
+/// query of a full replay.
+pub trait Observer {
+    /// A query is about to be served.
+    fn on_query_start(&mut self, _index: usize, _query: &TraceQuery) {}
+
+    /// One object slice was served; `event` carries its cost split.
+    fn on_access(&mut self, _event: &CostEvent<'_>) {}
+
+    /// The query's last slice was served.
+    fn on_query_end(&mut self, _index: usize, _query: &TraceQuery) {}
+
+    /// The replay is over. `policy` is the replayed policy when one was
+    /// driving the decisions (`None` on the query-level path).
+    fn finish(&mut self, _policy: Option<&dyn CachePolicy>) {}
+}
+
+/// Decompose one trace query into `(object, raw yield)` slices at the
+/// granularity of `objects`. Slices appear in the query's own
+/// table/column order; references that do not resolve to a cacheable
+/// object are skipped.
+pub fn decompose(query: &TraceQuery, objects: &ObjectCatalog) -> Vec<(ObjectId, Bytes)> {
+    let mut out = Vec::new();
+    match objects.granularity() {
+        Granularity::Table => {
+            for &(t, y) in &query.table_yields {
+                if let Ok(o) = objects.object_for_table(t) {
+                    out.push((o, y));
+                }
+            }
+        }
+        Granularity::Column => {
+            for &(c, y) in &query.column_yields {
+                if let Ok(o) = objects.object_for_column(c) {
+                    out.push((o, y));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The decision→cost kernel shared by the simulator, the mediator, the
+/// semantic baseline, and the sweeps.
+///
+/// An engine is a stateless view over an [`ObjectCatalog`] and a
+/// [`NetworkModel`]; all replay state lives in the policy and the
+/// observers, so one engine can serve any number of replays (including
+/// concurrently, as the sweep does).
+pub struct ReplayEngine<'a> {
+    objects: &'a ObjectCatalog,
+    network: &'a dyn NetworkModel,
+}
+
+impl<'a> ReplayEngine<'a> {
+    /// An engine over `objects` on a uniform network (the BYU regime;
+    /// pricing is the identity).
+    pub fn new(objects: &'a ObjectCatalog) -> Self {
+        Self::with_network(objects, &crate::network::UNIFORM)
+    }
+
+    /// An engine that prices every object's traffic by its home server's
+    /// link cost.
+    pub fn with_network(objects: &'a ObjectCatalog, network: &'a dyn NetworkModel) -> Self {
+        ReplayEngine { objects, network }
+    }
+
+    /// The object view this engine decomposes queries against.
+    pub fn objects(&self) -> &ObjectCatalog {
+        self.objects
+    }
+
+    /// The network model pricing this engine's WAN traffic.
+    pub fn network(&self) -> &dyn NetworkModel {
+        self.network
+    }
+
+    /// The policy-visible access for one object slice. `yield_bytes` is
+    /// the raw delivered result — yield is a property of the query, not
+    /// of the network — while `fetch_cost` is priced by the object's
+    /// home-server link. This is the BYHR view (paper §3): policies weigh
+    /// raw rent (bypass yield) against the *true* buy price `f_i`.
+    /// Pricing both sides would cancel out of every rent-to-buy ratio
+    /// and blind ratio policies to the network entirely.
+    pub fn access_for(&self, object: ObjectId, raw_yield: Bytes, time: Tick) -> Access {
+        let info = self.objects.info(object);
+        Access {
+            object,
+            time,
+            yield_bytes: raw_yield,
+            size: info.size,
+            fetch_cost: self.network.price(info.server, info.fetch_cost),
+        }
+    }
+
+    /// Serve one query through `policy`, emitting events to `observers`.
+    /// This (via [`CostEvent`] construction) is the only decision→cost
+    /// conversion site in the crate.
+    pub fn serve_query(
+        &self,
+        index: usize,
+        time: Tick,
+        query: &TraceQuery,
+        policy: &mut dyn CachePolicy,
+        observers: &mut [&mut dyn Observer],
+    ) {
+        for obs in observers.iter_mut() {
+            obs.on_query_start(index, query);
+        }
+        // Iterate the query's slices directly (the allocation-free
+        // equivalent of [`decompose`]) — this loop runs once per access
+        // over the whole replay, so it stays lean.
+        match self.objects.granularity() {
+            Granularity::Table => {
+                for &(t, raw_yield) in &query.table_yields {
+                    if let Ok(object) = self.objects.object_for_table(t) {
+                        self.serve_slice(index, time, object, raw_yield, policy, observers);
+                    }
+                }
+            }
+            Granularity::Column => {
+                for &(c, raw_yield) in &query.column_yields {
+                    if let Ok(object) = self.objects.object_for_column(c) {
+                        self.serve_slice(index, time, object, raw_yield, policy, observers);
+                    }
+                }
+            }
+        }
+        for obs in observers.iter_mut() {
+            obs.on_query_end(index, query);
+        }
+    }
+
+    /// Serve one object slice: price the access, ask the policy, emit the
+    /// event. The single decision→cost conversion site.
+    fn serve_slice(
+        &self,
+        index: usize,
+        time: Tick,
+        object: ObjectId,
+        raw_yield: Bytes,
+        policy: &mut dyn CachePolicy,
+        observers: &mut [&mut dyn Observer],
+    ) {
+        let info = self.objects.info(object);
+        let server = info.server;
+        // Policy view: raw yield, priced fetch (see [`Self::access_for`]).
+        let access = Access {
+            object,
+            time,
+            yield_bytes: raw_yield,
+            size: info.size,
+            fetch_cost: self.network.price(server, info.fetch_cost),
+        };
+        let decision = policy.on_access(&access);
+        let mut event = CostEvent {
+            query: index,
+            object,
+            server,
+            access: Some(&access),
+            delivered: raw_yield,
+            bypass_served: Bytes::ZERO,
+            bypass_cost: Bytes::ZERO,
+            fetch_cost: Bytes::ZERO,
+            cache_served: Bytes::ZERO,
+            hits: 0,
+            bypasses: 0,
+            loads: 0,
+            evictions: 0,
+            decision: Some(&decision),
+            policy: Some(&*policy),
+        };
+        match &decision {
+            Decision::Hit => {
+                event.hits = 1;
+                event.cache_served = raw_yield;
+            }
+            Decision::Bypass => {
+                event.bypasses = 1;
+                event.bypass_served = raw_yield;
+                event.bypass_cost = self.network.price(server, raw_yield);
+            }
+            Decision::Load { evictions } => {
+                event.loads = 1;
+                event.evictions = evictions.len() as u64;
+                event.fetch_cost = access.fetch_cost;
+                event.cache_served = raw_yield;
+            }
+        }
+        for obs in observers.iter_mut() {
+            obs.on_access(&event);
+        }
+    }
+
+    /// Serve one query at *query* granularity: the whole result is either
+    /// cache-served (`hit`) or shipped from the servers. Used by the
+    /// semantic (query-result) baseline, which has no per-object policy —
+    /// events carry `decision: None` / `policy: None`, but still one
+    /// event per object slice so per-server attribution works.
+    pub fn serve_query_level(
+        &self,
+        index: usize,
+        query: &TraceQuery,
+        hit: bool,
+        observers: &mut [&mut dyn Observer],
+    ) {
+        for obs in observers.iter_mut() {
+            obs.on_query_start(index, query);
+        }
+        for (object, raw_yield) in decompose(query, self.objects) {
+            let server = self.objects.info(object).server;
+            let mut event = CostEvent {
+                query: index,
+                object,
+                server,
+                access: None,
+                delivered: raw_yield,
+                bypass_served: Bytes::ZERO,
+                bypass_cost: Bytes::ZERO,
+                fetch_cost: Bytes::ZERO,
+                cache_served: Bytes::ZERO,
+                hits: 0,
+                bypasses: 0,
+                loads: 0,
+                evictions: 0,
+                decision: None,
+                policy: None,
+            };
+            if hit {
+                event.hits = 1;
+                event.cache_served = raw_yield;
+            } else {
+                event.bypasses = 1;
+                event.bypass_served = raw_yield;
+                event.bypass_cost = self.network.price(server, raw_yield);
+            }
+            for obs in observers.iter_mut() {
+                obs.on_access(&event);
+            }
+        }
+        for obs in observers.iter_mut() {
+            obs.on_query_end(index, query);
+        }
+    }
+
+    /// Replay a whole trace: every query through [`Self::serve_query`]
+    /// (the query index is the policy clock), then `finish` on every
+    /// observer with the policy attached.
+    pub fn replay(
+        &self,
+        trace: &Trace,
+        policy: &mut dyn CachePolicy,
+        observers: &mut [&mut dyn Observer],
+    ) {
+        for (i, q) in trace.queries.iter().enumerate() {
+            self.serve_query(i, Tick::new(i as u64), q, policy, observers);
+        }
+        let policy: &dyn CachePolicy = policy;
+        for obs in observers.iter_mut() {
+            obs.finish(Some(policy));
+        }
+    }
+}
+
+/// Accumulates the [`CostReport`] of a replay (decision counts, the
+/// `D_S`/`D_L`/`D_C` byte split, and the conservation fields).
+#[derive(Clone, Debug)]
+pub struct CostObserver {
+    report: CostReport,
+}
+
+impl CostObserver {
+    /// An observer whose report is headed with the given labels.
+    pub fn new(policy: &str, trace: &str, granularity: &str) -> Self {
+        CostObserver {
+            report: CostReport {
+                policy: policy.to_string(),
+                trace: trace.to_string(),
+                granularity: granularity.to_string(),
+                ..CostReport::default()
+            },
+        }
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &CostReport {
+        &self.report
+    }
+
+    /// Take the completed report.
+    pub fn into_report(self) -> CostReport {
+        self.report
+    }
+}
+
+impl Observer for CostObserver {
+    fn on_query_start(&mut self, _index: usize, _query: &TraceQuery) {
+        self.report.queries += 1;
+    }
+
+    fn on_access(&mut self, event: &CostEvent<'_>) {
+        self.report.sequence_cost += event.delivered;
+        self.report.bypass_served += event.bypass_served;
+        self.report.bypass_cost += event.bypass_cost;
+        self.report.fetch_cost += event.fetch_cost;
+        self.report.cache_served += event.cache_served;
+        self.report.hits += event.hits;
+        self.report.bypasses += event.bypasses;
+        self.report.loads += event.loads;
+        self.report.evictions += event.evictions;
+    }
+}
+
+/// Samples the cumulative WAN cost every `sample_every` queries, plus the
+/// final query (Figs 7–8).
+#[derive(Clone, Debug)]
+pub struct SeriesObserver {
+    every: usize,
+    wan: Bytes,
+    seen: usize,
+    series: Vec<SeriesPoint>,
+}
+
+impl SeriesObserver {
+    /// Sample every `sample_every` queries (clamped to at least 1).
+    pub fn new(sample_every: usize) -> Self {
+        SeriesObserver {
+            every: sample_every.max(1),
+            wan: Bytes::ZERO,
+            seen: 0,
+            series: Vec::new(),
+        }
+    }
+
+    /// Take the sampled series.
+    pub fn into_series(self) -> Vec<SeriesPoint> {
+        self.series
+    }
+}
+
+impl Observer for SeriesObserver {
+    fn on_access(&mut self, event: &CostEvent<'_>) {
+        self.wan += event.bypass_cost + event.fetch_cost;
+    }
+
+    fn on_query_end(&mut self, index: usize, _query: &TraceQuery) {
+        self.seen = index + 1;
+        if (index + 1) % self.every == 0 {
+            self.series.push(SeriesPoint {
+                query: index + 1,
+                cumulative_cost: self.wan,
+            });
+        }
+    }
+
+    fn finish(&mut self, _policy: Option<&dyn CachePolicy>) {
+        // The final query is always a sample point, even off-stride.
+        let already = self.series.last().is_some_and(|p| p.query == self.seen);
+        if self.seen > 0 && !already {
+            self.series.push(SeriesPoint {
+                query: self.seen,
+                cumulative_cost: self.wan,
+            });
+        }
+    }
+}
+
+/// Validates the decision stream with a [`DecisionAuditor`] shadow model.
+///
+/// The engine's [`ReplayEngine::replay`] always calls `finish` with the
+/// policy, which runs the closing deep check and freezes the report —
+/// [`AuditObserver::into_report`] then returns it with no `Option` in the
+/// path. Events without a decision (the query-level path) are ignored.
+#[derive(Debug)]
+pub struct AuditObserver {
+    auditor: DecisionAuditor,
+    finished: AuditReport,
+}
+
+impl AuditObserver {
+    /// An observer with invariant checking enabled.
+    pub fn new() -> Self {
+        AuditObserver {
+            auditor: DecisionAuditor::new(),
+            finished: AuditReport::default(),
+        }
+    }
+
+    /// The completed report (populated once the replay finished).
+    pub fn into_report(self) -> AuditReport {
+        self.finished
+    }
+}
+
+impl Default for AuditObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Observer for AuditObserver {
+    fn on_access(&mut self, event: &CostEvent<'_>) {
+        if let (Some(access), Some(decision), Some(policy)) =
+            (event.access, event.decision, event.policy)
+        {
+            self.auditor.observe(access, decision, policy);
+        }
+    }
+
+    fn finish(&mut self, policy: Option<&dyn CachePolicy>) {
+        if let Some(policy) = policy {
+            self.finished = self.auditor.finish(policy);
+        }
+    }
+}
+
+/// One server's share of a replay's delivery and WAN traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerCosts {
+    /// The back-end server.
+    pub server: ServerId,
+    /// Raw result bytes delivered from this server's objects (`D_A` share).
+    pub delivered: Bytes,
+    /// Raw result bytes shipped from this server (bypassed slices).
+    pub bypass_served: Bytes,
+    /// WAN cost of this server's bypassed slices (`D_S` share).
+    pub bypass_cost: Bytes,
+    /// WAN cost of cache loads from this server (`D_L` share).
+    pub fetch_cost: Bytes,
+    /// Raw result bytes of this server's objects served from cache
+    /// (`D_C` share).
+    pub cache_served: Bytes,
+    /// Hit decisions on this server's objects.
+    pub hits: u64,
+    /// Bypass decisions on this server's objects.
+    pub bypasses: u64,
+    /// Load decisions on this server's objects.
+    pub loads: u64,
+}
+
+impl ServerCosts {
+    /// WAN traffic attributed to this server: `D_S + D_L`.
+    pub fn wan_cost(&self) -> Bytes {
+        self.bypass_cost + self.fetch_cost
+    }
+
+    /// The per-server conservation invariant: everything this server's
+    /// objects delivered was either shipped from it or cache-served.
+    pub fn conserves_delivery(&self) -> bool {
+        self.delivered == self.bypass_served + self.cache_served
+    }
+}
+
+/// Per-[`ServerId`] `D_S`/`D_L`/`D_C` breakdown of a replay — the
+/// heterogeneous-network view that motivates BYHR over BYU.
+#[derive(Clone, Debug, Default)]
+pub struct PerServerObserver {
+    servers: BTreeMap<ServerId, ServerCosts>,
+}
+
+impl PerServerObserver {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        PerServerObserver::default()
+    }
+
+    /// Take the breakdown, one entry per server seen, in server-id order.
+    pub fn into_costs(self) -> Vec<ServerCosts> {
+        self.servers.into_values().collect()
+    }
+}
+
+impl Observer for PerServerObserver {
+    fn on_access(&mut self, event: &CostEvent<'_>) {
+        let s = self.servers.entry(event.server).or_insert(ServerCosts {
+            server: event.server,
+            ..ServerCosts::default()
+        });
+        s.delivered += event.delivered;
+        s.bypass_served += event.bypass_served;
+        s.bypass_cost += event.bypass_cost;
+        s.fetch_cost += event.fetch_cost;
+        s.cache_served += event.cache_served;
+        s.hits += event.hits;
+        s.bypasses += event.bypasses;
+        s.loads += event.loads;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{PerServerMultipliers, Uniform};
+    use crate::simulator::{replay, replay_audited};
+    use byc_catalog::sdss::{build, SdssRelease};
+    use byc_core::rate_profile::{RateProfile, RateProfileConfig};
+
+    fn setup(servers: u32) -> (Trace, ObjectCatalog) {
+        let cat = build(SdssRelease::Edr, 1e-3, servers);
+        let trace =
+            byc_workload::generate(&cat, &byc_workload::WorkloadConfig::smoke(43, 1000)).unwrap();
+        let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
+        (trace, objects)
+    }
+
+    #[test]
+    fn engine_replay_matches_simulator_replay() {
+        let (trace, objects) = setup(2);
+        let cap = objects.total_size().scale(0.3);
+
+        let mut p1 = RateProfile::new(cap, RateProfileConfig::default());
+        let report_via_simulator = replay(&trace, &objects, &mut p1);
+
+        let engine = ReplayEngine::new(&objects);
+        let mut p2 = RateProfile::new(cap, RateProfileConfig::default());
+        let mut cost = CostObserver::new(p2.name(), &trace.name, objects.granularity().label());
+        engine.replay(&trace, &mut p2, &mut [&mut cost]);
+        assert_eq!(cost.into_report(), report_via_simulator);
+    }
+
+    #[test]
+    fn per_server_totals_equal_cost_observer_totals() {
+        let (trace, objects) = setup(3);
+        let cap = objects.total_size().scale(0.25);
+        let net = PerServerMultipliers::new(vec![1.0, 2.0, 4.0]).unwrap();
+        let engine = ReplayEngine::with_network(&objects, &net);
+        let mut policy = RateProfile::new(cap, RateProfileConfig::default());
+        let mut cost = CostObserver::new("rp", &trace.name, "column");
+        let mut per_server = PerServerObserver::new();
+        engine.replay(&trace, &mut policy, &mut [&mut cost, &mut per_server]);
+        let report = cost.into_report();
+        let servers = per_server.into_costs();
+        assert!(servers.len() > 1);
+        let bypass: Bytes = servers.iter().map(|s| s.bypass_cost).sum();
+        let fetch: Bytes = servers.iter().map(|s| s.fetch_cost).sum();
+        let cache: Bytes = servers.iter().map(|s| s.cache_served).sum();
+        let delivered: Bytes = servers.iter().map(|s| s.delivered).sum();
+        assert_eq!(bypass, report.bypass_cost);
+        assert_eq!(fetch, report.fetch_cost);
+        assert_eq!(cache, report.cache_served);
+        assert_eq!(delivered, report.sequence_cost);
+        for s in &servers {
+            assert!(s.conserves_delivery(), "{:?}", s.server);
+        }
+    }
+
+    #[test]
+    fn network_prices_fetch_but_not_yield() {
+        let (_, objects) = setup(2);
+        let net = PerServerMultipliers::new(vec![1.0, 3.0]).unwrap();
+        let engine = ReplayEngine::with_network(&objects, &net);
+        let raw = Bytes::new(1000);
+        for info in objects.objects() {
+            let access = engine.access_for(info.id, raw, Tick::ZERO);
+            // Yield is a property of the query result, not the network;
+            // only the buy price f_i carries the link multiplier.
+            assert_eq!(access.yield_bytes, raw);
+            assert_eq!(access.fetch_cost, net.price(info.server, info.fetch_cost));
+            assert_eq!(access.size, info.size);
+        }
+    }
+
+    #[test]
+    fn uniform_network_is_transparent() {
+        let (trace, objects) = setup(2);
+        let cap = objects.total_size().scale(0.3);
+        let engine_default = ReplayEngine::new(&objects);
+        let engine_explicit = ReplayEngine::with_network(&objects, &Uniform);
+        let mut reports = Vec::new();
+        for engine in [engine_default, engine_explicit] {
+            let mut p = RateProfile::new(cap, RateProfileConfig::default());
+            let mut cost = CostObserver::new("rp", &trace.name, "column");
+            engine.replay(&trace, &mut p, &mut [&mut cost]);
+            reports.push(cost.into_report());
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0].bypass_cost, reports[0].bypass_served);
+    }
+
+    #[test]
+    fn audit_catches_a_lying_policy() {
+        /// Claims a Hit on every access but never caches anything.
+        struct AlwaysHit;
+        impl CachePolicy for AlwaysHit {
+            fn name(&self) -> &'static str {
+                "AlwaysHit"
+            }
+            fn on_access(&mut self, _: &Access) -> Decision {
+                Decision::Hit
+            }
+            fn contains(&self, _: ObjectId) -> bool {
+                false
+            }
+            fn used(&self) -> Bytes {
+                Bytes::ZERO
+            }
+            fn capacity(&self) -> Bytes {
+                Bytes::mib(1)
+            }
+            fn cached_objects(&self) -> Vec<ObjectId> {
+                Vec::new()
+            }
+        }
+        let (trace, objects) = setup(1);
+        let mut liar = AlwaysHit;
+        let (_, audit) = replay_audited(&trace, &objects, &mut liar);
+        assert!(!audit.is_clean());
+        assert!(audit.violations[0].contains("not cached"));
+    }
+
+    #[test]
+    fn query_level_path_attributes_servers() {
+        let (trace, objects) = setup(2);
+        let engine = ReplayEngine::new(&objects);
+        let mut cost = CostObserver::new("semantic", &trace.name, "column");
+        let mut per_server = PerServerObserver::new();
+        for (i, q) in trace.queries.iter().take(50).enumerate() {
+            let hit = i % 2 == 0;
+            engine.serve_query_level(i, q, hit, &mut [&mut cost, &mut per_server]);
+        }
+        let report = cost.into_report();
+        assert_eq!(report.queries, 50);
+        assert!(report.conserves_delivery());
+        assert!(report.cache_served > Bytes::ZERO);
+        assert!(report.bypass_cost > Bytes::ZERO);
+        let servers = per_server.into_costs();
+        assert_eq!(servers.len(), 2);
+        let delivered: Bytes = servers.iter().map(|s| s.delivered).sum();
+        assert_eq!(delivered, report.sequence_cost);
+    }
+}

@@ -9,6 +9,13 @@
 //! (`D_A = D_S + D_C`) regardless of caching configuration, an invariant
 //! [`simulator::replay`] checks on every query.
 //!
+//! * [`engine`] — the one replay kernel: [`engine::ReplayEngine`] turns
+//!   `TraceQuery → Access → Decision` into [`engine::CostEvent`]s that
+//!   composable [`engine::Observer`]s consume. Every other entry point
+//!   is a composition over it.
+//! * [`network`] — first-class WAN pricing: [`network::NetworkModel`]
+//!   with the [`network::Uniform`] (BYU) and
+//!   [`network::PerServerMultipliers`] (BYHR) regimes.
 //! * [`accounting`] — [`accounting::CostReport`]: the bypass/fetch/total
 //!   breakdown of Tables 1–2 plus hit/bypass/load counters.
 //! * [`simulator`] — audited trace replay of any
@@ -24,14 +31,21 @@
 #![warn(missing_docs)]
 
 pub mod accounting;
+pub mod engine;
 pub mod mediator;
+pub mod network;
 pub mod policies;
 pub mod semantic;
 pub mod simulator;
 pub mod sweep;
 
 pub use accounting::CostReport;
+pub use engine::{
+    AuditObserver, CostEvent, CostObserver, Observer, PerServerObserver, ReplayEngine,
+    SeriesObserver, ServerCosts,
+};
 pub use mediator::Mediator;
+pub use network::{NetworkModel, PerServerMultipliers, Uniform};
 pub use policies::{build_policy, policy_roster, PolicyKind};
 pub use semantic::{SemanticCache, SemanticReport};
 pub use simulator::{replay, replay_with_series, SeriesPoint};

@@ -8,7 +8,8 @@
 //! paper's architecture (§3, Figure 1), with bypassed sub-queries routed
 //! to their home servers.
 
-use crate::simulator::accesses_of;
+use crate::engine::{CostEvent, Observer, ReplayEngine};
+use crate::network::{NetworkModel, Uniform};
 use byc_catalog::{Catalog, Granularity, ObjectCatalog};
 use byc_core::audit::{AuditReport, PolicyAuditor};
 use byc_core::policy::{CachePolicy, Decision};
@@ -41,6 +42,9 @@ pub struct ServedQuery {
     pub from_cache: Bytes,
     /// Result bytes shipped from back-end servers (bypass traffic).
     pub from_servers: Bytes,
+    /// WAN cost of the bypassed slices, priced per home-server link.
+    /// Equals `from_servers` on a uniform network.
+    pub bypass_traffic: Bytes,
     /// WAN bytes spent on cache loads triggered by this query.
     pub load_traffic: Bytes,
     /// Per-object outcomes, in decomposition order.
@@ -50,7 +54,30 @@ pub struct ServedQuery {
 impl ServedQuery {
     /// WAN traffic this query generated (bypass + loads).
     pub fn wan_cost(&self) -> Bytes {
-        self.from_servers + self.load_traffic
+        self.bypass_traffic + self.load_traffic
+    }
+}
+
+/// Collects one [`ServedQuery`] from the engine's event stream.
+struct OutcomeObserver {
+    served: ServedQuery,
+}
+
+impl Observer for OutcomeObserver {
+    fn on_access(&mut self, event: &CostEvent<'_>) {
+        self.served.delivered += event.delivered;
+        self.served.from_cache += event.cache_served;
+        self.served.from_servers += event.bypass_served;
+        self.served.bypass_traffic += event.bypass_cost;
+        self.served.load_traffic += event.fetch_cost;
+        if let Some(decision) = event.decision {
+            self.served.outcomes.push(ObjectOutcome {
+                object: event.object,
+                server: event.server,
+                yield_bytes: event.delivered,
+                decision: decision.clone(),
+            });
+        }
     }
 }
 
@@ -65,6 +92,7 @@ pub struct Mediator {
     catalog: Catalog,
     objects: ObjectCatalog,
     policy: PolicyAuditor<Box<dyn CachePolicy>>,
+    network: Box<dyn NetworkModel>,
     clock: Tick,
     served: u64,
     wan_total: Bytes,
@@ -72,8 +100,8 @@ pub struct Mediator {
 
 impl Mediator {
     /// Build a mediator over `catalog` caching at `granularity` with the
-    /// given policy. Decision auditing follows the build profile: enabled
-    /// in debug, pass-through in release.
+    /// given policy, on a uniform network. Decision auditing follows the
+    /// build profile: enabled in debug, pass-through in release.
     pub fn new(catalog: Catalog, granularity: Granularity, policy: Box<dyn CachePolicy>) -> Self {
         Self::with_audit(catalog, granularity, policy, cfg!(debug_assertions))
     }
@@ -87,6 +115,17 @@ impl Mediator {
         policy: Box<dyn CachePolicy>,
         audit: bool,
     ) -> Self {
+        Self::with_network(catalog, granularity, policy, audit, Box::new(Uniform))
+    }
+
+    /// Build a mediator whose WAN traffic is priced per home-server link.
+    pub fn with_network(
+        catalog: Catalog,
+        granularity: Granularity,
+        policy: Box<dyn CachePolicy>,
+        audit: bool,
+        network: Box<dyn NetworkModel>,
+    ) -> Self {
         let objects = ObjectCatalog::uniform(&catalog, granularity);
         let policy = if audit {
             PolicyAuditor::new(policy)
@@ -97,10 +136,16 @@ impl Mediator {
             catalog,
             objects,
             policy,
+            network,
             clock: Tick::ZERO,
             served: 0,
             wan_total: Bytes::ZERO,
         }
+    }
+
+    /// The network model pricing this mediator's WAN traffic.
+    pub fn network(&self) -> &dyn NetworkModel {
+        self.network.as_ref()
     }
 
     /// True iff the decision stream is being validated (not just counted).
@@ -192,36 +237,29 @@ impl Mediator {
         Ok(self.serve_trace_query(&tq))
     }
 
-    /// Serve an already-analyzed trace query (the replay path).
+    /// Serve an already-analyzed trace query (the replay path): one
+    /// engine pass with an observer that collects the [`ServedQuery`].
     pub fn serve_trace_query(&mut self, tq: &TraceQuery) -> ServedQuery {
-        let id = QueryId::new(self.served as u32);
-        let mut outcome = ServedQuery {
-            id,
-            delivered: Bytes::ZERO,
-            from_cache: Bytes::ZERO,
-            from_servers: Bytes::ZERO,
-            load_traffic: Bytes::ZERO,
-            outcomes: Vec::new(),
+        let engine = ReplayEngine::with_network(&self.objects, self.network.as_ref());
+        let mut observer = OutcomeObserver {
+            served: ServedQuery {
+                id: QueryId::new(self.served as u32),
+                delivered: Bytes::ZERO,
+                from_cache: Bytes::ZERO,
+                from_servers: Bytes::ZERO,
+                bypass_traffic: Bytes::ZERO,
+                load_traffic: Bytes::ZERO,
+                outcomes: Vec::new(),
+            },
         };
-        for access in accesses_of(tq, &self.objects, self.clock) {
-            let info = self.objects.info(access.object);
-            let decision = self.policy.on_access(&access);
-            outcome.delivered += access.yield_bytes;
-            match &decision {
-                Decision::Hit => outcome.from_cache += access.yield_bytes,
-                Decision::Bypass => outcome.from_servers += access.yield_bytes,
-                Decision::Load { .. } => {
-                    outcome.load_traffic += access.fetch_cost;
-                    outcome.from_cache += access.yield_bytes;
-                }
-            }
-            outcome.outcomes.push(ObjectOutcome {
-                object: access.object,
-                server: info.server,
-                yield_bytes: access.yield_bytes,
-                decision,
-            });
-        }
+        engine.serve_query(
+            self.served as usize,
+            self.clock,
+            tq,
+            &mut self.policy,
+            &mut [&mut observer],
+        );
+        let outcome = observer.served;
         self.clock = self.clock.next();
         self.served += 1;
         self.wan_total += outcome.wan_cost();

@@ -1,0 +1,174 @@
+//! First-class WAN cost models for the federation's server links.
+//!
+//! The paper's BYHR/BYU discussion (§3) is about *non-uniform* networks:
+//! each back-end server sits behind its own WAN path, so a byte shipped
+//! from a distant server costs more than one from a well-connected
+//! replica. A [`NetworkModel`] prices every object's traffic — bypass
+//! yield and cache-load fetches alike — by its home server's link cost.
+//! The [`ReplayEngine`](crate::engine::ReplayEngine) applies the model
+//! when it constructs each [`Access`](byc_core::access::Access), so
+//! policies, observers, and the auditor all see consistently priced
+//! traffic without any per-call-site scaling.
+//!
+//! [`Uniform`] is the BYU regime (every link costs 1·bytes) and is the
+//! default everywhere; [`PerServerMultipliers`] is the BYHR regime on
+//! heterogeneous links.
+
+use byc_types::{Bytes, Error, Result, ServerId};
+
+/// Prices WAN traffic per back-end server link.
+///
+/// Implementations must be `Sync`: sweeps replay many policies in
+/// parallel against one shared model.
+pub trait NetworkModel: Sync {
+    /// Human-readable model name for reports.
+    fn name(&self) -> &str;
+
+    /// The link-cost multiplier of `server`. Must be positive; `1.0`
+    /// means raw bytes, `> 1.0` a distant or congested server, `< 1.0` a
+    /// well-connected replica.
+    fn multiplier(&self, server: ServerId) -> f64;
+
+    /// WAN cost of shipping `bytes` over `server`'s link.
+    ///
+    /// A multiplier of exactly `1.0` must return `bytes` unchanged:
+    /// `Bytes::scale` rounds through `f64` and would perturb quantities
+    /// above 2^53, and the uniform regime must stay bit-identical to
+    /// unpriced replay.
+    fn price(&self, server: ServerId, bytes: Bytes) -> Bytes {
+        let m = self.multiplier(server);
+        if m == 1.0 {
+            bytes
+        } else {
+            bytes.scale(m)
+        }
+    }
+}
+
+/// The uniform (BYU) network: every server link costs `1.0`. Pricing is
+/// the identity, so replays under `Uniform` are bit-identical to the
+/// pre-network-model accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Uniform;
+
+/// A shared instance for default arguments (`&UNIFORM` coerces to
+/// `&dyn NetworkModel` without a borrow-lifetime dance).
+pub static UNIFORM: Uniform = Uniform;
+
+impl NetworkModel for Uniform {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn multiplier(&self, _server: ServerId) -> f64 {
+        1.0
+    }
+
+    fn price(&self, _server: ServerId, bytes: Bytes) -> Bytes {
+        bytes
+    }
+}
+
+/// The heterogeneous (BYHR) network: an explicit multiplier per server.
+///
+/// Servers beyond the end of the list cycle through it, so a short
+/// pattern like `[1.0, 2.0]` prices any federation size — handy for the
+/// CLI, where `--servers 8 --cost-multipliers 1,2` alternates cheap and
+/// expensive links.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerServerMultipliers {
+    multipliers: Vec<f64>,
+}
+
+impl PerServerMultipliers {
+    /// Build from one multiplier per server (cycled when the federation
+    /// has more servers than entries).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when the list is empty or any multiplier
+    /// is not strictly positive and finite.
+    pub fn new(multipliers: Vec<f64>) -> Result<Self> {
+        if multipliers.is_empty() {
+            return Err(Error::InvalidConfig(
+                "per-server cost multipliers must not be empty".into(),
+            ));
+        }
+        for &m in &multipliers {
+            if !(m.is_finite() && m > 0.0) {
+                return Err(Error::InvalidConfig(format!(
+                    "cost multiplier {m} is not a positive finite number"
+                )));
+            }
+        }
+        Ok(Self { multipliers })
+    }
+
+    /// The configured multipliers, in server order.
+    pub fn multipliers(&self) -> &[f64] {
+        &self.multipliers
+    }
+}
+
+impl NetworkModel for PerServerMultipliers {
+    fn name(&self) -> &str {
+        "per-server"
+    }
+
+    fn multiplier(&self, server: ServerId) -> f64 {
+        self.multipliers[server.index() % self.multipliers.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_identity_even_on_huge_quantities() {
+        let huge = Bytes::new(u64::MAX - 3); // would not survive an f64 roundtrip
+        assert_eq!(Uniform.price(ServerId::new(0), huge), huge);
+        assert_eq!(Uniform.multiplier(ServerId::new(9)), 1.0);
+    }
+
+    #[test]
+    fn per_server_prices_by_home_link() {
+        let net = PerServerMultipliers::new(vec![1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(
+            net.price(ServerId::new(0), Bytes::new(100)),
+            Bytes::new(100)
+        );
+        assert_eq!(
+            net.price(ServerId::new(1), Bytes::new(100)),
+            Bytes::new(200)
+        );
+        assert_eq!(
+            net.price(ServerId::new(2), Bytes::new(100)),
+            Bytes::new(400)
+        );
+    }
+
+    #[test]
+    fn per_server_cycles_past_the_end() {
+        let net = PerServerMultipliers::new(vec![1.0, 3.0]).unwrap();
+        assert_eq!(net.multiplier(ServerId::new(2)), 1.0);
+        assert_eq!(net.multiplier(ServerId::new(5)), 3.0);
+    }
+
+    #[test]
+    fn unit_multiplier_is_exact() {
+        // scale(1.0) rounds through f64; price must not.
+        let net = PerServerMultipliers::new(vec![1.0]).unwrap();
+        let huge = Bytes::new((1u64 << 60) + 1);
+        assert_eq!(net.price(ServerId::new(0), huge), huge);
+    }
+
+    #[test]
+    fn invalid_multipliers_rejected() {
+        assert!(PerServerMultipliers::new(vec![]).is_err());
+        assert!(PerServerMultipliers::new(vec![0.0]).is_err());
+        assert!(PerServerMultipliers::new(vec![-1.0]).is_err());
+        assert!(PerServerMultipliers::new(vec![f64::NAN]).is_err());
+        assert!(PerServerMultipliers::new(vec![f64::INFINITY]).is_err());
+    }
+}

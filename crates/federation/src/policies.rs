@@ -118,12 +118,16 @@ pub fn build_policy(
     }
 }
 
-/// Adapter that hides true fetch costs from the wrapped policy: every
-/// access is presented with `fetch_cost = size`, the uniform-network
-/// assumption under which BYU is a valid substitute for BYHR (paper §3).
-/// The simulator still charges the *true* cost of each load, so replaying
-/// the same policy with and without this adapter on a non-uniform
-/// federation measures exactly what cost-awareness buys.
+/// The BYU-blinding ablation: hides the true fetch price from the
+/// wrapped policy. Every access is presented as if the network were
+/// uniform — `fetch_cost = size`, the assumption under which BYU is a
+/// valid substitute for BYHR (paper §3); yield needs no rewriting
+/// because the engine already presents it raw. The engine still charges
+/// the *true* cost of every decision, so replaying the same policy with
+/// and without this adapter on a non-uniform federation measures
+/// exactly what cost-awareness buys. This adapter is the only remaining
+/// ad-hoc cost wiring: real non-uniform pricing lives in the engine's
+/// [`NetworkModel`](crate::network::NetworkModel).
 pub struct UniformCostAdapter<P> {
     inner: P,
 }
@@ -219,15 +223,18 @@ mod tests {
 
         // A recording policy that checks what it is shown.
         struct Probe {
-            saw: Vec<(u64, u64)>,
+            saw: Vec<(u64, u64, u64)>,
         }
         impl CachePolicy for Probe {
             fn name(&self) -> &'static str {
                 "probe"
             }
             fn on_access(&mut self, a: &Access) -> byc_core::policy::Decision {
-                self.saw.push((a.size.raw(), a.fetch_cost.raw()));
-                byc_core::policy::Decision::Bypass
+                self.saw
+                    .push((a.size.raw(), a.fetch_cost.raw(), a.yield_bytes.raw()));
+                byc_core::policy::Decision::Load {
+                    evictions: Vec::new(),
+                }
             }
             fn contains(&self, _: ObjectId) -> bool {
                 false
@@ -247,11 +254,23 @@ mod tests {
         adapter.on_access(&Access {
             object: ObjectId::new(0),
             time: Tick::ZERO,
+            yield_bytes: Bytes::new(5), // yield is raw — never priced
+            size: Bytes::new(100),
+            fetch_cost: Bytes::new(400), // expensive server: 4x link
+        });
+        // The policy sees uniform economics: fetch = size, yield as-is.
+        assert_eq!(adapter.inner().saw, vec![(100, 100, 5)]);
+
+        // A uniform link passes through untouched.
+        let mut adapter = UniformCostAdapter::new(Probe { saw: vec![] });
+        adapter.on_access(&Access {
+            object: ObjectId::new(0),
+            time: Tick::ZERO,
             yield_bytes: Bytes::new(5),
             size: Bytes::new(100),
-            fetch_cost: Bytes::new(400), // expensive server
+            fetch_cost: Bytes::new(100),
         });
-        assert_eq!(adapter.inner().saw, vec![(100, 100)]);
+        assert_eq!(adapter.inner().saw, vec![(100, 100, 5)]);
     }
 
     #[test]

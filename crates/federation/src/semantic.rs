@@ -17,6 +17,7 @@
 //! decision — result admission is free because the result already crossed
 //! the network.
 
+use crate::engine::{CostObserver, Observer, ReplayEngine};
 use byc_types::{Bytes, QueryId};
 use byc_workload::{Trace, TraceQuery};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -124,26 +125,38 @@ impl SemanticCache {
         self.entry_keys.insert(query.id, keys);
     }
 
-    /// Replay a whole trace and report hit rates and WAN cost.
-    pub fn replay(mut self, trace: &Trace) -> SemanticReport {
+    /// Replay a whole trace through `engine` and report hit rates and
+    /// WAN cost.
+    ///
+    /// The semantic cache decides at *query* level (the whole result is a
+    /// hit or shipped), so this drives the engine's query-level path:
+    /// containment decides, the engine decomposes and prices the traffic,
+    /// and a [`CostObserver`] accounts it — including per-server link
+    /// costs when the engine carries a non-uniform network.
+    pub fn replay(mut self, trace: &Trace, engine: &ReplayEngine<'_>) -> SemanticReport {
         let mut hits = 0u64;
-        let mut total_cost = Bytes::ZERO;
-        let mut served = Bytes::ZERO;
-        for q in &trace.queries {
-            if self.contains_query(q) {
+        let mut cost = CostObserver::new(
+            "Semantic",
+            &trace.name,
+            engine.objects().granularity().label(),
+        );
+        for (i, q) in trace.queries.iter().enumerate() {
+            let hit = self.contains_query(q);
+            if hit {
                 hits += 1;
-                served += q.total_yield;
             } else {
-                total_cost += q.total_yield;
                 self.admit(q);
             }
+            engine.serve_query_level(i, q, hit, &mut [&mut cost]);
         }
-        let sequence_cost = trace.sequence_cost();
+        cost.finish(None);
+        let report = cost.into_report();
+        let sequence_cost = report.sequence_cost;
         SemanticReport {
             queries: trace.len(),
             hits,
             sequence_cost,
-            total_cost,
+            total_cost: report.total_cost(),
             hit_rate: if trace.is_empty() {
                 0.0
             } else {
@@ -152,7 +165,7 @@ impl SemanticCache {
             byte_hit_rate: if sequence_cost.is_zero() {
                 0.0
             } else {
-                served.as_f64() / sequence_cost.as_f64()
+                report.cache_served.as_f64() / sequence_cost.as_f64()
             },
         }
     }
@@ -161,7 +174,22 @@ impl SemanticCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use byc_types::{ColumnId, TableId};
+    use byc_catalog::{Catalog, ColumnDef, ColumnType, Granularity, ObjectCatalog, TableDef};
+    use byc_types::{ColumnId, ServerId, TableId};
+
+    /// A one-table catalog whose table 0 / column 0 back the hand-made
+    /// queries below.
+    fn objects() -> ObjectCatalog {
+        let mut cat = Catalog::new();
+        cat.add_table(TableDef {
+            name: "A".into(),
+            columns: vec![ColumnDef::new("k", ColumnType::BigInt)],
+            row_count: 10,
+            server: ServerId::new(0),
+        })
+        .unwrap();
+        ObjectCatalog::uniform(&cat, Granularity::Table)
+    }
 
     fn query(id: u32, keys: Vec<u64>, yld: u64) -> TraceQuery {
         TraceQuery {
@@ -188,7 +216,9 @@ mod tests {
     #[test]
     fn repeat_query_hits() {
         let t = trace(vec![query(0, vec![7], 100), query(1, vec![7], 100)]);
-        let report = SemanticCache::new(Bytes::new(1000)).replay(&t);
+        let objects = objects();
+        let engine = ReplayEngine::new(&objects);
+        let report = SemanticCache::new(Bytes::new(1000)).replay(&t, &engine);
         assert_eq!(report.hits, 1);
         assert_eq!(report.total_cost, Bytes::new(100));
         assert!((report.hit_rate - 0.5).abs() < 1e-12);
@@ -199,14 +229,18 @@ mod tests {
         // A refinement (keys ⊆ earlier keys) hits — the containment the
         // paper describes.
         let t = trace(vec![query(0, vec![1, 2, 3], 300), query(1, vec![2], 50)]);
-        let report = SemanticCache::new(Bytes::new(1000)).replay(&t);
+        let objects = objects();
+        let engine = ReplayEngine::new(&objects);
+        let report = SemanticCache::new(Bytes::new(1000)).replay(&t, &engine);
         assert_eq!(report.hits, 1);
     }
 
     #[test]
     fn disjoint_queries_never_hit() {
         let t = trace((0..20).map(|i| query(i, vec![i as u64], 10)).collect());
-        let report = SemanticCache::new(Bytes::new(1000)).replay(&t);
+        let objects = objects();
+        let engine = ReplayEngine::new(&objects);
+        let report = SemanticCache::new(Bytes::new(1000)).replay(&t, &engine);
         assert_eq!(report.hits, 0);
         assert_eq!(report.total_cost, report.sequence_cost);
     }
@@ -257,7 +291,9 @@ mod tests {
         let t =
             byc_workload::generate(&cat, &byc_workload::WorkloadConfig::smoke(111, 3000)).unwrap();
         let capacity = cat.database_size().scale(0.3);
-        let report = SemanticCache::new(capacity).replay(&t);
+        let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
+        let engine = ReplayEngine::new(&objects);
+        let report = SemanticCache::new(capacity).replay(&t, &engine);
         assert!(
             report.byte_hit_rate < 0.35,
             "semantic byte hit rate {} unexpectedly high",

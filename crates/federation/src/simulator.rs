@@ -1,28 +1,34 @@
-//! Audited trace replay.
+//! Audited trace replay: thin compositions over the
+//! [`ReplayEngine`](crate::engine::ReplayEngine).
 //!
-//! The mediator decomposes each trace query into one [`Access`] per
+//! The engine decomposes each trace query into one [`Access`] per
 //! referenced cacheable object (carrying that object's slice of the
-//! query's yield) and presents them to the policy in order. Decisions are
-//! converted to WAN costs:
+//! query's yield, priced by its home server's link), presents them to the
+//! policy in order, and converts decisions to WAN costs:
 //!
 //! * `Hit`    → 0 WAN, yield served from cache (`D_C`);
 //! * `Bypass` → yield shipped from the server (`D_S`);
 //! * `Load`   → fetch cost on the WAN (`D_L`), then yield from cache.
 //!
-//! Replays are *audited*: the policy is wrapped in a
-//! [`PolicyAuditor`](byc_core::audit::PolicyAuditor) that validates every
-//! decision against a shadow cache model (a `Hit` must name a cached
-//! object, evictions must be real, capacity must never be exceeded).
-//! Auditing defaults on in debug builds and off in release; force it
-//! either way with [`ReplayOptions`] or [`replay_audited`].
+//! The entry points here compose observers over that kernel. Replays are
+//! *audited*: an [`AuditObserver`] validates every decision against a
+//! shadow cache model (a `Hit` must name a cached object, evictions must
+//! be real, capacity must never be exceeded). Auditing defaults on in
+//! debug builds and off in release; force it either way with
+//! [`ReplayOptions`] or [`replay_audited`].
 
 use crate::accounting::CostReport;
-use byc_catalog::{Granularity, ObjectCatalog};
+use crate::engine::{
+    decompose, AuditObserver, CostObserver, Observer, ReplayEngine, SeriesObserver,
+};
+use crate::network::NetworkModel;
+use byc_catalog::ObjectCatalog;
 use byc_core::access::Access;
-use byc_core::audit::{AuditReport, PolicyAuditor};
-use byc_core::policy::{CachePolicy, Decision};
+use byc_core::audit::AuditReport;
+use byc_core::policy::CachePolicy;
 use byc_types::{Bytes, Tick};
 use byc_workload::{Trace, TraceQuery};
+use std::fmt;
 
 /// One point of a cumulative-cost curve (Figs 7–8).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,24 +40,34 @@ pub struct SeriesPoint {
 }
 
 /// How to run a replay.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ReplayOptions {
-    /// Validate the decision stream with a
-    /// [`PolicyAuditor`](byc_core::audit::PolicyAuditor). Defaults to on
-    /// in debug builds, off in release (the shadow model costs one map
-    /// update per access).
-    pub audit: bool,
+#[derive(Clone, Copy, Default)]
+pub struct ReplayOptions<'a> {
+    /// Validate the decision stream with an
+    /// [`AuditObserver`](crate::engine::AuditObserver). `None` follows
+    /// the build profile: on in debug builds, off in release (the shadow
+    /// model costs one map update per access).
+    pub audit: Option<bool>,
     /// Sample the cumulative WAN cost every this many queries (plus the
     /// final query). `None` skips series collection.
     pub sample_every: Option<usize>,
+    /// Price WAN traffic per home-server link. `None` is the uniform
+    /// (BYU) network.
+    pub network: Option<&'a dyn NetworkModel>,
 }
 
-impl Default for ReplayOptions {
-    fn default() -> Self {
-        ReplayOptions {
-            audit: cfg!(debug_assertions),
-            sample_every: None,
-        }
+impl ReplayOptions<'_> {
+    fn audit_enabled(&self) -> bool {
+        self.audit.unwrap_or(cfg!(debug_assertions))
+    }
+}
+
+impl fmt::Debug for ReplayOptions<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplayOptions")
+            .field("audit", &self.audit)
+            .field("sample_every", &self.sample_every)
+            .field("network", &self.network.map(NetworkModel::name))
+            .finish()
     }
 }
 
@@ -66,62 +82,14 @@ pub struct Replay {
     pub audit: Option<AuditReport>,
 }
 
-/// The per-object accesses of one trace query at one granularity.
+/// The per-object accesses of one trace query at one granularity, on a
+/// uniform network (the offline bounds use this view).
 pub fn accesses_of(query: &TraceQuery, objects: &ObjectCatalog, time: Tick) -> Vec<Access> {
-    let mut out = Vec::new();
-    match objects.granularity() {
-        Granularity::Table => {
-            for &(t, y) in &query.table_yields {
-                if let Ok(o) = objects.object_for_table(t) {
-                    let info = objects.info(o);
-                    out.push(Access {
-                        object: o,
-                        time,
-                        yield_bytes: y,
-                        size: info.size,
-                        fetch_cost: info.fetch_cost,
-                    });
-                }
-            }
-        }
-        Granularity::Column => {
-            for &(c, y) in &query.column_yields {
-                if let Ok(o) = objects.object_for_column(c) {
-                    let info = objects.info(o);
-                    out.push(Access {
-                        object: o,
-                        time,
-                        yield_bytes: y,
-                        size: info.size,
-                        fetch_cost: info.fetch_cost,
-                    });
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Convert one decision into WAN-cost accounting. Decision validity is
-/// the auditor's job, not this function's.
-fn apply_access(policy: &mut dyn CachePolicy, access: &Access, report: &mut CostReport) {
-    match policy.on_access(access) {
-        Decision::Hit => {
-            report.hits += 1;
-            report.cache_served += access.yield_bytes;
-        }
-        Decision::Bypass => {
-            report.bypasses += 1;
-            report.bypass_cost += access.yield_bytes;
-        }
-        Decision::Load { evictions } => {
-            report.loads += 1;
-            report.evictions += evictions.len() as u64;
-            report.fetch_cost += access.fetch_cost;
-            report.cache_served += access.yield_bytes;
-        }
-    }
-    report.sequence_cost += access.yield_bytes;
+    let engine = ReplayEngine::new(objects);
+    decompose(query, objects)
+        .into_iter()
+        .map(|(object, raw_yield)| engine.access_for(object, raw_yield, time))
+        .collect()
 }
 
 /// Replay `trace` against `policy` at the granularity of `objects`.
@@ -154,18 +122,22 @@ pub fn replay_with_series(
 
 /// Replay with auditing forced on (even in release builds) and return the
 /// audit alongside the costs. Violations are reported, not panicked on.
+///
+/// Unlike [`replay_with_options`], the audit path here is typed: the
+/// report comes straight out of the [`AuditObserver`], with no `Option`
+/// to default away.
 pub fn replay_audited(
     trace: &Trace,
     objects: &ObjectCatalog,
     policy: &mut dyn CachePolicy,
 ) -> (CostReport, AuditReport) {
-    let options = ReplayOptions {
-        audit: true,
-        sample_every: None,
-    };
-    let replay = replay_with_options(trace, objects, policy, options);
-    let audit = replay.audit.unwrap_or_default(); // audit: true always yields a report
-    (replay.report, audit)
+    let engine = ReplayEngine::new(objects);
+    let mut cost = CostObserver::new(policy.name(), &trace.name, objects.granularity().label());
+    let mut audit = AuditObserver::new();
+    engine.replay(trace, policy, &mut [&mut cost, &mut audit]);
+    let report = cost.into_report();
+    debug_assert!(report.conserves_delivery());
+    (report, audit.into_report())
 }
 
 /// Replay with explicit [`ReplayOptions`]. Never panics on audit
@@ -174,71 +146,38 @@ pub fn replay_with_options(
     trace: &Trace,
     objects: &ObjectCatalog,
     policy: &mut dyn CachePolicy,
-    options: ReplayOptions,
+    options: ReplayOptions<'_>,
 ) -> Replay {
-    let mut report = CostReport {
-        policy: policy.name().to_string(),
-        trace: trace.name.clone(),
-        granularity: objects.granularity().label().to_string(),
-        queries: trace.len(),
-        ..CostReport::default()
+    let engine = match options.network {
+        Some(network) => ReplayEngine::with_network(objects, network),
+        None => ReplayEngine::new(objects),
     };
-    let mut series = Vec::new();
-    let audit = if options.audit {
-        let mut auditor = PolicyAuditor::new(policy);
-        run_queries(
-            trace,
-            objects,
-            &mut auditor,
-            options.sample_every,
-            &mut report,
-            &mut series,
-        );
-        Some(auditor.finish())
-    } else {
-        run_queries(
-            trace,
-            objects,
-            policy,
-            options.sample_every,
-            &mut report,
-            &mut series,
-        );
-        None
-    };
+    let mut cost = CostObserver::new(policy.name(), &trace.name, objects.granularity().label());
+    let mut series = options.sample_every.map(SeriesObserver::new);
+    let mut audit = options.audit_enabled().then(AuditObserver::new);
+
+    {
+        let mut observers: Vec<&mut dyn Observer> = Vec::with_capacity(3);
+        observers.push(&mut cost);
+        if let Some(series) = series.as_mut() {
+            observers.push(series);
+        }
+        if let Some(audit) = audit.as_mut() {
+            observers.push(audit);
+        }
+        engine.replay(trace, policy, &mut observers);
+    }
+
+    let report = cost.into_report();
     debug_assert!(report.conserves_delivery());
     Replay {
         report,
-        series,
-        audit,
+        series: series.map(SeriesObserver::into_series).unwrap_or_default(),
+        audit: audit.map(AuditObserver::into_report),
     }
 }
 
-fn run_queries(
-    trace: &Trace,
-    objects: &ObjectCatalog,
-    policy: &mut dyn CachePolicy,
-    sample_every: Option<usize>,
-    report: &mut CostReport,
-    series: &mut Vec<SeriesPoint>,
-) {
-    for (i, q) in trace.queries.iter().enumerate() {
-        let time = Tick::new(i as u64);
-        for access in accesses_of(q, objects, time) {
-            apply_access(policy, &access, report);
-        }
-        if let Some(every) = sample_every {
-            if (i + 1) % every == 0 || i + 1 == trace.len() {
-                series.push(SeriesPoint {
-                    query: i + 1,
-                    cumulative_cost: report.total_cost(),
-                });
-            }
-        }
-    }
-}
-
-fn debug_assert_audit(replay: &Replay) {
+pub(crate) fn debug_assert_audit(replay: &Replay) {
     if let Some(audit) = &replay.audit {
         debug_assert!(
             audit.is_clean(),
@@ -253,10 +192,10 @@ fn debug_assert_audit(replay: &Replay) {
 mod tests {
     use super::*;
     use byc_catalog::sdss::{build, SdssRelease};
+    use byc_catalog::Granularity;
     use byc_core::inline::make;
     use byc_core::rate_profile::{RateProfile, RateProfileConfig};
     use byc_core::static_opt::NoCache;
-    use byc_types::ObjectId;
     use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 
     fn setup(granularity: Granularity) -> (Trace, ObjectCatalog) {
@@ -317,34 +256,16 @@ mod tests {
     }
 
     #[test]
-    fn audit_catches_a_lying_policy() {
-        /// Claims a Hit on every access but never caches anything.
-        struct AlwaysHit;
-        impl CachePolicy for AlwaysHit {
-            fn name(&self) -> &'static str {
-                "AlwaysHit"
-            }
-            fn on_access(&mut self, _: &Access) -> Decision {
-                Decision::Hit
-            }
-            fn contains(&self, _: ObjectId) -> bool {
-                false
-            }
-            fn used(&self) -> Bytes {
-                Bytes::ZERO
-            }
-            fn capacity(&self) -> Bytes {
-                Bytes::mib(1)
-            }
-            fn cached_objects(&self) -> Vec<ObjectId> {
-                Vec::new()
-            }
-        }
+    fn audited_replay_returns_a_populated_report() {
+        // Regression: the audit path must return the real report by
+        // construction — a defaulted (empty) report here means the
+        // observer's result was dropped on the floor.
         let (trace, objects) = setup(Granularity::Table);
-        let mut liar = AlwaysHit;
-        let (_, audit) = replay_audited(&trace, &objects, &mut liar);
-        assert!(!audit.is_clean());
-        assert!(audit.violations[0].contains("not cached"));
+        let cap = objects.total_size().scale(0.2);
+        let mut rp = RateProfile::new(cap, RateProfileConfig::default());
+        let (report, audit) = replay_audited(&trace, &objects, &mut rp);
+        assert!(audit.accesses > 0, "audit report was never populated");
+        assert_eq!(audit.accesses, report.hits + report.bypasses + report.loads);
     }
 
     #[test]
@@ -353,8 +274,8 @@ mod tests {
         let cap = objects.total_size().scale(0.3);
         let mut rp = RateProfile::new(cap, RateProfileConfig::default());
         let options = ReplayOptions {
-            audit: false,
-            sample_every: None,
+            audit: Some(false),
+            ..ReplayOptions::default()
         };
         let replay = replay_with_options(&trace, &objects, &mut rp, options);
         assert!(replay.audit.is_none());
@@ -416,5 +337,31 @@ mod tests {
             let sum: Bytes = accs.iter().map(|a| a.yield_bytes).sum();
             assert_eq!(sum, q.total_yield);
         }
+    }
+
+    #[test]
+    fn non_uniform_network_inflates_wan_but_not_delivery() {
+        use crate::network::PerServerMultipliers;
+        let cat = build(SdssRelease::Edr, 1e-3, 2);
+        let trace = generate(&cat, &WorkloadConfig::smoke(44, 800)).unwrap();
+        let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
+        let net = PerServerMultipliers::new(vec![1.0, 4.0]).unwrap();
+        let run = |network: Option<&dyn NetworkModel>| {
+            let mut p = NoCache;
+            let options = ReplayOptions {
+                network,
+                ..ReplayOptions::default()
+            };
+            replay_with_options(&trace, &objects, &mut p, options).report
+        };
+        let uniform = run(None);
+        let priced = run(Some(&net));
+        // Delivery (raw result bytes) is network-independent...
+        assert_eq!(priced.sequence_cost, uniform.sequence_cost);
+        assert_eq!(priced.bypass_served, uniform.bypass_served);
+        assert!(priced.conserves_delivery());
+        // ...but WAN traffic is inflated by the expensive link.
+        assert!(priced.bypass_cost > uniform.bypass_cost);
+        assert!(priced.bypass_cost > priced.bypass_served);
     }
 }

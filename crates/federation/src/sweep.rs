@@ -1,8 +1,9 @@
 //! Cache-size sweeps (Figs 9–10), parallelized across policies and sizes.
 
 use crate::accounting::CostReport;
+use crate::network::NetworkModel;
 use crate::policies::{build_policy, PolicyKind};
-use crate::simulator::replay;
+use crate::simulator::{debug_assert_audit, replay_with_options, ReplayOptions};
 use byc_catalog::ObjectCatalog;
 use byc_core::static_opt::ObjectDemand;
 use byc_types::Bytes;
@@ -21,7 +22,8 @@ pub struct SweepPoint {
     pub report: CostReport,
 }
 
-/// Replay `trace` for every (policy, cache fraction) pair, in parallel.
+/// Replay `trace` for every (policy, cache fraction) pair, in parallel,
+/// pricing WAN traffic through `network`.
 ///
 /// `fractions` are cache sizes relative to the database
 /// (`objects.total_size()`), e.g. `[0.1, 0.2, ..., 1.0]` for the paper's
@@ -33,6 +35,7 @@ pub fn sweep_cache_sizes(
     policies: &[PolicyKind],
     fractions: &[f64],
     seed: u64,
+    network: &dyn NetworkModel,
 ) -> Vec<SweepPoint> {
     let db = objects.total_size();
     let mut jobs: Vec<(PolicyKind, f64)> = Vec::new();
@@ -50,19 +53,26 @@ pub fn sweep_cache_sizes(
                 scope.spawn(move || {
                     let capacity = db.scale(fraction);
                     let mut policy = build_policy(kind, capacity, demands, seed);
-                    let report = replay(trace, objects, policy.as_mut());
+                    let options = ReplayOptions {
+                        network: Some(network),
+                        ..ReplayOptions::default()
+                    };
+                    let replay = replay_with_options(trace, objects, policy.as_mut(), options);
+                    debug_assert_audit(&replay);
                     SweepPoint {
                         policy: kind.label().to_string(),
                         cache_fraction: fraction,
                         capacity,
-                        report,
+                        report: replay.report,
                     }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|_| panic!("sweep worker panicked")))
+            // Re-raise a worker's panic with its original payload intact
+            // instead of masking it behind a generic message.
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     });
     results
@@ -71,6 +81,7 @@ pub fn sweep_cache_sizes(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::{PerServerMultipliers, Uniform};
     use byc_catalog::sdss::{build, SdssRelease};
     use byc_catalog::Granularity;
     use byc_workload::{generate, WorkloadConfig, WorkloadStats};
@@ -89,6 +100,7 @@ mod tests {
             &[PolicyKind::RateProfile, PolicyKind::Static],
             &fractions,
             1,
+            &Uniform,
         );
         assert_eq!(points.len(), 6);
         // Larger static caches never cost more.
@@ -119,11 +131,37 @@ mod tests {
                 &[PolicyKind::SpaceEffBY],
                 &[0.3],
                 9,
+                &Uniform,
             )
             .pop()
             .unwrap()
             .report
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sweep_threads_share_a_network_model() {
+        let cat = build(SdssRelease::Edr, 1e-3, 2);
+        let trace = generate(&cat, &WorkloadConfig::smoke(59, 400)).unwrap();
+        let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let net = PerServerMultipliers::new(vec![1.0, 2.0]).unwrap();
+        let points = sweep_cache_sizes(
+            &trace,
+            &objects,
+            &stats.demands,
+            &[PolicyKind::NoCache, PolicyKind::Gds],
+            &[0.2, 0.4],
+            3,
+            &net,
+        );
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(p.report.conserves_delivery(), "{}", p.policy);
+            // The expensive link makes priced WAN exceed raw bypassed bytes
+            // whenever any server-1 object was bypassed.
+            assert!(p.report.bypass_cost >= p.report.bypass_served);
+        }
     }
 }

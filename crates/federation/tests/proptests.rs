@@ -1,0 +1,108 @@
+//! Property-based tests for the replay engine's network-priced cost
+//! accounting.
+//!
+//! The load-bearing invariant is *delivery conservation per server*: no
+//! matter how the WAN links are priced, every byte a query demands from a
+//! server is served either by bypassing to that server (`D_S`) or from
+//! cache (`D_C`). Pricing may inflate what the traffic *costs*, never
+//! what is *delivered*. And the per-server breakdown must be exactly a
+//! partition of the global report — the two observers watch the same
+//! event stream, so their totals cannot drift.
+
+use byc_catalog::sdss::{self, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_federation::{
+    build_policy, CostObserver, Observer, PerServerMultipliers, PerServerObserver, PolicyKind,
+    ReplayEngine,
+};
+use byc_types::Bytes;
+use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use proptest::prelude::*;
+
+/// Every policy the roster can build, not just the headline lineup.
+const ALL_POLICIES: [PolicyKind; 13] = [
+    PolicyKind::RateProfile,
+    PolicyKind::OnlineBY,
+    PolicyKind::OnlineBYMarking,
+    PolicyKind::SpaceEffBY,
+    PolicyKind::Gds,
+    PolicyKind::Gdsp,
+    PolicyKind::Lru,
+    PolicyKind::Lfu,
+    PolicyKind::LruK,
+    PolicyKind::Lff,
+    PolicyKind::GdStar,
+    PolicyKind::Static,
+    PolicyKind::NoCache,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary per-server cost multipliers and every shipped
+    /// policy: each server conserves delivery, bypass pricing matches
+    /// the network model, and the per-server totals are exactly the
+    /// global `CostObserver` report.
+    #[test]
+    fn per_server_costs_partition_the_report(
+        seed in any::<u64>(),
+        servers in 1u32..5,
+        multipliers in proptest::collection::vec(0.25f64..8.0, 1..5),
+        cache_fraction in 0.05f64..0.6,
+    ) {
+        let catalog = sdss::build(SdssRelease::Edr, 1e-4, servers);
+        let trace = generate(&catalog, &WorkloadConfig::smoke(seed, 150)).unwrap();
+        let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let network = PerServerMultipliers::new(multipliers).unwrap();
+        let capacity = objects.total_size().scale(cache_fraction);
+        for kind in ALL_POLICIES {
+            let mut policy = build_policy(kind, capacity, &stats.demands, seed);
+            let engine = ReplayEngine::with_network(&objects, &network);
+            let mut cost = CostObserver::new(
+                policy.name(),
+                &trace.name,
+                objects.granularity().label(),
+            );
+            let mut per_server = PerServerObserver::new();
+            {
+                let mut observers: Vec<&mut dyn Observer> =
+                    vec![&mut cost, &mut per_server];
+                engine.replay(&trace, policy.as_mut(), &mut observers);
+            }
+            let report = cost.into_report();
+            let costs = per_server.into_costs();
+            prop_assert!(report.conserves_delivery(), "{kind:?} global conservation");
+
+            let mut delivered = Bytes::ZERO;
+            let mut bypass_served = Bytes::ZERO;
+            let mut bypass_cost = Bytes::ZERO;
+            let mut fetch_cost = Bytes::ZERO;
+            let mut cache_served = Bytes::ZERO;
+            let (mut hits, mut bypasses, mut loads) = (0u64, 0u64, 0u64);
+            for s in &costs {
+                prop_assert!(
+                    s.conserves_delivery(),
+                    "{kind:?} server {:?}: {:?}", s.server, s
+                );
+                prop_assert!(s.server.raw() < servers, "{kind:?} unknown server");
+                delivered += s.delivered;
+                bypass_served += s.bypass_served;
+                bypass_cost += s.bypass_cost;
+                fetch_cost += s.fetch_cost;
+                cache_served += s.cache_served;
+                hits += s.hits;
+                bypasses += s.bypasses;
+                loads += s.loads;
+            }
+            prop_assert_eq!(delivered, report.sequence_cost, "{:?} delivered", kind);
+            prop_assert_eq!(bypass_served, report.bypass_served, "{:?} bypass_served", kind);
+            prop_assert_eq!(bypass_cost, report.bypass_cost, "{:?} bypass_cost", kind);
+            prop_assert_eq!(fetch_cost, report.fetch_cost, "{:?} fetch_cost", kind);
+            prop_assert_eq!(cache_served, report.cache_served, "{:?} cache_served", kind);
+            prop_assert_eq!(hits, report.hits, "{:?} hits", kind);
+            prop_assert_eq!(bypasses, report.bypasses, "{:?} bypasses", kind);
+            prop_assert_eq!(loads, report.loads, "{:?} loads", kind);
+        }
+    }
+}

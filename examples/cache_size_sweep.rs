@@ -14,7 +14,7 @@
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{sweep_cache_sizes, PolicyKind};
+use byc_federation::{sweep_cache_sizes, PolicyKind, Uniform};
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 
 fn main() {
@@ -36,7 +36,15 @@ fn main() {
     for granularity in [Granularity::Table, Granularity::Column] {
         let objects = ObjectCatalog::uniform(&catalog, granularity);
         let stats = WorkloadStats::compute(&trace, &objects);
-        let points = sweep_cache_sizes(&trace, &objects, &stats.demands, &policies, &fractions, 7);
+        let points = sweep_cache_sizes(
+            &trace,
+            &objects,
+            &stats.demands,
+            &policies,
+            &fractions,
+            7,
+            &Uniform,
+        );
         println!(
             "\ntotal WAN cost vs cache size — {} caching (sequence cost {})",
             granularity.label(),

@@ -125,6 +125,7 @@ fn sweep_flattens_after_knee() {
         &[PolicyKind::RateProfile],
         &fractions,
         42,
+        &byc_federation::Uniform,
     );
     let at = |f: f64| {
         points

@@ -131,22 +131,38 @@ fn mediator_replay_matches_simulator_accounting() {
 
 #[test]
 fn multi_server_fetch_costs_flow_through() {
-    // Non-uniform server costs (the BYHR regime) raise fetch costs for
-    // tables on the expensive server and leave the rest untouched.
+    // Non-uniform link costs (the BYHR regime) are priced by the network
+    // model at replay time: traffic homed on the expensive server costs
+    // 3x its raw bytes, the rest is untouched, and delivery conservation
+    // holds per server either way.
+    use byc_federation::{NetworkModel, Observer, PerServerMultipliers, ReplayEngine};
+
     let cat = catalog();
+    let trace = generate(&cat, &WorkloadConfig::smoke(83, 400)).unwrap();
+    let objects = ObjectCatalog::uniform(&cat, Granularity::Table);
+    let network = PerServerMultipliers::new(vec![1.0, 3.0]).unwrap();
+    let engine = ReplayEngine::with_network(&objects, &network);
     let expensive = byc_types::ServerId::new(1);
-    let objects = ObjectCatalog::with_server_costs(&cat, Granularity::Table, &|s| {
-        if s == expensive {
-            3.0
-        } else {
-            1.0
-        }
-    });
     for info in objects.objects() {
+        let access = engine.access_for(info.id, info.size, byc_types::Tick::ZERO);
         if info.server == expensive {
-            assert_eq!(info.fetch_cost, info.size.scale(3.0));
+            assert_eq!(access.fetch_cost, info.size.scale(3.0));
         } else {
-            assert_eq!(info.fetch_cost, info.size);
+            assert_eq!(access.fetch_cost, info.size);
         }
+    }
+
+    let mut policy = byc_core::static_opt::NoCache;
+    let mut per_server = byc_federation::PerServerObserver::new();
+    {
+        let mut observers: Vec<&mut dyn Observer> = vec![&mut per_server];
+        engine.replay(&trace, &mut policy, &mut observers);
+    }
+    let costs = per_server.into_costs();
+    assert!(!costs.is_empty());
+    for s in costs {
+        assert!(s.conserves_delivery(), "server {:?}", s.server);
+        let expected = network.price(s.server, s.bypass_served);
+        assert_eq!(s.bypass_cost, expected, "server {:?}", s.server);
     }
 }

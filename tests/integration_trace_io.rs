@@ -108,6 +108,8 @@ fn cli_gen_and_run_compose() {
         cache_fraction: 0.5,
         scale: 1e-3,
         seed: 11,
+        servers: 1,
+        multipliers: None,
     };
     let out = byc_cli::commands::run_command(run).unwrap();
     assert!(out.contains("GDS"), "{out}");
