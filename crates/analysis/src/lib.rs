@@ -24,4 +24,6 @@ pub mod report;
 pub use containment::{containment_analysis, ContainmentReport, ReusePoint};
 pub use gaps::{gap_analysis, GapReport};
 pub use locality::{locality_analysis, LocalityReport, LocalityScatter};
-pub use report::{render_cost_table, render_server_table, write_series_csv, write_sweep_csv};
+pub use report::{
+    render_cost_table, render_metrics_table, render_server_table, write_series_csv, write_sweep_csv,
+};

@@ -122,6 +122,73 @@ pub fn render_server_table(title: &str, servers: &[ServerCosts]) -> String {
     out
 }
 
+/// Render a telemetry [`MetricsRegistry`](byc_telemetry::MetricsRegistry)
+/// as a human-readable table: one row per `(policy, server, class)`
+/// series with the decision mix and the `D_S`/`D_L`/`D_C` byte split,
+/// plus a totals row per policy. The terminal-side companion to the
+/// Prometheus/JSON exports — same registry, same numbers.
+pub fn render_metrics_table(title: &str, registry: &byc_telemetry::MetricsRegistry) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<18} {:<8} {:<8} {:>8} {:>9} {:>7} {:>12} {:>12} {:>12}",
+        "Policy",
+        "Server",
+        "Class",
+        "Hits",
+        "Bypasses",
+        "Loads",
+        "Bypass (GB)",
+        "Fetch (GB)",
+        "Cached (GB)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(102));
+    for policy in registry.iter() {
+        for (key, series) in &policy.series {
+            let w = &series.window;
+            let _ = writeln!(
+                out,
+                "{:<18} {:<8} {:<8} {:>8} {:>9} {:>7} {:>12.2} {:>12.2} {:>12.2}",
+                policy.policy,
+                format!("S{}", key.server.raw()),
+                key.class.label(),
+                w.hits,
+                w.bypasses,
+                w.loads,
+                gb(w.bypass_cost.as_f64()),
+                gb(w.fetch_cost.as_f64()),
+                gb(w.cache_served.as_f64()),
+            );
+        }
+        let t = policy.totals();
+        let _ = writeln!(
+            out,
+            "{:<18} {:<8} {:<8} {:>8} {:>9} {:>7} {:>12.2} {:>12.2} {:>12.2}",
+            policy.policy,
+            "total",
+            "",
+            t.hits,
+            t.bypasses,
+            t.loads,
+            gb(t.bypass_cost.as_f64()),
+            gb(t.fetch_cost.as_f64()),
+            gb(t.cache_served.as_f64()),
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} queries={} accesses={} occupancy_peak_gb={:.2} reuse_gap_p50={} p90={}",
+            policy.policy,
+            policy.queries,
+            policy.accesses,
+            gb(policy.occupancy.peak as f64),
+            policy.reuse_gap.quantile(0.5),
+            policy.reuse_gap.quantile(0.9),
+        );
+    }
+    out
+}
+
 /// Write cumulative-cost series (Figs 7–8) as CSV: one column per policy.
 ///
 /// # Errors
@@ -289,6 +356,35 @@ mod tests {
         // Totals row sums WAN = (1.0 + 0.5) + (4.0 + 0.0) GB.
         assert!(table.contains("total"));
         assert!(table.contains("5.50"), "{table}");
+    }
+
+    #[test]
+    fn metrics_table_rows_and_totals() {
+        use byc_telemetry::{MetricsRegistry, ObjectClass, PolicyMetrics, SeriesKey};
+        use byc_types::ServerId;
+        let mut p = PolicyMetrics::new("GDS");
+        p.queries = 12;
+        p.accesses = 30;
+        for (server, class, hits) in [(0u32, ObjectClass::Tiny, 5u64), (1, ObjectClass::Large, 2)] {
+            let key = SeriesKey {
+                server: ServerId::new(server),
+                class,
+            };
+            let s = p.series.entry(key).or_default();
+            s.window.hits = hits;
+            s.window.bypass_cost = Bytes::new(1_000_000_000);
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.absorb(p);
+        let table = render_metrics_table("telemetry", &reg);
+        assert!(table.contains("telemetry"));
+        assert!(table.contains("S0"));
+        assert!(table.contains("tiny"));
+        assert!(table.contains("large"));
+        // Totals row: 5 + 2 hits, 1.0 + 1.0 GB bypass.
+        assert!(table.contains("total"));
+        assert!(table.contains("2.00"), "{table}");
+        assert!(table.contains("queries=12 accesses=30"));
     }
 
     #[test]

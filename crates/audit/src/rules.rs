@@ -9,11 +9,18 @@
 use crate::report::Finding;
 use crate::source::SourceFile;
 
-/// Crates whose library code must never panic: the simulation substrate
-/// and the caching algorithms. A panic mid-replay would abort a sweep
-/// that may have been running for hours; these crates return
-/// `byc_types::Result` instead.
-const NO_PANIC_CRATES: &[&str] = &["core", "engine", "federation", "sql", "catalog"];
+/// Crates whose library code must never panic: the simulation substrate,
+/// the caching algorithms, and the telemetry riding inside replays. A
+/// panic mid-replay would abort a sweep that may have been running for
+/// hours; these crates return `byc_types::Result` instead.
+const NO_PANIC_CRATES: &[&str] = &[
+    "core",
+    "engine",
+    "federation",
+    "sql",
+    "catalog",
+    "telemetry",
+];
 
 /// Panicking constructs forbidden in library code of [`NO_PANIC_CRATES`].
 const PANIC_PATTERNS: &[&str] = &[

@@ -1,0 +1,118 @@
+//! Cost of attaching a `TelemetryObserver` to the replay engine.
+//!
+//! Three configurations over the same trace and policy roster:
+//!
+//! * **bare** — the engine with only the accounting `CostObserver`, the
+//!   baseline every plain `byc run` pays;
+//! * **disabled** — a `TelemetryObserver` built with
+//!   [`TelemetryObserver::disabled`] rides along; its hot path must be a
+//!   single branch and allocation-free, so this configuration's budget is
+//!   ≤2% over bare;
+//! * **enabled** — full registry accounting plus an NDJSON event log
+//!   written into an in-memory sink, the price of `byc run
+//!   --trace-events --metrics`.
+//!
+//! CI builds this bench (`cargo bench --bench telemetry_overhead
+//! --no-run`) so the comparison stays compilable; the timing claim is
+//! checked by running it locally.
+
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_federation::simulator::ReplayOptions;
+use byc_federation::{build_policy, replay_with_observers, Observer, PolicyKind};
+use byc_telemetry::{EventLogWriter, TelemetryObserver};
+use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Discard-everything sink so the enabled configuration measures event
+/// rendering and buffering, not disk throughput.
+struct NullSink;
+
+impl std::io::Write for NullSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let catalog = build(SdssRelease::Edr, 1e-2, 1);
+    let trace = generate(&catalog, &WorkloadConfig::smoke(29, 10_000)).unwrap();
+    let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+    let stats = WorkloadStats::compute(&trace, &objects);
+    let capacity = objects.total_size().scale(0.15);
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for kind in [PolicyKind::Gds, PolicyKind::SpaceEffBY] {
+        group.bench_with_input(BenchmarkId::new("bare", kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut policy = build_policy(kind, capacity, &stats.demands, 29);
+                replay_with_observers(
+                    &trace,
+                    &objects,
+                    policy.as_mut(),
+                    ReplayOptions::default(),
+                    &mut [],
+                )
+                .report
+                .total_cost()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("disabled", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut policy = build_policy(kind, capacity, &stats.demands, 29);
+                    let mut telemetry = TelemetryObserver::disabled(kind.label());
+                    let mut observers: Vec<&mut dyn Observer> = vec![&mut telemetry];
+                    replay_with_observers(
+                        &trace,
+                        &objects,
+                        policy.as_mut(),
+                        ReplayOptions::default(),
+                        &mut observers,
+                    )
+                    .report
+                    .total_cost()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("enabled", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut policy = build_policy(kind, capacity, &stats.demands, 29);
+                    let mut telemetry = TelemetryObserver::new(kind.label())
+                        .with_event_log(EventLogWriter::new(Box::new(NullSink), kind.label()));
+                    let mut observers: Vec<&mut dyn Observer> = vec![&mut telemetry];
+                    let cost = replay_with_observers(
+                        &trace,
+                        &objects,
+                        policy.as_mut(),
+                        ReplayOptions::default(),
+                        &mut observers,
+                    )
+                    .report
+                    .total_cost();
+                    let (snapshot, io) = telemetry.into_parts();
+                    assert!(io.is_ok());
+                    (cost, snapshot.accesses)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_telemetry_overhead
+}
+criterion_main!(benches);

@@ -1,13 +1,17 @@
 //! The `byc` subcommands.
 
 use byc_analysis::{
-    containment_analysis, locality_analysis, render_cost_table, render_server_table,
+    containment_analysis, locality_analysis, render_cost_table, render_metrics_table,
+    render_server_table,
 };
 use byc_catalog::sdss::{self, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
 use byc_federation::{
-    build_policy, sweep_cache_sizes, CostObserver, NetworkModel, Observer, PerServerMultipliers,
-    PerServerObserver, PolicyKind, ReplayEngine, Uniform,
+    build_policy, sweep_cache_sizes, sweep_cache_sizes_with, CostObserver, NetworkModel, Observer,
+    PerServerMultipliers, PerServerObserver, PolicyKind, ReplayEngine, Uniform,
+};
+use byc_telemetry::{
+    write_metrics, EventLogWriter, MetricsFormat, MetricsRegistry, TelemetryObserver,
 };
 use byc_types::{Error, Result};
 use byc_workload::{generate, io as trace_io, Trace, WorkloadConfig, WorkloadStats};
@@ -48,6 +52,12 @@ pub enum Command {
         servers: u32,
         /// Per-server WAN cost multipliers (None = uniform pricing).
         multipliers: Option<Vec<f64>>,
+        /// Stream per-decision NDJSON events here (None = no event log).
+        trace_events: Option<PathBuf>,
+        /// Write a metrics export here (None = no export).
+        metrics: Option<PathBuf>,
+        /// Export format for `--metrics`.
+        metrics_format: MetricsFormat,
     },
     /// Sweep cache sizes for a set of policies.
     Sweep {
@@ -63,6 +73,10 @@ pub enum Command {
         servers: u32,
         /// Per-server WAN cost multipliers (None = uniform pricing).
         multipliers: Option<Vec<f64>>,
+        /// Write a metrics export covering every sweep point here.
+        metrics: Option<PathBuf>,
+        /// Export format for `--metrics`.
+        metrics_format: MetricsFormat,
     },
     /// Workload analyses: containment and schema locality.
     Analyze {
@@ -194,8 +208,10 @@ USAGE:
   byc run <edr|dr1|trace.jsonl> --policy NAME [--granularity table|column]
           [--cache-fraction F] [--scale S] [--seed N]
           [--servers N] [--cost-multipliers A,B,...]
+          [--trace-events FILE] [--metrics FILE] [--metrics-format prom|json]
   byc sweep <edr|dr1|trace.jsonl> [--granularity table|column] [--scale S] [--seed N]
           [--servers N] [--cost-multipliers A,B,...]
+          [--metrics FILE] [--metrics-format prom|json]
   byc analyze <edr|dr1|trace.jsonl> [--scale S] [--seed N]
   byc help
 
@@ -206,7 +222,14 @@ NETWORK:  --servers spreads tables round-robin over N back-end servers;
           --cost-multipliers prices each server's WAN link (cycled when
           shorter than the server count) and implies --servers when that
           flag is absent. With more than one server, `run` appends a
-          per-server WAN breakdown table.";
+          per-server WAN breakdown table.
+
+TELEMETRY: --trace-events streams one schema-versioned NDJSON record per
+          decision (query, object, decision, yield, fetch price,
+          occupancy); --metrics writes a registry export — Prometheus
+          text by default, JSON with --metrics-format json. In `sweep`,
+          the registry labels each point `policy@fraction`. Either flag
+          also prints the per-(server, object-class) telemetry table.";
 
 /// Parse raw argument strings into a [`Command`].
 ///
@@ -229,6 +252,9 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "seed",
             "servers",
             "cost-multipliers",
+            "trace-events",
+            "metrics",
+            "metrics-format",
         ],
         "sweep" => &[
             "granularity",
@@ -236,6 +262,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "seed",
             "servers",
             "cost-multipliers",
+            "metrics",
+            "metrics-format",
         ],
         "analyze" => &["granularity", "scale", "seed"],
         _ => &[],
@@ -297,6 +325,14 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     .map(Some),
             }
         };
+    let flag_format = |flags: &std::collections::HashMap<String, String>| -> Result<MetricsFormat> {
+        match flags.get("metrics-format") {
+            None => Ok(MetricsFormat::Prometheus),
+            Some(v) => MetricsFormat::parse(v).ok_or_else(|| {
+                Error::InvalidConfig(format!("--metrics-format expects prom or json, got {v:?}"))
+            }),
+        }
+    };
     let first = |positional: &[String]| -> Result<String> {
         positional
             .first()
@@ -336,6 +372,9 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 seed: flag_u64(&flags, "seed", 42)?,
                 servers: flag_u64(&flags, "servers", default_servers)? as u32,
                 multipliers,
+                trace_events: flags.get("trace-events").map(PathBuf::from),
+                metrics: flags.get("metrics").map(PathBuf::from),
+                metrics_format: flag_format(&flags)?,
             })
         }
         "sweep" => {
@@ -351,6 +390,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 seed: flag_u64(&flags, "seed", 42)?,
                 servers: flag_u64(&flags, "servers", default_servers)? as u32,
                 multipliers,
+                metrics: flags.get("metrics").map(PathBuf::from),
+                metrics_format: flag_format(&flags)?,
             })
         }
         "analyze" => Ok(Command::Analyze {
@@ -406,6 +447,9 @@ pub fn run_command(command: Command) -> Result<String> {
             seed,
             servers,
             multipliers,
+            trace_events,
+            metrics,
+            metrics_format,
         } => {
             if cache_fraction <= 0.0 || cache_fraction.is_nan() {
                 return Err(Error::InvalidConfig(
@@ -420,6 +464,18 @@ pub fn run_command(command: Command) -> Result<String> {
             let capacity = objects.total_size().scale(cache_fraction);
             let mut p = build_policy(kind, capacity, &stats.demands, seed);
             let network = build_network(&multipliers)?;
+            // Telemetry rides the same replay as the accounting observers;
+            // it is attached only when a flag asks for it, so plain runs
+            // keep their exact output.
+            let mut telemetry = if trace_events.is_some() || metrics.is_some() {
+                let mut t = TelemetryObserver::new(kind.label());
+                if let Some(path) = &trace_events {
+                    t = t.with_event_log(EventLogWriter::create(path, kind.label())?);
+                }
+                Some(t)
+            } else {
+                None
+            };
             let (report, server_costs) = {
                 let engine = ReplayEngine::with_network(&objects, network.as_ref());
                 let mut cost =
@@ -427,6 +483,9 @@ pub fn run_command(command: Command) -> Result<String> {
                 let mut per_server = PerServerObserver::new();
                 {
                     let mut observers: Vec<&mut dyn Observer> = vec![&mut cost, &mut per_server];
+                    if let Some(t) = telemetry.as_mut() {
+                        observers.push(t);
+                    }
                     engine.replay(&trace, p.as_mut(), &mut observers);
                 }
                 (cost.into_report(), per_server.into_costs())
@@ -463,6 +522,30 @@ pub fn run_command(command: Command) -> Result<String> {
                     )
                 );
             }
+            if let Some(t) = telemetry {
+                let (snapshot, io) = t.into_parts();
+                io?;
+                let mut registry = MetricsRegistry::new();
+                registry.absorb(snapshot);
+                if let Some(path) = &metrics {
+                    write_metrics(&registry, metrics_format, path)?;
+                    let _ = writeln!(
+                        out,
+                        "\nwrote metrics ({}) to {}",
+                        metrics_format.label(),
+                        path.display()
+                    );
+                }
+                if let Some(path) = &trace_events {
+                    let _ = writeln!(out, "wrote decision events to {}", path.display());
+                }
+                let _ = writeln!(out);
+                let _ = write!(
+                    out,
+                    "{}",
+                    render_metrics_table("telemetry by (server, object class)", &registry)
+                );
+            }
             Ok(out)
         }
         Command::Sweep {
@@ -472,6 +555,8 @@ pub fn run_command(command: Command) -> Result<String> {
             seed,
             servers,
             multipliers,
+            metrics,
+            metrics_format,
         } => {
             let granularity = parse_granularity(&granularity)?;
             let (catalog, trace) = load_trace(&trace, scale, seed, servers.max(1))?;
@@ -480,15 +565,43 @@ pub fn run_command(command: Command) -> Result<String> {
             let fractions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0];
             let policies = byc_federation::policy_roster();
             let network = build_network(&multipliers)?;
-            let points = sweep_cache_sizes(
-                &trace,
-                &objects,
-                &stats.demands,
-                &policies,
-                &fractions,
-                seed,
-                network.as_ref(),
-            );
+            // Only pay for telemetry when an export was requested.
+            let points = if let Some(path) = &metrics {
+                let results = sweep_cache_sizes_with(
+                    &trace,
+                    &objects,
+                    &stats.demands,
+                    &policies,
+                    &fractions,
+                    seed,
+                    network.as_ref(),
+                    // One registry label per sweep point, so distinct
+                    // (policy, fraction) cells never merge.
+                    |kind, fraction| {
+                        TelemetryObserver::new(&format!("{}@{:.2}", kind.label(), fraction))
+                    },
+                );
+                let mut registry = MetricsRegistry::new();
+                let mut points = Vec::with_capacity(results.len());
+                for (point, observer) in results {
+                    let (snapshot, io) = observer.into_parts();
+                    io?;
+                    registry.absorb(snapshot);
+                    points.push(point);
+                }
+                write_metrics(&registry, metrics_format, path)?;
+                points
+            } else {
+                sweep_cache_sizes(
+                    &trace,
+                    &objects,
+                    &stats.demands,
+                    &policies,
+                    &fractions,
+                    seed,
+                    network.as_ref(),
+                )
+            };
             let mut out = format!(
                 "total WAN cost (GB) vs cache size, {} caching, trace {}\n",
                 granularity.label(),
@@ -509,6 +622,14 @@ pub fn run_command(command: Command) -> Result<String> {
                     let _ = write!(out, " {:>9.1}", p.report.total_cost().as_f64() / 1e9);
                 }
                 let _ = writeln!(out);
+            }
+            if let Some(path) = &metrics {
+                let _ = writeln!(
+                    out,
+                    "wrote metrics ({}) to {}",
+                    metrics_format.label(),
+                    path.display()
+                );
             }
             Ok(out)
         }
@@ -627,6 +748,9 @@ mod tests {
                 seed,
                 servers,
                 multipliers,
+                trace_events,
+                metrics,
+                metrics_format,
             } => {
                 assert_eq!(trace, "edr");
                 assert_eq!(policy, "gds");
@@ -636,6 +760,9 @@ mod tests {
                 assert_eq!(seed, 42);
                 assert_eq!(servers, 1);
                 assert_eq!(multipliers, None);
+                assert_eq!(trace_events, None);
+                assert_eq!(metrics, None);
+                assert_eq!(metrics_format, MetricsFormat::Prometheus);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -747,6 +874,9 @@ mod tests {
             seed: 1,
             servers: 1,
             multipliers: None,
+            trace_events: None,
+            metrics: None,
+            metrics_format: MetricsFormat::Prometheus,
         };
         assert!(run_command(cmd).is_err());
     }
@@ -816,6 +946,9 @@ mod tests {
             seed: 7,
             servers: 1,
             multipliers: None,
+            trace_events: None,
+            metrics: None,
+            metrics_format: MetricsFormat::Prometheus,
         })
         .unwrap_err();
         assert!(err.to_string().contains("different catalog scale"), "{err}");
@@ -826,5 +959,128 @@ mod tests {
     fn granularity_parse_errors() {
         assert!(parse_granularity("row").is_err());
         assert!(parse_release("dr9").is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "edr",
+            "--policy",
+            "gds",
+            "--trace-events",
+            "events.ndjson",
+            "--metrics",
+            "metrics.json",
+            "--metrics-format",
+            "json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                trace_events,
+                metrics,
+                metrics_format,
+                ..
+            } => {
+                assert_eq!(trace_events, Some(PathBuf::from("events.ndjson")));
+                assert_eq!(metrics, Some(PathBuf::from("metrics.json")));
+                assert_eq!(metrics_format, MetricsFormat::Json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&args(&["sweep", "edr", "--metrics", "sweep.prom"])).unwrap();
+        match cmd {
+            Command::Sweep {
+                metrics,
+                metrics_format,
+                ..
+            } => {
+                assert_eq!(metrics, Some(PathBuf::from("sweep.prom")));
+                assert_eq!(metrics_format, MetricsFormat::Prometheus);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse_args(&args(&[
+            "run",
+            "edr",
+            "--policy",
+            "gds",
+            "--metrics",
+            "m",
+            "--metrics-format",
+            "xml",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("prom or json"), "{err}");
+    }
+
+    #[test]
+    fn run_writes_event_log_and_metrics() {
+        let dir = std::env::temp_dir();
+        let events = dir.join(format!("byc-cli-events-{}.ndjson", std::process::id()));
+        let metrics = dir.join(format!("byc-cli-metrics-{}.json", std::process::id()));
+        let out = run_command(Command::Run {
+            trace: "edr".into(),
+            policy: "spaceeffby".into(),
+            granularity: "table".into(),
+            cache_fraction: 0.3,
+            scale: 0.001,
+            seed: 9,
+            servers: 2,
+            multipliers: Some(vec![1.0, 3.0]),
+            trace_events: Some(events.clone()),
+            metrics: Some(metrics.clone()),
+            metrics_format: MetricsFormat::Json,
+        })
+        .unwrap();
+        assert!(out.contains("wrote decision events to"), "{out}");
+        assert!(out.contains("wrote metrics (json) to"), "{out}");
+        assert!(out.contains("telemetry by (server, object class)"), "{out}");
+
+        // The event log replays to the same totals the cost table printed.
+        let log = byc_telemetry::EventLog::read_file(&events).unwrap();
+        assert_eq!(log.policy, "SpaceEffBY");
+        assert!(!log.events.is_empty());
+        let totals = log.totals();
+        assert_eq!(
+            totals.hits + totals.bypasses + totals.loads,
+            log.events.len() as u64
+        );
+
+        // The JSON export parses and carries the same policy label.
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let value = byc_types::json::Value::parse(&text).unwrap();
+        assert!(text.contains("byc.telemetry.metrics"));
+        assert!(text.contains("SpaceEffBY"));
+        drop(value);
+
+        std::fs::remove_file(&events).ok();
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn run_metrics_prometheus_format() {
+        let dir = std::env::temp_dir();
+        let metrics = dir.join(format!("byc-cli-metrics-{}.prom", std::process::id()));
+        let out = run_command(Command::Run {
+            trace: "edr".into(),
+            policy: "gds".into(),
+            granularity: "table".into(),
+            cache_fraction: 0.3,
+            scale: 0.001,
+            seed: 9,
+            servers: 1,
+            multipliers: None,
+            trace_events: None,
+            metrics: Some(metrics.clone()),
+            metrics_format: MetricsFormat::Prometheus,
+        })
+        .unwrap();
+        assert!(out.contains("wrote metrics (prom) to"), "{out}");
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(text.contains("# TYPE byc_hits_total counter"), "{text}");
+        assert!(text.contains("policy=\"GDS\""), "{text}");
+        std::fs::remove_file(&metrics).ok();
     }
 }

@@ -374,52 +374,131 @@ impl<'a> ReplayEngine<'a> {
     }
 }
 
+/// The shared per-window accumulation every byte-summing observer runs:
+/// one field-by-field absorption of a [`CostEvent`] stream over some
+/// window (a whole replay, one query, one server, one metric series).
+///
+/// [`CostObserver`], [`SeriesObserver`], and [`PerServerObserver`] each
+/// used to carry their own copy of this `+=` block; they now all absorb
+/// through here, so a new [`CostEvent`] field has exactly one place to be
+/// threaded into the accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryWindow {
+    /// Raw result bytes delivered to the client (`D_A` share).
+    pub delivered: Bytes,
+    /// Raw result bytes shipped from the servers (bypassed slices).
+    pub bypass_served: Bytes,
+    /// WAN cost of bypassed slices (`D_S` share, network-priced).
+    pub bypass_cost: Bytes,
+    /// WAN cost of cache loads (`D_L` share, network-priced).
+    pub fetch_cost: Bytes,
+    /// Raw result bytes served out of the cache (`D_C` share).
+    pub cache_served: Bytes,
+    /// Hit decisions.
+    pub hits: u64,
+    /// Bypass decisions.
+    pub bypasses: u64,
+    /// Load decisions.
+    pub loads: u64,
+    /// Objects evicted.
+    pub evictions: u64,
+}
+
+impl QueryWindow {
+    /// Accumulate one event.
+    pub fn absorb(&mut self, event: &CostEvent<'_>) {
+        self.delivered += event.delivered;
+        self.bypass_served += event.bypass_served;
+        self.bypass_cost += event.bypass_cost;
+        self.fetch_cost += event.fetch_cost;
+        self.cache_served += event.cache_served;
+        self.hits += event.hits;
+        self.bypasses += event.bypasses;
+        self.loads += event.loads;
+        self.evictions += event.evictions;
+    }
+
+    /// Fold another window into this one (registry merging).
+    pub fn merge(&mut self, other: &QueryWindow) {
+        self.delivered += other.delivered;
+        self.bypass_served += other.bypass_served;
+        self.bypass_cost += other.bypass_cost;
+        self.fetch_cost += other.fetch_cost;
+        self.cache_served += other.cache_served;
+        self.hits += other.hits;
+        self.bypasses += other.bypasses;
+        self.loads += other.loads;
+        self.evictions += other.evictions;
+    }
+
+    /// WAN traffic of the window: `D_S + D_L`.
+    pub fn wan_cost(&self) -> Bytes {
+        self.bypass_cost + self.fetch_cost
+    }
+
+    /// Policy decisions absorbed (hits + bypasses + loads).
+    pub fn decisions(&self) -> u64 {
+        self.hits + self.bypasses + self.loads
+    }
+
+    /// Delivery conservation over the window: every delivered byte was
+    /// either shipped from a server or served from cache.
+    pub fn conserves_delivery(&self) -> bool {
+        self.delivered == self.bypass_served + self.cache_served
+    }
+}
+
 /// Accumulates the [`CostReport`] of a replay (decision counts, the
 /// `D_S`/`D_L`/`D_C` byte split, and the conservation fields).
 #[derive(Clone, Debug)]
 pub struct CostObserver {
-    report: CostReport,
+    policy: String,
+    trace: String,
+    granularity: String,
+    queries: usize,
+    window: QueryWindow,
 }
 
 impl CostObserver {
     /// An observer whose report is headed with the given labels.
     pub fn new(policy: &str, trace: &str, granularity: &str) -> Self {
         CostObserver {
-            report: CostReport {
-                policy: policy.to_string(),
-                trace: trace.to_string(),
-                granularity: granularity.to_string(),
-                ..CostReport::default()
-            },
+            policy: policy.to_string(),
+            trace: trace.to_string(),
+            granularity: granularity.to_string(),
+            queries: 0,
+            window: QueryWindow::default(),
         }
-    }
-
-    /// The report accumulated so far.
-    pub fn report(&self) -> &CostReport {
-        &self.report
     }
 
     /// Take the completed report.
     pub fn into_report(self) -> CostReport {
-        self.report
+        let w = self.window;
+        CostReport {
+            policy: self.policy,
+            trace: self.trace,
+            granularity: self.granularity,
+            queries: self.queries,
+            sequence_cost: w.delivered,
+            bypass_served: w.bypass_served,
+            bypass_cost: w.bypass_cost,
+            fetch_cost: w.fetch_cost,
+            cache_served: w.cache_served,
+            hits: w.hits,
+            bypasses: w.bypasses,
+            loads: w.loads,
+            evictions: w.evictions,
+        }
     }
 }
 
 impl Observer for CostObserver {
     fn on_query_start(&mut self, _index: usize, _query: &TraceQuery) {
-        self.report.queries += 1;
+        self.queries += 1;
     }
 
     fn on_access(&mut self, event: &CostEvent<'_>) {
-        self.report.sequence_cost += event.delivered;
-        self.report.bypass_served += event.bypass_served;
-        self.report.bypass_cost += event.bypass_cost;
-        self.report.fetch_cost += event.fetch_cost;
-        self.report.cache_served += event.cache_served;
-        self.report.hits += event.hits;
-        self.report.bypasses += event.bypasses;
-        self.report.loads += event.loads;
-        self.report.evictions += event.evictions;
+        self.window.absorb(event);
     }
 }
 
@@ -428,7 +507,7 @@ impl Observer for CostObserver {
 #[derive(Clone, Debug)]
 pub struct SeriesObserver {
     every: usize,
-    wan: Bytes,
+    window: QueryWindow,
     seen: usize,
     series: Vec<SeriesPoint>,
 }
@@ -438,7 +517,7 @@ impl SeriesObserver {
     pub fn new(sample_every: usize) -> Self {
         SeriesObserver {
             every: sample_every.max(1),
-            wan: Bytes::ZERO,
+            window: QueryWindow::default(),
             seen: 0,
             series: Vec::new(),
         }
@@ -452,7 +531,7 @@ impl SeriesObserver {
 
 impl Observer for SeriesObserver {
     fn on_access(&mut self, event: &CostEvent<'_>) {
-        self.wan += event.bypass_cost + event.fetch_cost;
+        self.window.absorb(event);
     }
 
     fn on_query_end(&mut self, index: usize, _query: &TraceQuery) {
@@ -460,7 +539,7 @@ impl Observer for SeriesObserver {
         if (index + 1) % self.every == 0 {
             self.series.push(SeriesPoint {
                 query: index + 1,
-                cumulative_cost: self.wan,
+                cumulative_cost: self.window.wan_cost(),
             });
         }
     }
@@ -471,7 +550,7 @@ impl Observer for SeriesObserver {
         if self.seen > 0 && !already {
             self.series.push(SeriesPoint {
                 query: self.seen,
-                cumulative_cost: self.wan,
+                cumulative_cost: self.window.wan_cost(),
             });
         }
     }
@@ -567,7 +646,7 @@ impl ServerCosts {
 /// heterogeneous-network view that motivates BYHR over BYU.
 #[derive(Clone, Debug, Default)]
 pub struct PerServerObserver {
-    servers: BTreeMap<ServerId, ServerCosts>,
+    servers: BTreeMap<ServerId, QueryWindow>,
 }
 
 impl PerServerObserver {
@@ -578,24 +657,26 @@ impl PerServerObserver {
 
     /// Take the breakdown, one entry per server seen, in server-id order.
     pub fn into_costs(self) -> Vec<ServerCosts> {
-        self.servers.into_values().collect()
+        self.servers
+            .into_iter()
+            .map(|(server, w)| ServerCosts {
+                server,
+                delivered: w.delivered,
+                bypass_served: w.bypass_served,
+                bypass_cost: w.bypass_cost,
+                fetch_cost: w.fetch_cost,
+                cache_served: w.cache_served,
+                hits: w.hits,
+                bypasses: w.bypasses,
+                loads: w.loads,
+            })
+            .collect()
     }
 }
 
 impl Observer for PerServerObserver {
     fn on_access(&mut self, event: &CostEvent<'_>) {
-        let s = self.servers.entry(event.server).or_insert(ServerCosts {
-            server: event.server,
-            ..ServerCosts::default()
-        });
-        s.delivered += event.delivered;
-        s.bypass_served += event.bypass_served;
-        s.bypass_cost += event.bypass_cost;
-        s.fetch_cost += event.fetch_cost;
-        s.cache_served += event.cache_served;
-        s.hits += event.hits;
-        s.bypasses += event.bypasses;
-        s.loads += event.loads;
+        self.servers.entry(event.server).or_default().absorb(event);
     }
 }
 

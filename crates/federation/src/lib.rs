@@ -41,12 +41,12 @@ pub mod sweep;
 
 pub use accounting::CostReport;
 pub use engine::{
-    AuditObserver, CostEvent, CostObserver, Observer, PerServerObserver, ReplayEngine,
+    AuditObserver, CostEvent, CostObserver, Observer, PerServerObserver, QueryWindow, ReplayEngine,
     SeriesObserver, ServerCosts,
 };
 pub use mediator::Mediator;
 pub use network::{NetworkModel, PerServerMultipliers, Uniform};
 pub use policies::{build_policy, policy_roster, PolicyKind};
 pub use semantic::{SemanticCache, SemanticReport};
-pub use simulator::{replay, replay_with_series, SeriesPoint};
-pub use sweep::{sweep_cache_sizes, SweepPoint};
+pub use simulator::{replay, replay_with_observers, replay_with_series, SeriesPoint};
+pub use sweep::{sweep_cache_sizes, sweep_cache_sizes_with, SweepPoint};

@@ -8,7 +8,7 @@
 //! paper's architecture (§3, Figure 1), with bypassed sub-queries routed
 //! to their home servers.
 
-use crate::engine::{CostEvent, Observer, ReplayEngine};
+use crate::engine::{CostEvent, Observer, QueryWindow, ReplayEngine};
 use crate::network::{NetworkModel, Uniform};
 use byc_catalog::{Catalog, Granularity, ObjectCatalog};
 use byc_core::audit::{AuditReport, PolicyAuditor};
@@ -60,18 +60,30 @@ impl ServedQuery {
 
 /// Collects one [`ServedQuery`] from the engine's event stream.
 struct OutcomeObserver {
-    served: ServedQuery,
+    id: QueryId,
+    window: QueryWindow,
+    outcomes: Vec<ObjectOutcome>,
+}
+
+impl OutcomeObserver {
+    fn into_served(self) -> ServedQuery {
+        ServedQuery {
+            id: self.id,
+            delivered: self.window.delivered,
+            from_cache: self.window.cache_served,
+            from_servers: self.window.bypass_served,
+            bypass_traffic: self.window.bypass_cost,
+            load_traffic: self.window.fetch_cost,
+            outcomes: self.outcomes,
+        }
+    }
 }
 
 impl Observer for OutcomeObserver {
     fn on_access(&mut self, event: &CostEvent<'_>) {
-        self.served.delivered += event.delivered;
-        self.served.from_cache += event.cache_served;
-        self.served.from_servers += event.bypass_served;
-        self.served.bypass_traffic += event.bypass_cost;
-        self.served.load_traffic += event.fetch_cost;
+        self.window.absorb(event);
         if let Some(decision) = event.decision {
-            self.served.outcomes.push(ObjectOutcome {
+            self.outcomes.push(ObjectOutcome {
                 object: event.object,
                 server: event.server,
                 yield_bytes: event.delivered,
@@ -240,26 +252,39 @@ impl Mediator {
     /// Serve an already-analyzed trace query (the replay path): one
     /// engine pass with an observer that collects the [`ServedQuery`].
     pub fn serve_trace_query(&mut self, tq: &TraceQuery) -> ServedQuery {
+        self.serve_trace_query_with(tq, &mut [])
+    }
+
+    /// Serve a trace query with additional observers riding the same
+    /// engine pass — the telemetry seam: a `byc-telemetry`
+    /// `TelemetryObserver` (or any other [`Observer`]) sees exactly the
+    /// event stream that produced the returned [`ServedQuery`].
+    pub fn serve_trace_query_with(
+        &mut self,
+        tq: &TraceQuery,
+        extra: &mut [&mut dyn Observer],
+    ) -> ServedQuery {
         let engine = ReplayEngine::with_network(&self.objects, self.network.as_ref());
         let mut observer = OutcomeObserver {
-            served: ServedQuery {
-                id: QueryId::new(self.served as u32),
-                delivered: Bytes::ZERO,
-                from_cache: Bytes::ZERO,
-                from_servers: Bytes::ZERO,
-                bypass_traffic: Bytes::ZERO,
-                load_traffic: Bytes::ZERO,
-                outcomes: Vec::new(),
-            },
+            id: QueryId::new(self.served as u32),
+            window: QueryWindow::default(),
+            outcomes: Vec::new(),
         };
-        engine.serve_query(
-            self.served as usize,
-            self.clock,
-            tq,
-            &mut self.policy,
-            &mut [&mut observer],
-        );
-        let outcome = observer.served;
+        {
+            let mut observers: Vec<&mut dyn Observer> = Vec::with_capacity(1 + extra.len());
+            observers.push(&mut observer);
+            for obs in extra.iter_mut() {
+                observers.push(&mut **obs);
+            }
+            engine.serve_query(
+                self.served as usize,
+                self.clock,
+                tq,
+                &mut self.policy,
+                &mut observers,
+            );
+        }
+        let outcome = observer.into_served();
         self.clock = self.clock.next();
         self.served += 1;
         self.wan_total += outcome.wan_cost();

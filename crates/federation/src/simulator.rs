@@ -148,6 +148,21 @@ pub fn replay_with_options(
     policy: &mut dyn CachePolicy,
     options: ReplayOptions<'_>,
 ) -> Replay {
+    replay_with_observers(trace, objects, policy, options, &mut [])
+}
+
+/// Replay with explicit [`ReplayOptions`] plus caller-supplied observers
+/// riding the same engine pass. This is the telemetry seam: the extra
+/// observers (e.g. `byc-telemetry`'s `TelemetryObserver`) see exactly the
+/// event stream that produced the returned [`Replay`], so their totals
+/// cannot drift from the [`CostReport`].
+pub fn replay_with_observers(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    policy: &mut dyn CachePolicy,
+    options: ReplayOptions<'_>,
+    extra: &mut [&mut dyn Observer],
+) -> Replay {
     let engine = match options.network {
         Some(network) => ReplayEngine::with_network(objects, network),
         None => ReplayEngine::new(objects),
@@ -157,13 +172,16 @@ pub fn replay_with_options(
     let mut audit = options.audit_enabled().then(AuditObserver::new);
 
     {
-        let mut observers: Vec<&mut dyn Observer> = Vec::with_capacity(3);
+        let mut observers: Vec<&mut dyn Observer> = Vec::with_capacity(3 + extra.len());
         observers.push(&mut cost);
         if let Some(series) = series.as_mut() {
             observers.push(series);
         }
         if let Some(audit) = audit.as_mut() {
             observers.push(audit);
+        }
+        for obs in extra.iter_mut() {
+            observers.push(&mut **obs);
         }
         engine.replay(trace, policy, &mut observers);
     }

@@ -1,9 +1,10 @@
 //! Cache-size sweeps (Figs 9–10), parallelized across policies and sizes.
 
 use crate::accounting::CostReport;
+use crate::engine::Observer;
 use crate::network::NetworkModel;
 use crate::policies::{build_policy, PolicyKind};
-use crate::simulator::{debug_assert_audit, replay_with_options, ReplayOptions};
+use crate::simulator::{debug_assert_audit, replay_with_observers, ReplayOptions};
 use byc_catalog::ObjectCatalog;
 use byc_core::static_opt::ObjectDemand;
 use byc_types::Bytes;
@@ -37,19 +38,58 @@ pub fn sweep_cache_sizes(
     seed: u64,
     network: &dyn NetworkModel,
 ) -> Vec<SweepPoint> {
+    /// Discards the event stream: the plain sweep needs no telemetry.
+    struct Discard;
+    impl Observer for Discard {}
+    sweep_cache_sizes_with(
+        trace,
+        objects,
+        demands,
+        policies,
+        fractions,
+        seed,
+        network,
+        |_, _| Discard,
+    )
+    .into_iter()
+    .map(|(point, _)| point)
+    .collect()
+}
+
+/// [`sweep_cache_sizes`] with a per-job observer riding each replay —
+/// the telemetry seam for sweeps. `make_observer` is called once per
+/// (policy, fraction) job *before* its replay starts (on the spawning
+/// thread), the observer runs on the job's worker thread, and comes back
+/// paired with the job's [`SweepPoint`] so callers can merge per-job
+/// metric snapshots deterministically, in job order.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_cache_sizes_with<O, F>(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    demands: &[ObjectDemand],
+    policies: &[PolicyKind],
+    fractions: &[f64],
+    seed: u64,
+    network: &dyn NetworkModel,
+    make_observer: F,
+) -> Vec<(SweepPoint, O)>
+where
+    O: Observer + Send,
+    F: Fn(PolicyKind, f64) -> O,
+{
     let db = objects.total_size();
-    let mut jobs: Vec<(PolicyKind, f64)> = Vec::new();
+    let mut jobs: Vec<(PolicyKind, f64, O)> = Vec::new();
     for &kind in policies {
         for &f in fractions {
             assert!(f > 0.0, "cache fraction must be positive");
-            jobs.push((kind, f));
+            jobs.push((kind, f, make_observer(kind, f)));
         }
     }
 
-    let results: Vec<SweepPoint> = std::thread::scope(|scope| {
+    let results: Vec<(SweepPoint, O)> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(kind, fraction)| {
+            .into_iter()
+            .map(|(kind, fraction, mut observer)| {
                 scope.spawn(move || {
                     let capacity = db.scale(fraction);
                     let mut policy = build_policy(kind, capacity, demands, seed);
@@ -57,14 +97,23 @@ pub fn sweep_cache_sizes(
                         network: Some(network),
                         ..ReplayOptions::default()
                     };
-                    let replay = replay_with_options(trace, objects, policy.as_mut(), options);
+                    let replay = replay_with_observers(
+                        trace,
+                        objects,
+                        policy.as_mut(),
+                        options,
+                        &mut [&mut observer],
+                    );
                     debug_assert_audit(&replay);
-                    SweepPoint {
-                        policy: kind.label().to_string(),
-                        cache_fraction: fraction,
-                        capacity,
-                        report: replay.report,
-                    }
+                    (
+                        SweepPoint {
+                            policy: kind.label().to_string(),
+                            cache_fraction: fraction,
+                            capacity,
+                            report: replay.report,
+                        },
+                        observer,
+                    )
                 })
             })
             .collect();

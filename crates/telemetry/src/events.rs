@@ -1,0 +1,492 @@
+//! The NDJSON decision-event log.
+//!
+//! One line per sampled decision, schema-versioned by a header line, so a
+//! log is self-describing and parseable long after the run. Records carry
+//! both raw (yield) and network-priced (`bypass_cost`, `fetch_cost`)
+//! byte fields: summing an *unsampled* log reproduces the replay's
+//! `D_S`/`D_L`/`D_C` totals exactly — the log is a complete witness of
+//! the accounting, not a lossy trace.
+//!
+//! Writing is buffered and deferred: the hot path renders into an
+//! in-memory buffer (pure `fmt::Write`, no syscalls, no allocation once
+//! the buffer warmed up) and flushes by threshold; IO errors are parked
+//! and surfaced once, at [`EventLogWriter::finish`]. The two `expect`
+//! calls below are on `fmt::Write` into a `String` — infallible by
+//! definition — and are allowlisted as such in `audit.toml`.
+
+use byc_federation::CostEvent;
+use byc_types::json::Value;
+use byc_types::{Bytes, Error, ObjectId, Result, ServerId};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Schema identifier stamped into every log's header line.
+pub const EVENT_SCHEMA: &str = "byc.telemetry.events";
+
+/// Current schema version. Readers reject logs from a different major.
+pub const EVENT_SCHEMA_VERSION: u64 = 1;
+
+/// Flush the render buffer to the sink once it grows past this.
+const FLUSH_THRESHOLD: usize = 64 * 1024;
+
+/// The decision taken for one object slice, as recorded in the log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Served from cache, no traffic.
+    Hit,
+    /// Shipped from the server past the cache.
+    Bypass,
+    /// Fetched into the cache, then served from it.
+    Load,
+}
+
+impl DecisionKind {
+    /// The log's wire label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            DecisionKind::Hit => "hit",
+            DecisionKind::Bypass => "bypass",
+            DecisionKind::Load => "load",
+        }
+    }
+
+    /// Parse a wire label back.
+    pub fn parse(label: &str) -> Option<DecisionKind> {
+        match label {
+            "hit" => Some(DecisionKind::Hit),
+            "bypass" => Some(DecisionKind::Bypass),
+            "load" => Some(DecisionKind::Load),
+            _ => None,
+        }
+    }
+}
+
+/// One logged decision: everything needed to re-derive the slice's cost
+/// split without replaying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Query ordinal within the replay.
+    pub query: u64,
+    /// The object served.
+    pub object: ObjectId,
+    /// The object's home server.
+    pub server: ServerId,
+    /// The decision taken.
+    pub decision: DecisionKind,
+    /// Raw result bytes delivered to the client (the slice's yield).
+    pub yield_bytes: Bytes,
+    /// The buy price `f_i` the policy weighed (network-priced fetch
+    /// cost; zero on the query-level path, which consults no policy).
+    pub fetch_price: Bytes,
+    /// WAN cost of the bypassed slice (`D_S` share, network-priced).
+    pub bypass_cost: Bytes,
+    /// WAN cost of the cache load (`D_L` share, network-priced).
+    pub fetch_cost: Bytes,
+    /// Raw bytes served out of the cache (`D_C` share).
+    pub cache_served: Bytes,
+    /// Objects evicted by this decision.
+    pub evictions: u64,
+    /// Cache occupancy in bytes after the decision (zero when no policy
+    /// was attached).
+    pub occupancy: Bytes,
+}
+
+impl EventRecord {
+    /// Capture one engine event. The decision kind is derived from the
+    /// event's exclusive counters, so the query-level path (which has no
+    /// [`Decision`](byc_core::policy::Decision) value) records cleanly.
+    pub fn from_event(event: &CostEvent<'_>) -> EventRecord {
+        let decision = if event.hits == 1 {
+            DecisionKind::Hit
+        } else if event.bypasses == 1 {
+            DecisionKind::Bypass
+        } else {
+            DecisionKind::Load
+        };
+        EventRecord {
+            query: event.query as u64,
+            object: event.object,
+            server: event.server,
+            decision,
+            yield_bytes: event.delivered,
+            fetch_price: event.access.map_or(Bytes::ZERO, |a| a.fetch_cost),
+            bypass_cost: event.bypass_cost,
+            fetch_cost: event.fetch_cost,
+            cache_served: event.cache_served,
+            evictions: event.evictions,
+            occupancy: event.policy.map_or(Bytes::ZERO, |p| p.used()),
+        }
+    }
+
+    /// Render one NDJSON line (including the trailing newline) into
+    /// `buf`. Field order is fixed; keys are short because a full log
+    /// writes one line per decision.
+    // fmt::Write into a String cannot fail; see audit.toml.
+    #[allow(clippy::expect_used)]
+    fn render_into(&self, buf: &mut String) {
+        writeln!(
+            buf,
+            "{{\"q\":{},\"o\":{},\"s\":{},\"d\":\"{}\",\"y\":{},\"f\":{},\"bc\":{},\"fc\":{},\"cs\":{},\"ev\":{},\"occ\":{}}}",
+            self.query,
+            self.object.raw(),
+            self.server.raw(),
+            self.decision.label(),
+            self.yield_bytes.raw(),
+            self.fetch_price.raw(),
+            self.bypass_cost.raw(),
+            self.fetch_cost.raw(),
+            self.cache_served.raw(),
+            self.evictions,
+            self.occupancy.raw(),
+        )
+        .expect("fmt::Write to String is infallible");
+    }
+
+    /// Parse one NDJSON record line.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TraceFormat`] on malformed JSON or missing fields.
+    pub fn parse(line: &str) -> Result<EventRecord> {
+        let v = Value::parse(line).map_err(Error::TraceFormat)?;
+        let field = |key: &str| -> Result<u64> {
+            v[key]
+                .as_u64()
+                .ok_or_else(|| Error::TraceFormat(format!("event record missing {key:?}: {line}")))
+        };
+        let decision = v["d"]
+            .as_str()
+            .and_then(DecisionKind::parse)
+            .ok_or_else(|| Error::TraceFormat(format!("bad decision in event record: {line}")))?;
+        Ok(EventRecord {
+            query: field("q")?,
+            object: ObjectId::new(
+                u32::try_from(field("o")?)
+                    .map_err(|_| Error::TraceFormat("object id out of range".into()))?,
+            ),
+            server: ServerId::new(
+                u32::try_from(field("s")?)
+                    .map_err(|_| Error::TraceFormat("server id out of range".into()))?,
+            ),
+            decision,
+            yield_bytes: Bytes::new(field("y")?),
+            fetch_price: Bytes::new(field("f")?),
+            bypass_cost: Bytes::new(field("bc")?),
+            fetch_cost: Bytes::new(field("fc")?),
+            cache_served: Bytes::new(field("cs")?),
+            evictions: field("ev")?,
+            occupancy: Bytes::new(field("occ")?),
+        })
+    }
+}
+
+/// Buffered NDJSON writer with deferred IO errors.
+///
+/// Construction queues the schema header line; [`record`] renders into an
+/// in-memory buffer and flushes by threshold; the first IO error is
+/// parked and every later write becomes a no-op, so the replay's hot
+/// path never branches on IO. [`finish`] flushes the tail and surfaces
+/// the parked error (if any).
+///
+/// [`record`]: EventLogWriter::record
+/// [`finish`]: EventLogWriter::finish
+pub struct EventLogWriter {
+    sink: Box<dyn std::io::Write + Send>,
+    buf: String,
+    parked: Option<Error>,
+    records: u64,
+}
+
+impl EventLogWriter {
+    /// A writer over an arbitrary sink, stamped with the policy label.
+    // fmt::Write into a String cannot fail; see audit.toml.
+    #[allow(clippy::expect_used)]
+    pub fn new(sink: Box<dyn std::io::Write + Send>, policy: &str) -> Self {
+        let mut buf = String::with_capacity(FLUSH_THRESHOLD + 4096);
+        let header = Value::Object(vec![
+            ("schema".into(), Value::str(EVENT_SCHEMA)),
+            ("version".into(), Value::u64(EVENT_SCHEMA_VERSION)),
+            ("policy".into(), Value::str(policy)),
+        ]);
+        writeln!(buf, "{header}").expect("fmt::Write to String is infallible");
+        EventLogWriter {
+            sink,
+            buf,
+            parked: None,
+            records: 0,
+        }
+    }
+
+    /// A writer creating (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the file cannot be created.
+    pub fn create(path: &Path, policy: &str) -> Result<EventLogWriter> {
+        let file = std::fs::File::create(path)?;
+        Ok(EventLogWriter::new(
+            Box::new(std::io::BufWriter::new(file)),
+            policy,
+        ))
+    }
+
+    /// Append one record. Never fails here: IO errors park and surface
+    /// at [`EventLogWriter::finish`].
+    pub fn record(&mut self, record: &EventRecord) {
+        if self.parked.is_some() {
+            return;
+        }
+        record.render_into(&mut self.buf);
+        self.records += 1;
+        if self.buf.len() >= FLUSH_THRESHOLD {
+            self.flush_buf();
+        }
+    }
+
+    /// Records accepted so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    fn flush_buf(&mut self) {
+        if let Err(e) = self.sink.write_all(self.buf.as_bytes()) {
+            self.parked = Some(e.into());
+        }
+        self.buf.clear();
+    }
+
+    /// Flush everything and return the number of records written.
+    ///
+    /// # Errors
+    ///
+    /// The first IO error encountered anywhere in the log's lifetime.
+    pub fn finish(mut self) -> Result<u64> {
+        self.flush_buf();
+        if self.parked.is_none() {
+            if let Err(e) = self.sink.flush() {
+                self.parked = Some(e.into());
+            }
+        }
+        match self.parked {
+            Some(e) => Err(e),
+            None => Ok(self.records),
+        }
+    }
+}
+
+/// Summed byte/decision totals of a log — the `CostReport` columns the
+/// log is a witness of.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventTotals {
+    /// Raw result bytes delivered (`D_A`).
+    pub delivered: Bytes,
+    /// WAN cost of bypassed slices (`D_S`).
+    pub bypass_cost: Bytes,
+    /// WAN cost of cache loads (`D_L`).
+    pub fetch_cost: Bytes,
+    /// Raw bytes served from cache (`D_C`).
+    pub cache_served: Bytes,
+    /// Hit decisions.
+    pub hits: u64,
+    /// Bypass decisions.
+    pub bypasses: u64,
+    /// Load decisions.
+    pub loads: u64,
+    /// Objects evicted.
+    pub evictions: u64,
+}
+
+impl EventTotals {
+    /// WAN traffic: `D_S + D_L`.
+    pub fn wan_cost(&self) -> Bytes {
+        self.bypass_cost + self.fetch_cost
+    }
+}
+
+/// A parsed event log: the header's identity plus every record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventLog {
+    /// Schema version from the header.
+    pub version: u64,
+    /// Policy label from the header.
+    pub policy: String,
+    /// The records, in replay order.
+    pub events: Vec<EventRecord>,
+}
+
+impl EventLog {
+    /// Sum the log's byte and decision columns.
+    pub fn totals(&self) -> EventTotals {
+        let mut t = EventTotals::default();
+        for e in &self.events {
+            t.delivered += e.yield_bytes;
+            t.bypass_cost += e.bypass_cost;
+            t.fetch_cost += e.fetch_cost;
+            t.cache_served += e.cache_served;
+            t.evictions += e.evictions;
+            match e.decision {
+                DecisionKind::Hit => t.hits += 1,
+                DecisionKind::Bypass => t.bypasses += 1,
+                DecisionKind::Load => t.loads += 1,
+            }
+        }
+        t
+    }
+
+    /// Read a log from the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on read failure, [`Error::TraceFormat`] on malformed
+    /// content.
+    pub fn read_file(path: &Path) -> Result<EventLog> {
+        read_events(&std::fs::read_to_string(path)?)
+    }
+}
+
+/// Parse a whole NDJSON log: the schema header line, then one record per
+/// non-empty line.
+///
+/// # Errors
+///
+/// [`Error::TraceFormat`] on a missing/mismatched header or any
+/// malformed record line.
+pub fn read_events(text: &str) -> Result<EventLog> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines
+        .next()
+        .ok_or_else(|| Error::TraceFormat("empty event log".into()))?;
+    let header = Value::parse(header_line).map_err(Error::TraceFormat)?;
+    if header["schema"].as_str() != Some(EVENT_SCHEMA) {
+        return Err(Error::TraceFormat(format!(
+            "not an event log (schema {:?})",
+            header["schema"].as_str().unwrap_or("<missing>")
+        )));
+    }
+    let version = header["version"]
+        .as_u64()
+        .ok_or_else(|| Error::TraceFormat("event log header missing version".into()))?;
+    if version != EVENT_SCHEMA_VERSION {
+        return Err(Error::TraceFormat(format!(
+            "unsupported event log version {version} (expected {EVENT_SCHEMA_VERSION})"
+        )));
+    }
+    let policy = header["policy"].as_str().unwrap_or("").to_string();
+    let events = lines.map(EventRecord::parse).collect::<Result<Vec<_>>>()?;
+    Ok(EventLog {
+        version,
+        policy,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// An in-memory sink the test keeps a handle to after the writer
+    /// consumed its `Box`.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    fn sample_record(query: u64) -> EventRecord {
+        EventRecord {
+            query,
+            object: ObjectId::new(7),
+            server: ServerId::new(1),
+            decision: DecisionKind::Bypass,
+            yield_bytes: Bytes::new(1000),
+            fetch_price: Bytes::new(5000),
+            bypass_cost: Bytes::new(2000),
+            fetch_cost: Bytes::ZERO,
+            cache_served: Bytes::ZERO,
+            evictions: 0,
+            occupancy: Bytes::mib(3),
+        }
+    }
+
+    #[test]
+    fn record_line_roundtrips() {
+        let record = sample_record(42);
+        let mut buf = String::new();
+        record.render_into(&mut buf);
+        assert!(buf.ends_with('\n'));
+        let back = EventRecord::parse(buf.trim_end()).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn log_roundtrips_through_writer_and_reader() {
+        let sink = SharedBuf::default();
+        let mut writer = EventLogWriter::new(Box::new(sink.clone()), "GDS");
+        for q in 0..100 {
+            writer.record(&sample_record(q));
+        }
+        assert_eq!(writer.finish().unwrap(), 100);
+        let log = read_events(&sink.text()).unwrap();
+        assert_eq!(log.policy, "GDS");
+        assert_eq!(log.version, EVENT_SCHEMA_VERSION);
+        assert_eq!(log.events.len(), 100);
+        let totals = log.totals();
+        assert_eq!(totals.bypasses, 100);
+        assert_eq!(totals.bypass_cost, Bytes::new(200_000));
+        assert_eq!(totals.delivered, Bytes::new(100_000));
+        assert_eq!(totals.wan_cost(), Bytes::new(200_000));
+    }
+
+    #[test]
+    fn reader_rejects_foreign_and_stale_logs() {
+        assert!(read_events("").is_err());
+        assert!(read_events("{\"schema\":\"other\"}").is_err());
+        let stale = format!("{{\"schema\":\"{EVENT_SCHEMA}\",\"version\":999}}");
+        assert!(read_events(&stale).is_err());
+        let ok = format!("{{\"schema\":\"{EVENT_SCHEMA}\",\"version\":1,\"policy\":\"x\"}}");
+        assert!(read_events(&ok).unwrap().events.is_empty());
+    }
+
+    #[test]
+    fn writer_parks_io_errors_until_finish() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut writer = EventLogWriter::new(Box::new(Broken), "x");
+        // Way past the flush threshold: errors must stay parked.
+        for q in 0..10_000 {
+            writer.record(&sample_record(q));
+        }
+        let err = writer.finish().unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn decision_labels_roundtrip() {
+        for kind in [DecisionKind::Hit, DecisionKind::Bypass, DecisionKind::Load] {
+            assert_eq!(DecisionKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(DecisionKind::parse("nope"), None);
+    }
+}

@@ -1,0 +1,354 @@
+//! [`TelemetryObserver`]: the [`Observer`] that feeds the registry and
+//! the event log.
+//!
+//! The observer rides the engine's event stream next to the accounting
+//! observers — it never influences decisions, so a replay with telemetry
+//! attached produces byte-identical reports to one without. The disabled
+//! path is a single branch per hook, cheap enough to leave compiled into
+//! every replay (the `telemetry_overhead` bench holds it under 2% of the
+//! bare engine).
+
+use crate::events::{EventLogWriter, EventRecord};
+use crate::metrics::{ObjectClass, PolicyMetrics, SeriesKey};
+use byc_core::policy::CachePolicy;
+use byc_federation::{CostEvent, Observer};
+use byc_types::ObjectId;
+use byc_workload::TraceQuery;
+use std::collections::BTreeMap;
+
+/// Knobs of a [`TelemetryObserver`]. All deterministic: there is no
+/// time-based sampling anywhere, only counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch. When false every hook returns after one branch and
+    /// the observer allocates nothing.
+    pub enabled: bool,
+    /// Stream every `event_sample`-th decision to the event log
+    /// (1 = every decision; 0 is treated as 1). Sampling only thins the
+    /// log — registry counters always see every event.
+    pub event_sample: u64,
+    /// Queries per episode for phase accounting (0 = one unbounded
+    /// episode).
+    pub episode_len: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            event_sample: 1,
+            episode_len: 1024,
+        }
+    }
+}
+
+/// Per-episode phase counters of one replay.
+///
+/// Episodes are fixed windows of queries — virtual time, the only clock
+/// the workload has — so the profile answers "how did decision mix and
+/// query width evolve over the replay" without a single wall-clock read.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpisodeStats {
+    /// Queries replayed in this episode.
+    pub queries: u64,
+    /// Object slices served (accesses).
+    pub slices: u64,
+    /// Policy decisions taken (slices that consulted a policy).
+    pub decisions: u64,
+    /// Objects evicted.
+    pub evictions: u64,
+}
+
+impl EpisodeStats {
+    fn absorb(&mut self, other: &EpisodeStats) {
+        self.queries += other.queries;
+        self.slices += other.slices;
+        self.decisions += other.decisions;
+        self.evictions += other.evictions;
+    }
+
+    fn is_empty(&self) -> bool {
+        *self == EpisodeStats::default()
+    }
+}
+
+/// Wall-clock-free phase accounting: a sequence of [`EpisodeStats`]
+/// windows over the replay's query stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    episode_len: u64,
+    closed: Vec<EpisodeStats>,
+    current: EpisodeStats,
+}
+
+impl PhaseProfile {
+    /// A profile rolling a new episode every `episode_len` queries
+    /// (0 = never roll: one unbounded episode).
+    pub fn new(episode_len: u64) -> Self {
+        PhaseProfile {
+            episode_len,
+            closed: Vec::new(),
+            current: EpisodeStats::default(),
+        }
+    }
+
+    /// Account one finished query.
+    pub fn observe_query(&mut self, slices: u64, decisions: u64, evictions: u64) {
+        self.current.queries += 1;
+        self.current.slices += slices;
+        self.current.decisions += decisions;
+        self.current.evictions += evictions;
+        if self.episode_len > 0 && self.current.queries >= self.episode_len {
+            self.closed.push(self.current);
+            self.current = EpisodeStats::default();
+        }
+    }
+
+    /// Every episode in replay order, including the trailing partial one.
+    pub fn episodes(&self) -> Vec<EpisodeStats> {
+        let mut out = self.closed.clone();
+        if !self.current.is_empty() {
+            out.push(self.current);
+        }
+        out
+    }
+
+    /// Whole-replay totals across all episodes.
+    pub fn totals(&self) -> EpisodeStats {
+        let mut total = EpisodeStats::default();
+        for e in &self.closed {
+            total.absorb(e);
+        }
+        total.absorb(&self.current);
+        total
+    }
+
+    /// Fold another profile in: this profile's trailing partial episode
+    /// is closed (if non-empty), then the other's episodes are appended
+    /// in order. Used when the registry merges snapshots of the same
+    /// policy from consecutive runs.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        if !self.current.is_empty() {
+            self.closed.push(self.current);
+            self.current = EpisodeStats::default();
+        }
+        self.closed.extend(other.closed.iter().copied());
+        if !other.current.is_empty() {
+            self.closed.push(other.current);
+        }
+    }
+}
+
+/// The telemetry [`Observer`]: accumulates one policy's
+/// [`PolicyMetrics`] and optionally streams sampled per-decision
+/// [`EventRecord`]s to an [`EventLogWriter`].
+///
+/// Strictly read-only over the event stream — attach it to any replay
+/// without changing a single byte of the replay's reports.
+pub struct TelemetryObserver {
+    config: TelemetryConfig,
+    metrics: PolicyMetrics,
+    /// Query ordinal of each object's previous access (reuse gaps).
+    last_seen: BTreeMap<ObjectId, u64>,
+    slices_this_query: u64,
+    decisions_this_query: u64,
+    evictions_this_query: u64,
+    events_seen: u64,
+    writer: Option<EventLogWriter>,
+}
+
+impl TelemetryObserver {
+    /// An enabled observer for `policy` with default knobs and no event
+    /// log.
+    pub fn new(policy: &str) -> Self {
+        Self::with_config(policy, TelemetryConfig::default())
+    }
+
+    /// A disabled observer: every hook returns after one branch. Used to
+    /// measure (and bound) the cost of keeping telemetry compiled in.
+    pub fn disabled(policy: &str) -> Self {
+        Self::with_config(
+            policy,
+            TelemetryConfig {
+                enabled: false,
+                ..TelemetryConfig::default()
+            },
+        )
+    }
+
+    /// An observer with explicit knobs.
+    pub fn with_config(policy: &str, config: TelemetryConfig) -> Self {
+        let mut metrics = PolicyMetrics::new(policy);
+        metrics.episodes = PhaseProfile::new(config.episode_len);
+        TelemetryObserver {
+            config,
+            metrics,
+            last_seen: BTreeMap::new(),
+            slices_this_query: 0,
+            decisions_this_query: 0,
+            evictions_this_query: 0,
+            events_seen: 0,
+            writer: None,
+        }
+    }
+
+    /// Attach an event log; sampled decision records stream into it.
+    pub fn with_event_log(mut self, writer: EventLogWriter) -> Self {
+        self.writer = Some(writer);
+        self
+    }
+
+    /// The metrics accumulated so far.
+    pub fn metrics(&self) -> &PolicyMetrics {
+        &self.metrics
+    }
+
+    /// Finish: flush the event log (if any) and hand back the metrics
+    /// plus the log's deferred IO outcome. Log IO errors are *deferred* —
+    /// the hot path never checks them — and surface only here.
+    pub fn into_parts(self) -> (PolicyMetrics, byc_types::Result<()>) {
+        let io = match self.writer {
+            Some(writer) => writer.finish().map(|_| ()),
+            None => Ok(()),
+        };
+        (self.metrics, io)
+    }
+}
+
+impl Observer for TelemetryObserver {
+    fn on_query_start(&mut self, _index: usize, _query: &TraceQuery) {
+        if !self.config.enabled {
+            return;
+        }
+        self.slices_this_query = 0;
+        self.decisions_this_query = 0;
+        self.evictions_this_query = 0;
+    }
+
+    fn on_access(&mut self, event: &CostEvent<'_>) {
+        if !self.config.enabled {
+            return;
+        }
+        self.metrics.accesses += 1;
+        self.slices_this_query += 1;
+        if event.decision.is_some() {
+            self.decisions_this_query += 1;
+        }
+        self.evictions_this_query += event.evictions;
+
+        // Class by cache footprint when a policy saw the access; the
+        // query-level path (no policy, no size) falls back to the
+        // delivered bytes — the only size signal that path has.
+        let size = event.access.map_or(event.delivered, |a| a.size);
+        let key = SeriesKey {
+            server: event.server,
+            class: ObjectClass::of(size),
+        };
+        let series = self.metrics.series.entry(key).or_default();
+        series.window.absorb(event);
+        series.delivered.record(event.delivered.raw());
+        // Hits are WAN-free; recording them would bury the traffic
+        // distribution under a spike at zero.
+        if event.hits == 0 {
+            series
+                .wan
+                .record((event.bypass_cost + event.fetch_cost).raw());
+        }
+
+        if let Some(policy) = event.policy {
+            self.metrics.occupancy.set(policy.used().raw());
+        }
+
+        let query = event.query as u64;
+        if let Some(prev) = self.last_seen.insert(event.object, query) {
+            self.metrics.reuse_gap.record(query.saturating_sub(prev));
+        }
+
+        if self.writer.is_some() {
+            let stride = self.config.event_sample.max(1);
+            let sampled = self.events_seen.is_multiple_of(stride);
+            self.events_seen += 1;
+            if sampled {
+                let record = EventRecord::from_event(event);
+                if let Some(writer) = self.writer.as_mut() {
+                    writer.record(&record);
+                }
+            }
+        }
+    }
+
+    fn on_query_end(&mut self, _index: usize, _query: &TraceQuery) {
+        if !self.config.enabled {
+            return;
+        }
+        self.metrics.queries += 1;
+        self.metrics.slices_per_query.record(self.slices_this_query);
+        self.metrics.episodes.observe_query(
+            self.slices_this_query,
+            self.decisions_this_query,
+            self.evictions_this_query,
+        );
+    }
+
+    fn finish(&mut self, _policy: Option<&dyn CachePolicy>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_profile_rolls_episodes() {
+        let mut p = PhaseProfile::new(2);
+        p.observe_query(3, 3, 0);
+        p.observe_query(1, 1, 2);
+        p.observe_query(5, 4, 0);
+        let eps = p.episodes();
+        assert_eq!(eps.len(), 2);
+        assert_eq!(
+            eps[0],
+            EpisodeStats {
+                queries: 2,
+                slices: 4,
+                decisions: 4,
+                evictions: 2
+            }
+        );
+        assert_eq!(eps[1].queries, 1);
+        assert_eq!(p.totals().slices, 9);
+    }
+
+    #[test]
+    fn phase_profile_unbounded_episode() {
+        let mut p = PhaseProfile::new(0);
+        for _ in 0..100 {
+            p.observe_query(1, 1, 0);
+        }
+        assert_eq!(p.episodes().len(), 1);
+        assert_eq!(p.totals().queries, 100);
+    }
+
+    #[test]
+    fn phase_profile_merge_preserves_totals() {
+        let mut a = PhaseProfile::new(2);
+        a.observe_query(1, 1, 0);
+        let mut b = PhaseProfile::new(2);
+        b.observe_query(2, 2, 1);
+        b.observe_query(2, 2, 0);
+        a.merge(&b);
+        assert_eq!(a.totals().queries, 3);
+        assert_eq!(a.totals().slices, 5);
+        assert_eq!(a.totals().evictions, 1);
+        assert_eq!(a.episodes().len(), 2);
+    }
+
+    #[test]
+    fn disabled_observer_accumulates_nothing() {
+        let obs = TelemetryObserver::disabled("x");
+        assert!(!obs.config.enabled);
+        let (metrics, io) = obs.into_parts();
+        assert_eq!(metrics.queries, 0);
+        assert!(metrics.series.is_empty());
+        assert!(io.is_ok());
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end telemetry contracts over real replays:
+//!
+//! * an unsampled NDJSON event log, written during a replay and parsed
+//!   back, sums to exactly the replay's `D_S`/`D_L`/`D_C` — the log is a
+//!   complete witness of the accounting;
+//! * sampling thins the log without touching registry counters;
+//! * the registry built by [`sweep_cache_sizes_with`] matches the
+//!   sweep's own reports point for point.
+
+use byc_catalog::sdss::{build, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_federation::{
+    replay_with_observers, simulator::ReplayOptions, sweep_cache_sizes_with, PerServerMultipliers,
+    PolicyKind,
+};
+use byc_telemetry::{
+    read_events, EventLogWriter, MetricsRegistry, TelemetryConfig, TelemetryObserver,
+};
+use byc_types::Bytes;
+use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use std::sync::{Arc, Mutex};
+
+/// An in-memory sink the test keeps a handle to after the writer took
+/// ownership of its `Box`.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn text(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+fn setup(servers: u32) -> (byc_workload::Trace, ObjectCatalog, WorkloadStats) {
+    let cat = build(SdssRelease::Edr, 1e-3, servers);
+    let trace = generate(&cat, &WorkloadConfig::smoke(43, 800)).unwrap();
+    let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
+    let stats = WorkloadStats::compute(&trace, &objects);
+    (trace, objects, stats)
+}
+
+#[test]
+fn unsampled_event_log_reproduces_cost_totals() {
+    let (trace, objects, stats) = setup(3);
+    let net = PerServerMultipliers::new(vec![1.0, 2.0, 4.0]).unwrap();
+    let capacity = objects.total_size().scale(0.3);
+    let mut policy =
+        byc_federation::build_policy(PolicyKind::SpaceEffBY, capacity, &stats.demands, 7);
+
+    let sink = SharedBuf::default();
+    let writer = EventLogWriter::new(Box::new(sink.clone()), "SpaceEffBY");
+    let mut telemetry = TelemetryObserver::new("SpaceEffBY").with_event_log(writer);
+    let options = ReplayOptions {
+        network: Some(&net),
+        ..ReplayOptions::default()
+    };
+    let replay = replay_with_observers(
+        &trace,
+        &objects,
+        policy.as_mut(),
+        options,
+        &mut [&mut telemetry],
+    );
+    let (metrics, io) = telemetry.into_parts();
+    io.unwrap();
+
+    let log = read_events(&sink.text()).unwrap();
+    assert_eq!(log.policy, "SpaceEffBY");
+    let totals = log.totals();
+    let report = &replay.report;
+
+    // The log's sums ARE the replay's accounting, byte for byte.
+    assert_eq!(totals.bypass_cost, report.bypass_cost, "D_S");
+    assert_eq!(totals.fetch_cost, report.fetch_cost, "D_L");
+    assert_eq!(totals.cache_served, report.cache_served, "D_C");
+    assert_eq!(totals.delivered, report.sequence_cost, "D_A");
+    assert_eq!(totals.wan_cost(), report.total_cost(), "D_S + D_L");
+    assert_eq!(totals.hits, report.hits);
+    assert_eq!(totals.bypasses, report.bypasses);
+    assert_eq!(totals.loads, report.loads);
+    assert_eq!(totals.evictions, report.evictions);
+    assert_eq!(log.events.len() as u64, metrics.accesses);
+
+    // A heterogeneous network makes the replay exercise real pricing.
+    assert!(report.bypass_cost > report.bypass_served);
+
+    // Occupancy in the log is bounded by capacity and actually moves.
+    assert!(log.events.iter().all(|e| e.occupancy <= capacity));
+    assert!(log.events.iter().any(|e| e.occupancy > Bytes::ZERO));
+}
+
+#[test]
+fn sampling_thins_the_log_but_not_the_registry() {
+    let (trace, objects, stats) = setup(1);
+    let capacity = objects.total_size().scale(0.3);
+
+    let run = |sample: u64| {
+        let mut policy = byc_federation::build_policy(PolicyKind::Lru, capacity, &stats.demands, 7);
+        let sink = SharedBuf::default();
+        let writer = EventLogWriter::new(Box::new(sink.clone()), "LRU");
+        let config = TelemetryConfig {
+            event_sample: sample,
+            ..TelemetryConfig::default()
+        };
+        let mut telemetry = TelemetryObserver::with_config("LRU", config).with_event_log(writer);
+        replay_with_observers(
+            &trace,
+            &objects,
+            policy.as_mut(),
+            ReplayOptions::default(),
+            &mut [&mut telemetry],
+        );
+        let (metrics, io) = telemetry.into_parts();
+        io.unwrap();
+        (metrics, read_events(&sink.text()).unwrap())
+    };
+
+    let (full_metrics, full_log) = run(1);
+    let (sampled_metrics, sampled_log) = run(10);
+
+    // Registry counters are sampling-independent.
+    assert_eq!(full_metrics, sampled_metrics);
+    // The log itself thins by the stride (ceil division: every 10th).
+    let expected = full_log.events.len().div_ceil(10);
+    assert_eq!(sampled_log.events.len(), expected);
+    assert!(sampled_log.events.len() < full_log.events.len());
+}
+
+#[test]
+fn sweep_registry_matches_sweep_reports() {
+    let (trace, objects, stats) = setup(2);
+    let net = PerServerMultipliers::new(vec![1.0, 3.0]).unwrap();
+    let kinds = [PolicyKind::Gds, PolicyKind::SpaceEffBY];
+    let fractions = [0.2, 0.5];
+
+    let results = sweep_cache_sizes_with(
+        &trace,
+        &objects,
+        &stats.demands,
+        &kinds,
+        &fractions,
+        7,
+        &net,
+        // Label per (policy, fraction) so one registry can hold the whole
+        // grid without merging distinct sweep points.
+        |kind, fraction| TelemetryObserver::new(&format!("{}@{:.2}", kind.label(), fraction)),
+    );
+    assert_eq!(results.len(), kinds.len() * fractions.len());
+
+    let mut registry = MetricsRegistry::new();
+    for (point, observer) in results {
+        let (metrics, io) = observer.into_parts();
+        io.unwrap();
+        let totals = metrics.totals();
+        assert_eq!(
+            totals.bypass_cost, point.report.bypass_cost,
+            "{}",
+            point.policy
+        );
+        assert_eq!(
+            totals.fetch_cost, point.report.fetch_cost,
+            "{}",
+            point.policy
+        );
+        assert_eq!(
+            totals.cache_served, point.report.cache_served,
+            "{}",
+            point.policy
+        );
+        assert_eq!(totals.hits, point.report.hits, "{}", point.policy);
+        registry.absorb(metrics);
+    }
+    assert_eq!(registry.len(), kinds.len() * fractions.len());
+    let text = byc_telemetry::prometheus_text(&registry);
+    assert!(text.contains("policy=\"GDS@0.20\""));
+    assert!(text.contains("policy=\"SpaceEffBY@0.50\""));
+}

@@ -1,0 +1,127 @@
+//! Property-based tests pinning telemetry to the engine's accounting.
+//!
+//! The registry is an *independent re-derivation* of the replay's costs:
+//! [`TelemetryObserver`] absorbs the same event stream as the engine's
+//! `CostObserver`, bucketed by `(server, object-class)` instead of
+//! globally. For every shipped policy, under arbitrary per-server
+//! pricing, the registry's totals must therefore equal the engine's
+//! `CostReport` field for field — and attaching telemetry must not
+//! change the report by a single byte.
+
+use byc_catalog::sdss::{self, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_federation::{
+    build_policy, CostObserver, Observer, PerServerMultipliers, PolicyKind, ReplayEngine,
+};
+use byc_telemetry::{MetricsRegistry, TelemetryObserver};
+use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use proptest::prelude::*;
+
+/// Every policy the roster can build, not just the headline lineup.
+const ALL_POLICIES: [PolicyKind; 13] = [
+    PolicyKind::RateProfile,
+    PolicyKind::OnlineBY,
+    PolicyKind::OnlineBYMarking,
+    PolicyKind::SpaceEffBY,
+    PolicyKind::Gds,
+    PolicyKind::Gdsp,
+    PolicyKind::Lru,
+    PolicyKind::Lfu,
+    PolicyKind::LruK,
+    PolicyKind::Lff,
+    PolicyKind::GdStar,
+    PolicyKind::Static,
+    PolicyKind::NoCache,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For arbitrary pricing and every shipped policy, the registry's
+    /// per-policy totals equal the engine's `CostReport`, the replayed
+    /// report is identical with and without telemetry attached, and the
+    /// registry's structural counters are internally consistent.
+    #[test]
+    fn registry_totals_equal_cost_report(
+        seed in any::<u64>(),
+        servers in 1u32..5,
+        multipliers in proptest::collection::vec(0.25f64..8.0, 1..5),
+        cache_fraction in 0.05f64..0.6,
+    ) {
+        let catalog = sdss::build(SdssRelease::Edr, 1e-4, servers);
+        let trace = generate(&catalog, &WorkloadConfig::smoke(seed, 150)).unwrap();
+        let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let network = PerServerMultipliers::new(multipliers).unwrap();
+        let capacity = objects.total_size().scale(cache_fraction);
+        let mut registry = MetricsRegistry::new();
+        for kind in ALL_POLICIES {
+            let engine = ReplayEngine::with_network(&objects, &network);
+
+            // Reference replay: no telemetry anywhere near it.
+            let mut bare = build_policy(kind, capacity, &stats.demands, seed);
+            let mut bare_cost = CostObserver::new(
+                bare.name(), &trace.name, objects.granularity().label(),
+            );
+            engine.replay(&trace, bare.as_mut(), &mut [&mut bare_cost]);
+            let bare_report = bare_cost.into_report();
+
+            // Instrumented replay of the identical configuration.
+            let mut policy = build_policy(kind, capacity, &stats.demands, seed);
+            let mut cost = CostObserver::new(
+                policy.name(), &trace.name, objects.granularity().label(),
+            );
+            let mut telemetry = TelemetryObserver::new(kind.label());
+            {
+                let mut observers: Vec<&mut dyn Observer> =
+                    vec![&mut cost, &mut telemetry];
+                engine.replay(&trace, policy.as_mut(), &mut observers);
+            }
+            let report = cost.into_report();
+            prop_assert_eq!(
+                &report, &bare_report,
+                "{:?}: telemetry changed the replay's report", kind
+            );
+
+            let (metrics, io) = telemetry.into_parts();
+            prop_assert!(io.is_ok(), "{kind:?}: no event log, no IO error");
+            prop_assert_eq!(metrics.queries as usize, report.queries, "{:?} queries", kind);
+
+            let totals = metrics.totals();
+            prop_assert_eq!(totals.delivered, report.sequence_cost, "{:?} delivered", kind);
+            prop_assert_eq!(totals.bypass_served, report.bypass_served, "{:?} bypass_served", kind);
+            prop_assert_eq!(totals.bypass_cost, report.bypass_cost, "{:?} D_S", kind);
+            prop_assert_eq!(totals.fetch_cost, report.fetch_cost, "{:?} D_L", kind);
+            prop_assert_eq!(totals.cache_served, report.cache_served, "{:?} D_C", kind);
+            prop_assert_eq!(totals.hits, report.hits, "{:?} hits", kind);
+            prop_assert_eq!(totals.bypasses, report.bypasses, "{:?} bypasses", kind);
+            prop_assert_eq!(totals.loads, report.loads, "{:?} loads", kind);
+            prop_assert_eq!(totals.evictions, report.evictions, "{:?} evictions", kind);
+
+            // Structural consistency: per-series decisions sum to the
+            // access count, every series conserves delivery, servers are
+            // real, and phase totals re-count the same stream.
+            prop_assert_eq!(totals.decisions(), metrics.accesses, "{:?} accesses", kind);
+            for (key, series) in &metrics.series {
+                prop_assert!(key.server.raw() < servers, "{kind:?} unknown server");
+                prop_assert!(
+                    series.window.conserves_delivery(),
+                    "{kind:?} series {key:?} conservation"
+                );
+                prop_assert_eq!(
+                    series.delivered.count(),
+                    series.window.decisions(),
+                    "{:?} {:?} delivered histogram count", kind, key
+                );
+            }
+            let phases = metrics.episodes.totals();
+            prop_assert_eq!(phases.queries, metrics.queries, "{:?} phase queries", kind);
+            prop_assert_eq!(phases.slices, metrics.accesses, "{:?} phase slices", kind);
+            prop_assert_eq!(phases.evictions, totals.evictions, "{:?} phase evictions", kind);
+
+            registry.absorb(metrics);
+        }
+        // One registry held all 13 policies side by side without mixing.
+        prop_assert_eq!(registry.len(), ALL_POLICIES.len());
+    }
+}

@@ -110,6 +110,9 @@ fn cli_gen_and_run_compose() {
         seed: 11,
         servers: 1,
         multipliers: None,
+        trace_events: None,
+        metrics: None,
+        metrics_format: byc_telemetry::MetricsFormat::Prometheus,
     };
     let out = byc_cli::commands::run_command(run).unwrap();
     assert!(out.contains("GDS"), "{out}");
