@@ -103,6 +103,8 @@ pub fn render_server_table(title: &str, servers: &[ServerCosts]) -> String {
         total.bypass_cost += s.bypass_cost;
         total.fetch_cost += s.fetch_cost;
         total.cache_served += s.cache_served;
+        total.retried_bytes += s.retried_bytes;
+        total.failed_bytes += s.failed_bytes;
         total.hits += s.hits;
         total.bypasses += s.bypasses;
         total.loads += s.loads;
@@ -272,6 +274,7 @@ mod tests {
             bypasses: 0,
             loads: 0,
             evictions: 0,
+            ..Default::default()
         }
     }
 

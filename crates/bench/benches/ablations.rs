@@ -5,10 +5,19 @@
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
+use byc_core::policy::CachePolicy;
 use byc_core::rate_profile::{RateProfile, RateProfileConfig};
-use byc_federation::{build_policy, replay, PolicyKind};
-use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use byc_federation::{build_policy, CostReport, PolicyKind, ReplaySession};
+use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn replay(trace: &Trace, objects: &ObjectCatalog, policy: &mut dyn CachePolicy) -> CostReport {
+    ReplaySession::new(trace, objects)
+        .policy(policy)
+        .run()
+        .unwrap()
+        .report
+}
 
 fn rate_profile_variants() -> Vec<(&'static str, RateProfileConfig)> {
     vec![

@@ -10,10 +10,18 @@ use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
 use byc_core::policy::{CachePolicy, Decision};
 use byc_federation::simulator::accesses_of;
-use byc_federation::{build_policy, replay, PolicyKind};
+use byc_federation::{build_policy, CostReport, PolicyKind, ReplaySession};
 use byc_types::{Bytes, Tick};
 use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn replay(trace: &Trace, objects: &ObjectCatalog, policy: &mut dyn CachePolicy) -> CostReport {
+    ReplaySession::new(trace, objects)
+        .policy(policy)
+        .run()
+        .unwrap()
+        .report
+}
 
 /// The shape of the replay loop before the engine existed: decompose,
 /// ask the policy, accumulate the full cost breakdown inline. No events,

@@ -7,9 +7,18 @@
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{build_policy, replay, PolicyKind};
-use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use byc_core::policy::CachePolicy;
+use byc_federation::{build_policy, CostReport, PolicyKind, ReplaySession};
+use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn replay(trace: &Trace, objects: &ObjectCatalog, policy: &mut dyn CachePolicy) -> CostReport {
+    ReplaySession::new(trace, objects)
+        .policy(policy)
+        .run()
+        .unwrap()
+        .report
+}
 
 fn bench_replay(c: &mut Criterion) {
     let catalog = build(SdssRelease::Edr, 1e-2, 1);

@@ -3,7 +3,7 @@
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{build_policy, replay, sweep_cache_sizes, PolicyKind, Uniform};
+use byc_federation::{build_policy, PolicyKind, ReplaySession, Uniform};
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -23,16 +23,11 @@ fn bench_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_12_replays");
     group.bench_function("parallel", |b| {
         b.iter(|| {
-            sweep_cache_sizes(
-                &trace,
-                &objects,
-                &stats.demands,
-                &POLICIES,
-                &FRACTIONS,
-                17,
-                &Uniform,
-            )
-            .len()
+            ReplaySession::new(&trace, &objects)
+                .network(&Uniform)
+                .sweep(&POLICIES, &FRACTIONS, &stats.demands, 17)
+                .unwrap()
+                .len()
         })
     });
     group.bench_function("serial", |b| {
@@ -42,7 +37,13 @@ fn bench_sweep(c: &mut Criterion) {
             for kind in POLICIES {
                 for &f in &FRACTIONS {
                     let mut policy = build_policy(kind, db.scale(f), &stats.demands, 17);
-                    total += replay(&trace, &objects, policy.as_mut()).total_cost().raw();
+                    total += ReplaySession::new(&trace, &objects)
+                        .policy(policy.as_mut())
+                        .run()
+                        .unwrap()
+                        .report
+                        .total_cost()
+                        .raw();
                 }
             }
             total

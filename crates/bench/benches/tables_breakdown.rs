@@ -5,9 +5,18 @@
 use byc_analysis::render_cost_table;
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{build_policy, replay, CostReport, PolicyKind};
-use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use byc_core::policy::CachePolicy;
+use byc_federation::{build_policy, CostReport, PolicyKind, ReplaySession};
+use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
 use criterion::{criterion_group, criterion_main, Criterion};
+
+fn replay(trace: &Trace, objects: &ObjectCatalog, policy: &mut dyn CachePolicy) -> CostReport {
+    ReplaySession::new(trace, objects)
+        .policy(policy)
+        .run()
+        .unwrap()
+        .report
+}
 
 fn reports() -> Vec<CostReport> {
     let mut out = Vec::new();

@@ -18,8 +18,7 @@
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::simulator::ReplayOptions;
-use byc_federation::{build_policy, replay_with_observers, Observer, PolicyKind};
+use byc_federation::{build_policy, PolicyKind, ReplaySession};
 use byc_telemetry::{EventLogWriter, TelemetryObserver};
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -51,15 +50,12 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("bare", kind.label()), &kind, |b, &kind| {
             b.iter(|| {
                 let mut policy = build_policy(kind, capacity, &stats.demands, 29);
-                replay_with_observers(
-                    &trace,
-                    &objects,
-                    policy.as_mut(),
-                    ReplayOptions::default(),
-                    &mut [],
-                )
-                .report
-                .total_cost()
+                ReplaySession::new(&trace, &objects)
+                    .policy(policy.as_mut())
+                    .run()
+                    .unwrap()
+                    .report
+                    .total_cost()
             })
         });
         group.bench_with_input(
@@ -69,16 +65,13 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
                 b.iter(|| {
                     let mut policy = build_policy(kind, capacity, &stats.demands, 29);
                     let mut telemetry = TelemetryObserver::disabled(kind.label());
-                    let mut observers: Vec<&mut dyn Observer> = vec![&mut telemetry];
-                    replay_with_observers(
-                        &trace,
-                        &objects,
-                        policy.as_mut(),
-                        ReplayOptions::default(),
-                        &mut observers,
-                    )
-                    .report
-                    .total_cost()
+                    ReplaySession::new(&trace, &objects)
+                        .policy(policy.as_mut())
+                        .observe(&mut telemetry)
+                        .run()
+                        .unwrap()
+                        .report
+                        .total_cost()
                 })
             },
         );
@@ -90,16 +83,13 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
                     let mut policy = build_policy(kind, capacity, &stats.demands, 29);
                     let mut telemetry = TelemetryObserver::new(kind.label())
                         .with_event_log(EventLogWriter::new(Box::new(NullSink), kind.label()));
-                    let mut observers: Vec<&mut dyn Observer> = vec![&mut telemetry];
-                    let cost = replay_with_observers(
-                        &trace,
-                        &objects,
-                        policy.as_mut(),
-                        ReplayOptions::default(),
-                        &mut observers,
-                    )
-                    .report
-                    .total_cost();
+                    let cost = ReplaySession::new(&trace, &objects)
+                        .policy(policy.as_mut())
+                        .observe(&mut telemetry)
+                        .run()
+                        .unwrap()
+                        .report
+                        .total_cost();
                     let (snapshot, io) = telemetry.into_parts();
                     assert!(io.is_ok());
                     (cost, snapshot.accesses)

@@ -8,9 +8,8 @@ use byc_catalog::sdss::{self, SdssRelease};
 use byc_catalog::{Catalog, Granularity, ObjectCatalog};
 use byc_core::rate_profile::{RateProfile, RateProfileConfig};
 use byc_federation::{
-    build_policy, replay, replay_with_series, sweep_cache_sizes, CostObserver, CostReport,
-    Observer, PerServerMultipliers, PerServerObserver, PolicyKind, ReplayEngine, SeriesPoint,
-    Uniform,
+    build_policy, CostObserver, CostReport, Observer, PerServerMultipliers, PerServerObserver,
+    PolicyKind, ReplayEngine, ReplaySession, SeriesPoint, Uniform,
 };
 use byc_types::Result;
 use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
@@ -29,6 +28,20 @@ pub const SWEEP_FRACTIONS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 
 
 /// The random seed all headline experiments use.
 pub const EXPERIMENT_SEED: u64 = 42;
+
+/// One replay via the session API, reduced to its cost report. The
+/// policy is always supplied, so the configuration error is unreachable.
+fn replay_report(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    policy: &mut dyn byc_core::policy::CachePolicy,
+) -> CostReport {
+    ReplaySession::new(trace, objects)
+        .policy(policy)
+        .run()
+        .map(|r| r.report)
+        .unwrap_or_default()
+}
 
 /// Result of one experiment: a summary plus written artifact paths.
 #[derive(Clone, Debug)]
@@ -237,7 +250,11 @@ fn cumulative_fig(
     let mut finals: Vec<(String, f64)> = Vec::new();
     for kind in SERIES_POLICIES {
         let mut policy = build_policy(kind, capacity, &stats.demands, EXPERIMENT_SEED);
-        let (report, points) = replay_with_series(trace, &objects, policy.as_mut(), sample);
+        let replay = ReplaySession::new(trace, &objects)
+            .policy(policy.as_mut())
+            .series(sample)
+            .run()?;
+        let (report, points) = (replay.report, replay.series);
         finals.push((kind.label().to_string(), report.total_cost().as_f64() / 1e9));
         series.push((kind.label().to_string(), points));
     }
@@ -285,15 +302,9 @@ fn sweep_fig(
         PolicyKind::Gds,
         PolicyKind::Static,
     ];
-    let points = sweep_cache_sizes(
-        trace,
-        &objects,
-        &stats.demands,
-        &policies,
-        &SWEEP_FRACTIONS,
-        EXPERIMENT_SEED,
-        &Uniform,
-    );
+    let points = ReplaySession::new(trace, &objects)
+        .network(&Uniform)
+        .sweep(&policies, &SWEEP_FRACTIONS, &stats.demands, EXPERIMENT_SEED)?;
     let path = ctx.artifact(&format!("{id}_{}_sweep.csv", granularity.label()))?;
     write_sweep_csv(&path, &points)?;
     let mut summary = String::new();
@@ -356,7 +367,7 @@ fn cost_table(
         let capacity = objects.total_size().scale(HEADLINE_CACHE_FRACTION);
         for kind in TABLE_POLICIES {
             let mut policy = build_policy(kind, capacity, &stats.demands, EXPERIMENT_SEED);
-            reports.push(replay(trace, &objects, policy.as_mut()));
+            reports.push(replay_report(trace, &objects, policy.as_mut()));
         }
         // Capacity-relaxed offline lower bound: no policy can beat this.
         let accesses: Vec<byc_core::access::Access> = trace
@@ -412,7 +423,7 @@ pub fn ablations(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
     let mut rows: Vec<(String, f64)> = Vec::new();
     let run_rp = |label: &str, config: RateProfileConfig, rows: &mut Vec<(String, f64)>| {
         let mut policy = RateProfile::new(capacity, config);
-        let report = replay(trace, &objects, &mut policy);
+        let report = replay_report(trace, &objects, &mut policy);
         rows.push((label.to_string(), report.total_cost().as_f64() / 1e9));
     };
     run_rp(
@@ -470,7 +481,7 @@ pub fn ablations(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
     );
     for kind in [PolicyKind::OnlineBY, PolicyKind::OnlineBYMarking] {
         let mut policy = build_policy(kind, capacity, &stats.demands, EXPERIMENT_SEED);
-        let report = replay(trace, &objects, policy.as_mut());
+        let report = replay_report(trace, &objects, policy.as_mut());
         rows.push((
             format!(
                 "OnlineBY with {}",
@@ -486,7 +497,7 @@ pub fn ablations(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
     // SpaceEffBY seed sensitivity.
     for seed in [1u64, 2, 3] {
         let mut policy = build_policy(PolicyKind::SpaceEffBY, capacity, &stats.demands, seed);
-        let report = replay(trace, &objects, policy.as_mut());
+        let report = replay_report(trace, &objects, policy.as_mut());
         rows.push((
             format!("SpaceEffBY seed {seed}"),
             report.total_cost().as_f64() / 1e9,
@@ -526,7 +537,7 @@ pub fn semantic(ctx: &mut ExperimentContext) -> Result<ExperimentOutput> {
         &stats.demands,
         EXPERIMENT_SEED,
     );
-    let rp_report = replay(trace, &objects, rp.as_mut());
+    let rp_report = replay_report(trace, &objects, rp.as_mut());
 
     let mut summary = String::new();
     let _ = writeln!(

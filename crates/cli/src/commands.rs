@@ -7,13 +7,13 @@ use byc_analysis::{
 use byc_catalog::sdss::{self, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
 use byc_federation::{
-    build_policy, sweep_cache_sizes, sweep_cache_sizes_with, CostObserver, NetworkModel, Observer,
-    PerServerMultipliers, PerServerObserver, PolicyKind, ReplayEngine, Uniform,
+    build_policy, DegradationPolicy, FaultModel, FlakyLinks, NetworkModel, Outage, OutageWindows,
+    PerServerMultipliers, PerServerObserver, PolicyKind, ReplaySession, RetryPolicy, Uniform,
 };
 use byc_telemetry::{
     write_metrics, EventLogWriter, MetricsFormat, MetricsRegistry, TelemetryObserver,
 };
-use byc_types::{Error, Result};
+use byc_types::{Error, Result, ServerId, Tick};
 use byc_workload::{generate, io as trace_io, Trace, WorkloadConfig, WorkloadStats};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -58,6 +58,14 @@ pub enum Command {
         metrics: Option<PathBuf>,
         /// Export format for `--metrics`.
         metrics_format: MetricsFormat,
+        /// Fault-model spec (None = fault-free; see `--faults` grammar).
+        faults: Option<String>,
+        /// Transfer attempts per slice (1 = no retries).
+        retry: u32,
+        /// Seed for stochastic fault models (None = the main `--seed`).
+        fault_seed: Option<u64>,
+        /// Degradation fallback when retries are exhausted ("stale"/"fail").
+        degrade: String,
     },
     /// Sweep cache sizes for a set of policies.
     Sweep {
@@ -77,6 +85,14 @@ pub enum Command {
         metrics: Option<PathBuf>,
         /// Export format for `--metrics`.
         metrics_format: MetricsFormat,
+        /// Fault-model spec (None = fault-free; see `--faults` grammar).
+        faults: Option<String>,
+        /// Transfer attempts per slice (1 = no retries).
+        retry: u32,
+        /// Seed for stochastic fault models (None = the main `--seed`).
+        fault_seed: Option<u64>,
+        /// Degradation fallback when retries are exhausted ("stale"/"fail").
+        degrade: String,
     },
     /// Workload analyses: containment and schema locality.
     Analyze {
@@ -137,6 +153,93 @@ fn build_network(multipliers: &Option<Vec<f64>>) -> Result<Box<dyn NetworkModel>
         Some(m) => Box::new(PerServerMultipliers::new(m.clone())?),
         None => Box::new(Uniform),
     })
+}
+
+/// Backoff unit for `--retry`, in query-index ticks: attempt `i` runs at
+/// `t + 2^(i-1) - 1`, so a three-attempt budget can ride out an outage
+/// window a few queries long.
+const RETRY_BACKOFF_BASE: u64 = 1;
+
+fn parse_degradation(name: &str) -> Result<DegradationPolicy> {
+    match name.to_ascii_lowercase().as_str() {
+        "stale" | "serve-stale" => Ok(DegradationPolicy::ServeStale),
+        "fail" => Ok(DegradationPolicy::Fail),
+        other => Err(Error::InvalidConfig(format!(
+            "unknown degradation {other:?} (expected stale or fail)"
+        ))),
+    }
+}
+
+/// Parse a `--faults` spec into a fault model. Grammar:
+///
+/// * `none` — no fault layer (the exact fault-free path);
+/// * `outage:SERVER@START..END[,SERVER@START..END...]` — scheduled
+///   per-server downtime in query-index time (half-open windows);
+/// * `flaky:p=0.01[,spike=0.05x4]` — seeded per-attempt failure
+///   probability, optionally with a cost-spike probability and multiplier.
+fn parse_faults(spec: &str, seed: u64) -> Result<Option<Box<dyn FaultModel>>> {
+    if spec.eq_ignore_ascii_case("none") {
+        return Ok(None);
+    }
+    if let Some(body) = spec.strip_prefix("outage:") {
+        let mut windows = Vec::new();
+        for part in body.split(',') {
+            let window = || {
+                let (server, range) = part.split_once('@')?;
+                let (from, until) = range.split_once("..")?;
+                Some(Outage {
+                    server: ServerId::new(server.trim().parse().ok()?),
+                    from: Tick::new(from.trim().parse().ok()?),
+                    until: Tick::new(until.trim().parse().ok()?),
+                })
+            };
+            windows.push(window().ok_or_else(|| {
+                Error::InvalidConfig(format!(
+                    "bad outage window {part:?} (expected SERVER@START..END)"
+                ))
+            })?);
+        }
+        return Ok(Some(Box::new(OutageWindows::new(windows))));
+    }
+    if let Some(body) = spec.strip_prefix("flaky:") {
+        let mut failure_p: Option<f64> = None;
+        let mut spike_p = 0.0f64;
+        let mut spike_multiplier = 1.0f64;
+        for part in body.split(',') {
+            let part = part.trim();
+            if let Some(v) = part.strip_prefix("p=") {
+                failure_p = Some(v.parse().map_err(|_| {
+                    Error::InvalidConfig(format!("bad flaky failure probability {v:?}"))
+                })?);
+            } else if let Some(v) = part.strip_prefix("spike=") {
+                let spike = || {
+                    let (p, m) = v.split_once('x')?;
+                    Some((p.parse::<f64>().ok()?, m.parse::<f64>().ok()?))
+                };
+                (spike_p, spike_multiplier) = spike().ok_or_else(|| {
+                    Error::InvalidConfig(format!(
+                        "bad spike spec {v:?} (expected PROBxMULTIPLIER, e.g. 0.05x4)"
+                    ))
+                })?;
+            } else {
+                return Err(Error::InvalidConfig(format!(
+                    "unknown flaky parameter {part:?} (expected p=... or spike=...)"
+                )));
+            }
+        }
+        let p = failure_p.ok_or_else(|| {
+            Error::InvalidConfig("flaky faults need a failure probability (p=...)".into())
+        })?;
+        return Ok(Some(Box::new(FlakyLinks::new(
+            seed,
+            p,
+            spike_p,
+            spike_multiplier,
+        ))));
+    }
+    Err(Error::InvalidConfig(format!(
+        "unknown fault spec {spec:?} (expected none, outage:SERVER@START..END, or flaky:p=...)"
+    )))
 }
 
 fn parse_release(name: &str) -> Result<SdssRelease> {
@@ -209,9 +312,11 @@ USAGE:
           [--cache-fraction F] [--scale S] [--seed N]
           [--servers N] [--cost-multipliers A,B,...]
           [--trace-events FILE] [--metrics FILE] [--metrics-format prom|json]
+          [--faults SPEC] [--retry N] [--fault-seed N] [--degrade stale|fail]
   byc sweep <edr|dr1|trace.jsonl> [--granularity table|column] [--scale S] [--seed N]
           [--servers N] [--cost-multipliers A,B,...]
           [--metrics FILE] [--metrics-format prom|json]
+          [--faults SPEC] [--retry N] [--fault-seed N] [--degrade stale|fail]
   byc analyze <edr|dr1|trace.jsonl> [--scale S] [--seed N]
   byc help
 
@@ -228,8 +333,21 @@ TELEMETRY: --trace-events streams one schema-versioned NDJSON record per
           decision (query, object, decision, yield, fetch price,
           occupancy); --metrics writes a registry export — Prometheus
           text by default, JSON with --metrics-format json. In `sweep`,
-          the registry labels each point `policy@fraction`. Either flag
-          also prints the per-(server, object-class) telemetry table.";
+          the registry labels each point `policy@fraction`
+          (`policy@fraction@fault` when a fault layer is active). Either
+          flag also prints the per-(server, object-class) telemetry table.
+
+FAULTS:   --faults injects deterministic WAN faults:
+            none                      fault-free (default)
+            outage:SERVER@START..END  scheduled downtime in query-index
+                                      time, comma-separated windows
+            flaky:p=0.01,spike=0.05x4 seeded per-attempt failure
+                                      probability + cost-spike prob x mult
+          --retry N allows up to N attempts per transfer (exponential
+          backoff in query-index time; retries are charged to the WAN);
+          --fault-seed seeds stochastic models (defaults to --seed);
+          --degrade picks the fallback when retries are exhausted: serve
+          the stale local copy (stale, default) or fail the slice (fail).";
 
 /// Parse raw argument strings into a [`Command`].
 ///
@@ -255,6 +373,10 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "trace-events",
             "metrics",
             "metrics-format",
+            "faults",
+            "retry",
+            "fault-seed",
+            "degrade",
         ],
         "sweep" => &[
             "granularity",
@@ -264,6 +386,10 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "cost-multipliers",
             "metrics",
             "metrics-format",
+            "faults",
+            "retry",
+            "fault-seed",
+            "degrade",
         ],
         "analyze" => &["granularity", "scale", "seed"],
         _ => &[],
@@ -375,6 +501,16 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 trace_events: flags.get("trace-events").map(PathBuf::from),
                 metrics: flags.get("metrics").map(PathBuf::from),
                 metrics_format: flag_format(&flags)?,
+                faults: flags.get("faults").cloned(),
+                retry: flag_u64(&flags, "retry", 1)? as u32,
+                fault_seed: flags
+                    .get("fault-seed")
+                    .map(|_| flag_u64(&flags, "fault-seed", 0))
+                    .transpose()?,
+                degrade: flags
+                    .get("degrade")
+                    .cloned()
+                    .unwrap_or_else(|| "stale".into()),
             })
         }
         "sweep" => {
@@ -392,6 +528,16 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 multipliers,
                 metrics: flags.get("metrics").map(PathBuf::from),
                 metrics_format: flag_format(&flags)?,
+                faults: flags.get("faults").cloned(),
+                retry: flag_u64(&flags, "retry", 1)? as u32,
+                fault_seed: flags
+                    .get("fault-seed")
+                    .map(|_| flag_u64(&flags, "fault-seed", 0))
+                    .transpose()?,
+                degrade: flags
+                    .get("degrade")
+                    .cloned()
+                    .unwrap_or_else(|| "stale".into()),
             })
         }
         "analyze" => Ok(Command::Analyze {
@@ -450,6 +596,10 @@ pub fn run_command(command: Command) -> Result<String> {
             trace_events,
             metrics,
             metrics_format,
+            faults,
+            retry,
+            fault_seed,
+            degrade,
         } => {
             if cache_fraction <= 0.0 || cache_fraction.is_nan() {
                 return Err(Error::InvalidConfig(
@@ -458,6 +608,11 @@ pub fn run_command(command: Command) -> Result<String> {
             }
             let kind = parse_policy(&policy)?;
             let granularity = parse_granularity(&granularity)?;
+            let degradation = parse_degradation(&degrade)?;
+            let fault_model = match &faults {
+                Some(spec) => parse_faults(spec, fault_seed.unwrap_or(seed))?,
+                None => None,
+            };
             let (catalog, trace) = load_trace(&trace, scale, seed, servers.max(1))?;
             let objects = ObjectCatalog::uniform(&catalog, granularity);
             let stats = WorkloadStats::compute(&trace, &objects);
@@ -477,18 +632,22 @@ pub fn run_command(command: Command) -> Result<String> {
                 None
             };
             let (report, server_costs) = {
-                let engine = ReplayEngine::with_network(&objects, network.as_ref());
-                let mut cost =
-                    CostObserver::new(p.name(), &trace.name, objects.granularity().label());
                 let mut per_server = PerServerObserver::new();
-                {
-                    let mut observers: Vec<&mut dyn Observer> = vec![&mut cost, &mut per_server];
-                    if let Some(t) = telemetry.as_mut() {
-                        observers.push(t);
-                    }
-                    engine.replay(&trace, p.as_mut(), &mut observers);
+                let mut session = ReplaySession::new(&trace, &objects)
+                    .policy(p.as_mut())
+                    .network(network.as_ref())
+                    .observe(&mut per_server);
+                if let Some(model) = fault_model.as_deref() {
+                    session = session
+                        .faults(model)
+                        .retry(RetryPolicy::new(retry, RETRY_BACKOFF_BASE))
+                        .degrade(degradation);
                 }
-                (cost.into_report(), per_server.into_costs())
+                if let Some(t) = telemetry.as_mut() {
+                    session = session.observe(t);
+                }
+                let report = session.run()?.report;
+                (report, per_server.into_costs())
             };
             let mut out = render_cost_table(
                 &format!(
@@ -511,6 +670,19 @@ pub fn run_command(command: Command) -> Result<String> {
                 report.reduction_factor(),
                 report.byte_hit_rate() * 100.0
             );
+            if let Some(model) = fault_model.as_deref() {
+                let _ = writeln!(
+                    out,
+                    "faults ({}, degrade {}): retries {} | retried traffic {} | degraded queries {} | failed queries {} | availability {:.2}%",
+                    model.name(),
+                    degradation.label(),
+                    report.retries,
+                    report.retried_bytes,
+                    report.degraded_queries,
+                    report.failed_queries,
+                    report.availability() * 100.0
+                );
+            }
             if server_costs.len() > 1 {
                 let _ = writeln!(out);
                 let _ = write!(
@@ -557,30 +729,56 @@ pub fn run_command(command: Command) -> Result<String> {
             multipliers,
             metrics,
             metrics_format,
+            faults,
+            retry,
+            fault_seed,
+            degrade,
         } => {
             let granularity = parse_granularity(&granularity)?;
+            let degradation = parse_degradation(&degrade)?;
+            let fault_model = match &faults {
+                Some(spec) => parse_faults(spec, fault_seed.unwrap_or(seed))?,
+                None => None,
+            };
             let (catalog, trace) = load_trace(&trace, scale, seed, servers.max(1))?;
             let objects = ObjectCatalog::uniform(&catalog, granularity);
             let stats = WorkloadStats::compute(&trace, &objects);
             let fractions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0];
             let policies = byc_federation::policy_roster();
             let network = build_network(&multipliers)?;
+            let session = || {
+                let mut s = ReplaySession::new(&trace, &objects).network(network.as_ref());
+                if let Some(model) = fault_model.as_deref() {
+                    s = s
+                        .faults(model)
+                        .retry(RetryPolicy::new(retry, RETRY_BACKOFF_BASE))
+                        .degrade(degradation);
+                }
+                s
+            };
+            // Fault-aware points carry the model name in their label, so
+            // faulted and fault-free exports never merge.
+            let fault_suffix = fault_model
+                .as_deref()
+                .map(|m| format!("@{}", m.name()))
+                .unwrap_or_default();
             // Only pay for telemetry when an export was requested.
             let points = if let Some(path) = &metrics {
-                let results = sweep_cache_sizes_with(
-                    &trace,
-                    &objects,
-                    &stats.demands,
+                let results = session().sweep_with(
                     &policies,
                     &fractions,
+                    &stats.demands,
                     seed,
-                    network.as_ref(),
                     // One registry label per sweep point, so distinct
                     // (policy, fraction) cells never merge.
                     |kind, fraction| {
-                        TelemetryObserver::new(&format!("{}@{:.2}", kind.label(), fraction))
+                        TelemetryObserver::new(&format!(
+                            "{}@{:.2}{fault_suffix}",
+                            kind.label(),
+                            fraction
+                        ))
                     },
-                );
+                )?;
                 let mut registry = MetricsRegistry::new();
                 let mut points = Vec::with_capacity(results.len());
                 for (point, observer) in results {
@@ -592,15 +790,7 @@ pub fn run_command(command: Command) -> Result<String> {
                 write_metrics(&registry, metrics_format, path)?;
                 points
             } else {
-                sweep_cache_sizes(
-                    &trace,
-                    &objects,
-                    &stats.demands,
-                    &policies,
-                    &fractions,
-                    seed,
-                    network.as_ref(),
-                )
+                session().sweep(&policies, &fractions, &stats.demands, seed)?
             };
             let mut out = format!(
                 "total WAN cost (GB) vs cache size, {} caching, trace {}\n",
@@ -751,6 +941,10 @@ mod tests {
                 trace_events,
                 metrics,
                 metrics_format,
+                faults,
+                retry,
+                fault_seed,
+                degrade,
             } => {
                 assert_eq!(trace, "edr");
                 assert_eq!(policy, "gds");
@@ -763,6 +957,10 @@ mod tests {
                 assert_eq!(trace_events, None);
                 assert_eq!(metrics, None);
                 assert_eq!(metrics_format, MetricsFormat::Prometheus);
+                assert_eq!(faults, None);
+                assert_eq!(retry, 1);
+                assert_eq!(fault_seed, None);
+                assert_eq!(degrade, "stale");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -877,6 +1075,10 @@ mod tests {
             trace_events: None,
             metrics: None,
             metrics_format: MetricsFormat::Prometheus,
+            faults: None,
+            retry: 1,
+            fault_seed: None,
+            degrade: "stale".into(),
         };
         assert!(run_command(cmd).is_err());
     }
@@ -949,6 +1151,10 @@ mod tests {
             trace_events: None,
             metrics: None,
             metrics_format: MetricsFormat::Prometheus,
+            faults: None,
+            retry: 1,
+            fault_seed: None,
+            degrade: "stale".into(),
         })
         .unwrap_err();
         assert!(err.to_string().contains("different catalog scale"), "{err}");
@@ -1032,6 +1238,10 @@ mod tests {
             trace_events: Some(events.clone()),
             metrics: Some(metrics.clone()),
             metrics_format: MetricsFormat::Json,
+            faults: None,
+            retry: 1,
+            fault_seed: None,
+            degrade: "stale".into(),
         })
         .unwrap();
         assert!(out.contains("wrote decision events to"), "{out}");
@@ -1075,12 +1285,158 @@ mod tests {
             trace_events: None,
             metrics: Some(metrics.clone()),
             metrics_format: MetricsFormat::Prometheus,
+            faults: None,
+            retry: 1,
+            fault_seed: None,
+            degrade: "stale".into(),
         })
         .unwrap();
         assert!(out.contains("wrote metrics (prom) to"), "{out}");
         let text = std::fs::read_to_string(&metrics).unwrap();
         assert!(text.contains("# TYPE byc_hits_total counter"), "{text}");
         assert!(text.contains("policy=\"GDS\""), "{text}");
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "edr",
+            "--policy",
+            "gds",
+            "--faults",
+            "flaky:p=0.01,spike=0.05x4",
+            "--retry",
+            "3",
+            "--fault-seed",
+            "7",
+            "--degrade",
+            "fail",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                faults,
+                retry,
+                fault_seed,
+                degrade,
+                ..
+            } => {
+                assert_eq!(faults.as_deref(), Some("flaky:p=0.01,spike=0.05x4"));
+                assert_eq!(retry, 3);
+                assert_eq!(fault_seed, Some(7));
+                assert_eq!(degrade, "fail");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&args(&["sweep", "edr", "--faults", "outage:0@10..20"])).unwrap();
+        match cmd {
+            Command::Sweep {
+                faults,
+                retry,
+                fault_seed,
+                degrade,
+                ..
+            } => {
+                assert_eq!(faults.as_deref(), Some("outage:0@10..20"));
+                assert_eq!(retry, 1);
+                assert_eq!(fault_seed, None);
+                assert_eq!(degrade, "stale");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_specs_parse_and_reject() {
+        // none → no fault layer.
+        assert!(parse_faults("none", 1).unwrap().is_none());
+        // Outage windows, including multiple.
+        let model = parse_faults("outage:0@10..20,1@5..8", 1).unwrap().unwrap();
+        assert_eq!(model.name(), "outage");
+        // Flaky links, with and without spikes.
+        let model = parse_faults("flaky:p=0.1", 9).unwrap().unwrap();
+        assert_eq!(model.name(), "flaky");
+        let model = parse_faults("flaky:p=0.1,spike=0.05x4", 9)
+            .unwrap()
+            .unwrap();
+        assert_eq!(model.name(), "flaky");
+        // Malformed specs are rejected with the offending fragment.
+        for bad in [
+            "outage:0@10",
+            "outage:x@1..2",
+            "flaky:spike=0.05x4",
+            "flaky:p=x",
+            "flaky:frob=1",
+            "chaos",
+        ] {
+            assert!(parse_faults(bad, 1).is_err(), "{bad} should be rejected");
+        }
+        assert!(parse_degradation("stale").is_ok());
+        assert!(parse_degradation("fail").is_ok());
+        assert!(parse_degradation("shrug").is_err());
+    }
+
+    #[test]
+    fn run_with_outage_reports_fault_columns() {
+        let out = run_command(Command::Run {
+            trace: "edr".into(),
+            policy: "nocache".into(),
+            granularity: "table".into(),
+            cache_fraction: 0.3,
+            scale: 0.001,
+            seed: 5,
+            servers: 1,
+            multipliers: None,
+            trace_events: None,
+            metrics: None,
+            metrics_format: MetricsFormat::Prometheus,
+            faults: Some("outage:0@0..50".into()),
+            retry: 1,
+            fault_seed: None,
+            degrade: "fail".into(),
+        })
+        .unwrap();
+        assert!(out.contains("faults (outage, degrade fail)"), "{out}");
+        assert!(out.contains("failed queries"), "{out}");
+    }
+
+    #[test]
+    fn sweep_metrics_label_carries_fault_name() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("byc-cli-fault-sweep-{}.jsonl", std::process::id()));
+        let metrics = dir.join(format!("byc-cli-fault-sweep-{}.prom", std::process::id()));
+        run_command(Command::GenTrace {
+            release: "edr".into(),
+            out: trace.clone(),
+            seed: 5,
+            scale: 0.001,
+            queries: 200,
+        })
+        .unwrap();
+        let out = run_command(Command::Sweep {
+            trace: trace.to_string_lossy().into_owned(),
+            granularity: "table".into(),
+            scale: 0.001,
+            seed: 5,
+            servers: 1,
+            multipliers: None,
+            metrics: Some(metrics.clone()),
+            metrics_format: MetricsFormat::Prometheus,
+            faults: Some("flaky:p=0.05".into()),
+            retry: 2,
+            fault_seed: Some(11),
+            degrade: "stale".into(),
+        })
+        .unwrap();
+        assert!(out.contains("wrote metrics"), "{out}");
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            text.contains("@flaky"),
+            "labels should carry the fault name"
+        );
+        std::fs::remove_file(&trace).ok();
         std::fs::remove_file(&metrics).ok();
     }
 }

@@ -31,6 +31,14 @@ pub struct CostReport {
     pub fetch_cost: Bytes,
     /// Result bytes served out of the cache (`D_C`, LAN only).
     pub cache_served: Bytes,
+    /// WAN bytes wasted on failed transfer attempts (network-priced;
+    /// zero without a fault layer). Part of [`CostReport::total_cost`]:
+    /// retry storms are real WAN traffic.
+    pub retried_bytes: Bytes,
+    /// Raw result bytes that failed to deliver — the undeliverable yield
+    /// of slices whose every attempt failed under the `Fail` degradation
+    /// policy. Zero without faults.
+    pub failed_bytes: Bytes,
     /// Per-object-access decision counts.
     pub hits: u64,
     /// Bypassed accesses.
@@ -39,13 +47,32 @@ pub struct CostReport {
     pub loads: u64,
     /// Objects evicted over the run.
     pub evictions: u64,
+    /// Failed transfer attempts over the run (zero without faults).
+    pub retries: u64,
+    /// Queries with at least one slice that delivered nothing.
+    pub failed_queries: u64,
+    /// Queries answered entirely, but with at least one slice served
+    /// from the stale local copy (and no failed slice).
+    pub degraded_queries: u64,
 }
 
 impl CostReport {
-    /// Total WAN traffic: `D_S + D_L` — the quantity every algorithm
-    /// minimizes.
+    /// Total WAN traffic: `D_S + D_L` plus retry-storm traffic — the
+    /// quantity every algorithm minimizes.
     pub fn total_cost(&self) -> Bytes {
-        self.bypass_cost + self.fetch_cost
+        self.bypass_cost + self.fetch_cost + self.retried_bytes
+    }
+
+    /// Availability ratio: fraction of requested result bytes actually
+    /// delivered, `delivered / (delivered + failed)`. 1.0 when nothing
+    /// was requested or nothing failed.
+    pub fn availability(&self) -> f64 {
+        let denom = (self.sequence_cost + self.failed_bytes).as_f64();
+        if denom == 0.0 {
+            1.0
+        } else {
+            self.sequence_cost.as_f64() / denom
+        }
     }
 
     /// Sequence cost divided by total cost: how many times the policy
@@ -99,6 +126,7 @@ mod tests {
             bypasses: 3,
             loads: 2,
             evictions: 1,
+            ..Default::default()
         }
     }
 
@@ -125,6 +153,26 @@ mod tests {
         let mut r = report();
         r.cache_served = Bytes::new(600);
         assert!(!r.conserves_delivery());
+    }
+
+    #[test]
+    fn retried_bytes_count_toward_total_cost() {
+        let mut r = report();
+        r.retried_bytes = Bytes::new(150);
+        r.retries = 4;
+        assert_eq!(r.total_cost(), Bytes::new(650));
+        // Wasted retry traffic does not touch delivery conservation.
+        assert!(r.conserves_delivery());
+    }
+
+    #[test]
+    fn availability_tracks_failed_bytes() {
+        let mut r = report();
+        assert!((r.availability() - 1.0).abs() < 1e-12);
+        r.failed_bytes = Bytes::new(1000);
+        assert!((r.availability() - 0.5).abs() < 1e-12);
+        let empty = CostReport::default();
+        assert!((empty.availability() - 1.0).abs() < 1e-12);
     }
 
     #[test]

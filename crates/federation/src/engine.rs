@@ -25,6 +25,7 @@
 //! [`Mediator`]: crate::mediator::Mediator
 
 use crate::accounting::CostReport;
+use crate::faults::{spiked_cost, FaultPlan};
 use crate::network::NetworkModel;
 use crate::simulator::SeriesPoint;
 use byc_catalog::{Granularity, ObjectCatalog};
@@ -71,6 +72,12 @@ pub struct CostEvent<'a> {
     pub fetch_cost: Bytes,
     /// Raw result bytes served out of the cache (`D_C`).
     pub cache_served: Bytes,
+    /// WAN bytes wasted on failed transfer attempts of this slice
+    /// (network-priced; zero without a fault layer).
+    pub retried_bytes: Bytes,
+    /// Raw result bytes this slice failed to deliver (nonzero iff
+    /// `failed`).
+    pub failed_bytes: Bytes,
     /// 1 iff the decision was a hit.
     pub hits: u64,
     /// 1 iff the decision was a bypass.
@@ -79,6 +86,13 @@ pub struct CostEvent<'a> {
     pub loads: u64,
     /// Objects evicted by this decision.
     pub evictions: u64,
+    /// Failed transfer attempts of this slice (the retry count).
+    pub retries: u64,
+    /// 1 iff every attempt failed and the slice delivered nothing.
+    pub failed: u64,
+    /// 1 iff every attempt failed and the slice was served from the
+    /// stale local copy instead.
+    pub degraded: u64,
     /// The policy's decision, when a policy was consulted.
     pub decision: Option<&'a Decision>,
     /// The deciding policy, for observers that introspect cache state
@@ -97,10 +111,15 @@ impl std::fmt::Debug for CostEvent<'_> {
             .field("bypass_cost", &self.bypass_cost)
             .field("fetch_cost", &self.fetch_cost)
             .field("cache_served", &self.cache_served)
+            .field("retried_bytes", &self.retried_bytes)
+            .field("failed_bytes", &self.failed_bytes)
             .field("hits", &self.hits)
             .field("bypasses", &self.bypasses)
             .field("loads", &self.loads)
             .field("evictions", &self.evictions)
+            .field("retries", &self.retries)
+            .field("failed", &self.failed)
+            .field("degraded", &self.degraded)
             .field("decision", &self.decision)
             .finish_non_exhaustive()
     }
@@ -162,6 +181,7 @@ pub fn decompose(query: &TraceQuery, objects: &ObjectCatalog) -> Vec<(ObjectId, 
 pub struct ReplayEngine<'a> {
     objects: &'a ObjectCatalog,
     network: &'a dyn NetworkModel,
+    faults: Option<FaultPlan<'a>>,
 }
 
 impl<'a> ReplayEngine<'a> {
@@ -174,7 +194,21 @@ impl<'a> ReplayEngine<'a> {
     /// An engine that prices every object's traffic by its home server's
     /// link cost.
     pub fn with_network(objects: &'a ObjectCatalog, network: &'a dyn NetworkModel) -> Self {
-        ReplayEngine { objects, network }
+        ReplayEngine {
+            objects,
+            network,
+            faults: None,
+        }
+    }
+
+    /// Attach a fault layer: WAN transfers resolve through `plan`'s
+    /// model/retry/degradation instead of always succeeding. Without
+    /// this the engine runs the exact fault-free path (bit-identical to
+    /// an engine with no fault layer compiled in).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan<'a>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// The object view this engine decomposes queries against.
@@ -185,6 +219,11 @@ impl<'a> ReplayEngine<'a> {
     /// The network model pricing this engine's WAN traffic.
     pub fn network(&self) -> &dyn NetworkModel {
         self.network
+    }
+
+    /// The fault plan governing this engine's WAN transfers, if any.
+    pub fn faults(&self) -> Option<&FaultPlan<'a>> {
+        self.faults.as_ref()
     }
 
     /// The policy-visible access for one object slice. `yield_bytes` is
@@ -275,13 +314,23 @@ impl<'a> ReplayEngine<'a> {
             bypass_cost: Bytes::ZERO,
             fetch_cost: Bytes::ZERO,
             cache_served: Bytes::ZERO,
+            retried_bytes: Bytes::ZERO,
+            failed_bytes: Bytes::ZERO,
             hits: 0,
             bypasses: 0,
             loads: 0,
             evictions: 0,
+            retries: 0,
+            failed: 0,
+            degraded: 0,
             decision: Some(&decision),
             policy: Some(&*policy),
         };
+        // The decision stream is fault-independent: the policy never sees
+        // transfer outcomes, so decision counters (and the policy's own
+        // state evolution) are identical with and without faults — which
+        // is exactly what makes the faulted/fault-free reconciliation
+        // invariant exact.
         match &decision {
             Decision::Hit => {
                 event.hits = 1;
@@ -289,18 +338,72 @@ impl<'a> ReplayEngine<'a> {
             }
             Decision::Bypass => {
                 event.bypasses = 1;
-                event.bypass_served = raw_yield;
-                event.bypass_cost = self.network.price(server, raw_yield);
+                match &self.faults {
+                    None => {
+                        event.bypass_served = raw_yield;
+                        event.bypass_cost = self.network.price(server, raw_yield);
+                    }
+                    Some(plan) => {
+                        let nominal = self.network.price(server, raw_yield);
+                        let res = plan.fetch(index, time, object, server);
+                        event.retries = u64::from(res.failed_attempts);
+                        event.retried_bytes = FaultPlan::wasted_bytes(nominal, res.failed_attempts);
+                        match res.delivered {
+                            Some(m) => {
+                                event.bypass_served = raw_yield;
+                                event.bypass_cost = spiked_cost(nominal, m);
+                            }
+                            None => self.degrade_slice(plan, &mut event, raw_yield),
+                        }
+                    }
+                }
             }
             Decision::Load { evictions } => {
                 event.loads = 1;
                 event.evictions = evictions.len() as u64;
-                event.fetch_cost = access.fetch_cost;
-                event.cache_served = raw_yield;
+                match &self.faults {
+                    None => {
+                        event.fetch_cost = access.fetch_cost;
+                        event.cache_served = raw_yield;
+                    }
+                    Some(plan) => {
+                        let res = plan.fetch(index, time, object, server);
+                        event.retries = u64::from(res.failed_attempts);
+                        event.retried_bytes =
+                            FaultPlan::wasted_bytes(access.fetch_cost, res.failed_attempts);
+                        match res.delivered {
+                            Some(m) => {
+                                event.fetch_cost = spiked_cost(access.fetch_cost, m);
+                                event.cache_served = raw_yield;
+                            }
+                            None => self.degrade_slice(plan, &mut event, raw_yield),
+                        }
+                    }
+                }
             }
         }
         for obs in observers.iter_mut() {
             obs.on_access(&event);
+        }
+    }
+
+    /// Resolve a slice whose retry budget is exhausted, per the plan's
+    /// [`DegradationPolicy`](crate::faults::DegradationPolicy): serve the
+    /// stale local copy (degraded, cache-tier delivery, zero fresh WAN)
+    /// or fail the slice (nothing delivered; the undeliverable yield is
+    /// tracked in `failed_bytes` so availability and the fault-free
+    /// reconciliation stay exact).
+    fn degrade_slice(&self, plan: &FaultPlan<'_>, event: &mut CostEvent<'_>, raw_yield: Bytes) {
+        match plan.degradation {
+            crate::faults::DegradationPolicy::ServeStale => {
+                event.degraded = 1;
+                event.cache_served = raw_yield;
+            }
+            crate::faults::DegradationPolicy::Fail => {
+                event.failed = 1;
+                event.delivered = Bytes::ZERO;
+                event.failed_bytes = raw_yield;
+            }
         }
     }
 
@@ -331,10 +434,15 @@ impl<'a> ReplayEngine<'a> {
                 bypass_cost: Bytes::ZERO,
                 fetch_cost: Bytes::ZERO,
                 cache_served: Bytes::ZERO,
+                retried_bytes: Bytes::ZERO,
+                failed_bytes: Bytes::ZERO,
                 hits: 0,
                 bypasses: 0,
                 loads: 0,
                 evictions: 0,
+                retries: 0,
+                failed: 0,
+                degraded: 0,
                 decision: None,
                 policy: None,
             };
@@ -394,6 +502,10 @@ pub struct QueryWindow {
     pub fetch_cost: Bytes,
     /// Raw result bytes served out of the cache (`D_C` share).
     pub cache_served: Bytes,
+    /// WAN bytes wasted on failed transfer attempts (network-priced).
+    pub retried_bytes: Bytes,
+    /// Raw result bytes that failed to deliver (failed slices).
+    pub failed_bytes: Bytes,
     /// Hit decisions.
     pub hits: u64,
     /// Bypass decisions.
@@ -402,6 +514,14 @@ pub struct QueryWindow {
     pub loads: u64,
     /// Objects evicted.
     pub evictions: u64,
+    /// Failed transfer attempts (retries).
+    pub retries: u64,
+    /// Slices that delivered nothing (every attempt failed, degradation
+    /// policy `Fail`).
+    pub failed_slices: u64,
+    /// Slices served from the stale local copy (every attempt failed,
+    /// degradation policy `ServeStale`).
+    pub degraded_slices: u64,
 }
 
 impl QueryWindow {
@@ -412,10 +532,15 @@ impl QueryWindow {
         self.bypass_cost += event.bypass_cost;
         self.fetch_cost += event.fetch_cost;
         self.cache_served += event.cache_served;
+        self.retried_bytes += event.retried_bytes;
+        self.failed_bytes += event.failed_bytes;
         self.hits += event.hits;
         self.bypasses += event.bypasses;
         self.loads += event.loads;
         self.evictions += event.evictions;
+        self.retries += event.retries;
+        self.failed_slices += event.failed;
+        self.degraded_slices += event.degraded;
     }
 
     /// Fold another window into this one (registry merging).
@@ -425,15 +550,21 @@ impl QueryWindow {
         self.bypass_cost += other.bypass_cost;
         self.fetch_cost += other.fetch_cost;
         self.cache_served += other.cache_served;
+        self.retried_bytes += other.retried_bytes;
+        self.failed_bytes += other.failed_bytes;
         self.hits += other.hits;
         self.bypasses += other.bypasses;
         self.loads += other.loads;
         self.evictions += other.evictions;
+        self.retries += other.retries;
+        self.failed_slices += other.failed_slices;
+        self.degraded_slices += other.degraded_slices;
     }
 
-    /// WAN traffic of the window: `D_S + D_L`.
+    /// WAN traffic of the window: `D_S + D_L` plus the bytes wasted on
+    /// failed transfer attempts (zero without a fault layer).
     pub fn wan_cost(&self) -> Bytes {
-        self.bypass_cost + self.fetch_cost
+        self.bypass_cost + self.fetch_cost + self.retried_bytes
     }
 
     /// Policy decisions absorbed (hits + bypasses + loads).
@@ -457,6 +588,12 @@ pub struct CostObserver {
     granularity: String,
     queries: usize,
     window: QueryWindow,
+    /// Fault rollup state: slices of the in-flight query that failed /
+    /// degraded, folded into per-*query* counts at `on_query_end`.
+    failed_this_query: u64,
+    degraded_this_query: u64,
+    failed_queries: u64,
+    degraded_queries: u64,
 }
 
 impl CostObserver {
@@ -468,6 +605,10 @@ impl CostObserver {
             granularity: granularity.to_string(),
             queries: 0,
             window: QueryWindow::default(),
+            failed_this_query: 0,
+            degraded_this_query: 0,
+            failed_queries: 0,
+            degraded_queries: 0,
         }
     }
 
@@ -484,10 +625,15 @@ impl CostObserver {
             bypass_cost: w.bypass_cost,
             fetch_cost: w.fetch_cost,
             cache_served: w.cache_served,
+            retried_bytes: w.retried_bytes,
+            failed_bytes: w.failed_bytes,
             hits: w.hits,
             bypasses: w.bypasses,
             loads: w.loads,
             evictions: w.evictions,
+            retries: w.retries,
+            failed_queries: self.failed_queries,
+            degraded_queries: self.degraded_queries,
         }
     }
 }
@@ -495,10 +641,24 @@ impl CostObserver {
 impl Observer for CostObserver {
     fn on_query_start(&mut self, _index: usize, _query: &TraceQuery) {
         self.queries += 1;
+        self.failed_this_query = 0;
+        self.degraded_this_query = 0;
     }
 
     fn on_access(&mut self, event: &CostEvent<'_>) {
         self.window.absorb(event);
+        self.failed_this_query += event.failed;
+        self.degraded_this_query += event.degraded;
+    }
+
+    fn on_query_end(&mut self, _index: usize, _query: &TraceQuery) {
+        // A query with any failed slice surfaced an error to the client;
+        // one that only degraded still answered, just with stale data.
+        if self.failed_this_query > 0 {
+            self.failed_queries += 1;
+        } else if self.degraded_this_query > 0 {
+            self.degraded_queries += 1;
+        }
     }
 }
 
@@ -536,7 +696,7 @@ impl Observer for SeriesObserver {
 
     fn on_query_end(&mut self, index: usize, _query: &TraceQuery) {
         self.seen = index + 1;
-        if (index + 1) % self.every == 0 {
+        if (index + 1).is_multiple_of(self.every) {
             self.series.push(SeriesPoint {
                 query: index + 1,
                 cumulative_cost: self.window.wan_cost(),
@@ -621,6 +781,10 @@ pub struct ServerCosts {
     /// Raw result bytes of this server's objects served from cache
     /// (`D_C` share).
     pub cache_served: Bytes,
+    /// WAN bytes wasted on failed transfer attempts against this server.
+    pub retried_bytes: Bytes,
+    /// Raw result bytes of this server's objects that failed to deliver.
+    pub failed_bytes: Bytes,
     /// Hit decisions on this server's objects.
     pub hits: u64,
     /// Bypass decisions on this server's objects.
@@ -630,9 +794,10 @@ pub struct ServerCosts {
 }
 
 impl ServerCosts {
-    /// WAN traffic attributed to this server: `D_S + D_L`.
+    /// WAN traffic attributed to this server: `D_S + D_L` plus wasted
+    /// retry traffic.
     pub fn wan_cost(&self) -> Bytes {
-        self.bypass_cost + self.fetch_cost
+        self.bypass_cost + self.fetch_cost + self.retried_bytes
     }
 
     /// The per-server conservation invariant: everything this server's
@@ -666,6 +831,8 @@ impl PerServerObserver {
                 bypass_cost: w.bypass_cost,
                 fetch_cost: w.fetch_cost,
                 cache_served: w.cache_served,
+                retried_bytes: w.retried_bytes,
+                failed_bytes: w.failed_bytes,
                 hits: w.hits,
                 bypasses: w.bypasses,
                 loads: w.loads,
@@ -684,7 +851,7 @@ impl Observer for PerServerObserver {
 mod tests {
     use super::*;
     use crate::network::{PerServerMultipliers, Uniform};
-    use crate::simulator::{replay, replay_audited};
+    use crate::session::ReplaySession;
     use byc_catalog::sdss::{build, SdssRelease};
     use byc_core::rate_profile::{RateProfile, RateProfileConfig};
 
@@ -702,13 +869,17 @@ mod tests {
         let cap = objects.total_size().scale(0.3);
 
         let mut p1 = RateProfile::new(cap, RateProfileConfig::default());
-        let report_via_simulator = replay(&trace, &objects, &mut p1);
+        let report_via_session = ReplaySession::new(&trace, &objects)
+            .policy(&mut p1)
+            .run()
+            .unwrap()
+            .report;
 
         let engine = ReplayEngine::new(&objects);
         let mut p2 = RateProfile::new(cap, RateProfileConfig::default());
         let mut cost = CostObserver::new(p2.name(), &trace.name, objects.granularity().label());
         engine.replay(&trace, &mut p2, &mut [&mut cost]);
-        assert_eq!(cost.into_report(), report_via_simulator);
+        assert_eq!(cost.into_report(), report_via_session);
     }
 
     #[test]
@@ -796,7 +967,13 @@ mod tests {
         }
         let (trace, objects) = setup(1);
         let mut liar = AlwaysHit;
-        let (_, audit) = replay_audited(&trace, &objects, &mut liar);
+        let audit = ReplaySession::new(&trace, &objects)
+            .policy(&mut liar)
+            .audited()
+            .run()
+            .unwrap()
+            .audit
+            .unwrap();
         assert!(!audit.is_clean());
         assert!(audit.violations[0].contains("not cached"));
     }

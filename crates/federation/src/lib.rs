@@ -7,35 +7,49 @@
 //! traffic to minimize is the WAN flow — bypassed results (`D_S`) plus
 //! cache loads (`D_L`); the client always receives the same result bytes
 //! (`D_A = D_S + D_C`) regardless of caching configuration, an invariant
-//! [`simulator::replay`] checks on every query.
+//! every [`session::ReplaySession`] run checks.
 //!
 //! * [`engine`] — the one replay kernel: [`engine::ReplayEngine`] turns
 //!   `TraceQuery → Access → Decision` into [`engine::CostEvent`]s that
 //!   composable [`engine::Observer`]s consume. Every other entry point
 //!   is a composition over it.
+//! * [`session`] — the one replay entry point:
+//!   [`session::ReplaySession`] is a fluent builder over the engine that
+//!   configures policy, network pricing, faults, auditing, series
+//!   capture, and extra observers, then [`session::ReplaySession::run`]s
+//!   one replay or [`session::ReplaySession::sweep`]s a
+//!   (policy × cache-size) grid in parallel.
 //! * [`network`] — first-class WAN pricing: [`network::NetworkModel`]
 //!   with the [`network::Uniform`] (BYU) and
 //!   [`network::PerServerMultipliers`] (BYHR) regimes.
+//! * [`faults`] — the deterministic fault layer: seeded
+//!   [`faults::FaultModel`]s ([`faults::OutageWindows`],
+//!   [`faults::FlakyLinks`]), bounded [`faults::RetryPolicy`] backoff,
+//!   and the [`faults::DegradationPolicy`] the mediator falls back on
+//!   when retries are exhausted.
 //! * [`accounting`] — [`accounting::CostReport`]: the bypass/fetch/total
-//!   breakdown of Tables 1–2 plus hit/bypass/load counters.
-//! * [`simulator`] — audited trace replay of any
-//!   [`CachePolicy`](byc_core::policy::CachePolicy), with optional
-//!   cumulative-cost series capture (Figs 7–8).
+//!   breakdown of Tables 1–2 plus hit/bypass/load counters, retry-storm
+//!   traffic, and availability under faults.
+//! * [`simulator`] — replay result shapes ([`simulator::Replay`],
+//!   [`simulator::SeriesPoint`]) and the deprecated `replay` shim.
 //! * [`mediator`] — the end-to-end service: SQL text in, routed
 //!   subqueries and decisions out (what the examples drive).
 //! * [`policies`] — the named policy roster used by every experiment.
 //! * [`semantic`] — the query-result (semantic) cache baseline the paper
 //!   rejects in §6.1, implemented so the rejection is measurable.
-//! * [`sweep`] — multi-threaded cache-size sweeps (Figs 9–10).
+//! * [`sweep`] — the sweep result shape ([`sweep::SweepPoint`]) and the
+//!   deprecated `sweep_cache_sizes` shim (Figs 9–10).
 
 #![warn(missing_docs)]
 
 pub mod accounting;
 pub mod engine;
+pub mod faults;
 pub mod mediator;
 pub mod network;
 pub mod policies;
 pub mod semantic;
+pub mod session;
 pub mod simulator;
 pub mod sweep;
 
@@ -44,9 +58,19 @@ pub use engine::{
     AuditObserver, CostEvent, CostObserver, Observer, PerServerObserver, QueryWindow, ReplayEngine,
     SeriesObserver, ServerCosts,
 };
+pub use faults::{
+    spiked_cost, DegradationPolicy, FaultModel, FaultPlan, FetchAttempt, FetchOutcome,
+    FetchResolution, FlakyLinks, NoFaults, Outage, OutageWindows, RetryPolicy, NO_FAULTS, NO_RETRY,
+};
 pub use mediator::Mediator;
 pub use network::{NetworkModel, PerServerMultipliers, Uniform};
 pub use policies::{build_policy, policy_roster, PolicyKind};
 pub use semantic::{SemanticCache, SemanticReport};
-pub use simulator::{replay, replay_with_observers, replay_with_series, SeriesPoint};
-pub use sweep::{sweep_cache_sizes, sweep_cache_sizes_with, SweepPoint};
+pub use session::ReplaySession;
+pub use simulator::{Replay, SeriesPoint};
+pub use sweep::SweepPoint;
+
+#[allow(deprecated)]
+pub use simulator::replay;
+#[allow(deprecated)]
+pub use sweep::sweep_cache_sizes;

@@ -9,6 +9,7 @@
 //! to their home servers.
 
 use crate::engine::{CostEvent, Observer, QueryWindow, ReplayEngine};
+use crate::faults::{DegradationPolicy, FaultModel, FaultPlan, RetryPolicy};
 use crate::network::{NetworkModel, Uniform};
 use byc_catalog::{Catalog, Granularity, ObjectCatalog};
 use byc_core::audit::{AuditReport, PolicyAuditor};
@@ -47,14 +48,30 @@ pub struct ServedQuery {
     pub bypass_traffic: Bytes,
     /// WAN bytes spent on cache loads triggered by this query.
     pub load_traffic: Bytes,
+    /// WAN bytes wasted on failed transfer attempts (zero without a
+    /// fault layer).
+    pub retried_bytes: Bytes,
+    /// Result bytes this query failed to deliver (failed slices under
+    /// the `Fail` degradation policy).
+    pub failed_bytes: Bytes,
+    /// Slices served from the stale local copy after exhausted retries.
+    pub degraded_slices: u64,
+    /// Slices that delivered nothing after exhausted retries.
+    pub failed_slices: u64,
     /// Per-object outcomes, in decomposition order.
     pub outcomes: Vec<ObjectOutcome>,
 }
 
 impl ServedQuery {
-    /// WAN traffic this query generated (bypass + loads).
+    /// WAN traffic this query generated (bypass + loads + wasted retry
+    /// traffic).
     pub fn wan_cost(&self) -> Bytes {
-        self.bypass_traffic + self.load_traffic
+        self.bypass_traffic + self.load_traffic + self.retried_bytes
+    }
+
+    /// True iff every requested byte was delivered (possibly stale).
+    pub fn fully_delivered(&self) -> bool {
+        self.failed_slices == 0
     }
 }
 
@@ -74,6 +91,10 @@ impl OutcomeObserver {
             from_servers: self.window.bypass_served,
             bypass_traffic: self.window.bypass_cost,
             load_traffic: self.window.fetch_cost,
+            retried_bytes: self.window.retried_bytes,
+            failed_bytes: self.window.failed_bytes,
+            degraded_slices: self.window.degraded_slices,
+            failed_slices: self.window.failed_slices,
             outcomes: self.outcomes,
         }
     }
@@ -105,6 +126,9 @@ pub struct Mediator {
     objects: ObjectCatalog,
     policy: PolicyAuditor<Box<dyn CachePolicy>>,
     network: Box<dyn NetworkModel>,
+    faults: Option<Box<dyn FaultModel>>,
+    retry: RetryPolicy,
+    degradation: DegradationPolicy,
     clock: Tick,
     served: u64,
     wan_total: Bytes,
@@ -149,15 +173,39 @@ impl Mediator {
             objects,
             policy,
             network,
+            faults: None,
+            retry: RetryPolicy::default(),
+            degradation: DegradationPolicy::default(),
             clock: Tick::ZERO,
             served: 0,
             wan_total: Bytes::ZERO,
         }
     }
 
+    /// Route this mediator's WAN transfers through a fault model, with
+    /// the given retry bounds and degradation fallback. Replaces any
+    /// previous fault configuration.
+    #[must_use]
+    pub fn with_faults(
+        mut self,
+        model: Box<dyn FaultModel>,
+        retry: RetryPolicy,
+        degradation: DegradationPolicy,
+    ) -> Self {
+        self.faults = Some(model);
+        self.retry = retry;
+        self.degradation = degradation;
+        self
+    }
+
     /// The network model pricing this mediator's WAN traffic.
     pub fn network(&self) -> &dyn NetworkModel {
         self.network.as_ref()
+    }
+
+    /// The fault model this mediator's transfers resolve through, if any.
+    pub fn fault_model(&self) -> Option<&dyn FaultModel> {
+        self.faults.as_deref()
     }
 
     /// True iff the decision stream is being validated (not just counted).
@@ -236,7 +284,7 @@ impl Mediator {
         let resolved = analyze(&self.catalog, &query)?;
         let breakdown = YieldModel::new(&self.catalog).estimate(&resolved);
         let tq = TraceQuery {
-            id: QueryId::new(self.served as u32),
+            id: QueryId::new(u32::try_from(self.served).unwrap_or(u32::MAX)),
             sql: sql.to_string(),
             template: u32::MAX,
             data_keys: Vec::new(),
@@ -246,27 +294,31 @@ impl Mediator {
             table_yields: breakdown.per_table,
             column_yields: breakdown.per_column,
         };
-        Ok(self.serve_trace_query(&tq))
+        Ok(self.serve_trace_query(&tq, &mut []))
     }
 
     /// Serve an already-analyzed trace query (the replay path): one
     /// engine pass with an observer that collects the [`ServedQuery`].
-    pub fn serve_trace_query(&mut self, tq: &TraceQuery) -> ServedQuery {
-        self.serve_trace_query_with(tq, &mut [])
-    }
-
-    /// Serve a trace query with additional observers riding the same
-    /// engine pass — the telemetry seam: a `byc-telemetry`
-    /// `TelemetryObserver` (or any other [`Observer`]) sees exactly the
-    /// event stream that produced the returned [`ServedQuery`].
-    pub fn serve_trace_query_with(
+    ///
+    /// `extra` observers ride the same engine pass — the telemetry seam:
+    /// a `byc-telemetry` `TelemetryObserver` (or any other [`Observer`])
+    /// sees exactly the event stream that produced the returned
+    /// [`ServedQuery`]. Pass `&mut []` when none are needed.
+    pub fn serve_trace_query(
         &mut self,
         tq: &TraceQuery,
         extra: &mut [&mut dyn Observer],
     ) -> ServedQuery {
-        let engine = ReplayEngine::with_network(&self.objects, self.network.as_ref());
+        let mut engine = ReplayEngine::with_network(&self.objects, self.network.as_ref());
+        if let Some(model) = self.faults.as_deref() {
+            engine = engine.with_faults(FaultPlan {
+                model,
+                retry: self.retry,
+                degradation: self.degradation,
+            });
+        }
         let mut observer = OutcomeObserver {
-            id: QueryId::new(self.served as u32),
+            id: QueryId::new(u32::try_from(self.served).unwrap_or(u32::MAX)),
             window: QueryWindow::default(),
             outcomes: Vec::new(),
         };
@@ -277,7 +329,7 @@ impl Mediator {
                 observers.push(&mut **obs);
             }
             engine.serve_query(
-                self.served as usize,
+                usize::try_from(self.served).unwrap_or(usize::MAX),
                 self.clock,
                 tq,
                 &mut self.policy,

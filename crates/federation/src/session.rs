@@ -1,0 +1,647 @@
+//! [`ReplaySession`]: the one fluent entry point to every replay shape.
+//!
+//! `byc-federation` used to accrete a free function per replay variant —
+//! `replay`, `replay_with_series`, `replay_audited`,
+//! `replay_with_options`, `replay_with_observers`, plus the sweep pair
+//! and the mediator's `_with` twin. Nine entry points, each a different
+//! subset of the same six knobs. This module collapses them into one
+//! builder:
+//!
+//! ```text
+//! ReplaySession::new(&trace, &objects)
+//!     .policy(policy.as_mut())      // required for .run()
+//!     .network(&net)                // default: Uniform (BYU)
+//!     .faults(&model)               // default: no fault layer
+//!     .retry(RetryPolicy::new(3, 8))
+//!     .degrade(DegradationPolicy::Fail)
+//!     .observe(&mut telemetry)      // any extra Observer, repeatable
+//!     .audited()                    // default: debug builds only
+//!     .series(100)                  // default: no series capture
+//!     .run()?                       // -> Replay
+//! ```
+//!
+//! The sweep terminals reuse the same configuration across a whole
+//! (policy × cache-fraction) grid:
+//!
+//! ```text
+//! ReplaySession::new(&trace, &objects)
+//!     .network(&net)
+//!     .faults(&model)
+//!     .sweep(&policies, &fractions, &demands, seed)?   // -> Vec<SweepPoint>
+//! ```
+//!
+//! Configuration errors (no policy before `run`, a policy before
+//! `sweep`) surface as [`byc_types::Error::InvalidConfig`] — the crate
+//! has a no-panic lint, so the builder never panics on misuse.
+
+use crate::accounting::CostReport;
+use crate::engine::{AuditObserver, CostObserver, Observer, ReplayEngine, SeriesObserver};
+use crate::faults::{DegradationPolicy, FaultModel, FaultPlan, RetryPolicy, NO_RETRY};
+use crate::network::NetworkModel;
+use crate::policies::{build_policy, PolicyKind};
+use crate::simulator::{debug_assert_audit, Replay};
+use crate::sweep::SweepPoint;
+use byc_catalog::ObjectCatalog;
+use byc_core::policy::CachePolicy;
+use byc_core::static_opt::ObjectDemand;
+use byc_types::{Error, Result};
+use byc_workload::Trace;
+
+/// A configured replay over one trace and object view. See the module
+/// docs for the grammar; terminals are [`ReplaySession::run`],
+/// [`ReplaySession::sweep`], and [`ReplaySession::sweep_with`].
+pub struct ReplaySession<'a> {
+    trace: &'a Trace,
+    objects: &'a ObjectCatalog,
+    network: &'a dyn NetworkModel,
+    faults: Option<&'a dyn FaultModel>,
+    retry: RetryPolicy,
+    degradation: DegradationPolicy,
+    audit: Option<bool>,
+    sample_every: Option<usize>,
+    policy: Option<&'a mut dyn CachePolicy>,
+    observers: Vec<&'a mut dyn Observer>,
+}
+
+impl std::fmt::Debug for ReplaySession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplaySession")
+            .field("trace", &self.trace.name)
+            .field("network", &self.network.name())
+            .field("faults", &self.faults.map(FaultModel::name))
+            .field("retry", &self.retry)
+            .field("degradation", &self.degradation)
+            .field("audit", &self.audit)
+            .field("sample_every", &self.sample_every)
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ReplaySession<'a> {
+    /// A session over `trace` at the granularity of `objects`, on a
+    /// uniform network, fault-free, with auditing following the build
+    /// profile (on in debug, off in release) and no extra observers.
+    pub fn new(trace: &'a Trace, objects: &'a ObjectCatalog) -> Self {
+        ReplaySession {
+            trace,
+            objects,
+            network: &crate::network::UNIFORM,
+            faults: None,
+            retry: NO_RETRY,
+            degradation: DegradationPolicy::default(),
+            audit: None,
+            sample_every: None,
+            policy: None,
+            observers: Vec::new(),
+        }
+    }
+
+    /// The policy driving decisions. Required before [`Self::run`];
+    /// rejected by the sweep terminals (they build their own policies).
+    #[must_use]
+    pub fn policy(mut self, policy: &'a mut dyn CachePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Price WAN traffic per home-server link (default: uniform/BYU).
+    #[must_use]
+    pub fn network(mut self, network: &'a dyn NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Resolve WAN transfers through a fault model (default: none — the
+    /// exact fault-free engine path).
+    #[must_use]
+    pub fn faults(mut self, model: &'a dyn FaultModel) -> Self {
+        self.faults = Some(model);
+        self
+    }
+
+    /// Retry bounds and backoff for faulted transfers. Meaningless
+    /// without [`Self::faults`].
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// What to do when a slice's retry budget is exhausted (default:
+    /// serve the stale local copy).
+    #[must_use]
+    pub fn degrade(mut self, degradation: DegradationPolicy) -> Self {
+        self.degradation = degradation;
+        self
+    }
+
+    /// Ride an extra [`Observer`] on the engine pass (repeatable). The
+    /// observer sees exactly the event stream that produces the returned
+    /// [`Replay`], so its totals cannot drift from the report.
+    #[must_use]
+    pub fn observe(mut self, observer: &'a mut dyn Observer) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Force decision-stream auditing on (even in release builds).
+    /// Violations are reported in [`Replay::audit`], never panicked on.
+    #[must_use]
+    pub fn audited(mut self) -> Self {
+        self.audit = Some(true);
+        self
+    }
+
+    /// Force auditing off (even in debug builds).
+    #[must_use]
+    pub fn unaudited(mut self) -> Self {
+        self.audit = Some(false);
+        self
+    }
+
+    /// Sample the cumulative WAN cost every `every` queries (plus the
+    /// final query) into [`Replay::series`].
+    #[must_use]
+    pub fn series(mut self, every: usize) -> Self {
+        self.sample_every = Some(every.max(1));
+        self
+    }
+
+    fn engine(&self) -> ReplayEngine<'a> {
+        let engine = ReplayEngine::with_network(self.objects, self.network);
+        match self.faults {
+            Some(model) => engine.with_faults(FaultPlan {
+                model,
+                retry: self.retry,
+                degradation: self.degradation,
+            }),
+            None => engine,
+        }
+    }
+
+    /// Replay the trace through the configured policy.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when no policy was configured.
+    pub fn run(self) -> Result<Replay> {
+        let audit_enabled = self.audit.unwrap_or(cfg!(debug_assertions));
+        let engine = self.engine();
+        let ReplaySession {
+            trace,
+            objects,
+            sample_every,
+            policy,
+            mut observers,
+            ..
+        } = self;
+        let Some(policy) = policy else {
+            return Err(Error::InvalidConfig(
+                "ReplaySession::run needs a policy; call .policy(...) first \
+                 (or use a sweep terminal, which builds its own)"
+                    .into(),
+            ));
+        };
+        let mut cost = CostObserver::new(policy.name(), &trace.name, objects.granularity().label());
+        let mut series = sample_every.map(SeriesObserver::new);
+        let mut audit = audit_enabled.then(AuditObserver::new);
+        {
+            let mut all: Vec<&mut dyn Observer> = Vec::with_capacity(3 + observers.len());
+            all.push(&mut cost);
+            if let Some(series) = series.as_mut() {
+                all.push(series);
+            }
+            if let Some(audit) = audit.as_mut() {
+                all.push(audit);
+            }
+            for obs in observers.iter_mut() {
+                all.push(&mut **obs);
+            }
+            engine.replay(trace, policy, &mut all);
+        }
+        let report = cost.into_report();
+        debug_assert!(report.conserves_delivery());
+        Ok(Replay {
+            report,
+            series: series.map(SeriesObserver::into_series).unwrap_or_default(),
+            audit: audit.map(AuditObserver::into_report),
+        })
+    }
+
+    /// Replay every (policy, cache-fraction) pair of the grid in
+    /// parallel under this session's network/fault/audit configuration.
+    /// Results are ordered by policy then fraction.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when a policy or extra observers were
+    /// configured (sweeps build their own per job), or a fraction is not
+    /// positive.
+    pub fn sweep(
+        self,
+        policies: &[PolicyKind],
+        fractions: &[f64],
+        demands: &[ObjectDemand],
+        seed: u64,
+    ) -> Result<Vec<SweepPoint>> {
+        /// Discards the event stream: the plain sweep needs no telemetry.
+        struct Discard;
+        impl Observer for Discard {}
+        Ok(self
+            .sweep_with(policies, fractions, demands, seed, |_, _| Discard)?
+            .into_iter()
+            .map(|(point, _)| point)
+            .collect())
+    }
+
+    /// [`Self::sweep`] with a per-job observer riding each replay — the
+    /// telemetry seam for sweeps. `make_observer` is called once per
+    /// (policy, fraction) job *before* its replay starts (on the
+    /// spawning thread); the observer runs on the job's worker thread
+    /// and comes back paired with the job's [`SweepPoint`] so callers
+    /// can merge per-job metric snapshots deterministically, in job
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::sweep`].
+    pub fn sweep_with<O, F>(
+        self,
+        policies: &[PolicyKind],
+        fractions: &[f64],
+        demands: &[ObjectDemand],
+        seed: u64,
+        make_observer: F,
+    ) -> Result<Vec<(SweepPoint, O)>>
+    where
+        O: Observer + Send,
+        F: Fn(PolicyKind, f64) -> O,
+    {
+        if self.policy.is_some() {
+            return Err(Error::InvalidConfig(
+                "sweep terminals build one policy per (kind, fraction) job; \
+                 don't call .policy(...) before .sweep(...)"
+                    .into(),
+            ));
+        }
+        if !self.observers.is_empty() {
+            return Err(Error::InvalidConfig(
+                "sweep observers come from make_observer; \
+                 don't call .observe(...) before .sweep_with(...)"
+                    .into(),
+            ));
+        }
+        for &f in fractions {
+            if f <= 0.0 {
+                return Err(Error::InvalidConfig(format!(
+                    "cache fraction must be positive, got {f}"
+                )));
+            }
+        }
+        let ReplaySession {
+            trace,
+            objects,
+            network,
+            faults,
+            retry,
+            degradation,
+            audit,
+            sample_every,
+            ..
+        } = self;
+        let db = objects.total_size();
+        let mut jobs: Vec<(PolicyKind, f64, O)> = Vec::new();
+        for &kind in policies {
+            for &f in fractions {
+                jobs.push((kind, f, make_observer(kind, f)));
+            }
+        }
+
+        let results: Result<Vec<(SweepPoint, O)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|(kind, fraction, mut observer)| {
+                    scope.spawn(move || -> Result<(SweepPoint, O)> {
+                        let capacity = db.scale(fraction);
+                        let mut policy = build_policy(kind, capacity, demands, seed);
+                        let mut session = ReplaySession::new(trace, objects)
+                            .network(network)
+                            .policy(policy.as_mut())
+                            .observe(&mut observer)
+                            .retry(retry)
+                            .degrade(degradation);
+                        if let Some(model) = faults {
+                            session = session.faults(model);
+                        }
+                        if let Some(every) = sample_every {
+                            session = session.series(every);
+                        }
+                        session = match audit {
+                            Some(true) => session.audited(),
+                            Some(false) => session.unaudited(),
+                            None => session,
+                        };
+                        let replay = session.run()?;
+                        debug_assert_audit(&replay);
+                        Ok((
+                            SweepPoint {
+                                policy: kind.label().to_string(),
+                                cache_fraction: fraction,
+                                capacity,
+                                report: replay.report,
+                            },
+                            observer,
+                        ))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                // Re-raise a worker's panic with its original payload
+                // intact instead of masking it behind a generic message.
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        results
+    }
+}
+
+/// Replay helpers shared by the deprecated shims.
+pub(crate) fn run_report(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    policy: &mut dyn CachePolicy,
+) -> CostReport {
+    match ReplaySession::new(trace, objects).policy(policy).run() {
+        Ok(replay) => {
+            debug_assert_audit(&replay);
+            replay.report
+        }
+        // Unreachable: the policy is always set above.
+        Err(_) => CostReport::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FlakyLinks, NoFaults, Outage, OutageWindows};
+    use crate::network::PerServerMultipliers;
+    use byc_catalog::sdss::{build, SdssRelease};
+    use byc_catalog::Granularity;
+    use byc_core::rate_profile::{RateProfile, RateProfileConfig};
+    use byc_core::static_opt::NoCache;
+    use byc_types::{Bytes, ServerId, Tick};
+    use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+
+    fn setup(servers: u32, queries: usize) -> (Trace, ObjectCatalog) {
+        let cat = build(SdssRelease::Edr, 1e-3, servers);
+        let trace = generate(&cat, &WorkloadConfig::smoke(43, queries)).unwrap();
+        let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
+        (trace, objects)
+    }
+
+    #[test]
+    fn run_without_policy_is_a_config_error() {
+        let (trace, objects) = setup(1, 100);
+        let err = ReplaySession::new(&trace, &objects).run().unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn sweep_with_policy_is_a_config_error() {
+        let (trace, objects) = setup(1, 100);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let mut p = NoCache;
+        let err = ReplaySession::new(&trace, &objects)
+            .policy(&mut p)
+            .sweep(&[PolicyKind::NoCache], &[0.5], &stats.demands, 1)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn sweep_rejects_non_positive_fractions() {
+        let (trace, objects) = setup(1, 100);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let err = ReplaySession::new(&trace, &objects)
+            .sweep(&[PolicyKind::NoCache], &[0.0], &stats.demands, 1)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn no_faults_model_is_bit_identical_to_no_fault_layer() {
+        let (trace, objects) = setup(2, 800);
+        let cap = objects.total_size().scale(0.3);
+        let plain = {
+            let mut p = RateProfile::new(cap, RateProfileConfig::default());
+            ReplaySession::new(&trace, &objects)
+                .policy(&mut p)
+                .run()
+                .unwrap()
+                .report
+        };
+        let faulted = {
+            let mut p = RateProfile::new(cap, RateProfileConfig::default());
+            ReplaySession::new(&trace, &objects)
+                .policy(&mut p)
+                .faults(&NoFaults)
+                .retry(RetryPolicy::new(3, 10))
+                .run()
+                .unwrap()
+                .report
+        };
+        assert_eq!(plain, faulted);
+        assert_eq!(faulted.retried_bytes, Bytes::ZERO);
+        assert_eq!(faulted.failed_queries, 0);
+        assert_eq!(faulted.degraded_queries, 0);
+    }
+
+    #[test]
+    fn outage_with_stale_degradation_degrades_queries() {
+        let (trace, objects) = setup(1, 600);
+        let model = OutageWindows::new(vec![Outage {
+            server: ServerId::new(0),
+            from: Tick::new(100),
+            until: Tick::new(200),
+        }]);
+        let mut p = NoCache;
+        let replay = ReplaySession::new(&trace, &objects)
+            .policy(&mut p)
+            .faults(&model)
+            .run()
+            .unwrap();
+        let report = replay.report;
+        assert!(report.degraded_queries > 0);
+        assert_eq!(report.failed_queries, 0);
+        assert_eq!(report.failed_bytes, Bytes::ZERO);
+        // Stale-served slices moved delivery from bypass to cache tier.
+        assert!(report.cache_served > Bytes::ZERO);
+        assert!(report.conserves_delivery());
+        // Single attempts against a downed server waste one transfer each.
+        assert!(report.retried_bytes > Bytes::ZERO);
+        assert!((report.availability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outage_with_fail_degradation_fails_queries_and_reconciles() {
+        let (trace, objects) = setup(1, 600);
+        let model = OutageWindows::new(vec![Outage {
+            server: ServerId::new(0),
+            from: Tick::new(100),
+            until: Tick::new(200),
+        }]);
+        let run_free = || {
+            let mut p = NoCache;
+            run_report(&trace, &objects, &mut p)
+        };
+        let mut p = NoCache;
+        let faulted = ReplaySession::new(&trace, &objects)
+            .policy(&mut p)
+            .faults(&model)
+            .degrade(DegradationPolicy::Fail)
+            .run()
+            .unwrap()
+            .report;
+        let free = run_free();
+        assert!(faulted.failed_queries > 0);
+        assert!(faulted.failed_bytes > Bytes::ZERO);
+        assert!(faulted.availability() < 1.0);
+        // Reconciliation: delivery lost to failures accounts exactly for
+        // the gap to the fault-free replay.
+        assert_eq!(
+            faulted.sequence_cost + faulted.failed_bytes,
+            free.sequence_cost
+        );
+        // Decision streams are fault-independent.
+        assert_eq!(faulted.bypasses, free.bypasses);
+        assert_eq!(faulted.hits, free.hits);
+        assert_eq!(faulted.loads, free.loads);
+        assert!(faulted.conserves_delivery());
+    }
+
+    #[test]
+    fn retries_ride_out_outages_and_charge_wasted_traffic() {
+        let (trace, objects) = setup(1, 600);
+        let model = OutageWindows::new(vec![Outage {
+            server: ServerId::new(0),
+            from: Tick::new(100),
+            until: Tick::new(110),
+        }]);
+        let mut p = NoCache;
+        let replay = ReplaySession::new(&trace, &objects)
+            .policy(&mut p)
+            .faults(&model)
+            .retry(RetryPolicy::new(4, 16))
+            .degrade(DegradationPolicy::Fail)
+            .run()
+            .unwrap();
+        let report = replay.report;
+        // Attempt 3 runs at t+48, past the 10-tick window: nothing fails.
+        assert_eq!(report.failed_queries, 0);
+        assert!(report.retries > 0);
+        assert!(report.retried_bytes > Bytes::ZERO);
+        assert!(report.total_cost() > report.bypass_cost + report.fetch_cost);
+    }
+
+    #[test]
+    fn same_seed_flaky_replays_are_bit_identical() {
+        let (trace, objects) = setup(2, 500);
+        let cap = objects.total_size().scale(0.3);
+        let run = |seed: u64| {
+            let model = FlakyLinks::new(seed, 0.05, 0.1, 4.0);
+            let mut p = RateProfile::new(cap, RateProfileConfig::default());
+            ReplaySession::new(&trace, &objects)
+                .policy(&mut p)
+                .faults(&model)
+                .retry(RetryPolicy::new(2, 4))
+                .run()
+                .unwrap()
+                .report
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn flaky_spikes_inflate_wan_cost() {
+        let (trace, objects) = setup(1, 500);
+        let mut p = NoCache;
+        let spiked = ReplaySession::new(&trace, &objects)
+            .policy(&mut p)
+            .faults(&FlakyLinks::new(3, 0.0, 0.5, 8.0))
+            .run()
+            .unwrap()
+            .report;
+        let mut p = NoCache;
+        let free = run_report(&trace, &objects, &mut p);
+        assert!(spiked.bypass_cost > free.bypass_cost);
+        // Spikes are WAN-priced, not delivered bytes: delivery identical.
+        assert_eq!(spiked.sequence_cost, free.sequence_cost);
+        assert_eq!(spiked.bypass_served, free.bypass_served);
+    }
+
+    #[test]
+    fn faulted_series_ends_at_total_cost() {
+        let (trace, objects) = setup(1, 500);
+        let mut p = NoCache;
+        let replay = ReplaySession::new(&trace, &objects)
+            .policy(&mut p)
+            .faults(&FlakyLinks::new(5, 0.1, 0.0, 1.0))
+            .retry(RetryPolicy::new(2, 1))
+            .series(100)
+            .run()
+            .unwrap();
+        let last = replay.series.last().unwrap();
+        assert_eq!(last.cumulative_cost, replay.report.total_cost());
+        for w in replay.series.windows(2) {
+            assert!(w[1].cumulative_cost >= w[0].cumulative_cost);
+        }
+    }
+
+    #[test]
+    fn sweep_under_faults_covers_grid_and_reconciles() {
+        let (trace, objects) = setup(2, 500);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let model = FlakyLinks::new(9, 0.02, 0.05, 2.0);
+        let points = ReplaySession::new(&trace, &objects)
+            .faults(&model)
+            .retry(RetryPolicy::new(2, 2))
+            .sweep(
+                &[PolicyKind::RateProfile, PolicyKind::NoCache],
+                &[0.2, 0.5],
+                &stats.demands,
+                1,
+            )
+            .unwrap();
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(p.report.conserves_delivery(), "{}", p.policy);
+        }
+    }
+
+    #[test]
+    fn session_matches_legacy_network_sweep() {
+        let (trace, objects) = setup(2, 400);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let net = PerServerMultipliers::new(vec![1.0, 2.0]).unwrap();
+        let via_session = ReplaySession::new(&trace, &objects)
+            .network(&net)
+            .sweep(&[PolicyKind::Gds], &[0.3], &stats.demands, 3)
+            .unwrap();
+        #[allow(deprecated)]
+        let via_shim = crate::sweep::sweep_cache_sizes(
+            &trace,
+            &objects,
+            &stats.demands,
+            &[PolicyKind::Gds],
+            &[0.3],
+            3,
+            &net,
+        );
+        assert_eq!(via_session.len(), via_shim.len());
+        assert_eq!(via_session[0].report, via_shim[0].report);
+    }
+}

@@ -1,5 +1,10 @@
-//! Audited trace replay: thin compositions over the
-//! [`ReplayEngine`](crate::engine::ReplayEngine).
+//! Replay result types and the legacy `replay` shim.
+//!
+//! The replay entry points live on
+//! [`ReplaySession`](crate::session::ReplaySession); this module keeps
+//! the shapes a replay produces — [`Replay`], [`SeriesPoint`] — plus
+//! [`accesses_of`] (the offline bounds' view of a query) and the one
+//! deprecated free-function shim retained for the transition.
 //!
 //! The engine decomposes each trace query into one [`Access`] per
 //! referenced cacheable object (carrying that object's slice of the
@@ -9,26 +14,16 @@
 //! * `Hit`    → 0 WAN, yield served from cache (`D_C`);
 //! * `Bypass` → yield shipped from the server (`D_S`);
 //! * `Load`   → fetch cost on the WAN (`D_L`), then yield from cache.
-//!
-//! The entry points here compose observers over that kernel. Replays are
-//! *audited*: an [`AuditObserver`] validates every decision against a
-//! shadow cache model (a `Hit` must name a cached object, evictions must
-//! be real, capacity must never be exceeded). Auditing defaults on in
-//! debug builds and off in release; force it either way with
-//! [`ReplayOptions`] or [`replay_audited`].
 
 use crate::accounting::CostReport;
-use crate::engine::{
-    decompose, AuditObserver, CostObserver, Observer, ReplayEngine, SeriesObserver,
-};
-use crate::network::NetworkModel;
+use crate::engine::{decompose, ReplayEngine};
+use crate::session::run_report;
 use byc_catalog::ObjectCatalog;
 use byc_core::access::Access;
 use byc_core::audit::AuditReport;
 use byc_core::policy::CachePolicy;
 use byc_types::{Bytes, Tick};
 use byc_workload::{Trace, TraceQuery};
-use std::fmt;
 
 /// One point of a cumulative-cost curve (Figs 7–8).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -39,44 +34,13 @@ pub struct SeriesPoint {
     pub cumulative_cost: Bytes,
 }
 
-/// How to run a replay.
-#[derive(Clone, Copy, Default)]
-pub struct ReplayOptions<'a> {
-    /// Validate the decision stream with an
-    /// [`AuditObserver`](crate::engine::AuditObserver). `None` follows
-    /// the build profile: on in debug builds, off in release (the shadow
-    /// model costs one map update per access).
-    pub audit: Option<bool>,
-    /// Sample the cumulative WAN cost every this many queries (plus the
-    /// final query). `None` skips series collection.
-    pub sample_every: Option<usize>,
-    /// Price WAN traffic per home-server link. `None` is the uniform
-    /// (BYU) network.
-    pub network: Option<&'a dyn NetworkModel>,
-}
-
-impl ReplayOptions<'_> {
-    fn audit_enabled(&self) -> bool {
-        self.audit.unwrap_or(cfg!(debug_assertions))
-    }
-}
-
-impl fmt::Debug for ReplayOptions<'_> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ReplayOptions")
-            .field("audit", &self.audit)
-            .field("sample_every", &self.sample_every)
-            .field("network", &self.network.map(NetworkModel::name))
-            .finish()
-    }
-}
-
 /// Everything a replay produces.
 #[derive(Clone, Debug)]
 pub struct Replay {
     /// WAN cost accounting.
     pub report: CostReport,
-    /// Cumulative-cost samples (empty unless requested).
+    /// Cumulative-cost samples (empty unless requested via
+    /// [`ReplaySession::series`](crate::session::ReplaySession::series)).
     pub series: Vec<SeriesPoint>,
     /// The decision-stream audit, when auditing was enabled.
     pub audit: Option<AuditReport>,
@@ -95,104 +59,14 @@ pub fn accesses_of(query: &TraceQuery, objects: &ObjectCatalog, time: Tick) -> V
 /// Replay `trace` against `policy` at the granularity of `objects`.
 ///
 /// In debug builds the decision stream is audited and a violation panics
-/// via `debug_assert!`; use [`replay_audited`] to inspect violations
-/// instead, or [`replay_with_options`] for full control.
+/// via `debug_assert!`; use [`ReplaySession`](crate::session::ReplaySession)
+/// (`.audited().run()`) to inspect violations instead.
+#[deprecated(
+    since = "0.5.0",
+    note = "use ReplaySession::new(trace, objects).policy(policy).run()"
+)]
 pub fn replay(trace: &Trace, objects: &ObjectCatalog, policy: &mut dyn CachePolicy) -> CostReport {
-    let replay = replay_with_options(trace, objects, policy, ReplayOptions::default());
-    debug_assert_audit(&replay);
-    replay.report
-}
-
-/// Replay and additionally sample the cumulative WAN cost every
-/// `sample_every` queries (plus the final query).
-pub fn replay_with_series(
-    trace: &Trace,
-    objects: &ObjectCatalog,
-    policy: &mut dyn CachePolicy,
-    sample_every: usize,
-) -> (CostReport, Vec<SeriesPoint>) {
-    let options = ReplayOptions {
-        sample_every: Some(sample_every.max(1)),
-        ..ReplayOptions::default()
-    };
-    let replay = replay_with_options(trace, objects, policy, options);
-    debug_assert_audit(&replay);
-    (replay.report, replay.series)
-}
-
-/// Replay with auditing forced on (even in release builds) and return the
-/// audit alongside the costs. Violations are reported, not panicked on.
-///
-/// Unlike [`replay_with_options`], the audit path here is typed: the
-/// report comes straight out of the [`AuditObserver`], with no `Option`
-/// to default away.
-pub fn replay_audited(
-    trace: &Trace,
-    objects: &ObjectCatalog,
-    policy: &mut dyn CachePolicy,
-) -> (CostReport, AuditReport) {
-    let engine = ReplayEngine::new(objects);
-    let mut cost = CostObserver::new(policy.name(), &trace.name, objects.granularity().label());
-    let mut audit = AuditObserver::new();
-    engine.replay(trace, policy, &mut [&mut cost, &mut audit]);
-    let report = cost.into_report();
-    debug_assert!(report.conserves_delivery());
-    (report, audit.into_report())
-}
-
-/// Replay with explicit [`ReplayOptions`]. Never panics on audit
-/// violations — inspect [`Replay::audit`].
-pub fn replay_with_options(
-    trace: &Trace,
-    objects: &ObjectCatalog,
-    policy: &mut dyn CachePolicy,
-    options: ReplayOptions<'_>,
-) -> Replay {
-    replay_with_observers(trace, objects, policy, options, &mut [])
-}
-
-/// Replay with explicit [`ReplayOptions`] plus caller-supplied observers
-/// riding the same engine pass. This is the telemetry seam: the extra
-/// observers (e.g. `byc-telemetry`'s `TelemetryObserver`) see exactly the
-/// event stream that produced the returned [`Replay`], so their totals
-/// cannot drift from the [`CostReport`].
-pub fn replay_with_observers(
-    trace: &Trace,
-    objects: &ObjectCatalog,
-    policy: &mut dyn CachePolicy,
-    options: ReplayOptions<'_>,
-    extra: &mut [&mut dyn Observer],
-) -> Replay {
-    let engine = match options.network {
-        Some(network) => ReplayEngine::with_network(objects, network),
-        None => ReplayEngine::new(objects),
-    };
-    let mut cost = CostObserver::new(policy.name(), &trace.name, objects.granularity().label());
-    let mut series = options.sample_every.map(SeriesObserver::new);
-    let mut audit = options.audit_enabled().then(AuditObserver::new);
-
-    {
-        let mut observers: Vec<&mut dyn Observer> = Vec::with_capacity(3 + extra.len());
-        observers.push(&mut cost);
-        if let Some(series) = series.as_mut() {
-            observers.push(series);
-        }
-        if let Some(audit) = audit.as_mut() {
-            observers.push(audit);
-        }
-        for obs in extra.iter_mut() {
-            observers.push(&mut **obs);
-        }
-        engine.replay(trace, policy, &mut observers);
-    }
-
-    let report = cost.into_report();
-    debug_assert!(report.conserves_delivery());
-    Replay {
-        report,
-        series: series.map(SeriesObserver::into_series).unwrap_or_default(),
-        audit: audit.map(AuditObserver::into_report),
-    }
+    run_report(trace, objects, policy)
 }
 
 pub(crate) fn debug_assert_audit(replay: &Replay) {
@@ -209,6 +83,7 @@ pub(crate) fn debug_assert_audit(replay: &Replay) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::ReplaySession;
     use byc_catalog::sdss::{build, SdssRelease};
     use byc_catalog::Granularity;
     use byc_core::inline::make;
@@ -223,18 +98,42 @@ mod tests {
         (trace, objects)
     }
 
+    fn session_report(
+        trace: &Trace,
+        objects: &ObjectCatalog,
+        policy: &mut dyn CachePolicy,
+    ) -> CostReport {
+        ReplaySession::new(trace, objects)
+            .policy(policy)
+            .run()
+            .unwrap()
+            .report
+    }
+
     #[test]
     fn no_cache_equals_sequence_cost() {
         for g in [Granularity::Table, Granularity::Column] {
             let (trace, objects) = setup(g);
             let mut policy = NoCache;
-            let report = replay(&trace, &objects, &mut policy);
+            let report = session_report(&trace, &objects, &mut policy);
             assert_eq!(report.total_cost(), trace.sequence_cost());
             assert_eq!(report.bypass_cost, trace.sequence_cost());
             assert_eq!(report.fetch_cost, Bytes::ZERO);
             assert_eq!(report.hits, 0);
             assert!(report.conserves_delivery());
         }
+    }
+
+    #[test]
+    fn deprecated_replay_shim_matches_session() {
+        let (trace, objects) = setup(Granularity::Column);
+        let cap = objects.total_size().scale(0.3);
+        let mut p1 = RateProfile::new(cap, RateProfileConfig::default());
+        #[allow(deprecated)]
+        let via_shim = replay(&trace, &objects, &mut p1);
+        let mut p2 = RateProfile::new(cap, RateProfileConfig::default());
+        let via_session = session_report(&trace, &objects, &mut p2);
+        assert_eq!(via_shim, via_session);
     }
 
     #[test]
@@ -247,7 +146,7 @@ mod tests {
             Box::new(make::lru(cap)),
         ];
         for p in policies.iter_mut() {
-            let report = replay(&trace, &objects, p.as_mut());
+            let report = session_report(&trace, &objects, p.as_mut());
             assert!(report.conserves_delivery(), "{}", report.policy);
             assert_eq!(report.sequence_cost, trace.sequence_cost());
         }
@@ -258,7 +157,13 @@ mod tests {
         let (trace, objects) = setup(Granularity::Column);
         let cap = objects.total_size().scale(0.3);
         let mut rp = RateProfile::new(cap, RateProfileConfig::default());
-        let (report, audit) = replay_audited(&trace, &objects, &mut rp);
+        let replay = ReplaySession::new(&trace, &objects)
+            .policy(&mut rp)
+            .audited()
+            .run()
+            .unwrap();
+        let report = replay.report;
+        let audit = replay.audit.unwrap();
         assert!(audit.is_clean(), "{:?}", audit.violations);
         // The auditor's independent accounting must agree with the
         // CostReport on every column.
@@ -281,9 +186,17 @@ mod tests {
         let (trace, objects) = setup(Granularity::Table);
         let cap = objects.total_size().scale(0.2);
         let mut rp = RateProfile::new(cap, RateProfileConfig::default());
-        let (report, audit) = replay_audited(&trace, &objects, &mut rp);
+        let replay = ReplaySession::new(&trace, &objects)
+            .policy(&mut rp)
+            .audited()
+            .run()
+            .unwrap();
+        let audit = replay.audit.unwrap();
         assert!(audit.accesses > 0, "audit report was never populated");
-        assert_eq!(audit.accesses, report.hits + report.bypasses + report.loads);
+        assert_eq!(
+            audit.accesses,
+            replay.report.hits + replay.report.bypasses + replay.report.loads
+        );
     }
 
     #[test]
@@ -291,11 +204,11 @@ mod tests {
         let (trace, objects) = setup(Granularity::Table);
         let cap = objects.total_size().scale(0.3);
         let mut rp = RateProfile::new(cap, RateProfileConfig::default());
-        let options = ReplayOptions {
-            audit: Some(false),
-            ..ReplayOptions::default()
-        };
-        let replay = replay_with_options(&trace, &objects, &mut rp, options);
+        let replay = ReplaySession::new(&trace, &objects)
+            .policy(&mut rp)
+            .unaudited()
+            .run()
+            .unwrap();
         assert!(replay.audit.is_none());
         assert!(replay.report.conserves_delivery());
     }
@@ -309,7 +222,7 @@ mod tests {
         let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
         let cap = objects.total_size().scale(0.3);
         let mut rp = RateProfile::new(cap, RateProfileConfig::default());
-        let report = replay(&trace, &objects, &mut rp);
+        let report = session_report(&trace, &objects, &mut rp);
         assert!(
             report.total_cost() < trace.sequence_cost(),
             "rate-profile {} vs sequence {}",
@@ -324,7 +237,12 @@ mod tests {
         let (trace, objects) = setup(Granularity::Table);
         let cap = objects.total_size().scale(0.3);
         let mut rp = RateProfile::new(cap, RateProfileConfig::default());
-        let (report, series) = replay_with_series(&trace, &objects, &mut rp, 100);
+        let replay = ReplaySession::new(&trace, &objects)
+            .policy(&mut rp)
+            .series(100)
+            .run()
+            .unwrap();
+        let (report, series) = (replay.report, replay.series);
         assert!(!series.is_empty());
         for w in series.windows(2) {
             assert!(w[1].cumulative_cost >= w[0].cumulative_cost);
@@ -340,7 +258,7 @@ mod tests {
         let stats = WorkloadStats::compute(&trace, &objects);
         let cap = objects.total_size().scale(0.4);
         let mut static_policy = byc_core::static_opt::StaticCache::plan(&stats.demands, cap, true);
-        let report = replay(&trace, &objects, &mut static_policy);
+        let report = session_report(&trace, &objects, &mut static_policy);
         assert!(report.conserves_delivery());
         // Static caching must do no worse than no caching on fetch+bypass
         // for this workload (it only caches profitable objects).
@@ -359,18 +277,18 @@ mod tests {
 
     #[test]
     fn non_uniform_network_inflates_wan_but_not_delivery() {
-        use crate::network::PerServerMultipliers;
+        use crate::network::{NetworkModel, PerServerMultipliers};
         let cat = build(SdssRelease::Edr, 1e-3, 2);
         let trace = generate(&cat, &WorkloadConfig::smoke(44, 800)).unwrap();
         let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
         let net = PerServerMultipliers::new(vec![1.0, 4.0]).unwrap();
         let run = |network: Option<&dyn NetworkModel>| {
             let mut p = NoCache;
-            let options = ReplayOptions {
-                network,
-                ..ReplayOptions::default()
-            };
-            replay_with_options(&trace, &objects, &mut p, options).report
+            let mut session = ReplaySession::new(&trace, &objects).policy(&mut p);
+            if let Some(network) = network {
+                session = session.network(network);
+            }
+            session.run().unwrap().report
         };
         let uniform = run(None);
         let priced = run(Some(&net));

@@ -1,10 +1,16 @@
-//! Cache-size sweeps (Figs 9–10), parallelized across policies and sizes.
+//! Cache-size sweep results (Figs 9–10) and the legacy sweep shim.
+//!
+//! The sweep entry points live on
+//! [`ReplaySession`](crate::session::ReplaySession) — see
+//! [`ReplaySession::sweep`](crate::session::ReplaySession::sweep) and
+//! [`ReplaySession::sweep_with`](crate::session::ReplaySession::sweep_with).
+//! This module keeps the [`SweepPoint`] result shape and the one
+//! deprecated free-function shim retained for the transition.
 
 use crate::accounting::CostReport;
-use crate::engine::Observer;
 use crate::network::NetworkModel;
-use crate::policies::{build_policy, PolicyKind};
-use crate::simulator::{debug_assert_audit, replay_with_observers, ReplayOptions};
+use crate::policies::PolicyKind;
+use crate::session::ReplaySession;
 use byc_catalog::ObjectCatalog;
 use byc_core::static_opt::ObjectDemand;
 use byc_types::Bytes;
@@ -26,9 +32,13 @@ pub struct SweepPoint {
 /// Replay `trace` for every (policy, cache fraction) pair, in parallel,
 /// pricing WAN traffic through `network`.
 ///
-/// `fractions` are cache sizes relative to the database
-/// (`objects.total_size()`), e.g. `[0.1, 0.2, ..., 1.0]` for the paper's
-/// Figures 9–10. Results are ordered by policy then fraction.
+/// Invalid fractions (<= 0) yield an empty result here; the session API
+/// reports them as a configuration error instead.
+#[deprecated(
+    since = "0.5.0",
+    note = "use ReplaySession::new(trace, objects).network(network)\
+            .sweep(policies, fractions, demands, seed)"
+)]
 pub fn sweep_cache_sizes(
     trace: &Trace,
     objects: &ObjectCatalog,
@@ -38,93 +48,10 @@ pub fn sweep_cache_sizes(
     seed: u64,
     network: &dyn NetworkModel,
 ) -> Vec<SweepPoint> {
-    /// Discards the event stream: the plain sweep needs no telemetry.
-    struct Discard;
-    impl Observer for Discard {}
-    sweep_cache_sizes_with(
-        trace,
-        objects,
-        demands,
-        policies,
-        fractions,
-        seed,
-        network,
-        |_, _| Discard,
-    )
-    .into_iter()
-    .map(|(point, _)| point)
-    .collect()
-}
-
-/// [`sweep_cache_sizes`] with a per-job observer riding each replay —
-/// the telemetry seam for sweeps. `make_observer` is called once per
-/// (policy, fraction) job *before* its replay starts (on the spawning
-/// thread), the observer runs on the job's worker thread, and comes back
-/// paired with the job's [`SweepPoint`] so callers can merge per-job
-/// metric snapshots deterministically, in job order.
-#[allow(clippy::too_many_arguments)]
-pub fn sweep_cache_sizes_with<O, F>(
-    trace: &Trace,
-    objects: &ObjectCatalog,
-    demands: &[ObjectDemand],
-    policies: &[PolicyKind],
-    fractions: &[f64],
-    seed: u64,
-    network: &dyn NetworkModel,
-    make_observer: F,
-) -> Vec<(SweepPoint, O)>
-where
-    O: Observer + Send,
-    F: Fn(PolicyKind, f64) -> O,
-{
-    let db = objects.total_size();
-    let mut jobs: Vec<(PolicyKind, f64, O)> = Vec::new();
-    for &kind in policies {
-        for &f in fractions {
-            assert!(f > 0.0, "cache fraction must be positive");
-            jobs.push((kind, f, make_observer(kind, f)));
-        }
-    }
-
-    let results: Vec<(SweepPoint, O)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|(kind, fraction, mut observer)| {
-                scope.spawn(move || {
-                    let capacity = db.scale(fraction);
-                    let mut policy = build_policy(kind, capacity, demands, seed);
-                    let options = ReplayOptions {
-                        network: Some(network),
-                        ..ReplayOptions::default()
-                    };
-                    let replay = replay_with_observers(
-                        trace,
-                        objects,
-                        policy.as_mut(),
-                        options,
-                        &mut [&mut observer],
-                    );
-                    debug_assert_audit(&replay);
-                    (
-                        SweepPoint {
-                            policy: kind.label().to_string(),
-                            cache_fraction: fraction,
-                            capacity,
-                            report: replay.report,
-                        },
-                        observer,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            // Re-raise a worker's panic with its original payload intact
-            // instead of masking it behind a generic message.
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect()
-    });
-    results
+    ReplaySession::new(trace, objects)
+        .network(network)
+        .sweep(policies, fractions, demands, seed)
+        .unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -135,6 +62,21 @@ mod tests {
     use byc_catalog::Granularity;
     use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 
+    fn sweep(
+        trace: &Trace,
+        objects: &ObjectCatalog,
+        demands: &[ObjectDemand],
+        policies: &[PolicyKind],
+        fractions: &[f64],
+        seed: u64,
+        network: &dyn NetworkModel,
+    ) -> Vec<SweepPoint> {
+        ReplaySession::new(trace, objects)
+            .network(network)
+            .sweep(policies, fractions, demands, seed)
+            .unwrap()
+    }
+
     #[test]
     fn sweep_covers_grid_and_costs_decrease() {
         let cat = build(SdssRelease::Edr, 1e-3, 1);
@@ -142,7 +84,7 @@ mod tests {
         let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
         let stats = WorkloadStats::compute(&trace, &objects);
         let fractions = [0.1, 0.5, 1.0];
-        let points = sweep_cache_sizes(
+        let points = sweep(
             &trace,
             &objects,
             &stats.demands,
@@ -173,7 +115,7 @@ mod tests {
         let objects = ObjectCatalog::uniform(&cat, Granularity::Table);
         let stats = WorkloadStats::compute(&trace, &objects);
         let run = || {
-            sweep_cache_sizes(
+            sweep(
                 &trace,
                 &objects,
                 &stats.demands,
@@ -196,7 +138,7 @@ mod tests {
         let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
         let stats = WorkloadStats::compute(&trace, &objects);
         let net = PerServerMultipliers::new(vec![1.0, 2.0]).unwrap();
-        let points = sweep_cache_sizes(
+        let points = sweep(
             &trace,
             &objects,
             &stats.demands,

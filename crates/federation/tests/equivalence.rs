@@ -7,7 +7,7 @@
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{build_policy, replay, Mediator, PolicyKind};
+use byc_federation::{build_policy, Mediator, PolicyKind, ReplaySession};
 use byc_types::Bytes;
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 
@@ -31,7 +31,11 @@ fn equivalence_case(kind: PolicyKind, granularity: Granularity, seed: u64) {
 
     // Path 1: the simulator's batch replay of the decomposed trace.
     let mut policy = build_policy(kind, capacity, &stats.demands, seed);
-    let report = replay(&trace, &objects, policy.as_mut());
+    let report = ReplaySession::new(&trace, &objects)
+        .policy(policy.as_mut())
+        .run()
+        .expect("policy configured")
+        .report;
     let simulated = Totals {
         bypass: report.bypass_cost,
         fetch: report.fetch_cost,

@@ -12,11 +12,12 @@
 use byc_catalog::sdss::{self, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
 use byc_federation::{
-    build_policy, CostObserver, Observer, PerServerMultipliers, PerServerObserver, PolicyKind,
-    ReplayEngine,
+    build_policy, CostObserver, CostReport, DegradationPolicy, FaultModel, FlakyLinks, Observer,
+    Outage, OutageWindows, PerServerMultipliers, PerServerObserver, PolicyKind, ReplayEngine,
+    ReplaySession, RetryPolicy,
 };
-use byc_types::Bytes;
-use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+use byc_types::{Bytes, ServerId, Tick};
+use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
 use proptest::prelude::*;
 
 /// Every policy the roster can build, not just the headline lineup.
@@ -104,5 +105,155 @@ proptest! {
             prop_assert_eq!(bypasses, report.bypasses, "{:?} bypasses", kind);
             prop_assert_eq!(loads, report.loads, "{:?} loads", kind);
         }
+    }
+}
+
+/// One replay of `kind` over the faulted (or fault-free, when `faults`
+/// is `None`) session, policies rebuilt fresh each time so replays are
+/// independent.
+fn fault_run(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    stats: &WorkloadStats,
+    kind: PolicyKind,
+    seed: u64,
+    faults: Option<(&dyn FaultModel, RetryPolicy, DegradationPolicy)>,
+) -> CostReport {
+    let capacity = objects.total_size().scale(0.25);
+    let mut policy = build_policy(kind, capacity, &stats.demands, seed);
+    let mut session = ReplaySession::new(trace, objects).policy(policy.as_mut());
+    if let Some((model, retry, degradation)) = faults {
+        session = session.faults(model).retry(retry).degrade(degradation);
+    }
+    match session.run() {
+        Ok(replay) => replay.report,
+        Err(e) => panic!("replay failed: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Byte conservation under faults, for every shipped policy and both
+    /// degradation modes: the decision stream is fault-independent, so
+    /// the faulted report's decision counters equal the fault-free run's,
+    /// delivery conservation still holds, and the requested bytes
+    /// reconcile exactly — `delivered + failed = fault-free delivered`.
+    /// And the whole faulted replay is a pure function of its seeds:
+    /// replaying with the same `fault_seed` is bit-identical.
+    #[test]
+    fn faulted_replays_reconcile_and_are_deterministic(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        failure_p in 0.0f64..0.4,
+        spike_p in 0.0f64..0.2,
+        attempts in 1u32..4,
+        fail_mode in any::<bool>(),
+    ) {
+        let catalog = sdss::build(SdssRelease::Edr, 1e-4, 3);
+        let trace = generate(&catalog, &WorkloadConfig::smoke(seed, 150)).unwrap();
+        let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let flaky = FlakyLinks::new(fault_seed, failure_p, spike_p, 4.0);
+        let retry = RetryPolicy::new(attempts, 1);
+        let degradation = if fail_mode {
+            DegradationPolicy::Fail
+        } else {
+            DegradationPolicy::ServeStale
+        };
+
+        for kind in ALL_POLICIES {
+            let free = fault_run(&trace, &objects, &stats, kind, seed, None);
+            let faulted = fault_run(
+                &trace, &objects, &stats, kind, seed,
+                Some((&flaky, retry, degradation)),
+            );
+
+            // Same-seed replays are bit-identical.
+            let again = fault_run(
+                &trace, &objects, &stats, kind, seed,
+                Some((&flaky, retry, degradation)),
+            );
+            prop_assert_eq!(&faulted, &again, "{:?} same-seed replay diverged", kind);
+
+            // Faults never leak into the decision stream.
+            prop_assert_eq!(faulted.hits, free.hits, "{:?} hits", kind);
+            prop_assert_eq!(faulted.bypasses, free.bypasses, "{:?} bypasses", kind);
+            prop_assert_eq!(faulted.loads, free.loads, "{:?} loads", kind);
+            prop_assert_eq!(faulted.evictions, free.evictions, "{:?} evictions", kind);
+
+            // Conservation holds on whatever *was* delivered.
+            prop_assert!(faulted.conserves_delivery(), "{kind:?} conservation");
+
+            // Requested bytes reconcile exactly with the fault-free run:
+            // every byte the fault-free replay delivered is either
+            // delivered or explicitly accounted as failed.
+            prop_assert_eq!(
+                faulted.sequence_cost + faulted.failed_bytes,
+                free.sequence_cost,
+                "{:?} delivered+failed reconciliation", kind
+            );
+            match degradation {
+                DegradationPolicy::ServeStale => {
+                    prop_assert_eq!(faulted.failed_bytes, Bytes::ZERO, "{:?} stale never fails", kind);
+                    prop_assert_eq!(faulted.failed_queries, 0, "{:?} stale failed_queries", kind);
+                }
+                DegradationPolicy::Fail => {
+                    prop_assert_eq!(faulted.degraded_queries, 0, "{:?} fail degraded_queries", kind);
+                }
+            }
+            // Availability is a probability.
+            let avail = faulted.availability();
+            prop_assert!((0.0..=1.0).contains(&avail), "{kind:?} availability {avail}");
+            // Retry traffic only exists when attempts actually failed.
+            prop_assert_eq!(
+                faulted.retries == 0,
+                faulted.retried_bytes == Bytes::ZERO,
+                "{:?} retry accounting", kind
+            );
+        }
+    }
+
+    /// A total outage of every server with `Fail` degradation delivers
+    /// nothing, costs nothing in fresh WAN transfers beyond hits, and
+    /// reports zero availability on traces with demand; with `ServeStale`
+    /// every slice still answers and sequence cost is preserved.
+    #[test]
+    fn total_outage_is_the_degenerate_case(seed in any::<u64>()) {
+        let catalog = sdss::build(SdssRelease::Edr, 1e-4, 2);
+        let trace = generate(&catalog, &WorkloadConfig::smoke(seed, 80)).unwrap();
+        let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let outage = OutageWindows::new(
+            (0..2)
+                .map(|s| Outage {
+                    server: ServerId::new(s),
+                    from: Tick::ZERO,
+                    until: Tick::new(u64::MAX),
+                })
+                .collect(),
+        );
+        let retry = RetryPolicy::new(2, 1);
+        let free = fault_run(&trace, &objects, &stats, PolicyKind::NoCache, seed, None);
+
+        let failed = fault_run(
+            &trace, &objects, &stats, PolicyKind::NoCache, seed,
+            Some((&outage, retry, DegradationPolicy::Fail)),
+        );
+        prop_assert_eq!(failed.sequence_cost, Bytes::ZERO);
+        prop_assert_eq!(failed.failed_bytes, free.sequence_cost);
+        prop_assert_eq!(failed.bypass_cost, Bytes::ZERO);
+        if free.sequence_cost > Bytes::ZERO {
+            prop_assert!(failed.availability() < 1e-12);
+            prop_assert!(failed.failed_queries > 0);
+        }
+
+        let stale = fault_run(
+            &trace, &objects, &stats, PolicyKind::NoCache, seed,
+            Some((&outage, retry, DegradationPolicy::ServeStale)),
+        );
+        prop_assert_eq!(stale.sequence_cost, free.sequence_cost);
+        prop_assert_eq!(stale.failed_bytes, Bytes::ZERO);
+        prop_assert!((stale.availability() - 1.0).abs() < 1e-12);
     }
 }

@@ -90,6 +90,17 @@ pub struct EventRecord {
     /// Cache occupancy in bytes after the decision (zero when no policy
     /// was attached).
     pub occupancy: Bytes,
+    /// WAN bytes wasted on failed transfer attempts of this slice
+    /// (network-priced; zero without a fault layer).
+    pub retried_bytes: Bytes,
+    /// Raw result bytes the slice failed to deliver.
+    pub failed_bytes: Bytes,
+    /// Failed transfer attempts (the retry count).
+    pub retries: u64,
+    /// 1 iff every attempt failed and the slice delivered nothing.
+    pub failed: u64,
+    /// 1 iff every attempt failed and the slice was served stale.
+    pub degraded: u64,
 }
 
 impl EventRecord {
@@ -116,6 +127,11 @@ impl EventRecord {
             cache_served: event.cache_served,
             evictions: event.evictions,
             occupancy: event.policy.map_or(Bytes::ZERO, |p| p.used()),
+            retried_bytes: event.retried_bytes,
+            failed_bytes: event.failed_bytes,
+            retries: event.retries,
+            failed: event.failed,
+            degraded: event.degraded,
         }
     }
 
@@ -125,9 +141,9 @@ impl EventRecord {
     // fmt::Write into a String cannot fail; see audit.toml.
     #[allow(clippy::expect_used)]
     fn render_into(&self, buf: &mut String) {
-        writeln!(
+        write!(
             buf,
-            "{{\"q\":{},\"o\":{},\"s\":{},\"d\":\"{}\",\"y\":{},\"f\":{},\"bc\":{},\"fc\":{},\"cs\":{},\"ev\":{},\"occ\":{}}}",
+            "{{\"q\":{},\"o\":{},\"s\":{},\"d\":\"{}\",\"y\":{},\"f\":{},\"bc\":{},\"fc\":{},\"cs\":{},\"ev\":{},\"occ\":{}",
             self.query,
             self.object.raw(),
             self.server.raw(),
@@ -141,6 +157,23 @@ impl EventRecord {
             self.occupancy.raw(),
         )
         .expect("fmt::Write to String is infallible");
+        // Fault columns only appear when the slice actually hit the fault
+        // layer, so fault-free logs stay byte-identical to version-1 logs
+        // written before the fault model existed (the reader defaults the
+        // missing keys to zero).
+        if self.retries != 0 || self.failed != 0 || self.degraded != 0 {
+            write!(
+                buf,
+                ",\"rb\":{},\"fb\":{},\"rt\":{},\"fl\":{},\"dg\":{}",
+                self.retried_bytes.raw(),
+                self.failed_bytes.raw(),
+                self.retries,
+                self.failed,
+                self.degraded,
+            )
+            .expect("fmt::Write to String is infallible");
+        }
+        writeln!(buf, "}}").expect("fmt::Write to String is infallible");
     }
 
     /// Parse one NDJSON record line.
@@ -177,6 +210,12 @@ impl EventRecord {
             cache_served: Bytes::new(field("cs")?),
             evictions: field("ev")?,
             occupancy: Bytes::new(field("occ")?),
+            // Absent in fault-free logs (and all pre-fault logs): zero.
+            retried_bytes: Bytes::new(v["rb"].as_u64().unwrap_or(0)),
+            failed_bytes: Bytes::new(v["fb"].as_u64().unwrap_or(0)),
+            retries: v["rt"].as_u64().unwrap_or(0),
+            failed: v["fl"].as_u64().unwrap_or(0),
+            degraded: v["dg"].as_u64().unwrap_or(0),
         })
     }
 }
@@ -287,6 +326,10 @@ pub struct EventTotals {
     pub fetch_cost: Bytes,
     /// Raw bytes served from cache (`D_C`).
     pub cache_served: Bytes,
+    /// WAN bytes wasted on failed transfer attempts.
+    pub retried_bytes: Bytes,
+    /// Raw result bytes that failed to deliver.
+    pub failed_bytes: Bytes,
     /// Hit decisions.
     pub hits: u64,
     /// Bypass decisions.
@@ -295,12 +338,18 @@ pub struct EventTotals {
     pub loads: u64,
     /// Objects evicted.
     pub evictions: u64,
+    /// Failed transfer attempts.
+    pub retries: u64,
+    /// Slices that delivered nothing.
+    pub failed_slices: u64,
+    /// Slices served from the stale local copy.
+    pub degraded_slices: u64,
 }
 
 impl EventTotals {
-    /// WAN traffic: `D_S + D_L`.
+    /// WAN traffic: `D_S + D_L` plus bytes burned on failed attempts.
     pub fn wan_cost(&self) -> Bytes {
-        self.bypass_cost + self.fetch_cost
+        self.bypass_cost + self.fetch_cost + self.retried_bytes
     }
 }
 
@@ -324,7 +373,12 @@ impl EventLog {
             t.bypass_cost += e.bypass_cost;
             t.fetch_cost += e.fetch_cost;
             t.cache_served += e.cache_served;
+            t.retried_bytes += e.retried_bytes;
+            t.failed_bytes += e.failed_bytes;
             t.evictions += e.evictions;
+            t.retries += e.retries;
+            t.failed_slices += e.failed;
+            t.degraded_slices += e.degraded;
             match e.decision {
                 DecisionKind::Hit => t.hits += 1,
                 DecisionKind::Bypass => t.bypasses += 1,
@@ -420,7 +474,61 @@ mod tests {
             cache_served: Bytes::ZERO,
             evictions: 0,
             occupancy: Bytes::mib(3),
+            retried_bytes: Bytes::ZERO,
+            failed_bytes: Bytes::ZERO,
+            retries: 0,
+            failed: 0,
+            degraded: 0,
         }
+    }
+
+    fn faulted_record(query: u64) -> EventRecord {
+        EventRecord {
+            retried_bytes: Bytes::new(4000),
+            failed_bytes: Bytes::new(1000),
+            retries: 2,
+            failed: 1,
+            degraded: 0,
+            ..sample_record(query)
+        }
+    }
+
+    #[test]
+    fn faulted_record_roundtrips_and_sums() {
+        let record = faulted_record(7);
+        let mut buf = String::new();
+        record.render_into(&mut buf);
+        assert!(buf.contains("\"rb\":4000"), "{buf}");
+        let back = EventRecord::parse(buf.trim_end()).unwrap();
+        assert_eq!(back, record);
+
+        let log = EventLog {
+            version: EVENT_SCHEMA_VERSION,
+            policy: "GDS".into(),
+            events: vec![sample_record(0), faulted_record(1)],
+        };
+        let totals = log.totals();
+        assert_eq!(totals.retried_bytes, Bytes::new(4000));
+        assert_eq!(totals.failed_bytes, Bytes::new(1000));
+        assert_eq!(totals.retries, 2);
+        assert_eq!(totals.failed_slices, 1);
+        assert_eq!(totals.degraded_slices, 0);
+        // Re-sent bytes count as WAN traffic.
+        assert_eq!(totals.wan_cost(), Bytes::new(2000 + 2000 + 4000));
+    }
+
+    #[test]
+    fn fault_free_records_render_without_fault_keys() {
+        // Version-1 logs written before the fault layer must stay
+        // byte-identical, and their parse defaults the new fields to 0.
+        let mut buf = String::new();
+        sample_record(3).render_into(&mut buf);
+        for key in ["rb", "fb", "rt", "fl", "dg"] {
+            assert!(!buf.contains(&format!("\"{key}\":")), "{buf}");
+        }
+        let back = EventRecord::parse(buf.trim_end()).unwrap();
+        assert_eq!(back.retries, 0);
+        assert_eq!(back.failed_bytes, Bytes::ZERO);
     }
 
     #[test]

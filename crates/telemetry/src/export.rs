@@ -48,7 +48,7 @@ type WindowColumn = (
     fn(&byc_federation::QueryWindow) -> u64,
 );
 
-const WINDOW_COLUMNS: [WindowColumn; 9] = [
+const WINDOW_COLUMNS: [WindowColumn; 14] = [
     ("byc_hits_total", "Hit decisions.", |w| w.hits),
     ("byc_bypasses_total", "Bypass decisions.", |w| w.bypasses),
     ("byc_loads_total", "Load decisions.", |w| w.loads),
@@ -77,6 +77,29 @@ const WINDOW_COLUMNS: [WindowColumn; 9] = [
         "byc_cache_served_bytes_total",
         "Raw result bytes served out of the cache (D_C share).",
         |w| w.cache_served.raw(),
+    ),
+    (
+        "byc_retried_bytes_total",
+        "WAN bytes wasted on failed transfer attempts (network-priced).",
+        |w| w.retried_bytes.raw(),
+    ),
+    (
+        "byc_failed_bytes_total",
+        "Raw result bytes that failed to deliver (failed slices).",
+        |w| w.failed_bytes.raw(),
+    ),
+    ("byc_retries_total", "Failed transfer attempts.", |w| {
+        w.retries
+    }),
+    (
+        "byc_failed_slices_total",
+        "Slices that delivered nothing after exhausting retries.",
+        |w| w.failed_slices,
+    ),
+    (
+        "byc_degraded_slices_total",
+        "Slices served from a stale local copy after exhausting retries.",
+        |w| w.degraded_slices,
     ),
 ];
 

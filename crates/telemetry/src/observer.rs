@@ -252,7 +252,7 @@ impl Observer for TelemetryObserver {
         if event.hits == 0 {
             series
                 .wan
-                .record((event.bypass_cost + event.fetch_cost).raw());
+                .record((event.bypass_cost + event.fetch_cost + event.retried_bytes).raw());
         }
 
         if let Some(policy) = event.policy {

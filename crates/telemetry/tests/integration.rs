@@ -4,15 +4,12 @@
 //!   back, sums to exactly the replay's `D_S`/`D_L`/`D_C` — the log is a
 //!   complete witness of the accounting;
 //! * sampling thins the log without touching registry counters;
-//! * the registry built by [`sweep_cache_sizes_with`] matches the
+//! * the registry built by `ReplaySession::sweep_with` matches the
 //!   sweep's own reports point for point.
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{
-    replay_with_observers, simulator::ReplayOptions, sweep_cache_sizes_with, PerServerMultipliers,
-    PolicyKind,
-};
+use byc_federation::{PerServerMultipliers, PolicyKind, ReplaySession};
 use byc_telemetry::{
     read_events, EventLogWriter, MetricsRegistry, TelemetryConfig, TelemetryObserver,
 };
@@ -60,17 +57,12 @@ fn unsampled_event_log_reproduces_cost_totals() {
     let sink = SharedBuf::default();
     let writer = EventLogWriter::new(Box::new(sink.clone()), "SpaceEffBY");
     let mut telemetry = TelemetryObserver::new("SpaceEffBY").with_event_log(writer);
-    let options = ReplayOptions {
-        network: Some(&net),
-        ..ReplayOptions::default()
-    };
-    let replay = replay_with_observers(
-        &trace,
-        &objects,
-        policy.as_mut(),
-        options,
-        &mut [&mut telemetry],
-    );
+    let replay = ReplaySession::new(&trace, &objects)
+        .network(&net)
+        .policy(policy.as_mut())
+        .observe(&mut telemetry)
+        .run()
+        .expect("policy configured");
     let (metrics, io) = telemetry.into_parts();
     io.unwrap();
 
@@ -113,13 +105,11 @@ fn sampling_thins_the_log_but_not_the_registry() {
             ..TelemetryConfig::default()
         };
         let mut telemetry = TelemetryObserver::with_config("LRU", config).with_event_log(writer);
-        replay_with_observers(
-            &trace,
-            &objects,
-            policy.as_mut(),
-            ReplayOptions::default(),
-            &mut [&mut telemetry],
-        );
+        ReplaySession::new(&trace, &objects)
+            .policy(policy.as_mut())
+            .observe(&mut telemetry)
+            .run()
+            .expect("policy configured");
         let (metrics, io) = telemetry.into_parts();
         io.unwrap();
         (metrics, read_events(&sink.text()).unwrap())
@@ -143,18 +133,18 @@ fn sweep_registry_matches_sweep_reports() {
     let kinds = [PolicyKind::Gds, PolicyKind::SpaceEffBY];
     let fractions = [0.2, 0.5];
 
-    let results = sweep_cache_sizes_with(
-        &trace,
-        &objects,
-        &stats.demands,
-        &kinds,
-        &fractions,
-        7,
-        &net,
-        // Label per (policy, fraction) so one registry can hold the whole
-        // grid without merging distinct sweep points.
-        |kind, fraction| TelemetryObserver::new(&format!("{}@{:.2}", kind.label(), fraction)),
-    );
+    let results = ReplaySession::new(&trace, &objects)
+        .network(&net)
+        .sweep_with(
+            &kinds,
+            &fractions,
+            &stats.demands,
+            7,
+            // Label per (policy, fraction) so one registry can hold the
+            // whole grid without merging distinct sweep points.
+            |kind, fraction| TelemetryObserver::new(&format!("{}@{:.2}", kind.label(), fraction)),
+        )
+        .expect("valid sweep grid");
     assert_eq!(results.len(), kinds.len() * fractions.len());
 
     let mut registry = MetricsRegistry::new();

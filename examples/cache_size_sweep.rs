@@ -14,7 +14,7 @@
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{sweep_cache_sizes, PolicyKind, Uniform};
+use byc_federation::{PolicyKind, ReplaySession, Uniform};
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 
 fn main() {
@@ -36,15 +36,10 @@ fn main() {
     for granularity in [Granularity::Table, Granularity::Column] {
         let objects = ObjectCatalog::uniform(&catalog, granularity);
         let stats = WorkloadStats::compute(&trace, &objects);
-        let points = sweep_cache_sizes(
-            &trace,
-            &objects,
-            &stats.demands,
-            &policies,
-            &fractions,
-            7,
-            &Uniform,
-        );
+        let points = ReplaySession::new(&trace, &objects)
+            .network(&Uniform)
+            .sweep(&policies, &fractions, &stats.demands, 7)
+            .expect("valid sweep grid");
         println!(
             "\ntotal WAN cost vs cache size — {} caching (sequence cost {})",
             granularity.label(),

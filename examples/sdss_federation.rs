@@ -12,7 +12,7 @@
 use byc_analysis::render_cost_table;
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{build_policy, policy_roster, replay};
+use byc_federation::{build_policy, policy_roster, ReplaySession};
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 
 fn main() {
@@ -36,7 +36,11 @@ fn main() {
         let mut reports = Vec::new();
         for kind in policy_roster() {
             let mut policy = build_policy(kind, capacity, &stats.demands, 7);
-            reports.push(replay(&trace, &objects, policy.as_mut()));
+            let replay = ReplaySession::new(&trace, &objects)
+                .policy(policy.as_mut())
+                .run()
+                .expect("policy configured");
+            reports.push(replay.report);
         }
         let title = format!(
             "{} caching, cache = {:.0}% of DB ({capacity})",

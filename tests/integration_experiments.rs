@@ -6,10 +6,22 @@
 use byc_bench::experiments::{self, ExperimentContext};
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{build_policy, replay, sweep_cache_sizes, PolicyKind};
+use byc_federation::{build_policy, CostReport, PolicyKind, ReplaySession};
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 
 use std::sync::OnceLock;
+
+fn replay(
+    trace: &byc_workload::Trace,
+    objects: &ObjectCatalog,
+    policy: &mut dyn byc_core::policy::CachePolicy,
+) -> CostReport {
+    ReplaySession::new(trace, objects)
+        .policy(policy)
+        .run()
+        .expect("policy configured")
+        .report
+}
 
 /// Reduced catalog scale (≈5.7 GiB synthetic database) but the *full*
 /// EDR query count: per-query yields shrink with the catalog, so the
@@ -118,15 +130,10 @@ fn sweep_flattens_after_knee() {
     // flatten.
     let (trace, objects, stats) = setup(Granularity::Column);
     let fractions = [0.1, 0.3, 1.0];
-    let points = sweep_cache_sizes(
-        &trace,
-        &objects,
-        &stats.demands,
-        &[PolicyKind::RateProfile],
-        &fractions,
-        42,
-        &byc_federation::Uniform,
-    );
+    let points = ReplaySession::new(&trace, &objects)
+        .network(&byc_federation::Uniform)
+        .sweep(&[PolicyKind::RateProfile], &fractions, &stats.demands, 42)
+        .expect("valid sweep grid");
     let at = |f: f64| {
         points
             .iter()

@@ -113,14 +113,18 @@ fn mediator_replay_matches_simulator_accounting() {
     let capacity = objects.total_size().scale(0.3);
 
     let mut sim_policy = RateProfile::new(capacity, RateProfileConfig::default());
-    let report = byc_federation::replay(&trace, &objects, &mut sim_policy);
+    let report = byc_federation::ReplaySession::new(&trace, &objects)
+        .policy(&mut sim_policy)
+        .run()
+        .expect("policy configured")
+        .report;
 
     let med_policy = Box::new(RateProfile::new(capacity, RateProfileConfig::default()));
     let mut mediator = Mediator::new(cat, granularity, med_policy);
     let mut wan = Bytes::ZERO;
     let mut delivered = Bytes::ZERO;
     for q in &trace.queries {
-        let served = mediator.serve_trace_query(q);
+        let served = mediator.serve_trace_query(q, &mut []);
         wan += served.wan_cost();
         delivered += served.delivered;
     }

@@ -12,9 +12,17 @@ use byc_core::access::Access;
 use byc_core::bypass_object::Landlord;
 use byc_core::online::OnlineBY;
 use byc_core::policy::{CachePolicy, Decision};
-use byc_federation::{build_policy, replay, PolicyKind};
+use byc_federation::{build_policy, CostReport, PolicyKind, ReplaySession};
 use byc_types::{Bytes, ObjectId, Tick};
 use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
+
+fn replay(trace: &Trace, objects: &ObjectCatalog, policy: &mut dyn CachePolicy) -> CostReport {
+    ReplaySession::new(trace, objects)
+        .policy(policy)
+        .run()
+        .expect("policy configured")
+        .report
+}
 
 const ALL_KINDS: [PolicyKind; 13] = [
     PolicyKind::RateProfile,

@@ -3,7 +3,7 @@
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{build_policy, replay, PolicyKind};
+use byc_federation::{build_policy, PolicyKind, ReplaySession};
 use byc_workload::io::{read_trace, write_trace};
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 use std::path::PathBuf;
@@ -28,7 +28,11 @@ fn persisted_trace_replays_identically() {
     let capacity = objects.total_size().scale(0.3);
     let run = |t: &byc_workload::Trace| {
         let mut p = build_policy(PolicyKind::RateProfile, capacity, &stats.demands, 3);
-        replay(t, &objects, p.as_mut())
+        ReplaySession::new(t, &objects)
+            .policy(p.as_mut())
+            .run()
+            .expect("policy configured")
+            .report
     };
     assert_eq!(run(&trace), run(&reloaded));
     std::fs::remove_file(&path).ok();
@@ -113,6 +117,10 @@ fn cli_gen_and_run_compose() {
         trace_events: None,
         metrics: None,
         metrics_format: byc_telemetry::MetricsFormat::Prometheus,
+        faults: None,
+        retry: 1,
+        fault_seed: None,
+        degrade: "stale".into(),
     };
     let out = byc_cli::commands::run_command(run).unwrap();
     assert!(out.contains("GDS"), "{out}");
