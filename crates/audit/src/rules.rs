@@ -48,8 +48,25 @@ const NONDET_PATTERNS: &[&str] = &[
 /// ordered structures (`Vec`, `BTreeMap`) replace them.
 const ACCOUNTING_FILES: &[&str] = &["accounting.rs", "metrics.rs", "report.rs", "json.rs"];
 
-/// Hash-container markers matched in [`ACCOUNTING_FILES`].
+/// Hash-container markers matched in [`ACCOUNTING_FILES`] and
+/// [`POLICY_STATE_FILES`].
 const HASH_CONTAINER_PATTERNS: &[&str] = &["HashMap", "HashSet"];
+
+/// `byc-core` files holding per-object policy state. These migrated from
+/// `HashMap<ObjectId, _>` to `DenseMap` (vec-backed, raw-id indexed,
+/// deterministic iteration): eviction tie-breaking and scan order feed
+/// replay decisions, so SipHash iteration order must never creep back
+/// in. `offline.rs` is deliberately absent — its hash maps are scratch
+/// in a one-shot solver whose output ordering is explicitly sorted.
+const POLICY_STATE_FILES: &[&str] = &[
+    "cache.rs",
+    "bypass_object.rs",
+    "inline.rs",
+    "online.rs",
+    "rate_profile.rs",
+    "static_opt.rs",
+    "spaceeff.rs",
+];
 
 /// Integer cast targets forbidden in `byc-core` library code: byte and
 /// count quantities must move through `From`/`TryFrom`/`Bytes` instead
@@ -121,6 +138,21 @@ fn no_nondeterminism(file: &SourceFile, text: &str, number: usize, out: &mut Vec
                     &file.rel_path,
                     number,
                     format!("`{pat}` on the accounting/report path: iteration order feeds output"),
+                ));
+            }
+        }
+    }
+    if file.crate_name == "core" && POLICY_STATE_FILES.contains(&file.file_name()) {
+        for pat in HASH_CONTAINER_PATTERNS {
+            if text.contains(pat) {
+                out.push(Finding::new(
+                    "no-nondeterminism",
+                    &file.rel_path,
+                    number,
+                    format!(
+                        "`{pat}` in policy state: use DenseMap (deterministic iteration \
+                         feeds eviction tie-breaking)"
+                    ),
                 ));
             }
         }
@@ -312,6 +344,33 @@ mod tests {
         let other = file(
             "federation",
             "crates/federation/src/mediator.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert!(run_all(&[other]).is_empty());
+    }
+
+    #[test]
+    fn flags_hash_containers_in_core_policy_state() {
+        let state = file(
+            "core",
+            "crates/core/src/cache.rs",
+            "use std::collections::HashMap;\n",
+        );
+        let findings = run_all(&[state]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-nondeterminism");
+        assert!(findings[0].message.contains("DenseMap"));
+        // offline.rs is exempt: scratch maps in a one-shot solver.
+        let offline = file(
+            "core",
+            "crates/core/src/offline.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert!(run_all(&[offline]).is_empty());
+        // Same file name outside byc-core is out of scope.
+        let other = file(
+            "federation",
+            "crates/federation/src/cache.rs",
             "use std::collections::HashMap;\n",
         );
         assert!(run_all(&[other]).is_empty());

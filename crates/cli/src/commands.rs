@@ -66,6 +66,8 @@ pub enum Command {
         fault_seed: Option<u64>,
         /// Degradation fallback when retries are exhausted ("stale"/"fail").
         degrade: String,
+        /// Replay through the compiled trace fast path.
+        compiled: bool,
     },
     /// Sweep cache sizes for a set of policies.
     Sweep {
@@ -93,6 +95,8 @@ pub enum Command {
         fault_seed: Option<u64>,
         /// Degradation fallback when retries are exhausted ("stale"/"fail").
         degrade: String,
+        /// Compile the trace once and share it across every sweep point.
+        compiled: bool,
     },
     /// Workload analyses: containment and schema locality.
     Analyze {
@@ -313,10 +317,12 @@ USAGE:
           [--servers N] [--cost-multipliers A,B,...]
           [--trace-events FILE] [--metrics FILE] [--metrics-format prom|json]
           [--faults SPEC] [--retry N] [--fault-seed N] [--degrade stale|fail]
+          [--compiled]
   byc sweep <edr|dr1|trace.jsonl> [--granularity table|column] [--scale S] [--seed N]
           [--servers N] [--cost-multipliers A,B,...]
           [--metrics FILE] [--metrics-format prom|json]
           [--faults SPEC] [--retry N] [--fault-seed N] [--degrade stale|fail]
+          [--compiled]
   byc analyze <edr|dr1|trace.jsonl> [--scale S] [--seed N]
   byc help
 
@@ -347,7 +353,13 @@ FAULTS:   --faults injects deterministic WAN faults:
           backoff in query-index time; retries are charged to the WAN);
           --fault-seed seeds stochastic models (defaults to --seed);
           --degrade picks the fallback when retries are exhausted: serve
-          the stale local copy (stale, default) or fail the slice (fail).";
+          the stale local copy (stale, default) or fail the slice (fail).
+
+COMPILED: --compiled replays through the compiled-trace fast path:
+          catalog resolution and network pricing happen once up front,
+          then the replay walks a flat slice arena (sweeps compile once
+          and share it across every policy × fraction point). Reports
+          are bit-identical to the reference path; only speed changes.";
 
 /// Parse raw argument strings into a [`Command`].
 ///
@@ -377,6 +389,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "retry",
             "fault-seed",
             "degrade",
+            "compiled",
         ],
         "sweep" => &[
             "granularity",
@@ -390,6 +403,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "retry",
             "fault-seed",
             "degrade",
+            "compiled",
         ],
         "analyze" => &["granularity", "scale", "seed"],
         _ => &[],
@@ -407,6 +421,11 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                         .collect::<Vec<_>>()
                         .join(", ")
                 )));
+            }
+            // `--compiled` is a pure switch; every other flag takes a value.
+            if name == "compiled" {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
             }
             let value = it
                 .next()
@@ -511,6 +530,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     .get("degrade")
                     .cloned()
                     .unwrap_or_else(|| "stale".into()),
+                compiled: flags.contains_key("compiled"),
             })
         }
         "sweep" => {
@@ -538,6 +558,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     .get("degrade")
                     .cloned()
                     .unwrap_or_else(|| "stale".into()),
+                compiled: flags.contains_key("compiled"),
             })
         }
         "analyze" => Ok(Command::Analyze {
@@ -600,6 +621,7 @@ pub fn run_command(command: Command) -> Result<String> {
             retry,
             fault_seed,
             degrade,
+            compiled,
         } => {
             if cache_fraction <= 0.0 || cache_fraction.is_nan() {
                 return Err(Error::InvalidConfig(
@@ -645,6 +667,9 @@ pub fn run_command(command: Command) -> Result<String> {
                 }
                 if let Some(t) = telemetry.as_mut() {
                     session = session.observe(t);
+                }
+                if compiled {
+                    session = session.compiled();
                 }
                 let report = session.run()?.report;
                 (report, per_server.into_costs())
@@ -733,6 +758,7 @@ pub fn run_command(command: Command) -> Result<String> {
             retry,
             fault_seed,
             degrade,
+            compiled,
         } => {
             let granularity = parse_granularity(&granularity)?;
             let degradation = parse_degradation(&degrade)?;
@@ -753,6 +779,11 @@ pub fn run_command(command: Command) -> Result<String> {
                         .faults(model)
                         .retry(RetryPolicy::new(retry, RETRY_BACKOFF_BASE))
                         .degrade(degradation);
+                }
+                if compiled {
+                    // One compilation, shared read-only across the whole
+                    // (policy × fraction) grid of replay threads.
+                    s = s.compiled();
                 }
                 s
             };
@@ -945,6 +976,7 @@ mod tests {
                 retry,
                 fault_seed,
                 degrade,
+                compiled,
             } => {
                 assert_eq!(trace, "edr");
                 assert_eq!(policy, "gds");
@@ -961,6 +993,7 @@ mod tests {
                 assert_eq!(retry, 1);
                 assert_eq!(fault_seed, None);
                 assert_eq!(degrade, "stale");
+                assert!(!compiled);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1062,6 +1095,48 @@ mod tests {
     }
 
     #[test]
+    fn compiled_flag_parses_without_value() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "edr",
+            "--compiled",
+            "--policy",
+            "gds",
+            "--scale",
+            "0.001",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                compiled, policy, ..
+            } => {
+                assert!(compiled);
+                assert_eq!(policy, "gds");
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let cmd = parse_args(&args(&["sweep", "edr", "--compiled"])).unwrap();
+        match cmd {
+            Command::Sweep { compiled, .. } => assert!(compiled),
+            other => panic!("parsed {other:?}"),
+        }
+        // `--compiled` is unknown outside run/sweep.
+        assert!(parse_args(&args(&["analyze", "edr", "--compiled"])).is_err());
+    }
+
+    #[test]
+    fn compiled_run_output_matches_reference() {
+        let run = |compiled: &[&str]| {
+            let mut argv = vec!["run", "edr", "--policy", "gds", "--scale", "0.001"];
+            argv.extend_from_slice(compiled);
+            run_command(parse_args(&args(&argv)).unwrap()).unwrap()
+        };
+        // The compiled path changes speed, never output: byte-identical
+        // report rendering, including the per-server table.
+        assert_eq!(run(&[]), run(&["--compiled"]));
+    }
+
+    #[test]
     fn bad_cache_fraction_rejected() {
         let cmd = Command::Run {
             trace: "edr".into(),
@@ -1079,6 +1154,7 @@ mod tests {
             retry: 1,
             fault_seed: None,
             degrade: "stale".into(),
+            compiled: false,
         };
         assert!(run_command(cmd).is_err());
     }
@@ -1155,6 +1231,7 @@ mod tests {
             retry: 1,
             fault_seed: None,
             degrade: "stale".into(),
+            compiled: false,
         })
         .unwrap_err();
         assert!(err.to_string().contains("different catalog scale"), "{err}");
@@ -1242,6 +1319,7 @@ mod tests {
             retry: 1,
             fault_seed: None,
             degrade: "stale".into(),
+            compiled: false,
         })
         .unwrap();
         assert!(out.contains("wrote decision events to"), "{out}");
@@ -1289,6 +1367,7 @@ mod tests {
             retry: 1,
             fault_seed: None,
             degrade: "stale".into(),
+            compiled: false,
         })
         .unwrap();
         assert!(out.contains("wrote metrics (prom) to"), "{out}");
@@ -1396,6 +1475,7 @@ mod tests {
             retry: 1,
             fault_seed: None,
             degrade: "fail".into(),
+            compiled: false,
         })
         .unwrap();
         assert!(out.contains("faults (outage, degrade fail)"), "{out}");
@@ -1428,6 +1508,7 @@ mod tests {
             retry: 2,
             fault_seed: Some(11),
             degrade: "stale".into(),
+            compiled: false,
         })
         .unwrap();
         assert!(out.contains("wrote metrics"), "{out}");

@@ -22,9 +22,9 @@
 //!   phase/marking structure her bound rests on.
 
 use crate::cache::CacheState;
+use crate::dense::DenseMap;
 use crate::policy::Decision;
 use byc_types::{Bytes, ObjectId, Tick};
-use std::collections::HashMap;
 
 /// An algorithm for the bypass-object caching problem.
 pub trait BypassObjectAlgorithm {
@@ -158,7 +158,7 @@ impl BypassObjectAlgorithm for Landlord {
 pub struct SizeClassMarking {
     cache: CacheState,
     /// Per-object (marked, last-use tick, size class).
-    meta: HashMap<ObjectId, MarkMeta>,
+    meta: DenseMap<MarkMeta>,
     /// Monotone counter for LRU ordering.
     clock: u64,
     /// Phases completed (exposed for tests/diagnostics).
@@ -182,7 +182,7 @@ impl SizeClassMarking {
     pub fn new(capacity: Bytes) -> Self {
         Self {
             cache: CacheState::new(capacity),
-            meta: HashMap::new(),
+            meta: DenseMap::new(),
             clock: 0,
             phases: 0,
         }
@@ -199,12 +199,12 @@ impl SizeClassMarking {
         let keys: Vec<(ObjectId, f64)> = self
             .cache
             .iter()
-            .map(|(o, _)| {
-                let m = self.meta[&o];
+            .filter_map(|(o, _)| {
+                let m = self.meta.get(o)?;
                 // Marked objects are (near-)unevictable this phase.
                 let marked_penalty = if m.marked { 1e18 } else { 0.0 };
                 let class_penalty = if m.class == incoming_class { 0.0 } else { 1e9 };
-                (o, marked_penalty + class_penalty + m.last_use as f64)
+                Some((o, marked_penalty + class_penalty + m.last_use as f64))
             })
             .collect();
         for (o, k) in keys {
@@ -216,7 +216,7 @@ impl SizeClassMarking {
         let unmarked: Bytes = self
             .cache
             .iter()
-            .filter(|(o, _)| !self.meta[o].marked)
+            .filter(|&(o, _)| !self.meta.get(o).is_some_and(|m| m.marked))
             .map(|(_, e)| e.size)
             .sum();
         unmarked + self.cache.free()
@@ -246,7 +246,7 @@ impl BypassObjectAlgorithm for SizeClassMarking {
         self.clock += 1;
         if self.cache.contains(object) {
             let clock = self.clock;
-            if let Some(m) = self.meta.get_mut(&object) {
+            if let Some(m) = self.meta.get_mut(object) {
                 m.marked = true;
                 m.last_use = clock;
             }
@@ -268,7 +268,7 @@ impl BypassObjectAlgorithm for SizeClassMarking {
             return Decision::Bypass;
         };
         for &(v, _) in &plan {
-            self.meta.remove(&v);
+            self.meta.remove(v);
         }
         self.cache.evict_and_insert(&plan, object, size, 0.0, now);
         self.meta.insert(
@@ -301,7 +301,7 @@ impl BypassObjectAlgorithm for SizeClassMarking {
     }
 
     fn invalidate(&mut self, object: ObjectId) -> bool {
-        self.meta.remove(&object);
+        self.meta.remove(object);
         self.cache.remove(object).is_some()
     }
 }

@@ -4,11 +4,13 @@
 //! Mirrors the paper's prototype (§6): "The cache is a binary heap of
 //! database objects in which heap ordering is done based on utility value
 //! ... By maintaining an additional hash table on cached objects, the
-//! cache resolves hits and misses in O(1) time."
+//! cache resolves hits and misses in O(1) time." Since our object ids are
+//! dense `u32` indexes, the "hash table" here is a [`DenseMap`]: same O(1)
+//! membership, no hashing, deterministic iteration.
 
-use crate::heap::IndexedMinHeap;
+use crate::dense::DenseMap;
+use crate::heap::{IndexedMinHeap, SelectionHeap};
 use byc_types::{Bytes, ObjectId, Tick};
-use std::collections::HashMap;
 
 /// Book-keeping for one cached object.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -24,14 +26,16 @@ pub struct CachedEntry {
     pub hits: u64,
 }
 
-/// Fixed-capacity cache state: hash index for O(1) membership plus a
-/// utility min-heap for victim selection.
+/// Fixed-capacity cache state: a dense id-indexed table for O(1)
+/// membership (no hashing) plus a utility min-heap for victim selection.
 #[derive(Clone, Debug)]
 pub struct CacheState {
     capacity: Bytes,
     used: Bytes,
-    entries: HashMap<ObjectId, CachedEntry>,
+    entries: DenseMap<CachedEntry>,
     heap: IndexedMinHeap,
+    /// Reusable scratch for [`Self::plan_eviction`]'s partial selection.
+    scratch: SelectionHeap,
 }
 
 impl CacheState {
@@ -40,8 +44,9 @@ impl CacheState {
         Self {
             capacity,
             used: Bytes::ZERO,
-            entries: HashMap::new(),
+            entries: DenseMap::new(),
             heap: IndexedMinHeap::new(),
+            scratch: SelectionHeap::new(),
         }
     }
 
@@ -72,12 +77,12 @@ impl CacheState {
 
     /// True iff `object` is cached.
     pub fn contains(&self, object: ObjectId) -> bool {
-        self.entries.contains_key(&object)
+        self.entries.contains(object)
     }
 
     /// Entry for `object`, if cached.
     pub fn entry(&self, object: ObjectId) -> Option<&CachedEntry> {
-        self.entries.get(&object)
+        self.entries.get(object)
     }
 
     /// Record a query served from cache: accumulate its yield.
@@ -88,7 +93,7 @@ impl CacheState {
     ///
     /// [`PolicyAuditor`]: crate::audit::PolicyAuditor
     pub fn record_hit(&mut self, object: ObjectId, yield_bytes: Bytes) {
-        let Some(e) = self.entries.get_mut(&object) else {
+        let Some(e) = self.entries.get_mut(object) else {
             debug_assert!(false, "record_hit on non-cached object {object}");
             return;
         };
@@ -124,7 +129,7 @@ impl CacheState {
 
     /// Remove `object`, returning its entry if it was cached.
     pub fn remove(&mut self, object: ObjectId) -> Option<CachedEntry> {
-        let entry = self.entries.remove(&object)?;
+        let entry = self.entries.remove(object)?;
         self.used -= entry.size;
         self.heap.remove(object);
         Some(entry)
@@ -150,35 +155,38 @@ impl CacheState {
         self.heap.peek_min()
     }
 
-    /// Iterate cached objects and entries in unspecified order.
+    /// Iterate cached objects and entries in ascending id order (the
+    /// [`DenseMap`] guarantee — deterministic across runs).
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &CachedEntry)> + '_ {
-        self.entries.iter().map(|(&o, e)| (o, e))
+        self.entries.iter()
     }
 
     /// Plan evictions to make room for an incoming object of `size`:
-    /// returns the lowest-utility victims (ascending by utility) whose
-    /// removal frees enough space, or `None` if the object can never fit
-    /// (`size > capacity`). An empty plan means it already fits.
-    pub fn plan_eviction(&self, size: Bytes) -> Option<Vec<(ObjectId, f64)>> {
+    /// returns the lowest-utility victims (ascending by utility, ties by
+    /// ascending id) whose removal frees enough space, or `None` if the
+    /// object can never fit (`size > capacity`). An empty plan means it
+    /// already fits.
+    ///
+    /// Victims are drawn by partial selection on a reusable
+    /// [`SelectionHeap`] scratch buffer — O(k + m log k) for m victims
+    /// among k cached objects instead of a full O(k log k) sort. The
+    /// `(utility, id)` order is total, so the victim sequence is exactly
+    /// the prefix the old full sort produced.
+    pub fn plan_eviction(&mut self, size: Bytes) -> Option<Vec<(ObjectId, f64)>> {
         if size > self.capacity {
             return None;
         }
         if size <= self.free() {
             return Some(Vec::new());
         }
-        let mut by_utility: Vec<(ObjectId, f64)> = self.heap.iter().collect();
-        by_utility.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        self.scratch.load(self.heap.iter());
         let mut freed = self.free();
         let mut victims = Vec::new();
-        for (object, utility) in by_utility {
-            if freed >= size {
+        while freed < size {
+            let Some((object, utility)) = self.scratch.pop_min() else {
                 break;
-            }
-            freed += self.entries[&object].size;
+            };
+            freed += self.entries.get(object).map_or(Bytes::ZERO, |e| e.size);
             victims.push((object, utility));
         }
         debug_assert!(freed >= size);
@@ -218,7 +226,7 @@ impl CacheState {
                 self.entries.len()
             ));
         }
-        for &object in self.entries.keys() {
+        for (object, _) in self.entries.iter() {
             if !self.heap.contains(object) {
                 problems.push(format!("cached {object} missing from the heap"));
             }
@@ -355,7 +363,7 @@ mod tests {
 
     #[test]
     fn plan_eviction_none_when_too_big() {
-        let c = cache(100);
+        let mut c = cache(100);
         assert!(c.plan_eviction(Bytes::new(101)).is_none());
         assert_eq!(c.plan_eviction(Bytes::new(100)), Some(vec![]));
     }
@@ -372,6 +380,87 @@ mod tests {
             plan.iter().map(|&(o, _)| o).collect::<Vec<_>>(),
             vec![oid(1), oid(2)]
         );
+    }
+
+    /// Reference implementation of victim selection: the full `sort_by`
+    /// that `plan_eviction` used before switching to partial selection.
+    fn plan_by_full_sort(c: &CacheState, size: Bytes) -> Option<Vec<(ObjectId, f64)>> {
+        if size > c.capacity() {
+            return None;
+        }
+        if size <= c.free() {
+            return Some(Vec::new());
+        }
+        let mut by_utility: Vec<(ObjectId, f64)> = c
+            .iter()
+            .filter_map(|(o, _)| Some((o, c.utility(o)?)))
+            .collect();
+        by_utility.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut freed = c.free();
+        let mut victims = Vec::new();
+        for (object, utility) in by_utility {
+            if freed >= size {
+                break;
+            }
+            freed += c.entry(object).unwrap().size;
+            victims.push((object, utility));
+        }
+        Some(victims)
+    }
+
+    #[test]
+    fn plan_eviction_pins_tie_break_order() {
+        // Equal utilities: victims must come out in ascending id order,
+        // exactly as the old full sort's `(utility, id)` comparator chose.
+        let mut c = cache(100);
+        c.insert(oid(7), Bytes::new(25), 1.0, Tick::ZERO);
+        c.insert(oid(2), Bytes::new(25), 1.0, Tick::ZERO);
+        c.insert(oid(5), Bytes::new(25), 1.0, Tick::ZERO);
+        c.insert(oid(9), Bytes::new(25), 2.0, Tick::ZERO);
+        let plan = c.plan_eviction(Bytes::new(60)).unwrap();
+        assert_eq!(
+            plan,
+            vec![(oid(2), 1.0), (oid(5), 1.0), (oid(7), 1.0)],
+            "tie-break must be ascending id at equal utility"
+        );
+    }
+
+    #[test]
+    fn plan_eviction_matches_full_sort_under_churn() {
+        let mut c = cache(500);
+        let mut rng = byc_types::SplitMix64::new(11);
+        let mut checked = 0u32;
+        for step in 0..3_000u32 {
+            let o = oid(rng.next_bounded(40) as u32);
+            if c.contains(o) {
+                if rng.chance(0.25) {
+                    c.remove(o);
+                } else {
+                    // Quantized utilities make ties frequent.
+                    c.set_utility(o, (rng.next_bounded(4) as f64) / 2.0);
+                }
+            } else {
+                let size = Bytes::new(rng.next_range(1, 150));
+                let expected = plan_by_full_sort(&c, size);
+                let plan = c.plan_eviction(size);
+                assert_eq!(plan, expected, "divergence at step {step}");
+                if let Some(plan) = plan {
+                    checked += 1;
+                    c.evict_and_insert(
+                        &plan,
+                        o,
+                        size,
+                        (rng.next_bounded(4) as f64) / 2.0,
+                        Tick::new(step as u64),
+                    );
+                }
+            }
+        }
+        assert!(checked > 500, "churn exercised too few plans: {checked}");
     }
 
     #[test]

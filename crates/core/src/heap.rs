@@ -194,6 +194,96 @@ impl IndexedMinHeap {
     }
 }
 
+/// A reusable scratch min-heap for partial selection by `(key, id)`.
+///
+/// [`CacheState::plan_eviction`](crate::cache::CacheState::plan_eviction)
+/// needs the lowest-utility prefix of the cached objects, not a full sort:
+/// loading the heap is O(k) and each victim pop is O(log k), so planning
+/// `m` victims costs O(k + m log k) instead of the O(k log k) full
+/// `sort_by` it replaces. The order is the **total** order
+/// `(utility ascending, then ObjectId ascending)` — identical to the
+/// comparator the old sort used — so the popped victim sequence is unique
+/// regardless of how the candidates were arranged when loaded, and
+/// eviction plans stay bit-identical to the sort-based reference.
+///
+/// The buffer is owned by long-lived state (e.g. `CacheState`) and reused
+/// across calls; `load` clears and refills it without freeing the
+/// allocation.
+#[derive(Clone, Debug, Default)]
+pub struct SelectionHeap {
+    /// Heap-ordered (object, key) pairs under the `(key, id)` total order.
+    items: Vec<(ObjectId, f64)>,
+}
+
+impl SelectionHeap {
+    /// An empty scratch heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries currently loaded.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff no entries are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Discard previous contents and heapify `candidates` in O(k).
+    pub fn load(&mut self, candidates: impl Iterator<Item = (ObjectId, f64)>) {
+        self.items.clear();
+        self.items.extend(candidates);
+        let len = self.items.len();
+        for pos in (0..len / 2).rev() {
+            self.sift_down(pos);
+        }
+    }
+
+    /// Remove and return the minimum entry under `(key, id)`.
+    pub fn pop_min(&mut self) -> Option<(ObjectId, f64)> {
+        let last = self.items.len().checked_sub(1)?;
+        self.items.swap(0, last);
+        let min = self.items.pop()?;
+        if !self.items.is_empty() {
+            self.sift_down(0);
+        }
+        Some(min)
+    }
+
+    /// `a` orders strictly before `b`: ascending key, ties broken by
+    /// ascending id. Incomparable keys (NaN, which upstream
+    /// `debug_assert`s exclude) compare as equal, exactly like the
+    /// `partial_cmp(..).unwrap_or(Equal)` comparator this replaces.
+    fn before(a: (ObjectId, f64), b: (ObjectId, f64)) -> bool {
+        match a.1.partial_cmp(&b.1) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => a.0 < b.0,
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut smallest = pos;
+            if left < self.items.len() && Self::before(self.items[left], self.items[smallest]) {
+                smallest = left;
+            }
+            if right < self.items.len() && Self::before(self.items[right], self.items[smallest]) {
+                smallest = right;
+            }
+            if smallest == pos {
+                break;
+            }
+            self.items.swap(pos, smallest);
+            pos = smallest;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,5 +409,52 @@ mod tests {
             assert_eq!(got_id, oid(id));
         }
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn selection_heap_pops_sorted_with_id_tiebreak() {
+        let mut s = SelectionHeap::new();
+        s.load([(oid(5), 2.0), (oid(1), 2.0), (oid(9), 1.0), (oid(3), 2.0)].into_iter());
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.pop_min(), Some((oid(9), 1.0)));
+        assert_eq!(s.pop_min(), Some((oid(1), 2.0)));
+        assert_eq!(s.pop_min(), Some((oid(3), 2.0)));
+        assert_eq!(s.pop_min(), Some((oid(5), 2.0)));
+        assert_eq!(s.pop_min(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn selection_heap_reload_discards_previous() {
+        let mut s = SelectionHeap::new();
+        s.load([(oid(0), 9.0)].into_iter());
+        s.load([(oid(1), 1.0), (oid(2), 2.0)].into_iter());
+        assert_eq!(s.pop_min(), Some((oid(1), 1.0)));
+        assert_eq!(s.pop_min(), Some((oid(2), 2.0)));
+        assert_eq!(s.pop_min(), None);
+    }
+
+    #[test]
+    fn selection_heap_matches_full_sort_randomized() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..50 {
+            let n = 1 + rng.next_bounded(40) as usize;
+            // Quantize keys so ties are common and the id tie-break works.
+            let mut reference: Vec<(ObjectId, f64)> = (0..n)
+                .map(|i| (oid(i as u32), (rng.next_bounded(5) as f64) / 2.0))
+                .collect();
+            let mut s = SelectionHeap::new();
+            s.load(reference.iter().copied());
+            reference.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            let mut popped = Vec::new();
+            while let Some(item) = s.pop_min() {
+                popped.push(item);
+            }
+            assert_eq!(popped, reference);
+        }
     }
 }

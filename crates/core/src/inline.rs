@@ -14,9 +14,9 @@
 
 use crate::access::Access;
 use crate::cache::CacheState;
+use crate::dense::DenseMap;
 use crate::policy::{CachePolicy, Decision};
 use byc_types::{Bytes, ObjectId};
-use std::collections::HashMap;
 
 /// How a policy keys the utility heap.
 pub trait UtilityRule {
@@ -143,7 +143,7 @@ impl UtilityRule for GdsRule {
 #[derive(Clone, Debug, Default)]
 pub struct GdspRule {
     inflation: f64,
-    frequency: HashMap<ObjectId, u64>,
+    frequency: DenseMap<u64>,
 }
 
 impl UtilityRule for GdspRule {
@@ -152,14 +152,14 @@ impl UtilityRule for GdspRule {
     }
 
     fn on_hit(&mut self, access: &Access, _hits: u64) -> f64 {
-        let f = self.frequency.entry(access.object).or_insert(0);
+        let f = self.frequency.get_or_insert_with(access.object, || 0);
         *f += 1;
         let s = access.size.as_f64().max(1.0);
         self.inflation + *f as f64 * access.fetch_cost.as_f64() / s
     }
 
     fn on_load(&mut self, access: &Access) -> f64 {
-        let f = self.frequency.entry(access.object).or_insert(0);
+        let f = self.frequency.get_or_insert_with(access.object, || 0);
         *f += 1;
         let s = access.size.as_f64().max(1.0);
         self.inflation + *f as f64 * access.fetch_cost.as_f64() / s
@@ -214,7 +214,7 @@ impl UtilityRule for LfuRule {
 pub struct LruKRule {
     k: usize,
     /// Per-object reference history, most recent last, capped at `k`.
-    history: HashMap<ObjectId, Vec<u64>>,
+    history: DenseMap<Vec<u64>>,
 }
 
 impl LruKRule {
@@ -223,12 +223,12 @@ impl LruKRule {
         assert!(k >= 1, "LRU-K needs K >= 1");
         Self {
             k,
-            history: HashMap::new(),
+            history: DenseMap::new(),
         }
     }
 
     fn observe(&mut self, access: &Access) -> f64 {
-        let h = self.history.entry(access.object).or_default();
+        let h = self.history.get_or_insert_with(access.object, Vec::new);
         h.push(access.time.raw());
         if h.len() > self.k {
             h.remove(0);
@@ -287,7 +287,7 @@ impl UtilityRule for LffRule {
 pub struct GdStarRule {
     inflation: f64,
     beta: f64,
-    frequency: HashMap<ObjectId, u64>,
+    frequency: DenseMap<u64>,
 }
 
 impl GdStarRule {
@@ -297,12 +297,12 @@ impl GdStarRule {
         Self {
             inflation: 0.0,
             beta,
-            frequency: HashMap::new(),
+            frequency: DenseMap::new(),
         }
     }
 
     fn key(&mut self, access: &Access) -> f64 {
-        let f = self.frequency.entry(access.object).or_insert(0);
+        let f = self.frequency.get_or_insert_with(access.object, || 0);
         *f += 1;
         let s = access.size.as_f64().max(1.0);
         self.inflation + (*f as f64).powf(self.beta) * access.fetch_cost.as_f64() / s
@@ -479,7 +479,7 @@ mod tests {
         );
         // Frequency persists across evictions: reloading 1 later still
         // remembers freq 1 → now 2.
-        assert_eq!(p.rule().frequency[&ObjectId::new(1)], 1);
+        assert_eq!(p.rule().frequency.get(ObjectId::new(1)), Some(&1));
     }
 
     #[test]

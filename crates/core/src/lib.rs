@@ -53,6 +53,7 @@ pub mod access;
 pub mod audit;
 pub mod bypass_object;
 pub mod cache;
+pub mod dense;
 pub mod heap;
 pub mod inline;
 pub mod metrics;
@@ -65,6 +66,7 @@ pub mod static_opt;
 
 pub use access::Access;
 pub use cache::CacheState;
-pub use heap::IndexedMinHeap;
+pub use dense::DenseMap;
+pub use heap::{IndexedMinHeap, SelectionHeap};
 pub use metrics::{byhr, byu, QueryProfile};
 pub use policy::{CachePolicy, Decision};

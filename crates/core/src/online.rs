@@ -16,9 +16,9 @@
 
 use crate::access::Access;
 use crate::bypass_object::BypassObjectAlgorithm;
+use crate::dense::DenseMap;
 use crate::policy::{CachePolicy, Decision};
 use byc_types::{Bytes, ObjectId};
-use std::collections::HashMap;
 
 /// The OnlineBY policy, generic over the bypass-object subroutine.
 #[derive(Clone, Debug)]
@@ -26,7 +26,7 @@ pub struct OnlineBY<A> {
     inner: A,
     name: &'static str,
     /// Per-object BYU rent meters ("For all i, BYU_i is initially 0").
-    byu: HashMap<ObjectId, f64>,
+    byu: DenseMap<f64>,
 }
 
 impl<A: BypassObjectAlgorithm> OnlineBY<A> {
@@ -35,7 +35,7 @@ impl<A: BypassObjectAlgorithm> OnlineBY<A> {
         Self {
             inner,
             name: "OnlineBY",
-            byu: HashMap::new(),
+            byu: DenseMap::new(),
         }
     }
 
@@ -45,13 +45,13 @@ impl<A: BypassObjectAlgorithm> OnlineBY<A> {
         Self {
             inner,
             name,
-            byu: HashMap::new(),
+            byu: DenseMap::new(),
         }
     }
 
     /// Current BYU meter of an object (diagnostics).
     pub fn byu_counter(&self, object: ObjectId) -> f64 {
-        self.byu.get(&object).copied().unwrap_or(0.0)
+        self.byu.get(object).copied().unwrap_or(0.0)
     }
 
     /// The wrapped bypass-object algorithm.
@@ -67,7 +67,7 @@ impl<A: BypassObjectAlgorithm> CachePolicy for OnlineBY<A> {
 
     fn on_access(&mut self, access: &Access) -> Decision {
         // BYU_i ← BYU_i + y/s (Figure 2).
-        let meter = self.byu.entry(access.object).or_insert(0.0);
+        let meter = self.byu.get_or_insert_with(access.object, || 0.0);
         *meter += access.yield_fraction();
         let fire = *meter >= 1.0;
         if fire {
@@ -111,7 +111,7 @@ impl<A: BypassObjectAlgorithm> CachePolicy for OnlineBY<A> {
 
     fn invalidate(&mut self, object: ObjectId) -> bool {
         // The rent already paid toward this object is void too.
-        self.byu.remove(&object);
+        self.byu.remove(object);
         self.inner.invalidate(object)
     }
 }

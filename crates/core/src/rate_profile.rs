@@ -35,10 +35,10 @@
 
 use crate::access::Access;
 use crate::cache::CacheState;
+use crate::dense::DenseMap;
 use crate::policy::{CachePolicy, Decision};
 use byc_types::{Bytes, ObjectId, Tick};
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Tuning knobs for [`RateProfile`]. Defaults follow the paper (§4.3).
 #[derive(Clone, Debug)]
@@ -166,7 +166,7 @@ impl ObjectProfile {
 pub struct RateProfile {
     cache: CacheState,
     config: RateProfileConfig,
-    profiles: HashMap<ObjectId, ObjectProfile>,
+    profiles: DenseMap<ObjectProfile>,
 }
 
 impl RateProfile {
@@ -180,7 +180,7 @@ impl RateProfile {
         Self {
             cache: CacheState::new(capacity),
             config,
-            profiles: HashMap::new(),
+            profiles: DenseMap::new(),
         }
     }
 
@@ -195,7 +195,7 @@ impl RateProfile {
     /// The load-adjusted rate (Eq. 6) of a profiled object.
     pub fn load_adjusted_rate(&self, object: ObjectId) -> Option<f64> {
         self.profiles
-            .get(&object)
+            .get(object)
             .map(|p| p.lar(self.config.episode_weight_decay))
     }
 
@@ -213,10 +213,9 @@ impl RateProfile {
         let episodes_enabled = self.config.episodes_enabled;
         let decay = self.config.episode_weight_decay;
 
-        let profile = match self.profiles.entry(access.object) {
-            Entry::Occupied(e) => e.into_mut(),
-            Entry::Vacant(e) => e.insert(ObjectProfile::new()),
-        };
+        let profile = self
+            .profiles
+            .get_or_insert_with(access.object, ObjectProfile::new);
 
         // Rule 2: idle gap closes the episode (evaluated lazily on the
         // next access).
@@ -274,14 +273,14 @@ impl RateProfile {
         let mut by_recency: Vec<(ObjectId, Tick)> = self
             .profiles
             .iter()
-            .map(|(&o, p)| (o, p.last_access))
+            .map(|(o, p)| (o, p.last_access))
             .collect();
         by_recency.sort_by_key(|&(o, t)| (t, o));
         // Prune 10% to amortize the scan.
         let target = self.config.max_profiles - self.config.max_profiles / 10;
         let excess = self.profiles.len().saturating_sub(target);
         for &(o, _) in by_recency.iter().take(excess) {
-            self.profiles.remove(&o);
+            self.profiles.remove(o);
         }
     }
 
@@ -297,10 +296,7 @@ impl RateProfile {
         let s = entry.size.as_f64().max(1.0);
         let lar = (entry.accum_yield.as_f64() - fetch_cost.as_f64()) / (elapsed * s);
         let max_eps = self.config.max_episodes;
-        let profile = self
-            .profiles
-            .entry(object)
-            .or_insert_with(ObjectProfile::new);
+        let profile = self.profiles.get_or_insert_with(object, ObjectProfile::new);
         profile.close_episode(max_eps);
         profile.closed.push_back(lar);
         while profile.closed.len() > max_eps {
@@ -355,7 +351,7 @@ impl CachePolicy for RateProfile {
         // The triggering query is served from the fresh copy.
         self.cache.record_hit(access.object, access.yield_bytes);
         // Outside profile pauses while cached: close its open episode.
-        if let Some(p) = self.profiles.get_mut(&access.object) {
+        if let Some(p) = self.profiles.get_mut(access.object) {
             let max_eps = self.config.max_episodes;
             p.close_episode(max_eps);
         }
@@ -381,7 +377,7 @@ impl CachePolicy for RateProfile {
     fn invalidate(&mut self, object: ObjectId) -> bool {
         // A server-side change voids the cached copy *and* its history:
         // past savings rates no longer predict the new data's behaviour.
-        self.profiles.remove(&object);
+        self.profiles.remove(object);
         self.cache.remove(object).is_some()
     }
 }

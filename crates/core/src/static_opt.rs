@@ -9,9 +9,9 @@
 //! capacity) and an exact dynamic program on a scaled capacity grid.
 
 use crate::access::Access;
+use crate::dense::DenseMap;
 use crate::policy::{CachePolicy, Decision};
 use byc_types::{Bytes, ObjectId};
-use std::collections::HashSet;
 
 /// Per-object demand observed over a whole trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -123,10 +123,11 @@ pub fn plan_exact(demands: &[ObjectDemand], capacity: Bytes, grid: usize) -> Vec
 /// assumed pre-populated, matching the paper's description literally.
 #[derive(Clone, Debug)]
 pub struct StaticCache {
-    selected: HashSet<ObjectId>,
+    /// The fixed resident set (a dense id-indexed membership set).
+    selected: DenseMap<()>,
     /// Loaded objects and their sizes (needed to release space on
     /// invalidation).
-    loaded: std::collections::HashMap<ObjectId, Bytes>,
+    loaded: DenseMap<Bytes>,
     capacity: Bytes,
     used: Bytes,
     charge_loads: bool,
@@ -135,9 +136,13 @@ pub struct StaticCache {
 impl StaticCache {
     /// Create from a planned selection.
     pub fn new(selected: Vec<ObjectId>, capacity: Bytes, charge_loads: bool) -> Self {
+        let mut set = DenseMap::new();
+        for object in selected {
+            set.insert(object, ());
+        }
         Self {
-            selected: selected.into_iter().collect(),
-            loaded: std::collections::HashMap::new(),
+            selected: set,
+            loaded: DenseMap::new(),
             capacity,
             used: Bytes::ZERO,
             charge_loads,
@@ -161,10 +166,10 @@ impl CachePolicy for StaticCache {
     }
 
     fn on_access(&mut self, access: &Access) -> Decision {
-        if !self.selected.contains(&access.object) {
+        if !self.selected.contains(access.object) {
             return Decision::Bypass;
         }
-        if self.loaded.contains_key(&access.object) {
+        if self.loaded.contains(access.object) {
             return Decision::Hit;
         }
         if self.used + access.size > self.capacity {
@@ -186,9 +191,9 @@ impl CachePolicy for StaticCache {
         // The resident set is fixed; report selected objects as cached
         // once they have been touched (or always, when pre-populated).
         if self.charge_loads {
-            self.loaded.contains_key(&object)
+            self.loaded.contains(object)
         } else {
-            self.selected.contains(&object)
+            self.selected.contains(object)
         }
     }
 
@@ -202,16 +207,16 @@ impl CachePolicy for StaticCache {
 
     fn cached_objects(&self) -> Vec<ObjectId> {
         if self.charge_loads {
-            self.loaded.keys().copied().collect()
+            self.loaded.iter().map(|(o, _)| o).collect()
         } else {
-            self.selected.iter().copied().collect()
+            self.selected.iter().map(|(o, _)| o).collect()
         }
     }
 
     fn invalidate(&mut self, object: ObjectId) -> bool {
         // The object stays selected — it is simply re-fetched on its next
         // access.
-        match self.loaded.remove(&object) {
+        match self.loaded.remove(object) {
             Some(size) => {
                 self.used = self.used.saturating_sub(size);
                 true

@@ -1,0 +1,412 @@
+//! Compiled traces: the allocation-free, lookup-free replay hot path.
+//!
+//! The uncompiled engine pays per-access overhead that is invariant
+//! across replays of the same `(trace, objects, network)` triple:
+//! catalog resolution (`object_for_table` / `object_for_column`), the
+//! `ObjectInfo` lookup, and network pricing of fetch costs all recompute
+//! the same values on every pass. Sweeps replay one trace dozens of
+//! times — (policy × cache-fraction) grids, fault ablations — so that
+//! work is pure waste after the first replay.
+//!
+//! A [`CompiledTrace`] hoists all of it into a one-time compilation
+//! pass: every query is flattened into a contiguous arena of
+//! [`CompiledSlice`] records (object, home server, raw yield, and both
+//! network-priced costs), with a per-query offset table delimiting each
+//! query's slice run. Replaying a compiled trace is then a linear walk
+//! over two flat `Vec`s: no hashing, no catalog lookups, no pricing
+//! arithmetic, and no per-query allocation (the uncompiled path's
+//! `decompose` builds a fresh `Vec` per query on the query-level path).
+//!
+//! Faulted and observed compiled replays funnel every slice through the
+//! crate's single decision→cost conversion site (`slice_event` in
+//! [`crate::engine`]), so their [`CostReport`]s are bit-identical to the
+//! reference engine's by construction. The fault-free report path is the
+//! one sanctioned hand-inlining of that conversion — a branch-free
+//! accumulation loop whose bit-identity the `compiled_equivalence`
+//! property tests pin across every policy and network configuration.
+
+use crate::accounting::CostReport;
+use crate::engine::{slice_event, CostObserver, Observer, QueryWindow};
+use crate::faults::FaultPlan;
+use crate::network::NetworkModel;
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_core::access::Access;
+use byc_core::policy::CachePolicy;
+use byc_types::{Bytes, ObjectId, ServerId, Tick};
+use byc_workload::Trace;
+
+/// One pre-resolved, pre-priced object slice of one query: everything
+/// the replay loop needs, with no catalog or network model in sight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompiledSlice {
+    /// The cacheable object this slice resolves to.
+    pub object: ObjectId,
+    /// The object's home server (already looked up from the catalog).
+    pub server: ServerId,
+    /// Raw result bytes of the slice (yield, network-independent).
+    pub raw_yield: Bytes,
+    /// WAN cost of bypassing the slice: `raw_yield` priced by the home
+    /// server's link (what the engine computes per access, per replay).
+    pub priced_yield: Bytes,
+    /// The object's total size (the policy-visible `Access::size`).
+    pub size: Bytes,
+    /// WAN cost of loading the object: its fetch cost priced by the home
+    /// server's link (the policy-visible `Access::fetch_cost`).
+    pub priced_fetch: Bytes,
+}
+
+impl CompiledSlice {
+    /// The policy-visible access of this slice at virtual time `time`.
+    /// Identical to what [`crate::engine::ReplayEngine`] constructs per
+    /// access — raw yield, priced fetch — but read straight from the
+    /// arena.
+    #[inline]
+    pub fn access(&self, time: Tick) -> Access {
+        Access {
+            object: self.object,
+            time,
+            yield_bytes: self.raw_yield,
+            size: self.size,
+            fetch_cost: self.priced_fetch,
+        }
+    }
+}
+
+/// A trace compiled against one `(objects, network)` pair: a flat slice
+/// arena plus per-query offsets. Compile once, replay many — the sweep
+/// builds one and shares it (immutably) across all its worker threads.
+#[derive(Clone, Debug)]
+pub struct CompiledTrace {
+    /// Trace name, for report headers.
+    name: String,
+    /// Granularity label of the compiled object view.
+    granularity: String,
+    /// All queries' slices, concatenated in replay order.
+    slices: Vec<CompiledSlice>,
+    /// `offsets[q]..offsets[q + 1]` delimits query `q`'s slices
+    /// (`offsets.len() == queries + 1`).
+    offsets: Vec<usize>,
+}
+
+impl CompiledTrace {
+    /// Compile `trace` against `objects` and `network`: resolve every
+    /// table/column reference to its cacheable object and price its
+    /// traffic, exactly once. References that do not resolve are
+    /// skipped, matching [`crate::engine::decompose`] slice for slice.
+    pub fn compile(trace: &Trace, objects: &ObjectCatalog, network: &dyn NetworkModel) -> Self {
+        let mut slices = Vec::new();
+        let mut offsets = Vec::with_capacity(trace.len() + 1);
+        offsets.push(0);
+        for query in &trace.queries {
+            match objects.granularity() {
+                Granularity::Table => {
+                    for &(t, raw_yield) in &query.table_yields {
+                        if let Ok(object) = objects.object_for_table(t) {
+                            slices.push(Self::slice_for(objects, network, object, raw_yield));
+                        }
+                    }
+                }
+                Granularity::Column => {
+                    for &(c, raw_yield) in &query.column_yields {
+                        if let Ok(object) = objects.object_for_column(c) {
+                            slices.push(Self::slice_for(objects, network, object, raw_yield));
+                        }
+                    }
+                }
+            }
+            offsets.push(slices.len());
+        }
+        CompiledTrace {
+            name: trace.name.clone(),
+            granularity: objects.granularity().label().to_string(),
+            slices,
+            offsets,
+        }
+    }
+
+    /// Resolve and price one slice (the per-slice work the compilation
+    /// pass hoists out of the replay loop).
+    fn slice_for(
+        objects: &ObjectCatalog,
+        network: &dyn NetworkModel,
+        object: ObjectId,
+        raw_yield: Bytes,
+    ) -> CompiledSlice {
+        let info = objects.info(object);
+        CompiledSlice {
+            object,
+            server: info.server,
+            raw_yield,
+            priced_yield: network.price(info.server, raw_yield),
+            size: info.size,
+            priced_fetch: network.price(info.server, info.fetch_cost),
+        }
+    }
+
+    /// The compiled trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The granularity label this trace was compiled at.
+    pub fn granularity(&self) -> &str {
+        &self.granularity
+    }
+
+    /// Number of queries in the compiled trace.
+    pub fn queries(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The whole slice arena, in replay order.
+    pub fn slices(&self) -> &[CompiledSlice] {
+        &self.slices
+    }
+
+    /// The slices of query `index` (empty when out of range or the query
+    /// resolved to no cacheable objects).
+    pub fn query_slices(&self, index: usize) -> &[CompiledSlice] {
+        let bounds = index
+            .checked_add(1)
+            .and_then(|next| Some((*self.offsets.get(index)?, *self.offsets.get(next)?)));
+        let Some((start, end)) = bounds else {
+            return &[];
+        };
+        self.slices.get(start..end).unwrap_or(&[])
+    }
+
+    /// Replay the compiled trace through `policy` and return the
+    /// [`CostReport`] — the allocation-free hot path. No observers, no
+    /// dynamic dispatch per event. Fault-free replays accumulate the
+    /// decision split straight into a [`QueryWindow`] (the hand-inlined
+    /// equivalent of `slice_event` + `CostObserver`, whose bit-identity
+    /// the `compiled_equivalence` property tests pin); faulted replays
+    /// run the engine's shared `slice_event` conversion, where the retry
+    /// and degradation arms live.
+    pub fn replay_report(
+        &self,
+        policy: &mut dyn CachePolicy,
+        faults: Option<FaultPlan<'_>>,
+    ) -> CostReport {
+        match faults {
+            Some(plan) => self.replay_report_faulted(policy, plan),
+            None => self.replay_report_fault_free(policy),
+        }
+    }
+
+    /// The fault-free hot loop: per slice, one policy call and a handful
+    /// of adds. Every field written here sums exactly the quantities
+    /// `slice_event` would put in a fault-free [`CostEvent`], in the same
+    /// order, so the report is bit-identical to the reference path.
+    fn replay_report_fault_free(&self, policy: &mut dyn CachePolicy) -> CostReport {
+        use byc_core::policy::Decision;
+        let mut w = QueryWindow::default();
+        let mut queries = 0usize;
+        for (index, bounds) in self.offsets.windows(2).enumerate() {
+            let &[start, end] = bounds else { continue };
+            let time = Tick::new(index as u64);
+            queries += 1;
+            for slice in self.slices.get(start..end).unwrap_or(&[]) {
+                let access = slice.access(time);
+                w.delivered += slice.raw_yield;
+                match policy.on_access(&access) {
+                    Decision::Hit => {
+                        w.hits += 1;
+                        w.cache_served += slice.raw_yield;
+                    }
+                    Decision::Bypass => {
+                        w.bypasses += 1;
+                        w.bypass_served += slice.raw_yield;
+                        w.bypass_cost += slice.priced_yield;
+                    }
+                    Decision::Load { evictions } => {
+                        w.loads += 1;
+                        w.evictions += evictions.len() as u64;
+                        w.fetch_cost += slice.priced_fetch;
+                        w.cache_served += slice.raw_yield;
+                    }
+                }
+            }
+        }
+        CostReport {
+            policy: policy.name().to_string(),
+            trace: self.name.clone(),
+            granularity: self.granularity.clone(),
+            queries,
+            sequence_cost: w.delivered,
+            bypass_served: w.bypass_served,
+            bypass_cost: w.bypass_cost,
+            fetch_cost: w.fetch_cost,
+            cache_served: w.cache_served,
+            retried_bytes: Bytes::ZERO,
+            failed_bytes: Bytes::ZERO,
+            hits: w.hits,
+            bypasses: w.bypasses,
+            loads: w.loads,
+            evictions: w.evictions,
+            retries: 0,
+            failed_queries: 0,
+            degraded_queries: 0,
+        }
+    }
+
+    /// The faulted hot loop: same arena walk, with each slice resolved
+    /// through the engine's shared `slice_event` conversion (retries,
+    /// spikes, degradation) into a [`CostObserver`].
+    fn replay_report_faulted(
+        &self,
+        policy: &mut dyn CachePolicy,
+        faults: FaultPlan<'_>,
+    ) -> CostReport {
+        let mut cost = CostObserver::new(policy.name(), &self.name, &self.granularity);
+        for (index, bounds) in self.offsets.windows(2).enumerate() {
+            let &[start, end] = bounds else { continue };
+            let time = Tick::new(index as u64);
+            cost.start_query();
+            for slice in self.slices.get(start..end).unwrap_or(&[]) {
+                let access = slice.access(time);
+                let decision = policy.on_access(&access);
+                let event = slice_event(
+                    index,
+                    time,
+                    slice.raw_yield,
+                    slice.server,
+                    &access,
+                    &decision,
+                    &*policy,
+                    Some(&faults),
+                    || slice.priced_yield,
+                );
+                cost.absorb(&event);
+            }
+            cost.end_query();
+        }
+        cost.into_report()
+    }
+
+    /// Replay the compiled trace with the full observer protocol —
+    /// series capture, auditing, telemetry. `trace` must be the trace
+    /// this was compiled from (observers receive its queries in their
+    /// `on_query_start`/`on_query_end` hooks). Costs still come from the
+    /// arena; only the observer hooks touch the original trace.
+    pub fn replay_observed(
+        &self,
+        trace: &Trace,
+        policy: &mut dyn CachePolicy,
+        faults: Option<FaultPlan<'_>>,
+        observers: &mut [&mut dyn Observer],
+    ) {
+        debug_assert_eq!(trace.len(), self.queries(), "trace/compilation mismatch");
+        for ((index, query), bounds) in trace
+            .queries
+            .iter()
+            .enumerate()
+            .zip(self.offsets.windows(2))
+        {
+            let &[start, end] = bounds else { continue };
+            let time = Tick::new(index as u64);
+            for obs in observers.iter_mut() {
+                obs.on_query_start(index, query);
+            }
+            for slice in self.slices.get(start..end).unwrap_or(&[]) {
+                let access = slice.access(time);
+                let decision = policy.on_access(&access);
+                let event = slice_event(
+                    index,
+                    time,
+                    slice.raw_yield,
+                    slice.server,
+                    &access,
+                    &decision,
+                    &*policy,
+                    faults.as_ref(),
+                    || slice.priced_yield,
+                );
+                for obs in observers.iter_mut() {
+                    obs.on_access(&event);
+                }
+            }
+            for obs in observers.iter_mut() {
+                obs.on_query_end(index, query);
+            }
+        }
+        let policy: &dyn CachePolicy = policy;
+        for obs in observers.iter_mut() {
+            obs.finish(Some(policy));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::decompose;
+    use crate::network::{PerServerMultipliers, Uniform};
+    use byc_catalog::sdss::{build, SdssRelease};
+    use byc_workload::{generate, WorkloadConfig};
+
+    fn setup(servers: u32, queries: usize) -> (Trace, ObjectCatalog) {
+        let cat = build(SdssRelease::Edr, 1e-3, servers);
+        let trace = generate(&cat, &WorkloadConfig::smoke(43, queries)).unwrap();
+        let objects = ObjectCatalog::uniform(&cat, Granularity::Column);
+        (trace, objects)
+    }
+
+    #[test]
+    fn compilation_matches_decompose_query_by_query() {
+        for granularity in [Granularity::Table, Granularity::Column] {
+            let cat = build(SdssRelease::Edr, 1e-3, 2);
+            let trace = generate(&cat, &WorkloadConfig::smoke(43, 400)).unwrap();
+            let objects = ObjectCatalog::uniform(&cat, granularity);
+            let compiled = CompiledTrace::compile(&trace, &objects, &Uniform);
+            assert_eq!(compiled.queries(), trace.len());
+            for (i, q) in trace.queries.iter().enumerate() {
+                let reference = decompose(q, &objects);
+                let arena: Vec<(ObjectId, Bytes)> = compiled
+                    .query_slices(i)
+                    .iter()
+                    .map(|s| (s.object, s.raw_yield))
+                    .collect();
+                assert_eq!(arena, reference, "query {i} at {granularity:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_slices_carry_priced_costs() {
+        let (trace, objects) = setup(2, 300);
+        let net = PerServerMultipliers::new(vec![1.0, 3.0]).unwrap();
+        let compiled = CompiledTrace::compile(&trace, &objects, &net);
+        assert!(!compiled.slices().is_empty());
+        for s in compiled.slices() {
+            let info = objects.info(s.object);
+            assert_eq!(s.server, info.server);
+            assert_eq!(s.size, info.size);
+            assert_eq!(s.priced_fetch, net.price(info.server, info.fetch_cost));
+            assert_eq!(s.priced_yield, net.price(info.server, s.raw_yield));
+        }
+    }
+
+    #[test]
+    fn out_of_range_query_slices_are_empty() {
+        let (trace, objects) = setup(1, 50);
+        let compiled = CompiledTrace::compile(&trace, &objects, &Uniform);
+        assert!(compiled.query_slices(trace.len()).is_empty());
+        assert!(compiled.query_slices(usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn compiled_access_matches_engine_access() {
+        let (trace, objects) = setup(2, 200);
+        let net = PerServerMultipliers::new(vec![1.0, 2.0]).unwrap();
+        let engine = crate::engine::ReplayEngine::with_network(&objects, &net);
+        let compiled = CompiledTrace::compile(&trace, &objects, &net);
+        for (i, s) in compiled.slices().iter().take(200).enumerate() {
+            let time = Tick::new(i as u64);
+            assert_eq!(
+                s.access(time),
+                engine.access_for(s.object, s.raw_yield, time)
+            );
+        }
+    }
+}

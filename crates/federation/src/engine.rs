@@ -171,6 +171,132 @@ pub fn decompose(query: &TraceQuery, objects: &ObjectCatalog) -> Vec<(ObjectId, 
     out
 }
 
+/// Convert one (access, decision) pair into its [`CostEvent`] — the
+/// single decision→cost conversion site in the crate, shared by the
+/// engine's [`ReplayEngine::serve_query`] path and the compiled fast
+/// path ([`CompiledTrace`](crate::compiled::CompiledTrace)). Because
+/// both paths run this exact function on the same inputs, their cost
+/// accounting is bit-identical by construction.
+///
+/// `priced_yield` is the network-priced WAN cost of bypassing the slice;
+/// it is lazy (`FnOnce`) so the uncompiled path only prices bypassed
+/// slices, while the compiled path passes its precomputed value for
+/// free. `access.fetch_cost` must already be priced by the object's
+/// home-server link.
+///
+/// The decision stream is fault-independent: the policy never sees
+/// transfer outcomes, so decision counters (and the policy's own state
+/// evolution) are identical with and without faults — which is exactly
+/// what makes the faulted/fault-free reconciliation invariant exact.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn slice_event<'a>(
+    index: usize,
+    time: Tick,
+    raw_yield: Bytes,
+    server: ServerId,
+    access: &'a Access,
+    decision: &'a Decision,
+    policy: &'a dyn CachePolicy,
+    faults: Option<&FaultPlan<'_>>,
+    priced_yield: impl FnOnce() -> Bytes,
+) -> CostEvent<'a> {
+    let object = access.object;
+    let mut event = CostEvent {
+        query: index,
+        object,
+        server,
+        access: Some(access),
+        delivered: raw_yield,
+        bypass_served: Bytes::ZERO,
+        bypass_cost: Bytes::ZERO,
+        fetch_cost: Bytes::ZERO,
+        cache_served: Bytes::ZERO,
+        retried_bytes: Bytes::ZERO,
+        failed_bytes: Bytes::ZERO,
+        hits: 0,
+        bypasses: 0,
+        loads: 0,
+        evictions: 0,
+        retries: 0,
+        failed: 0,
+        degraded: 0,
+        decision: Some(decision),
+        policy: Some(policy),
+    };
+    match decision {
+        Decision::Hit => {
+            event.hits = 1;
+            event.cache_served = raw_yield;
+        }
+        Decision::Bypass => {
+            event.bypasses = 1;
+            match faults {
+                None => {
+                    event.bypass_served = raw_yield;
+                    event.bypass_cost = priced_yield();
+                }
+                Some(plan) => {
+                    let nominal = priced_yield();
+                    let res = plan.fetch(index, time, object, server);
+                    event.retries = u64::from(res.failed_attempts);
+                    event.retried_bytes = FaultPlan::wasted_bytes(nominal, res.failed_attempts);
+                    match res.delivered {
+                        Some(m) => {
+                            event.bypass_served = raw_yield;
+                            event.bypass_cost = spiked_cost(nominal, m);
+                        }
+                        None => degrade_slice(plan, &mut event, raw_yield),
+                    }
+                }
+            }
+        }
+        Decision::Load { evictions } => {
+            event.loads = 1;
+            event.evictions = evictions.len() as u64;
+            match faults {
+                None => {
+                    event.fetch_cost = access.fetch_cost;
+                    event.cache_served = raw_yield;
+                }
+                Some(plan) => {
+                    let res = plan.fetch(index, time, object, server);
+                    event.retries = u64::from(res.failed_attempts);
+                    event.retried_bytes =
+                        FaultPlan::wasted_bytes(access.fetch_cost, res.failed_attempts);
+                    match res.delivered {
+                        Some(m) => {
+                            event.fetch_cost = spiked_cost(access.fetch_cost, m);
+                            event.cache_served = raw_yield;
+                        }
+                        None => degrade_slice(plan, &mut event, raw_yield),
+                    }
+                }
+            }
+        }
+    }
+    event
+}
+
+/// Resolve a slice whose retry budget is exhausted, per the plan's
+/// [`DegradationPolicy`](crate::faults::DegradationPolicy): serve the
+/// stale local copy (degraded, cache-tier delivery, zero fresh WAN)
+/// or fail the slice (nothing delivered; the undeliverable yield is
+/// tracked in `failed_bytes` so availability and the fault-free
+/// reconciliation stay exact).
+fn degrade_slice(plan: &FaultPlan<'_>, event: &mut CostEvent<'_>, raw_yield: Bytes) {
+    match plan.degradation {
+        crate::faults::DegradationPolicy::ServeStale => {
+            event.degraded = 1;
+            event.cache_served = raw_yield;
+        }
+        crate::faults::DegradationPolicy::Fail => {
+            event.failed = 1;
+            event.delivered = Bytes::ZERO;
+            event.failed_bytes = raw_yield;
+        }
+    }
+}
+
 /// The decision→cost kernel shared by the simulator, the mediator, the
 /// semantic baseline, and the sweeps.
 ///
@@ -283,7 +409,8 @@ impl<'a> ReplayEngine<'a> {
     }
 
     /// Serve one object slice: price the access, ask the policy, emit the
-    /// event. The single decision→cost conversion site.
+    /// event. Delegates to [`slice_event`], the single decision→cost
+    /// conversion site.
     fn serve_slice(
         &self,
         index: usize,
@@ -304,106 +431,19 @@ impl<'a> ReplayEngine<'a> {
             fetch_cost: self.network.price(server, info.fetch_cost),
         };
         let decision = policy.on_access(&access);
-        let mut event = CostEvent {
-            query: index,
-            object,
+        let event = slice_event(
+            index,
+            time,
+            raw_yield,
             server,
-            access: Some(&access),
-            delivered: raw_yield,
-            bypass_served: Bytes::ZERO,
-            bypass_cost: Bytes::ZERO,
-            fetch_cost: Bytes::ZERO,
-            cache_served: Bytes::ZERO,
-            retried_bytes: Bytes::ZERO,
-            failed_bytes: Bytes::ZERO,
-            hits: 0,
-            bypasses: 0,
-            loads: 0,
-            evictions: 0,
-            retries: 0,
-            failed: 0,
-            degraded: 0,
-            decision: Some(&decision),
-            policy: Some(&*policy),
-        };
-        // The decision stream is fault-independent: the policy never sees
-        // transfer outcomes, so decision counters (and the policy's own
-        // state evolution) are identical with and without faults — which
-        // is exactly what makes the faulted/fault-free reconciliation
-        // invariant exact.
-        match &decision {
-            Decision::Hit => {
-                event.hits = 1;
-                event.cache_served = raw_yield;
-            }
-            Decision::Bypass => {
-                event.bypasses = 1;
-                match &self.faults {
-                    None => {
-                        event.bypass_served = raw_yield;
-                        event.bypass_cost = self.network.price(server, raw_yield);
-                    }
-                    Some(plan) => {
-                        let nominal = self.network.price(server, raw_yield);
-                        let res = plan.fetch(index, time, object, server);
-                        event.retries = u64::from(res.failed_attempts);
-                        event.retried_bytes = FaultPlan::wasted_bytes(nominal, res.failed_attempts);
-                        match res.delivered {
-                            Some(m) => {
-                                event.bypass_served = raw_yield;
-                                event.bypass_cost = spiked_cost(nominal, m);
-                            }
-                            None => self.degrade_slice(plan, &mut event, raw_yield),
-                        }
-                    }
-                }
-            }
-            Decision::Load { evictions } => {
-                event.loads = 1;
-                event.evictions = evictions.len() as u64;
-                match &self.faults {
-                    None => {
-                        event.fetch_cost = access.fetch_cost;
-                        event.cache_served = raw_yield;
-                    }
-                    Some(plan) => {
-                        let res = plan.fetch(index, time, object, server);
-                        event.retries = u64::from(res.failed_attempts);
-                        event.retried_bytes =
-                            FaultPlan::wasted_bytes(access.fetch_cost, res.failed_attempts);
-                        match res.delivered {
-                            Some(m) => {
-                                event.fetch_cost = spiked_cost(access.fetch_cost, m);
-                                event.cache_served = raw_yield;
-                            }
-                            None => self.degrade_slice(plan, &mut event, raw_yield),
-                        }
-                    }
-                }
-            }
-        }
+            &access,
+            &decision,
+            &*policy,
+            self.faults.as_ref(),
+            || self.network.price(server, raw_yield),
+        );
         for obs in observers.iter_mut() {
             obs.on_access(&event);
-        }
-    }
-
-    /// Resolve a slice whose retry budget is exhausted, per the plan's
-    /// [`DegradationPolicy`](crate::faults::DegradationPolicy): serve the
-    /// stale local copy (degraded, cache-tier delivery, zero fresh WAN)
-    /// or fail the slice (nothing delivered; the undeliverable yield is
-    /// tracked in `failed_bytes` so availability and the fault-free
-    /// reconciliation stay exact).
-    fn degrade_slice(&self, plan: &FaultPlan<'_>, event: &mut CostEvent<'_>, raw_yield: Bytes) {
-        match plan.degradation {
-            crate::faults::DegradationPolicy::ServeStale => {
-                event.degraded = 1;
-                event.cache_served = raw_yield;
-            }
-            crate::faults::DegradationPolicy::Fail => {
-                event.failed = 1;
-                event.delivered = Bytes::ZERO;
-                event.failed_bytes = raw_yield;
-            }
         }
     }
 
@@ -612,6 +652,33 @@ impl CostObserver {
         }
     }
 
+    /// Begin a query window (the trace-free core of `on_query_start`,
+    /// shared with the compiled fast path).
+    pub(crate) fn start_query(&mut self) {
+        self.queries += 1;
+        self.failed_this_query = 0;
+        self.degraded_this_query = 0;
+    }
+
+    /// Absorb one slice event (the core of `on_access`).
+    pub(crate) fn absorb(&mut self, event: &CostEvent<'_>) {
+        self.window.absorb(event);
+        self.failed_this_query += event.failed;
+        self.degraded_this_query += event.degraded;
+    }
+
+    /// Close a query window, folding slice faults into per-query counts
+    /// (the core of `on_query_end`): a query with any failed slice
+    /// surfaced an error to the client; one that only degraded still
+    /// answered, just with stale data.
+    pub(crate) fn end_query(&mut self) {
+        if self.failed_this_query > 0 {
+            self.failed_queries += 1;
+        } else if self.degraded_this_query > 0 {
+            self.degraded_queries += 1;
+        }
+    }
+
     /// Take the completed report.
     pub fn into_report(self) -> CostReport {
         let w = self.window;
@@ -640,25 +707,15 @@ impl CostObserver {
 
 impl Observer for CostObserver {
     fn on_query_start(&mut self, _index: usize, _query: &TraceQuery) {
-        self.queries += 1;
-        self.failed_this_query = 0;
-        self.degraded_this_query = 0;
+        self.start_query();
     }
 
     fn on_access(&mut self, event: &CostEvent<'_>) {
-        self.window.absorb(event);
-        self.failed_this_query += event.failed;
-        self.degraded_this_query += event.degraded;
+        self.absorb(event);
     }
 
     fn on_query_end(&mut self, _index: usize, _query: &TraceQuery) {
-        // A query with any failed slice surfaced an error to the client;
-        // one that only degraded still answered, just with stale data.
-        if self.failed_this_query > 0 {
-            self.failed_queries += 1;
-        } else if self.degraded_this_query > 0 {
-            self.degraded_queries += 1;
-        }
+        self.end_query();
     }
 }
 

@@ -13,6 +13,11 @@
 //!   `TraceQuery → Access → Decision` into [`engine::CostEvent`]s that
 //!   composable [`engine::Observer`]s consume. Every other entry point
 //!   is a composition over it.
+//! * [`compiled`] — the hot path: a [`compiled::CompiledTrace`] hoists
+//!   catalog resolution and network pricing into a one-time compilation
+//!   pass, flattening every query into a contiguous slice arena;
+//!   replaying it is allocation- and lookup-free, with cost reports
+//!   bit-identical to the uncompiled engine.
 //! * [`session`] — the one replay entry point:
 //!   [`session::ReplaySession`] is a fluent builder over the engine that
 //!   configures policy, network pricing, faults, auditing, series
@@ -31,18 +36,19 @@
 //!   breakdown of Tables 1–2 plus hit/bypass/load counters, retry-storm
 //!   traffic, and availability under faults.
 //! * [`simulator`] — replay result shapes ([`simulator::Replay`],
-//!   [`simulator::SeriesPoint`]) and the deprecated `replay` shim.
+//!   [`simulator::SeriesPoint`]).
 //! * [`mediator`] — the end-to-end service: SQL text in, routed
 //!   subqueries and decisions out (what the examples drive).
 //! * [`policies`] — the named policy roster used by every experiment.
 //! * [`semantic`] — the query-result (semantic) cache baseline the paper
 //!   rejects in §6.1, implemented so the rejection is measurable.
-//! * [`sweep`] — the sweep result shape ([`sweep::SweepPoint`]) and the
-//!   deprecated `sweep_cache_sizes` shim (Figs 9–10).
+//! * [`sweep`] — the sweep result shape ([`sweep::SweepPoint`],
+//!   Figs 9–10).
 
 #![warn(missing_docs)]
 
 pub mod accounting;
+pub mod compiled;
 pub mod engine;
 pub mod faults;
 pub mod mediator;
@@ -54,6 +60,7 @@ pub mod simulator;
 pub mod sweep;
 
 pub use accounting::CostReport;
+pub use compiled::{CompiledSlice, CompiledTrace};
 pub use engine::{
     AuditObserver, CostEvent, CostObserver, Observer, PerServerObserver, QueryWindow, ReplayEngine,
     SeriesObserver, ServerCosts,
@@ -69,8 +76,3 @@ pub use semantic::{SemanticCache, SemanticReport};
 pub use session::ReplaySession;
 pub use simulator::{Replay, SeriesPoint};
 pub use sweep::SweepPoint;
-
-#[allow(deprecated)]
-pub use simulator::replay;
-#[allow(deprecated)]
-pub use sweep::sweep_cache_sizes;

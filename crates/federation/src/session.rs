@@ -34,7 +34,9 @@
 //! `sweep`) surface as [`byc_types::Error::InvalidConfig`] — the crate
 //! has a no-panic lint, so the builder never panics on misuse.
 
+#[cfg(test)]
 use crate::accounting::CostReport;
+use crate::compiled::CompiledTrace;
 use crate::engine::{AuditObserver, CostObserver, Observer, ReplayEngine, SeriesObserver};
 use crate::faults::{DegradationPolicy, FaultModel, FaultPlan, RetryPolicy, NO_RETRY};
 use crate::network::NetworkModel;
@@ -59,6 +61,8 @@ pub struct ReplaySession<'a> {
     degradation: DegradationPolicy,
     audit: Option<bool>,
     sample_every: Option<usize>,
+    compiled: bool,
+    compiled_trace: Option<&'a CompiledTrace>,
     policy: Option<&'a mut dyn CachePolicy>,
     observers: Vec<&'a mut dyn Observer>,
 }
@@ -73,6 +77,7 @@ impl std::fmt::Debug for ReplaySession<'_> {
             .field("degradation", &self.degradation)
             .field("audit", &self.audit)
             .field("sample_every", &self.sample_every)
+            .field("compiled", &self.compiled)
             .field("observers", &self.observers.len())
             .finish_non_exhaustive()
     }
@@ -92,6 +97,8 @@ impl<'a> ReplaySession<'a> {
             degradation: DegradationPolicy::default(),
             audit: None,
             sample_every: None,
+            compiled: false,
+            compiled_trace: None,
             policy: None,
             observers: Vec::new(),
         }
@@ -168,6 +175,27 @@ impl<'a> ReplaySession<'a> {
         self
     }
 
+    /// Replay through a [`CompiledTrace`]: catalog resolution and network
+    /// pricing happen once, in a compilation pass, instead of per access
+    /// per replay. Cost reports are bit-identical to the uncompiled path
+    /// (both funnel through the same decision→cost conversion); when no
+    /// series, audit, or extra observers are configured the replay runs
+    /// the fully allocation-free fast path. Sweep terminals compile the
+    /// trace once and share it across all worker threads.
+    #[must_use]
+    pub fn compiled(mut self) -> Self {
+        self.compiled = true;
+        self
+    }
+
+    /// Replay through an already-compiled trace (the sweep's
+    /// compile-once seam). The caller guarantees `compiled` was built
+    /// from this session's trace, objects, and network.
+    fn with_compiled(mut self, compiled: &'a CompiledTrace) -> Self {
+        self.compiled_trace = Some(compiled);
+        self
+    }
+
     fn engine(&self) -> ReplayEngine<'a> {
         let engine = ReplayEngine::with_network(self.objects, self.network);
         match self.faults {
@@ -188,14 +216,20 @@ impl<'a> ReplaySession<'a> {
     pub fn run(self) -> Result<Replay> {
         let audit_enabled = self.audit.unwrap_or(cfg!(debug_assertions));
         let engine = self.engine();
+        // Compile here (before destructuring) when asked to and no
+        // pre-compiled trace was injected by a sweep.
+        let compiled_owned = (self.compiled && self.compiled_trace.is_none())
+            .then(|| CompiledTrace::compile(self.trace, self.objects, self.network));
         let ReplaySession {
             trace,
             objects,
             sample_every,
+            compiled_trace,
             policy,
             mut observers,
             ..
         } = self;
+        let compiled = compiled_trace.or(compiled_owned.as_ref());
         let Some(policy) = policy else {
             return Err(Error::InvalidConfig(
                 "ReplaySession::run needs a policy; call .policy(...) first \
@@ -203,6 +237,19 @@ impl<'a> ReplaySession<'a> {
                     .into(),
             ));
         };
+        // The allocation-free fast path: a compiled trace with nothing to
+        // observe accumulates its report inline, no observer dispatch.
+        if let Some(compiled) = compiled {
+            if observers.is_empty() && sample_every.is_none() && !audit_enabled {
+                let report = compiled.replay_report(policy, engine.faults().copied());
+                debug_assert!(report.conserves_delivery());
+                return Ok(Replay {
+                    report,
+                    series: Vec::new(),
+                    audit: None,
+                });
+            }
+        }
         let mut cost = CostObserver::new(policy.name(), &trace.name, objects.granularity().label());
         let mut series = sample_every.map(SeriesObserver::new);
         let mut audit = audit_enabled.then(AuditObserver::new);
@@ -218,7 +265,12 @@ impl<'a> ReplaySession<'a> {
             for obs in observers.iter_mut() {
                 all.push(&mut **obs);
             }
-            engine.replay(trace, policy, &mut all);
+            match compiled {
+                Some(compiled) => {
+                    compiled.replay_observed(trace, policy, engine.faults().copied(), &mut all);
+                }
+                None => engine.replay(trace, policy, &mut all),
+            }
         }
         let report = cost.into_report();
         debug_assert!(report.conserves_delivery());
@@ -245,11 +297,19 @@ impl<'a> ReplaySession<'a> {
         demands: &[ObjectDemand],
         seed: u64,
     ) -> Result<Vec<SweepPoint>> {
-        /// Discards the event stream: the plain sweep needs no telemetry.
+        /// Placeholder observer type for the no-observer instantiation;
+        /// never constructed, so compiled sweeps keep the allocation-free
+        /// fast path.
         struct Discard;
         impl Observer for Discard {}
         Ok(self
-            .sweep_with(policies, fractions, demands, seed, |_, _| Discard)?
+            .sweep_inner(
+                policies,
+                fractions,
+                demands,
+                seed,
+                None::<fn(PolicyKind, f64) -> Discard>,
+            )?
             .into_iter()
             .map(|(point, _)| point)
             .collect())
@@ -274,6 +334,28 @@ impl<'a> ReplaySession<'a> {
         seed: u64,
         make_observer: F,
     ) -> Result<Vec<(SweepPoint, O)>>
+    where
+        O: Observer + Send,
+        F: Fn(PolicyKind, f64) -> O,
+    {
+        Ok(self
+            .sweep_inner(policies, fractions, demands, seed, Some(make_observer))?
+            .into_iter()
+            .filter_map(|(point, observer)| observer.map(|o| (point, o)))
+            .collect())
+    }
+
+    /// The shared sweep implementation. With `make_observer: None` the
+    /// jobs carry no observer, so a [`Self::compiled`] sweep runs every
+    /// replay on the allocation-free fast path.
+    fn sweep_inner<O, F>(
+        self,
+        policies: &[PolicyKind],
+        fractions: &[f64],
+        demands: &[ObjectDemand],
+        seed: u64,
+        make_observer: Option<F>,
+    ) -> Result<Vec<(SweepPoint, Option<O>)>>
     where
         O: Observer + Send,
         F: Fn(PolicyKind, f64) -> O,
@@ -308,29 +390,42 @@ impl<'a> ReplaySession<'a> {
             degradation,
             audit,
             sample_every,
+            compiled,
             ..
         } = self;
         let db = objects.total_size();
-        let mut jobs: Vec<(PolicyKind, f64, O)> = Vec::new();
+        let mut jobs: Vec<(PolicyKind, f64, Option<O>)> = Vec::new();
         for &kind in policies {
             for &f in fractions {
-                jobs.push((kind, f, make_observer(kind, f)));
+                let observer = make_observer.as_ref().map(|make| make(kind, f));
+                jobs.push((kind, f, observer));
             }
         }
 
-        let results: Result<Vec<(SweepPoint, O)>> = std::thread::scope(|scope| {
+        // Compile once, replay many: every (policy, fraction) job shares
+        // one immutable arena instead of re-resolving and re-pricing the
+        // trace per replay.
+        let compiled_trace = compiled.then(|| CompiledTrace::compile(trace, objects, network));
+        let compiled_trace = compiled_trace.as_ref();
+
+        let results: Result<Vec<(SweepPoint, Option<O>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .into_iter()
                 .map(|(kind, fraction, mut observer)| {
-                    scope.spawn(move || -> Result<(SweepPoint, O)> {
+                    scope.spawn(move || -> Result<(SweepPoint, Option<O>)> {
                         let capacity = db.scale(fraction);
                         let mut policy = build_policy(kind, capacity, demands, seed);
                         let mut session = ReplaySession::new(trace, objects)
                             .network(network)
                             .policy(policy.as_mut())
-                            .observe(&mut observer)
                             .retry(retry)
                             .degrade(degradation);
+                        if let Some(obs) = observer.as_mut() {
+                            session = session.observe(obs);
+                        }
+                        if let Some(ct) = compiled_trace {
+                            session = session.with_compiled(ct);
+                        }
                         if let Some(model) = faults {
                             session = session.faults(model);
                         }
@@ -367,7 +462,8 @@ impl<'a> ReplaySession<'a> {
     }
 }
 
-/// Replay helpers shared by the deprecated shims.
+/// One-shot replay returning just the report (test helper).
+#[cfg(test)]
 pub(crate) fn run_report(
     trace: &Trace,
     objects: &ObjectCatalog,
@@ -623,25 +719,74 @@ mod tests {
     }
 
     #[test]
-    fn session_matches_legacy_network_sweep() {
+    fn compiled_sweep_matches_reference_sweep() {
         let (trace, objects) = setup(2, 400);
         let stats = WorkloadStats::compute(&trace, &objects);
         let net = PerServerMultipliers::new(vec![1.0, 2.0]).unwrap();
-        let via_session = ReplaySession::new(&trace, &objects)
-            .network(&net)
-            .sweep(&[PolicyKind::Gds], &[0.3], &stats.demands, 3)
-            .unwrap();
-        #[allow(deprecated)]
-        let via_shim = crate::sweep::sweep_cache_sizes(
-            &trace,
-            &objects,
-            &stats.demands,
-            &[PolicyKind::Gds],
-            &[0.3],
-            3,
-            &net,
-        );
-        assert_eq!(via_session.len(), via_shim.len());
-        assert_eq!(via_session[0].report, via_shim[0].report);
+        let kinds = [PolicyKind::Gds, PolicyKind::RateProfile];
+        let fractions = [0.2, 0.4];
+        let run = |compiled: bool| {
+            let mut session = ReplaySession::new(&trace, &objects).network(&net);
+            if compiled {
+                session = session.compiled();
+            }
+            session
+                .sweep(&kinds, &fractions, &stats.demands, 3)
+                .unwrap()
+        };
+        let reference = run(false);
+        let fast = run(true);
+        assert_eq!(reference.len(), fast.len());
+        for (r, f) in reference.iter().zip(fast.iter()) {
+            assert_eq!(r.policy, f.policy);
+            assert_eq!(r.cache_fraction, f.cache_fraction);
+            assert_eq!(r.report, f.report, "{}@{}", r.policy, r.cache_fraction);
+        }
+    }
+
+    #[test]
+    fn compiled_run_with_series_and_audit_matches_reference() {
+        let (trace, objects) = setup(2, 500);
+        let cap = objects.total_size().scale(0.3);
+        let run = |compiled: bool| {
+            let mut p = RateProfile::new(cap, RateProfileConfig::default());
+            let mut session = ReplaySession::new(&trace, &objects)
+                .policy(&mut p)
+                .audited()
+                .series(64);
+            if compiled {
+                session = session.compiled();
+            }
+            session.run().unwrap()
+        };
+        let reference = run(false);
+        let fast = run(true);
+        assert_eq!(reference.report, fast.report);
+        assert_eq!(reference.series, fast.series);
+        let (ra, fa) = (reference.audit.unwrap(), fast.audit.unwrap());
+        assert!(ra.is_clean() && fa.is_clean());
+        assert_eq!(ra.accesses, fa.accesses);
+        assert_eq!(ra.deep_checks, fa.deep_checks);
+    }
+
+    #[test]
+    fn compiled_fast_path_matches_reference_under_faults() {
+        let (trace, objects) = setup(2, 500);
+        let cap = objects.total_size().scale(0.3);
+        let model = FlakyLinks::new(7, 0.05, 0.1, 4.0);
+        let run = |compiled: bool| {
+            let mut p = RateProfile::new(cap, RateProfileConfig::default());
+            let mut session = ReplaySession::new(&trace, &objects)
+                .policy(&mut p)
+                .faults(&model)
+                .retry(RetryPolicy::new(2, 4))
+                .degrade(DegradationPolicy::Fail)
+                .unaudited();
+            if compiled {
+                session = session.compiled();
+            }
+            session.run().unwrap().report
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -1,10 +1,9 @@
-//! Replay result types and the legacy `replay` shim.
+//! Replay result types.
 //!
 //! The replay entry points live on
 //! [`ReplaySession`](crate::session::ReplaySession); this module keeps
 //! the shapes a replay produces — [`Replay`], [`SeriesPoint`] — plus
-//! [`accesses_of`] (the offline bounds' view of a query) and the one
-//! deprecated free-function shim retained for the transition.
+//! [`accesses_of`] (the offline bounds' view of a query).
 //!
 //! The engine decomposes each trace query into one [`Access`] per
 //! referenced cacheable object (carrying that object's slice of the
@@ -17,13 +16,11 @@
 
 use crate::accounting::CostReport;
 use crate::engine::{decompose, ReplayEngine};
-use crate::session::run_report;
 use byc_catalog::ObjectCatalog;
 use byc_core::access::Access;
 use byc_core::audit::AuditReport;
-use byc_core::policy::CachePolicy;
 use byc_types::{Bytes, Tick};
-use byc_workload::{Trace, TraceQuery};
+use byc_workload::TraceQuery;
 
 /// One point of a cumulative-cost curve (Figs 7–8).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,19 +53,6 @@ pub fn accesses_of(query: &TraceQuery, objects: &ObjectCatalog, time: Tick) -> V
         .collect()
 }
 
-/// Replay `trace` against `policy` at the granularity of `objects`.
-///
-/// In debug builds the decision stream is audited and a violation panics
-/// via `debug_assert!`; use [`ReplaySession`](crate::session::ReplaySession)
-/// (`.audited().run()`) to inspect violations instead.
-#[deprecated(
-    since = "0.5.0",
-    note = "use ReplaySession::new(trace, objects).policy(policy).run()"
-)]
-pub fn replay(trace: &Trace, objects: &ObjectCatalog, policy: &mut dyn CachePolicy) -> CostReport {
-    run_report(trace, objects, policy)
-}
-
 pub(crate) fn debug_assert_audit(replay: &Replay) {
     if let Some(audit) = &replay.audit {
         debug_assert!(
@@ -87,9 +71,10 @@ mod tests {
     use byc_catalog::sdss::{build, SdssRelease};
     use byc_catalog::Granularity;
     use byc_core::inline::make;
+    use byc_core::policy::CachePolicy;
     use byc_core::rate_profile::{RateProfile, RateProfileConfig};
     use byc_core::static_opt::NoCache;
-    use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+    use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
 
     fn setup(granularity: Granularity) -> (Trace, ObjectCatalog) {
         let cat = build(SdssRelease::Edr, 1e-3, 1);
@@ -125,15 +110,19 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_replay_shim_matches_session() {
+    fn compiled_session_matches_reference_session() {
         let (trace, objects) = setup(Granularity::Column);
         let cap = objects.total_size().scale(0.3);
         let mut p1 = RateProfile::new(cap, RateProfileConfig::default());
-        #[allow(deprecated)]
-        let via_shim = replay(&trace, &objects, &mut p1);
+        let via_compiled = ReplaySession::new(&trace, &objects)
+            .policy(&mut p1)
+            .compiled()
+            .run()
+            .unwrap()
+            .report;
         let mut p2 = RateProfile::new(cap, RateProfileConfig::default());
-        let via_session = session_report(&trace, &objects, &mut p2);
-        assert_eq!(via_shim, via_session);
+        let via_reference = session_report(&trace, &objects, &mut p2);
+        assert_eq!(via_compiled, via_reference);
     }
 
     #[test]

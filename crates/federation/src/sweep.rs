@@ -1,20 +1,13 @@
-//! Cache-size sweep results (Figs 9–10) and the legacy sweep shim.
+//! Cache-size sweep results (Figs 9–10).
 //!
 //! The sweep entry points live on
 //! [`ReplaySession`](crate::session::ReplaySession) — see
 //! [`ReplaySession::sweep`](crate::session::ReplaySession::sweep) and
 //! [`ReplaySession::sweep_with`](crate::session::ReplaySession::sweep_with).
-//! This module keeps the [`SweepPoint`] result shape and the one
-//! deprecated free-function shim retained for the transition.
+//! This module keeps the [`SweepPoint`] result shape.
 
 use crate::accounting::CostReport;
-use crate::network::NetworkModel;
-use crate::policies::PolicyKind;
-use crate::session::ReplaySession;
-use byc_catalog::ObjectCatalog;
-use byc_core::static_opt::ObjectDemand;
 use byc_types::Bytes;
-use byc_workload::Trace;
 
 /// One (policy, cache size) result of a sweep.
 #[derive(Clone, Debug)]
@@ -29,38 +22,16 @@ pub struct SweepPoint {
     pub report: CostReport,
 }
 
-/// Replay `trace` for every (policy, cache fraction) pair, in parallel,
-/// pricing WAN traffic through `network`.
-///
-/// Invalid fractions (<= 0) yield an empty result here; the session API
-/// reports them as a configuration error instead.
-#[deprecated(
-    since = "0.5.0",
-    note = "use ReplaySession::new(trace, objects).network(network)\
-            .sweep(policies, fractions, demands, seed)"
-)]
-pub fn sweep_cache_sizes(
-    trace: &Trace,
-    objects: &ObjectCatalog,
-    demands: &[ObjectDemand],
-    policies: &[PolicyKind],
-    fractions: &[f64],
-    seed: u64,
-    network: &dyn NetworkModel,
-) -> Vec<SweepPoint> {
-    ReplaySession::new(trace, objects)
-        .network(network)
-        .sweep(policies, fractions, demands, seed)
-        .unwrap_or_default()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::network::{PerServerMultipliers, Uniform};
+    use crate::network::{NetworkModel, PerServerMultipliers, Uniform};
+    use crate::policies::PolicyKind;
+    use crate::session::ReplaySession;
     use byc_catalog::sdss::{build, SdssRelease};
-    use byc_catalog::Granularity;
-    use byc_workload::{generate, WorkloadConfig, WorkloadStats};
+    use byc_catalog::{Granularity, ObjectCatalog};
+    use byc_core::static_opt::ObjectDemand;
+    use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
 
     fn sweep(
         trace: &Trace,

@@ -121,6 +121,7 @@ fn cli_gen_and_run_compose() {
         retry: 1,
         fault_seed: None,
         degrade: "stale".into(),
+        compiled: false,
     };
     let out = byc_cli::commands::run_command(run).unwrap();
     assert!(out.contains("GDS"), "{out}");
