@@ -1,0 +1,35 @@
+//! A small, self-contained Rust AST for static analysis.
+//!
+//! The build environment is fully offline, so `syn` is not available;
+//! this module is the subset of it the auditor needs, built in three
+//! layers:
+//!
+//! * [`lex`] — a lossless-enough lexer: identifiers, literals (contents
+//!   dropped, so nothing inside a string or comment can ever match a
+//!   rule), single-character punctuation with proc-macro-style `joint`
+//!   spacing, and delimiter-matched token *trees* with line/column
+//!   spans.
+//! * [`parse`] — an item-level parser over the token trees: functions
+//!   (with qualifier, module path, attributes, and body), `impl` blocks
+//!   (trait + self type), structs/enums with field types, statics,
+//!   traits, and `#[cfg(test)]` extents tracked structurally instead of
+//!   by brace counting.
+//! * [`scan`] — body walkers: call-site extraction (for the call
+//!   graph), panic-site detection (`unwrap`/`expect`/panic-family
+//!   macros/index expressions/non-literal divisors), and identifier
+//!   queries.
+//!
+//! The parser is deliberately *approximate* where full fidelity buys
+//! nothing for linting: expression grammar is never built (rules work
+//! on token trees), generic parameters are skipped by angle-depth
+//! matching, and nested functions attribute their bodies to the
+//! innermost named function. Every approximation is documented at the
+//! site that makes it.
+
+pub mod lex;
+pub mod parse;
+pub mod scan;
+
+pub use lex::{lex, Delim, Group, Span, Token, TokenKind, Tree};
+pub use parse::{parse_file, FnDef, ImplDef, ParsedFile, StaticDef, TypeDef};
+pub use scan::{calls_in, panic_sites_in, CallRef, PanicKind, PanicSite};

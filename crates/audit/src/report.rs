@@ -12,18 +12,44 @@ pub struct Finding {
     pub file: String,
     /// 1-based line, or 0 for file-level findings (allowlist hygiene).
     pub line: usize,
+    /// 1-based column, or 0 when unknown.
+    pub col: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// The offending source line, trimmed; empty for file-level
+    /// findings.
+    pub snippet: String,
 }
 
 impl Finding {
-    /// Construct a finding.
+    /// Construct a finding without column/snippet anchoring.
     pub fn new(rule: &str, file: &str, line: usize, message: String) -> Finding {
         Finding {
             rule: rule.to_string(),
             file: file.to_string(),
             line,
+            col: 0,
             message,
+            snippet: String::new(),
+        }
+    }
+
+    /// Construct a span-anchored finding with the offending snippet.
+    pub fn spanned(
+        rule: &str,
+        file: &str,
+        line: usize,
+        col: usize,
+        message: String,
+        snippet: String,
+    ) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            col,
+            message,
+            snippet,
         }
     }
 }
@@ -31,14 +57,24 @@ impl Finding {
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line == 0 {
-            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
-        } else {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)?;
+        } else if self.col == 0 {
             write!(
                 f,
                 "{}:{}: [{}] {}",
                 self.file, self.line, self.rule, self.message
-            )
+            )?;
+        } else {
+            write!(
+                f,
+                "{}:{}:{}: [{}] {}",
+                self.file, self.line, self.col, self.rule, self.message
+            )?;
         }
+        if !self.snippet.is_empty() {
+            write!(f, "\n    | {}", self.snippet)?;
+        }
+        Ok(())
     }
 }
 
@@ -91,6 +127,7 @@ pub fn apply_allowlist(findings: Vec<Finding>, allowlist: &Allowlist) -> Vec<Fin
         a.file
             .cmp(&b.file)
             .then(a.line.cmp(&b.line))
+            .then(a.col.cmp(&b.col))
             .then(a.rule.cmp(&b.rule))
     });
     out
@@ -155,5 +192,13 @@ mod tests {
         );
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].file, "a.rs");
+    }
+
+    #[test]
+    fn spanned_display_includes_col_and_snippet() {
+        let f = Finding::spanned("no-panic", "a.rs", 3, 9, "bad".into(), "x.unwrap();".into());
+        let s = f.to_string();
+        assert!(s.starts_with("a.rs:3:9: [no-panic] bad"));
+        assert!(s.contains("| x.unwrap();"));
     }
 }

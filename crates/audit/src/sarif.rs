@@ -1,0 +1,221 @@
+//! SARIF 2.1.0 emission.
+//!
+//! One run, one driver (`byc-audit`), one result per finding, each with
+//! a `physicalLocation` (region with line/column when known) and the
+//! offending snippet. Built on `byc_types::json::Value` — ordered
+//! objects, reproducible serialization — so the output is byte-stable
+//! across runs and the round-trip test can parse it back with the same
+//! crate.
+
+use crate::report::Finding;
+use byc_types::json::Value;
+
+/// The SARIF schema this module emits.
+pub const SARIF_VERSION: &str = "2.1.0";
+const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Rule metadata: `(id, short description)`, one entry per rule the
+/// engine can emit, in the order they appear in the SARIF `rules`
+/// array.
+pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    ("no-panic", "Panicking construct in no-panic library code"),
+    (
+        "no-nondeterminism",
+        "Wall clock, OS RNG, or hash-container on a determinism-critical path",
+    ),
+    ("no-raw-cast", "Raw integer `as` cast in byc-core"),
+    (
+        "policy-impl",
+        "Public type in a policy module outside the policy trait hierarchy",
+    ),
+    (
+        "panic-reachable",
+        "Panicking call reachable from a replay entry point",
+    ),
+    (
+        "panic-reach-index",
+        "Index expression reachable from a replay entry point",
+    ),
+    (
+        "panic-reach-arith",
+        "Division/remainder with non-literal divisor reachable from a replay entry point",
+    ),
+    (
+        "determinism-flow",
+        "Nondeterminism source in a function feeding replay reports",
+    ),
+    (
+        "hash-iter",
+        "Hash-container iteration order leaking into replay output",
+    ),
+    (
+        "float-ord",
+        "partial_cmp used for ordering on the report path",
+    ),
+    (
+        "concurrency-ready",
+        "Thread-unshareable state in types byc-serve will share",
+    ),
+    (
+        "send-sync-assert",
+        "Shareable type missing from the Send + Sync assertion test",
+    ),
+    (
+        "stale-allowlist",
+        "audit.toml entry exceeds actual findings",
+    ),
+    ("parse-error", "Source file failed to tokenize"),
+];
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn rule_objects() -> Value {
+    Value::Array(
+        RULE_DESCRIPTIONS
+            .iter()
+            .map(|(id, desc)| {
+                obj(vec![
+                    ("id", Value::str(id)),
+                    ("shortDescription", obj(vec![("text", Value::str(desc))])),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn result_object(finding: &Finding) -> Value {
+    let mut region = Vec::new();
+    if finding.line > 0 {
+        region.push(("startLine", Value::u64(finding.line as u64)));
+        if finding.col > 0 {
+            region.push(("startColumn", Value::u64(finding.col as u64)));
+        }
+        if !finding.snippet.is_empty() {
+            region.push(("snippet", obj(vec![("text", Value::str(&finding.snippet))])));
+        }
+    }
+    let mut physical = vec![(
+        "artifactLocation",
+        obj(vec![("uri", Value::str(&finding.file))]),
+    )];
+    if !region.is_empty() {
+        physical.push(("region", obj(region)));
+    }
+    obj(vec![
+        ("ruleId", Value::str(&finding.rule)),
+        ("level", Value::str("error")),
+        ("message", obj(vec![("text", Value::str(&finding.message))])),
+        (
+            "locations",
+            Value::Array(vec![obj(vec![("physicalLocation", obj(physical))])]),
+        ),
+    ])
+}
+
+/// Render `findings` as a complete SARIF 2.1.0 log.
+pub fn to_sarif(findings: &[Finding]) -> Value {
+    let run = obj(vec![
+        (
+            "tool",
+            obj(vec![(
+                "driver",
+                obj(vec![
+                    ("name", Value::str("byc-audit")),
+                    ("informationUri", Value::str("DESIGN.md")),
+                    ("rules", rule_objects()),
+                ]),
+            )]),
+        ),
+        (
+            "results",
+            Value::Array(findings.iter().map(result_object).collect()),
+        ),
+    ]);
+    obj(vec![
+        ("$schema", Value::str(SARIF_SCHEMA)),
+        ("version", Value::str(SARIF_VERSION)),
+        ("runs", Value::Array(vec![run])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding::spanned(
+                "no-panic",
+                "crates/core/src/cache.rs",
+                12,
+                9,
+                "`unwrap()` in library code".into(),
+                "x.unwrap();".into(),
+            ),
+            Finding::new("stale-allowlist", "audit.toml", 0, "entry exceeds".into()),
+        ]
+    }
+
+    #[test]
+    fn round_trips_through_the_json_parser() {
+        let log = to_sarif(&sample());
+        let text = log.to_string();
+        let parsed = Value::parse(&text).expect("valid JSON");
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn structure_matches_sarif_2_1_0() {
+        let log = to_sarif(&sample());
+        assert_eq!(log.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let runs = log.get("runs").and_then(Value::as_array).unwrap();
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0].get("tool").and_then(|t| t.get("driver")).unwrap();
+        assert_eq!(
+            driver.get("name").and_then(Value::as_str),
+            Some("byc-audit")
+        );
+        let results = runs[0].get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        let loc = results[0]
+            .get("locations")
+            .and_then(Value::as_array)
+            .unwrap()[0]
+            .get("physicalLocation")
+            .unwrap();
+        assert_eq!(
+            loc.get("artifactLocation")
+                .and_then(|a| a.get("uri"))
+                .and_then(Value::as_str),
+            Some("crates/core/src/cache.rs")
+        );
+        let region = loc.get("region").unwrap();
+        assert_eq!(region.get("startLine").and_then(Value::as_u64), Some(12));
+        assert_eq!(region.get("startColumn").and_then(Value::as_u64), Some(9));
+        // File-level finding: location without a region.
+        let loc1 = results[1]
+            .get("locations")
+            .and_then(Value::as_array)
+            .unwrap()[0]
+            .get("physicalLocation")
+            .unwrap();
+        assert!(loc1.get("region").is_none());
+    }
+
+    #[test]
+    fn every_rule_has_metadata() {
+        let ids: Vec<&str> = RULE_DESCRIPTIONS.iter().map(|(id, _)| *id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate rule ids");
+    }
+}

@@ -1,36 +1,39 @@
-//! Workspace walking and source sanitization.
+//! Workspace walking.
 //!
-//! Rules never look at raw source. They look at a *sanitized* view in
-//! which comments and string literals are blanked out (replaced by
-//! spaces, so byte offsets survive) and every line is annotated with
-//! whether it sits inside a `#[cfg(test)]` module. This is what lets a
-//! line-oriented matcher say "`unwrap(` in library code" without a
-//! full Rust parser.
+//! The scanner collects raw source text; everything the rules see goes
+//! through the real tokenizer in [`crate::ast`] — string literals,
+//! comments, and `#[cfg(test)]` extents are handled structurally there,
+//! not by line heuristics. This module only decides *which* files are
+//! in scope and what role each plays.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// One scanned source file.
+/// What role a scanned file plays — rules scope themselves by it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FileKind {
+    /// `crates/*/src/**` except `main.rs`: library code, fully linted.
+    Library,
+    /// A `main.rs` binary entry point: parsed (its items join the call
+    /// graph) but exempt from the library-only rules.
+    BinMain,
+    /// `crates/*/tests/**`: integration tests. Parsed — the
+    /// concurrency pass verifies the `Send + Sync` assertion file — but
+    /// never linted (test code may panic).
+    IntegrationTest,
+}
+
+/// One scanned source file, raw.
 #[derive(Clone, Debug)]
 pub struct SourceFile {
     /// Path relative to the workspace root, with `/` separators.
     pub rel_path: String,
     /// The crate directory name under `crates/` (e.g. `core`).
     pub crate_name: String,
-    /// Sanitized lines (comments and strings blanked).
-    pub lines: Vec<Line>,
-}
-
-/// One sanitized line.
-#[derive(Clone, Debug)]
-pub struct Line {
-    /// 1-based line number.
-    pub number: usize,
-    /// The sanitized text.
+    /// The file's role.
+    pub kind: FileKind,
+    /// Raw source text.
     pub text: String,
-    /// True when the line is inside a `#[cfg(test)]` module (or inside
-    /// a `#[test]`-attributed item).
-    pub in_test: bool,
 }
 
 impl SourceFile {
@@ -39,36 +42,43 @@ impl SourceFile {
         self.rel_path.rsplit('/').next().unwrap_or(&self.rel_path)
     }
 
-    /// True when this is library code: under `src/`, not a binary
-    /// entry point. `tests/`, `benches/`, and `examples/` never make it
-    /// into the scan at all.
+    /// The file's module name: file stem, with `mod` for `mod.rs`.
+    pub fn module_name(&self) -> &str {
+        self.file_name().strip_suffix(".rs").unwrap_or("")
+    }
+
+    /// True when this is library code subject to the library rules.
     pub fn is_library(&self) -> bool {
-        self.rel_path.contains("/src/") && self.file_name() != "main.rs"
+        self.kind == FileKind::Library
     }
 }
 
-/// Walk `crates/*/src` under `root` and sanitize every `.rs` file.
-///
-/// Paths are sorted, so findings come out in a deterministic order.
+/// Walk `crates/*/src` and `crates/*/tests` under `root` and read every
+/// `.rs` file. Paths are sorted, so findings come out in a
+/// deterministic order.
 ///
 /// # Errors
 ///
 /// Any I/O failure, with the offending path in the message.
 pub fn scan_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
     let crates_dir = root.join("crates");
-    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut paths: Vec<(PathBuf, FileKind)> = Vec::new();
     let entries = fs::read_dir(&crates_dir)
         .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
     for entry in entries {
         let entry = entry.map_err(|e| format!("walk error under crates/: {e}"))?;
         let src = entry.path().join("src");
         if src.is_dir() {
-            collect_rs(&src, &mut paths)?;
+            collect_rs(&src, FileKind::Library, &mut paths)?;
+        }
+        let tests = entry.path().join("tests");
+        if tests.is_dir() {
+            collect_rs(&tests, FileKind::IntegrationTest, &mut paths)?;
         }
     }
     paths.sort();
     let mut files = Vec::with_capacity(paths.len());
-    for path in paths {
+    for (path, kind) in paths {
         let text = fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let rel = path
@@ -81,318 +91,64 @@ pub fn scan_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
             .and_then(|r| r.split('/').next())
             .unwrap_or("")
             .to_string();
+        let file_name = rel.rsplit('/').next().unwrap_or("");
+        let kind = if kind == FileKind::Library && file_name == "main.rs" {
+            FileKind::BinMain
+        } else {
+            kind
+        };
         files.push(SourceFile {
             rel_path: rel,
             crate_name,
-            lines: sanitize(&text),
+            kind,
+            text,
         });
     }
     Ok(files)
 }
 
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+fn collect_rs(
+    dir: &Path,
+    kind: FileKind,
+    out: &mut Vec<(PathBuf, FileKind)>,
+) -> Result<(), String> {
     let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
     for entry in entries {
         let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
         let path = entry.path();
         if path.is_dir() {
-            collect_rs(&path, out)?;
+            collect_rs(&path, kind, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
+            out.push((path, kind));
         }
     }
     Ok(())
-}
-
-#[derive(Clone, Copy, PartialEq)]
-enum Mode {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
-}
-
-/// Blank comments and string/char literal *contents* (the delimiters stay,
-/// so `"x".len()` sanitizes to `" ".len()`), then annotate test extents.
-pub fn sanitize(text: &str) -> Vec<Line> {
-    let mut sanitized = String::with_capacity(text.len());
-    let mut mode = Mode::Code;
-    let chars: Vec<char> = text.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match mode {
-            Mode::Code => match c {
-                '/' if next == Some('/') => {
-                    mode = Mode::LineComment;
-                    sanitized.push(' ');
-                }
-                '/' if next == Some('*') => {
-                    mode = Mode::BlockComment(1);
-                    sanitized.push(' ');
-                    sanitized.push(' ');
-                    i += 1;
-                }
-                '"' => {
-                    mode = Mode::Str;
-                    sanitized.push('"');
-                }
-                'r' if next == Some('"') || next == Some('#') => {
-                    // Possible raw string: r"..." or r#"..."#.
-                    let mut hashes = 0;
-                    let mut j = i + 1;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        for _ in i..=j {
-                            sanitized.push(' ');
-                        }
-                        sanitized.push('"');
-                        i = j;
-                        mode = Mode::RawStr(hashes);
-                    } else {
-                        sanitized.push(c);
-                    }
-                }
-                '\'' => {
-                    // Char literal vs lifetime: a literal closes within a
-                    // few chars (`'x'`, `'\n'`, `'\u{1F600}'`).
-                    let mut j = i + 1;
-                    if chars.get(j) == Some(&'\\') {
-                        j += 1;
-                        if chars.get(j) == Some(&'u') {
-                            while j < chars.len() && chars[j] != '\'' {
-                                j += 1;
-                            }
-                        } else {
-                            j += 1;
-                        }
-                    } else {
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'\'') && j > i + 1 {
-                        sanitized.push('\'');
-                        for _ in i + 1..j {
-                            sanitized.push(' ');
-                        }
-                        sanitized.push('\'');
-                        i = j;
-                    } else {
-                        sanitized.push('\''); // lifetime
-                    }
-                }
-                c => sanitized.push(c),
-            },
-            Mode::LineComment => {
-                if c == '\n' {
-                    mode = Mode::Code;
-                    sanitized.push('\n');
-                } else {
-                    sanitized.push(' ');
-                }
-            }
-            Mode::BlockComment(depth) => {
-                if c == '*' && next == Some('/') {
-                    mode = if depth == 1 {
-                        Mode::Code
-                    } else {
-                        Mode::BlockComment(depth - 1)
-                    };
-                    sanitized.push(' ');
-                    sanitized.push(' ');
-                    i += 1;
-                } else if c == '/' && next == Some('*') {
-                    mode = Mode::BlockComment(depth + 1);
-                    sanitized.push(' ');
-                    sanitized.push(' ');
-                    i += 1;
-                } else if c == '\n' {
-                    sanitized.push('\n');
-                } else {
-                    sanitized.push(' ');
-                }
-            }
-            Mode::Str => match c {
-                '\\' => {
-                    sanitized.push(' ');
-                    sanitized.push(' ');
-                    i += 1;
-                }
-                '"' => {
-                    mode = Mode::Code;
-                    sanitized.push('"');
-                }
-                '\n' => sanitized.push('\n'),
-                _ => sanitized.push(' '),
-            },
-            Mode::RawStr(hashes) => {
-                if c == '"' {
-                    let mut ok = true;
-                    for k in 0..hashes as usize {
-                        if chars.get(i + 1 + k) != Some(&'#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        sanitized.push('"');
-                        for _ in 0..hashes {
-                            sanitized.push(' ');
-                        }
-                        i += hashes as usize;
-                        mode = Mode::Code;
-                    } else {
-                        sanitized.push(' ');
-                    }
-                } else if c == '\n' {
-                    sanitized.push('\n');
-                } else {
-                    sanitized.push(' ');
-                }
-            }
-        }
-        i += 1;
-    }
-
-    annotate_tests(&sanitized)
-}
-
-/// Mark the extent of `#[cfg(test)] mod ... { ... }` blocks (and items
-/// directly under `#[test]`) by tracking brace depth in sanitized text.
-fn annotate_tests(sanitized: &str) -> Vec<Line> {
-    let mut lines = Vec::new();
-    let mut depth: i64 = 0;
-    // Depth at which the current test region was opened; None = not in one.
-    let mut test_depth: Option<i64> = None;
-    // A `#[cfg(test)]` / `#[test]` attribute was seen and its item's
-    // opening brace has not arrived yet.
-    let mut pending = false;
-
-    for (idx, raw) in sanitized.lines().enumerate() {
-        let trimmed = raw.trim();
-        if test_depth.is_none()
-            && (trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[test]"))
-        {
-            pending = true;
-        }
-        let mut in_test = test_depth.is_some() || pending;
-        for c in raw.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    if pending {
-                        test_depth = Some(depth);
-                        pending = false;
-                    }
-                }
-                '}' => {
-                    if let Some(d) = test_depth {
-                        if depth == d {
-                            test_depth = None;
-                            in_test = true; // closing line still counts
-                        }
-                    }
-                    depth -= 1;
-                }
-                _ => {}
-            }
-        }
-        lines.push(Line {
-            number: idx + 1,
-            text: raw.to_string(),
-            in_test,
-        });
-    }
-    lines
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn text_of(lines: &[Line]) -> String {
-        lines
-            .iter()
-            .map(|l| l.text.as_str())
-            .collect::<Vec<_>>()
-            .join("\n")
+    fn file(rel: &str, kind: FileKind) -> SourceFile {
+        SourceFile {
+            rel_path: rel.to_string(),
+            crate_name: "core".into(),
+            kind,
+            text: String::new(),
+        }
     }
 
     #[test]
-    fn strips_line_and_block_comments() {
-        let lines = sanitize("let x = 1; // unwrap()\n/* panic! */ let y = 2;\n");
-        let text = text_of(&lines);
-        assert!(!text.contains("unwrap"));
-        assert!(!text.contains("panic"));
-        assert!(text.contains("let x = 1;"));
-        assert!(text.contains("let y = 2;"));
+    fn file_name_and_module_name() {
+        let f = file("crates/core/src/cache.rs", FileKind::Library);
+        assert_eq!(f.file_name(), "cache.rs");
+        assert_eq!(f.module_name(), "cache");
+        assert!(f.is_library());
     }
 
     #[test]
-    fn strips_nested_block_comments() {
-        let lines = sanitize("a /* x /* unwrap() */ y */ b\n");
-        let text = text_of(&lines);
-        assert!(!text.contains("unwrap"));
-        assert!(text.contains('a') && text.contains('b'));
-    }
-
-    #[test]
-    fn strips_string_contents_keeps_delimiters() {
-        let lines = sanitize("let s = \"call unwrap() now\"; s.len();\n");
-        let text = text_of(&lines);
-        assert!(!text.contains("unwrap"));
-        assert!(text.contains("\" "), "delimiters survive: {text}");
-        assert!(text.contains(".len()"));
-    }
-
-    #[test]
-    fn strips_escaped_quotes_in_strings() {
-        let lines = sanitize("let s = \"a\\\"unwrap()\\\"b\"; f();\n");
-        let text = text_of(&lines);
-        assert!(!text.contains("unwrap"));
-        assert!(text.contains("f();"));
-    }
-
-    #[test]
-    fn strips_raw_strings() {
-        let lines = sanitize("let s = r#\"panic!(\"x\")\"#; g();\n");
-        let text = text_of(&lines);
-        assert!(!text.contains("panic"));
-        assert!(text.contains("g();"));
-    }
-
-    #[test]
-    fn char_literals_and_lifetimes() {
-        let lines = sanitize("fn f<'a>(x: &'a str) -> char { 'u' }\n");
-        let text = text_of(&lines);
-        assert!(text.contains("fn f<'a>(x: &'a str)"));
-        assert!(!text.contains("'u'"), "char content blanked: {text}");
-    }
-
-    #[test]
-    fn cfg_test_module_extent() {
-        let src = "fn lib() { a.unwrap(); }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                   fn t() { b.unwrap(); }\n\
-                   }\n\
-                   fn lib2() {}\n";
-        let lines = sanitize(src);
-        assert!(!lines[0].in_test);
-        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test);
-        assert!(lines[4].in_test, "closing brace line is test code");
-        assert!(!lines[5].in_test);
-    }
-
-    #[test]
-    fn test_attribute_covers_following_fn() {
-        let src = "#[test]\nfn t() {\n x.unwrap();\n}\nfn lib() {}\n";
-        let lines = sanitize(src);
-        assert!(lines[0].in_test && lines[1].in_test && lines[2].in_test);
-        assert!(!lines[4].in_test);
+    fn main_and_tests_are_not_library() {
+        assert!(!file("crates/cli/src/main.rs", FileKind::BinMain).is_library());
+        assert!(!file("crates/core/tests/t.rs", FileKind::IntegrationTest).is_library());
     }
 }

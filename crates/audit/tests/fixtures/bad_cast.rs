@@ -1,0 +1,5 @@
+//! Known-bad fixture: raw truncating integer cast in byc-core.
+
+pub fn shrink(x: u64) -> u32 {
+    x as u32
+}

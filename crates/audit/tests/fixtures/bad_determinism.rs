@@ -1,0 +1,25 @@
+//! Known-bad fixture: hash-order iteration and partial float ordering
+//! in functions that feed a cost report.
+
+use std::collections::HashMap;
+
+pub struct CostReport {
+    pub total: u64,
+}
+
+pub fn summarize(pairs: &[(u64, u64)]) -> CostReport {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &(k, v) in pairs {
+        *counts.entry(k).or_insert(0) += v;
+    }
+    let mut total = 0;
+    for (_k, v) in counts.iter() {
+        total += v;
+    }
+    CostReport { total }
+}
+
+pub fn rank(a: f64, b: f64) -> CostReport {
+    let _ = a.partial_cmp(&b);
+    CostReport { total: 0 }
+}

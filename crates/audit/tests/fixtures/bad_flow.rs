@@ -1,0 +1,9 @@
+//! Known-bad fixture: wall-clock read in a blanket-exempt crate, but
+//! inside a function that feeds a replay decision.
+
+pub struct Decision;
+
+pub fn pick() -> Decision {
+    let _t = std::time::Instant::now();
+    Decision
+}

@@ -1,0 +1,8 @@
+//! Known-bad fixture: hash container in an accounting file, where
+//! iteration order feeds serialized reports.
+
+use std::collections::HashMap;
+
+pub struct Tally {
+    counts: HashMap<u64, u64>,
+}

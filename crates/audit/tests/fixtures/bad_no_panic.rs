@@ -1,0 +1,20 @@
+//! Known-bad fixture: panicking constructs in no-panic library code.
+
+pub fn helper(v: &[u64]) -> u64 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("needs two");
+    if *first == 0 {
+        panic!("zero head");
+    }
+    first + second
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Vec<u64> = vec![1, 2];
+        assert_eq!(super::helper(&v), 3);
+        v.first().unwrap();
+    }
+}

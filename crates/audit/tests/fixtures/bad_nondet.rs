@@ -1,0 +1,7 @@
+//! Known-bad fixture: wall-clock read in a deterministic crate.
+
+pub fn epoch_hint() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}

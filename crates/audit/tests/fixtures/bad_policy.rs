@@ -1,0 +1,6 @@
+//! Known-bad fixture: public struct in a policy module that implements
+//! none of the policy hierarchy traits.
+
+pub struct LonePolicy {
+    pub weight: u64,
+}

@@ -1,0 +1,22 @@
+//! Known-bad fixture: panic sites reachable from the compiled-replay
+//! entry point through a two-hop call chain.
+
+pub struct CompiledTrace {
+    slots: Vec<u64>,
+}
+
+impl CompiledTrace {
+    pub fn replay_report(&self) -> u64 {
+        self.step(0)
+    }
+
+    fn step(&self, i: usize) -> u64 {
+        let raw = self.slots[i];
+        let head = self.slots.first().expect("non-empty");
+        self.ratio(raw + *head)
+    }
+
+    fn ratio(&self, d: u64) -> u64 {
+        100 / d
+    }
+}

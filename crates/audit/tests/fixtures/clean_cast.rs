@@ -1,0 +1,5 @@
+//! Known-clean fixture: checked conversion instead of a raw cast.
+
+pub fn shrink(x: u64) -> u32 {
+    u32::try_from(x).unwrap_or(u32::MAX)
+}

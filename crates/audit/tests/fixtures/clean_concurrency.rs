@@ -1,0 +1,8 @@
+//! Known-clean fixture: the state type is built from Sync components.
+
+use std::sync::atomic::AtomicU64;
+
+pub struct CacheState {
+    entries: Vec<u64>,
+    epoch: AtomicU64,
+}

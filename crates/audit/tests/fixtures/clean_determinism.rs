@@ -1,0 +1,25 @@
+//! Known-clean fixture: ordered iteration and total float ordering on
+//! the report path.
+
+use std::collections::BTreeMap;
+
+pub struct CostReport {
+    pub total: u64,
+}
+
+pub fn summarize(pairs: &[(u64, u64)]) -> CostReport {
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(k, v) in pairs {
+        *counts.entry(k).or_insert(0) += v;
+    }
+    let mut total = 0;
+    for (_k, v) in counts.iter() {
+        total += v;
+    }
+    CostReport { total }
+}
+
+pub fn rank(a: f64, b: f64) -> CostReport {
+    let _ = a.total_cmp(&b);
+    CostReport { total: 0 }
+}

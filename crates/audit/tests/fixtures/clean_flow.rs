@@ -1,0 +1,8 @@
+//! Known-clean fixture: decisions derive from the seed, not the clock.
+
+pub struct Decision;
+
+pub fn pick(seed: u64) -> Decision {
+    let _ = seed;
+    Decision
+}

@@ -1,0 +1,7 @@
+//! Known-clean fixture: ordered container on the accounting path.
+
+use std::collections::BTreeMap;
+
+pub struct Tally {
+    counts: BTreeMap<u64, u64>,
+}

@@ -1,0 +1,14 @@
+//! Known-clean fixture: unwrap() and panic!("boom") appear only in
+//! prose and string literals, which the tokenizer drops — the regex-era
+//! scanner used to flag lines like these.
+
+/// Returns the head; callers may unwrap() at their own risk.
+pub fn head(v: &[u64]) -> Option<u64> {
+    let note = "never call unwrap() or panic!(\"boom\") here";
+    let _ = note;
+    v.first().copied()
+}
+
+pub fn head_or_zero(v: &[u64]) -> u64 {
+    v.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,5 @@
+//! Known-clean fixture: time comes from the replay clock, not the OS.
+
+pub fn epoch_hint(logical_time: u64) -> u64 {
+    logical_time.wrapping_mul(2)
+}

@@ -1,0 +1,12 @@
+//! Known-clean fixture: the public policy-module struct plugs into the
+//! policy hierarchy.
+
+pub struct OnlinePolicy {
+    weight: u64,
+}
+
+impl CachePolicy for OnlinePolicy {
+    fn tick(&mut self) {
+        self.weight += 1;
+    }
+}

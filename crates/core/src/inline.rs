@@ -233,14 +233,13 @@ impl LruKRule {
         if h.len() > self.k {
             h.remove(0);
         }
-        if h.len() == self.k {
+        match h.first() {
             // K-th most recent = front of the capped window.
-            h[0] as f64
-        } else {
+            Some(&kth) if h.len() == self.k => kth as f64,
             // Fewer than K references: maximally evictable, but keep the
             // relative order by (negative) recency so the oldest goes
             // first.
-            -1.0 - 1.0 / (access.time.raw() as f64 + 2.0)
+            _ => -1.0 - 1.0 / (access.time.raw() as f64 + 2.0),
         }
     }
 }

@@ -46,9 +46,7 @@ pub fn plan_greedy(demands: &[ObjectDemand], capacity: Bytes) -> Vec<ObjectId> {
     by_density.sort_by(|a, b| {
         let da = a.net_savings().as_f64() / a.size.as_f64().max(1.0);
         let db = b.net_savings().as_f64() / b.size.as_f64().max(1.0);
-        db.partial_cmp(&da)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.object.cmp(&b.object))
+        db.total_cmp(&da).then_with(|| a.object.cmp(&b.object))
     });
     let mut selected = Vec::new();
     let mut used = Bytes::ZERO;

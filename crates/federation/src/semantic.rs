@@ -20,7 +20,7 @@
 use crate::engine::{CostObserver, Observer, ReplayEngine};
 use byc_types::{Bytes, QueryId};
 use byc_workload::{Trace, TraceQuery};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 /// Outcome statistics of replaying a trace through a semantic cache.
 #[derive(Clone, Debug, PartialEq)]
@@ -115,10 +115,12 @@ impl SemanticCache {
         }
         self.entries.push_back((query.id, query.total_yield));
         self.used += query.total_yield;
-        let keys: Vec<u64> = {
-            let dedup: HashSet<u64> = query.data_keys.iter().copied().collect();
-            dedup.into_iter().collect()
-        };
+        // Sort + dedup instead of a HashSet: the stored per-entry key
+        // list (and anything derived from it) must replay identically
+        // across runs, and hash iteration order is seed-dependent.
+        let mut keys: Vec<u64> = query.data_keys.iter().copied().collect();
+        keys.sort_unstable();
+        keys.dedup();
         for &k in &keys {
             *self.coverage.entry(k).or_insert(0) += 1;
         }

@@ -60,11 +60,12 @@ pub const ALL_TEMPLATES: &[TemplateKind] = &[
 
 impl TemplateKind {
     /// Dense template index (position in [`ALL_TEMPLATES`]).
+    ///
+    /// [`ALL_TEMPLATES`] lists the variants in declaration order, so the
+    /// discriminant *is* the position — `templates_round_trip` pins that
+    /// invariant.
     pub fn index(self) -> u32 {
-        ALL_TEMPLATES
-            .iter()
-            .position(|&t| t == self)
-            .expect("template registered") as u32
+        self as u32
     }
 
     /// The candidate projection columns of the template's primary table,
@@ -548,6 +549,13 @@ mod tests {
         // But the bulk of keys are unique (low containment).
         let unique = keys.values().filter(|&&c| c == 1).count();
         assert!(unique as f64 > keys.len() as f64 * 0.8);
+    }
+
+    #[test]
+    fn templates_round_trip() {
+        for (pos, &kind) in ALL_TEMPLATES.iter().enumerate() {
+            assert_eq!(kind.index() as usize, pos, "{kind:?} out of order");
+        }
     }
 
     #[test]
