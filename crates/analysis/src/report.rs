@@ -1,6 +1,6 @@
 //! Paper-style report rendering and CSV export.
 
-use byc_federation::{CostReport, SeriesPoint, ServerCosts, SweepPoint};
+use byc_federation::{CostReport, QueryWindow, SeriesPoint, ServerCosts, SweepPoint};
 use byc_types::Result;
 use std::fmt::Write as _;
 use std::fs::File;
@@ -121,6 +121,54 @@ pub fn render_server_table(title: &str, servers: &[ServerCosts]) -> String {
         total.bypasses,
         total.loads,
     );
+    out
+}
+
+/// Render a per-tier breakdown of a tiered-topology replay: one row per
+/// caching tier (bottom-up, site first) with the decision mix, the
+/// tier's hit rate, and its WAN cost split — the relay column is the
+/// forwarding traffic the tier's inner link carried for slices resolved
+/// above it. Rows come from a
+/// [`PerTierObserver`](byc_federation::PerTierObserver) zipped with the
+/// topology's tier names.
+pub fn render_tier_table(title: &str, tiers: &[(String, QueryWindow)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>9} {:>7} {:>9} {:>11} {:>12} {:>12} {:>10}",
+        "Tier",
+        "Hits",
+        "Bypasses",
+        "Loads",
+        "Hit rate",
+        "Relay (GB)",
+        "Bypass (GB)",
+        "Fetch (GB)",
+        "WAN (GB)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    for (name, w) in tiers {
+        let decisions = w.hits + w.bypasses + w.loads;
+        let hit_rate = if decisions > 0 {
+            w.hits as f64 / decisions as f64 * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>9} {:>7} {:>8.1}% {:>11.2} {:>12.2} {:>12.2} {:>10.2}",
+            name,
+            w.hits,
+            w.bypasses,
+            w.loads,
+            hit_rate,
+            gb(w.relay_cost.as_f64()),
+            gb(w.bypass_cost.as_f64()),
+            gb(w.fetch_cost.as_f64()),
+            gb(w.wan_cost().as_f64()),
+        );
+    }
     out
 }
 
@@ -372,6 +420,7 @@ mod tests {
             let key = SeriesKey {
                 server: ServerId::new(server),
                 class,
+                tier: 0,
             };
             let s = p.series.entry(key).or_default();
             s.window.hits = hits;
@@ -388,6 +437,31 @@ mod tests {
         assert!(table.contains("total"));
         assert!(table.contains("2.00"), "{table}");
         assert!(table.contains("queries=12 accesses=30"));
+    }
+
+    #[test]
+    fn tier_table_rows_and_hit_rates() {
+        let mut site = QueryWindow::default();
+        site.hits = 6;
+        site.bypasses = 2;
+        site.loads = 2;
+        site.relay_cost = Bytes::new(500_000_000);
+        site.bypass_cost = Bytes::new(1_000_000_000);
+        let mut regional = QueryWindow::default();
+        regional.loads = 2;
+        regional.fetch_cost = Bytes::new(4_000_000_000);
+        let table = render_tier_table(
+            "per-tier breakdown",
+            &[("site".into(), site), ("regional".into(), regional)],
+        );
+        assert!(table.contains("per-tier breakdown"));
+        assert!(table.contains("site"));
+        assert!(table.contains("regional"));
+        // 6 of 10 site decisions were hits.
+        assert!(table.contains("60.0%"), "{table}");
+        // A tier with no decisions renders a 0% rate, not NaN.
+        let empty = render_tier_table("t", &[("idle".into(), QueryWindow::default())]);
+        assert!(empty.contains("0.0%"), "{empty}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! this module is the subset of it the auditor needs, built in three
 //! layers:
 //!
-//! * [`lex`] — a lossless-enough lexer: identifiers, literals (contents
+//! * [`lex`](mod@lex) — a lossless-enough lexer: identifiers, literals (contents
 //!   dropped, so nothing inside a string or comment can ever match a
 //!   rule), single-character punctuation with proc-macro-style `joint`
 //!   spacing, and delimiter-matched token *trees* with line/column

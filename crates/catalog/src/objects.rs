@@ -3,7 +3,7 @@
 //! The bypass-yield algorithms are agnostic to what an "object" is; the
 //! paper evaluates two granularities (§6.1): whole **tables** and single
 //! **columns** (attributes). An [`ObjectCatalog`] enumerates the objects of
-//! a [`Catalog`](crate::Catalog) at one granularity and precomputes, per
+//! a [`Catalog`] at one granularity and precomputes, per
 //! object, the two quantities every algorithm consumes:
 //!
 //! * `size`  — bytes of cache space the object occupies, and

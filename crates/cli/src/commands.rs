@@ -2,13 +2,14 @@
 
 use byc_analysis::{
     containment_analysis, locality_analysis, render_cost_table, render_metrics_table,
-    render_server_table,
+    render_server_table, render_tier_table,
 };
 use byc_catalog::sdss::{self, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
 use byc_federation::{
-    build_policy, DegradationPolicy, FaultModel, FlakyLinks, NetworkModel, Outage, OutageWindows,
-    PerServerMultipliers, PerServerObserver, PolicyKind, ReplaySession, RetryPolicy, Uniform,
+    build_policy, DegradationPolicy, FaultModel, FlakyLinks, LinkScoped, NetworkModel, Outage,
+    OutageWindows, PerServerMultipliers, PerServerObserver, PerTierObserver, PolicyKind,
+    QueryWindow, ReplaySession, RetryPolicy, Topology, Uniform,
 };
 use byc_telemetry::{
     write_metrics, EventLogWriter, MetricsFormat, MetricsRegistry, TelemetryObserver,
@@ -52,6 +53,12 @@ pub enum Command {
         servers: u32,
         /// Per-server WAN cost multipliers (None = uniform pricing).
         multipliers: Option<Vec<f64>>,
+        /// Tiered topology spec (None or "flat" = the flat single-tier
+        /// WAN; see `--topology` grammar).
+        topology: Option<String>,
+        /// Scope the fault model to one topology link (None = every
+        /// link on the fetch path).
+        fault_link: Option<u32>,
         /// Stream per-decision NDJSON events here (None = no event log).
         trace_events: Option<PathBuf>,
         /// Write a metrics export here (None = no export).
@@ -83,6 +90,12 @@ pub enum Command {
         servers: u32,
         /// Per-server WAN cost multipliers (None = uniform pricing).
         multipliers: Option<Vec<f64>>,
+        /// Tiered topology spec (None or "flat" = the flat single-tier
+        /// WAN; see `--topology` grammar).
+        topology: Option<String>,
+        /// Scope the fault model to one topology link (None = every
+        /// link on the fetch path).
+        fault_link: Option<u32>,
         /// Write a metrics export covering every sweep point here.
         metrics: Option<PathBuf>,
         /// Export format for `--metrics`.
@@ -152,11 +165,93 @@ fn parse_granularity(name: &str) -> Result<Granularity> {
 
 /// Build the WAN pricing model for `--cost-multipliers` (uniform when
 /// the flag is absent).
-fn build_network(multipliers: &Option<Vec<f64>>) -> Result<Box<dyn NetworkModel>> {
+fn build_network(multipliers: &Option<Vec<f64>>) -> Result<Box<dyn NetworkModel + Send>> {
     Ok(match multipliers {
         Some(m) => Box::new(PerServerMultipliers::new(m.clone())?),
         None => Box::new(Uniform),
     })
+}
+
+/// Parse a `--topology` spec into a [`Topology`]. Grammar:
+///
+/// * `flat` — no topology: the exact flat single-tier path;
+/// * `two-tier[:M]` — a site cache under a regional cache, the inner
+///   link priced at `M` times the raw bytes (default 0.25);
+/// * `three-tier[:M1,M2]` — site under regional under national, inner
+///   links priced at `M1` and `M2` (defaults 0.1 and 0.25).
+///
+/// The origin link (the top of the hierarchy) is priced by
+/// `--cost-multipliers`, exactly as on the flat WAN.
+fn parse_topology(spec: &str, multipliers: &Option<Vec<f64>>) -> Result<Option<Topology>> {
+    let (shape, params) = match spec.split_once(':') {
+        Some((shape, params)) => (shape, Some(params)),
+        None => (spec, None),
+    };
+    let parse_mult = |v: &str| -> Result<f64> {
+        v.trim().parse().map_err(|_| {
+            Error::InvalidConfig(format!("bad topology link multiplier {v:?} in {spec:?}"))
+        })
+    };
+    match shape.to_ascii_lowercase().as_str() {
+        "flat" => {
+            if params.is_some() {
+                return Err(Error::InvalidConfig(format!(
+                    "flat topology takes no parameters, got {spec:?}"
+                )));
+            }
+            Ok(None)
+        }
+        "two-tier" => {
+            let inner = match params {
+                Some(p) => parse_mult(p)?,
+                None => 0.25,
+            };
+            Ok(Some(Topology::two_tier(
+                inner,
+                build_network(multipliers)?,
+            )?))
+        }
+        "three-tier" => {
+            let (site, regional) = match params {
+                Some(p) => {
+                    let pair = || {
+                        let (a, b) = p.split_once(',')?;
+                        Some((a, b))
+                    };
+                    let (a, b) = pair().ok_or_else(|| {
+                        Error::InvalidConfig(format!(
+                            "three-tier takes two link multipliers (three-tier:M1,M2), got {spec:?}"
+                        ))
+                    })?;
+                    (parse_mult(a)?, parse_mult(b)?)
+                }
+                None => (0.1, 0.25),
+            };
+            Ok(Some(Topology::three_tier(
+                site,
+                regional,
+                build_network(multipliers)?,
+            )?))
+        }
+        other => Err(Error::InvalidConfig(format!(
+            "unknown topology {other:?} (expected flat, two-tier[:M], or three-tier[:M1,M2])"
+        ))),
+    }
+}
+
+/// Apply `--fault-link` scoping to a parsed fault model: the model only
+/// fires on attempts over one topology link; every other link delivers.
+fn scope_faults(
+    model: Option<Box<dyn FaultModel>>,
+    fault_link: Option<u32>,
+) -> Result<Option<Box<dyn FaultModel>>> {
+    match (model, fault_link) {
+        (Some(m), Some(link)) => Ok(Some(Box::new(LinkScoped::new(m, link)))),
+        (None, Some(_)) => Err(Error::InvalidConfig(
+            "--fault-link needs a fault model (--faults ...)".into(),
+        )),
+        (m, None) => Ok(m),
+    }
 }
 
 /// Backoff unit for `--retry`, in query-index ticks: attempt `i` runs at
@@ -315,11 +410,13 @@ USAGE:
   byc run <edr|dr1|trace.jsonl> --policy NAME [--granularity table|column]
           [--cache-fraction F] [--scale S] [--seed N]
           [--servers N] [--cost-multipliers A,B,...]
+          [--topology flat|two-tier[:M]|three-tier[:M1,M2]] [--fault-link N]
           [--trace-events FILE] [--metrics FILE] [--metrics-format prom|json]
           [--faults SPEC] [--retry N] [--fault-seed N] [--degrade stale|fail]
           [--compiled]
   byc sweep <edr|dr1|trace.jsonl> [--granularity table|column] [--scale S] [--seed N]
           [--servers N] [--cost-multipliers A,B,...]
+          [--topology flat|two-tier[:M]|three-tier[:M1,M2]] [--fault-link N]
           [--metrics FILE] [--metrics-format prom|json]
           [--faults SPEC] [--retry N] [--fault-seed N] [--degrade stale|fail]
           [--compiled]
@@ -335,12 +432,30 @@ NETWORK:  --servers spreads tables round-robin over N back-end servers;
           flag is absent. With more than one server, `run` appends a
           per-server WAN breakdown table.
 
+TOPOLOGY: --topology runs the replay over a tiered cache hierarchy, one
+          independent cache per tier with bypasses forwarded one hop up:
+            flat                      the single-tier WAN (default)
+            two-tier[:M]              site under a regional cache; the
+                                      inner link costs M per raw byte
+                                      (default 0.25)
+            three-tier[:M1,M2]        site, regional, national; inner
+                                      links cost M1 and M2 (defaults
+                                      0.1, 0.25)
+          The origin link keeps --cost-multipliers pricing. Each tier's
+          cache holds --cache-fraction of the database scaled by the
+          tier's capacity factor (1x site, 4x regional, 16x national);
+          `run` appends a per-tier breakdown table. --fault-link N
+          scopes --faults to topology link N (0 = the site uplink), so a
+          warm upper tier can absorb an origin outage.
+
 TELEMETRY: --trace-events streams one schema-versioned NDJSON record per
           decision (query, object, decision, yield, fetch price,
           occupancy); --metrics writes a registry export — Prometheus
           text by default, JSON with --metrics-format json. In `sweep`,
-          the registry labels each point `policy@fraction`
-          (`policy@fraction@fault` when a fault layer is active). Either
+          the registry labels each point `policy@fraction`, appending
+          `@fault` when a fault layer is active and `@topology` when a
+          tiered topology is (`POLICY@FRACTION@FAULT@TIER` in full);
+          per-tier counters inside a point carry a `tier` label. Either
           flag also prints the per-(server, object-class) telemetry table.
 
 FAULTS:   --faults injects deterministic WAN faults:
@@ -382,6 +497,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "seed",
             "servers",
             "cost-multipliers",
+            "topology",
+            "fault-link",
             "trace-events",
             "metrics",
             "metrics-format",
@@ -397,6 +514,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "seed",
             "servers",
             "cost-multipliers",
+            "topology",
+            "fault-link",
             "metrics",
             "metrics-format",
             "faults",
@@ -517,6 +636,11 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 seed: flag_u64(&flags, "seed", 42)?,
                 servers: flag_u64(&flags, "servers", default_servers)? as u32,
                 multipliers,
+                topology: flags.get("topology").cloned(),
+                fault_link: flags
+                    .get("fault-link")
+                    .map(|_| flag_u64(&flags, "fault-link", 0).map(|v| v as u32))
+                    .transpose()?,
                 trace_events: flags.get("trace-events").map(PathBuf::from),
                 metrics: flags.get("metrics").map(PathBuf::from),
                 metrics_format: flag_format(&flags)?,
@@ -546,6 +670,11 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 seed: flag_u64(&flags, "seed", 42)?,
                 servers: flag_u64(&flags, "servers", default_servers)? as u32,
                 multipliers,
+                topology: flags.get("topology").cloned(),
+                fault_link: flags
+                    .get("fault-link")
+                    .map(|_| flag_u64(&flags, "fault-link", 0).map(|v| v as u32))
+                    .transpose()?,
                 metrics: flags.get("metrics").map(PathBuf::from),
                 metrics_format: flag_format(&flags)?,
                 faults: flags.get("faults").cloned(),
@@ -614,6 +743,8 @@ pub fn run_command(command: Command) -> Result<String> {
             seed,
             servers,
             multipliers,
+            topology,
+            fault_link,
             trace_events,
             metrics,
             metrics_format,
@@ -635,11 +766,15 @@ pub fn run_command(command: Command) -> Result<String> {
                 Some(spec) => parse_faults(spec, fault_seed.unwrap_or(seed))?,
                 None => None,
             };
+            let fault_model = scope_faults(fault_model, fault_link)?;
+            let topology = match &topology {
+                Some(spec) => parse_topology(spec, &multipliers)?,
+                None => None,
+            };
             let (catalog, trace) = load_trace(&trace, scale, seed, servers.max(1))?;
             let objects = ObjectCatalog::uniform(&catalog, granularity);
             let stats = WorkloadStats::compute(&trace, &objects);
             let capacity = objects.total_size().scale(cache_fraction);
-            let mut p = build_policy(kind, capacity, &stats.demands, seed);
             let network = build_network(&multipliers)?;
             // Telemetry rides the same replay as the accounting observers;
             // it is attached only when a flag asks for it, so plain runs
@@ -653,12 +788,44 @@ pub fn run_command(command: Command) -> Result<String> {
             } else {
                 None
             };
-            let (report, server_costs) = {
+            let mut flat_policy = None;
+            // Initialized only on the tiered path; declared out here so
+            // the session's borrows of the policies outlive the replay.
+            let mut tier_policies: Vec<Box<dyn byc_core::policy::CachePolicy + Send + Sync>>;
+            let (report, server_costs, tier_windows) = {
                 let mut per_server = PerServerObserver::new();
-                let mut session = ReplaySession::new(&trace, &objects)
-                    .policy(p.as_mut())
-                    .network(network.as_ref())
-                    .observe(&mut per_server);
+                let mut per_tier = PerTierObserver::new();
+                let mut session = ReplaySession::new(&trace, &objects).observe(&mut per_server);
+                match &topology {
+                    Some(topo) => {
+                        // One independent policy instance per tier; each
+                        // tier's cache scales the site fraction by the
+                        // tier's capacity factor.
+                        tier_policies = topo
+                            .tiers()
+                            .iter()
+                            .map(|spec| {
+                                build_policy(
+                                    kind,
+                                    objects
+                                        .total_size()
+                                        .scale(cache_fraction * spec.capacity_scale),
+                                    &stats.demands,
+                                    seed,
+                                )
+                            })
+                            .collect();
+                        session = session.topology(topo).observe(&mut per_tier);
+                        for p in tier_policies.iter_mut() {
+                            session = session.tier_policy(p.as_mut());
+                        }
+                    }
+                    None => {
+                        let p =
+                            flat_policy.insert(build_policy(kind, capacity, &stats.demands, seed));
+                        session = session.policy(p.as_mut()).network(network.as_ref());
+                    }
+                }
                 if let Some(model) = fault_model.as_deref() {
                     session = session
                         .faults(model)
@@ -672,11 +839,15 @@ pub fn run_command(command: Command) -> Result<String> {
                     session = session.compiled();
                 }
                 let report = session.run()?.report;
-                (report, per_server.into_costs())
+                (report, per_server.into_costs(), per_tier.into_windows())
             };
+            let topo_suffix = topology
+                .as_ref()
+                .map(|t| format!(", {} topology", t.name()))
+                .unwrap_or_default();
             let mut out = render_cost_table(
                 &format!(
-                    "{} on {} ({} caching, cache {:.0}% = {})",
+                    "{} on {} ({} caching, cache {:.0}% = {}{topo_suffix})",
                     report.policy,
                     report.trace,
                     report.granularity,
@@ -706,6 +877,31 @@ pub fn run_command(command: Command) -> Result<String> {
                     report.degraded_queries,
                     report.failed_queries,
                     report.availability() * 100.0
+                );
+            }
+            if let Some(topo) = &topology {
+                // Tiers the walk never reached still get a (zero) row, so
+                // the table always shows the whole hierarchy.
+                let mut windows = vec![QueryWindow::default(); topo.depth()];
+                for (t, w) in tier_windows {
+                    if let Some(slot) = windows.get_mut(t as usize) {
+                        *slot = w;
+                    }
+                }
+                let rows: Vec<(String, QueryWindow)> = topo
+                    .tiers()
+                    .iter()
+                    .map(|s| s.name.clone())
+                    .zip(windows)
+                    .collect();
+                let _ = writeln!(out);
+                let _ = write!(
+                    out,
+                    "{}",
+                    render_tier_table(
+                        &format!("per-tier breakdown ({} topology)", topo.name()),
+                        &rows,
+                    )
                 );
             }
             if server_costs.len() > 1 {
@@ -752,6 +948,8 @@ pub fn run_command(command: Command) -> Result<String> {
             seed,
             servers,
             multipliers,
+            topology,
+            fault_link,
             metrics,
             metrics_format,
             faults,
@@ -766,6 +964,11 @@ pub fn run_command(command: Command) -> Result<String> {
                 Some(spec) => parse_faults(spec, fault_seed.unwrap_or(seed))?,
                 None => None,
             };
+            let fault_model = scope_faults(fault_model, fault_link)?;
+            let topology = match &topology {
+                Some(spec) => parse_topology(spec, &multipliers)?,
+                None => None,
+            };
             let (catalog, trace) = load_trace(&trace, scale, seed, servers.max(1))?;
             let objects = ObjectCatalog::uniform(&catalog, granularity);
             let stats = WorkloadStats::compute(&trace, &objects);
@@ -773,7 +976,13 @@ pub fn run_command(command: Command) -> Result<String> {
             let policies = byc_federation::policy_roster();
             let network = build_network(&multipliers)?;
             let session = || {
-                let mut s = ReplaySession::new(&trace, &objects).network(network.as_ref());
+                let mut s = ReplaySession::new(&trace, &objects);
+                s = match &topology {
+                    // The sweep builds one policy instance per tier at
+                    // each grid point itself.
+                    Some(topo) => s.topology(topo),
+                    None => s.network(network.as_ref()),
+                };
                 if let Some(model) = fault_model.as_deref() {
                     s = s
                         .faults(model)
@@ -787,12 +996,21 @@ pub fn run_command(command: Command) -> Result<String> {
                 }
                 s
             };
-            // Fault-aware points carry the model name in their label, so
-            // faulted and fault-free exports never merge.
+            // Fault-aware points carry the model name in their label, and
+            // tiered points the topology name, so faulted/fault-free and
+            // flat/tiered exports never merge (POLICY@FRACTION@FAULT@TIER;
+            // flat fault-free labels stay plain POLICY@FRACTION).
             let fault_suffix = fault_model
                 .as_deref()
                 .map(|m| format!("@{}", m.name()))
                 .unwrap_or_default();
+            let fault_suffix = format!(
+                "{fault_suffix}{}",
+                topology
+                    .as_ref()
+                    .map(|t| format!("@{}", t.name()))
+                    .unwrap_or_default()
+            );
             // Only pay for telemetry when an export was requested.
             let points = if let Some(path) = &metrics {
                 let results = session().sweep_with(
@@ -823,8 +1041,12 @@ pub fn run_command(command: Command) -> Result<String> {
             } else {
                 session().sweep(&policies, &fractions, &stats.demands, seed)?
             };
+            let topo_note = topology
+                .as_ref()
+                .map(|t| format!(", {} topology", t.name()))
+                .unwrap_or_default();
             let mut out = format!(
-                "total WAN cost (GB) vs cache size, {} caching, trace {}\n",
+                "total WAN cost (GB) vs cache size, {} caching, trace {}{topo_note}\n",
                 granularity.label(),
                 trace.name
             );
@@ -969,6 +1191,8 @@ mod tests {
                 seed,
                 servers,
                 multipliers,
+                topology,
+                fault_link,
                 trace_events,
                 metrics,
                 metrics_format,
@@ -986,6 +1210,8 @@ mod tests {
                 assert_eq!(seed, 42);
                 assert_eq!(servers, 1);
                 assert_eq!(multipliers, None);
+                assert_eq!(topology, None);
+                assert_eq!(fault_link, None);
                 assert_eq!(trace_events, None);
                 assert_eq!(metrics, None);
                 assert_eq!(metrics_format, MetricsFormat::Prometheus);
@@ -1147,6 +1373,8 @@ mod tests {
             seed: 1,
             servers: 1,
             multipliers: None,
+            topology: None,
+            fault_link: None,
             trace_events: None,
             metrics: None,
             metrics_format: MetricsFormat::Prometheus,
@@ -1224,6 +1452,8 @@ mod tests {
             seed: 7,
             servers: 1,
             multipliers: None,
+            topology: None,
+            fault_link: None,
             trace_events: None,
             metrics: None,
             metrics_format: MetricsFormat::Prometheus,
@@ -1312,6 +1542,8 @@ mod tests {
             seed: 9,
             servers: 2,
             multipliers: Some(vec![1.0, 3.0]),
+            topology: None,
+            fault_link: None,
             trace_events: Some(events.clone()),
             metrics: Some(metrics.clone()),
             metrics_format: MetricsFormat::Json,
@@ -1360,6 +1592,8 @@ mod tests {
             seed: 9,
             servers: 1,
             multipliers: None,
+            topology: None,
+            fault_link: None,
             trace_events: None,
             metrics: Some(metrics.clone()),
             metrics_format: MetricsFormat::Prometheus,
@@ -1468,6 +1702,8 @@ mod tests {
             seed: 5,
             servers: 1,
             multipliers: None,
+            topology: None,
+            fault_link: None,
             trace_events: None,
             metrics: None,
             metrics_format: MetricsFormat::Prometheus,
@@ -1480,6 +1716,189 @@ mod tests {
         .unwrap();
         assert!(out.contains("faults (outage, degrade fail)"), "{out}");
         assert!(out.contains("failed queries"), "{out}");
+    }
+
+    #[test]
+    fn topology_flags_parse() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "edr",
+            "--policy",
+            "lru",
+            "--topology",
+            "three-tier:0.1,0.25",
+            "--faults",
+            "outage:0@10..20",
+            "--fault-link",
+            "2",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                topology,
+                fault_link,
+                ..
+            } => {
+                assert_eq!(topology.as_deref(), Some("three-tier:0.1,0.25"));
+                assert_eq!(fault_link, Some(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&args(&["sweep", "edr", "--topology", "two-tier"])).unwrap();
+        match cmd {
+            Command::Sweep {
+                topology,
+                fault_link,
+                ..
+            } => {
+                assert_eq!(topology.as_deref(), Some("two-tier"));
+                assert_eq!(fault_link, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topology_specs_parse_and_reject() {
+        assert!(parse_topology("flat", &None).unwrap().is_none());
+        let topo = parse_topology("two-tier", &None).unwrap().unwrap();
+        assert_eq!(topo.depth(), 2);
+        let topo = parse_topology("two-tier:0.5", &None).unwrap().unwrap();
+        assert_eq!(topo.name(), "two-tier");
+        let topo = parse_topology("three-tier:0.1,0.25", &Some(vec![1.0, 2.0]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(topo.depth(), 3);
+        for bad in [
+            "flat:1",
+            "two-tier:x",
+            "three-tier:0.1",
+            "three-tier:a,b",
+            "ring",
+        ] {
+            assert!(parse_topology(bad, &None).is_err(), "{bad} should reject");
+        }
+        // --fault-link without a fault model is rejected.
+        assert!(scope_faults(None, Some(1)).is_err());
+    }
+
+    #[test]
+    fn flat_topology_flag_output_matches_no_flag() {
+        // `--topology flat` must be the exact legacy path, not a
+        // degenerate tiered replay, so outputs are byte-identical.
+        let run = |extra: &[&str]| {
+            let mut argv = vec!["run", "edr", "--policy", "gds", "--scale", "0.001"];
+            argv.extend_from_slice(extra);
+            run_command(parse_args(&args(&argv)).unwrap()).unwrap()
+        };
+        assert_eq!(run(&[]), run(&["--topology", "flat"]));
+    }
+
+    #[test]
+    fn three_tier_compiled_run_exports_per_tier_metrics() {
+        // The issue's acceptance criterion: a three-tier compiled SDSS
+        // replay runs end-to-end from the CLI and emits per-tier
+        // hit-rate and WAN-cost columns in both export formats.
+        let dir = std::env::temp_dir();
+        let prom = dir.join(format!("byc-cli-tier-{}.prom", std::process::id()));
+        let json = dir.join(format!("byc-cli-tier-{}.json", std::process::id()));
+        let run = |path: &std::path::Path, format: MetricsFormat| {
+            run_command(Command::Run {
+                trace: "dr1".into(),
+                policy: "rate-profile".into(),
+                granularity: "table".into(),
+                cache_fraction: 0.05,
+                scale: 0.001,
+                seed: 11,
+                servers: 2,
+                multipliers: Some(vec![1.0, 2.0]),
+                topology: Some("three-tier".into()),
+                fault_link: None,
+                trace_events: None,
+                metrics: Some(path.to_path_buf()),
+                metrics_format: format,
+                faults: None,
+                retry: 1,
+                fault_seed: None,
+                degrade: "stale".into(),
+                compiled: true,
+            })
+            .unwrap()
+        };
+        let out = run(&prom, MetricsFormat::Prometheus);
+        assert!(out.contains("three-tier topology"), "{out}");
+        assert!(out.contains("per-tier breakdown"), "{out}");
+        assert!(out.contains("site"), "{out}");
+        assert!(out.contains("regional"), "{out}");
+        assert!(out.contains("national"), "{out}");
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("byc_relay_cost_bytes_total"), "{text}");
+        assert!(text.contains("tier=\"0\""), "{text}");
+        assert!(
+            text.contains("tier=\"1\"") || text.contains("tier=\"2\""),
+            "upper tiers should appear in the export: {text}"
+        );
+
+        let out = run(&json, MetricsFormat::Json);
+        assert!(out.contains("wrote metrics (json)"), "{out}");
+        let text = std::fs::read_to_string(&json).unwrap();
+        let value = byc_types::json::Value::parse(&text).unwrap();
+        let mut tiers_seen = std::collections::BTreeSet::new();
+        for policy in value["policies"].as_array().unwrap() {
+            for series in policy["series"].as_array().unwrap() {
+                tiers_seen.insert(series["tier"].as_u64().unwrap());
+                assert!(series["byc_relay_cost_bytes_total"].as_u64().is_some());
+                assert!(series["byc_hits_total"].as_u64().is_some());
+            }
+        }
+        assert!(
+            tiers_seen.len() > 1,
+            "expected multiple tiers: {tiers_seen:?}"
+        );
+
+        std::fs::remove_file(&prom).ok();
+        std::fs::remove_file(&json).ok();
+    }
+
+    #[test]
+    fn two_tier_sweep_labels_carry_topology_name() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("byc-cli-topo-sweep-{}.jsonl", std::process::id()));
+        let metrics = dir.join(format!("byc-cli-topo-sweep-{}.prom", std::process::id()));
+        run_command(Command::GenTrace {
+            release: "edr".into(),
+            out: trace.clone(),
+            seed: 5,
+            scale: 0.001,
+            queries: 150,
+        })
+        .unwrap();
+        let out = run_command(Command::Sweep {
+            trace: trace.to_string_lossy().into_owned(),
+            granularity: "table".into(),
+            scale: 0.001,
+            seed: 5,
+            servers: 1,
+            multipliers: None,
+            topology: Some("two-tier".into()),
+            fault_link: None,
+            metrics: Some(metrics.clone()),
+            metrics_format: MetricsFormat::Prometheus,
+            faults: None,
+            retry: 1,
+            fault_seed: None,
+            degrade: "stale".into(),
+            compiled: true,
+        })
+        .unwrap();
+        assert!(out.contains("two-tier topology"), "{out}");
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            text.contains("@two-tier"),
+            "labels should carry the topology name"
+        );
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&metrics).ok();
     }
 
     #[test]
@@ -1502,6 +1921,8 @@ mod tests {
             seed: 5,
             servers: 1,
             multipliers: None,
+            topology: None,
+            fault_link: None,
             metrics: Some(metrics.clone()),
             metrics_format: MetricsFormat::Prometheus,
             faults: Some("flaky:p=0.05".into()),

@@ -29,6 +29,10 @@ pub struct CostReport {
     /// WAN bytes spent loading objects into the cache (`D_L`), priced by
     /// each object's home-server link.
     pub fetch_cost: Bytes,
+    /// WAN bytes spent relaying resolved slices down the inner links of a
+    /// tiered topology (network-priced). Always zero on the flat,
+    /// single-tier topology, where client and site share a LAN.
+    pub relay_cost: Bytes,
     /// Result bytes served out of the cache (`D_C`, LAN only).
     pub cache_served: Bytes,
     /// WAN bytes wasted on failed transfer attempts (network-priced;
@@ -57,10 +61,10 @@ pub struct CostReport {
 }
 
 impl CostReport {
-    /// Total WAN traffic: `D_S + D_L` plus retry-storm traffic — the
-    /// quantity every algorithm minimizes.
+    /// Total WAN traffic: `D_S + D_L` plus inner-link relay traffic and
+    /// retry-storm traffic — the quantity every algorithm minimizes.
     pub fn total_cost(&self) -> Bytes {
-        self.bypass_cost + self.fetch_cost + self.retried_bytes
+        self.bypass_cost + self.fetch_cost + self.relay_cost + self.retried_bytes
     }
 
     /// Availability ratio: fraction of requested result bytes actually
@@ -162,6 +166,16 @@ mod tests {
         r.retries = 4;
         assert_eq!(r.total_cost(), Bytes::new(650));
         // Wasted retry traffic does not touch delivery conservation.
+        assert!(r.conserves_delivery());
+    }
+
+    #[test]
+    fn relay_cost_counts_toward_total_cost() {
+        let mut r = report();
+        r.relay_cost = Bytes::new(50);
+        assert_eq!(r.total_cost(), Bytes::new(550));
+        // Inner-link relays move already-delivered bytes; conservation
+        // is stated on delivery and must not see them.
         assert!(r.conserves_delivery());
     }
 

@@ -26,9 +26,11 @@
 //! property tests pin across every policy and network configuration.
 
 use crate::accounting::CostReport;
-use crate::engine::{slice_event, CostObserver, Observer, QueryWindow};
+use crate::engine::{
+    serve_slice_tiered, slice_event, CostObserver, Observer, QueryWindow, TierState,
+};
 use crate::faults::FaultPlan;
-use crate::network::NetworkModel;
+use crate::network::{NetworkModel, Topology};
 use byc_catalog::{Granularity, ObjectCatalog};
 use byc_core::access::Access;
 use byc_core::policy::CachePolicy;
@@ -72,6 +74,41 @@ impl CompiledSlice {
     }
 }
 
+/// Flatten `trace` into a slice arena: resolve every table/column
+/// reference through `objects` — skipping references that do not
+/// resolve, matching [`crate::engine::decompose`] slice for slice — and
+/// let `slice_for` price each one. Returns the arena plus the per-query
+/// offset table (`offsets.len() == queries + 1`).
+fn resolve_arena(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    mut slice_for: impl FnMut(ObjectId, Bytes) -> CompiledSlice,
+) -> (Vec<CompiledSlice>, Vec<usize>) {
+    let mut slices = Vec::new();
+    let mut offsets = Vec::with_capacity(trace.len() + 1);
+    offsets.push(0);
+    for query in &trace.queries {
+        match objects.granularity() {
+            Granularity::Table => {
+                for &(t, raw_yield) in &query.table_yields {
+                    if let Ok(object) = objects.object_for_table(t) {
+                        slices.push(slice_for(object, raw_yield));
+                    }
+                }
+            }
+            Granularity::Column => {
+                for &(c, raw_yield) in &query.column_yields {
+                    if let Ok(object) = objects.object_for_column(c) {
+                        slices.push(slice_for(object, raw_yield));
+                    }
+                }
+            }
+        }
+        offsets.push(slices.len());
+    }
+    (slices, offsets)
+}
+
 /// A trace compiled against one `(objects, network)` pair: a flat slice
 /// arena plus per-query offsets. Compile once, replay many — the sweep
 /// builds one and shares it (immutably) across all its worker threads.
@@ -94,28 +131,9 @@ impl CompiledTrace {
     /// traffic, exactly once. References that do not resolve are
     /// skipped, matching [`crate::engine::decompose`] slice for slice.
     pub fn compile(trace: &Trace, objects: &ObjectCatalog, network: &dyn NetworkModel) -> Self {
-        let mut slices = Vec::new();
-        let mut offsets = Vec::with_capacity(trace.len() + 1);
-        offsets.push(0);
-        for query in &trace.queries {
-            match objects.granularity() {
-                Granularity::Table => {
-                    for &(t, raw_yield) in &query.table_yields {
-                        if let Ok(object) = objects.object_for_table(t) {
-                            slices.push(Self::slice_for(objects, network, object, raw_yield));
-                        }
-                    }
-                }
-                Granularity::Column => {
-                    for &(c, raw_yield) in &query.column_yields {
-                        if let Ok(object) = objects.object_for_column(c) {
-                            slices.push(Self::slice_for(objects, network, object, raw_yield));
-                        }
-                    }
-                }
-            }
-            offsets.push(slices.len());
-        }
+        let (slices, offsets) = resolve_arena(trace, objects, |object, raw_yield| {
+            Self::slice_for(objects, network, object, raw_yield)
+        });
         CompiledTrace {
             name: trace.name.clone(),
             granularity: objects.granularity().label().to_string(),
@@ -237,6 +255,7 @@ impl CompiledTrace {
             bypass_served: w.bypass_served,
             bypass_cost: w.bypass_cost,
             fetch_cost: w.fetch_cost,
+            relay_cost: Bytes::ZERO,
             cache_served: w.cache_served,
             retried_bytes: Bytes::ZERO,
             failed_bytes: Bytes::ZERO,
@@ -333,6 +352,202 @@ impl CompiledTrace {
         let policy: &dyn CachePolicy = policy;
         for obs in observers.iter_mut() {
             obs.finish(Some(policy));
+        }
+    }
+}
+
+/// A trace compiled against one `(objects, topology)` pair: the same
+/// slice arena as [`CompiledTrace`], plus row-major per-link price
+/// tables so the tiered replay loop never touches the topology — every
+/// link price and origin-fetch suffix a slice can need is precomputed
+/// at compile time, one row per slice.
+///
+/// Both tiered replay entry points funnel every slice through
+/// [`crate::engine`]'s `serve_slice_tiered` — the crate's single tiered
+/// decision→cost conversion site — with array-backed price providers,
+/// so compiled and uncompiled tiered replays are bit-identical by
+/// construction.
+#[derive(Clone, Debug)]
+pub struct CompiledTopology {
+    /// Trace name, for report headers.
+    name: String,
+    /// Granularity label of the compiled object view.
+    granularity: String,
+    /// All queries' slices, concatenated in replay order. The flat
+    /// priced fields hold the degenerate view: `priced_yield` is the
+    /// site link's bypass price, `priced_fetch` the full origin fetch —
+    /// on a single-tier topology, exactly what [`CompiledTrace`] stores.
+    slices: Vec<CompiledSlice>,
+    /// `offsets[q]..offsets[q + 1]` delimits query `q`'s slices.
+    offsets: Vec<usize>,
+    /// Number of caching tiers (row width of the price tables).
+    depth: usize,
+    /// Row-major `[slice][link]`: the slice's yield priced over each
+    /// topology link (what relaying or bypassing over that link costs).
+    yield_prices: Vec<Bytes>,
+    /// Row-major `[slice][tier]`: the object's origin-fetch cost priced
+    /// down to each tier (the policy-visible `Access::fetch_cost` at
+    /// that tier).
+    fetch_suffixes: Vec<Bytes>,
+}
+
+impl CompiledTopology {
+    /// Compile `trace` against `objects` and `topology`: resolve every
+    /// reference once and precompute, per slice, its yield price on
+    /// every link and its origin-fetch suffix at every tier.
+    pub fn compile(trace: &Trace, objects: &ObjectCatalog, topology: &Topology) -> Self {
+        let depth = topology.depth();
+        let mut yield_prices = Vec::new();
+        let mut fetch_suffixes = Vec::new();
+        let (slices, offsets) = resolve_arena(trace, objects, |object, raw_yield| {
+            let info = objects.info(object);
+            for link in 0..depth {
+                yield_prices.push(topology.link_price(link, info.server, raw_yield));
+                fetch_suffixes.push(topology.fetch_suffix(link, info.server, info.fetch_cost));
+            }
+            CompiledSlice {
+                object,
+                server: info.server,
+                raw_yield,
+                priced_yield: topology.link_price(0, info.server, raw_yield),
+                size: info.size,
+                priced_fetch: topology.fetch_suffix(0, info.server, info.fetch_cost),
+            }
+        });
+        CompiledTopology {
+            name: trace.name.clone(),
+            granularity: objects.granularity().label().to_string(),
+            slices,
+            offsets,
+            depth,
+            yield_prices,
+            fetch_suffixes,
+        }
+    }
+
+    /// The compiled trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The granularity label this trace was compiled at.
+    pub fn granularity(&self) -> &str {
+        &self.granularity
+    }
+
+    /// Number of queries in the compiled trace.
+    pub fn queries(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of caching tiers this trace was compiled for.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The whole slice arena, in replay order.
+    pub fn slices(&self) -> &[CompiledSlice] {
+        &self.slices
+    }
+
+    /// Replay the compiled hierarchy and return the [`CostReport`] —
+    /// the tiered hot path. The report is labelled with the site tier's
+    /// policy name.
+    pub fn replay_report(
+        &self,
+        tiers: &mut [TierState<'_>],
+        faults: Option<&FaultPlan<'_>>,
+    ) -> CostReport {
+        let label = tiers
+            .first()
+            .map(|t| t.policy.name().to_string())
+            .unwrap_or_default();
+        let mut cost = CostObserver::new(&label, &self.name, &self.granularity);
+        let mut scratch = Vec::with_capacity(self.depth);
+        let mut rows_y = self.yield_prices.chunks_exact(self.depth.max(1));
+        let mut rows_f = self.fetch_suffixes.chunks_exact(self.depth.max(1));
+        for (index, bounds) in self.offsets.windows(2).enumerate() {
+            let &[start, end] = bounds else { continue };
+            let time = Tick::new(index as u64);
+            cost.start_query();
+            for slice in self.slices.get(start..end).unwrap_or(&[]) {
+                let (Some(row_y), Some(row_f)) = (rows_y.next(), rows_f.next()) else {
+                    break;
+                };
+                serve_slice_tiered(
+                    index,
+                    time,
+                    slice.object,
+                    slice.server,
+                    slice.raw_yield,
+                    slice.size,
+                    tiers,
+                    faults,
+                    &|l| row_y.get(l).copied().unwrap_or(Bytes::ZERO),
+                    &|t| row_f.get(t).copied().unwrap_or(Bytes::ZERO),
+                    &mut scratch,
+                    &mut |event| cost.absorb(event),
+                );
+            }
+            cost.end_query();
+        }
+        cost.into_report()
+    }
+
+    /// Replay the compiled hierarchy with the full observer protocol.
+    /// `trace` must be the trace this was compiled from (observers see
+    /// its queries in their query hooks). Like the uncompiled tiered
+    /// runner, this does *not* call [`Observer::finish`]: per-tier audit
+    /// observers need their own tier's policy at finish time, so the
+    /// caller closes the observers out.
+    pub fn replay_observed(
+        &self,
+        trace: &Trace,
+        tiers: &mut [TierState<'_>],
+        faults: Option<&FaultPlan<'_>>,
+        observers: &mut [&mut dyn Observer],
+    ) {
+        debug_assert_eq!(trace.len(), self.queries(), "trace/compilation mismatch");
+        let mut scratch = Vec::with_capacity(self.depth);
+        let mut rows_y = self.yield_prices.chunks_exact(self.depth.max(1));
+        let mut rows_f = self.fetch_suffixes.chunks_exact(self.depth.max(1));
+        for ((index, query), bounds) in trace
+            .queries
+            .iter()
+            .enumerate()
+            .zip(self.offsets.windows(2))
+        {
+            let &[start, end] = bounds else { continue };
+            let time = Tick::new(index as u64);
+            for obs in observers.iter_mut() {
+                obs.on_query_start(index, query);
+            }
+            for slice in self.slices.get(start..end).unwrap_or(&[]) {
+                let (Some(row_y), Some(row_f)) = (rows_y.next(), rows_f.next()) else {
+                    break;
+                };
+                serve_slice_tiered(
+                    index,
+                    time,
+                    slice.object,
+                    slice.server,
+                    slice.raw_yield,
+                    slice.size,
+                    tiers,
+                    faults,
+                    &|l| row_y.get(l).copied().unwrap_or(Bytes::ZERO),
+                    &|t| row_f.get(t).copied().unwrap_or(Bytes::ZERO),
+                    &mut scratch,
+                    &mut |event| {
+                        for obs in observers.iter_mut() {
+                            obs.on_access(event);
+                        }
+                    },
+                );
+            }
+            for obs in observers.iter_mut() {
+                obs.on_query_end(index, query);
+            }
         }
     }
 }

@@ -58,6 +58,11 @@ pub struct CostEvent<'a> {
     pub object: ObjectId,
     /// The object's home server (prices the WAN quantities).
     pub server: ServerId,
+    /// The caching tier this event belongs to, bottom-up (0 = site tier).
+    /// Always 0 on the flat topology. In tiered replays a slice emits one
+    /// event per consulted tier: inner-tier bypasses carry only their
+    /// relay traffic, and the resolving tier carries the delivery.
+    pub tier: u32,
     /// The policy-visible access, when a policy was consulted (`None` on
     /// the query-level path used by the semantic baseline).
     pub access: Option<&'a Access>,
@@ -70,6 +75,11 @@ pub struct CostEvent<'a> {
     /// WAN cost of the cache load (`D_L`, network-priced; nonzero iff
     /// loaded).
     pub fetch_cost: Bytes,
+    /// WAN cost of relaying a slice resolved *above* this tier over the
+    /// link directly above it (network-priced). Nonzero only for
+    /// inner-tier bypass events of a tiered topology; always zero on the
+    /// flat topology.
+    pub relay_cost: Bytes,
     /// Raw result bytes served out of the cache (`D_C`).
     pub cache_served: Bytes,
     /// WAN bytes wasted on failed transfer attempts of this slice
@@ -106,10 +116,12 @@ impl std::fmt::Debug for CostEvent<'_> {
             .field("query", &self.query)
             .field("object", &self.object)
             .field("server", &self.server)
+            .field("tier", &self.tier)
             .field("delivered", &self.delivered)
             .field("bypass_served", &self.bypass_served)
             .field("bypass_cost", &self.bypass_cost)
             .field("fetch_cost", &self.fetch_cost)
+            .field("relay_cost", &self.relay_cost)
             .field("cache_served", &self.cache_served)
             .field("retried_bytes", &self.retried_bytes)
             .field("failed_bytes", &self.failed_bytes)
@@ -205,11 +217,13 @@ pub(crate) fn slice_event<'a>(
         query: index,
         object,
         server,
+        tier: 0,
         access: Some(access),
         delivered: raw_yield,
         bypass_served: Bytes::ZERO,
         bypass_cost: Bytes::ZERO,
         fetch_cost: Bytes::ZERO,
+        relay_cost: Bytes::ZERO,
         cache_served: Bytes::ZERO,
         retried_bytes: Bytes::ZERO,
         failed_bytes: Bytes::ZERO,
@@ -293,6 +307,256 @@ fn degrade_slice(plan: &FaultPlan<'_>, event: &mut CostEvent<'_>, raw_yield: Byt
             event.failed = 1;
             event.delivered = Bytes::ZERO;
             event.failed_bytes = raw_yield;
+        }
+    }
+}
+
+/// One caching tier's replay-time state: the tier's policy plus its
+/// display name. Tiers are ordered bottom-up (index 0 nearest the
+/// clients); each tier owns its policy — and through it its own
+/// `CacheState` — so the hierarchy's tiers evolve independently.
+///
+/// The policy bound carries `Send + Sync` so a slice of `TierState` can
+/// be moved into a sweep worker thread (the same readiness the
+/// concurrency audit asserts for every shared replay type).
+pub struct TierState<'a> {
+    /// Tier display name (from the topology's `TierSpec`).
+    pub name: &'a str,
+    /// The tier's cache policy.
+    pub policy: &'a mut (dyn CachePolicy + Send + Sync),
+}
+
+impl std::fmt::Debug for TierState<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierState")
+            .field("name", &self.name)
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+/// Resolve one object slice through a tier hierarchy — the tiered
+/// counterpart of [`slice_event`], and like it the *single*
+/// decision→cost conversion site: the uncompiled tiered runner and the
+/// compiled tiered replay both call this exact function (with different
+/// price providers), so their accounting is bit-identical by
+/// construction.
+///
+/// The walk consults tier 0 first. A `Bypass` forwards the request one
+/// hop up; a `Hit` at tier `r` serves the slice from that tier, relaying
+/// the yield down over links `0..r`; a `Load` at tier `t` fetches the
+/// whole object from the origin over links `t..depth` and serves the
+/// yield down over links `0..t`; a bypass at the last tier ships the
+/// slice from the origin over every link. One [`CostEvent`] is emitted
+/// per *consulted* tier: inner bypasses carry only their link's relay
+/// cost, the resolving tier carries the delivery, retry accounting, and
+/// degradation flags. With a single tier this degenerates to exactly
+/// [`slice_event`]'s arithmetic — the flat bit-identity the equivalence
+/// proptests pin.
+///
+/// Fault exposure follows the bytes: the transfer crosses the link set
+/// of the resolution (nothing for a tier-0 hit), fails when any link in
+/// the set fails, and multiplies surviving links' cost spikes.
+///
+/// `yield_price(l)` prices the slice's yield over link `l`;
+/// `fetch_suffix(t)` prices the object's origin fetch down to tier `t`.
+/// `scratch` is caller-owned so the per-slice decision walk allocates
+/// nothing once warm.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn serve_slice_tiered(
+    index: usize,
+    time: Tick,
+    object: ObjectId,
+    server: ServerId,
+    raw_yield: Bytes,
+    size: Bytes,
+    tiers: &mut [TierState<'_>],
+    faults: Option<&FaultPlan<'_>>,
+    yield_price: &dyn Fn(usize) -> Bytes,
+    fetch_suffix: &dyn Fn(usize) -> Bytes,
+    scratch: &mut Vec<(Access, Decision)>,
+    emit: &mut dyn FnMut(&CostEvent<'_>),
+) {
+    let depth = tiers.len();
+    // Phase 1: the decision walk, bottom-up until a Hit or Load resolves
+    // the slice (or the last tier bypasses to the origin). Decisions are
+    // taken before any fault is consulted, so the decision stream — and
+    // every tier policy's state evolution — is fault-independent, exactly
+    // like the flat path.
+    scratch.clear();
+    for (t, tier) in tiers.iter_mut().enumerate() {
+        let access = Access {
+            object,
+            time,
+            yield_bytes: raw_yield,
+            size,
+            fetch_cost: fetch_suffix(t),
+        };
+        let decision = tier.policy.on_access(&access);
+        let resolved = !decision.is_bypass();
+        scratch.push((access, decision));
+        if resolved {
+            break;
+        }
+    }
+    let Some(top) = scratch.len().checked_sub(1) else {
+        return; // zero-tier topology: validated unreachable
+    };
+
+    // Phase 2: resolve the transfer over the links the bytes traverse.
+    // A tier-0 hit crosses no WAN link and never consults the fault
+    // model (matching the flat path, where hits are fault-free).
+    let resolution = scratch.last().map(|(_, d)| d);
+    let links: std::ops::Range<u32> = match resolution {
+        Some(Decision::Hit) => 0..top as u32,
+        _ => 0..depth as u32,
+    };
+    let transfer = match faults {
+        Some(plan) if !links.is_empty() => {
+            Some(plan.fetch_path(index, time, object, server, links))
+        }
+        _ => None,
+    };
+    let (multiplier, failed_attempts, delivered_ok) = match &transfer {
+        None => (1.0, 0u32, true),
+        Some(res) => match res.delivered {
+            Some(m) => (m, res.failed_attempts, true),
+            None => (1.0, res.failed_attempts, false),
+        },
+    };
+    // Nominal priced cost of the whole transfer path, for retry-waste
+    // accounting. Computed only when attempts actually failed.
+    let wasted = if failed_attempts == 0 {
+        Bytes::ZERO
+    } else {
+        let downstream: Bytes = (0..top).map(yield_price).sum();
+        let nominal = match resolution {
+            Some(Decision::Hit) => downstream,
+            Some(Decision::Load { .. }) => downstream + fetch_suffix(top),
+            _ => downstream + yield_price(top),
+        };
+        FaultPlan::wasted_bytes(nominal, failed_attempts)
+    };
+
+    // Phase 3: emit one event per consulted tier. Inner tiers (below the
+    // resolution) carry only their relay traffic; the resolving tier
+    // carries delivery, retries, and degradation.
+    for (t, (access, decision)) in scratch.iter().enumerate() {
+        let Some(tier) = tiers.get(t) else { continue };
+        let mut event = CostEvent {
+            query: index,
+            object,
+            server,
+            tier: t as u32,
+            access: Some(access),
+            delivered: Bytes::ZERO,
+            bypass_served: Bytes::ZERO,
+            bypass_cost: Bytes::ZERO,
+            fetch_cost: Bytes::ZERO,
+            relay_cost: Bytes::ZERO,
+            cache_served: Bytes::ZERO,
+            retried_bytes: Bytes::ZERO,
+            failed_bytes: Bytes::ZERO,
+            hits: 0,
+            bypasses: 0,
+            loads: 0,
+            evictions: 0,
+            retries: 0,
+            failed: 0,
+            degraded: 0,
+            decision: Some(decision),
+            policy: Some(&*tier.policy),
+        };
+        if t < top {
+            // Inner bypass: the slice passed through on its way up; when
+            // the transfer delivered, its yield crossed this tier's link.
+            event.bypasses = 1;
+            if delivered_ok {
+                event.relay_cost = spiked_cost(yield_price(t), multiplier);
+            }
+            emit(&event);
+            continue;
+        }
+        // The resolving tier.
+        event.delivered = raw_yield;
+        event.retries = u64::from(failed_attempts);
+        event.retried_bytes = wasted;
+        match decision {
+            Decision::Hit => {
+                event.hits = 1;
+            }
+            Decision::Bypass => {
+                event.bypasses = 1;
+            }
+            Decision::Load { evictions } => {
+                event.loads = 1;
+                event.evictions = evictions.len() as u64;
+            }
+        }
+        if delivered_ok {
+            match decision {
+                Decision::Hit => {
+                    event.cache_served = raw_yield;
+                }
+                Decision::Bypass => {
+                    event.bypass_served = raw_yield;
+                    event.bypass_cost = spiked_cost(yield_price(t), multiplier);
+                }
+                Decision::Load { .. } => {
+                    event.fetch_cost = spiked_cost(fetch_suffix(t), multiplier);
+                    event.cache_served = raw_yield;
+                }
+            }
+        } else if let Some(plan) = faults {
+            degrade_slice(plan, &mut event, raw_yield);
+        }
+        emit(&event);
+    }
+}
+
+/// Replay a whole trace through a tier hierarchy (the uncompiled tiered
+/// runner). Emits the full observer protocol per query but does *not*
+/// call [`Observer::finish`]: per-tier audit observers need their own
+/// tier's policy at finish time, so the caller closes the observers out.
+pub(crate) fn replay_tiered(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    topology: &crate::network::Topology,
+    tiers: &mut [TierState<'_>],
+    faults: Option<&FaultPlan<'_>>,
+    observers: &mut [&mut dyn Observer],
+) {
+    let mut scratch: Vec<(Access, Decision)> = Vec::with_capacity(topology.depth());
+    for (index, query) in trace.queries.iter().enumerate() {
+        let time = Tick::new(index as u64);
+        for obs in observers.iter_mut() {
+            obs.on_query_start(index, query);
+        }
+        for (object, raw_yield) in decompose(query, objects) {
+            let info = objects.info(object);
+            let server = info.server;
+            let fetch = info.fetch_cost;
+            serve_slice_tiered(
+                index,
+                time,
+                object,
+                server,
+                raw_yield,
+                info.size,
+                tiers,
+                faults,
+                &|l| topology.link_price(l, server, raw_yield),
+                &|t| topology.fetch_suffix(t, server, fetch),
+                &mut scratch,
+                &mut |event| {
+                    for obs in observers.iter_mut() {
+                        obs.on_access(event);
+                    }
+                },
+            );
+        }
+        for obs in observers.iter_mut() {
+            obs.on_query_end(index, query);
         }
     }
 }
@@ -468,11 +732,13 @@ impl<'a> ReplayEngine<'a> {
                 query: index,
                 object,
                 server,
+                tier: 0,
                 access: None,
                 delivered: raw_yield,
                 bypass_served: Bytes::ZERO,
                 bypass_cost: Bytes::ZERO,
                 fetch_cost: Bytes::ZERO,
+                relay_cost: Bytes::ZERO,
                 cache_served: Bytes::ZERO,
                 retried_bytes: Bytes::ZERO,
                 failed_bytes: Bytes::ZERO,
@@ -540,6 +806,9 @@ pub struct QueryWindow {
     pub bypass_cost: Bytes,
     /// WAN cost of cache loads (`D_L` share, network-priced).
     pub fetch_cost: Bytes,
+    /// WAN cost of relaying slices over inner topology links
+    /// (network-priced; zero on the flat topology).
+    pub relay_cost: Bytes,
     /// Raw result bytes served out of the cache (`D_C` share).
     pub cache_served: Bytes,
     /// WAN bytes wasted on failed transfer attempts (network-priced).
@@ -571,6 +840,7 @@ impl QueryWindow {
         self.bypass_served += event.bypass_served;
         self.bypass_cost += event.bypass_cost;
         self.fetch_cost += event.fetch_cost;
+        self.relay_cost += event.relay_cost;
         self.cache_served += event.cache_served;
         self.retried_bytes += event.retried_bytes;
         self.failed_bytes += event.failed_bytes;
@@ -589,6 +859,7 @@ impl QueryWindow {
         self.bypass_served += other.bypass_served;
         self.bypass_cost += other.bypass_cost;
         self.fetch_cost += other.fetch_cost;
+        self.relay_cost += other.relay_cost;
         self.cache_served += other.cache_served;
         self.retried_bytes += other.retried_bytes;
         self.failed_bytes += other.failed_bytes;
@@ -601,10 +872,11 @@ impl QueryWindow {
         self.degraded_slices += other.degraded_slices;
     }
 
-    /// WAN traffic of the window: `D_S + D_L` plus the bytes wasted on
-    /// failed transfer attempts (zero without a fault layer).
+    /// WAN traffic of the window: `D_S + D_L` plus inner-link relay
+    /// traffic and the bytes wasted on failed transfer attempts (both
+    /// zero on a flat fault-free replay).
     pub fn wan_cost(&self) -> Bytes {
-        self.bypass_cost + self.fetch_cost + self.retried_bytes
+        self.bypass_cost + self.fetch_cost + self.relay_cost + self.retried_bytes
     }
 
     /// Policy decisions absorbed (hits + bypasses + loads).
@@ -691,6 +963,7 @@ impl CostObserver {
             bypass_served: w.bypass_served,
             bypass_cost: w.bypass_cost,
             fetch_cost: w.fetch_cost,
+            relay_cost: w.relay_cost,
             cache_served: w.cache_served,
             retried_bytes: w.retried_bytes,
             failed_bytes: w.failed_bytes,
@@ -783,6 +1056,10 @@ impl Observer for SeriesObserver {
 pub struct AuditObserver {
     auditor: DecisionAuditor,
     finished: AuditReport,
+    /// When set, only events of this tier are audited — tiered replays
+    /// run one shadow model per tier (each tier's decision stream is an
+    /// independent cache).
+    tier: Option<u32>,
 }
 
 impl AuditObserver {
@@ -791,6 +1068,17 @@ impl AuditObserver {
         AuditObserver {
             auditor: DecisionAuditor::new(),
             finished: AuditReport::default(),
+            tier: None,
+        }
+    }
+
+    /// An observer auditing only the given tier's decision stream.
+    /// Tiered replays attach one per tier; the flat path's single
+    /// unfiltered observer is the degenerate case.
+    pub fn for_tier(tier: u32) -> Self {
+        AuditObserver {
+            tier: Some(tier),
+            ..AuditObserver::new()
         }
     }
 
@@ -808,6 +1096,9 @@ impl Default for AuditObserver {
 
 impl Observer for AuditObserver {
     fn on_access(&mut self, event: &CostEvent<'_>) {
+        if self.tier.is_some_and(|t| t != event.tier) {
+            return;
+        }
         if let (Some(access), Some(decision), Some(policy)) =
             (event.access, event.decision, event.policy)
         {
@@ -835,6 +1126,9 @@ pub struct ServerCosts {
     pub bypass_cost: Bytes,
     /// WAN cost of cache loads from this server (`D_L` share).
     pub fetch_cost: Bytes,
+    /// WAN cost of relaying this server's slices over inner topology
+    /// links (zero on the flat topology).
+    pub relay_cost: Bytes,
     /// Raw result bytes of this server's objects served from cache
     /// (`D_C` share).
     pub cache_served: Bytes,
@@ -851,10 +1145,10 @@ pub struct ServerCosts {
 }
 
 impl ServerCosts {
-    /// WAN traffic attributed to this server: `D_S + D_L` plus wasted
-    /// retry traffic.
+    /// WAN traffic attributed to this server: `D_S + D_L` plus relay and
+    /// wasted retry traffic.
     pub fn wan_cost(&self) -> Bytes {
-        self.bypass_cost + self.fetch_cost + self.retried_bytes
+        self.bypass_cost + self.fetch_cost + self.relay_cost + self.retried_bytes
     }
 
     /// The per-server conservation invariant: everything this server's
@@ -887,6 +1181,7 @@ impl PerServerObserver {
                 bypass_served: w.bypass_served,
                 bypass_cost: w.bypass_cost,
                 fetch_cost: w.fetch_cost,
+                relay_cost: w.relay_cost,
                 cache_served: w.cache_served,
                 retried_bytes: w.retried_bytes,
                 failed_bytes: w.failed_bytes,
@@ -901,6 +1196,33 @@ impl PerServerObserver {
 impl Observer for PerServerObserver {
     fn on_access(&mut self, event: &CostEvent<'_>) {
         self.servers.entry(event.server).or_default().absorb(event);
+    }
+}
+
+/// Per-tier decision/byte breakdown of a tiered replay: one
+/// [`QueryWindow`] per caching tier, keyed by bottom-up tier index.
+/// On a flat replay everything lands in tier 0.
+#[derive(Clone, Debug, Default)]
+pub struct PerTierObserver {
+    tiers: BTreeMap<u32, QueryWindow>,
+}
+
+impl PerTierObserver {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        PerTierObserver::default()
+    }
+
+    /// Take the breakdown, one `(tier, window)` per tier seen, in
+    /// bottom-up tier order.
+    pub fn into_windows(self) -> Vec<(u32, QueryWindow)> {
+        self.tiers.into_iter().collect()
+    }
+}
+
+impl Observer for PerTierObserver {
+    fn on_access(&mut self, event: &CostEvent<'_>) {
+        self.tiers.entry(event.tier).or_default().absorb(event);
     }
 }
 

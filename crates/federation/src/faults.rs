@@ -44,6 +44,10 @@ pub struct FetchAttempt {
     pub server: ServerId,
     /// Attempt ordinal, 1-based (1 = first try).
     pub attempt: u32,
+    /// Which topology link the bytes are crossing, indexed bottom-up
+    /// (`links[t]` is the edge above caching tier `t`). Always 0 on the
+    /// flat single-link topology.
+    pub link: u32,
 }
 
 /// The outcome of one transfer attempt.
@@ -75,6 +79,55 @@ pub trait FaultModel: Sync {
 
     /// Decide the outcome of `attempt`.
     fn outcome(&self, attempt: &FetchAttempt) -> FetchOutcome;
+}
+
+impl<M: FaultModel + ?Sized> FaultModel for Box<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn outcome(&self, attempt: &FetchAttempt) -> FetchOutcome {
+        (**self).outcome(attempt)
+    }
+}
+
+/// Restrict any fault model to a single topology link: attempts crossing
+/// other links always deliver at nominal cost. This is how the CLI's
+/// `--fault-link` scopes an outage or flaky process to one edge of a
+/// tiered topology (e.g. the origin link, so a hot regional cache can
+/// absorb the outage).
+#[derive(Clone, Copy, Debug)]
+pub struct LinkScoped<M> {
+    model: M,
+    link: u32,
+}
+
+impl<M: FaultModel> LinkScoped<M> {
+    /// Scope `model` to `link` (bottom-up link index).
+    pub fn new(model: M, link: u32) -> Self {
+        LinkScoped { model, link }
+    }
+
+    /// The scoped link index.
+    pub fn link(&self) -> u32 {
+        self.link
+    }
+}
+
+impl<M: FaultModel> FaultModel for LinkScoped<M> {
+    fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn outcome(&self, attempt: &FetchAttempt) -> FetchOutcome {
+        if attempt.link == self.link {
+            self.model.outcome(attempt)
+        } else {
+            FetchOutcome::Delivered {
+                cost_multiplier: 1.0,
+            }
+        }
+    }
 }
 
 /// The fault-free model: every attempt succeeds at nominal cost.
@@ -197,6 +250,7 @@ impl FlakyLinks {
             u64::from(a.object.raw()),
             u64::from(a.server.raw()),
             u64::from(a.attempt),
+            u64::from(a.link),
         ] {
             s = SplitMix64::new(s ^ part).next_u64();
         }
@@ -338,7 +392,8 @@ impl<'a> FaultPlan<'a> {
         }
     }
 
-    /// Run the retry loop for one slice's transfer.
+    /// Run the retry loop for one slice's transfer over the flat
+    /// single-link path (link 0).
     pub fn fetch(
         &self,
         query: usize,
@@ -346,16 +401,53 @@ impl<'a> FaultPlan<'a> {
         object: ObjectId,
         server: ServerId,
     ) -> FetchResolution {
+        self.fetch_path(query, time, object, server, 0..1)
+    }
+
+    /// Run the retry loop for one slice's transfer across a set of
+    /// topology links. An attempt succeeds only when *every* link in the
+    /// range delivers; its cost multiplier is the product of the links'
+    /// multipliers (exactly 1.0 while no link spikes, so un-spiked
+    /// tiered transfers stay bit-identical to nominal pricing). An empty
+    /// range (a tier-0 hit: no WAN hop at all) trivially delivers at
+    /// nominal cost without consulting the model.
+    pub fn fetch_path(
+        &self,
+        query: usize,
+        time: Tick,
+        object: ObjectId,
+        server: ServerId,
+        links: std::ops::Range<u32>,
+    ) -> FetchResolution {
         let max = self.retry.max_attempts.max(1);
         for attempt in 1..=max {
-            let at = FetchAttempt {
-                query,
-                time: self.retry.attempt_time(time, attempt),
-                object,
-                server,
-                attempt,
-            };
-            if let FetchOutcome::Delivered { cost_multiplier } = self.model.outcome(&at) {
+            let time = self.retry.attempt_time(time, attempt);
+            let mut cost_multiplier = 1.0;
+            let mut failed = false;
+            for link in links.clone() {
+                let at = FetchAttempt {
+                    query,
+                    time,
+                    object,
+                    server,
+                    attempt,
+                    link,
+                };
+                match self.model.outcome(&at) {
+                    FetchOutcome::Delivered { cost_multiplier: m } => {
+                        // Skip the multiply at 1.0 so nominal transfers
+                        // keep the exact multiplier 1.0 bit pattern.
+                        if m != 1.0 {
+                            cost_multiplier *= m;
+                        }
+                    }
+                    FetchOutcome::Failed => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if !failed {
                 return FetchResolution {
                     failed_attempts: attempt - 1,
                     delivered: Some(cost_multiplier),
@@ -401,6 +493,7 @@ mod tests {
             object: ObjectId::new(object),
             server: ServerId::new(server),
             attempt: n,
+            link: 0,
         }
     }
 
@@ -525,5 +618,100 @@ mod tests {
         let b = Bytes::new(12_345);
         assert_eq!(spiked_cost(b, 1.0), b);
         assert_eq!(spiked_cost(b, 4.0), Bytes::new(49_380));
+    }
+
+    #[test]
+    fn link_scoped_model_only_faults_its_link() {
+        let outage = OutageWindows::new(vec![Outage {
+            server: ServerId::new(0),
+            from: Tick::ZERO,
+            until: Tick::new(u64::MAX),
+        }]);
+        let scoped = LinkScoped::new(outage, 1);
+        assert_eq!(scoped.link(), 1);
+        // Link 0 traffic sails through the (total) outage...
+        assert_eq!(
+            scoped.outcome(&attempt(5, 0, 0, 1)),
+            FetchOutcome::Delivered {
+                cost_multiplier: 1.0
+            }
+        );
+        // ...link 1 traffic fails.
+        let on_link_1 = FetchAttempt {
+            link: 1,
+            ..attempt(5, 0, 0, 1)
+        };
+        assert_eq!(scoped.outcome(&on_link_1), FetchOutcome::Failed);
+    }
+
+    #[test]
+    fn fetch_path_fails_when_any_link_fails() {
+        // Only link 1 is down; a two-link path fails, a link-0-only path
+        // delivers.
+        let outage = OutageWindows::new(vec![Outage {
+            server: ServerId::new(0),
+            from: Tick::ZERO,
+            until: Tick::new(u64::MAX),
+        }]);
+        let scoped = LinkScoped::new(outage, 1);
+        let plan = FaultPlan::new(&scoped);
+        let o = ObjectId::new(0);
+        let s = ServerId::new(0);
+        let two_links = plan.fetch_path(3, Tick::new(3), o, s, 0..2);
+        assert_eq!(two_links.delivered, None);
+        let inner_only = plan.fetch_path(3, Tick::new(3), o, s, 0..1);
+        assert_eq!(inner_only.delivered, Some(1.0));
+        assert_eq!(inner_only.failed_attempts, 0);
+    }
+
+    #[test]
+    fn fetch_path_empty_range_never_consults_the_model() {
+        struct Panicky;
+        impl FaultModel for Panicky {
+            fn name(&self) -> &str {
+                "panicky"
+            }
+            fn outcome(&self, _attempt: &FetchAttempt) -> FetchOutcome {
+                FetchOutcome::Failed
+            }
+        }
+        let plan = FaultPlan::new(&Panicky);
+        let r = plan.fetch_path(0, Tick::ZERO, ObjectId::new(0), ServerId::new(0), 0..0);
+        assert_eq!(r.delivered, Some(1.0));
+        assert_eq!(r.failed_attempts, 0);
+    }
+
+    #[test]
+    fn fetch_path_multiplies_spikes_across_links() {
+        // A model that spikes every link by 2x: a three-link path costs 8x.
+        struct AlwaysSpiked;
+        impl FaultModel for AlwaysSpiked {
+            fn name(&self) -> &str {
+                "spiked"
+            }
+            fn outcome(&self, _attempt: &FetchAttempt) -> FetchOutcome {
+                FetchOutcome::Delivered {
+                    cost_multiplier: 2.0,
+                }
+            }
+        }
+        let plan = FaultPlan::new(&AlwaysSpiked);
+        let r = plan.fetch_path(0, Tick::ZERO, ObjectId::new(0), ServerId::new(0), 0..3);
+        assert_eq!(r.delivered, Some(8.0));
+    }
+
+    #[test]
+    fn flaky_draws_differ_across_links() {
+        // The link index feeds the per-attempt stream: with p = 0.5 the
+        // same attempt on link 0 and link 1 must not always agree.
+        let model = FlakyLinks::new(17, 0.5, 0.0, 1.0);
+        let disagreements = (0..1_000)
+            .filter(|&t| {
+                let a0 = attempt(t, 2, 0, 1);
+                let a1 = FetchAttempt { link: 1, ..a0 };
+                model.outcome(&a0) != model.outcome(&a1)
+            })
+            .count();
+        assert!(disagreements > 300, "only {disagreements} disagreements");
     }
 }

@@ -26,10 +26,14 @@
 //!   (policy × cache-size) grid in parallel.
 //! * [`network`] — first-class WAN pricing: [`network::NetworkModel`]
 //!   with the [`network::Uniform`] (BYU) and
-//!   [`network::PerServerMultipliers`] (BYHR) regimes.
+//!   [`network::PerServerMultipliers`] (BYHR) regimes, and
+//!   [`network::Topology`] — a tiered cache hierarchy (site → regional
+//!   → origin) whose per-link pricing generalizes the flat WAN; a flat
+//!   network is its single-tier degenerate case.
 //! * [`faults`] — the deterministic fault layer: seeded
 //!   [`faults::FaultModel`]s ([`faults::OutageWindows`],
-//!   [`faults::FlakyLinks`]), bounded [`faults::RetryPolicy`] backoff,
+//!   [`faults::FlakyLinks`]), [`faults::LinkScoped`] scoping of a model
+//!   to one topology link, bounded [`faults::RetryPolicy`] backoff,
 //!   and the [`faults::DegradationPolicy`] the mediator falls back on
 //!   when retries are exhausted.
 //! * [`accounting`] — [`accounting::CostReport`]: the bypass/fetch/total
@@ -60,17 +64,18 @@ pub mod simulator;
 pub mod sweep;
 
 pub use accounting::CostReport;
-pub use compiled::{CompiledSlice, CompiledTrace};
+pub use compiled::{CompiledSlice, CompiledTopology, CompiledTrace};
 pub use engine::{
-    AuditObserver, CostEvent, CostObserver, Observer, PerServerObserver, QueryWindow, ReplayEngine,
-    SeriesObserver, ServerCosts,
+    AuditObserver, CostEvent, CostObserver, Observer, PerServerObserver, PerTierObserver,
+    QueryWindow, ReplayEngine, SeriesObserver, ServerCosts, TierState,
 };
 pub use faults::{
     spiked_cost, DegradationPolicy, FaultModel, FaultPlan, FetchAttempt, FetchOutcome,
-    FetchResolution, FlakyLinks, NoFaults, Outage, OutageWindows, RetryPolicy, NO_FAULTS, NO_RETRY,
+    FetchResolution, FlakyLinks, LinkScoped, NoFaults, Outage, OutageWindows, RetryPolicy,
+    NO_FAULTS, NO_RETRY,
 };
 pub use mediator::Mediator;
-pub use network::{NetworkModel, PerServerMultipliers, Uniform};
+pub use network::{NetworkModel, PerServerMultipliers, TierSpec, Topology, Uniform};
 pub use policies::{build_policy, policy_roster, PolicyKind};
 pub use semantic::{SemanticCache, SemanticReport};
 pub use session::ReplaySession;

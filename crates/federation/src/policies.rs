@@ -90,12 +90,17 @@ pub fn policy_roster() -> Vec<PolicyKind> {
 /// `demands` (per-object total yields over the trace) are only consulted
 /// by [`PolicyKind::Static`]; pass the stats of the trace about to be
 /// replayed. `seed` only affects [`PolicyKind::SpaceEffBY`].
+///
+/// The box carries `Send + Sync` so one builder serves both the flat
+/// session (which auto-coerces the auto traits away) and the tiered
+/// session, whose per-tier policy slots require thread-shareable
+/// policies.
 pub fn build_policy(
     kind: PolicyKind,
     capacity: Bytes,
     demands: &[ObjectDemand],
     seed: u64,
-) -> Box<dyn CachePolicy> {
+) -> Box<dyn CachePolicy + Send + Sync> {
     match kind {
         PolicyKind::RateProfile => {
             Box::new(RateProfile::new(capacity, RateProfileConfig::default()))

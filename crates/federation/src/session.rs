@@ -36,14 +36,17 @@
 
 #[cfg(test)]
 use crate::accounting::CostReport;
-use crate::compiled::CompiledTrace;
-use crate::engine::{AuditObserver, CostObserver, Observer, ReplayEngine, SeriesObserver};
+use crate::compiled::{CompiledTopology, CompiledTrace};
+use crate::engine::{
+    replay_tiered, AuditObserver, CostObserver, Observer, ReplayEngine, SeriesObserver, TierState,
+};
 use crate::faults::{DegradationPolicy, FaultModel, FaultPlan, RetryPolicy, NO_RETRY};
-use crate::network::NetworkModel;
+use crate::network::{NetworkModel, Topology};
 use crate::policies::{build_policy, PolicyKind};
 use crate::simulator::{debug_assert_audit, Replay};
 use crate::sweep::SweepPoint;
 use byc_catalog::ObjectCatalog;
+use byc_core::audit::AuditReport;
 use byc_core::policy::CachePolicy;
 use byc_core::static_opt::ObjectDemand;
 use byc_types::{Error, Result};
@@ -63,6 +66,9 @@ pub struct ReplaySession<'a> {
     sample_every: Option<usize>,
     compiled: bool,
     compiled_trace: Option<&'a CompiledTrace>,
+    topology: Option<&'a Topology>,
+    compiled_topology: Option<&'a CompiledTopology>,
+    tier_policies: Vec<&'a mut (dyn CachePolicy + Send + Sync)>,
     policy: Option<&'a mut dyn CachePolicy>,
     observers: Vec<&'a mut dyn Observer>,
 }
@@ -78,6 +84,8 @@ impl std::fmt::Debug for ReplaySession<'_> {
             .field("audit", &self.audit)
             .field("sample_every", &self.sample_every)
             .field("compiled", &self.compiled)
+            .field("topology", &self.topology.map(Topology::name))
+            .field("tier_policies", &self.tier_policies.len())
             .field("observers", &self.observers.len())
             .finish_non_exhaustive()
     }
@@ -99,6 +107,9 @@ impl<'a> ReplaySession<'a> {
             sample_every: None,
             compiled: false,
             compiled_trace: None,
+            topology: None,
+            compiled_topology: None,
+            tier_policies: Vec::new(),
             policy: None,
             observers: Vec::new(),
         }
@@ -196,6 +207,36 @@ impl<'a> ReplaySession<'a> {
         self
     }
 
+    /// Replay over a tier hierarchy instead of the flat client↔server
+    /// WAN: every link is priced by the topology (superseding
+    /// [`Self::network`]), each caching tier runs its own policy, and a
+    /// miss bypasses one hop *up* instead of straight to the origin.
+    /// Requires exactly [`Topology::depth`] policies via
+    /// [`Self::tier_policy`] (bottom-up) instead of [`Self::policy`].
+    #[must_use]
+    pub fn topology(mut self, topology: &'a Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Append the next tier's policy, bottom-up: the first call binds
+    /// the site tier, the last the tier below the origin. Only
+    /// meaningful with [`Self::topology`]; the policy bound carries
+    /// `Send + Sync` because tier hierarchies are sweep-shareable.
+    #[must_use]
+    pub fn tier_policy(mut self, policy: &'a mut (dyn CachePolicy + Send + Sync)) -> Self {
+        self.tier_policies.push(policy);
+        self
+    }
+
+    /// Replay through an already-compiled topology (the tiered sweep's
+    /// compile-once seam). The caller guarantees `compiled` was built
+    /// from this session's trace, objects, and topology.
+    fn with_compiled_topology(mut self, compiled: &'a CompiledTopology) -> Self {
+        self.compiled_topology = Some(compiled);
+        self
+    }
+
     fn engine(&self) -> ReplayEngine<'a> {
         let engine = ReplayEngine::with_network(self.objects, self.network);
         match self.faults {
@@ -208,12 +249,25 @@ impl<'a> ReplaySession<'a> {
         }
     }
 
-    /// Replay the trace through the configured policy.
+    /// Replay the trace through the configured policy (or, with
+    /// [`Self::topology`], through the configured tier hierarchy).
     ///
     /// # Errors
     ///
-    /// [`Error::InvalidConfig`] when no policy was configured.
+    /// [`Error::InvalidConfig`] when no policy was configured, or when
+    /// the tiered configuration is inconsistent (a flat `.policy(...)`
+    /// alongside a topology, or a tier-policy count that does not match
+    /// the topology's depth).
     pub fn run(self) -> Result<Replay> {
+        if self.topology.is_some() {
+            return self.run_tiered();
+        }
+        if !self.tier_policies.is_empty() {
+            return Err(Error::InvalidConfig(
+                "tier policies need a topology; call .topology(...) before .tier_policy(...)"
+                    .into(),
+            ));
+        }
         let audit_enabled = self.audit.unwrap_or(cfg!(debug_assertions));
         let engine = self.engine();
         // Compile here (before destructuring) when asked to and no
@@ -278,6 +332,145 @@ impl<'a> ReplaySession<'a> {
             report,
             series: series.map(SeriesObserver::into_series).unwrap_or_default(),
             audit: audit.map(AuditObserver::into_report),
+        })
+    }
+
+    /// The tiered terminal behind [`Self::run`]: same observer protocol
+    /// and fast-path structure as the flat run, with one policy (and one
+    /// audit) per tier and the topology pricing every link.
+    fn run_tiered(self) -> Result<Replay> {
+        let audit_enabled = self.audit.unwrap_or(cfg!(debug_assertions));
+        let fault_plan = self.faults.map(|model| FaultPlan {
+            model,
+            retry: self.retry,
+            degradation: self.degradation,
+        });
+        let compiled_owned = match (
+            self.compiled && self.compiled_topology.is_none(),
+            self.topology,
+        ) {
+            (true, Some(topology)) => Some(CompiledTopology::compile(
+                self.trace,
+                self.objects,
+                topology,
+            )),
+            _ => None,
+        };
+        let ReplaySession {
+            trace,
+            objects,
+            sample_every,
+            topology,
+            compiled_topology,
+            mut tier_policies,
+            policy,
+            mut observers,
+            ..
+        } = self;
+        let Some(topology) = topology else {
+            // Unreachable: run() only dispatches here with a topology set.
+            return Err(Error::InvalidConfig("run_tiered without a topology".into()));
+        };
+        if policy.is_some() {
+            return Err(Error::InvalidConfig(
+                "tiered sessions take one policy per tier via .tier_policy(...); \
+                 don't call .policy(...) alongside .topology(...)"
+                    .into(),
+            ));
+        }
+        if tier_policies.len() != topology.depth() {
+            return Err(Error::InvalidConfig(format!(
+                "topology {} has {} tiers but {} tier policies were configured",
+                topology.name(),
+                topology.depth(),
+                tier_policies.len()
+            )));
+        }
+        let compiled = compiled_topology.or(compiled_owned.as_ref());
+        let mut tiers: Vec<TierState<'_>> = topology
+            .tiers()
+            .iter()
+            .zip(tier_policies.iter_mut())
+            .map(|(spec, policy)| TierState {
+                name: spec.name.as_str(),
+                policy: &mut **policy,
+            })
+            .collect();
+
+        // The allocation-free fast path, mirroring the flat run().
+        if let Some(compiled) = compiled {
+            if observers.is_empty() && sample_every.is_none() && !audit_enabled {
+                let report = compiled.replay_report(&mut tiers, fault_plan.as_ref());
+                debug_assert!(report.conserves_delivery());
+                return Ok(Replay {
+                    report,
+                    series: Vec::new(),
+                    audit: None,
+                });
+            }
+        }
+
+        let label = tiers
+            .first()
+            .map(|t| t.policy.name().to_string())
+            .unwrap_or_default();
+        let mut cost = CostObserver::new(&label, &trace.name, objects.granularity().label());
+        let mut series = sample_every.map(SeriesObserver::new);
+        let mut audits: Vec<AuditObserver> = if audit_enabled {
+            (0..tiers.len())
+                .map(|t| AuditObserver::for_tier(t as u32))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        {
+            let mut all: Vec<&mut dyn Observer> =
+                Vec::with_capacity(2 + audits.len() + observers.len());
+            all.push(&mut cost);
+            if let Some(series) = series.as_mut() {
+                all.push(series);
+            }
+            for audit in audits.iter_mut() {
+                all.push(audit);
+            }
+            for obs in observers.iter_mut() {
+                all.push(&mut **obs);
+            }
+            match compiled {
+                Some(compiled) => {
+                    compiled.replay_observed(trace, &mut tiers, fault_plan.as_ref(), &mut all);
+                }
+                None => replay_tiered(
+                    trace,
+                    objects,
+                    topology,
+                    &mut tiers,
+                    fault_plan.as_ref(),
+                    &mut all,
+                ),
+            }
+        }
+        // Close the observers out. The tiered kernels leave `finish` to
+        // this caller because each tier's audit must deep-check against
+        // its *own* tier's policy; every other observer sees the site
+        // tier's, matching the flat protocol.
+        for (audit, tier) in audits.iter_mut().zip(tiers.iter()) {
+            audit.finish(Some(&*tier.policy));
+        }
+        let site: Option<&dyn CachePolicy> = tiers.first().map(|t| &*t.policy as &dyn CachePolicy);
+        cost.finish(site);
+        if let Some(series) = series.as_mut() {
+            series.finish(site);
+        }
+        for obs in observers.iter_mut() {
+            obs.finish(site);
+        }
+        let report = cost.into_report();
+        debug_assert!(report.conserves_delivery());
+        Ok(Replay {
+            report,
+            series: series.map(SeriesObserver::into_series).unwrap_or_default(),
+            audit: merge_audits(audits.into_iter().map(AuditObserver::into_report)),
         })
     }
 
@@ -374,6 +567,13 @@ impl<'a> ReplaySession<'a> {
                     .into(),
             ));
         }
+        if !self.tier_policies.is_empty() {
+            return Err(Error::InvalidConfig(
+                "sweep terminals build one policy per tier per job from the \
+                 topology; don't call .tier_policy(...) before .sweep(...)"
+                    .into(),
+            ));
+        }
         for &f in fractions {
             if f <= 0.0 {
                 return Err(Error::InvalidConfig(format!(
@@ -391,6 +591,7 @@ impl<'a> ReplaySession<'a> {
             audit,
             sample_every,
             compiled,
+            topology,
             ..
         } = self;
         let db = objects.total_size();
@@ -405,26 +606,61 @@ impl<'a> ReplaySession<'a> {
         // Compile once, replay many: every (policy, fraction) job shares
         // one immutable arena instead of re-resolving and re-pricing the
         // trace per replay.
-        let compiled_trace = compiled.then(|| CompiledTrace::compile(trace, objects, network));
+        let compiled_trace = (compiled && topology.is_none())
+            .then(|| CompiledTrace::compile(trace, objects, network));
         let compiled_trace = compiled_trace.as_ref();
+        let compiled_topology = match (compiled, topology) {
+            (true, Some(t)) => Some(CompiledTopology::compile(trace, objects, t)),
+            _ => None,
+        };
+        let compiled_topology = compiled_topology.as_ref();
 
         let results: Result<Vec<(SweepPoint, Option<O>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .into_iter()
                 .map(|(kind, fraction, mut observer)| {
                     scope.spawn(move || -> Result<(SweepPoint, Option<O>)> {
+                        // Site-tier capacity; on a topology, inner tiers
+                        // scale it by their spec's `capacity_scale`.
                         let capacity = db.scale(fraction);
-                        let mut policy = build_policy(kind, capacity, demands, seed);
+                        let mut flat_policy: Option<Box<dyn CachePolicy + Send + Sync>> = None;
+                        let mut tier_boxes: Vec<Box<dyn CachePolicy + Send + Sync>>;
                         let mut session = ReplaySession::new(trace, objects)
-                            .network(network)
-                            .policy(policy.as_mut())
                             .retry(retry)
                             .degrade(degradation);
+                        match topology {
+                            Some(topo) => {
+                                tier_boxes = topo
+                                    .tiers()
+                                    .iter()
+                                    .map(|spec| {
+                                        build_policy(
+                                            kind,
+                                            db.scale(fraction * spec.capacity_scale),
+                                            demands,
+                                            seed,
+                                        )
+                                    })
+                                    .collect();
+                                session = session.topology(topo);
+                                for p in tier_boxes.iter_mut() {
+                                    session = session.tier_policy(p.as_mut());
+                                }
+                                if let Some(ct) = compiled_topology {
+                                    session = session.with_compiled_topology(ct);
+                                }
+                            }
+                            None => {
+                                let policy =
+                                    flat_policy.insert(build_policy(kind, capacity, demands, seed));
+                                session = session.network(network).policy(policy.as_mut());
+                                if let Some(ct) = compiled_trace {
+                                    session = session.with_compiled(ct);
+                                }
+                            }
+                        }
                         if let Some(obs) = observer.as_mut() {
                             session = session.observe(obs);
-                        }
-                        if let Some(ct) = compiled_trace {
-                            session = session.with_compiled(ct);
                         }
                         if let Some(model) = faults {
                             session = session.faults(model);
@@ -462,6 +698,26 @@ impl<'a> ReplaySession<'a> {
     }
 }
 
+/// Merge per-tier audit reports into one session-level report: counters
+/// and served-byte tallies sum, violation excerpts concatenate (the
+/// exact count lives in `violation_count`).
+fn merge_audits(reports: impl Iterator<Item = AuditReport>) -> Option<AuditReport> {
+    reports.reduce(|mut acc, r| {
+        acc.accesses += r.accesses;
+        acc.hits += r.hits;
+        acc.bypasses += r.bypasses;
+        acc.loads += r.loads;
+        acc.evictions += r.evictions;
+        acc.cache_served += r.cache_served;
+        acc.bypass_served += r.bypass_served;
+        acc.load_cost += r.load_cost;
+        acc.deep_checks += r.deep_checks;
+        acc.violation_count += r.violation_count;
+        acc.violations.extend(r.violations);
+        acc
+    })
+}
+
 /// One-shot replay returning just the report (test helper).
 #[cfg(test)]
 pub(crate) fn run_report(
@@ -482,8 +738,9 @@ pub(crate) fn run_report(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::faults::{FlakyLinks, NoFaults, Outage, OutageWindows};
-    use crate::network::PerServerMultipliers;
+    use crate::engine::{PerTierObserver, QueryWindow};
+    use crate::faults::{FlakyLinks, LinkScoped, NoFaults, Outage, OutageWindows};
+    use crate::network::{PerServerMultipliers, Uniform};
     use byc_catalog::sdss::{build, SdssRelease};
     use byc_catalog::Granularity;
     use byc_core::rate_profile::{RateProfile, RateProfileConfig};
@@ -767,6 +1024,226 @@ mod tests {
         assert!(ra.is_clean() && fa.is_clean());
         assert_eq!(ra.accesses, fa.accesses);
         assert_eq!(ra.deep_checks, fa.deep_checks);
+    }
+
+    #[test]
+    fn degenerate_topology_matches_flat_network() {
+        let (trace, objects) = setup(2, 500);
+        let cap = objects.total_size().scale(0.3);
+        let net = PerServerMultipliers::new(vec![1.0, 2.0]).unwrap();
+        let flat = {
+            let mut p = RateProfile::new(cap, RateProfileConfig::default());
+            ReplaySession::new(&trace, &objects)
+                .network(&net)
+                .policy(&mut p)
+                .run()
+                .unwrap()
+                .report
+        };
+        let topo = Topology::flat(Box::new(PerServerMultipliers::new(vec![1.0, 2.0]).unwrap()));
+        for compiled in [false, true] {
+            let mut p = RateProfile::new(cap, RateProfileConfig::default());
+            let mut session = ReplaySession::new(&trace, &objects)
+                .topology(&topo)
+                .tier_policy(&mut p);
+            if compiled {
+                session = session.compiled();
+            }
+            let tiered = session.run().unwrap().report;
+            assert_eq!(flat, tiered, "compiled={compiled}");
+            assert_eq!(tiered.relay_cost, Bytes::ZERO);
+        }
+    }
+
+    #[test]
+    fn degenerate_topology_matches_flat_network_under_faults() {
+        let (trace, objects) = setup(2, 500);
+        let cap = objects.total_size().scale(0.3);
+        let model = FlakyLinks::new(7, 0.05, 0.1, 4.0);
+        let flat = {
+            let mut p = RateProfile::new(cap, RateProfileConfig::default());
+            ReplaySession::new(&trace, &objects)
+                .policy(&mut p)
+                .faults(&model)
+                .retry(RetryPolicy::new(2, 4))
+                .run()
+                .unwrap()
+                .report
+        };
+        let topo = Topology::flat(Box::new(Uniform));
+        let mut p = RateProfile::new(cap, RateProfileConfig::default());
+        let tiered = ReplaySession::new(&trace, &objects)
+            .topology(&topo)
+            .tier_policy(&mut p)
+            .faults(&model)
+            .retry(RetryPolicy::new(2, 4))
+            .run()
+            .unwrap()
+            .report;
+        assert_eq!(flat, tiered);
+    }
+
+    #[test]
+    fn regional_cache_absorbs_origin_outage() {
+        let (trace, objects) = setup(1, 600);
+        let outage = OutageWindows::new(vec![Outage {
+            server: ServerId::new(0),
+            from: Tick::new(100),
+            until: Tick::new(400),
+        }]);
+        // Fault only the origin link; the inner site↔regional link
+        // stays healthy.
+        let model = LinkScoped::new(outage, 1);
+        let run = |regional_kind: PolicyKind| {
+            let topo = Topology::two_tier(0.25, Box::new(Uniform)).unwrap();
+            let mut site = build_policy(PolicyKind::NoCache, Bytes::ZERO, &[], 0);
+            let mut regional = build_policy(regional_kind, objects.total_size(), &[], 0);
+            ReplaySession::new(&trace, &objects)
+                .topology(&topo)
+                .tier_policy(site.as_mut())
+                .tier_policy(regional.as_mut())
+                .faults(&model)
+                .degrade(DegradationPolicy::Fail)
+                .run()
+                .unwrap()
+                .report
+        };
+        let cold = run(PolicyKind::NoCache);
+        let warm = run(PolicyKind::Lru);
+        // With no regional cache every slice crosses the dead origin link.
+        assert!(cold.availability() < 1.0);
+        // A warm regional cache serves its hits below the outage.
+        assert!(warm.availability() > cold.availability());
+        assert!(warm.failed_bytes < cold.failed_bytes);
+        assert!(warm.relay_cost > Bytes::ZERO);
+        assert!(warm.conserves_delivery() && cold.conserves_delivery());
+    }
+
+    #[test]
+    fn per_tier_windows_sum_to_the_report() {
+        let (trace, objects) = setup(2, 400);
+        let topo = Topology::three_tier(0.1, 0.25, Box::new(Uniform)).unwrap();
+        // Bypass-yield policies actually forward misses up the
+        // hierarchy (in-line policies like GDS load on every miss and
+        // would keep the walk pinned at the site tier).
+        let mut site = build_policy(
+            PolicyKind::RateProfile,
+            objects.total_size().scale(0.05),
+            &[],
+            0,
+        );
+        let mut regional = build_policy(
+            PolicyKind::RateProfile,
+            objects.total_size().scale(0.3),
+            &[],
+            0,
+        );
+        let mut national = build_policy(PolicyKind::Lru, objects.total_size(), &[], 0);
+        let mut per_tier = PerTierObserver::new();
+        let replay = ReplaySession::new(&trace, &objects)
+            .topology(&topo)
+            .tier_policy(site.as_mut())
+            .tier_policy(regional.as_mut())
+            .tier_policy(national.as_mut())
+            .observe(&mut per_tier)
+            .run()
+            .unwrap();
+        let windows = per_tier.into_windows();
+        assert!(windows.len() >= 2, "expected several consulted tiers");
+        let r = &replay.report;
+        let sum =
+            |f: &dyn Fn(&QueryWindow) -> Bytes| windows.iter().map(|(_, w)| f(w)).sum::<Bytes>();
+        assert_eq!(sum(&|w| w.bypass_cost), r.bypass_cost);
+        assert_eq!(sum(&|w| w.fetch_cost), r.fetch_cost);
+        assert_eq!(sum(&|w| w.relay_cost), r.relay_cost);
+        assert_eq!(sum(&|w| w.cache_served), r.cache_served);
+        assert_eq!(sum(&|w| w.bypass_served), r.bypass_served);
+        assert!(r.relay_cost > Bytes::ZERO);
+        assert!(r.conserves_delivery());
+    }
+
+    #[test]
+    fn tiered_sweep_matches_compiled_tiered_sweep() {
+        let (trace, objects) = setup(2, 400);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let topo = Topology::two_tier(0.25, Box::new(Uniform)).unwrap();
+        let run = |compiled: bool| {
+            let mut session = ReplaySession::new(&trace, &objects).topology(&topo);
+            if compiled {
+                session = session.compiled();
+            }
+            session
+                .sweep(
+                    &[PolicyKind::Gds, PolicyKind::NoCache],
+                    &[0.2, 0.5],
+                    &stats.demands,
+                    3,
+                )
+                .unwrap()
+        };
+        let reference = run(false);
+        let fast = run(true);
+        assert_eq!(reference.len(), 4);
+        assert_eq!(reference.len(), fast.len());
+        for (r, f) in reference.iter().zip(fast.iter()) {
+            assert_eq!(r.policy, f.policy);
+            assert_eq!(r.report, f.report, "{}@{}", r.policy, r.cache_fraction);
+            assert!(r.report.conserves_delivery());
+        }
+        // Two-tier bypasses relay over the inner link: the relay column
+        // is live in at least the no-cache rows.
+        assert!(reference.iter().any(|p| p.report.relay_cost > Bytes::ZERO));
+    }
+
+    #[test]
+    fn topology_with_flat_policy_is_a_config_error() {
+        let (trace, objects) = setup(1, 50);
+        let topo = Topology::flat(Box::new(Uniform));
+        let mut p = NoCache;
+        let err = ReplaySession::new(&trace, &objects)
+            .topology(&topo)
+            .policy(&mut p)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn tier_policy_count_must_match_topology_depth() {
+        let (trace, objects) = setup(1, 50);
+        let topo = Topology::two_tier(0.5, Box::new(Uniform)).unwrap();
+        let mut p = NoCache;
+        let err = ReplaySession::new(&trace, &objects)
+            .topology(&topo)
+            .tier_policy(&mut p)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn tier_policy_without_topology_is_a_config_error() {
+        let (trace, objects) = setup(1, 50);
+        let mut p = NoCache;
+        let err = ReplaySession::new(&trace, &objects)
+            .tier_policy(&mut p)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn sweep_with_tier_policy_is_a_config_error() {
+        let (trace, objects) = setup(1, 50);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let topo = Topology::flat(Box::new(Uniform));
+        let mut p = NoCache;
+        let err = ReplaySession::new(&trace, &objects)
+            .topology(&topo)
+            .tier_policy(&mut p)
+            .sweep(&[PolicyKind::NoCache], &[0.5], &stats.demands, 1)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
     }
 
     #[test]

@@ -18,7 +18,9 @@ use byc_core::spaceeff::SpaceEffBY;
 use byc_core::static_opt::{NoCache, StaticCache};
 use byc_core::CacheState;
 use byc_federation::policies::UniformCostAdapter;
-use byc_federation::CompiledTrace;
+use byc_federation::{
+    CompiledTopology, CompiledTrace, FlakyLinks, LinkScoped, PerTierObserver, TierState, Topology,
+};
 
 fn assert_send_sync<T: Send + Sync>() {}
 
@@ -27,6 +29,18 @@ fn shared_state_is_send_sync() {
     // Core replay state shared (read-only or partitioned) across workers.
     assert_send_sync::<CacheState>();
     assert_send_sync::<CompiledTrace>();
+}
+
+#[test]
+fn topology_stack_is_send_sync() {
+    // A tiered sweep shares the topology and its compiled pricing tables
+    // read-only across every (policy × fraction) worker; per-tier state
+    // is partitioned per job but must still cross the spawn boundary.
+    assert_send_sync::<Topology>();
+    assert_send_sync::<CompiledTopology>();
+    assert_send_sync::<TierState<'static>>();
+    assert_send_sync::<PerTierObserver>();
+    assert_send_sync::<LinkScoped<FlakyLinks>>();
 }
 
 #[test]

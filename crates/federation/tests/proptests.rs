@@ -12,9 +12,9 @@
 use byc_catalog::sdss::{self, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
 use byc_federation::{
-    build_policy, CostObserver, CostReport, DegradationPolicy, FaultModel, FlakyLinks, Observer,
-    Outage, OutageWindows, PerServerMultipliers, PerServerObserver, PolicyKind, ReplayEngine,
-    ReplaySession, RetryPolicy,
+    build_policy, CostObserver, CostReport, DegradationPolicy, FaultModel, FlakyLinks,
+    NetworkModel, Observer, Outage, OutageWindows, PerServerMultipliers, PerServerObserver,
+    PolicyKind, ReplayEngine, ReplaySession, RetryPolicy, Topology, Uniform,
 };
 use byc_types::{Bytes, ServerId, Tick};
 use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
@@ -128,6 +128,105 @@ fn fault_run(
     match session.run() {
         Ok(replay) => replay.report,
         Err(e) => panic!("replay failed: {e}"),
+    }
+}
+
+/// One replay of `kind` over either the legacy flat `.network()` path or
+/// a degenerate single-tier `.topology()` (optionally compiled), with an
+/// optional fault layer. Policies are rebuilt fresh per call.
+#[allow(clippy::too_many_arguments)]
+fn flat_or_tiered_run(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    stats: &WorkloadStats,
+    kind: PolicyKind,
+    seed: u64,
+    cache_fraction: f64,
+    path: Result<&Topology, &dyn NetworkModel>,
+    faults: Option<(&dyn FaultModel, RetryPolicy, DegradationPolicy)>,
+    compiled: bool,
+) -> CostReport {
+    let capacity = objects.total_size().scale(cache_fraction);
+    let mut policy = build_policy(kind, capacity, &stats.demands, seed);
+    let mut session = ReplaySession::new(trace, objects);
+    session = match path {
+        Ok(topology) => session.topology(topology).tier_policy(policy.as_mut()),
+        Err(network) => session.policy(policy.as_mut()).network(network),
+    };
+    if let Some((model, retry, degradation)) = faults {
+        session = session.faults(model).retry(retry).degrade(degradation);
+    }
+    if compiled {
+        session = session.compiled();
+    }
+    match session.run() {
+        Ok(replay) => replay.report,
+        Err(e) => panic!("replay failed: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tiered kernel is non-regressive by construction: a degenerate
+    /// single-tier [`Topology`] produces a `CostReport` bit-identical to
+    /// the legacy flat `NetworkModel` path — for every shipped policy,
+    /// under uniform and per-server pricing, fault-free and faulted, and
+    /// through the compiled fast path.
+    #[test]
+    fn degenerate_topology_is_bit_identical_to_flat(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        per_server in any::<bool>(),
+        multipliers in proptest::collection::vec(0.25f64..8.0, 1..4),
+        cache_fraction in 0.05f64..0.6,
+        failure_p in 0.0f64..0.3,
+    ) {
+        let catalog = sdss::build(SdssRelease::Edr, 1e-4, 2);
+        let trace = generate(&catalog, &WorkloadConfig::smoke(seed, 120)).unwrap();
+        let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let make_net = || -> Box<dyn NetworkModel + Send> {
+            if per_server {
+                Box::new(PerServerMultipliers::new(multipliers.clone()).unwrap())
+            } else {
+                Box::new(Uniform)
+            }
+        };
+        let flat_net = make_net();
+        let topology = Topology::flat(make_net());
+        let flaky = FlakyLinks::new(fault_seed, failure_p, 0.1, 4.0);
+        let retry = RetryPolicy::new(2, 1);
+        for kind in ALL_POLICIES {
+            for faulted in [false, true] {
+                let faults = faulted.then_some((
+                    &flaky as &dyn FaultModel,
+                    retry,
+                    DegradationPolicy::ServeStale,
+                ));
+                let legacy = flat_or_tiered_run(
+                    &trace, &objects, &stats, kind, seed, cache_fraction,
+                    Err(flat_net.as_ref()), faults, false,
+                );
+                let tiered = flat_or_tiered_run(
+                    &trace, &objects, &stats, kind, seed, cache_fraction,
+                    Ok(&topology), faults, false,
+                );
+                prop_assert_eq!(
+                    &legacy, &tiered,
+                    "{:?} faulted={} single-tier topology diverged", kind, faulted
+                );
+                prop_assert_eq!(tiered.relay_cost, Bytes::ZERO);
+                let compiled = flat_or_tiered_run(
+                    &trace, &objects, &stats, kind, seed, cache_fraction,
+                    Ok(&topology), faults, true,
+                );
+                prop_assert_eq!(
+                    &legacy, &compiled,
+                    "{:?} faulted={} compiled single-tier diverged", kind, faulted
+                );
+            }
+        }
     }
 }
 

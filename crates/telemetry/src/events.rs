@@ -101,6 +101,12 @@ pub struct EventRecord {
     pub failed: u64,
     /// 1 iff every attempt failed and the slice was served stale.
     pub degraded: u64,
+    /// Caching tier that took the decision (0 = site; always 0 on a
+    /// flat topology, where the key is omitted from the wire format).
+    pub tier: u32,
+    /// WAN cost of relaying the slice over this tier's inner link
+    /// (network-priced; zero on a flat topology).
+    pub relay_cost: Bytes,
 }
 
 impl EventRecord {
@@ -132,6 +138,8 @@ impl EventRecord {
             retries: event.retries,
             failed: event.failed,
             degraded: event.degraded,
+            tier: event.tier,
+            relay_cost: event.relay_cost,
         }
     }
 
@@ -157,6 +165,13 @@ impl EventRecord {
             self.evictions,
             self.occupancy.raw(),
         );
+        // Tier columns only appear on tiered topologies: flat logs
+        // (tier 0, no relay traffic) stay byte-identical to logs written
+        // before topologies existed, and the reader defaults the missing
+        // keys to zero.
+        if self.tier != 0 || self.relay_cost != Bytes::ZERO {
+            let _ = write!(buf, ",\"t\":{},\"rc\":{}", self.tier, self.relay_cost.raw());
+        }
         // Fault columns only appear when the slice actually hit the fault
         // layer, so fault-free logs stay byte-identical to version-1 logs
         // written before the fault model existed (the reader defaults the
@@ -215,6 +230,10 @@ impl EventRecord {
             retries: v["rt"].as_u64().unwrap_or(0),
             failed: v["fl"].as_u64().unwrap_or(0),
             degraded: v["dg"].as_u64().unwrap_or(0),
+            // Absent on flat-topology (and all pre-topology) logs: zero.
+            tier: u32::try_from(v["t"].as_u64().unwrap_or(0))
+                .map_err(|_| Error::TraceFormat("tier out of range".into()))?,
+            relay_cost: Bytes::new(v["rc"].as_u64().unwrap_or(0)),
         })
     }
 }
@@ -323,6 +342,8 @@ pub struct EventTotals {
     pub bypass_cost: Bytes,
     /// WAN cost of cache loads (`D_L`).
     pub fetch_cost: Bytes,
+    /// WAN cost of relaying slices over inner topology links.
+    pub relay_cost: Bytes,
     /// Raw bytes served from cache (`D_C`).
     pub cache_served: Bytes,
     /// WAN bytes wasted on failed transfer attempts.
@@ -346,9 +367,10 @@ pub struct EventTotals {
 }
 
 impl EventTotals {
-    /// WAN traffic: `D_S + D_L` plus bytes burned on failed attempts.
+    /// WAN traffic: `D_S + D_L` plus relay forwarding and bytes burned
+    /// on failed attempts.
     pub fn wan_cost(&self) -> Bytes {
-        self.bypass_cost + self.fetch_cost + self.retried_bytes
+        self.bypass_cost + self.fetch_cost + self.relay_cost + self.retried_bytes
     }
 }
 
@@ -371,6 +393,7 @@ impl EventLog {
             t.delivered += e.yield_bytes;
             t.bypass_cost += e.bypass_cost;
             t.fetch_cost += e.fetch_cost;
+            t.relay_cost += e.relay_cost;
             t.cache_served += e.cache_served;
             t.retried_bytes += e.retried_bytes;
             t.failed_bytes += e.failed_bytes;
@@ -478,6 +501,8 @@ mod tests {
             retries: 0,
             failed: 0,
             degraded: 0,
+            tier: 0,
+            relay_cost: Bytes::ZERO,
         }
     }
 
@@ -518,16 +543,44 @@ mod tests {
 
     #[test]
     fn fault_free_records_render_without_fault_keys() {
-        // Version-1 logs written before the fault layer must stay
-        // byte-identical, and their parse defaults the new fields to 0.
+        // Version-1 logs written before the fault layer (and before
+        // topologies) must stay byte-identical, and their parse defaults
+        // the new fields to 0.
         let mut buf = String::new();
         sample_record(3).render_into(&mut buf);
-        for key in ["rb", "fb", "rt", "fl", "dg"] {
+        for key in ["rb", "fb", "rt", "fl", "dg", "t", "rc"] {
             assert!(!buf.contains(&format!("\"{key}\":")), "{buf}");
         }
         let back = EventRecord::parse(buf.trim_end()).unwrap();
         assert_eq!(back.retries, 0);
         assert_eq!(back.failed_bytes, Bytes::ZERO);
+        assert_eq!(back.tier, 0);
+        assert_eq!(back.relay_cost, Bytes::ZERO);
+    }
+
+    #[test]
+    fn tiered_record_roundtrips_and_counts_relay_as_wan() {
+        let record = EventRecord {
+            tier: 2,
+            relay_cost: Bytes::new(750),
+            ..sample_record(9)
+        };
+        let mut buf = String::new();
+        record.render_into(&mut buf);
+        assert!(buf.contains("\"t\":2"), "{buf}");
+        assert!(buf.contains("\"rc\":750"), "{buf}");
+        let back = EventRecord::parse(buf.trim_end()).unwrap();
+        assert_eq!(back, record);
+
+        let log = EventLog {
+            version: EVENT_SCHEMA_VERSION,
+            policy: "RATE-PROFILE".into(),
+            events: vec![sample_record(0), record],
+        };
+        let totals = log.totals();
+        assert_eq!(totals.relay_cost, Bytes::new(750));
+        // Relay forwarding is WAN traffic.
+        assert_eq!(totals.wan_cost(), Bytes::new(2000 + 2000 + 750));
     }
 
     #[test]

@@ -48,7 +48,7 @@ type WindowColumn = (
     fn(&byc_federation::QueryWindow) -> u64,
 );
 
-const WINDOW_COLUMNS: [WindowColumn; 14] = [
+const WINDOW_COLUMNS: [WindowColumn; 15] = [
     ("byc_hits_total", "Hit decisions.", |w| w.hits),
     ("byc_bypasses_total", "Bypass decisions.", |w| w.bypasses),
     ("byc_loads_total", "Load decisions.", |w| w.loads),
@@ -72,6 +72,11 @@ const WINDOW_COLUMNS: [WindowColumn; 14] = [
         "byc_fetch_cost_bytes_total",
         "WAN cost of cache loads (D_L share, network-priced).",
         |w| w.fetch_cost.raw(),
+    ),
+    (
+        "byc_relay_cost_bytes_total",
+        "WAN cost of relaying slices over inner topology links (network-priced).",
+        |w| w.relay_cost.raw(),
     ),
     (
         "byc_cache_served_bytes_total",
@@ -125,7 +130,7 @@ fn prom_histogram(out: &mut String, name: &str, help: &str, labels: &str, h: &Hi
 
 /// Render the registry as Prometheus text exposition.
 ///
-/// Counters carry `{policy, server, class}` labels (one series per
+/// Counters carry `{policy, server, class, tier}` labels (one series per
 /// registry cell); gauges and per-policy histograms carry `{policy}`.
 /// Output is fully deterministic: same registry, same bytes.
 pub fn prometheus_text(registry: &MetricsRegistry) -> String {
@@ -137,10 +142,11 @@ pub fn prometheus_text(registry: &MetricsRegistry) -> String {
             for (key, series) in &policy.series {
                 let _ = writeln!(
                     out,
-                    "{name}{{policy=\"{}\",server=\"{}\",class=\"{}\"}} {}",
+                    "{name}{{policy=\"{}\",server=\"{}\",class=\"{}\",tier=\"{}\"}} {}",
                     policy.policy,
                     key.server.raw(),
                     key.class.label(),
+                    key.tier,
                     extract(&series.window)
                 );
             }
@@ -235,6 +241,7 @@ fn json_policy(p: &PolicyMetrics) -> Value {
         let mut fields = vec![
             ("server".into(), Value::u64(u64::from(key.server.raw()))),
             ("class".into(), Value::str(key.class.label())),
+            ("tier".into(), Value::u64(u64::from(key.tier))),
         ];
         for (name, _, extract) in WINDOW_COLUMNS {
             fields.push((name.into(), Value::u64(extract(&s.window))));
@@ -324,6 +331,7 @@ mod tests {
             let key = SeriesKey {
                 server: ServerId::new(server),
                 class,
+                tier: 0,
             };
             let s = p.series.entry(key).or_default();
             s.window.hits = hits;
@@ -344,8 +352,10 @@ mod tests {
     fn prometheus_text_is_well_formed() {
         let text = prometheus_text(&sample_registry());
         assert!(text.contains("# TYPE byc_hits_total counter"));
-        assert!(text.contains("byc_hits_total{policy=\"GDS\",server=\"0\",class=\"tiny\"} 5"));
-        assert!(text.contains("byc_hits_total{policy=\"GDS\",server=\"1\",class=\"large\"} 2"));
+        assert!(text
+            .contains("byc_hits_total{policy=\"GDS\",server=\"0\",class=\"tiny\",tier=\"0\"} 5"));
+        assert!(text
+            .contains("byc_hits_total{policy=\"GDS\",server=\"1\",class=\"large\",tier=\"0\"} 2"));
         assert!(text.contains("byc_queries_total{policy=\"GDS\"} 7"));
         assert!(text.contains("byc_cache_occupancy_bytes{policy=\"GDS\"} 12345"));
         assert!(text.contains("le=\"+Inf\""));
@@ -367,9 +377,10 @@ mod tests {
             for series in policy["series"].as_array().unwrap() {
                 let server = series["server"].as_u64().unwrap();
                 let class = series["class"].as_str().unwrap();
+                let tier = series["tier"].as_u64().unwrap();
                 for (name, _, _) in WINDOW_COLUMNS {
                     let expected = format!(
-                        "{name}{{policy=\"{label}\",server=\"{server}\",class=\"{class}\"}} {}",
+                        "{name}{{policy=\"{label}\",server=\"{server}\",class=\"{class}\",tier=\"{tier}\"}} {}",
                         series[name].as_u64().unwrap()
                     );
                     assert!(prom.contains(&expected), "missing: {expected}");

@@ -244,13 +244,18 @@ impl Gauge {
     }
 }
 
-/// One metric series: the `(server, object-class)` cell under a policy.
+/// One metric series: the `(server, object-class, tier)` cell under a
+/// policy. `tier` comes last so flat-topology registries (always tier
+/// 0) keep their historical iteration order byte-for-byte.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SeriesKey {
     /// The object's home server.
     pub server: ServerId,
     /// The object's size class.
     pub class: ObjectClass,
+    /// The caching tier that emitted the event (0 = site; always 0 on a
+    /// flat topology).
+    pub tier: u32,
 }
 
 /// Counters and distributions of one series.
@@ -516,6 +521,7 @@ mod tests {
         let key = SeriesKey {
             server: ServerId::new(0),
             class: ObjectClass::Small,
+            tier: 0,
         };
         let mut a = PolicyMetrics::new("GDS");
         a.queries = 10;

@@ -243,16 +243,19 @@ impl Observer for TelemetryObserver {
         let key = SeriesKey {
             server: event.server,
             class: ObjectClass::of(size),
+            tier: event.tier,
         };
         let series = self.metrics.series.entry(key).or_default();
         series.window.absorb(event);
         series.delivered.record(event.delivered.raw());
         // Hits are WAN-free; recording them would bury the traffic
-        // distribution under a spike at zero.
+        // distribution under a spike at zero. Relay traffic (inner-link
+        // forwarding on a tiered topology) is WAN and counts.
         if event.hits == 0 {
-            series
-                .wan
-                .record((event.bypass_cost + event.fetch_cost + event.retried_bytes).raw());
+            series.wan.record(
+                (event.bypass_cost + event.fetch_cost + event.relay_cost + event.retried_bytes)
+                    .raw(),
+            );
         }
 
         if let Some(policy) = event.policy {

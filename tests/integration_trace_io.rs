@@ -114,6 +114,8 @@ fn cli_gen_and_run_compose() {
         seed: 11,
         servers: 1,
         multipliers: None,
+        topology: None,
+        fault_link: None,
         trace_events: None,
         metrics: None,
         metrics_format: byc_telemetry::MetricsFormat::Prometheus,
