@@ -25,6 +25,6 @@ pub use containment::{containment_analysis, ContainmentReport, ReusePoint};
 pub use gaps::{gap_analysis, GapReport};
 pub use locality::{locality_analysis, LocalityReport, LocalityScatter};
 pub use report::{
-    render_cost_table, render_metrics_table, render_server_table, render_tier_table,
-    write_series_csv, write_sweep_csv,
+    render_cost_table, render_metrics_table, render_server_table, render_span_table,
+    render_tier_table, render_window_table, write_series_csv, write_sweep_csv,
 };

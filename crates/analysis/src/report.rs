@@ -172,6 +172,106 @@ pub fn render_tier_table(title: &str, tiers: &[(String, QueryWindow)]) -> String
     out
 }
 
+/// Render a recorded span tree as an indented phase table: one row per
+/// [`Span`](byc_telemetry::Span) in open order, indented by nesting
+/// depth, with the tick range each phase covered and its numeric
+/// annotations. The terminal-side companion to the Chrome trace-event
+/// export — same spans, same ticks — for when loading Perfetto is
+/// overkill.
+pub fn render_span_table(title: &str, spans: &[byc_telemetry::Span]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<40} {:<10} {:>10} {:>10} {:>8}  {}",
+        "Span", "Cat", "Start", "End", "Ticks", "Args"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    for span in spans {
+        let mut args = String::new();
+        for (key, value) in &span.args {
+            if !args.is_empty() {
+                args.push(' ');
+            }
+            let _ = write!(args, "{key}={value}");
+        }
+        if let Some((open, close)) = span.wall {
+            if !args.is_empty() {
+                args.push(' ');
+            }
+            let _ = write!(args, "wall={open}..{close}");
+        }
+        let indented = format!("{}{}", "  ".repeat(span.depth as usize), span.name);
+        let _ = writeln!(
+            out,
+            "{:<40} {:<10} {:>10} {:>10} {:>8}  {}",
+            indented,
+            span.cat,
+            span.start,
+            span.end,
+            span.end - span.start,
+            args,
+        );
+    }
+    out
+}
+
+/// Render a windowed-telemetry stream as a trajectory table: one row per
+/// [`WindowSnapshot`](byc_telemetry::WindowSnapshot) with the window's
+/// query range, decision mix, hit rate, and WAN cost split, plus a
+/// totals row merging every window. Reads the same snapshots the NDJSON
+/// stream serialises, so the table and the stream cannot disagree.
+pub fn render_window_table(title: &str, snapshots: &[byc_telemetry::WindowSnapshot]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>9} {:>7} {:>9} {:>12} {:>12} {:>10} {:>7} {:>9}",
+        "Queries",
+        "Hits",
+        "Bypasses",
+        "Loads",
+        "Hit rate",
+        "Bypass (GB)",
+        "Fetch (GB)",
+        "WAN (GB)",
+        "Failed",
+        "Degraded"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(106));
+    let mut total = QueryWindow::default();
+    let mut row = |label: String, w: &QueryWindow| {
+        let hit_rate = if w.decisions() > 0 {
+            w.hits as f64 / w.decisions() as f64 * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>9} {:>7} {:>8.1}% {:>12.2} {:>12.2} {:>10.2} {:>7} {:>9}",
+            label,
+            w.hits,
+            w.bypasses,
+            w.loads,
+            hit_rate,
+            gb(w.bypass_cost.as_f64()),
+            gb(w.fetch_cost.as_f64()),
+            gb(w.wan_cost().as_f64()),
+            w.failed_slices,
+            w.degraded_slices,
+        );
+    };
+    for snapshot in snapshots {
+        total.merge(&snapshot.window);
+        row(
+            format!("{}..{}", snapshot.start, snapshot.end),
+            &snapshot.window,
+        );
+    }
+    row("total".to_string(), &total);
+    out
+}
+
 /// Render a telemetry [`MetricsRegistry`](byc_telemetry::MetricsRegistry)
 /// as a human-readable table: one row per `(policy, server, class)`
 /// series with the decision mix and the `D_S`/`D_L`/`D_C` byte split,
@@ -465,12 +565,89 @@ mod tests {
     }
 
     #[test]
+    fn span_table_indents_by_depth_and_shows_args() {
+        use byc_telemetry::Span;
+        let spans = vec![
+            Span {
+                name: "replay GDS".into(),
+                cat: "replay".into(),
+                start: 0,
+                end: 800,
+                depth: 0,
+                args: vec![("queries".into(), 800)],
+                wall: None,
+            },
+            Span {
+                name: "queries 0..256".into(),
+                cat: "replay".into(),
+                start: 0,
+                end: 256,
+                depth: 1,
+                args: vec![("hits".into(), 40)],
+                wall: Some((1000, 1700)),
+            },
+        ];
+        let table = render_span_table("spans: replay GDS", &spans);
+        assert!(table.contains("spans: replay GDS"));
+        assert!(table.contains("replay GDS"));
+        // Children indent under their parent.
+        assert!(table.contains("  queries 0..256"), "{table}");
+        assert!(table.contains("queries=800"));
+        // Wall enrichment renders next to the args, never as the ticks.
+        assert!(table.contains("hits=40 wall=1000..1700"), "{table}");
+        assert!(table.contains("256"), "{table}");
+    }
+
+    #[test]
+    fn window_table_rows_and_totals() {
+        use byc_telemetry::WindowSnapshot;
+        let mut early = QueryWindow::default();
+        early.hits = 6;
+        early.bypasses = 2;
+        early.loads = 2;
+        early.bypass_cost = Bytes::new(1_000_000_000);
+        let mut late = QueryWindow::default();
+        late.loads = 2;
+        late.fetch_cost = Bytes::new(4_000_000_000);
+        late.failed_slices = 3;
+        let snapshots = vec![
+            WindowSnapshot {
+                index: 0,
+                start: 0,
+                end: 256,
+                window: early,
+                ..Default::default()
+            },
+            WindowSnapshot {
+                index: 1,
+                start: 256,
+                end: 500,
+                window: late,
+                ..Default::default()
+            },
+        ];
+        let table = render_window_table("windowed trajectory", &snapshots);
+        assert!(table.contains("windowed trajectory"));
+        assert!(table.contains("0..256"));
+        assert!(table.contains("256..500"));
+        // 6 of 10 decisions in the first window were hits.
+        assert!(table.contains("60.0%"), "{table}");
+        // The totals row merges both windows: 1.0 + 4.0 GB of WAN.
+        assert!(table.contains("total"));
+        assert!(table.contains("5.00"), "{table}");
+        // A window with no decisions renders 0%, not NaN.
+        let empty = render_window_table("t", &[WindowSnapshot::default()]);
+        assert!(empty.contains("0.0%"), "{empty}");
+    }
+
+    #[test]
     fn sweep_csv_layout() {
         let points = vec![byc_federation::SweepPoint {
             policy: "GDS".into(),
             cache_fraction: 0.1,
             capacity: Bytes::new(1_000_000_000),
             report: report("EDR", "GDS", 2_000_000_000, 3_000_000_000),
+            warnings: Vec::new(),
         }];
         let path = tmp("sweep.csv");
         write_sweep_csv(&path, &points).unwrap();

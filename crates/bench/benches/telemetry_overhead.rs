@@ -12,14 +12,23 @@
 //!   written into an in-memory sink, the price of `byc run
 //!   --trace-events --metrics`.
 //!
+//! Three more configurations price the streaming observers one at a
+//! time — **spans** (`--trace-spans`, chunked phase tree, no per-access
+//! dispatch), **windows** (`--metrics-every`, per-window accumulators
+//! into an in-memory sink), and **recorder** (`--flight-recorder`,
+//! bounded per-tier event rings). Their disabled path is the bare
+//! configuration itself: with no observer attached the session takes
+//! the observer-free kernel, so the ≤2% budget is the bare/disabled
+//! gap above.
+//!
 //! CI builds this bench (`cargo bench --bench telemetry_overhead
 //! --no-run`) so the comparison stays compilable; the timing claim is
 //! checked by running it locally.
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{build_policy, PolicyKind, ReplaySession};
-use byc_telemetry::{EventLogWriter, TelemetryObserver};
+use byc_federation::{build_policy, FlightRecorder, PolicyKind, ReplaySession};
+use byc_telemetry::{EventLogWriter, SpanObserver, TelemetryObserver, WindowedRegistry};
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -93,6 +102,61 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
                     let (snapshot, io) = telemetry.into_parts();
                     assert!(io.is_ok());
                     (cost, snapshot.accesses)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("spans", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut policy = build_policy(kind, capacity, &stats.demands, 29);
+                    let mut spans = SpanObserver::new(kind.label());
+                    let cost = ReplaySession::new(&trace, &objects)
+                        .policy(policy.as_mut())
+                        .observe(&mut spans)
+                        .run()
+                        .unwrap()
+                        .report
+                        .total_cost();
+                    (cost, spans.into_tracer().spans().len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("windows", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut policy = build_policy(kind, capacity, &stats.demands, 29);
+                    let mut windows =
+                        WindowedRegistry::new(kind.label(), 256).with_sink(Box::new(NullSink));
+                    let cost = ReplaySession::new(&trace, &objects)
+                        .policy(policy.as_mut())
+                        .observe(&mut windows)
+                        .run()
+                        .unwrap()
+                        .report
+                        .total_cost();
+                    (cost, windows.snapshots().len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recorder", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut policy = build_policy(kind, capacity, &stats.demands, 29);
+                    let mut recorder = FlightRecorder::new(8);
+                    let cost = ReplaySession::new(&trace, &objects)
+                        .policy(policy.as_mut())
+                        .observe(&mut recorder)
+                        .run()
+                        .unwrap()
+                        .report
+                        .total_cost();
+                    (cost, recorder.into_postmortems().len())
                 })
             },
         );

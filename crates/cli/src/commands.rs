@@ -2,20 +2,22 @@
 
 use byc_analysis::{
     containment_analysis, locality_analysis, render_cost_table, render_metrics_table,
-    render_server_table, render_tier_table,
+    render_server_table, render_span_table, render_tier_table, render_window_table,
 };
 use byc_catalog::sdss::{self, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
 use byc_federation::{
-    build_policy, DegradationPolicy, FaultModel, FlakyLinks, LinkScoped, NetworkModel, Outage,
-    OutageWindows, PerServerMultipliers, PerServerObserver, PerTierObserver, PolicyKind,
-    QueryWindow, ReplaySession, RetryPolicy, Topology, Uniform,
+    build_policy, CostEvent, DegradationPolicy, FaultModel, FlakyLinks, FlightRecorder, LinkScoped,
+    NetworkModel, Observer, Outage, OutageWindows, PerServerMultipliers, PerServerObserver,
+    PerTierObserver, PolicyKind, QueryWindow, ReplaySession, RetryPolicy, Topology, Uniform,
 };
 use byc_telemetry::{
-    write_metrics, EventLogWriter, MetricsFormat, MetricsRegistry, TelemetryObserver,
+    render_postmortems, window_header, window_record, write_chrome_trace, write_metrics,
+    EventLogWriter, MetricsFormat, MetricsRegistry, SpanObserver, SpanTracer, TelemetryObserver,
+    WindowedRegistry,
 };
 use byc_types::{Error, Result, ServerId, Tick};
-use byc_workload::{generate, io as trace_io, Trace, WorkloadConfig, WorkloadStats};
+use byc_workload::{generate, io as trace_io, Trace, TraceQuery, WorkloadConfig, WorkloadStats};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -75,6 +77,16 @@ pub enum Command {
         degrade: String,
         /// Replay through the compiled trace fast path.
         compiled: bool,
+        /// Write the replay's deterministic span tree as Chrome
+        /// trace-event JSON here (None = no span trace).
+        trace_spans: Option<PathBuf>,
+        /// Stream a windowed telemetry snapshot every N queries as
+        /// NDJSON on stderr (None = no stream).
+        metrics_every: Option<u64>,
+        /// Ring depth of the fault flight recorder: keep the last K
+        /// cost events per tier and dump postmortems on failed or
+        /// degraded queries (None = off).
+        flight_recorder: Option<usize>,
     },
     /// Sweep cache sizes for a set of policies.
     Sweep {
@@ -110,6 +122,14 @@ pub enum Command {
         degrade: String,
         /// Compile the trace once and share it across every sweep point.
         compiled: bool,
+        /// Write every sweep job's span tree into one Chrome trace-event
+        /// file, one thread lane per job (None = no span trace).
+        trace_spans: Option<PathBuf>,
+        /// Stream each job's windowed telemetry snapshots as NDJSON on
+        /// stderr, in job order (None = no stream).
+        metrics_every: Option<u64>,
+        /// Ring depth of the per-job fault flight recorder (None = off).
+        flight_recorder: Option<usize>,
     },
     /// Workload analyses: containment and schema locality.
     Analyze {
@@ -412,12 +432,14 @@ USAGE:
           [--servers N] [--cost-multipliers A,B,...]
           [--topology flat|two-tier[:M]|three-tier[:M1,M2]] [--fault-link N]
           [--trace-events FILE] [--metrics FILE] [--metrics-format prom|json]
+          [--trace-spans FILE] [--metrics-every N] [--flight-recorder K]
           [--faults SPEC] [--retry N] [--fault-seed N] [--degrade stale|fail]
           [--compiled]
   byc sweep <edr|dr1|trace.jsonl> [--granularity table|column] [--scale S] [--seed N]
           [--servers N] [--cost-multipliers A,B,...]
           [--topology flat|two-tier[:M]|three-tier[:M1,M2]] [--fault-link N]
           [--metrics FILE] [--metrics-format prom|json]
+          [--trace-spans FILE] [--metrics-every N] [--flight-recorder K]
           [--faults SPEC] [--retry N] [--fault-seed N] [--degrade stale|fail]
           [--compiled]
   byc analyze <edr|dr1|trace.jsonl> [--scale S] [--seed N]
@@ -457,6 +479,27 @@ TELEMETRY: --trace-events streams one schema-versioned NDJSON record per
           tiered topology is (`POLICY@FRACTION@FAULT@TIER` in full);
           per-tier counters inside a point carry a `tier` label. Either
           flag also prints the per-(server, object-class) telemetry table.
+
+OBSERVABILITY: three deterministic streams ride any replay (clocked by
+          the query index, never the wall clock, so same seed = same
+          bytes):
+            --trace-spans FILE   record the phase tree (pipeline setup,
+                                 replay loop chunks, per-tier resolve on
+                                 topologies) and export it as Chrome
+                                 trace-event JSON — open in Perfetto or
+                                 chrome://tracing; also prints the span
+                                 table. In `sweep`, each job gets its own
+                                 thread lane in the one file.
+            --metrics-every N    stream one `byc.telemetry.window` NDJSON
+                                 record per N queries to stderr and print
+                                 the windowed trajectory table. Window
+                                 sums reconcile exactly with the cost
+                                 report.
+            --flight-recorder K  keep a ring of the last K cost events
+                                 per tier; when a query fails or degrades
+                                 (under --faults), dump an annotated
+                                 postmortem of the events leading up to
+                                 it, stamped with the fault context.
 
 FAULTS:   --faults injects deterministic WAN faults:
             none                      fault-free (default)
@@ -507,6 +550,9 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "fault-seed",
             "degrade",
             "compiled",
+            "trace-spans",
+            "metrics-every",
+            "flight-recorder",
         ],
         "sweep" => &[
             "granularity",
@@ -523,6 +569,9 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "fault-seed",
             "degrade",
             "compiled",
+            "trace-spans",
+            "metrics-every",
+            "flight-recorder",
         ],
         "analyze" => &["granularity", "scale", "seed"],
         _ => &[],
@@ -655,6 +704,15 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     .cloned()
                     .unwrap_or_else(|| "stale".into()),
                 compiled: flags.contains_key("compiled"),
+                trace_spans: flags.get("trace-spans").map(PathBuf::from),
+                metrics_every: flags
+                    .get("metrics-every")
+                    .map(|_| flag_u64(&flags, "metrics-every", 0))
+                    .transpose()?,
+                flight_recorder: flags
+                    .get("flight-recorder")
+                    .map(|_| flag_u64(&flags, "flight-recorder", 0).map(|v| v as usize))
+                    .transpose()?,
             })
         }
         "sweep" => {
@@ -688,6 +746,15 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     .cloned()
                     .unwrap_or_else(|| "stale".into()),
                 compiled: flags.contains_key("compiled"),
+                trace_spans: flags.get("trace-spans").map(PathBuf::from),
+                metrics_every: flags
+                    .get("metrics-every")
+                    .map(|_| flag_u64(&flags, "metrics-every", 0))
+                    .transpose()?,
+                flight_recorder: flags
+                    .get("flight-recorder")
+                    .map(|_| flag_u64(&flags, "flight-recorder", 0).map(|v| v as usize))
+                    .transpose()?,
             })
         }
         "analyze" => Ok(Command::Analyze {
@@ -698,6 +765,100 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
         other => Err(Error::InvalidConfig(format!(
             "unknown subcommand {other:?}; try `byc help`"
         ))),
+    }
+}
+
+/// Both `--metrics-every` and `--flight-recorder` are counts of queries
+/// or events; zero would mean "window after no queries" / "remember no
+/// events", so reject it at the door instead of silently clamping.
+fn require_positive(value: Option<u64>, flag: &str) -> Result<()> {
+    if value == Some(0) {
+        return Err(Error::InvalidConfig(format!("--{flag} must be positive")));
+    }
+    Ok(())
+}
+
+/// Per-job observer bundle for sweeps: each observability flag
+/// contributes one optional component, all riding the same replay.
+/// [`ReplaySession::sweep_with`] takes a single observer type per call,
+/// so the bundle multiplexes the hooks.
+struct SweepObserver {
+    telemetry: Option<TelemetryObserver>,
+    spans: Option<SpanObserver>,
+    windows: Option<WindowedRegistry>,
+    recorder: Option<FlightRecorder>,
+}
+
+impl SweepObserver {
+    fn parts(&mut self) -> impl Iterator<Item = &mut dyn Observer> {
+        self.telemetry
+            .iter_mut()
+            .map(|o| o as &mut dyn Observer)
+            .chain(self.spans.iter_mut().map(|o| o as &mut dyn Observer))
+            .chain(self.windows.iter_mut().map(|o| o as &mut dyn Observer))
+            .chain(self.recorder.iter_mut().map(|o| o as &mut dyn Observer))
+    }
+}
+
+impl Observer for SweepObserver {
+    fn on_query_start(&mut self, index: usize, query: &TraceQuery) {
+        for obs in self.parts() {
+            obs.on_query_start(index, query);
+        }
+    }
+
+    fn on_access(&mut self, event: &CostEvent<'_>) {
+        for obs in self.parts() {
+            obs.on_access(event);
+        }
+    }
+
+    fn on_query_end(&mut self, index: usize, query: &TraceQuery) {
+        for obs in self.parts() {
+            obs.on_query_end(index, query);
+        }
+    }
+
+    fn finish(&mut self, policy: Option<&dyn byc_core::policy::CachePolicy>) {
+        for obs in self.parts() {
+            obs.finish(policy);
+        }
+    }
+
+    fn wants_accesses(&self) -> bool {
+        self.telemetry
+            .as_ref()
+            .is_some_and(Observer::wants_accesses)
+            || self.spans.as_ref().is_some_and(Observer::wants_accesses)
+            || self.windows.as_ref().is_some_and(Observer::wants_accesses)
+            || self.recorder.as_ref().is_some_and(Observer::wants_accesses)
+    }
+
+    fn warnings(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        for obs in self.parts() {
+            out.extend(obs.warnings());
+        }
+        out
+    }
+}
+
+/// The fault-context line stamped into flight-recorder postmortems:
+/// mirrors the one [`ReplaySession`] builds for `run` so postmortems
+/// read the same whichever path attached the recorder.
+fn fault_context(
+    model: Option<&dyn FaultModel>,
+    retry: u32,
+    degradation: DegradationPolicy,
+) -> String {
+    match model {
+        Some(m) => format!(
+            "{}; retry up to {}; on exhaustion {}",
+            m.describe(),
+            retry,
+            degradation.label()
+        ),
+        None => "no fault layer".to_string(),
     }
 }
 
@@ -753,12 +914,17 @@ pub fn run_command(command: Command) -> Result<String> {
             fault_seed,
             degrade,
             compiled,
+            trace_spans,
+            metrics_every,
+            flight_recorder,
         } => {
             if cache_fraction <= 0.0 || cache_fraction.is_nan() {
                 return Err(Error::InvalidConfig(
                     "--cache-fraction must be positive".into(),
                 ));
             }
+            require_positive(metrics_every, "metrics-every")?;
+            require_positive(flight_recorder.map(|v| v as u64), "flight-recorder")?;
             let kind = parse_policy(&policy)?;
             let granularity = parse_granularity(&granularity)?;
             let degradation = parse_degradation(&degrade)?;
@@ -771,11 +937,30 @@ pub fn run_command(command: Command) -> Result<String> {
                 Some(spec) => parse_topology(spec, &multipliers)?,
                 None => None,
             };
+            // The pipeline tracer (thread lane 0) brackets the setup
+            // phases; the replay loop itself is traced by a
+            // `SpanObserver` on lane 1. Ticks are query indexes, so the
+            // pre-replay phases render as instants at tick 0.
+            let mut pipeline = trace_spans.as_ref().map(|_| {
+                let mut t = SpanTracer::new();
+                t.begin("byc run", "pipeline");
+                t.begin("parse trace", "pipeline");
+                t
+            });
             let (catalog, trace) = load_trace(&trace, scale, seed, servers.max(1))?;
+            if let Some(t) = pipeline.as_mut() {
+                t.arg("queries", trace.len() as u64);
+                t.end();
+                t.begin("build", "pipeline");
+            }
             let objects = ObjectCatalog::uniform(&catalog, granularity);
             let stats = WorkloadStats::compute(&trace, &objects);
             let capacity = objects.total_size().scale(cache_fraction);
             let network = build_network(&multipliers)?;
+            if let Some(t) = pipeline.as_mut() {
+                t.arg("objects", stats.demands.len() as u64);
+                t.end();
+            }
             // Telemetry rides the same replay as the accounting observers;
             // it is attached only when a flag asks for it, so plain runs
             // keep their exact output.
@@ -788,11 +973,22 @@ pub fn run_command(command: Command) -> Result<String> {
             } else {
                 None
             };
+            let mut span_obs = trace_spans.as_ref().map(|_| {
+                SpanObserver::new(kind.label())
+                    .with_tid(1)
+                    .with_tier_detail(topology.is_some())
+            });
+            // The window stream writes live during the replay — stderr
+            // keeps it separate from the report on stdout.
+            let mut window_reg = metrics_every.map(|every| {
+                WindowedRegistry::new(kind.label(), every as usize)
+                    .with_sink(Box::new(std::io::stderr()))
+            });
             let mut flat_policy = None;
             // Initialized only on the tiered path; declared out here so
             // the session's borrows of the policies outlive the replay.
             let mut tier_policies: Vec<Box<dyn byc_core::policy::CachePolicy + Send + Sync>>;
-            let (report, server_costs, tier_windows) = {
+            let (replay, server_costs, tier_windows) = {
                 let mut per_server = PerServerObserver::new();
                 let mut per_tier = PerTierObserver::new();
                 let mut session = ReplaySession::new(&trace, &objects).observe(&mut per_server);
@@ -835,12 +1031,27 @@ pub fn run_command(command: Command) -> Result<String> {
                 if let Some(t) = telemetry.as_mut() {
                     session = session.observe(t);
                 }
+                if let Some(o) = span_obs.as_mut() {
+                    session = session.observe(o);
+                }
+                if let Some(w) = window_reg.as_mut() {
+                    session = session.observe(w);
+                }
+                if let Some(depth) = flight_recorder {
+                    session = session.flight_recorder(depth);
+                }
                 if compiled {
                     session = session.compiled();
                 }
-                let report = session.run()?.report;
-                (report, per_server.into_costs(), per_tier.into_windows())
+                let replay = session.run()?;
+                (replay, per_server.into_costs(), per_tier.into_windows())
             };
+            let (report, warnings, postmortems) =
+                (replay.report, replay.warnings, replay.postmortems);
+            if let Some(t) = pipeline.as_mut() {
+                t.set_tick(report.queries as u64);
+                t.close_all();
+            }
             let topo_suffix = topology
                 .as_ref()
                 .map(|t| format!(", {} topology", t.name()))
@@ -879,6 +1090,12 @@ pub fn run_command(command: Command) -> Result<String> {
                     report.availability() * 100.0
                 );
             }
+            // Observer warnings (parked telemetry IO errors, ring
+            // truncation) surface here rather than failing the run: the
+            // replay itself succeeded.
+            for w in &warnings {
+                let _ = writeln!(out, "warning: {w}");
+            }
             if let Some(topo) = &topology {
                 // Tiers the walk never reached still get a (zero) row, so
                 // the table always shows the whole hierarchy.
@@ -912,6 +1129,49 @@ pub fn run_command(command: Command) -> Result<String> {
                     render_server_table(
                         &format!("per-server WAN breakdown ({} pricing)", network.name()),
                         &server_costs,
+                    )
+                );
+            }
+            if !postmortems.is_empty() {
+                // Postmortems beyond the recorder's cap were counted but
+                // not stored; say how many the dump is missing.
+                let truncated = (report.failed_queries + report.degraded_queries)
+                    .saturating_sub(postmortems.len() as u64);
+                let _ = writeln!(out);
+                let _ = write!(out, "{}", render_postmortems(&postmortems, truncated));
+            }
+            if let (Some(path), Some(obs)) = (&trace_spans, span_obs) {
+                let tracer = obs.into_tracer();
+                let mut threads: Vec<(&SpanTracer, &str)> = Vec::new();
+                if let Some(p) = pipeline.as_ref() {
+                    threads.push((p, "pipeline"));
+                }
+                threads.push((&tracer, "replay loop"));
+                write_chrome_trace(path, threads.iter().copied())?;
+                let _ = writeln!(out, "\nwrote span trace to {}", path.display());
+                // The table shows every lane the file carries: pipeline
+                // setup phases first, then the replay loop's chunk tree.
+                let spans: Vec<byc_telemetry::Span> = threads
+                    .iter()
+                    .flat_map(|(t, _)| t.spans().iter().cloned())
+                    .collect();
+                let _ = write!(
+                    out,
+                    "{}",
+                    render_span_table("replay phase spans (ticks = query index)", &spans)
+                );
+            }
+            if let Some(reg) = window_reg {
+                let _ = writeln!(out);
+                let _ = write!(
+                    out,
+                    "{}",
+                    render_window_table(
+                        &format!(
+                            "windowed telemetry (every {} queries; NDJSON on stderr)",
+                            reg.every()
+                        ),
+                        reg.snapshots(),
                     )
                 );
             }
@@ -957,7 +1217,12 @@ pub fn run_command(command: Command) -> Result<String> {
             fault_seed,
             degrade,
             compiled,
+            trace_spans,
+            metrics_every,
+            flight_recorder,
         } => {
+            require_positive(metrics_every, "metrics-every")?;
+            require_positive(flight_recorder.map(|v| v as u64), "flight-recorder")?;
             let granularity = parse_granularity(&granularity)?;
             let degradation = parse_degradation(&degrade)?;
             let fault_model = match &faults {
@@ -1011,32 +1276,100 @@ pub fn run_command(command: Command) -> Result<String> {
                     .map(|t| format!("@{}", t.name()))
                     .unwrap_or_default()
             );
-            // Only pay for telemetry when an export was requested.
-            let points = if let Some(path) = &metrics {
+            // Only pay for observers when a flag asked for them; a bare
+            // sweep keeps the allocation-free fast path.
+            let observing = metrics.is_some()
+                || trace_spans.is_some()
+                || metrics_every.is_some()
+                || flight_recorder.is_some();
+            // Extra per-point output (warnings, postmortems, span-trace
+            // notes) accumulated while decomposing the observers.
+            let mut extra = String::new();
+            let points = if observing {
+                let context = fault_context(fault_model.as_deref(), retry, degradation);
+                // One span-trace thread lane per job: lane 0 is reserved
+                // for `run`'s pipeline lane, jobs start at 1, in grid
+                // order.
+                let lane = |kind: PolicyKind, fraction: f64| -> u32 {
+                    let p = policies.iter().position(|k| *k == kind).unwrap_or(0);
+                    let f = fractions
+                        .iter()
+                        .position(|x| (*x - fraction).abs() < 1e-9)
+                        .unwrap_or(0);
+                    (p * fractions.len() + f) as u32 + 1
+                };
                 let results = session().sweep_with(
                     &policies,
                     &fractions,
                     &stats.demands,
                     seed,
-                    // One registry label per sweep point, so distinct
-                    // (policy, fraction) cells never merge.
+                    // One label per sweep point, so distinct (policy,
+                    // fraction) cells never merge in any export.
                     |kind, fraction| {
-                        TelemetryObserver::new(&format!(
-                            "{}@{:.2}{fault_suffix}",
-                            kind.label(),
-                            fraction
-                        ))
+                        let label = format!("{}@{:.2}{fault_suffix}", kind.label(), fraction);
+                        SweepObserver {
+                            telemetry: metrics.is_some().then(|| TelemetryObserver::new(&label)),
+                            spans: trace_spans
+                                .is_some()
+                                .then(|| SpanObserver::new(&label).with_tid(lane(kind, fraction))),
+                            windows: metrics_every
+                                .map(|every| WindowedRegistry::new(&label, every as usize)),
+                            recorder: flight_recorder.map(|depth| {
+                                FlightRecorder::new(depth).with_context(context.clone())
+                            }),
+                        }
                     },
                 )?;
                 let mut registry = MetricsRegistry::new();
+                let mut tracers: Vec<(SpanTracer, String)> = Vec::new();
                 let mut points = Vec::with_capacity(results.len());
                 for (point, observer) in results {
-                    let (snapshot, io) = observer.into_parts();
-                    io?;
-                    registry.absorb(snapshot);
+                    let label = format!("{}@{:.2}", point.policy, point.cache_fraction);
+                    for w in &point.warnings {
+                        let _ = writeln!(extra, "warning: {label}: {w}");
+                    }
+                    if let Some(t) = observer.telemetry {
+                        let (snapshot, io) = t.into_parts();
+                        io?;
+                        registry.absorb(snapshot);
+                    }
+                    if let Some(s) = observer.spans {
+                        tracers.push((s.into_tracer(), label.clone()));
+                    }
+                    if let Some(w) = observer.windows {
+                        // Stream post-hoc in job order: headers and
+                        // records stay deterministic instead of
+                        // interleaving across worker threads.
+                        eprintln!("{}", window_header(w.policy(), w.every()));
+                        for snapshot in w.snapshots() {
+                            eprintln!("{}", window_record(snapshot));
+                        }
+                    }
+                    if let Some(r) = observer.recorder {
+                        let postmortems = r.into_postmortems();
+                        if !postmortems.is_empty() {
+                            let truncated = (point.report.failed_queries
+                                + point.report.degraded_queries)
+                                .saturating_sub(postmortems.len() as u64);
+                            let _ = writeln!(extra, "postmortems for {label}:");
+                            let _ =
+                                write!(extra, "{}", render_postmortems(&postmortems, truncated));
+                        }
+                    }
                     points.push(point);
                 }
-                write_metrics(&registry, metrics_format, path)?;
+                if let Some(path) = &metrics {
+                    write_metrics(&registry, metrics_format, path)?;
+                }
+                if let Some(path) = &trace_spans {
+                    write_chrome_trace(path, tracers.iter().map(|(t, l)| (t, l.as_str())))?;
+                    let _ = writeln!(
+                        extra,
+                        "wrote span trace ({} sweep jobs) to {}",
+                        tracers.len(),
+                        path.display()
+                    );
+                }
                 points
             } else {
                 session().sweep(&policies, &fractions, &stats.demands, seed)?
@@ -1074,6 +1407,7 @@ pub fn run_command(command: Command) -> Result<String> {
                     path.display()
                 );
             }
+            out.push_str(&extra);
             Ok(out)
         }
         Command::Analyze { trace, scale, seed } => {
@@ -1201,6 +1535,9 @@ mod tests {
                 fault_seed,
                 degrade,
                 compiled,
+                trace_spans,
+                metrics_every,
+                flight_recorder,
             } => {
                 assert_eq!(trace, "edr");
                 assert_eq!(policy, "gds");
@@ -1220,6 +1557,9 @@ mod tests {
                 assert_eq!(fault_seed, None);
                 assert_eq!(degrade, "stale");
                 assert!(!compiled);
+                assert_eq!(trace_spans, None);
+                assert_eq!(metrics_every, None);
+                assert_eq!(flight_recorder, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1383,6 +1723,9 @@ mod tests {
             fault_seed: None,
             degrade: "stale".into(),
             compiled: false,
+            trace_spans: None,
+            metrics_every: None,
+            flight_recorder: None,
         };
         assert!(run_command(cmd).is_err());
     }
@@ -1462,6 +1805,9 @@ mod tests {
             fault_seed: None,
             degrade: "stale".into(),
             compiled: false,
+            trace_spans: None,
+            metrics_every: None,
+            flight_recorder: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("different catalog scale"), "{err}");
@@ -1552,6 +1898,9 @@ mod tests {
             fault_seed: None,
             degrade: "stale".into(),
             compiled: false,
+            trace_spans: None,
+            metrics_every: None,
+            flight_recorder: None,
         })
         .unwrap();
         assert!(out.contains("wrote decision events to"), "{out}");
@@ -1602,6 +1951,9 @@ mod tests {
             fault_seed: None,
             degrade: "stale".into(),
             compiled: false,
+            trace_spans: None,
+            metrics_every: None,
+            flight_recorder: None,
         })
         .unwrap();
         assert!(out.contains("wrote metrics (prom) to"), "{out}");
@@ -1712,6 +2064,9 @@ mod tests {
             fault_seed: None,
             degrade: "fail".into(),
             compiled: false,
+            trace_spans: None,
+            metrics_every: None,
+            flight_recorder: None,
         })
         .unwrap();
         assert!(out.contains("faults (outage, degrade fail)"), "{out}");
@@ -1822,6 +2177,9 @@ mod tests {
                 fault_seed: None,
                 degrade: "stale".into(),
                 compiled: true,
+                trace_spans: None,
+                metrics_every: None,
+                flight_recorder: None,
             })
             .unwrap()
         };
@@ -1889,6 +2247,9 @@ mod tests {
             fault_seed: None,
             degrade: "stale".into(),
             compiled: true,
+            trace_spans: None,
+            metrics_every: None,
+            flight_recorder: None,
         })
         .unwrap();
         assert!(out.contains("two-tier topology"), "{out}");
@@ -1899,6 +2260,200 @@ mod tests {
         );
         std::fs::remove_file(&trace).ok();
         std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn observability_flags_parse_and_reject_zero() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "edr",
+            "--policy",
+            "gds",
+            "--trace-spans",
+            "spans.json",
+            "--metrics-every",
+            "64",
+            "--flight-recorder",
+            "8",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                trace_spans,
+                metrics_every,
+                flight_recorder,
+                ..
+            } => {
+                assert_eq!(trace_spans, Some(PathBuf::from("spans.json")));
+                assert_eq!(metrics_every, Some(64));
+                assert_eq!(flight_recorder, Some(8));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse_args(&args(&["sweep", "edr", "--metrics-every", "128"])).unwrap();
+        match cmd {
+            Command::Sweep { metrics_every, .. } => assert_eq!(metrics_every, Some(128)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Zero windows / zero ring depth are configuration errors.
+        for flag in ["--metrics-every", "--flight-recorder"] {
+            let cmd = parse_args(&args(&[
+                "run", "edr", "--policy", "gds", "--scale", "0.001", flag, "0",
+            ]))
+            .unwrap();
+            let err = run_command(cmd).unwrap_err();
+            assert!(err.to_string().contains("must be positive"), "{err}");
+        }
+        // The flags are unknown outside run/sweep.
+        assert!(parse_args(&args(&["analyze", "edr", "--trace-spans", "x"])).is_err());
+    }
+
+    #[test]
+    fn run_writes_span_trace_and_window_table() {
+        let dir = std::env::temp_dir();
+        let spans = dir.join(format!("byc-cli-spans-{}.json", std::process::id()));
+        let run = || {
+            run_command(Command::Run {
+                trace: "edr".into(),
+                policy: "gds".into(),
+                granularity: "table".into(),
+                cache_fraction: 0.3,
+                scale: 0.001,
+                seed: 9,
+                servers: 1,
+                multipliers: None,
+                topology: None,
+                fault_link: None,
+                trace_events: None,
+                metrics: None,
+                metrics_format: MetricsFormat::Prometheus,
+                faults: None,
+                retry: 1,
+                fault_seed: None,
+                degrade: "stale".into(),
+                compiled: false,
+                trace_spans: Some(spans.clone()),
+                metrics_every: Some(64),
+                flight_recorder: None,
+            })
+            .unwrap()
+        };
+        let out = run();
+        assert!(out.contains("wrote span trace to"), "{out}");
+        assert!(out.contains("replay phase spans"), "{out}");
+        assert!(out.contains("parse trace"), "{out}");
+        assert!(out.contains("replay GDS"), "{out}");
+        assert!(
+            out.contains("windowed telemetry (every 64 queries"),
+            "{out}"
+        );
+        assert!(out.contains("0..64"), "{out}");
+        assert!(out.contains("total"), "{out}");
+
+        // The exported file is valid Chrome trace-event JSON with the
+        // span schema stamped into otherData.
+        let text = std::fs::read_to_string(&spans).unwrap();
+        let value = byc_types::json::Value::parse(&text).unwrap();
+        assert!(!value["traceEvents"].as_array().unwrap().is_empty());
+        assert_eq!(
+            value["otherData"]["schema"].as_str(),
+            Some("byc.telemetry.spans")
+        );
+
+        // Deterministic: an identical run rewrites identical bytes.
+        let out2 = run();
+        assert_eq!(out, out2);
+        assert_eq!(text, std::fs::read_to_string(&spans).unwrap());
+        std::fs::remove_file(&spans).ok();
+    }
+
+    #[test]
+    fn run_flight_recorder_dumps_postmortems() {
+        let out = run_command(Command::Run {
+            trace: "edr".into(),
+            policy: "nocache".into(),
+            granularity: "table".into(),
+            cache_fraction: 0.3,
+            scale: 0.001,
+            seed: 5,
+            servers: 1,
+            multipliers: None,
+            topology: None,
+            fault_link: None,
+            trace_events: None,
+            metrics: None,
+            metrics_format: MetricsFormat::Prometheus,
+            faults: Some("outage:0@0..50".into()),
+            retry: 1,
+            fault_seed: None,
+            degrade: "fail".into(),
+            trace_spans: None,
+            metrics_every: None,
+            flight_recorder: Some(4),
+            compiled: false,
+        })
+        .unwrap();
+        assert!(out.contains("postmortem: query"), "{out}");
+        // The context line names the configured fault process.
+        assert!(out.contains("outage: server 0 down [0, 50)"), "{out}");
+        assert!(out.contains("on exhaustion fail"), "{out}");
+        assert!(out.contains("FAILED"), "{out}");
+    }
+
+    #[test]
+    fn sweep_with_observability_flags_writes_one_lane_per_job() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("byc-cli-obs-sweep-{}.jsonl", std::process::id()));
+        let spans = dir.join(format!("byc-cli-obs-sweep-{}.json", std::process::id()));
+        run_command(Command::GenTrace {
+            release: "edr".into(),
+            out: trace.clone(),
+            seed: 5,
+            scale: 0.001,
+            queries: 120,
+        })
+        .unwrap();
+        let out = run_command(Command::Sweep {
+            trace: trace.to_string_lossy().into_owned(),
+            granularity: "table".into(),
+            scale: 0.001,
+            seed: 5,
+            servers: 1,
+            multipliers: None,
+            topology: None,
+            fault_link: None,
+            metrics: None,
+            metrics_format: MetricsFormat::Prometheus,
+            faults: None,
+            retry: 1,
+            fault_seed: None,
+            degrade: "stale".into(),
+            compiled: true,
+            trace_spans: Some(spans.clone()),
+            metrics_every: Some(50),
+            flight_recorder: None,
+        })
+        .unwrap();
+        assert!(out.contains("wrote span trace"), "{out}");
+        assert!(out.contains("sweep jobs"), "{out}");
+
+        // Every (policy, fraction) job exported its own thread lane.
+        let text = std::fs::read_to_string(&spans).unwrap();
+        let value = byc_types::json::Value::parse(&text).unwrap();
+        let mut lanes = std::collections::BTreeSet::new();
+        for event in value["traceEvents"].as_array().unwrap() {
+            // Only complete spans; metadata events name the process on
+            // tid 0, which is reserved for `run`'s pipeline lane.
+            if event["ph"].as_str() == Some("X") {
+                lanes.insert(event["tid"].as_u64().unwrap());
+            }
+        }
+        let jobs = byc_federation::policy_roster().len() * 7;
+        assert_eq!(lanes.len(), jobs, "{lanes:?}");
+        assert!(text.contains("replay GDS@0.10"), "{text}");
+
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&spans).ok();
     }
 
     #[test]
@@ -1930,6 +2485,9 @@ mod tests {
             fault_seed: Some(11),
             degrade: "stale".into(),
             compiled: false,
+            trace_spans: None,
+            metrics_every: None,
+            flight_recorder: None,
         })
         .unwrap();
         assert!(out.contains("wrote metrics"), "{out}");

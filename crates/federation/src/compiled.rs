@@ -316,6 +316,10 @@ impl CompiledTrace {
         observers: &mut [&mut dyn Observer],
     ) {
         debug_assert_eq!(trace.len(), self.queries(), "trace/compilation mismatch");
+        // Query-boundary observers (span tracers) skip the per-slice
+        // dispatch entirely: partition them behind the access-hungry
+        // prefix once, up front.
+        let access_count = crate::engine::partition_access_observers(observers);
         for ((index, query), bounds) in trace
             .queries
             .iter()
@@ -341,7 +345,7 @@ impl CompiledTrace {
                     faults.as_ref(),
                     || slice.priced_yield,
                 );
-                for obs in observers.iter_mut() {
+                for obs in observers.iter_mut().take(access_count) {
                     obs.on_access(&event);
                 }
             }
@@ -508,6 +512,9 @@ impl CompiledTopology {
         observers: &mut [&mut dyn Observer],
     ) {
         debug_assert_eq!(trace.len(), self.queries(), "trace/compilation mismatch");
+        // Same partition as the flat hot path: query-boundary observers
+        // never see per-slice dispatch.
+        let access_count = crate::engine::partition_access_observers(observers);
         let mut scratch = Vec::with_capacity(self.depth);
         let mut rows_y = self.yield_prices.chunks_exact(self.depth.max(1));
         let mut rows_f = self.fetch_suffixes.chunks_exact(self.depth.max(1));
@@ -539,7 +546,7 @@ impl CompiledTopology {
                     &|t| row_f.get(t).copied().unwrap_or(Bytes::ZERO),
                     &mut scratch,
                     &mut |event| {
-                        for obs in observers.iter_mut() {
+                        for obs in observers.iter_mut().take(access_count) {
                             obs.on_access(event);
                         }
                     },

@@ -34,7 +34,7 @@ use byc_core::audit::{AuditReport, DecisionAuditor};
 use byc_core::policy::{CachePolicy, Decision};
 use byc_types::{Bytes, ObjectId, ServerId, Tick};
 use byc_workload::{Trace, TraceQuery};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// The cost consequences of serving one object slice of one query — what
 /// the engine's kernel emits to every observer.
@@ -156,6 +156,44 @@ pub trait Observer {
     /// The replay is over. `policy` is the replayed policy when one was
     /// driving the decisions (`None` on the query-level path).
     fn finish(&mut self, _policy: Option<&dyn CachePolicy>) {}
+
+    /// Whether this observer consumes per-access events. Observers that
+    /// only tick on query boundaries (span tracers chunking by query
+    /// index) return `false`, and every replay loop — including the
+    /// compiled hot path — then skips them in its per-slice dispatch:
+    /// attaching such an observer costs two virtual calls per *query*,
+    /// not per slice.
+    fn wants_accesses(&self) -> bool {
+        true
+    }
+
+    /// Deferred non-fatal problems to surface to the user once the
+    /// replay is over (a telemetry sink's parked IO error, a bounded
+    /// recorder's truncation). Polled by the session after `finish`;
+    /// the default is no warnings.
+    fn warnings(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// Stable-partition `observers` so those wanting per-access dispatch
+/// come first, returning how many do. Replay loops partition once, then
+/// dispatch `on_access` only to that prefix — query-boundary observers
+/// ([`Observer::wants_accesses`]` == false`) never appear on the
+/// per-slice hot path. Relative order is preserved within both groups,
+/// and the partition is idempotent.
+pub(crate) fn partition_access_observers(observers: &mut [&mut dyn Observer]) -> usize {
+    let mut split = 0;
+    for i in 0..observers.len() {
+        let wants = observers.get(i).is_some_and(|o| o.wants_accesses());
+        if wants {
+            if let Some(run) = observers.get_mut(split..=i) {
+                run.rotate_right(1);
+            }
+            split += 1;
+        }
+    }
+    split
 }
 
 /// Decompose one trace query into `(object, raw yield)` slices at the
@@ -527,6 +565,7 @@ pub(crate) fn replay_tiered(
     observers: &mut [&mut dyn Observer],
 ) {
     let mut scratch: Vec<(Access, Decision)> = Vec::with_capacity(topology.depth());
+    let access_count = partition_access_observers(observers);
     for (index, query) in trace.queries.iter().enumerate() {
         let time = Tick::new(index as u64);
         for obs in observers.iter_mut() {
@@ -549,7 +588,7 @@ pub(crate) fn replay_tiered(
                 &|t| topology.fetch_suffix(t, server, fetch),
                 &mut scratch,
                 &mut |event| {
-                    for obs in observers.iter_mut() {
+                    for obs in observers.iter_mut().take(access_count) {
                         obs.on_access(event);
                     }
                 },
@@ -645,6 +684,9 @@ impl<'a> ReplayEngine<'a> {
         policy: &mut dyn CachePolicy,
         observers: &mut [&mut dyn Observer],
     ) {
+        // Partition is idempotent, so replaying query-by-query through
+        // here keeps the per-slice dispatch prefix stable at no cost.
+        let access_count = partition_access_observers(observers);
         for obs in observers.iter_mut() {
             obs.on_query_start(index, query);
         }
@@ -655,14 +697,30 @@ impl<'a> ReplayEngine<'a> {
             Granularity::Table => {
                 for &(t, raw_yield) in &query.table_yields {
                     if let Ok(object) = self.objects.object_for_table(t) {
-                        self.serve_slice(index, time, object, raw_yield, policy, observers);
+                        self.serve_slice(
+                            index,
+                            time,
+                            object,
+                            raw_yield,
+                            policy,
+                            observers,
+                            access_count,
+                        );
                     }
                 }
             }
             Granularity::Column => {
                 for &(c, raw_yield) in &query.column_yields {
                     if let Ok(object) = self.objects.object_for_column(c) {
-                        self.serve_slice(index, time, object, raw_yield, policy, observers);
+                        self.serve_slice(
+                            index,
+                            time,
+                            object,
+                            raw_yield,
+                            policy,
+                            observers,
+                            access_count,
+                        );
                     }
                 }
             }
@@ -674,7 +732,10 @@ impl<'a> ReplayEngine<'a> {
 
     /// Serve one object slice: price the access, ask the policy, emit the
     /// event. Delegates to [`slice_event`], the single decision→cost
-    /// conversion site.
+    /// conversion site. Only the first `access_count` observers (the
+    /// access-wanting prefix established by the caller's partition) see
+    /// the event.
+    #[allow(clippy::too_many_arguments)]
     fn serve_slice(
         &self,
         index: usize,
@@ -683,6 +744,7 @@ impl<'a> ReplayEngine<'a> {
         raw_yield: Bytes,
         policy: &mut dyn CachePolicy,
         observers: &mut [&mut dyn Observer],
+        access_count: usize,
     ) {
         let info = self.objects.info(object);
         let server = info.server;
@@ -706,7 +768,7 @@ impl<'a> ReplayEngine<'a> {
             self.faults.as_ref(),
             || self.network.price(server, raw_yield),
         );
-        for obs in observers.iter_mut() {
+        for obs in observers.iter_mut().take(access_count) {
             obs.on_access(&event);
         }
     }
@@ -723,6 +785,7 @@ impl<'a> ReplayEngine<'a> {
         hit: bool,
         observers: &mut [&mut dyn Observer],
     ) {
+        let access_count = partition_access_observers(observers);
         for obs in observers.iter_mut() {
             obs.on_query_start(index, query);
         }
@@ -760,7 +823,7 @@ impl<'a> ReplayEngine<'a> {
                 event.bypass_served = raw_yield;
                 event.bypass_cost = self.network.price(server, raw_yield);
             }
-            for obs in observers.iter_mut() {
+            for obs in observers.iter_mut().take(access_count) {
                 obs.on_access(&event);
             }
         }
@@ -1226,6 +1289,206 @@ impl Observer for PerTierObserver {
     }
 }
 
+/// An owned snapshot of one [`CostEvent`] — the scalar cost split
+/// without the borrowed access/decision/policy views — kept by the
+/// [`FlightRecorder`]'s rings and carried into [`Postmortem`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Query ordinal within the replay (the tick the event fired at).
+    pub query: usize,
+    /// The object served.
+    pub object: ObjectId,
+    /// The object's home server.
+    pub server: ServerId,
+    /// The caching tier the event belongs to.
+    pub tier: u32,
+    /// Raw result bytes delivered for the slice.
+    pub delivered: Bytes,
+    /// WAN cost of the bypassed slice.
+    pub bypass_cost: Bytes,
+    /// WAN cost of the cache load.
+    pub fetch_cost: Bytes,
+    /// WAN cost of relaying over this tier's inner link.
+    pub relay_cost: Bytes,
+    /// Raw bytes served out of the cache.
+    pub cache_served: Bytes,
+    /// WAN bytes wasted on failed transfer attempts.
+    pub retried_bytes: Bytes,
+    /// Raw result bytes the slice failed to deliver.
+    pub failed_bytes: Bytes,
+    /// 1 iff the decision was a hit.
+    pub hits: u64,
+    /// 1 iff the decision was a bypass.
+    pub bypasses: u64,
+    /// 1 iff the decision was a load.
+    pub loads: u64,
+    /// Failed transfer attempts of the slice.
+    pub retries: u64,
+    /// 1 iff the slice delivered nothing.
+    pub failed: u64,
+    /// 1 iff the slice was served stale.
+    pub degraded: u64,
+}
+
+impl RecordedEvent {
+    /// Snapshot one engine event.
+    pub fn of(event: &CostEvent<'_>) -> RecordedEvent {
+        RecordedEvent {
+            query: event.query,
+            object: event.object,
+            server: event.server,
+            tier: event.tier,
+            delivered: event.delivered,
+            bypass_cost: event.bypass_cost,
+            fetch_cost: event.fetch_cost,
+            relay_cost: event.relay_cost,
+            cache_served: event.cache_served,
+            retried_bytes: event.retried_bytes,
+            failed_bytes: event.failed_bytes,
+            hits: event.hits,
+            bypasses: event.bypasses,
+            loads: event.loads,
+            retries: event.retries,
+            failed: event.failed,
+            degraded: event.degraded,
+        }
+    }
+}
+
+/// One annotated postmortem: the flight recorder's per-tier rings as
+/// they stood when a query failed or degraded, plus the fault context
+/// the replay ran under.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Postmortem {
+    /// The failing/degraded query's ordinal (also its tick).
+    pub query: usize,
+    /// Slices of that query that delivered nothing.
+    pub failed_slices: u64,
+    /// Slices of that query served from the stale local copy.
+    pub degraded_slices: u64,
+    /// The last events per tier leading up to (and including) the
+    /// failure, oldest first, in bottom-up tier order.
+    pub tiers: Vec<(u32, Vec<RecordedEvent>)>,
+    /// Human-readable fault context: the fault model's description plus
+    /// the retry/degradation configuration (lists outage windows when
+    /// the model has them, so active windows can be read off against
+    /// the query tick).
+    pub context: String,
+}
+
+/// The fault flight recorder: a bounded ring of the last K events per
+/// tier that snapshots into a [`Postmortem`] whenever a query fails or
+/// degrades.
+///
+/// Attach it like any [`Observer`]
+/// (via [`ReplaySession::flight_recorder`](crate::session::ReplaySession::flight_recorder));
+/// it costs one ring push per slice and only materializes anything on a
+/// failing query. The number of stored postmortems is bounded by
+/// [`FlightRecorder::MAX_POSTMORTEMS`]; further failing queries only
+/// count, and the overflow surfaces as an [`Observer::warnings`] entry.
+#[derive(Clone, Debug, Default)]
+pub struct FlightRecorder {
+    depth: usize,
+    context: String,
+    rings: BTreeMap<u32, VecDeque<RecordedEvent>>,
+    failed_this_query: u64,
+    degraded_this_query: u64,
+    postmortems: Vec<Postmortem>,
+    truncated: u64,
+}
+
+impl FlightRecorder {
+    /// Postmortems kept before further failing queries only increment
+    /// the truncation count.
+    pub const MAX_POSTMORTEMS: usize = 32;
+
+    /// A recorder keeping the last `depth` events per tier (clamped to
+    /// at least 1).
+    pub fn new(depth: usize) -> FlightRecorder {
+        FlightRecorder {
+            depth: depth.max(1),
+            ..FlightRecorder::default()
+        }
+    }
+
+    /// Attach the fault context string stamped into every postmortem.
+    #[must_use]
+    pub fn with_context(mut self, context: String) -> FlightRecorder {
+        self.context = context;
+        self
+    }
+
+    /// Ring depth (events kept per tier).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Postmortems recorded so far.
+    pub fn postmortems(&self) -> &[Postmortem] {
+        &self.postmortems
+    }
+
+    /// Failing/degraded queries beyond [`Self::MAX_POSTMORTEMS`] that
+    /// were counted but not recorded.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Take the recorded postmortems.
+    pub fn into_postmortems(self) -> Vec<Postmortem> {
+        self.postmortems
+    }
+}
+
+impl Observer for FlightRecorder {
+    fn on_query_start(&mut self, _index: usize, _query: &TraceQuery) {
+        self.failed_this_query = 0;
+        self.degraded_this_query = 0;
+    }
+
+    fn on_access(&mut self, event: &CostEvent<'_>) {
+        let ring = self.rings.entry(event.tier).or_default();
+        if ring.len() == self.depth {
+            ring.pop_front();
+        }
+        ring.push_back(RecordedEvent::of(event));
+        self.failed_this_query += event.failed;
+        self.degraded_this_query += event.degraded;
+    }
+
+    fn on_query_end(&mut self, index: usize, _query: &TraceQuery) {
+        if self.failed_this_query == 0 && self.degraded_this_query == 0 {
+            return;
+        }
+        if self.postmortems.len() >= Self::MAX_POSTMORTEMS {
+            self.truncated += 1;
+            return;
+        }
+        self.postmortems.push(Postmortem {
+            query: index,
+            failed_slices: self.failed_this_query,
+            degraded_slices: self.degraded_this_query,
+            tiers: self
+                .rings
+                .iter()
+                .map(|(&tier, ring)| (tier, ring.iter().copied().collect()))
+                .collect(),
+            context: self.context.clone(),
+        });
+    }
+
+    fn warnings(&mut self) -> Vec<String> {
+        if self.truncated == 0 {
+            return Vec::new();
+        }
+        vec![format!(
+            "flight recorder: {} more failing/degraded queries after the first {} postmortems were counted but not recorded",
+            self.truncated,
+            Self::MAX_POSTMORTEMS
+        )]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1376,5 +1639,103 @@ mod tests {
         assert_eq!(servers.len(), 2);
         let delivered: Bytes = servers.iter().map(|s| s.delivered).sum();
         assert_eq!(delivered, report.sequence_cost);
+    }
+
+    #[test]
+    fn partition_moves_access_observers_first_and_is_stable() {
+        struct Tagged {
+            tag: u32,
+            wants: bool,
+            accesses: u64,
+        }
+        impl Observer for Tagged {
+            fn on_access(&mut self, _event: &CostEvent<'_>) {
+                self.accesses += 1;
+            }
+            fn wants_accesses(&self) -> bool {
+                self.wants
+            }
+        }
+        let mut a = Tagged {
+            tag: 1,
+            wants: false,
+            accesses: 0,
+        };
+        let mut b = Tagged {
+            tag: 2,
+            wants: true,
+            accesses: 0,
+        };
+        let mut c = Tagged {
+            tag: 3,
+            wants: false,
+            accesses: 0,
+        };
+        let mut d = Tagged {
+            tag: 4,
+            wants: true,
+            accesses: 0,
+        };
+        {
+            let mut obs: Vec<&mut dyn Observer> = vec![&mut a, &mut b, &mut c, &mut d];
+            let split = partition_access_observers(&mut obs);
+            assert_eq!(split, 2);
+            // Idempotent: a second partition changes nothing.
+            assert_eq!(partition_access_observers(&mut obs), 2);
+        }
+        // Replay only feeds accesses to the wanting prefix.
+        let (trace, objects) = setup(1);
+        let cap = objects.total_size().scale(0.3);
+        let mut policy = RateProfile::new(cap, RateProfileConfig::default());
+        let engine = ReplayEngine::new(&objects);
+        let mut obs: Vec<&mut dyn Observer> = vec![&mut a, &mut b, &mut c, &mut d];
+        engine.replay(&trace, &mut policy, &mut obs);
+        drop(obs);
+        assert_eq!(a.accesses, 0);
+        assert_eq!(c.accesses, 0);
+        assert!(b.accesses > 0);
+        assert_eq!(b.accesses, d.accesses);
+        // Stability: within each group the original order held.
+        assert!(a.tag < c.tag && b.tag < d.tag);
+    }
+
+    #[test]
+    fn flight_recorder_snapshots_failing_queries() {
+        use crate::faults::{DegradationPolicy, FaultPlan, OutageWindows, RetryPolicy};
+        let (trace, objects) = setup(1);
+        let outage = OutageWindows::new(vec![crate::faults::Outage {
+            server: ServerId::new(0),
+            from: Tick::new(100),
+            until: Tick::new(160),
+        }]);
+        let plan = FaultPlan {
+            model: &outage,
+            retry: RetryPolicy::new(1, 1),
+            degradation: DegradationPolicy::Fail,
+        };
+        let engine = ReplayEngine::new(&objects).with_faults(plan);
+        let mut policy = byc_core::static_opt::NoCache;
+        let mut cost = CostObserver::new("nc", &trace.name, "column");
+        let mut recorder = FlightRecorder::new(4).with_context("test outage".into());
+        engine.replay(&trace, &mut policy, &mut [&mut cost, &mut recorder]);
+        let report = cost.into_report();
+        assert!(report.failed_queries > 0);
+        let seen = recorder.postmortems().len() as u64 + recorder.truncated();
+        assert_eq!(seen, report.failed_queries);
+        let first = &recorder.postmortems()[0];
+        assert!(first.failed_slices > 0);
+        assert_eq!(first.context, "test outage");
+        assert!((100..160).contains(&(first.query as u64)));
+        let (tier, ring) = &first.tiers[0];
+        assert_eq!(*tier, 0);
+        assert!(!ring.is_empty() && ring.len() <= 4);
+        // Rings hold the events leading up to (and including) the
+        // failure, oldest first.
+        assert!(ring.windows(2).all(|w| w[0].query <= w[1].query));
+        assert_eq!(ring.last().unwrap().query, first.query);
+        assert!(ring.iter().any(|e| e.failed == 1));
+        if report.failed_queries > FlightRecorder::MAX_POSTMORTEMS as u64 {
+            assert!(!recorder.warnings().is_empty());
+        }
     }
 }

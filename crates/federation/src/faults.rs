@@ -79,6 +79,12 @@ pub trait FaultModel: Sync {
 
     /// Decide the outcome of `attempt`.
     fn outcome(&self, attempt: &FetchAttempt) -> FetchOutcome;
+
+    /// Human-readable summary of the configured fault process, used to
+    /// annotate flight-recorder postmortems. Defaults to [`Self::name`].
+    fn describe(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 impl<M: FaultModel + ?Sized> FaultModel for Box<M> {
@@ -88,6 +94,10 @@ impl<M: FaultModel + ?Sized> FaultModel for Box<M> {
 
     fn outcome(&self, attempt: &FetchAttempt) -> FetchOutcome {
         (**self).outcome(attempt)
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
     }
 }
 
@@ -127,6 +137,10 @@ impl<M: FaultModel> FaultModel for LinkScoped<M> {
                 cost_multiplier: 1.0,
             }
         }
+    }
+
+    fn describe(&self) -> String {
+        format!("{} on link {}", self.model.describe(), self.link)
     }
 }
 
@@ -206,6 +220,19 @@ impl FaultModel for OutageWindows {
             }
         }
     }
+
+    fn describe(&self) -> String {
+        let mut out = String::from("outage:");
+        for w in &self.windows {
+            out.push_str(&format!(
+                " server {} down [{}, {})",
+                w.server.raw(),
+                w.from.raw(),
+                w.until.raw()
+            ));
+        }
+        out
+    }
 }
 
 /// Seeded per-attempt link flakiness: each attempt independently fails
@@ -274,6 +301,13 @@ impl FaultModel for FlakyLinks {
             1.0
         };
         FetchOutcome::Delivered { cost_multiplier }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "flaky: seed {} failure_p {} spike_p {} x{}",
+            self.seed, self.failure_p, self.spike_p, self.spike_multiplier
+        )
     }
 }
 
@@ -698,6 +732,29 @@ mod tests {
         let plan = FaultPlan::new(&AlwaysSpiked);
         let r = plan.fetch_path(0, Tick::ZERO, ObjectId::new(0), ServerId::new(0), 0..3);
         assert_eq!(r.delivered, Some(8.0));
+    }
+
+    #[test]
+    fn describe_summarises_the_configured_process() {
+        assert_eq!(NoFaults.describe(), "none");
+        let outage = OutageWindows::new(vec![Outage {
+            server: ServerId::new(2),
+            from: Tick::new(100),
+            until: Tick::new(200),
+        }]);
+        assert_eq!(outage.describe(), "outage: server 2 down [100, 200)");
+        let scoped = LinkScoped::new(outage, 1);
+        assert_eq!(
+            scoped.describe(),
+            "outage: server 2 down [100, 200) on link 1"
+        );
+        let flaky = FlakyLinks::new(7, 0.25, 0.1, 4.0);
+        assert_eq!(
+            flaky.describe(),
+            "flaky: seed 7 failure_p 0.25 spike_p 0.1 x4"
+        );
+        let boxed: Box<dyn FaultModel> = Box::new(NoFaults);
+        assert_eq!(boxed.describe(), "none");
     }
 
     #[test]

@@ -40,7 +40,10 @@
 //!   breakdown of Tables 1–2 plus hit/bypass/load counters, retry-storm
 //!   traffic, and availability under faults.
 //! * [`simulator`] — replay result shapes ([`simulator::Replay`],
-//!   [`simulator::SeriesPoint`]).
+//!   [`simulator::SeriesPoint`]). A replay also carries observer
+//!   warnings (parked telemetry IO errors) and the
+//!   [`engine::FlightRecorder`]'s fault postmortems when one was
+//!   attached via [`session::ReplaySession::flight_recorder`].
 //! * [`mediator`] — the end-to-end service: SQL text in, routed
 //!   subqueries and decisions out (what the examples drive).
 //! * [`policies`] — the named policy roster used by every experiment.
@@ -66,8 +69,9 @@ pub mod sweep;
 pub use accounting::CostReport;
 pub use compiled::{CompiledSlice, CompiledTopology, CompiledTrace};
 pub use engine::{
-    AuditObserver, CostEvent, CostObserver, Observer, PerServerObserver, PerTierObserver,
-    QueryWindow, ReplayEngine, SeriesObserver, ServerCosts, TierState,
+    AuditObserver, CostEvent, CostObserver, FlightRecorder, Observer, PerServerObserver,
+    PerTierObserver, Postmortem, QueryWindow, RecordedEvent, ReplayEngine, SeriesObserver,
+    ServerCosts, TierState,
 };
 pub use faults::{
     spiked_cost, DegradationPolicy, FaultModel, FaultPlan, FetchAttempt, FetchOutcome,

@@ -38,7 +38,8 @@
 use crate::accounting::CostReport;
 use crate::compiled::{CompiledTopology, CompiledTrace};
 use crate::engine::{
-    replay_tiered, AuditObserver, CostObserver, Observer, ReplayEngine, SeriesObserver, TierState,
+    replay_tiered, AuditObserver, CostObserver, FlightRecorder, Observer, ReplayEngine,
+    SeriesObserver, TierState,
 };
 use crate::faults::{DegradationPolicy, FaultModel, FaultPlan, RetryPolicy, NO_RETRY};
 use crate::network::{NetworkModel, Topology};
@@ -71,6 +72,7 @@ pub struct ReplaySession<'a> {
     tier_policies: Vec<&'a mut (dyn CachePolicy + Send + Sync)>,
     policy: Option<&'a mut dyn CachePolicy>,
     observers: Vec<&'a mut dyn Observer>,
+    flight_recorder: Option<usize>,
 }
 
 impl std::fmt::Debug for ReplaySession<'_> {
@@ -87,6 +89,7 @@ impl std::fmt::Debug for ReplaySession<'_> {
             .field("topology", &self.topology.map(Topology::name))
             .field("tier_policies", &self.tier_policies.len())
             .field("observers", &self.observers.len())
+            .field("flight_recorder", &self.flight_recorder)
             .finish_non_exhaustive()
     }
 }
@@ -112,6 +115,33 @@ impl<'a> ReplaySession<'a> {
             tier_policies: Vec::new(),
             policy: None,
             observers: Vec::new(),
+            flight_recorder: None,
+        }
+    }
+
+    /// Attach a fault flight recorder keeping the last `depth` events
+    /// per tier: whenever a query fails or degrades, the recorder
+    /// snapshots an annotated [`Postmortem`](crate::engine::Postmortem)
+    /// into [`Replay::postmortems`], stamped with the session's fault
+    /// configuration. Forces the observed (slow) path, like any
+    /// observer.
+    #[must_use]
+    pub fn flight_recorder(mut self, depth: usize) -> Self {
+        self.flight_recorder = Some(depth.max(1));
+        self
+    }
+
+    /// The fault context stamped into postmortems: the model's
+    /// description plus the retry/degradation configuration.
+    fn fault_context(&self) -> String {
+        match self.faults {
+            Some(model) => format!(
+                "{}; retry up to {}; on exhaustion {}",
+                model.describe(),
+                self.retry.max_attempts,
+                self.degradation.label()
+            ),
+            None => "no fault layer".to_string(),
         }
     }
 
@@ -270,6 +300,7 @@ impl<'a> ReplaySession<'a> {
         }
         let audit_enabled = self.audit.unwrap_or(cfg!(debug_assertions));
         let engine = self.engine();
+        let fault_context = self.fault_context();
         // Compile here (before destructuring) when asked to and no
         // pre-compiled trace was injected by a sweep.
         let compiled_owned = (self.compiled && self.compiled_trace.is_none())
@@ -281,6 +312,7 @@ impl<'a> ReplaySession<'a> {
             compiled_trace,
             policy,
             mut observers,
+            flight_recorder,
             ..
         } = self;
         let compiled = compiled_trace.or(compiled_owned.as_ref());
@@ -294,27 +326,39 @@ impl<'a> ReplaySession<'a> {
         // The allocation-free fast path: a compiled trace with nothing to
         // observe accumulates its report inline, no observer dispatch.
         if let Some(compiled) = compiled {
-            if observers.is_empty() && sample_every.is_none() && !audit_enabled {
+            if observers.is_empty()
+                && sample_every.is_none()
+                && !audit_enabled
+                && flight_recorder.is_none()
+            {
                 let report = compiled.replay_report(policy, engine.faults().copied());
                 debug_assert!(report.conserves_delivery());
                 return Ok(Replay {
                     report,
                     series: Vec::new(),
                     audit: None,
+                    warnings: Vec::new(),
+                    postmortems: Vec::new(),
                 });
             }
         }
         let mut cost = CostObserver::new(policy.name(), &trace.name, objects.granularity().label());
         let mut series = sample_every.map(SeriesObserver::new);
         let mut audit = audit_enabled.then(AuditObserver::new);
+        let mut recorder =
+            flight_recorder.map(|k| FlightRecorder::new(k).with_context(fault_context));
+        let mut warnings = Vec::new();
         {
-            let mut all: Vec<&mut dyn Observer> = Vec::with_capacity(3 + observers.len());
+            let mut all: Vec<&mut dyn Observer> = Vec::with_capacity(4 + observers.len());
             all.push(&mut cost);
             if let Some(series) = series.as_mut() {
                 all.push(series);
             }
             if let Some(audit) = audit.as_mut() {
                 all.push(audit);
+            }
+            if let Some(recorder) = recorder.as_mut() {
+                all.push(recorder);
             }
             for obs in observers.iter_mut() {
                 all.push(&mut **obs);
@@ -325,6 +369,12 @@ impl<'a> ReplaySession<'a> {
                 }
                 None => engine.replay(trace, policy, &mut all),
             }
+            // The kernels have called finish; drain every observer's
+            // warnings (parked IO errors, recorder truncation) while the
+            // borrows are still alive.
+            for obs in all.iter_mut() {
+                warnings.extend(obs.warnings());
+            }
         }
         let report = cost.into_report();
         debug_assert!(report.conserves_delivery());
@@ -332,6 +382,10 @@ impl<'a> ReplaySession<'a> {
             report,
             series: series.map(SeriesObserver::into_series).unwrap_or_default(),
             audit: audit.map(AuditObserver::into_report),
+            warnings,
+            postmortems: recorder
+                .map(FlightRecorder::into_postmortems)
+                .unwrap_or_default(),
         })
     }
 
@@ -340,6 +394,7 @@ impl<'a> ReplaySession<'a> {
     /// audit) per tier and the topology pricing every link.
     fn run_tiered(self) -> Result<Replay> {
         let audit_enabled = self.audit.unwrap_or(cfg!(debug_assertions));
+        let fault_context = self.fault_context();
         let fault_plan = self.faults.map(|model| FaultPlan {
             model,
             retry: self.retry,
@@ -365,6 +420,7 @@ impl<'a> ReplaySession<'a> {
             mut tier_policies,
             policy,
             mut observers,
+            flight_recorder,
             ..
         } = self;
         let Some(topology) = topology else {
@@ -399,13 +455,19 @@ impl<'a> ReplaySession<'a> {
 
         // The allocation-free fast path, mirroring the flat run().
         if let Some(compiled) = compiled {
-            if observers.is_empty() && sample_every.is_none() && !audit_enabled {
+            if observers.is_empty()
+                && sample_every.is_none()
+                && !audit_enabled
+                && flight_recorder.is_none()
+            {
                 let report = compiled.replay_report(&mut tiers, fault_plan.as_ref());
                 debug_assert!(report.conserves_delivery());
                 return Ok(Replay {
                     report,
                     series: Vec::new(),
                     audit: None,
+                    warnings: Vec::new(),
+                    postmortems: Vec::new(),
                 });
             }
         }
@@ -423,15 +485,20 @@ impl<'a> ReplaySession<'a> {
         } else {
             Vec::new()
         };
+        let mut recorder =
+            flight_recorder.map(|k| FlightRecorder::new(k).with_context(fault_context));
         {
             let mut all: Vec<&mut dyn Observer> =
-                Vec::with_capacity(2 + audits.len() + observers.len());
+                Vec::with_capacity(3 + audits.len() + observers.len());
             all.push(&mut cost);
             if let Some(series) = series.as_mut() {
                 all.push(series);
             }
             for audit in audits.iter_mut() {
                 all.push(audit);
+            }
+            if let Some(recorder) = recorder.as_mut() {
+                all.push(recorder);
             }
             for obs in observers.iter_mut() {
                 all.push(&mut **obs);
@@ -462,8 +529,16 @@ impl<'a> ReplaySession<'a> {
         if let Some(series) = series.as_mut() {
             series.finish(site);
         }
+        if let Some(recorder) = recorder.as_mut() {
+            recorder.finish(site);
+        }
+        let mut warnings = Vec::new();
+        if let Some(recorder) = recorder.as_mut() {
+            warnings.extend(recorder.warnings());
+        }
         for obs in observers.iter_mut() {
             obs.finish(site);
+            warnings.extend(obs.warnings());
         }
         let report = cost.into_report();
         debug_assert!(report.conserves_delivery());
@@ -471,6 +546,10 @@ impl<'a> ReplaySession<'a> {
             report,
             series: series.map(SeriesObserver::into_series).unwrap_or_default(),
             audit: merge_audits(audits.into_iter().map(AuditObserver::into_report)),
+            warnings,
+            postmortems: recorder
+                .map(FlightRecorder::into_postmortems)
+                .unwrap_or_default(),
         })
     }
 
@@ -681,6 +760,7 @@ impl<'a> ReplaySession<'a> {
                                 cache_fraction: fraction,
                                 capacity,
                                 report: replay.report,
+                                warnings: replay.warnings,
                             },
                             observer,
                         ))

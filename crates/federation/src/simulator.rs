@@ -15,7 +15,7 @@
 //! * `Load`   → fetch cost on the WAN (`D_L`), then yield from cache.
 
 use crate::accounting::CostReport;
-use crate::engine::{decompose, ReplayEngine};
+use crate::engine::{decompose, Postmortem, ReplayEngine};
 use byc_catalog::ObjectCatalog;
 use byc_core::access::Access;
 use byc_core::audit::AuditReport;
@@ -41,6 +41,14 @@ pub struct Replay {
     pub series: Vec<SeriesPoint>,
     /// The decision-stream audit, when auditing was enabled.
     pub audit: Option<AuditReport>,
+    /// Observer warnings collected after the replay finished — parked
+    /// telemetry IO errors, flight-recorder truncation notes. Empty on
+    /// the compiled fast path (which admits no observers) and on clean
+    /// runs.
+    pub warnings: Vec<String>,
+    /// Fault postmortems, when a flight recorder was attached via
+    /// [`ReplaySession::flight_recorder`](crate::session::ReplaySession::flight_recorder).
+    pub postmortems: Vec<Postmortem>,
 }
 
 /// The per-object accesses of one trace query at one granularity, on a

@@ -20,6 +20,10 @@ pub struct SweepPoint {
     pub capacity: Bytes,
     /// Full cost report of the replay.
     pub report: CostReport,
+    /// Observer warnings drained from the job's replay (parked
+    /// telemetry IO errors, flight-recorder truncation notes). Empty
+    /// for observer-free sweeps and clean runs.
+    pub warnings: Vec<String>,
 }
 
 #[cfg(test)]

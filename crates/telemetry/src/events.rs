@@ -306,6 +306,17 @@ impl EventLogWriter {
         self.records
     }
 
+    /// The parked IO error, if any write has failed so far.
+    ///
+    /// The writer has no `Drop` glue: dropping it without calling
+    /// [`EventLogWriter::finish`] silently discards both the buffered
+    /// tail and this error. Callers that cannot guarantee a `finish`
+    /// (observers polled for warnings mid-run, for instance) can peek
+    /// here to surface the failure before the writer goes away.
+    pub fn parked(&self) -> Option<&Error> {
+        self.parked.as_ref()
+    }
+
     fn flush_buf(&mut self) {
         if let Err(e) = self.sink.write_all(self.buf.as_bytes()) {
             self.parked = Some(e.into());
@@ -421,19 +432,9 @@ impl EventLog {
     }
 }
 
-/// Parse a whole NDJSON log: the schema header line, then one record per
-/// non-empty line.
-///
-/// # Errors
-///
-/// [`Error::TraceFormat`] on a missing/mismatched header or any
-/// malformed record line.
-pub fn read_events(text: &str) -> Result<EventLog> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header_line = lines
-        .next()
-        .ok_or_else(|| Error::TraceFormat("empty event log".into()))?;
-    let header = Value::parse(header_line).map_err(Error::TraceFormat)?;
+/// Validate a header line and extract `(version, policy)`.
+fn parse_header(line: &str) -> Result<(u64, String)> {
+    let header = Value::parse(line).map_err(Error::TraceFormat)?;
     if header["schema"].as_str() != Some(EVENT_SCHEMA) {
         return Err(Error::TraceFormat(format!(
             "not an event log (schema {:?})",
@@ -449,7 +450,101 @@ pub fn read_events(text: &str) -> Result<EventLog> {
         )));
     }
     let policy = header["policy"].as_str().unwrap_or("").to_string();
-    let events = lines.map(EventRecord::parse).collect::<Result<Vec<_>>>()?;
+    Ok((version, policy))
+}
+
+/// Streaming event-log reader: validates the schema header eagerly, then
+/// yields one [`EventRecord`] per line as an iterator — the whole log is
+/// never materialized, so a multi-gigabyte trace reads in constant
+/// memory (the groundwork for out-of-core replays).
+///
+/// [`read_events`] is a `collect()` over this reader, so the two paths
+/// cannot disagree on the wire format.
+pub struct EventReader<R> {
+    version: u64,
+    policy: String,
+    lines: std::io::Lines<R>,
+}
+
+impl<R: std::io::BufRead> EventReader<R> {
+    /// Wrap a buffered reader, consuming and validating the header line.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on read failure, [`Error::TraceFormat`] on a
+    /// missing or mismatched header.
+    pub fn new(reader: R) -> Result<EventReader<R>> {
+        let mut lines = reader.lines();
+        let header_line = loop {
+            match lines.next() {
+                None => return Err(Error::TraceFormat("empty event log".into())),
+                Some(Err(e)) => return Err(e.into()),
+                Some(Ok(line)) if line.trim().is_empty() => continue,
+                Some(Ok(line)) => break line,
+            }
+        };
+        let (version, policy) = parse_header(&header_line)?;
+        Ok(EventReader {
+            version,
+            policy,
+            lines,
+        })
+    }
+
+    /// Schema version from the header.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Policy label from the header.
+    pub fn policy(&self) -> &str {
+        &self.policy
+    }
+}
+
+impl EventReader<std::io::BufReader<std::fs::File>> {
+    /// Stream the log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the file cannot be opened, [`Error::TraceFormat`]
+    /// on a bad header.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = std::fs::File::open(path)?;
+        EventReader::new(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: std::io::BufRead> Iterator for EventReader<R> {
+    type Item = Result<EventRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.lines.next()? {
+                Err(e) => return Some(Err(e.into())),
+                Ok(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    return Some(EventRecord::parse(&line));
+                }
+            }
+        }
+    }
+}
+
+/// Parse a whole NDJSON log: the schema header line, then one record per
+/// non-empty line.
+///
+/// # Errors
+///
+/// [`Error::TraceFormat`] on a missing/mismatched header or any
+/// malformed record line.
+pub fn read_events(text: &str) -> Result<EventLog> {
+    let reader = EventReader::new(text.as_bytes())?;
+    let version = reader.version();
+    let policy = reader.policy().to_string();
+    let events = reader.collect::<Result<Vec<_>>>()?;
     Ok(EventLog {
         version,
         policy,
@@ -610,6 +705,60 @@ mod tests {
         assert_eq!(totals.bypass_cost, Bytes::new(200_000));
         assert_eq!(totals.delivered, Bytes::new(100_000));
         assert_eq!(totals.wan_cost(), Bytes::new(200_000));
+    }
+
+    #[test]
+    fn streaming_reader_matches_collecting_reader_on_a_multi_chunk_log() {
+        // A log well past FLUSH_THRESHOLD, so the writer flushed several
+        // chunks; read it back through a deliberately tiny BufReader so
+        // the streaming reader crosses many buffer refills.
+        let sink = SharedBuf::default();
+        let mut writer = EventLogWriter::new(Box::new(sink.clone()), "GDS");
+        let count = 2_000u64;
+        for q in 0..count {
+            writer.record(&sample_record(q));
+            writer.record(&faulted_record(q));
+        }
+        assert_eq!(writer.finish().unwrap(), count * 2);
+        let text = sink.text();
+        assert!(
+            text.len() > FLUSH_THRESHOLD,
+            "log too small: {}",
+            text.len()
+        );
+
+        let collected = read_events(&text).unwrap();
+        let reader = EventReader::new(std::io::BufReader::with_capacity(
+            64,
+            std::io::Cursor::new(text.as_bytes()),
+        ))
+        .unwrap();
+        assert_eq!(reader.version(), EVENT_SCHEMA_VERSION);
+        assert_eq!(reader.policy(), "GDS");
+        let streamed = reader.collect::<Result<Vec<_>>>().unwrap();
+        assert_eq!(streamed, collected.events);
+        assert_eq!(streamed.len() as u64, count * 2);
+    }
+
+    #[test]
+    fn streaming_reader_opens_files_and_surfaces_bad_records() {
+        let path =
+            std::env::temp_dir().join(format!("byc-events-reader-{}.ndjson", std::process::id()));
+        let mut writer = EventLogWriter::create(&path, "LRU").unwrap();
+        for q in 0..10 {
+            writer.record(&sample_record(q));
+        }
+        writer.finish().unwrap();
+        let reader = EventReader::open(&path).unwrap();
+        assert_eq!(reader.policy(), "LRU");
+        assert_eq!(reader.count(), 10);
+        std::fs::remove_file(&path).unwrap();
+
+        // A malformed record line surfaces as an Err item, not a panic.
+        let text =
+            format!("{{\"schema\":\"{EVENT_SCHEMA}\",\"version\":1,\"policy\":\"x\"}}\nnot json\n");
+        let mut reader = EventReader::new(text.as_bytes()).unwrap();
+        assert!(reader.next().unwrap().is_err());
     }
 
     #[test]

@@ -39,16 +39,19 @@ impl MetricsFormat {
     }
 }
 
-/// The counter columns every export emits, in one place so the two
-/// renderers cannot drift: `(metric name, help text, extractor)` over a
-/// policy's per-series windows.
-type WindowColumn = (
+/// One exported counter column: `(metric name, help text, extractor)`
+/// over a [`QueryWindow`](byc_federation::QueryWindow).
+pub type WindowColumn = (
     &'static str,
     &'static str,
     fn(&byc_federation::QueryWindow) -> u64,
 );
 
-const WINDOW_COLUMNS: [WindowColumn; 15] = [
+/// The counter columns every export emits, in one place so the renderers
+/// cannot drift. The Prometheus and JSON snapshots, and the windowed
+/// NDJSON stream ([`crate::windows`]), all read exactly these fields
+/// under exactly these names.
+pub const WINDOW_COLUMNS: [WindowColumn; 15] = [
     ("byc_hits_total", "Hit decisions.", |w| w.hits),
     ("byc_bypasses_total", "Bypass decisions.", |w| w.bypasses),
     ("byc_loads_total", "Load decisions.", |w| w.loads),
@@ -108,6 +111,23 @@ const WINDOW_COLUMNS: [WindowColumn; 15] = [
     ),
 ];
 
+/// Escape a label value per the Prometheus text exposition rules:
+/// backslash, double quote, and line feed become `\\`, `\"`, and `\n`.
+/// Values without those characters come back unchanged (no allocation
+/// beyond the copy).
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 fn prom_histogram(out: &mut String, name: &str, help: &str, labels: &str, h: &Histogram) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} histogram");
@@ -139,11 +159,11 @@ pub fn prometheus_text(registry: &MetricsRegistry) -> String {
         let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} counter");
         for policy in registry.iter() {
+            let label = escape_label(&policy.policy);
             for (key, series) in &policy.series {
                 let _ = writeln!(
                     out,
-                    "{name}{{policy=\"{}\",server=\"{}\",class=\"{}\",tier=\"{}\"}} {}",
-                    policy.policy,
+                    "{name}{{policy=\"{label}\",server=\"{}\",class=\"{}\",tier=\"{}\"}} {}",
                     key.server.raw(),
                     key.class.label(),
                     key.tier,
@@ -159,7 +179,8 @@ pub fn prometheus_text(registry: &MetricsRegistry) -> String {
         let _ = writeln!(
             out,
             "byc_queries_total{{policy=\"{}\"}} {}",
-            p.policy, p.queries
+            escape_label(&p.policy),
+            p.queries
         );
     }
     let _ = writeln!(out, "# HELP byc_accesses_total Object slices served.");
@@ -168,7 +189,8 @@ pub fn prometheus_text(registry: &MetricsRegistry) -> String {
         let _ = writeln!(
             out,
             "byc_accesses_total{{policy=\"{}\"}} {}",
-            p.policy, p.accesses
+            escape_label(&p.policy),
+            p.accesses
         );
     }
 
@@ -181,7 +203,8 @@ pub fn prometheus_text(registry: &MetricsRegistry) -> String {
         let _ = writeln!(
             out,
             "byc_cache_occupancy_bytes{{policy=\"{}\"}} {}",
-            p.policy, p.occupancy.last
+            escape_label(&p.policy),
+            p.occupancy.last
         );
     }
     let _ = writeln!(
@@ -193,12 +216,13 @@ pub fn prometheus_text(registry: &MetricsRegistry) -> String {
         let _ = writeln!(
             out,
             "byc_cache_occupancy_peak_bytes{{policy=\"{}\"}} {}",
-            p.policy, p.occupancy.peak
+            escape_label(&p.policy),
+            p.occupancy.peak
         );
     }
 
     for p in registry.iter() {
-        let labels = format!("policy=\"{}\"", p.policy);
+        let labels = format!("policy=\"{}\"", escape_label(&p.policy));
         prom_histogram(
             &mut out,
             "byc_slices_per_query",
@@ -360,6 +384,31 @@ mod tests {
         assert!(text.contains("byc_cache_occupancy_bytes{policy=\"GDS\"} 12345"));
         assert!(text.contains("le=\"+Inf\""));
         // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name_labels, value) = line.rsplit_once(' ').unwrap();
+            assert!(name_labels.contains('{'), "{line}");
+            assert!(value.parse::<u64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("GDS"), "GDS");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+
+        let mut p = PolicyMetrics::new("GD\"S\\v1\n");
+        p.queries = 1;
+        let mut reg = MetricsRegistry::new();
+        reg.absorb(p);
+        let text = prometheus_text(&reg);
+        assert!(
+            text.contains("byc_queries_total{policy=\"GD\\\"S\\\\v1\\n\"} 1"),
+            "{text}"
+        );
+        // Escaping must keep the exposition line-oriented: every
+        // non-comment line still parses as `name{{labels}} value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (name_labels, value) = line.rsplit_once(' ').unwrap();
             assert!(name_labels.contains('{'), "{line}");

@@ -28,6 +28,17 @@
 //! * [`export`] — Prometheus text exposition and JSON snapshot writers
 //!   over the registry; the two exports of one run agree on every
 //!   counter.
+//! * [`spans`] — **deterministic span tracing**: [`SpanTracer`] records
+//!   a phase tree keyed by query-index ticks (bit-identical across
+//!   runs, opt-in wall-clock enrichment in span args only) and exports
+//!   Chrome trace-event JSON loadable in Perfetto.
+//! * [`windows`] — **windowed metrics streams**: [`WindowedRegistry`]
+//!   closes a counters snapshot every N queries and streams it as
+//!   `byc.telemetry.window` NDJSON, so long replays show live
+//!   hit-rate/WAN/availability trajectories.
+//! * [`recorder`] — flight-recorder exports: NDJSON and annotated-text
+//!   renderings of the federation's fault
+//!   [`Postmortem`](byc_federation::Postmortem)s.
 //!
 //! Telemetry is strictly read-only over the event stream: attaching a
 //! [`TelemetryObserver`] to a replay produces byte-identical
@@ -39,13 +50,31 @@ pub mod events;
 pub mod export;
 pub mod metrics;
 pub mod observer;
+pub mod recorder;
+pub mod spans;
+pub mod windows;
 
 pub use events::{
-    read_events, DecisionKind, EventLog, EventLogWriter, EventRecord, EventTotals, EVENT_SCHEMA,
-    EVENT_SCHEMA_VERSION,
+    read_events, DecisionKind, EventLog, EventLogWriter, EventReader, EventRecord, EventTotals,
+    EVENT_SCHEMA, EVENT_SCHEMA_VERSION,
 };
-pub use export::{json_snapshot, prometheus_text, write_metrics, MetricsFormat};
+pub use export::{
+    escape_label, json_snapshot, prometheus_text, write_metrics, MetricsFormat, WindowColumn,
+    WINDOW_COLUMNS,
+};
 pub use metrics::{
     Gauge, Histogram, MetricsRegistry, ObjectClass, PolicyMetrics, SeriesKey, SeriesMetrics,
 };
 pub use observer::{EpisodeStats, PhaseProfile, TelemetryConfig, TelemetryObserver};
+pub use recorder::{
+    postmortem_json, render_postmortem, render_postmortems, write_postmortems, POSTMORTEM_SCHEMA,
+    POSTMORTEM_SCHEMA_VERSION,
+};
+pub use spans::{
+    chrome_trace, write_chrome_trace, Span, SpanObserver, SpanTracer, SPAN_SCHEMA,
+    SPAN_SCHEMA_VERSION,
+};
+pub use windows::{
+    window_header, window_record, WindowSnapshot, WindowedRegistry, WINDOW_SCHEMA,
+    WINDOW_SCHEMA_VERSION,
+};

@@ -155,6 +155,10 @@ pub struct TelemetryObserver {
     evictions_this_query: u64,
     events_seen: u64,
     writer: Option<EventLogWriter>,
+    /// The event log's IO outcome once [`Observer::finish`] consumed the
+    /// writer; surfaced through [`Observer::warnings`] or
+    /// [`TelemetryObserver::into_parts`], whichever runs first.
+    log_result: Option<byc_types::Result<u64>>,
 }
 
 impl TelemetryObserver {
@@ -189,6 +193,7 @@ impl TelemetryObserver {
             evictions_this_query: 0,
             events_seen: 0,
             writer: None,
+            log_result: None,
         }
     }
 
@@ -205,13 +210,17 @@ impl TelemetryObserver {
 
     /// Finish: flush the event log (if any) and hand back the metrics
     /// plus the log's deferred IO outcome. Log IO errors are *deferred* —
-    /// the hot path never checks them — and surface only here.
-    pub fn into_parts(self) -> (PolicyMetrics, byc_types::Result<()>) {
-        let io = match self.writer {
-            Some(writer) => writer.finish().map(|_| ()),
-            None => Ok(()),
+    /// the hot path never checks them — and surface only here, unless a
+    /// `ReplaySession` already drained them into `Replay::warnings`
+    /// (each error surfaces exactly once).
+    pub fn into_parts(mut self) -> (PolicyMetrics, byc_types::Result<()>) {
+        let io = match self.writer.take() {
+            Some(writer) => writer.finish(),
+            // finish() already consumed the writer (replayed through a
+            // session): report its stored outcome.
+            None => self.log_result.take().unwrap_or(Ok(0)),
         };
-        (self.metrics, io)
+        (self.metrics, io.map(|_| ()))
     }
 }
 
@@ -293,7 +302,22 @@ impl Observer for TelemetryObserver {
         );
     }
 
-    fn finish(&mut self, _policy: Option<&dyn CachePolicy>) {}
+    fn finish(&mut self, _policy: Option<&dyn CachePolicy>) {
+        // Close the event log at end of replay so its buffered tail and
+        // parked IO error cannot be silently dropped with the observer:
+        // the outcome is stored for `warnings` (the session surfaces it
+        // in `Replay::warnings`) or `into_parts`, whichever runs first.
+        if let Some(writer) = self.writer.take() {
+            self.log_result = Some(writer.finish());
+        }
+    }
+
+    fn warnings(&mut self) -> Vec<String> {
+        match self.log_result.take_if(|r| r.is_err()) {
+            Some(Err(e)) => vec![format!("event log: {e}")],
+            _ => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

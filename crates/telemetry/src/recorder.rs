@@ -1,0 +1,277 @@
+//! Flight-recorder exports: render the federation's fault
+//! [`Postmortem`]s as NDJSON records and annotated text.
+//!
+//! The recorder itself lives in `byc-federation`
+//! ([`byc_federation::FlightRecorder`]) because it has to ride the
+//! engine's observer seam; this module owns the *presentation* — the
+//! `byc.telemetry.postmortem` schema and the human-readable dump the CLI
+//! prints when `--flight-recorder K` caught something. Both renderings
+//! are pure functions of the postmortem, so same-seed replays dump
+//! byte-identical postmortems.
+
+use byc_federation::{Postmortem, RecordedEvent};
+use byc_types::json::Value;
+use byc_types::Result;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Schema tag stamped into each postmortem record.
+pub const POSTMORTEM_SCHEMA: &str = "byc.telemetry.postmortem";
+
+/// Version stamped into each postmortem record.
+pub const POSTMORTEM_SCHEMA_VERSION: u64 = 1;
+
+fn event_json(e: &RecordedEvent) -> Value {
+    let mut fields = vec![
+        ("q".into(), Value::u64(e.query as u64)),
+        ("o".into(), Value::u64(u64::from(e.object.raw()))),
+        ("s".into(), Value::u64(u64::from(e.server.raw()))),
+        ("d".into(), Value::u64(e.delivered.raw())),
+        ("bc".into(), Value::u64(e.bypass_cost.raw())),
+        ("fc".into(), Value::u64(e.fetch_cost.raw())),
+        ("rc".into(), Value::u64(e.relay_cost.raw())),
+        ("cs".into(), Value::u64(e.cache_served.raw())),
+    ];
+    // Decision flag: exactly one of hits/bypasses/loads is 1.
+    let decision = if e.hits == 1 {
+        "hit"
+    } else if e.bypasses == 1 {
+        "bypass"
+    } else {
+        "load"
+    };
+    fields.push(("dec".into(), Value::str(decision)));
+    if e.retries > 0 {
+        fields.push(("rt".into(), Value::u64(e.retries)));
+        fields.push(("rb".into(), Value::u64(e.retried_bytes.raw())));
+    }
+    if e.failed > 0 {
+        fields.push(("fl".into(), Value::u64(e.failed)));
+        fields.push(("fb".into(), Value::u64(e.failed_bytes.raw())));
+    }
+    if e.degraded > 0 {
+        fields.push(("dg".into(), Value::u64(e.degraded)));
+    }
+    Value::Object(fields)
+}
+
+/// Render one postmortem as a `byc.telemetry.postmortem` JSON record:
+/// the failing query, its failed/degraded slice counts, the fault
+/// context, and the per-tier event rings (oldest first, bottom-up tier
+/// order) with each event's cost split and resolution.
+pub fn postmortem_json(p: &Postmortem) -> Value {
+    let tiers = p
+        .tiers
+        .iter()
+        .map(|(tier, events)| {
+            Value::Object(vec![
+                ("tier".into(), Value::u64(u64::from(*tier))),
+                (
+                    "events".into(),
+                    Value::Array(events.iter().map(event_json).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("schema".into(), Value::str(POSTMORTEM_SCHEMA)),
+        ("version".into(), Value::u64(POSTMORTEM_SCHEMA_VERSION)),
+        ("query".into(), Value::u64(p.query as u64)),
+        ("failed_slices".into(), Value::u64(p.failed_slices)),
+        ("degraded_slices".into(), Value::u64(p.degraded_slices)),
+        ("context".into(), Value::str(&p.context)),
+        ("tiers".into(), Value::Array(tiers)),
+    ])
+}
+
+/// Write postmortems as NDJSON, one record per line.
+///
+/// # Errors
+///
+/// [`byc_types::Error::Io`] if the file cannot be created or written.
+pub fn write_postmortems(path: &Path, postmortems: &[Postmortem]) -> Result<()> {
+    use std::io::Write as _;
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for p in postmortems {
+        writeln!(out, "{}", postmortem_json(p))?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+fn render_event(out: &mut String, e: &RecordedEvent) {
+    let decision = if e.hits == 1 {
+        "hit   "
+    } else if e.bypasses == 1 {
+        "bypass"
+    } else {
+        "load  "
+    };
+    let _ = write!(
+        out,
+        "    q{:>6}  obj {:>5}  srv {}  {}  delivered {:>10}",
+        e.query,
+        e.object.raw(),
+        e.server.raw(),
+        decision,
+        e.delivered.raw(),
+    );
+    if e.retries > 0 {
+        let _ = write!(
+            out,
+            "  retries {} (+{} wasted B)",
+            e.retries,
+            e.retried_bytes.raw()
+        );
+    }
+    if e.failed > 0 {
+        let _ = write!(out, "  FAILED ({} B undelivered)", e.failed_bytes.raw());
+    }
+    if e.degraded > 0 {
+        let _ = write!(out, "  DEGRADED (served stale)");
+    }
+    out.push('\n');
+}
+
+/// Render one postmortem as an annotated text block: the failing query,
+/// the fault context (so active outage windows can be read off against
+/// the event ticks), and the last events per tier leading up to the
+/// failure.
+pub fn render_postmortem(p: &Postmortem) -> String {
+    let mut out = String::new();
+    let what = if p.failed_slices > 0 {
+        "failed"
+    } else {
+        "degraded"
+    };
+    let _ = writeln!(
+        out,
+        "postmortem: query {} {} ({} failed, {} degraded slices)",
+        p.query, what, p.failed_slices, p.degraded_slices
+    );
+    let _ = writeln!(out, "  faults: {}", p.context);
+    for (tier, events) in &p.tiers {
+        let _ = writeln!(out, "  tier {tier} (last {} events):", events.len());
+        for e in events {
+            render_event(&mut out, e);
+        }
+    }
+    out
+}
+
+/// Render every postmortem plus a truncation note when the recorder
+/// overflowed — the CLI's `--flight-recorder` dump.
+pub fn render_postmortems(postmortems: &[Postmortem], truncated: u64) -> String {
+    let mut out = String::new();
+    for p in postmortems {
+        out.push_str(&render_postmortem(p));
+    }
+    if truncated > 0 {
+        let _ = writeln!(
+            out,
+            "... {truncated} further failing/degraded queries not recorded"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byc_types::{Bytes, ObjectId, ServerId};
+
+    fn failing_postmortem() -> Postmortem {
+        let ok = RecordedEvent {
+            query: 118,
+            object: ObjectId::new(4),
+            server: ServerId::new(1),
+            tier: 0,
+            delivered: Bytes::new(500),
+            bypass_cost: Bytes::new(500),
+            fetch_cost: Bytes::ZERO,
+            relay_cost: Bytes::ZERO,
+            cache_served: Bytes::ZERO,
+            retried_bytes: Bytes::ZERO,
+            failed_bytes: Bytes::ZERO,
+            hits: 0,
+            bypasses: 1,
+            loads: 0,
+            retries: 0,
+            failed: 0,
+            degraded: 0,
+        };
+        let bad = RecordedEvent {
+            query: 120,
+            object: ObjectId::new(7),
+            server: ServerId::new(0),
+            delivered: Bytes::ZERO,
+            bypass_cost: Bytes::ZERO,
+            retried_bytes: Bytes::new(1200),
+            failed_bytes: Bytes::new(600),
+            bypasses: 0,
+            retries: 2,
+            failed: 1,
+            ..ok
+        };
+        Postmortem {
+            query: 120,
+            failed_slices: 1,
+            degraded_slices: 0,
+            tiers: vec![(0, vec![ok, bad])],
+            context: "outage: server 0 down [100, 160); retry up to 2; on exhaustion fail"
+                .to_string(),
+        }
+    }
+
+    #[test]
+    fn postmortem_json_roundtrips_and_carries_the_ring() {
+        let p = failing_postmortem();
+        let v = postmortem_json(&p);
+        let parsed = Value::parse(&v.to_string()).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Value::as_str),
+            Some(POSTMORTEM_SCHEMA)
+        );
+        assert_eq!(parsed.get("query").and_then(Value::as_u64), Some(120));
+        assert_eq!(parsed.get("failed_slices").and_then(Value::as_u64), Some(1));
+        let tiers = parsed.get("tiers").and_then(Value::as_array).unwrap();
+        assert_eq!(tiers.len(), 1);
+        let events = tiers[0].get("events").and_then(Value::as_array).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("dec").and_then(Value::as_str), Some("bypass"));
+        assert_eq!(events[1].get("fl").and_then(Value::as_u64), Some(1));
+        assert_eq!(events[1].get("rt").and_then(Value::as_u64), Some(2));
+        // Clean events omit the failure keys entirely.
+        assert!(events[0].get("fl").is_none());
+        assert!(events[0].get("rt").is_none());
+    }
+
+    #[test]
+    fn text_render_annotates_failures_and_truncation() {
+        let p = failing_postmortem();
+        let text = render_postmortems(std::slice::from_ref(&p), 3);
+        assert!(text.contains("postmortem: query 120 failed"));
+        assert!(text.contains("outage: server 0 down [100, 160)"));
+        assert!(text.contains("FAILED (600 B undelivered)"));
+        assert!(text.contains("retries 2 (+1200 wasted B)"));
+        assert!(text.contains("... 3 further failing/degraded queries not recorded"));
+    }
+
+    #[test]
+    fn write_postmortems_emits_one_line_per_record() {
+        let p = failing_postmortem();
+        let path =
+            std::env::temp_dir().join(format!("byc-postmortems-{}.ndjson", std::process::id()));
+        write_postmortems(&path, &[p.clone(), p]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            let v = Value::parse(line).unwrap();
+            assert_eq!(
+                v.get("schema").and_then(Value::as_str),
+                Some(POSTMORTEM_SCHEMA)
+            );
+        }
+    }
+}

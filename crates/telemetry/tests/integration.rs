@@ -175,3 +175,114 @@ fn sweep_registry_matches_sweep_reports() {
     assert!(text.contains("policy=\"GDS@0.20\""));
     assert!(text.contains("policy=\"SpaceEffBY@0.50\""));
 }
+
+/// A sink whose every write fails — simulates a full disk under the
+/// event log.
+struct Broken;
+
+impl std::io::Write for Broken {
+    fn write(&mut self, _data: &[u8]) -> std::io::Result<usize> {
+        Err(std::io::Error::other("disk full"))
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn broken_event_log_sink_surfaces_as_a_session_warning() {
+    let (trace, objects, stats) = setup(1);
+    let capacity = objects.total_size().scale(0.3);
+    let mut policy = byc_federation::build_policy(PolicyKind::Lru, capacity, &stats.demands, 7);
+    let writer = EventLogWriter::new(Box::new(Broken), "LRU");
+    let mut telemetry = TelemetryObserver::new("LRU").with_event_log(writer);
+    let replay = ReplaySession::new(&trace, &objects)
+        .policy(policy.as_mut())
+        .observe(&mut telemetry)
+        .run()
+        .expect("policy configured");
+
+    // The parked io::Error used to be silently droppable: the session
+    // now drains it into the replay's warnings at finish time.
+    assert!(
+        replay.warnings.iter().any(|w| w.contains("disk full")),
+        "parked event-log error must surface: {:?}",
+        replay.warnings
+    );
+    // ... exactly once: into_parts no longer re-reports it.
+    let (metrics, io) = telemetry.into_parts();
+    assert!(metrics.queries > 0, "metrics unaffected by log IO failure");
+    assert!(io.is_ok(), "the warning already surfaced the error");
+}
+
+/// A small hand-built registry covering every exposition feature: two
+/// policies (one with a label needing escaping), multi-server and
+/// multi-tier series, occupancy gauges, and histograms.
+fn golden_registry() -> MetricsRegistry {
+    use byc_telemetry::{ObjectClass, SeriesKey, SeriesMetrics};
+    use byc_types::ServerId;
+
+    let mut plain = byc_telemetry::PolicyMetrics::new("GDS");
+    plain.queries = 10;
+    plain.accesses = 25;
+    plain.occupancy.set(4096);
+    plain.occupancy.set(2048);
+    for (server, tier, delivered) in [(0u32, 0u32, 500u64), (1, 1, 2000)] {
+        let key = SeriesKey {
+            server: ServerId::new(server),
+            class: ObjectClass::of(Bytes::new(delivered)),
+            tier,
+        };
+        let mut series = SeriesMetrics::new();
+        series.window.hits = 3;
+        series.window.bypasses = 2;
+        series.window.loads = 1;
+        series.window.delivered = Bytes::new(delivered * 6);
+        series.window.bypass_served = Bytes::new(delivered * 2);
+        series.window.bypass_cost = Bytes::new(delivered * 2);
+        series.window.fetch_cost = Bytes::new(delivered);
+        series.window.cache_served = Bytes::new(delivered * 4);
+        series.delivered.record(delivered);
+        series.wan.record(delivered * 3);
+        plain.series.insert(key, series);
+    }
+
+    let mut escaped = byc_telemetry::PolicyMetrics::new("GD\"S\\v1\n");
+    escaped.queries = 1;
+    escaped.accesses = 1;
+
+    let mut registry = MetricsRegistry::new();
+    registry.absorb(plain);
+    registry.absorb(escaped);
+    registry
+}
+
+#[test]
+fn prometheus_exposition_matches_the_golden_file_line_by_line() {
+    let text = byc_telemetry::prometheus_text(&golden_registry());
+    // Regenerate with: BYC_BLESS=1 cargo test -p byc-telemetry --test integration
+    if std::env::var_os("BYC_BLESS").is_some() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom"),
+            &text,
+        )
+        .unwrap();
+    }
+    let golden = include_str!("golden/metrics.prom");
+    let actual: Vec<&str> = text.lines().collect();
+    let expected: Vec<&str> = golden.lines().collect();
+    for (i, (a, e)) in actual.iter().zip(expected.iter()).enumerate() {
+        assert_eq!(
+            a,
+            e,
+            "exposition line {} drifted from the golden file; full exposition:\n{}",
+            i + 1,
+            text
+        );
+    }
+    assert_eq!(
+        actual.len(),
+        expected.len(),
+        "exposition line count drifted from the golden file; full exposition:\n{text}"
+    );
+}

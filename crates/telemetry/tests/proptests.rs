@@ -125,3 +125,104 @@ proptest! {
         prop_assert_eq!(registry.len(), ALL_POLICIES.len());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The streaming observability layer is bit-deterministic: for every
+    /// shipped policy, two same-seed replays (flat and two-tier) produce
+    /// identical span trees, identical Chrome-trace JSON, and identical
+    /// window snapshots — and the windows partition the replay, summing
+    /// exactly to its final `CostReport`.
+    #[test]
+    fn spans_and_windows_are_deterministic_and_reconcile(
+        seed in any::<u64>(),
+        cache_fraction in 0.05f64..0.6,
+        every in 16usize..128,
+    ) {
+        use byc_federation::{ReplaySession, Topology, Uniform};
+        use byc_telemetry::{chrome_trace, SpanObserver, WindowedRegistry};
+
+        let catalog = sdss::build(SdssRelease::Edr, 1e-4, 3);
+        let trace = generate(&catalog, &WorkloadConfig::smoke(seed, 150)).unwrap();
+        let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let capacity = objects.total_size().scale(cache_fraction);
+
+        for kind in ALL_POLICIES {
+            // Flat replay, run twice with identical configuration.
+            let run_flat = || {
+                let mut policy = build_policy(kind, capacity, &stats.demands, seed);
+                let mut spans = SpanObserver::new(kind.label()).with_chunk(32);
+                let mut windows = WindowedRegistry::new(kind.label(), every);
+                let replay = ReplaySession::new(&trace, &objects)
+                    .policy(policy.as_mut())
+                    .observe(&mut spans)
+                    .observe(&mut windows)
+                    .run()
+                    .unwrap();
+                (spans.into_tracer(), windows, replay)
+            };
+            let (t1, w1, r1) = run_flat();
+            let (t2, w2, _) = run_flat();
+            prop_assert_eq!(t1.spans(), t2.spans(), "{:?} flat span tree", kind);
+            prop_assert_eq!(
+                chrome_trace([(&t1, "replay")]).to_string(),
+                chrome_trace([(&t2, "replay")]).to_string(),
+                "{:?} flat chrome trace", kind
+            );
+            prop_assert_eq!(w1.snapshots(), w2.snapshots(), "{:?} flat windows", kind);
+
+            // Windows tile the replay and sum to the report exactly.
+            let report = &r1.report;
+            let totals = w1.totals();
+            prop_assert_eq!(totals.hits, report.hits, "{:?} hits", kind);
+            prop_assert_eq!(totals.bypasses, report.bypasses, "{:?} bypasses", kind);
+            prop_assert_eq!(totals.loads, report.loads, "{:?} loads", kind);
+            prop_assert_eq!(totals.evictions, report.evictions, "{:?} evictions", kind);
+            prop_assert_eq!(totals.delivered, report.sequence_cost, "{:?} delivered", kind);
+            prop_assert_eq!(totals.bypass_cost, report.bypass_cost, "{:?} D_S", kind);
+            prop_assert_eq!(totals.fetch_cost, report.fetch_cost, "{:?} D_L", kind);
+            prop_assert_eq!(totals.cache_served, report.cache_served, "{:?} D_C", kind);
+            prop_assert_eq!(totals.wan_cost(), report.total_cost(), "{:?} WAN", kind);
+            let mut expected_start = 0usize;
+            for s in w1.snapshots() {
+                prop_assert_eq!(s.start, expected_start, "{:?} window tiling", kind);
+                expected_start = s.end;
+            }
+            prop_assert_eq!(expected_start, report.queries, "{:?} window coverage", kind);
+
+            // Two-tier replay: same double-run determinism contract.
+            let topo = Topology::two_tier(0.25, Box::new(Uniform)).unwrap();
+            let run_tiered = || {
+                let mut site = build_policy(kind, capacity, &stats.demands, seed);
+                let mut origin_side =
+                    build_policy(kind, capacity.scale(2.0), &stats.demands, seed);
+                let mut spans = SpanObserver::new(kind.label())
+                    .with_chunk(32)
+                    .with_tier_detail(true);
+                let mut windows = WindowedRegistry::new(kind.label(), every);
+                let replay = ReplaySession::new(&trace, &objects)
+                    .topology(&topo)
+                    .tier_policy(site.as_mut())
+                    .tier_policy(origin_side.as_mut())
+                    .observe(&mut spans)
+                    .observe(&mut windows)
+                    .run()
+                    .unwrap();
+                (spans.into_tracer(), windows, replay)
+            };
+            let (tt1, tw1, tr1) = run_tiered();
+            let (tt2, tw2, _) = run_tiered();
+            prop_assert_eq!(tt1.spans(), tt2.spans(), "{:?} tiered span tree", kind);
+            prop_assert_eq!(tw1.snapshots(), tw2.snapshots(), "{:?} tiered windows", kind);
+            let t_totals = tw1.totals();
+            let t_report = &tr1.report;
+            prop_assert_eq!(t_totals.delivered, t_report.sequence_cost, "{:?} tiered delivered", kind);
+            prop_assert_eq!(t_totals.bypass_cost, t_report.bypass_cost, "{:?} tiered D_S", kind);
+            prop_assert_eq!(t_totals.fetch_cost, t_report.fetch_cost, "{:?} tiered D_L", kind);
+            prop_assert_eq!(t_totals.relay_cost, t_report.relay_cost, "{:?} tiered relay", kind);
+            prop_assert_eq!(t_totals.wan_cost(), t_report.total_cost(), "{:?} tiered WAN", kind);
+        }
+    }
+}
