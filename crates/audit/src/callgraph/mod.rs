@@ -68,7 +68,6 @@ pub const REPLAY_ENTRY_POINTS: &[EntryPoint] = &[
     ("CompiledTrace", "replay_observed"),
     ("ReplaySession", "run"),
     ("ReplaySession", "sweep"),
-    ("ReplaySession", "sweep_with"),
     ("ReplayEngine", "replay"),
     ("ReplayEngine", "serve_query"),
 ];

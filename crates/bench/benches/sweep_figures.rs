@@ -3,7 +3,7 @@
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{build_policy, PolicyKind, ReplaySession, Uniform};
+use byc_federation::{build_policy, PolicyKind, ReplaySession, SweepOptions, Uniform};
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -25,7 +25,7 @@ fn bench_sweep(c: &mut Criterion) {
         b.iter(|| {
             ReplaySession::new(&trace, &objects)
                 .network(&Uniform)
-                .sweep(&POLICIES, &FRACTIONS, &stats.demands, 17)
+                .sweep(SweepOptions::new(&POLICIES, &FRACTIONS, &stats.demands, 17))
                 .unwrap()
                 .len()
         })

@@ -9,7 +9,7 @@ use byc_catalog::{Catalog, Granularity, ObjectCatalog};
 use byc_core::rate_profile::{RateProfile, RateProfileConfig};
 use byc_federation::{
     build_policy, CostObserver, CostReport, Observer, PerServerMultipliers, PerServerObserver,
-    PolicyKind, ReplayEngine, ReplaySession, SeriesPoint, Uniform,
+    PolicyKind, ReplayEngine, ReplaySession, SeriesPoint, SweepOptions, Uniform,
 };
 use byc_types::Result;
 use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
@@ -304,7 +304,12 @@ fn sweep_fig(
     ];
     let points = ReplaySession::new(trace, &objects)
         .network(&Uniform)
-        .sweep(&policies, &SWEEP_FRACTIONS, &stats.demands, EXPERIMENT_SEED)?;
+        .sweep(SweepOptions::new(
+            &policies,
+            &SWEEP_FRACTIONS,
+            &stats.demands,
+            EXPERIMENT_SEED,
+        ))?;
     let path = ctx.artifact(&format!("{id}_{}_sweep.csv", granularity.label()))?;
     write_sweep_csv(&path, &points)?;
     let mut summary = String::new();

@@ -7,9 +7,10 @@ use byc_analysis::{
 use byc_catalog::sdss::{self, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
 use byc_federation::{
-    build_policy, CostEvent, DegradationPolicy, FaultModel, FlakyLinks, FlightRecorder, LinkScoped,
-    NetworkModel, Observer, Outage, OutageWindows, PerServerMultipliers, PerServerObserver,
-    PerTierObserver, PolicyKind, QueryWindow, ReplaySession, RetryPolicy, Topology, Uniform,
+    build_policy, build_sharded, CostEvent, DegradationPolicy, FaultModel, FlakyLinks,
+    FlightRecorder, LinkScoped, NetworkModel, Observer, Outage, OutageWindows,
+    PerServerMultipliers, PerServerObserver, PerTierObserver, PolicyKind, QueryWindow,
+    ReplaySession, RetryPolicy, SweepOptions, Topology, Uniform,
 };
 use byc_telemetry::{
     render_postmortems, window_header, window_record, write_chrome_trace, write_metrics,
@@ -17,7 +18,9 @@ use byc_telemetry::{
     WindowedRegistry,
 };
 use byc_types::{Error, Result, ServerId, Tick};
-use byc_workload::{generate, io as trace_io, Trace, TraceQuery, WorkloadConfig, WorkloadStats};
+use byc_workload::{
+    generate, io as trace_io, Trace, TraceQuery, TraceSpec, WorkloadConfig, WorkloadStats,
+};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -87,6 +90,14 @@ pub enum Command {
         /// cost events per tier and dump postmortems on failed or
         /// degraded queries (None = off).
         flight_recorder: Option<usize>,
+        /// Replay out-of-core: stream the trace in chunks instead of
+        /// materializing it (file traces never load into memory).
+        streaming: bool,
+        /// Queries per streamed chunk (None = the session default).
+        chunk_size: Option<usize>,
+        /// Shard the policy over N object-id ranges and replay the
+        /// shards on parallel workers (None = unsharded).
+        shards: Option<usize>,
     },
     /// Sweep cache sizes for a set of policies.
     Sweep {
@@ -434,7 +445,7 @@ USAGE:
           [--trace-events FILE] [--metrics FILE] [--metrics-format prom|json]
           [--trace-spans FILE] [--metrics-every N] [--flight-recorder K]
           [--faults SPEC] [--retry N] [--fault-seed N] [--degrade stale|fail]
-          [--compiled]
+          [--compiled] [--streaming] [--chunk-size N] [--shards N]
   byc sweep <edr|dr1|trace.jsonl> [--granularity table|column] [--scale S] [--seed N]
           [--servers N] [--cost-multipliers A,B,...]
           [--topology flat|two-tier[:M]|three-tier[:M1,M2]] [--fault-link N]
@@ -517,7 +528,22 @@ COMPILED: --compiled replays through the compiled-trace fast path:
           catalog resolution and network pricing happen once up front,
           then the replay walks a flat slice arena (sweeps compile once
           and share it across every policy × fraction point). Reports
-          are bit-identical to the reference path; only speed changes.";
+          are bit-identical to the reference path; only speed changes.
+
+STREAMING: --streaming replays out-of-core: the trace streams through
+          the incremental chunk compiler instead of materializing, so a
+          100M-query file replays in constant memory (file traces are
+          read chunk-by-chunk; synthesized traces are chunk-replayed).
+          --chunk-size N sets the queries per chunk (default 4096).
+          --shards N splits the object-id space into N ranges, runs one
+          policy instance per range on its own worker thread, and merges
+          the per-shard reports deterministically — same bytes as the
+          unsharded replay of the same sharded policy. Sharded replays
+          keep the cost report and audit but not the whole-stream
+          telemetry (--trace-events/--metrics/--trace-spans/
+          --metrics-every/--flight-recorder); static planning needs the
+          in-memory demand profile, so streamed *file* replays reject
+          --policy static. Reports are bit-identical across chunk sizes.";
 
 /// Parse raw argument strings into a [`Command`].
 ///
@@ -553,6 +579,9 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             "trace-spans",
             "metrics-every",
             "flight-recorder",
+            "streaming",
+            "chunk-size",
+            "shards",
         ],
         "sweep" => &[
             "granularity",
@@ -590,8 +619,9 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                         .join(", ")
                 )));
             }
-            // `--compiled` is a pure switch; every other flag takes a value.
-            if name == "compiled" {
+            // `--compiled` and `--streaming` are pure switches; every
+            // other flag takes a value.
+            if name == "compiled" || name == "streaming" {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
             }
@@ -713,6 +743,15 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     .get("flight-recorder")
                     .map(|_| flag_u64(&flags, "flight-recorder", 0).map(|v| v as usize))
                     .transpose()?,
+                streaming: flags.contains_key("streaming"),
+                chunk_size: flags
+                    .get("chunk-size")
+                    .map(|_| flag_u64(&flags, "chunk-size", 0).map(|v| v as usize))
+                    .transpose()?,
+                shards: flags
+                    .get("shards")
+                    .map(|_| flag_u64(&flags, "shards", 0).map(|v| v as usize))
+                    .transpose()?,
             })
         }
         "sweep" => {
@@ -780,7 +819,7 @@ fn require_positive(value: Option<u64>, flag: &str) -> Result<()> {
 
 /// Per-job observer bundle for sweeps: each observability flag
 /// contributes one optional component, all riding the same replay.
-/// [`ReplaySession::sweep_with`] takes a single observer type per call,
+/// [`SweepOptions::observe`] takes a single observer type per sweep,
 /// so the bundle multiplexes the hooks.
 struct SweepObserver {
     telemetry: Option<TelemetryObserver>,
@@ -877,22 +916,21 @@ pub fn run_command(command: Command) -> Result<String> {
             scale,
             queries,
         } => {
-            let release = parse_release(&release)?;
-            let catalog = sdss::build(release, scale, 1);
-            let mut config = match release {
-                SdssRelease::Edr => WorkloadConfig::edr(seed),
-                SdssRelease::Dr1 => WorkloadConfig::dr1(seed),
-            };
+            // The spec's write path streams query-by-query through the
+            // trace writer, so huge --queries values never materialize.
+            let mut spec = TraceSpec::new(parse_release(&release)?)
+                .seed(seed)
+                .scale(scale)
+                .out(&out);
             if queries > 0 {
-                config.query_count = queries;
+                spec = spec.queries(queries);
             }
-            let trace = generate(&catalog, &config)?;
-            trace_io::write_trace(&trace, &out)?;
+            let summary = spec.write()?;
             Ok(format!(
                 "wrote {} ({} queries, sequence cost {})",
                 out.display(),
-                trace.len(),
-                trace.sequence_cost()
+                summary.queries,
+                summary.sequence_cost
             ))
         }
         Command::Run {
@@ -917,6 +955,9 @@ pub fn run_command(command: Command) -> Result<String> {
             trace_spans,
             metrics_every,
             flight_recorder,
+            streaming,
+            chunk_size,
+            shards,
         } => {
             if cache_fraction <= 0.0 || cache_fraction.is_nan() {
                 return Err(Error::InvalidConfig(
@@ -925,6 +966,31 @@ pub fn run_command(command: Command) -> Result<String> {
             }
             require_positive(metrics_every, "metrics-every")?;
             require_positive(flight_recorder.map(|v| v as u64), "flight-recorder")?;
+            require_positive(chunk_size.map(|v| v as u64), "chunk-size")?;
+            require_positive(shards.map(|v| v as u64), "shards")?;
+            // --chunk-size only means something to a chunked replay.
+            let streaming = streaming || chunk_size.is_some() || shards.is_some();
+            if compiled && streaming {
+                return Err(Error::InvalidConfig(
+                    "--compiled walks a whole-trace arena; streamed replays compile \
+                     incrementally (drop --compiled or the streaming flags)"
+                        .into(),
+                ));
+            }
+            if shards.is_some()
+                && (trace_events.is_some()
+                    || metrics.is_some()
+                    || trace_spans.is_some()
+                    || metrics_every.is_some()
+                    || flight_recorder.is_some())
+            {
+                return Err(Error::InvalidConfig(
+                    "--shards merges per-shard replay state; whole-stream telemetry \
+                     (--trace-events/--metrics/--trace-spans/--metrics-every/\
+                     --flight-recorder) needs an unsharded replay"
+                        .into(),
+                ));
+            }
             let kind = parse_policy(&policy)?;
             let granularity = parse_granularity(&granularity)?;
             let degradation = parse_degradation(&degrade)?;
@@ -947,18 +1013,45 @@ pub fn run_command(command: Command) -> Result<String> {
                 t.begin("parse trace", "pipeline");
                 t
             });
-            let (catalog, trace) = load_trace(&trace, scale, seed, servers.max(1))?;
+            // Streamed *file* replays never materialize the trace: the
+            // reader feeds the chunk compiler directly. Synthesized
+            // releases are generated in memory either way, so streaming
+            // them only changes the replay kernel, not the setup.
+            let file_streamed = streaming && parse_release(&trace).is_err();
+            let mut reader_slot: Option<byc_workload::TraceReader> = None;
+            let (catalog, resident) = if file_streamed {
+                reader_slot = Some(byc_workload::TraceReader::open(std::path::Path::new(
+                    &trace,
+                ))?);
+                (sdss::build(SdssRelease::Edr, scale, servers.max(1)), None)
+            } else {
+                let (catalog, trace) = load_trace(&trace, scale, seed, servers.max(1))?;
+                (catalog, Some(trace))
+            };
             if let Some(t) = pipeline.as_mut() {
-                t.arg("queries", trace.len() as u64);
+                t.arg("queries", resident.as_ref().map_or(0, |tr| tr.len()) as u64);
                 t.end();
                 t.begin("build", "pipeline");
             }
             let objects = ObjectCatalog::uniform(&catalog, granularity);
-            let stats = WorkloadStats::compute(&trace, &objects);
+            // Per-object demands want the whole trace; a streamed file
+            // has none, which only Static (offline planning) consults.
+            let demands = match &resident {
+                Some(tr) => WorkloadStats::compute(tr, &objects).demands,
+                None => Vec::new(),
+            };
+            if resident.is_none() && kind == PolicyKind::Static {
+                return Err(Error::InvalidConfig(
+                    "static planning needs the trace's demand profile, which a streamed \
+                     file replay never materializes; drop --streaming or pick another \
+                     policy"
+                        .into(),
+                ));
+            }
             let capacity = objects.total_size().scale(cache_fraction);
             let network = build_network(&multipliers)?;
             if let Some(t) = pipeline.as_mut() {
-                t.arg("objects", stats.demands.len() as u64);
+                t.arg("objects", demands.len() as u64);
                 t.end();
             }
             // Telemetry rides the same replay as the accounting observers;
@@ -988,12 +1081,61 @@ pub fn run_command(command: Command) -> Result<String> {
             // Initialized only on the tiered path; declared out here so
             // the session's borrows of the policies outlive the replay.
             let mut tier_policies: Vec<Box<dyn byc_core::policy::CachePolicy + Send + Sync>>;
+            // Sharded instances — one per tier (tiered) or exactly one
+            // (flat) — share the tier policies' lifetime story.
+            let mut shard_instances: Vec<byc_core::shard::ShardedPolicy> = Vec::new();
             let (replay, server_costs, tier_windows) = {
                 let mut per_server = PerServerObserver::new();
                 let mut per_tier = PerTierObserver::new();
-                let mut session = ReplaySession::new(&trace, &objects).observe(&mut per_server);
-                match &topology {
-                    Some(topo) => {
+                let mut session = if let Some(reader) = reader_slot.as_mut() {
+                    ReplaySession::from_reader(reader, &objects)
+                } else if let Some(tr) = resident.as_ref() {
+                    ReplaySession::new(tr, &objects)
+                } else {
+                    // Unreachable: `resident` is Some whenever no reader is.
+                    return Err(Error::InvalidConfig("no trace input".into()));
+                };
+                if streaming {
+                    session = session.streaming();
+                }
+                if let Some(chunk) = chunk_size {
+                    session = session.chunk_size(chunk);
+                }
+                // Sharded replays reject whole-stream observers; the
+                // per-server/per-tier breakdowns ride unsharded runs only.
+                if shards.is_none() {
+                    session = session.observe(&mut per_server);
+                }
+                match (&topology, shards) {
+                    (Some(topo), Some(n)) => {
+                        // Every tier sharded under the same object-range
+                        // plan, as the sharded tiered replay requires.
+                        let plan = byc_core::shard::ShardPlan::new(n, objects.len());
+                        for spec in topo.tiers() {
+                            shard_instances.push(build_sharded(
+                                kind,
+                                plan,
+                                objects
+                                    .total_size()
+                                    .scale(cache_fraction * spec.capacity_scale),
+                                &demands,
+                                seed,
+                            )?);
+                        }
+                        session = session.topology(topo);
+                        for s in shard_instances.iter_mut() {
+                            session = session.shards(s);
+                        }
+                    }
+                    (None, Some(n)) => {
+                        let plan = byc_core::shard::ShardPlan::new(n, objects.len());
+                        shard_instances.push(build_sharded(kind, plan, capacity, &demands, seed)?);
+                        for s in shard_instances.iter_mut() {
+                            session = session.shards(s);
+                        }
+                        session = session.network(network.as_ref());
+                    }
+                    (Some(topo), None) => {
                         // One independent policy instance per tier; each
                         // tier's cache scales the site fraction by the
                         // tier's capacity factor.
@@ -1006,7 +1148,7 @@ pub fn run_command(command: Command) -> Result<String> {
                                     objects
                                         .total_size()
                                         .scale(cache_fraction * spec.capacity_scale),
-                                    &stats.demands,
+                                    &demands,
                                     seed,
                                 )
                             })
@@ -1016,9 +1158,8 @@ pub fn run_command(command: Command) -> Result<String> {
                             session = session.tier_policy(p.as_mut());
                         }
                     }
-                    None => {
-                        let p =
-                            flat_policy.insert(build_policy(kind, capacity, &stats.demands, seed));
+                    (None, None) => {
+                        let p = flat_policy.insert(build_policy(kind, capacity, &demands, seed));
                         session = session.policy(p.as_mut()).network(network.as_ref());
                     }
                 }
@@ -1077,6 +1218,20 @@ pub fn run_command(command: Command) -> Result<String> {
                 report.reduction_factor(),
                 report.byte_hit_rate() * 100.0
             );
+            if let Some(n) = shards {
+                let _ = writeln!(
+                    out,
+                    "sharded replay: {n} object-range shard(s), reports merged in shard order"
+                );
+            } else if streaming {
+                let _ = writeln!(
+                    out,
+                    "streamed replay: chunked{}, constant-memory",
+                    chunk_size
+                        .map(|c| format!(" ({c} queries/chunk)"))
+                        .unwrap_or_default()
+                );
+            }
             if let Some(model) = fault_model.as_deref() {
                 let _ = writeln!(
                     out,
@@ -1096,7 +1251,9 @@ pub fn run_command(command: Command) -> Result<String> {
             for w in &warnings {
                 let _ = writeln!(out, "warning: {w}");
             }
-            if let Some(topo) = &topology {
+            // Sharded replays carry no per-tier observer; skip the
+            // breakdown rather than print an all-zero hierarchy.
+            if let (Some(topo), true) = (&topology, shards.is_none()) {
                 // Tiers the walk never reached still get a (zero) row, so
                 // the table always shows the whole hierarchy.
                 let mut windows = vec![QueryWindow::default(); topo.depth()];
@@ -1298,32 +1455,30 @@ pub fn run_command(command: Command) -> Result<String> {
                         .unwrap_or(0);
                     (p * fractions.len() + f) as u32 + 1
                 };
-                let results = session().sweep_with(
-                    &policies,
-                    &fractions,
-                    &stats.demands,
-                    seed,
-                    // One label per sweep point, so distinct (policy,
-                    // fraction) cells never merge in any export.
-                    |kind, fraction| {
-                        let label = format!("{}@{:.2}{fault_suffix}", kind.label(), fraction);
-                        SweepObserver {
-                            telemetry: metrics.is_some().then(|| TelemetryObserver::new(&label)),
-                            spans: trace_spans
-                                .is_some()
-                                .then(|| SpanObserver::new(&label).with_tid(lane(kind, fraction))),
-                            windows: metrics_every
-                                .map(|every| WindowedRegistry::new(&label, every as usize)),
-                            recorder: flight_recorder.map(|depth| {
-                                FlightRecorder::new(depth).with_context(context.clone())
-                            }),
-                        }
-                    },
+                // One label per sweep point, so distinct (policy,
+                // fraction) cells never merge in any export.
+                let make = |kind: PolicyKind, fraction: f64| {
+                    let label = format!("{}@{:.2}{fault_suffix}", kind.label(), fraction);
+                    SweepObserver {
+                        telemetry: metrics.is_some().then(|| TelemetryObserver::new(&label)),
+                        spans: trace_spans
+                            .is_some()
+                            .then(|| SpanObserver::new(&label).with_tid(lane(kind, fraction))),
+                        windows: metrics_every
+                            .map(|every| WindowedRegistry::new(&label, every as usize)),
+                        recorder: flight_recorder
+                            .map(|depth| FlightRecorder::new(depth).with_context(context.clone())),
+                    }
+                };
+                let mut observers = Vec::new();
+                let results = session().sweep(
+                    SweepOptions::new(&policies, &fractions, &stats.demands, seed)
+                        .observe(&make, &mut observers),
                 )?;
                 let mut registry = MetricsRegistry::new();
                 let mut tracers: Vec<(SpanTracer, String)> = Vec::new();
                 let mut points = Vec::with_capacity(results.len());
-                for (point, observer) in results {
+                for (point, observer) in results.into_iter().zip(observers) {
                     let label = format!("{}@{:.2}", point.policy, point.cache_fraction);
                     for w in &point.warnings {
                         let _ = writeln!(extra, "warning: {label}: {w}");
@@ -1372,7 +1527,12 @@ pub fn run_command(command: Command) -> Result<String> {
                 }
                 points
             } else {
-                session().sweep(&policies, &fractions, &stats.demands, seed)?
+                session().sweep(SweepOptions::new(
+                    &policies,
+                    &fractions,
+                    &stats.demands,
+                    seed,
+                ))?
             };
             let topo_note = topology
                 .as_ref()
@@ -1538,6 +1698,9 @@ mod tests {
                 trace_spans,
                 metrics_every,
                 flight_recorder,
+                streaming,
+                chunk_size,
+                shards,
             } => {
                 assert_eq!(trace, "edr");
                 assert_eq!(policy, "gds");
@@ -1560,6 +1723,9 @@ mod tests {
                 assert_eq!(trace_spans, None);
                 assert_eq!(metrics_every, None);
                 assert_eq!(flight_recorder, None);
+                assert!(!streaming);
+                assert_eq!(chunk_size, None);
+                assert_eq!(shards, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1726,6 +1892,9 @@ mod tests {
             trace_spans: None,
             metrics_every: None,
             flight_recorder: None,
+            streaming: false,
+            chunk_size: None,
+            shards: None,
         };
         assert!(run_command(cmd).is_err());
     }
@@ -1808,6 +1977,9 @@ mod tests {
             trace_spans: None,
             metrics_every: None,
             flight_recorder: None,
+            streaming: false,
+            chunk_size: None,
+            shards: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("different catalog scale"), "{err}");
@@ -1901,6 +2073,9 @@ mod tests {
             trace_spans: None,
             metrics_every: None,
             flight_recorder: None,
+            streaming: false,
+            chunk_size: None,
+            shards: None,
         })
         .unwrap();
         assert!(out.contains("wrote decision events to"), "{out}");
@@ -1954,6 +2129,9 @@ mod tests {
             trace_spans: None,
             metrics_every: None,
             flight_recorder: None,
+            streaming: false,
+            chunk_size: None,
+            shards: None,
         })
         .unwrap();
         assert!(out.contains("wrote metrics (prom) to"), "{out}");
@@ -2067,6 +2245,9 @@ mod tests {
             trace_spans: None,
             metrics_every: None,
             flight_recorder: None,
+            streaming: false,
+            chunk_size: None,
+            shards: None,
         })
         .unwrap();
         assert!(out.contains("faults (outage, degrade fail)"), "{out}");
@@ -2180,6 +2361,9 @@ mod tests {
                 trace_spans: None,
                 metrics_every: None,
                 flight_recorder: None,
+                streaming: false,
+                chunk_size: None,
+                shards: None,
             })
             .unwrap()
         };
@@ -2282,11 +2466,17 @@ mod tests {
                 trace_spans,
                 metrics_every,
                 flight_recorder,
+                streaming,
+                chunk_size,
+                shards,
                 ..
             } => {
                 assert_eq!(trace_spans, Some(PathBuf::from("spans.json")));
                 assert_eq!(metrics_every, Some(64));
                 assert_eq!(flight_recorder, Some(8));
+                assert!(!streaming);
+                assert_eq!(chunk_size, None);
+                assert_eq!(shards, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -2335,6 +2525,9 @@ mod tests {
                 trace_spans: Some(spans.clone()),
                 metrics_every: Some(64),
                 flight_recorder: None,
+                streaming: false,
+                chunk_size: None,
+                shards: None,
             })
             .unwrap()
         };
@@ -2390,6 +2583,9 @@ mod tests {
             trace_spans: None,
             metrics_every: None,
             flight_recorder: Some(4),
+            streaming: false,
+            chunk_size: None,
+            shards: None,
             compiled: false,
         })
         .unwrap();
@@ -2498,5 +2694,188 @@ mod tests {
         );
         std::fs::remove_file(&trace).ok();
         std::fs::remove_file(&metrics).ok();
+    }
+
+    /// A minimal flat `run` invocation over `trace` with every optional
+    /// knob off; tests mutate the fields they exercise.
+    fn base_run(trace: &str) -> Command {
+        Command::Run {
+            trace: trace.into(),
+            policy: "gds".into(),
+            granularity: "column".into(),
+            cache_fraction: 0.25,
+            scale: 0.001,
+            seed: 11,
+            servers: 1,
+            multipliers: None,
+            topology: None,
+            fault_link: None,
+            trace_events: None,
+            metrics: None,
+            metrics_format: MetricsFormat::Prometheus,
+            faults: None,
+            retry: 1,
+            fault_seed: None,
+            degrade: "stale".into(),
+            compiled: false,
+            trace_spans: None,
+            metrics_every: None,
+            flight_recorder: None,
+            streaming: false,
+            chunk_size: None,
+            shards: None,
+        }
+    }
+
+    #[test]
+    fn streaming_flags_parse() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "edr",
+            "--policy",
+            "gds",
+            "--streaming",
+            "--chunk-size",
+            "512",
+            "--shards",
+            "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                streaming,
+                chunk_size,
+                shards,
+                ..
+            } => {
+                assert!(streaming);
+                assert_eq!(chunk_size, Some(512));
+                assert_eq!(shards, Some(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // sweep has no streaming mode.
+        let err = parse_args(&args(&["sweep", "edr", "--streaming"])).unwrap_err();
+        assert!(err.to_string().contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn streamed_and_sharded_replays_match_the_resident_run() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("byc-cli-stream-{}.jsonl", std::process::id()));
+        run_command(Command::GenTrace {
+            release: "edr".into(),
+            out: path.clone(),
+            seed: 11,
+            scale: 0.001,
+            queries: 400,
+        })
+        .unwrap();
+        let trace = path.to_string_lossy().into_owned();
+        // The streamed/sharded note lines are the only expected delta.
+        let strip = |out: String| -> Vec<String> {
+            out.lines()
+                .filter(|l| !l.starts_with("sharded replay:") && !l.starts_with("streamed replay:"))
+                .map(String::from)
+                .collect()
+        };
+        let plain = strip(run_command(base_run(&trace)).unwrap());
+
+        let mut streamed_cmd = base_run(&trace);
+        if let Command::Run {
+            ref mut streaming,
+            ref mut chunk_size,
+            ..
+        } = streamed_cmd
+        {
+            *streaming = true;
+            *chunk_size = Some(7);
+        }
+        let streamed_out = run_command(streamed_cmd).unwrap();
+        assert!(streamed_out.contains("streamed replay:"), "{streamed_out}");
+        assert_eq!(plain, strip(streamed_out), "streamed != resident");
+
+        // One shard = the whole object space: same capacity, same seed,
+        // same policy instance — the report must not move.
+        let mut sharded_cmd = base_run(&trace);
+        if let Command::Run { ref mut shards, .. } = sharded_cmd {
+            *shards = Some(1);
+        }
+        let sharded_out = run_command(sharded_cmd).unwrap();
+        assert!(sharded_out.contains("sharded replay:"), "{sharded_out}");
+        assert_eq!(plain, strip(sharded_out), "1-sharded != resident");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_tiered_run_smoke() {
+        let mut cmd = base_run("edr");
+        if let Command::Run {
+            ref mut topology,
+            ref mut shards,
+            ..
+        } = cmd
+        {
+            *topology = Some("two-tier".into());
+            *shards = Some(2);
+        }
+        let out = run_command(cmd).unwrap();
+        assert!(out.contains("sharded replay: 2"), "{out}");
+        // Sharded runs carry no per-tier observer; no misleading table.
+        assert!(!out.contains("per-tier breakdown"), "{out}");
+    }
+
+    #[test]
+    fn streaming_flag_conflicts() {
+        let mut cmd = base_run("edr");
+        if let Command::Run {
+            ref mut streaming,
+            ref mut compiled,
+            ..
+        } = cmd
+        {
+            *streaming = true;
+            *compiled = true;
+        }
+        let err = run_command(cmd).unwrap_err();
+        assert!(err.to_string().contains("--compiled"), "{err}");
+
+        let mut cmd = base_run("edr");
+        if let Command::Run {
+            ref mut shards,
+            ref mut metrics,
+            ..
+        } = cmd
+        {
+            *shards = Some(2);
+            *metrics = Some(std::path::PathBuf::from("m.json"));
+        }
+        let err = run_command(cmd).unwrap_err();
+        assert!(err.to_string().contains("whole-stream"), "{err}");
+
+        // Streamed file replays never see the demand profile Static needs.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("byc-cli-static-{}.jsonl", std::process::id()));
+        run_command(Command::GenTrace {
+            release: "edr".into(),
+            out: path.clone(),
+            seed: 3,
+            scale: 0.001,
+            queries: 50,
+        })
+        .unwrap();
+        let mut cmd = base_run(&path.to_string_lossy());
+        if let Command::Run {
+            ref mut policy,
+            ref mut streaming,
+            ..
+        } = cmd
+        {
+            *policy = "static".into();
+            *streaming = true;
+        }
+        let err = run_command(cmd).unwrap_err();
+        assert!(err.to_string().contains("demand profile"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -446,8 +446,8 @@ pub(crate) fn serve_slice_tiered(
     // model (matching the flat path, where hits are fault-free).
     let resolution = scratch.last().map(|(_, d)| d);
     let links: std::ops::Range<u32> = match resolution {
-        Some(Decision::Hit) => 0..top as u32,
-        _ => 0..depth as u32,
+        Some(Decision::Hit) => 0..u32::try_from(top).unwrap_or(u32::MAX),
+        _ => 0..u32::try_from(depth).unwrap_or(u32::MAX),
     };
     let transfer = match faults {
         Some(plan) if !links.is_empty() => {
@@ -485,7 +485,7 @@ pub(crate) fn serve_slice_tiered(
             query: index,
             object,
             server,
-            tier: t as u32,
+            tier: u32::try_from(t).unwrap_or(u32::MAX),
             access: Some(access),
             delivered: Bytes::ZERO,
             bypass_served: Bytes::ZERO,

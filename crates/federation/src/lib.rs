@@ -64,6 +64,7 @@ pub mod policies;
 pub mod semantic;
 pub mod session;
 pub mod simulator;
+pub mod stream;
 pub mod sweep;
 
 pub use accounting::CostReport;
@@ -80,8 +81,9 @@ pub use faults::{
 };
 pub use mediator::Mediator;
 pub use network::{NetworkModel, PerServerMultipliers, TierSpec, Topology, Uniform};
-pub use policies::{build_policy, policy_roster, PolicyKind};
+pub use policies::{build_policy, build_sharded, policy_roster, PolicyKind};
 pub use semantic::{SemanticCache, SemanticReport};
 pub use session::ReplaySession;
 pub use simulator::{Replay, SeriesPoint};
-pub use sweep::SweepPoint;
+pub use stream::{ChunkCompiler, CompiledChunk};
+pub use sweep::{NoObserver, SweepOptions, SweepPoint};

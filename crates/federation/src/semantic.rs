@@ -118,7 +118,7 @@ impl SemanticCache {
         // Sort + dedup instead of a HashSet: the stored per-entry key
         // list (and anything derived from it) must replay identically
         // across runs, and hash iteration order is seed-dependent.
-        let mut keys: Vec<u64> = query.data_keys.iter().copied().collect();
+        let mut keys: Vec<u64> = query.data_keys.to_vec();
         keys.sort_unstable();
         keys.dedup();
         for &k in &keys {

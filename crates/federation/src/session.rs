@@ -20,15 +20,23 @@
 //!     .run()?                       // -> Replay
 //! ```
 //!
-//! The sweep terminals reuse the same configuration across a whole
-//! (policy × cache-fraction) grid:
+//! The sweep terminal reuses the same configuration across a whole
+//! (policy × cache-fraction) grid described by one
+//! [`SweepOptions`] value:
 //!
 //! ```text
 //! ReplaySession::new(&trace, &objects)
 //!     .network(&net)
 //!     .faults(&model)
-//!     .sweep(&policies, &fractions, &demands, seed)?   // -> Vec<SweepPoint>
+//!     .sweep(SweepOptions::new(&policies, &fractions, &demands, seed))?
 //! ```
+//!
+//! Streaming sessions replay out-of-core:
+//! `ReplaySession::from_reader(&mut reader, &objects)` (or `.streaming()`
+//! on an in-memory trace) pulls, compiles, and replays fixed-size chunks;
+//! `.shards(&mut sharded)` additionally fans the replay out across one
+//! worker thread per object-range shard with a bit-identical merged
+//! report (see DESIGN.md §17).
 //!
 //! Configuration errors (no policy before `run`, a policy before
 //! `sweep`) surface as [`byc_types::Error::InvalidConfig`] — the crate
@@ -45,19 +53,27 @@ use crate::faults::{DegradationPolicy, FaultModel, FaultPlan, RetryPolicy, NO_RE
 use crate::network::{NetworkModel, Topology};
 use crate::policies::{build_policy, PolicyKind};
 use crate::simulator::{debug_assert_audit, Replay};
-use crate::sweep::SweepPoint;
+use crate::stream::{self, ChunkCompiler, ChunkSource};
+use crate::sweep::{SweepOptions, SweepPoint};
 use byc_catalog::ObjectCatalog;
 use byc_core::audit::AuditReport;
 use byc_core::policy::CachePolicy;
+use byc_core::shard::ShardedPolicy;
 use byc_core::static_opt::ObjectDemand;
 use byc_types::{Error, Result};
-use byc_workload::Trace;
+use byc_workload::{Trace, TraceReader};
+
+/// Default queries per chunk on the streaming path: large enough to
+/// amortize channel traffic, small enough that a few in-flight chunks
+/// stay far below any trace worth streaming.
+const DEFAULT_CHUNK: usize = 4096;
 
 /// A configured replay over one trace and object view. See the module
-/// docs for the grammar; terminals are [`ReplaySession::run`],
-/// [`ReplaySession::sweep`], and [`ReplaySession::sweep_with`].
+/// docs for the grammar; terminals are [`ReplaySession::run`] and
+/// [`ReplaySession::sweep`].
 pub struct ReplaySession<'a> {
-    trace: &'a Trace,
+    trace: Option<&'a Trace>,
+    reader: Option<&'a mut TraceReader>,
     objects: &'a ObjectCatalog,
     network: &'a dyn NetworkModel,
     faults: Option<&'a dyn FaultModel>,
@@ -66,10 +82,14 @@ pub struct ReplaySession<'a> {
     audit: Option<bool>,
     sample_every: Option<usize>,
     compiled: bool,
+    streaming: bool,
+    chunk_size: Option<usize>,
     compiled_trace: Option<&'a CompiledTrace>,
     topology: Option<&'a Topology>,
     compiled_topology: Option<&'a CompiledTopology>,
     tier_policies: Vec<&'a mut (dyn CachePolicy + Send + Sync)>,
+    sharded: Vec<&'a mut ShardedPolicy>,
+    shard_observe: Option<&'a dyn Fn(usize) -> Box<dyn Observer + Send + 'a>>,
     policy: Option<&'a mut dyn CachePolicy>,
     observers: Vec<&'a mut dyn Observer>,
     flight_recorder: Option<usize>,
@@ -78,7 +98,11 @@ pub struct ReplaySession<'a> {
 impl std::fmt::Debug for ReplaySession<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplaySession")
-            .field("trace", &self.trace.name)
+            .field("trace", &self.trace.map(|t| t.name.as_str()))
+            .field("reader", &self.reader.as_ref().map(|r| r.name()))
+            .field("streaming", &self.streaming)
+            .field("chunk_size", &self.chunk_size)
+            .field("sharded", &self.sharded.len())
             .field("network", &self.network.name())
             .field("faults", &self.faults.map(FaultModel::name))
             .field("retry", &self.retry)
@@ -99,8 +123,28 @@ impl<'a> ReplaySession<'a> {
     /// uniform network, fault-free, with auditing following the build
     /// profile (on in debug, off in release) and no extra observers.
     pub fn new(trace: &'a Trace, objects: &'a ObjectCatalog) -> Self {
+        Self::build(Some(trace), None, objects)
+    }
+
+    /// A session streaming queries off `reader` instead of an in-memory
+    /// trace: chunks are pulled, compiled, and replayed as they arrive,
+    /// so memory stays constant in the trace length. Implies
+    /// [`Self::streaming`]; the sweep terminal (which replays the trace
+    /// once per grid point) is unavailable.
+    pub fn from_reader(reader: &'a mut TraceReader, objects: &'a ObjectCatalog) -> Self {
+        let mut session = Self::build(None, Some(reader), objects);
+        session.streaming = true;
+        session
+    }
+
+    fn build(
+        trace: Option<&'a Trace>,
+        reader: Option<&'a mut TraceReader>,
+        objects: &'a ObjectCatalog,
+    ) -> Self {
         ReplaySession {
             trace,
+            reader,
             objects,
             network: &crate::network::UNIFORM,
             faults: None,
@@ -109,14 +153,66 @@ impl<'a> ReplaySession<'a> {
             audit: None,
             sample_every: None,
             compiled: false,
+            streaming: false,
+            chunk_size: None,
             compiled_trace: None,
             topology: None,
             compiled_topology: None,
             tier_policies: Vec::new(),
+            sharded: Vec::new(),
+            shard_observe: None,
             policy: None,
             observers: Vec::new(),
             flight_recorder: None,
         }
+    }
+
+    /// Replay in chunks through the incremental [`ChunkCompiler`]
+    /// instead of materializing one monolithic compiled arena: the
+    /// out-of-core path. Cost reports are bit-identical to the
+    /// in-memory paths; reader-backed sessions stream unconditionally.
+    #[must_use]
+    pub fn streaming(mut self) -> Self {
+        self.streaming = true;
+        self
+    }
+
+    /// Queries per chunk on the streaming path (default 4096; clamped
+    /// to at least 1). Smaller chunks tighten the memory bound, larger
+    /// ones amortize per-chunk dispatch.
+    #[must_use]
+    pub fn chunk_size(mut self, queries: usize) -> Self {
+        self.chunk_size = Some(queries.max(1));
+        self
+    }
+
+    /// Replay through a [`ShardedPolicy`], one worker thread per shard
+    /// (repeatable; implies [`Self::streaming`]). Flat sessions take
+    /// exactly one; tiered sessions one per tier, bottom-up, all under
+    /// the same [`ShardPlan`](byc_core::ShardPlan). Per-shard windows
+    /// merge in fixed shard order, so the report is bit-identical to
+    /// driving the same sharded policy sequentially. Incompatible with
+    /// `.policy()`/`.tier_policy()` and with whole-stream observers
+    /// (`.observe()`, `.series()`, `.flight_recorder()`); per-shard
+    /// observers attach via [`Self::shard_observe`].
+    #[must_use]
+    pub fn shards(mut self, sharded: &'a mut ShardedPolicy) -> Self {
+        self.sharded.push(sharded);
+        self
+    }
+
+    /// Attach one observer per shard to a sharded replay: `make(shard)`
+    /// is called per shard (in shard order, on the calling thread); the
+    /// observer rides that shard's worker, sees its slice events, and
+    /// is finished against the shard's site-tier policy. Warnings from
+    /// *all* shards aggregate into [`Replay::warnings`] in shard order.
+    #[must_use]
+    pub fn shard_observe(
+        mut self,
+        make: &'a dyn Fn(usize) -> Box<dyn Observer + Send + 'a>,
+    ) -> Self {
+        self.shard_observe = Some(make);
+        self
     }
 
     /// Attach a fault flight recorder keeping the last `depth` events
@@ -289,6 +385,9 @@ impl<'a> ReplaySession<'a> {
     /// alongside a topology, or a tier-policy count that does not match
     /// the topology's depth).
     pub fn run(self) -> Result<Replay> {
+        if self.streaming || self.reader.is_some() || !self.sharded.is_empty() {
+            return self.run_streamed();
+        }
         if self.topology.is_some() {
             return self.run_tiered();
         }
@@ -301,12 +400,18 @@ impl<'a> ReplaySession<'a> {
         let audit_enabled = self.audit.unwrap_or(cfg!(debug_assertions));
         let engine = self.engine();
         let fault_context = self.fault_context();
+        let Some(resident) = self.trace else {
+            // Unreachable: reader-backed sessions dispatched to the
+            // streaming path above.
+            return Err(Error::InvalidConfig(
+                "in-memory replay needs a trace; reader-backed sessions stream".into(),
+            ));
+        };
         // Compile here (before destructuring) when asked to and no
         // pre-compiled trace was injected by a sweep.
         let compiled_owned = (self.compiled && self.compiled_trace.is_none())
-            .then(|| CompiledTrace::compile(self.trace, self.objects, self.network));
+            .then(|| CompiledTrace::compile(resident, self.objects, self.network));
         let ReplaySession {
-            trace,
             objects,
             sample_every,
             compiled_trace,
@@ -315,6 +420,7 @@ impl<'a> ReplaySession<'a> {
             flight_recorder,
             ..
         } = self;
+        let trace = resident;
         let compiled = compiled_trace.or(compiled_owned.as_ref());
         let Some(policy) = policy else {
             return Err(Error::InvalidConfig(
@@ -400,19 +506,23 @@ impl<'a> ReplaySession<'a> {
             retry: self.retry,
             degradation: self.degradation,
         });
+        let Some(resident) = self.trace else {
+            // Unreachable: reader-backed sessions dispatched to the
+            // streaming path before run_tiered.
+            return Err(Error::InvalidConfig(
+                "in-memory replay needs a trace; reader-backed sessions stream".into(),
+            ));
+        };
         let compiled_owned = match (
             self.compiled && self.compiled_topology.is_none(),
             self.topology,
         ) {
-            (true, Some(topology)) => Some(CompiledTopology::compile(
-                self.trace,
-                self.objects,
-                topology,
-            )),
+            (true, Some(topology)) => {
+                Some(CompiledTopology::compile(resident, self.objects, topology))
+            }
             _ => None,
         };
         let ReplaySession {
-            trace,
             objects,
             sample_every,
             topology,
@@ -423,6 +533,7 @@ impl<'a> ReplaySession<'a> {
             flight_recorder,
             ..
         } = self;
+        let trace = resident;
         let Some(topology) = topology else {
             // Unreachable: run() only dispatches here with a topology set.
             return Err(Error::InvalidConfig("run_tiered without a topology".into()));
@@ -480,7 +591,7 @@ impl<'a> ReplaySession<'a> {
         let mut series = sample_every.map(SeriesObserver::new);
         let mut audits: Vec<AuditObserver> = if audit_enabled {
             (0..tiers.len())
-                .map(|t| AuditObserver::for_tier(t as u32))
+                .map(|t| AuditObserver::for_tier(u32::try_from(t).unwrap_or(u32::MAX)))
                 .collect()
         } else {
             Vec::new()
@@ -553,85 +664,358 @@ impl<'a> ReplaySession<'a> {
         })
     }
 
-    /// Replay every (policy, cache-fraction) pair of the grid in
-    /// parallel under this session's network/fault/audit configuration.
-    /// Results are ordered by policy then fraction.
+    /// The streaming terminal behind [`Self::run`]: chunked, out-of-core
+    /// replay through the incremental [`ChunkCompiler`], optionally
+    /// sharded across one worker thread per shard. Reports are
+    /// bit-identical to the corresponding in-memory replay.
+    fn run_streamed(self) -> Result<Replay> {
+        let audit_enabled = self.audit.unwrap_or(cfg!(debug_assertions));
+        let fault_context = self.fault_context();
+        let chunk_size = self.chunk_size.unwrap_or(DEFAULT_CHUNK);
+        let fault_plan = self.faults.map(|model| FaultPlan {
+            model,
+            retry: self.retry,
+            degradation: self.degradation,
+        });
+        let ReplaySession {
+            trace,
+            reader,
+            objects,
+            network,
+            sample_every,
+            topology,
+            compiled_trace,
+            compiled_topology,
+            mut tier_policies,
+            mut sharded,
+            shard_observe,
+            policy,
+            mut observers,
+            flight_recorder,
+            ..
+        } = self;
+        if compiled_trace.is_some() || compiled_topology.is_some() {
+            // Unreachable: the pre-compiled seams are sweep-internal and
+            // sweeps reject streaming sessions.
+            return Err(Error::InvalidConfig(
+                "streaming replay compiles incrementally; pre-compiled arenas are in-memory only"
+                    .into(),
+            ));
+        }
+        let (mut source, trace_name) = match (reader, trace) {
+            (Some(reader), _) => {
+                let name = reader.name().to_string();
+                (ChunkSource::Reader(reader), name)
+            }
+            (None, Some(trace)) => (ChunkSource::Memory { trace, at: 0 }, trace.name.clone()),
+            (None, None) => {
+                // Unreachable: every constructor sets a trace or a reader.
+                return Err(Error::InvalidConfig(
+                    "streaming replay needs a trace or a reader".into(),
+                ));
+            }
+        };
+
+        // Sharded terminal: one worker per shard, per-shard observers
+        // only, merged deterministically in fixed shard order.
+        if !sharded.is_empty() {
+            if policy.is_some() || !tier_policies.is_empty() {
+                return Err(Error::InvalidConfig(
+                    "sharded replay drives the ShardedPolicy instances passed via .shards(...); \
+                     don't mix in .policy(...) or .tier_policy(...)"
+                        .into(),
+                ));
+            }
+            if !observers.is_empty() || sample_every.is_some() || flight_recorder.is_some() {
+                return Err(Error::InvalidConfig(
+                    "sharded replay takes per-shard observers via .shard_observe(...); \
+                     whole-stream observers (.observe/.series/.flight_recorder) don't apply"
+                        .into(),
+                ));
+            }
+            let outcome = match topology {
+                Some(topo) => {
+                    if sharded.len() != topo.depth() {
+                        return Err(Error::InvalidConfig(format!(
+                            "topology {} has {} tiers but {} sharded policies were configured",
+                            topo.name(),
+                            topo.depth(),
+                            sharded.len()
+                        )));
+                    }
+                    let plan = sharded.first().map(|s| s.plan());
+                    if sharded.iter().any(|s| Some(s.plan()) != plan) {
+                        return Err(Error::InvalidConfig(
+                            "sharded tiered replay needs every tier sharded under the same \
+                             ShardPlan"
+                                .into(),
+                        ));
+                    }
+                    let mut compiler = ChunkCompiler::tiered(objects, topo);
+                    stream::replay_sharded_tiered(
+                        &mut source,
+                        &mut compiler,
+                        chunk_size,
+                        &mut sharded,
+                        topo,
+                        &trace_name,
+                        fault_plan,
+                        audit_enabled,
+                        shard_observe,
+                    )?
+                }
+                None => {
+                    let [single] = sharded.as_mut_slice() else {
+                        return Err(Error::InvalidConfig(format!(
+                            "flat sharded replay takes exactly one ShardedPolicy, got {} \
+                             (tiered sessions pass one per tier with .topology(...))",
+                            sharded.len()
+                        )));
+                    };
+                    let mut compiler = ChunkCompiler::flat(objects, network);
+                    stream::replay_sharded(
+                        &mut source,
+                        &mut compiler,
+                        chunk_size,
+                        single,
+                        &trace_name,
+                        fault_plan,
+                        audit_enabled,
+                        shard_observe,
+                    )?
+                }
+            };
+            debug_assert!(outcome.report.conserves_delivery());
+            return Ok(Replay {
+                report: outcome.report,
+                series: Vec::new(),
+                audit: outcome.audit,
+                warnings: outcome.warnings,
+                postmortems: Vec::new(),
+            });
+        }
+
+        // Single-threaded streamed replay with the full observer
+        // protocol; the chunked kernels leave `finish` to this caller.
+        match topology {
+            None => {
+                if !tier_policies.is_empty() {
+                    return Err(Error::InvalidConfig(
+                        "tier policies need a topology; call .topology(...) before \
+                         .tier_policy(...)"
+                            .into(),
+                    ));
+                }
+                let Some(policy) = policy else {
+                    return Err(Error::InvalidConfig(
+                        "ReplaySession::run needs a policy; call .policy(...) first \
+                         (or .shards(...) for sharded replay)"
+                            .into(),
+                    ));
+                };
+                let mut cost =
+                    CostObserver::new(policy.name(), &trace_name, objects.granularity().label());
+                let mut series = sample_every.map(SeriesObserver::new);
+                let mut audit = audit_enabled.then(AuditObserver::new);
+                let mut recorder =
+                    flight_recorder.map(|k| FlightRecorder::new(k).with_context(fault_context));
+                let mut warnings = Vec::new();
+                {
+                    let mut all: Vec<&mut dyn Observer> = Vec::with_capacity(4 + observers.len());
+                    all.push(&mut cost);
+                    if let Some(series) = series.as_mut() {
+                        all.push(series);
+                    }
+                    if let Some(audit) = audit.as_mut() {
+                        all.push(audit);
+                    }
+                    if let Some(recorder) = recorder.as_mut() {
+                        all.push(recorder);
+                    }
+                    for obs in observers.iter_mut() {
+                        all.push(&mut **obs);
+                    }
+                    let mut compiler = ChunkCompiler::flat(objects, network);
+                    stream::replay_chunked(
+                        &mut source,
+                        &mut compiler,
+                        chunk_size,
+                        &mut *policy,
+                        fault_plan,
+                        &mut all,
+                    )?;
+                    let site: Option<&dyn CachePolicy> = Some(&*policy);
+                    for obs in all.iter_mut() {
+                        obs.finish(site);
+                        warnings.extend(obs.warnings());
+                    }
+                }
+                let report = cost.into_report();
+                debug_assert!(report.conserves_delivery());
+                Ok(Replay {
+                    report,
+                    series: series.map(SeriesObserver::into_series).unwrap_or_default(),
+                    audit: audit.map(AuditObserver::into_report),
+                    warnings,
+                    postmortems: recorder
+                        .map(FlightRecorder::into_postmortems)
+                        .unwrap_or_default(),
+                })
+            }
+            Some(topo) => {
+                if policy.is_some() {
+                    return Err(Error::InvalidConfig(
+                        "tiered sessions take one policy per tier via .tier_policy(...); \
+                         don't call .policy(...) alongside .topology(...)"
+                            .into(),
+                    ));
+                }
+                if tier_policies.len() != topo.depth() {
+                    return Err(Error::InvalidConfig(format!(
+                        "topology {} has {} tiers but {} tier policies were configured",
+                        topo.name(),
+                        topo.depth(),
+                        tier_policies.len()
+                    )));
+                }
+                let mut tiers: Vec<TierState<'_>> = topo
+                    .tiers()
+                    .iter()
+                    .zip(tier_policies.iter_mut())
+                    .map(|(spec, policy)| TierState {
+                        name: spec.name.as_str(),
+                        policy: &mut **policy,
+                    })
+                    .collect();
+                let label = tiers
+                    .first()
+                    .map(|t| t.policy.name().to_string())
+                    .unwrap_or_default();
+                let mut cost =
+                    CostObserver::new(&label, &trace_name, objects.granularity().label());
+                let mut series = sample_every.map(SeriesObserver::new);
+                let mut audits: Vec<AuditObserver> = if audit_enabled {
+                    (0..tiers.len())
+                        .map(|t| AuditObserver::for_tier(u32::try_from(t).unwrap_or(u32::MAX)))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let mut recorder =
+                    flight_recorder.map(|k| FlightRecorder::new(k).with_context(fault_context));
+                {
+                    let mut all: Vec<&mut dyn Observer> =
+                        Vec::with_capacity(3 + audits.len() + observers.len());
+                    all.push(&mut cost);
+                    if let Some(series) = series.as_mut() {
+                        all.push(series);
+                    }
+                    for audit in audits.iter_mut() {
+                        all.push(audit);
+                    }
+                    if let Some(recorder) = recorder.as_mut() {
+                        all.push(recorder);
+                    }
+                    for obs in observers.iter_mut() {
+                        all.push(&mut **obs);
+                    }
+                    let mut compiler = ChunkCompiler::tiered(objects, topo);
+                    stream::replay_chunked_tiered(
+                        &mut source,
+                        &mut compiler,
+                        chunk_size,
+                        &mut tiers,
+                        fault_plan.as_ref(),
+                        &mut all,
+                    )?;
+                }
+                // Same close-out as run_tiered: each tier's audit
+                // deep-checks its own tier's policy, everything else
+                // sees the site tier's.
+                for (audit, tier) in audits.iter_mut().zip(tiers.iter()) {
+                    audit.finish(Some(&*tier.policy));
+                }
+                let site: Option<&dyn CachePolicy> =
+                    tiers.first().map(|t| &*t.policy as &dyn CachePolicy);
+                cost.finish(site);
+                if let Some(series) = series.as_mut() {
+                    series.finish(site);
+                }
+                let mut warnings = Vec::new();
+                if let Some(recorder) = recorder.as_mut() {
+                    recorder.finish(site);
+                    warnings.extend(recorder.warnings());
+                }
+                for obs in observers.iter_mut() {
+                    obs.finish(site);
+                    warnings.extend(obs.warnings());
+                }
+                let report = cost.into_report();
+                debug_assert!(report.conserves_delivery());
+                Ok(Replay {
+                    report,
+                    series: series.map(SeriesObserver::into_series).unwrap_or_default(),
+                    audit: merge_audits(audits.into_iter().map(AuditObserver::into_report)),
+                    warnings,
+                    postmortems: recorder
+                        .map(FlightRecorder::into_postmortems)
+                        .unwrap_or_default(),
+                })
+            }
+        }
+    }
+
+    /// Replay every (policy, cache-fraction) pair of
+    /// [`SweepOptions`]' grid in parallel under this session's
+    /// network/fault/audit configuration. Results are ordered by policy
+    /// then fraction; per-job observers configured via
+    /// [`SweepOptions::observe`] land in their sink in the same order.
     ///
     /// # Errors
     ///
     /// [`Error::InvalidConfig`] when a policy or extra observers were
-    /// configured (sweeps build their own per job), or a fraction is not
-    /// positive.
-    pub fn sweep(
+    /// configured (sweeps build their own per job), when the session
+    /// streams or shards (sweeps replay one in-memory trace), or when a
+    /// fraction is not positive.
+    pub fn sweep<O: Observer + Send>(
         self,
-        policies: &[PolicyKind],
-        fractions: &[f64],
-        demands: &[ObjectDemand],
-        seed: u64,
+        options: SweepOptions<'_, O>,
     ) -> Result<Vec<SweepPoint>> {
-        /// Placeholder observer type for the no-observer instantiation;
-        /// never constructed, so compiled sweeps keep the allocation-free
-        /// fast path.
-        struct Discard;
-        impl Observer for Discard {}
-        Ok(self
-            .sweep_inner(
-                policies,
-                fractions,
-                demands,
-                seed,
-                None::<fn(PolicyKind, f64) -> Discard>,
-            )?
-            .into_iter()
-            .map(|(point, _)| point)
-            .collect())
-    }
-
-    /// [`Self::sweep`] with a per-job observer riding each replay — the
-    /// telemetry seam for sweeps. `make_observer` is called once per
-    /// (policy, fraction) job *before* its replay starts (on the
-    /// spawning thread); the observer runs on the job's worker thread
-    /// and comes back paired with the job's [`SweepPoint`] so callers
-    /// can merge per-job metric snapshots deterministically, in job
-    /// order.
-    ///
-    /// # Errors
-    ///
-    /// See [`Self::sweep`].
-    pub fn sweep_with<O, F>(
-        self,
-        policies: &[PolicyKind],
-        fractions: &[f64],
-        demands: &[ObjectDemand],
-        seed: u64,
-        make_observer: F,
-    ) -> Result<Vec<(SweepPoint, O)>>
-    where
-        O: Observer + Send,
-        F: Fn(PolicyKind, f64) -> O,
-    {
-        Ok(self
-            .sweep_inner(policies, fractions, demands, seed, Some(make_observer))?
-            .into_iter()
-            .filter_map(|(point, observer)| observer.map(|o| (point, o)))
-            .collect())
+        let SweepOptions {
+            policies,
+            fractions,
+            demands,
+            seed,
+            observe,
+        } = options;
+        let (make, sink) = match observe {
+            Some(crate::sweep::SweepObserve { make, sink }) => (Some(make), Some(sink)),
+            None => (None, None),
+        };
+        let results = self.sweep_inner(policies, fractions, demands, seed, make)?;
+        let mut points = Vec::with_capacity(results.len());
+        let mut observers = Vec::new();
+        for (point, observer) in results {
+            points.push(point);
+            observers.extend(observer);
+        }
+        if let Some(sink) = sink {
+            sink.extend(observers);
+        }
+        Ok(points)
     }
 
     /// The shared sweep implementation. With `make_observer: None` the
     /// jobs carry no observer, so a [`Self::compiled`] sweep runs every
     /// replay on the allocation-free fast path.
-    fn sweep_inner<O, F>(
+    fn sweep_inner<O: Observer + Send>(
         self,
         policies: &[PolicyKind],
         fractions: &[f64],
         demands: &[ObjectDemand],
         seed: u64,
-        make_observer: Option<F>,
-    ) -> Result<Vec<(SweepPoint, Option<O>)>>
-    where
-        O: Observer + Send,
-        F: Fn(PolicyKind, f64) -> O,
-    {
+        make_observer: Option<&dyn Fn(PolicyKind, f64) -> O>,
+    ) -> Result<Vec<(SweepPoint, Option<O>)>> {
         if self.policy.is_some() {
             return Err(Error::InvalidConfig(
                 "sweep terminals build one policy per (kind, fraction) job; \
@@ -641,8 +1025,8 @@ impl<'a> ReplaySession<'a> {
         }
         if !self.observers.is_empty() {
             return Err(Error::InvalidConfig(
-                "sweep observers come from make_observer; \
-                 don't call .observe(...) before .sweep_with(...)"
+                "sweep observers come from SweepOptions::observe; \
+                 don't call .observe(...) before .sweep(...)"
                     .into(),
             ));
         }
@@ -650,6 +1034,13 @@ impl<'a> ReplaySession<'a> {
             return Err(Error::InvalidConfig(
                 "sweep terminals build one policy per tier per job from the \
                  topology; don't call .tier_policy(...) before .sweep(...)"
+                    .into(),
+            ));
+        }
+        if self.reader.is_some() || self.streaming || !self.sharded.is_empty() {
+            return Err(Error::InvalidConfig(
+                "sweeps replay one in-memory trace across the whole grid; \
+                 streaming and sharded sessions cannot sweep"
                     .into(),
             ));
         }
@@ -673,11 +1064,17 @@ impl<'a> ReplaySession<'a> {
             topology,
             ..
         } = self;
+        let Some(trace) = trace else {
+            // Unreachable: reader-backed sessions were rejected above.
+            return Err(Error::InvalidConfig(
+                "sweeps need an in-memory trace".into(),
+            ));
+        };
         let db = objects.total_size();
         let mut jobs: Vec<(PolicyKind, f64, Option<O>)> = Vec::new();
         for &kind in policies {
             for &f in fractions {
-                let observer = make_observer.as_ref().map(|make| make(kind, f));
+                let observer = make_observer.map(|make| make(kind, f));
                 jobs.push((kind, f, observer));
             }
         }
@@ -781,7 +1178,7 @@ impl<'a> ReplaySession<'a> {
 /// Merge per-tier audit reports into one session-level report: counters
 /// and served-byte tallies sum, violation excerpts concatenate (the
 /// exact count lives in `violation_count`).
-fn merge_audits(reports: impl Iterator<Item = AuditReport>) -> Option<AuditReport> {
+pub(crate) fn merge_audits(reports: impl Iterator<Item = AuditReport>) -> Option<AuditReport> {
     reports.reduce(|mut acc, r| {
         acc.accesses += r.accesses;
         acc.hits += r.hits;
@@ -849,7 +1246,12 @@ mod tests {
         let mut p = NoCache;
         let err = ReplaySession::new(&trace, &objects)
             .policy(&mut p)
-            .sweep(&[PolicyKind::NoCache], &[0.5], &stats.demands, 1)
+            .sweep(SweepOptions::new(
+                &[PolicyKind::NoCache],
+                &[0.5],
+                &stats.demands,
+                1,
+            ))
             .unwrap_err();
         assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
     }
@@ -859,7 +1261,12 @@ mod tests {
         let (trace, objects) = setup(1, 100);
         let stats = WorkloadStats::compute(&trace, &objects);
         let err = ReplaySession::new(&trace, &objects)
-            .sweep(&[PolicyKind::NoCache], &[0.0], &stats.demands, 1)
+            .sweep(SweepOptions::new(
+                &[PolicyKind::NoCache],
+                &[0.0],
+                &stats.demands,
+                1,
+            ))
             .unwrap_err();
         assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
     }
@@ -1042,12 +1449,12 @@ mod tests {
         let points = ReplaySession::new(&trace, &objects)
             .faults(&model)
             .retry(RetryPolicy::new(2, 2))
-            .sweep(
+            .sweep(SweepOptions::new(
                 &[PolicyKind::RateProfile, PolicyKind::NoCache],
                 &[0.2, 0.5],
                 &stats.demands,
                 1,
-            )
+            ))
             .unwrap();
         assert_eq!(points.len(), 4);
         for p in &points {
@@ -1068,7 +1475,7 @@ mod tests {
                 session = session.compiled();
             }
             session
-                .sweep(&kinds, &fractions, &stats.demands, 3)
+                .sweep(SweepOptions::new(&kinds, &fractions, &stats.demands, 3))
                 .unwrap()
         };
         let reference = run(false);
@@ -1253,12 +1660,12 @@ mod tests {
                 session = session.compiled();
             }
             session
-                .sweep(
+                .sweep(SweepOptions::new(
                     &[PolicyKind::Gds, PolicyKind::NoCache],
                     &[0.2, 0.5],
                     &stats.demands,
                     3,
-                )
+                ))
                 .unwrap()
         };
         let reference = run(false);
@@ -1321,7 +1728,12 @@ mod tests {
         let err = ReplaySession::new(&trace, &objects)
             .topology(&topo)
             .tier_policy(&mut p)
-            .sweep(&[PolicyKind::NoCache], &[0.5], &stats.demands, 1)
+            .sweep(SweepOptions::new(
+                &[PolicyKind::NoCache],
+                &[0.5],
+                &stats.demands,
+                1,
+            ))
             .unwrap_err();
         assert!(matches!(err, Error::InvalidConfig(_)), "{err:?}");
     }

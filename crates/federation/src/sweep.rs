@@ -1,13 +1,114 @@
-//! Cache-size sweep results (Figs 9–10).
+//! Cache-size sweeps (Figs 9–10): the [`SweepOptions`] grid description
+//! and the [`SweepPoint`] result shape.
 //!
-//! The sweep entry points live on
+//! The sweep entry point lives on
 //! [`ReplaySession`](crate::session::ReplaySession) — see
-//! [`ReplaySession::sweep`](crate::session::ReplaySession::sweep) and
-//! [`ReplaySession::sweep_with`](crate::session::ReplaySession::sweep_with).
-//! This module keeps the [`SweepPoint`] result shape.
+//! [`ReplaySession::sweep`](crate::session::ReplaySession::sweep). It
+//! takes one [`SweepOptions`] value describing the whole
+//! (policy × cache-fraction) grid; per-job observers attach via
+//! [`SweepOptions::observe`] instead of a separate `sweep_with` entry
+//! point.
 
 use crate::accounting::CostReport;
+use crate::engine::Observer;
+use crate::policies::PolicyKind;
+use byc_core::static_opt::ObjectDemand;
 use byc_types::Bytes;
+
+/// The no-op observer the default [`SweepOptions`] instantiation
+/// carries. Never constructed, so observer-free [`Self::compiled`]
+/// sweeps keep the allocation-free fast path.
+///
+/// [`Self::compiled`]: crate::session::ReplaySession::compiled
+pub struct NoObserver;
+
+impl Observer for NoObserver {}
+
+/// Per-job observer wiring: a factory plus the sink the observers come
+/// back in (job order).
+pub(crate) struct SweepObserve<'s, O> {
+    /// Called once per (policy, fraction) job, on the sweeping thread,
+    /// before the job's replay starts.
+    pub(crate) make: &'s dyn Fn(PolicyKind, f64) -> O,
+    /// Receives each job's observer after its replay, in job order
+    /// (policy-major, fraction-minor — matching the returned points).
+    pub(crate) sink: &'s mut Vec<O>,
+}
+
+/// Everything a sweep replays: the (policy × cache-fraction) grid, the
+/// per-object demands (consulted by [`PolicyKind::Static`]), the policy
+/// seed, and optionally a per-job observer factory.
+///
+/// One `validate()`-free options struct replaces the old four-positional
+/// `sweep(policies, fractions, demands, seed)` /
+/// `sweep_with(..., make_observer)` pair: construct with
+/// [`SweepOptions::new`], chain [`SweepOptions::observe`] to ride an
+/// observer on every job.
+///
+/// ```text
+/// session.sweep(SweepOptions::new(&policies, &fractions, &demands, 7))?;
+///
+/// let mut lanes = Vec::new();
+/// session.sweep(
+///     SweepOptions::new(&policies, &fractions, &demands, 7)
+///         .observe(&make_lane, &mut lanes),
+/// )?;
+/// ```
+pub struct SweepOptions<'s, O: Observer + Send = NoObserver> {
+    pub(crate) policies: &'s [PolicyKind],
+    pub(crate) fractions: &'s [f64],
+    pub(crate) demands: &'s [ObjectDemand],
+    pub(crate) seed: u64,
+    pub(crate) observe: Option<SweepObserve<'s, O>>,
+}
+
+impl<'s> SweepOptions<'s, NoObserver> {
+    /// A sweep over every (policy, fraction) pair, no per-job observers.
+    pub fn new(
+        policies: &'s [PolicyKind],
+        fractions: &'s [f64],
+        demands: &'s [ObjectDemand],
+        seed: u64,
+    ) -> Self {
+        SweepOptions {
+            policies,
+            fractions,
+            demands,
+            seed,
+            observe: None,
+        }
+    }
+}
+
+impl Default for SweepOptions<'_, NoObserver> {
+    /// The empty grid: no policies, no fractions, no demands, seed 0.
+    fn default() -> Self {
+        SweepOptions::new(&[], &[], &[], 0)
+    }
+}
+
+impl<'s, O: Observer + Send> SweepOptions<'s, O> {
+    /// Ride one observer per (policy, fraction) job — the telemetry
+    /// seam for sweeps. `make` runs once per job on the sweeping thread
+    /// *before* the job's replay; the observer rides the job's worker
+    /// thread and lands in `sink` in job order (policy-major), so
+    /// callers can merge per-job metric snapshots deterministically
+    /// against the returned points.
+    #[must_use]
+    pub fn observe<P: Observer + Send>(
+        self,
+        make: &'s dyn Fn(PolicyKind, f64) -> P,
+        sink: &'s mut Vec<P>,
+    ) -> SweepOptions<'s, P> {
+        SweepOptions {
+            policies: self.policies,
+            fractions: self.fractions,
+            demands: self.demands,
+            seed: self.seed,
+            observe: Some(SweepObserve { make, sink }),
+        }
+    }
+}
 
 /// One (policy, cache size) result of a sweep.
 #[derive(Clone, Debug)]
@@ -48,7 +149,7 @@ mod tests {
     ) -> Vec<SweepPoint> {
         ReplaySession::new(trace, objects)
             .network(network)
-            .sweep(policies, fractions, demands, seed)
+            .sweep(SweepOptions::new(policies, fractions, demands, seed))
             .unwrap()
     }
 

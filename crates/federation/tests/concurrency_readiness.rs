@@ -14,6 +14,7 @@ use byc_core::inline::{
 };
 use byc_core::online::OnlineBY;
 use byc_core::rate_profile::RateProfile;
+use byc_core::shard::ShardedPolicy;
 use byc_core::spaceeff::SpaceEffBY;
 use byc_core::static_opt::{NoCache, StaticCache};
 use byc_core::CacheState;
@@ -29,6 +30,10 @@ fn shared_state_is_send_sync() {
     // Core replay state shared (read-only or partitioned) across workers.
     assert_send_sync::<CacheState>();
     assert_send_sync::<CompiledTrace>();
+    // The sharded replay path moves one per-shard policy slot into each
+    // worker thread and routes accesses by object-id range, so the
+    // container itself must cross the spawn boundary.
+    assert_send_sync::<ShardedPolicy>();
 }
 
 #[test]

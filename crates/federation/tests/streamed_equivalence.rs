@@ -1,0 +1,468 @@
+//! Property-based proof that streamed (out-of-core) and sharded
+//! (parallel) replays are bit-identical to their in-memory references.
+//!
+//! The streaming stack's whole value proposition rests on two claims:
+//!
+//! 1. **Chunking is invisible.** Replaying through the incremental
+//!    [`ChunkCompiler`] — any chunk size, in-memory source or disk
+//!    reader — produces the same [`CostReport`] as the monolithic
+//!    engine path, for every policy, network regime, and fault
+//!    configuration.
+//! 2. **Sharding is invisible.** Replaying a [`ShardedPolicy`] on one
+//!    worker thread per shard and merging the per-shard windows in
+//!    shard order produces the same report as driving the *same*
+//!    sharded policy sequentially through the reference engine. (An
+//!    *unsharded* policy is not the reference: splitting the capacity
+//!    changes eviction behavior, deliberately.)
+//!
+//! These tests pin both claims across the full 13-policy roster, flat
+//! and two-tier topologies, and fault-free / flaky replays.
+
+use byc_catalog::sdss::{self, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_core::shard::ShardPlan;
+use byc_federation::{
+    build_policy, build_sharded, CostEvent, CostReport, DegradationPolicy, FaultModel, FlakyLinks,
+    Observer, PerServerMultipliers, PolicyKind, ReplaySession, RetryPolicy, Topology,
+};
+use byc_workload::{generate, Trace, TraceReader, WorkloadConfig, WorkloadStats};
+use proptest::prelude::*;
+
+/// Every policy the roster can build, not just the headline lineup.
+const ALL_POLICIES: [PolicyKind; 13] = [
+    PolicyKind::RateProfile,
+    PolicyKind::OnlineBY,
+    PolicyKind::OnlineBYMarking,
+    PolicyKind::SpaceEffBY,
+    PolicyKind::Gds,
+    PolicyKind::Gdsp,
+    PolicyKind::Lru,
+    PolicyKind::Lfu,
+    PolicyKind::LruK,
+    PolicyKind::Lff,
+    PolicyKind::GdStar,
+    PolicyKind::Static,
+    PolicyKind::NoCache,
+];
+
+fn smoke(seed: u64, servers: u32, queries: usize) -> (Trace, ObjectCatalog, WorkloadStats) {
+    let catalog = sdss::build(SdssRelease::Edr, 1e-4, servers);
+    let trace = generate(&catalog, &WorkloadConfig::smoke(seed, queries)).unwrap();
+    let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+    let stats = WorkloadStats::compute(&trace, &objects);
+    (trace, objects, stats)
+}
+
+type Faults<'a> = Option<(&'a dyn FaultModel, RetryPolicy, DegradationPolicy)>;
+
+/// The reference: the uncompiled engine path over the in-memory trace.
+fn reference_flat(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    stats: &WorkloadStats,
+    kind: PolicyKind,
+    seed: u64,
+    network: Option<&PerServerMultipliers>,
+    faults: Faults<'_>,
+) -> CostReport {
+    let capacity = objects.total_size().scale(0.25);
+    let mut policy = build_policy(kind, capacity, &stats.demands, seed);
+    let mut session = ReplaySession::new(trace, objects)
+        .policy(policy.as_mut())
+        .unaudited();
+    if let Some(net) = network {
+        session = session.network(net);
+    }
+    if let Some((model, retry, degradation)) = faults {
+        session = session.faults(model).retry(retry).degrade(degradation);
+    }
+    session.run().unwrap().report
+}
+
+/// The streamed path: same policy construction, chunked replay.
+fn streamed_flat(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    stats: &WorkloadStats,
+    kind: PolicyKind,
+    seed: u64,
+    network: Option<&PerServerMultipliers>,
+    faults: Faults<'_>,
+    chunk: usize,
+) -> CostReport {
+    let capacity = objects.total_size().scale(0.25);
+    let mut policy = build_policy(kind, capacity, &stats.demands, seed);
+    let mut session = ReplaySession::new(trace, objects)
+        .policy(policy.as_mut())
+        .streaming()
+        .chunk_size(chunk)
+        .unaudited();
+    if let Some(net) = network {
+        session = session.network(net);
+    }
+    if let Some((model, retry, degradation)) = faults {
+        session = session.faults(model).retry(retry).degrade(degradation);
+    }
+    session.run().unwrap().report
+}
+
+/// Sequential reference for sharding: the same [`ShardedPolicy`] driven
+/// single-threaded through the reference engine — it routes each access
+/// to its owning shard, so decisions match the parallel run exactly.
+fn sharded_reference_flat(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    stats: &WorkloadStats,
+    kind: PolicyKind,
+    seed: u64,
+    shards: usize,
+    network: Option<&PerServerMultipliers>,
+    faults: Faults<'_>,
+) -> CostReport {
+    let capacity = objects.total_size().scale(0.25);
+    let plan = ShardPlan::new(shards, objects.len());
+    let mut sharded = build_sharded(kind, plan, capacity, &stats.demands, seed).unwrap();
+    let mut session = ReplaySession::new(trace, objects)
+        .policy(&mut sharded)
+        .unaudited();
+    if let Some(net) = network {
+        session = session.network(net);
+    }
+    if let Some((model, retry, degradation)) = faults {
+        session = session.faults(model).retry(retry).degrade(degradation);
+    }
+    session.run().unwrap().report
+}
+
+/// The parallel sharded path: one worker per shard, merged in shard
+/// order.
+fn sharded_parallel_flat(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    stats: &WorkloadStats,
+    kind: PolicyKind,
+    seed: u64,
+    shards: usize,
+    network: Option<&PerServerMultipliers>,
+    faults: Faults<'_>,
+    chunk: usize,
+) -> CostReport {
+    let capacity = objects.total_size().scale(0.25);
+    let plan = ShardPlan::new(shards, objects.len());
+    let mut sharded = build_sharded(kind, plan, capacity, &stats.demands, seed).unwrap();
+    let mut session = ReplaySession::new(trace, objects)
+        .shards(&mut sharded)
+        .chunk_size(chunk)
+        .unaudited();
+    if let Some(net) = network {
+        session = session.network(net);
+    }
+    if let Some((model, retry, degradation)) = faults {
+        session = session.faults(model).retry(retry).degrade(degradation);
+    }
+    session.run().unwrap().report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Claim 1, flat: chunked streaming is bit-identical to the
+    /// reference for every policy, with and without per-server pricing,
+    /// across chunk sizes bracketing the trace length.
+    #[test]
+    fn streamed_matches_reference_across_chunk_sizes(
+        seed in any::<u64>(),
+        servers in 1u32..4,
+        chunk in prop_oneof![Just(1usize), 2usize..64, Just(10_000usize)],
+    ) {
+        let (trace, objects, stats) = smoke(seed, servers, 120);
+        let network = PerServerMultipliers::new(
+            (0..servers).map(|s| 1.0 + s as f64).collect(),
+        ).unwrap();
+        for kind in ALL_POLICIES {
+            for net in [None, Some(&network)] {
+                let reference = reference_flat(&trace, &objects, &stats, kind, seed, net, None);
+                let streamed = streamed_flat(
+                    &trace, &objects, &stats, kind, seed, net, None, chunk,
+                );
+                prop_assert_eq!(
+                    &reference, &streamed,
+                    "{:?} diverged (chunk {}, network {})", kind, chunk, net.is_some()
+                );
+            }
+        }
+    }
+
+    /// Claim 2, flat: parallel sharded replay is bit-identical to the
+    /// same sharded policy driven sequentially, for every policy and
+    /// shard count, fault-free and under flaky links with retries.
+    #[test]
+    fn sharded_matches_sequential_sharded_reference(
+        seed in any::<u64>(),
+        shards in 1usize..5,
+        chunk in 1usize..48,
+        fault_seed in any::<u64>(),
+        faulty in any::<bool>(),
+    ) {
+        let (trace, objects, stats) = smoke(seed, 3, 120);
+        let network = PerServerMultipliers::new(vec![1.0, 2.5, 0.5]).unwrap();
+        let flaky = FlakyLinks::new(fault_seed, 0.15, 0.1, 4.0);
+        let faults: Faults<'_> = faulty.then_some((
+            &flaky as &dyn FaultModel,
+            RetryPolicy::new(2, 2),
+            DegradationPolicy::ServeStale,
+        ));
+        for kind in ALL_POLICIES {
+            let reference = sharded_reference_flat(
+                &trace, &objects, &stats, kind, seed, shards, Some(&network), faults,
+            );
+            let parallel = sharded_parallel_flat(
+                &trace, &objects, &stats, kind, seed, shards, Some(&network), faults, chunk,
+            );
+            prop_assert_eq!(
+                &reference, &parallel,
+                "{:?} diverged ({} shards, chunk {}, faults {})", kind, shards, chunk, faulty
+            );
+            prop_assert!(parallel.conserves_delivery(), "{kind:?} conservation");
+        }
+    }
+
+    /// Both claims on a two-tier topology: streamed tiered replay
+    /// matches the tiered reference, and parallel sharded tiers match
+    /// the same per-tier sharded policies driven sequentially.
+    #[test]
+    fn tiered_streaming_and_sharding_match_references(
+        seed in any::<u64>(),
+        shards in 1usize..4,
+        chunk in 1usize..48,
+    ) {
+        let (trace, objects, stats) = smoke(seed, 2, 100);
+        let topo = Topology::two_tier(
+            0.25,
+            Box::new(PerServerMultipliers::new(vec![1.0, 3.0]).unwrap()),
+        ).unwrap();
+        let capacities: Vec<_> = topo
+            .tiers()
+            .iter()
+            .map(|spec| objects.total_size().scale(0.25 * spec.capacity_scale))
+            .collect();
+        for kind in ALL_POLICIES {
+            let run_tiered = |streaming: bool| {
+                let mut tiers: Vec<_> = capacities
+                    .iter()
+                    .map(|&cap| build_policy(kind, cap, &stats.demands, seed))
+                    .collect();
+                let mut session = ReplaySession::new(&trace, &objects)
+                    .topology(&topo)
+                    .chunk_size(chunk)
+                    .unaudited();
+                if streaming {
+                    session = session.streaming();
+                }
+                for p in tiers.iter_mut() {
+                    session = session.tier_policy(p.as_mut());
+                }
+                session.run().unwrap().report
+            };
+            let reference = run_tiered(false);
+            let streamed = run_tiered(true);
+            prop_assert_eq!(
+                &reference, &streamed,
+                "{:?} tiered streaming diverged (chunk {})", kind, chunk
+            );
+
+            let plan = ShardPlan::new(shards, objects.len());
+            let build_tiers = || -> Vec<_> {
+                capacities
+                    .iter()
+                    .map(|&cap| build_sharded(kind, plan, cap, &stats.demands, seed).unwrap())
+                    .collect()
+            };
+            let mut seq_tiers = build_tiers();
+            let seq = {
+                let mut session = ReplaySession::new(&trace, &objects)
+                    .topology(&topo)
+                    .unaudited();
+                for p in seq_tiers.iter_mut() {
+                    session = session.tier_policy(p);
+                }
+                session.run().unwrap().report
+            };
+            let mut par_tiers = build_tiers();
+            let par = {
+                let mut session = ReplaySession::new(&trace, &objects)
+                    .topology(&topo)
+                    .chunk_size(chunk)
+                    .unaudited();
+                for s in par_tiers.iter_mut() {
+                    session = session.shards(s);
+                }
+                session.run().unwrap().report
+            };
+            prop_assert_eq!(
+                &seq, &par,
+                "{:?} tiered sharding diverged ({} shards, chunk {})", kind, shards, chunk
+            );
+        }
+    }
+}
+
+/// A disk-backed reader replays to the same bytes as the in-memory
+/// trace it round-trips — the out-of-core entry point is not a third
+/// semantics.
+#[test]
+fn reader_replay_matches_in_memory_replay() {
+    let (trace, objects, stats) = smoke(23, 2, 150);
+    let mut path = std::env::temp_dir();
+    path.push(format!("byc-streamed-eq-{}.jsonl", std::process::id()));
+    byc_workload::io::write_trace(&trace, &path).unwrap();
+
+    let network = PerServerMultipliers::new(vec![1.0, 2.0]).unwrap();
+    for kind in [
+        PolicyKind::RateProfile,
+        PolicyKind::Gds,
+        PolicyKind::SpaceEffBY,
+    ] {
+        let reference = reference_flat(&trace, &objects, &stats, kind, 23, Some(&network), None);
+
+        let capacity = objects.total_size().scale(0.25);
+        let mut policy = build_policy(kind, capacity, &stats.demands, 23);
+        let mut reader = TraceReader::open(&path).unwrap();
+        let streamed = ReplaySession::from_reader(&mut reader, &objects)
+            .policy(policy.as_mut())
+            .network(&network)
+            .chunk_size(13)
+            .unaudited()
+            .run()
+            .unwrap()
+            .report;
+        assert_eq!(reference, streamed, "{kind:?} diverged through the reader");
+
+        // Sharded straight off the reader, too.
+        let plan = ShardPlan::new(3, objects.len());
+        let mut sharded = build_sharded(kind, plan, capacity, &stats.demands, 23).unwrap();
+        let mut reader = TraceReader::open(&path).unwrap();
+        let parallel = ReplaySession::from_reader(&mut reader, &objects)
+            .shards(&mut sharded)
+            .network(&network)
+            .chunk_size(13)
+            .unaudited()
+            .run()
+            .unwrap()
+            .report;
+        let expected =
+            sharded_reference_flat(&trace, &objects, &stats, kind, 23, 3, Some(&network), None);
+        assert_eq!(
+            expected, parallel,
+            "{kind:?} sharded reader replay diverged"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Chunk-size edge cases: one query per chunk, one chunk swallowing the
+/// whole trace, and the empty trace.
+#[test]
+fn chunk_size_edges_replay_identically() {
+    let (trace, objects, stats) = smoke(31, 1, 60);
+    let reference = reference_flat(
+        &trace,
+        &objects,
+        &stats,
+        PolicyKind::RateProfile,
+        31,
+        None,
+        None,
+    );
+    for chunk in [1, trace.len() + 1_000] {
+        let streamed = streamed_flat(
+            &trace,
+            &objects,
+            &stats,
+            PolicyKind::RateProfile,
+            31,
+            None,
+            None,
+            chunk,
+        );
+        assert_eq!(reference, streamed, "chunk {chunk} diverged");
+    }
+
+    let empty = Trace {
+        name: "empty".into(),
+        seed: 0,
+        queries: Vec::new(),
+    };
+    let empty_stats = WorkloadStats::compute(&empty, &objects);
+    let report = streamed_flat(
+        &empty,
+        &objects,
+        &empty_stats,
+        PolicyKind::Gds,
+        0,
+        None,
+        None,
+        8,
+    );
+    assert_eq!(report.queries, 0);
+    assert_eq!(report.total_cost(), byc_types::Bytes::ZERO);
+    assert!(report.conserves_delivery());
+}
+
+/// An observer that only counts accesses and reports one warning, to
+/// prove per-shard warnings all surface.
+struct CountingObserver {
+    shard: usize,
+    accesses: u64,
+}
+
+impl Observer for CountingObserver {
+    fn on_access(&mut self, _event: &CostEvent<'_>) {
+        self.accesses += 1;
+    }
+
+    fn warnings(&mut self) -> Vec<String> {
+        vec![format!(
+            "shard {} saw {} accesses",
+            self.shard, self.accesses
+        )]
+    }
+}
+
+/// Every shard's observer warnings aggregate into the replay — not just
+/// the first shard's — in shard order.
+#[test]
+fn per_shard_warnings_aggregate_across_all_shards() {
+    let (trace, objects, stats) = smoke(41, 1, 120);
+    let shards = 3;
+    let plan = ShardPlan::new(shards, objects.len());
+    let capacity = objects.total_size().scale(0.25);
+    let mut sharded = build_sharded(PolicyKind::Gds, plan, capacity, &stats.demands, 41).unwrap();
+    let make = |shard: usize| -> Box<dyn Observer + Send + '_> {
+        Box::new(CountingObserver { shard, accesses: 0 })
+    };
+    let replay = ReplaySession::new(&trace, &objects)
+        .shards(&mut sharded)
+        .shard_observe(&make)
+        .unaudited()
+        .run()
+        .unwrap();
+    assert_eq!(replay.warnings.len(), shards, "{:?}", replay.warnings);
+    for (shard, warning) in replay.warnings.iter().enumerate() {
+        assert!(
+            warning.starts_with(&format!("shard {shard} saw ")),
+            "warnings out of shard order: {:?}",
+            replay.warnings
+        );
+    }
+    // The shards together saw every slice exactly once.
+    let total: u64 = replay
+        .warnings
+        .iter()
+        .filter_map(|w| w.rsplit(' ').nth(1).and_then(|n| n.parse::<u64>().ok()))
+        .sum();
+    assert_eq!(
+        total,
+        replay.report.hits + replay.report.bypasses + replay.report.loads
+    );
+}

@@ -4,12 +4,12 @@
 //!   back, sums to exactly the replay's `D_S`/`D_L`/`D_C` — the log is a
 //!   complete witness of the accounting;
 //! * sampling thins the log without touching registry counters;
-//! * the registry built by `ReplaySession::sweep_with` matches the
+//! * the registry built by a `SweepOptions::observe` sweep matches the
 //!   sweep's own reports point for point.
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{PerServerMultipliers, PolicyKind, ReplaySession};
+use byc_federation::{PerServerMultipliers, PolicyKind, ReplaySession, SweepOptions};
 use byc_telemetry::{
     read_events, EventLogWriter, MetricsRegistry, TelemetryConfig, TelemetryObserver,
 };
@@ -133,22 +133,23 @@ fn sweep_registry_matches_sweep_reports() {
     let kinds = [PolicyKind::Gds, PolicyKind::SpaceEffBY];
     let fractions = [0.2, 0.5];
 
-    let results = ReplaySession::new(&trace, &objects)
+    // Label per (policy, fraction) so one registry can hold the whole
+    // grid without merging distinct sweep points.
+    let make = |kind: PolicyKind, fraction: f64| {
+        TelemetryObserver::new(&format!("{}@{:.2}", kind.label(), fraction))
+    };
+    let mut observers = Vec::new();
+    let points = ReplaySession::new(&trace, &objects)
         .network(&net)
-        .sweep_with(
-            &kinds,
-            &fractions,
-            &stats.demands,
-            7,
-            // Label per (policy, fraction) so one registry can hold the
-            // whole grid without merging distinct sweep points.
-            |kind, fraction| TelemetryObserver::new(&format!("{}@{:.2}", kind.label(), fraction)),
+        .sweep(
+            SweepOptions::new(&kinds, &fractions, &stats.demands, 7).observe(&make, &mut observers),
         )
         .expect("valid sweep grid");
-    assert_eq!(results.len(), kinds.len() * fractions.len());
+    assert_eq!(points.len(), kinds.len() * fractions.len());
+    assert_eq!(observers.len(), points.len());
 
     let mut registry = MetricsRegistry::new();
-    for (point, observer) in results {
+    for (point, observer) in points.into_iter().zip(observers) {
         let (metrics, io) = observer.into_parts();
         io.unwrap();
         let totals = metrics.totals();

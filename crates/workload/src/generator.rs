@@ -105,13 +105,22 @@ fn zipf_subset(rng: &mut SplitMix64, zipf: &Zipf, k: usize) -> Vec<usize> {
 }
 
 /// Generate a trace against `catalog` (must contain the SDSS-like schema
-/// from [`byc_catalog::sdss`]).
+/// from [`byc_catalog::sdss`]), delivering each query to `sink` as it is
+/// produced. Nothing is buffered here, so a sink that writes straight to
+/// disk (see [`crate::io::TraceWriter`]) generates arbitrarily long
+/// traces in constant memory. The query stream is bit-identical to
+/// [`generate`] for the same config: the RNG call sequence is shared.
 ///
 /// # Errors
 ///
 /// [`Error::InvalidConfig`] for an empty query count; catalog or analysis
-/// errors surface if the catalog lacks the template tables.
-pub fn generate(catalog: &Catalog, config: &WorkloadConfig) -> Result<Trace> {
+/// errors surface if the catalog lacks the template tables; sink errors
+/// abort generation.
+pub fn generate_with(
+    catalog: &Catalog,
+    config: &WorkloadConfig,
+    mut sink: impl FnMut(TraceQuery) -> Result<()>,
+) -> Result<()> {
     if config.query_count == 0 {
         return Err(Error::InvalidConfig("query_count must be positive".into()));
     }
@@ -152,11 +161,11 @@ pub fn generate(catalog: &Catalog, config: &WorkloadConfig) -> Result<Trace> {
         )
     };
 
-    let mut queries = Vec::with_capacity(config.query_count);
+    let mut emitted = 0usize;
     let mut sessions: Vec<(Session, usize)> =
         (0..concurrency).map(|_| new_session(&mut rng)).collect();
 
-    while queries.len() < config.query_count {
+    while emitted < config.query_count {
         // Each arriving query belongs to one of the concurrent users.
         let slot = rng.next_bounded(concurrency as u64) as usize;
         let (sess, remaining) = &mut sessions[slot];
@@ -170,8 +179,8 @@ pub fn generate(catalog: &Catalog, config: &WorkloadConfig) -> Result<Trace> {
 
         let resolved = analyze(catalog, &built.query)?;
         let breakdown = model.estimate(&resolved);
-        let id = QueryId::new(queries.len() as u32);
-        queries.push(TraceQuery {
+        let id = QueryId::new(emitted as u32);
+        sink(TraceQuery {
             id,
             sql: built.query.to_string(),
             template,
@@ -181,9 +190,26 @@ pub fn generate(catalog: &Catalog, config: &WorkloadConfig) -> Result<Trace> {
             total_yield: breakdown.total,
             table_yields: breakdown.per_table,
             column_yields: breakdown.per_column,
-        });
+        })?;
+        emitted += 1;
     }
 
+    Ok(())
+}
+
+/// Generate a trace against `catalog` (must contain the SDSS-like schema
+/// from [`byc_catalog::sdss`]).
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] for an empty query count; catalog or analysis
+/// errors surface if the catalog lacks the template tables.
+pub fn generate(catalog: &Catalog, config: &WorkloadConfig) -> Result<Trace> {
+    let mut queries = Vec::with_capacity(config.query_count);
+    generate_with(catalog, config, |q| {
+        queries.push(q);
+        Ok(())
+    })?;
     Ok(Trace {
         name: config.name.clone(),
         seed: config.seed,
@@ -226,6 +252,38 @@ mod tests {
     fn zero_queries_rejected() {
         let cat = small_catalog();
         assert!(generate(&cat, &WorkloadConfig::smoke(1, 0)).is_err());
+    }
+
+    #[test]
+    fn streaming_sink_matches_materialized() {
+        let cat = small_catalog();
+        let cfg = WorkloadConfig::smoke(23, 300);
+        let whole = generate(&cat, &cfg).unwrap();
+        let mut streamed = Vec::new();
+        generate_with(&cat, &cfg, |q| {
+            streamed.push(q);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(whole.queries, streamed);
+    }
+
+    #[test]
+    fn sink_error_aborts_generation() {
+        let cat = small_catalog();
+        let cfg = WorkloadConfig::smoke(23, 300);
+        let mut seen = 0usize;
+        let err = generate_with(&cat, &cfg, |_| {
+            seen += 1;
+            if seen == 5 {
+                Err(Error::InvalidConfig("sink full".into()))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("sink full"));
+        assert_eq!(seen, 5);
     }
 
     #[test]

@@ -91,16 +91,18 @@ fn parse_yield_pairs(v: &Value, key: &str) -> Result<Vec<(u32, Bytes)>> {
     field_array(v, key)?
         .iter()
         .map(|pair| {
-            let items = pair
-                .as_array()
-                .filter(|items| items.len() == 2)
-                .ok_or_else(|| {
-                    Error::TraceFormat(format!("field {key:?} entries must be [id, bytes] pairs"))
-                })?;
-            let id = items[0]
+            let (id_v, bytes_v) = match pair.as_array() {
+                Some([id, bytes]) => (id, bytes),
+                _ => {
+                    return Err(Error::TraceFormat(format!(
+                        "field {key:?} entries must be [id, bytes] pairs"
+                    )))
+                }
+            };
+            let id = id_v
                 .as_u32()
                 .ok_or_else(|| Error::TraceFormat(format!("bad id in {key:?}")))?;
-            let bytes = items[1]
+            let bytes = bytes_v
                 .as_u64()
                 .ok_or_else(|| Error::TraceFormat(format!("bad byte count in {key:?}")))?;
             Ok((id, Bytes::new(bytes)))
@@ -198,26 +200,209 @@ fn query_from_json(v: &Value) -> Result<TraceQuery> {
     })
 }
 
+/// A streaming trace writer: the header (with the final query count)
+/// goes out first, then one query per [`TraceWriter::write`] call.
+/// Nothing is buffered beyond the `BufWriter` block, so
+/// `gen-trace --queries 100000000` writes in constant memory.
+///
+/// The query count is part of the header, so it must be known up front;
+/// [`TraceWriter::finish`] refuses a short file and [`TraceWriter::write`]
+/// refuses an over-long one, keeping every produced file readable by
+/// [`TraceReader`].
+pub struct TraceWriter {
+    w: BufWriter<File>,
+    promised: usize,
+    written: usize,
+}
+
+impl TraceWriter {
+    /// Open `path` for writing and emit the header line.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from creating or writing the file.
+    pub fn create(path: &Path, name: &str, seed: u64, query_count: usize) -> Result<Self> {
+        let file = File::create(path)?;
+        let mut w = BufWriter::new(file);
+        let header = Header {
+            format_version: FORMAT_VERSION,
+            name: name.to_string(),
+            seed,
+            query_count,
+        };
+        writeln!(w, "{}", header.to_json())?;
+        Ok(Self {
+            w,
+            promised: query_count,
+            written: 0,
+        })
+    }
+
+    /// Number of queries written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Append one query line.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`Error::TraceFormat`] when more queries arrive than
+    /// the header promised.
+    pub fn write(&mut self, q: &TraceQuery) -> Result<()> {
+        if self.written >= self.promised {
+            return Err(Error::TraceFormat(format!(
+                "header promises {} queries; refusing to write more",
+                self.promised
+            )));
+        }
+        writeln!(self.w, "{}", query_to_json(q))?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flush and close the file, checking the header's promise.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TraceFormat`] when fewer queries were written than the
+    /// header promised; I/O errors from the final flush.
+    pub fn finish(mut self) -> Result<()> {
+        if self.written != self.promised {
+            return Err(Error::TraceFormat(format!(
+                "header promises {} queries, wrote {}",
+                self.promised, self.written
+            )));
+        }
+        self.w.flush()?;
+        Ok(())
+    }
+}
+
+/// A chunked trace reader: parses the header eagerly, then streams
+/// queries on demand via [`TraceReader::next_chunk`] without ever
+/// materializing the whole trace. The replay engine's streaming path
+/// feeds on this to keep 100M-query replays in constant memory.
+pub struct TraceReader {
+    lines: std::io::Lines<BufReader<File>>,
+    name: String,
+    seed: u64,
+    query_count: usize,
+    delivered: usize,
+    line_no: usize,
+    finished: bool,
+}
+
+impl TraceReader {
+    /// Open `path` and parse the header line.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`Error::TraceFormat`] on a missing or malformed
+    /// header or a format-version mismatch.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = File::open(path)?;
+        let mut lines = BufReader::new(file).lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| Error::TraceFormat("empty trace file".into()))??;
+        let header_value = Value::parse(&header_line)
+            .map_err(|e| Error::TraceFormat(format!("bad header: {e}")))?;
+        let header = Header::from_json(&header_value)
+            .map_err(|e| Error::TraceFormat(format!("bad header: {e}")))?;
+        if header.format_version != FORMAT_VERSION {
+            return Err(Error::TraceFormat(format!(
+                "unsupported format version {} (expected {FORMAT_VERSION})",
+                header.format_version
+            )));
+        }
+        Ok(Self {
+            lines,
+            name: header.name,
+            seed: header.seed,
+            query_count: header.query_count,
+            delivered: 0,
+            line_no: 1,
+            finished: false,
+        })
+    }
+
+    /// The trace name from the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The generator seed from the header.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total query count promised by the header.
+    pub fn query_count(&self) -> usize {
+        self.query_count
+    }
+
+    /// Queries handed out so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Read up to `max` queries (at least 1 is attempted). An empty
+    /// vector means end of file; at that point the header's query count
+    /// has been verified against what the file actually held.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`Error::TraceFormat`] on malformed lines or a final
+    /// count that disagrees with the header.
+    pub fn next_chunk(&mut self, max: usize) -> Result<Vec<TraceQuery>> {
+        if self.finished {
+            return Ok(Vec::new());
+        }
+        let max = max.max(1);
+        let mut out = Vec::new();
+        while out.len() < max {
+            let Some(line) = self.lines.next() else {
+                self.finished = true;
+                let total = self.delivered + out.len();
+                if total != self.query_count {
+                    return Err(Error::TraceFormat(format!(
+                        "header promises {} queries, file has {}",
+                        self.query_count, total
+                    )));
+                }
+                break;
+            };
+            let line = line?;
+            self.line_no += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let at = self.line_no;
+            let q = Value::parse(&line)
+                .map_err(|e| Error::TraceFormat(format!("bad query on line {at}: {e}")))
+                .and_then(|v| {
+                    query_from_json(&v)
+                        .map_err(|e| Error::TraceFormat(format!("bad query on line {at}: {e}")))
+                })?;
+            out.push(q);
+        }
+        self.delivered += out.len();
+        Ok(out)
+    }
+}
+
 /// Write `trace` to `path` in JSON-lines format.
 ///
 /// # Errors
 ///
 /// I/O errors and serialization failures as [`Error::TraceFormat`].
 pub fn write_trace(trace: &Trace, path: &Path) -> Result<()> {
-    let file = File::create(path)?;
-    let mut w = BufWriter::new(file);
-    let header = Header {
-        format_version: FORMAT_VERSION,
-        name: trace.name.clone(),
-        seed: trace.seed,
-        query_count: trace.queries.len(),
-    };
-    writeln!(w, "{}", header.to_json())?;
+    let mut w = TraceWriter::create(path, &trace.name, trace.seed, trace.queries.len())?;
     for q in &trace.queries {
-        writeln!(w, "{}", query_to_json(q))?;
+        w.write(q)?;
     }
-    w.flush()?;
-    Ok(())
+    w.finish()
 }
 
 /// Read a trace previously written by [`write_trace`].
@@ -227,45 +412,18 @@ pub fn write_trace(trace: &Trace, path: &Path) -> Result<()> {
 /// [`Error::TraceFormat`] on version mismatch, malformed lines, or a
 /// query count that disagrees with the header.
 pub fn read_trace(path: &Path) -> Result<Trace> {
-    let file = File::open(path)?;
-    let mut lines = BufReader::new(file).lines();
-    let header_line = lines
-        .next()
-        .ok_or_else(|| Error::TraceFormat("empty trace file".into()))??;
-    let header_value =
-        Value::parse(&header_line).map_err(|e| Error::TraceFormat(format!("bad header: {e}")))?;
-    let header = Header::from_json(&header_value)
-        .map_err(|e| Error::TraceFormat(format!("bad header: {e}")))?;
-    if header.format_version != FORMAT_VERSION {
-        return Err(Error::TraceFormat(format!(
-            "unsupported format version {} (expected {FORMAT_VERSION})",
-            header.format_version
-        )));
-    }
-    let mut queries = Vec::with_capacity(header.query_count);
-    for (i, line) in lines.enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    let mut r = TraceReader::open(path)?;
+    let mut queries = Vec::with_capacity(r.query_count().min(1 << 20));
+    loop {
+        let chunk = r.next_chunk(8192)?;
+        if chunk.is_empty() {
+            break;
         }
-        let q = Value::parse(&line)
-            .map_err(|e| Error::TraceFormat(format!("bad query on line {}: {e}", i + 2)))
-            .and_then(|v| {
-                query_from_json(&v)
-                    .map_err(|e| Error::TraceFormat(format!("bad query on line {}: {e}", i + 2)))
-            })?;
-        queries.push(q);
-    }
-    if queries.len() != header.query_count {
-        return Err(Error::TraceFormat(format!(
-            "header promises {} queries, file has {}",
-            header.query_count,
-            queries.len()
-        )));
+        queries.extend(chunk);
     }
     Ok(Trace {
-        name: header.name,
-        seed: header.seed,
+        name: r.name().to_string(),
+        seed: r.seed(),
         queries,
     })
 }
@@ -345,5 +503,86 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = read_trace(Path::new("/nonexistent/nope.jsonl")).unwrap_err();
         assert!(matches!(err, Error::Io(_)));
+    }
+
+    #[test]
+    fn streamed_write_then_chunked_read_roundtrips() {
+        let cat = build(SdssRelease::Edr, 1e-3, 1);
+        let trace = generate(&cat, &WorkloadConfig::smoke(31, 150)).unwrap();
+        let path = tmp("stream-roundtrip.jsonl");
+        let mut w = TraceWriter::create(&path, &trace.name, trace.seed, trace.len()).unwrap();
+        for q in &trace.queries {
+            w.write(q).unwrap();
+        }
+        assert_eq!(w.written(), 150);
+        w.finish().unwrap();
+
+        // Chunk sizes around the edges: 1, a non-divisor, and larger
+        // than the whole trace must all reassemble the same queries.
+        for chunk in [1usize, 7, 1000] {
+            let mut r = TraceReader::open(&path).unwrap();
+            assert_eq!(r.name(), trace.name);
+            assert_eq!(r.seed(), trace.seed);
+            assert_eq!(r.query_count(), 150);
+            let mut back = Vec::new();
+            loop {
+                let got = r.next_chunk(chunk).unwrap();
+                if got.is_empty() {
+                    break;
+                }
+                assert!(got.len() <= chunk);
+                back.extend(got);
+            }
+            assert_eq!(back, trace.queries, "chunk size {chunk}");
+            assert_eq!(r.delivered(), 150);
+            // EOF is sticky.
+            assert!(r.next_chunk(chunk).unwrap().is_empty());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_streams_cleanly() {
+        let path = tmp("stream-empty.jsonl");
+        let w = TraceWriter::create(&path, "empty", 9, 0).unwrap();
+        w.finish().unwrap();
+        let mut r = TraceReader::open(&path).unwrap();
+        assert_eq!(r.query_count(), 0);
+        assert!(r.next_chunk(64).unwrap().is_empty());
+        let back = read_trace(&path).unwrap();
+        assert!(back.queries.is_empty());
+        assert_eq!(back.name, "empty");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_enforces_promised_count() {
+        let cat = build(SdssRelease::Edr, 1e-3, 1);
+        let trace = generate(&cat, &WorkloadConfig::smoke(37, 3)).unwrap();
+        let path = tmp("promise-short.jsonl");
+        let mut w = TraceWriter::create(&path, "t", 0, 3).unwrap();
+        w.write(&trace.queries[0]).unwrap();
+        let err = w.finish().unwrap_err();
+        assert!(err.to_string().contains("wrote 1"));
+
+        let mut w = TraceWriter::create(&path, "t", 0, 1).unwrap();
+        w.write(&trace.queries[0]).unwrap();
+        let err = w.write(&trace.queries[1]).unwrap_err();
+        assert!(err.to_string().contains("refusing to write more"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reader_detects_short_file_at_eof() {
+        let path = tmp("stream-short.jsonl");
+        std::fs::write(
+            &path,
+            "{\"format_version\":1,\"name\":\"x\",\"seed\":0,\"query_count\":3}\n",
+        )
+        .unwrap();
+        let mut r = TraceReader::open(&path).unwrap();
+        let err = r.next_chunk(16).unwrap_err();
+        assert!(err.to_string().contains("promises 3"));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -26,10 +26,13 @@
 
 pub mod generator;
 pub mod io;
+pub mod spec;
 pub mod stats;
 pub mod templates;
 pub mod trace;
 
-pub use generator::{generate, WorkloadConfig};
+pub use generator::{generate, generate_with, WorkloadConfig};
+pub use io::{TraceReader, TraceWriter};
+pub use spec::{TraceSpec, TraceSummary};
 pub use stats::WorkloadStats;
 pub use trace::{Trace, TraceQuery};

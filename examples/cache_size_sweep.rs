@@ -14,7 +14,7 @@
 
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{PolicyKind, ReplaySession, Uniform};
+use byc_federation::{PolicyKind, ReplaySession, SweepOptions, Uniform};
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 
 fn main() {
@@ -38,7 +38,7 @@ fn main() {
         let stats = WorkloadStats::compute(&trace, &objects);
         let points = ReplaySession::new(&trace, &objects)
             .network(&Uniform)
-            .sweep(&policies, &fractions, &stats.demands, 7)
+            .sweep(SweepOptions::new(&policies, &fractions, &stats.demands, 7))
             .expect("valid sweep grid");
         println!(
             "\ntotal WAN cost vs cache size — {} caching (sequence cost {})",

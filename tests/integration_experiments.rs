@@ -6,7 +6,7 @@
 use byc_bench::experiments::{self, ExperimentContext};
 use byc_catalog::sdss::{build, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
-use byc_federation::{build_policy, CostReport, PolicyKind, ReplaySession};
+use byc_federation::{build_policy, CostReport, PolicyKind, ReplaySession, SweepOptions};
 use byc_workload::{generate, WorkloadConfig, WorkloadStats};
 
 use std::sync::OnceLock;
@@ -132,7 +132,12 @@ fn sweep_flattens_after_knee() {
     let fractions = [0.1, 0.3, 1.0];
     let points = ReplaySession::new(&trace, &objects)
         .network(&byc_federation::Uniform)
-        .sweep(&[PolicyKind::RateProfile], &fractions, &stats.demands, 42)
+        .sweep(SweepOptions::new(
+            &[PolicyKind::RateProfile],
+            &fractions,
+            &stats.demands,
+            42,
+        ))
         .expect("valid sweep grid");
     let at = |f: f64| {
         points
