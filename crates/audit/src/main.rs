@@ -14,6 +14,9 @@ Runs the workspace static-analysis passes (see crates/audit/src/passes/):
                 dataflow into CostReport/Decision streams
   concurrency   non-Sync state fields, static mut, thread_local!, and
                 Send + Sync assertion coverage for byc-serve readiness
+  hot-path      container scans (iter/values/sort) reachable from the
+                per-access policy mouths (on_access/on_request) in
+                byc-core
 
 --format text   human-readable findings + summary (default)
 --format sarif  SARIF 2.1.0 log on stdout (or --output FILE)

@@ -13,9 +13,12 @@
 //!    feed `CostReport`/`Decision` streams.
 //! 4. [`concurrency`] — `byc-serve` readiness: interior mutability in
 //!    state types and `Send + Sync` assertion coverage.
+//! 5. [`hot_path`] — container scans reachable from the per-access
+//!    policy mouths (`on_access`/`on_request`) in `byc-core`.
 
 pub mod concurrency;
 pub mod determinism;
+pub mod hot_path;
 pub mod panic_reach;
 pub mod style;
 
@@ -155,6 +158,7 @@ pub fn analyze(sources: Vec<SourceFile>) -> Analysis {
     findings.extend(panic.findings);
     findings.extend(determinism::run(&workspace));
     findings.extend(concurrency::run(&workspace));
+    findings.extend(hot_path::run(&workspace));
 
     let roots = workspace.graph.entry_nodes(REPLAY_ENTRY_POINTS);
     let pred = workspace.graph.reachable_from(&roots);

@@ -62,6 +62,10 @@ pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
         "Shareable type missing from the Send + Sync assertion test",
     ),
     (
+        "per-access-scan",
+        "Container scan reachable from a per-access policy entry point",
+    ),
+    (
         "stale-allowlist",
         "audit.toml entry exceeds actual findings",
     ),

@@ -138,6 +138,76 @@ fn bench_replay_json_parses_and_validates() {
         _ => errs.push("compiled_replay.headline: missing or empty".into()),
     }
 
+    let hot = doc.get("policy_hot_path").expect("policy_hot_path section");
+    require_str(hot, "note", "policy_hot_path", &mut errs);
+    require_str(hot, "date", "policy_hot_path", &mut errs);
+    let mut hot_policies: Option<Vec<&str>> = None;
+    for table in ["lazy_ms", "reference_planner_ms"] {
+        let Some(t) = hot.get(table) else {
+            errs.push(format!("policy_hot_path.{table}: missing"));
+            continue;
+        };
+        errs.extend(check_timing_table(t, table));
+        // Both tables cover the full 13-policy roster, same set.
+        if let Value::Object(entries) = t {
+            let mut keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+            keys.sort_unstable();
+            if keys.len() != 13 {
+                errs.push(format!(
+                    "policy_hot_path.{table}: {} policies, expected the 13-policy roster",
+                    keys.len()
+                ));
+            }
+            match &hot_policies {
+                None => hot_policies = Some(keys),
+                Some(first) => {
+                    if *first != keys {
+                        errs.push(format!(
+                            "policy_hot_path.{table}: policy set {keys:?} differs from {first:?}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    match hot.get("headline") {
+        Some(Value::Object(entries)) if !entries.is_empty() => {
+            for (k, v) in entries {
+                if v.as_str().is_none() {
+                    errs.push(format!("policy_hot_path.headline.{k}: not a string"));
+                }
+            }
+        }
+        _ => errs.push("policy_hot_path.headline: missing or empty".into()),
+    }
+    // The acceptance gate is recorded, not just claimed: the slowest
+    // `before` Rate-Profile amortized replay must be >= 2.5x the `after`.
+    let rp = hot
+        .get("rate_profile_amortized_ms")
+        .expect("policy_hot_path.rate_profile_amortized_ms");
+    let before_min = rp
+        .get("before_range")
+        .and_then(Value::as_array)
+        .and_then(|r| {
+            r.iter()
+                .map(Value::as_f64)
+                .try_fold(f64::MAX, |m, v| v.map(|v| m.min(v)))
+        });
+    let after = rp.get("after").and_then(Value::as_f64);
+    match (before_min, after) {
+        (Some(before), Some(after)) if before > 0.0 && after > 0.0 => {
+            if before / after < 2.5 {
+                errs.push(format!(
+                    "policy_hot_path.rate_profile_amortized_ms: {before} -> {after} is below the 2.5x acceptance gate"
+                ));
+            }
+        }
+        _ => errs.push(
+            "policy_hot_path.rate_profile_amortized_ms: before_range/after missing or not positive"
+                .into(),
+        ),
+    }
+
     assert!(
         errs.is_empty(),
         "BENCH_replay.json schema errors:\n{}",

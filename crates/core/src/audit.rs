@@ -460,6 +460,10 @@ impl<P: CachePolicy> CachePolicy for PolicyAuditor<P> {
             .observe_invalidate(object, removed, self.inner.name());
         removed
     }
+
+    fn debug_reference_planning(&mut self, enabled: bool) {
+        self.inner.debug_reference_planning(enabled);
+    }
 }
 
 #[cfg(test)]
@@ -563,7 +567,7 @@ mod tests {
                 Decision::Hit,
                 Decision::Bypass,
                 Decision::Load {
-                    evictions: vec![ObjectId::new(1)],
+                    evictions: vec![ObjectId::new(1)].into(),
                 },
             ],
         );
@@ -625,7 +629,7 @@ mod tests {
         let policy = Scripted::new(
             Bytes::new(100),
             vec![Decision::Load {
-                evictions: vec![ObjectId::new(42)],
+                evictions: vec![ObjectId::new(42)].into(),
             }],
         );
         let mut audited = PolicyAuditor::new(policy);

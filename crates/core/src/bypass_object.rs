@@ -21,9 +21,10 @@
 //!   approximation of Irani's algorithm — see DESIGN.md — retaining the
 //!   phase/marking structure her bound rests on.
 
-use crate::cache::CacheState;
+use crate::cache::{CacheState, EvictionPlan};
 use crate::dense::DenseMap;
-use crate::policy::Decision;
+use crate::heap::{before, IndexedMinHeap};
+use crate::policy::{Decision, Evictions};
 use byc_types::{Bytes, ObjectId, Tick};
 
 /// An algorithm for the bypass-object caching problem.
@@ -54,6 +55,13 @@ pub trait BypassObjectAlgorithm {
 
     /// Drop `object` after a server-side change. Returns true iff cached.
     fn invalidate(&mut self, object: ObjectId) -> bool;
+
+    /// Route victim selection through the scan-based reference planner
+    /// (see [`crate::policy::CachePolicy::debug_reference_planning`]).
+    #[doc(hidden)]
+    fn debug_reference_planning(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
 }
 
 /// Young's Landlord algorithm.
@@ -83,6 +91,8 @@ pub struct Landlord {
     /// Global inflation level: an entry's true normalized credit is
     /// `key - inflation`.
     inflation: f64,
+    /// Reusable eviction-plan scratch; empty between requests.
+    plan: EvictionPlan,
 }
 
 impl Landlord {
@@ -91,6 +101,7 @@ impl Landlord {
         Self {
             cache: CacheState::new(capacity),
             inflation: 0.0,
+            plan: EvictionPlan::new(),
         }
     }
 }
@@ -115,20 +126,27 @@ impl BypassObjectAlgorithm for Landlord {
             self.cache.record_hit(object, Bytes::ZERO);
             return Decision::Hit;
         }
-        let Some(plan) = self.cache.plan_eviction(size) else {
+        // Credits are refreshed on every hit and load, so the heap is
+        // always exact: plain (non-lazy) planning suffices.
+        let mut plan = std::mem::take(&mut self.plan);
+        if !self.cache.plan_eviction_into(size, &mut plan) {
+            self.plan = plan;
             return Decision::Bypass; // can never fit
-        };
+        }
         // Rent: raising the inflation level to the largest evicted key is
         // exactly charging delta until those entries are bankrupt.
-        if let Some(&(_, max_key)) = plan.last() {
+        if let Some(&(_, max_key)) = plan.victims().last() {
             self.inflation = self.inflation.max(max_key);
         }
         let s = size.as_f64().max(1.0);
         let key = self.inflation + fetch_cost.as_f64() / s;
-        self.cache.evict_and_insert(&plan, object, size, key, now);
-        Decision::Load {
-            evictions: plan.into_iter().map(|(o, _)| o).collect(),
+        let mut evictions = Evictions::new();
+        for &(v, _) in plan.victims() {
+            evictions.push(v);
         }
+        self.cache.commit_plan(&plan, object, size, key, now);
+        self.plan = plan;
+        Decision::Load { evictions }
     }
 
     fn contains(&self, object: ObjectId) -> bool {
@@ -150,31 +168,67 @@ impl BypassObjectAlgorithm for Landlord {
     fn invalidate(&mut self, object: ObjectId) -> bool {
         self.cache.remove(object).is_some()
     }
+
+    fn debug_reference_planning(&mut self, enabled: bool) {
+        self.cache.set_reference_planning(enabled);
+    }
 }
+
+/// Victim-selection penalty for an unmarked object outside the incoming
+/// size class.
+const CLASS_PENALTY: f64 = 1e9;
+
+/// Victim-selection penalty for a marked object: effectively unevictable
+/// this phase (the phase-end rule guarantees one is never selected).
+const MARKED_PENALTY: f64 = 1e18;
+
+/// One size class past the largest [`size_class`] value (64 for u64
+/// sizes): the per-class heap table is indexed by class directly.
+const NUM_CLASSES: usize = 65;
 
 /// Marking with power-of-two size classes (approximation of Irani's
 /// multi-size paging; see module docs).
+///
+/// Victim selection is incremental: each size class keeps a min-heap of
+/// its *unmarked* cached objects keyed by last-use tick, and a fault takes
+/// the minimum over the ≤ `NUM_CLASSES` class heads under the effective
+/// key `last_use + class_penalty` — the same total order the old
+/// full-cache rekey sweep produced, at O(log n + classes) per fault
+/// instead of O(cache). Marking a hit removes the object from its class
+/// heap; a phase end rebuilds the heaps in one O(cache) pass that is
+/// amortized over the marks of the finished phase.
 #[derive(Clone, Debug)]
 pub struct SizeClassMarking {
     cache: CacheState,
     /// Per-object (marked, last-use tick, size class).
     meta: DenseMap<MarkMeta>,
+    /// class → min-heap of the UNMARKED cached objects in that class,
+    /// keyed by last-use tick. Marked objects are absent.
+    class_heaps: Vec<IndexedMinHeap>,
+    /// Bytes held by unmarked cached objects (incremental counter).
+    unmarked_bytes: Bytes,
     /// Monotone counter for LRU ordering.
     clock: u64,
     /// Phases completed (exposed for tests/diagnostics).
     phases: u64,
+    /// Select victims by an eager scan over the metadata instead of the
+    /// class-heap heads (see
+    /// [`crate::policy::CachePolicy::debug_reference_planning`]).
+    reference_selection: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
 struct MarkMeta {
     marked: bool,
     last_use: u64,
-    class: u32,
+    class: usize,
 }
 
-/// The power-of-two size class of an object.
-fn size_class(size: Bytes) -> u32 {
-    64 - size.raw().max(1).leading_zeros()
+/// The power-of-two size class of an object. Always below
+/// [`NUM_CLASSES`]: 64-bit sizes have at most 64 significant bits.
+fn size_class(size: Bytes) -> usize {
+    let class = u64::BITS - size.raw().max(1).leading_zeros();
+    usize::try_from(class).unwrap_or(NUM_CLASSES - 1)
 }
 
 impl SizeClassMarking {
@@ -183,8 +237,11 @@ impl SizeClassMarking {
         Self {
             cache: CacheState::new(capacity),
             meta: DenseMap::new(),
+            class_heaps: vec![IndexedMinHeap::new(); NUM_CLASSES],
+            unmarked_bytes: Bytes::ZERO,
             clock: 0,
             phases: 0,
+            reference_selection: false,
         }
     }
 
@@ -193,40 +250,76 @@ impl SizeClassMarking {
         self.phases
     }
 
-    /// Refresh heap keys so victim planning prefers unmarked objects
-    /// (LRU-first), same size class before others.
-    fn rekey(&mut self, incoming_class: u32) {
-        let keys: Vec<(ObjectId, f64)> = self
-            .cache
-            .iter()
-            .filter_map(|(o, _)| {
-                let m = self.meta.get(o)?;
-                // Marked objects are (near-)unevictable this phase.
-                let marked_penalty = if m.marked { 1e18 } else { 0.0 };
-                let class_penalty = if m.class == incoming_class { 0.0 } else { 1e9 };
-                Some((o, marked_penalty + class_penalty + m.last_use as f64))
-            })
-            .collect();
-        for (o, k) in keys {
-            self.cache.set_utility(o, k);
+    /// The next victim under the `(marked, class, last-use)` preference
+    /// order, read off the class-heap heads: every head carries its
+    /// class's minimum `(last_use, id)`, and the effective key
+    /// `last_use + class_penalty` reproduces the eager sweep's
+    /// `penalty + last_use` bit-for-bit (IEEE addition is commutative and
+    /// tick values stay exactly representable).
+    fn merged_victim(&self, incoming_class: usize) -> Option<(ObjectId, f64)> {
+        let mut best: Option<(ObjectId, f64)> = None;
+        for c in 0..self.class_heaps.len() {
+            let Some((o, lu)) = self.class_heaps[c].peek_min() else {
+                continue;
+            };
+            let penalty = if c == incoming_class {
+                0.0
+            } else {
+                CLASS_PENALTY
+            };
+            let cand = (o, lu + penalty);
+            if best.is_none_or(|b| before(cand, b)) {
+                best = Some(cand);
+            }
         }
+        best
+    }
+
+    /// Reference victim selection: recompute every cached object's
+    /// effective key from scratch, exactly like the pre-incremental
+    /// full-cache rekey sweep, and take the `(key, id)` minimum. Must
+    /// agree with [`Self::merged_victim`] whenever unmarked space covers
+    /// the fault — the equivalence tests flip
+    /// [`BypassObjectAlgorithm::debug_reference_planning`] to check this.
+    fn scanned_victim(&self, incoming_class: usize) -> Option<(ObjectId, f64)> {
+        let mut best: Option<(ObjectId, f64)> = None;
+        for (o, _) in self.cache.iter() {
+            let Some(m) = self.meta.get(o) else { continue };
+            let marked_penalty = if m.marked { MARKED_PENALTY } else { 0.0 };
+            let class_penalty = if m.class == incoming_class {
+                0.0
+            } else {
+                CLASS_PENALTY
+            };
+            let cand = (o, marked_penalty + class_penalty + m.last_use as f64);
+            if best.is_none_or(|b| before(cand, b)) {
+                best = Some(cand);
+            }
+        }
+        best
     }
 
     fn unmarked_space(&self) -> Bytes {
-        let unmarked: Bytes = self
-            .cache
-            .iter()
-            .filter(|&(o, _)| !self.meta.get(o).is_some_and(|m| m.marked))
-            .map(|(_, e)| e.size)
-            .sum();
-        unmarked + self.cache.free()
+        self.unmarked_bytes + self.cache.free()
     }
 
     fn new_phase(&mut self) {
         self.phases += 1;
-        for m in self.meta.values_mut() {
-            m.marked = false;
+        // Everything unmarks: rebuild the per-class unmarked heaps and
+        // the unmarked-byte counter in one pass. O(cache), amortized over
+        // the marks of the phase that just ended.
+        for heap in &mut self.class_heaps {
+            heap.clear();
         }
+        let mut unmarked = Bytes::ZERO;
+        for (o, e) in self.cache.iter() {
+            if let Some(m) = self.meta.get_mut(o) {
+                m.marked = false;
+                self.class_heaps[m.class].push(o, m.last_use as f64);
+                unmarked += e.size;
+            }
+        }
+        self.unmarked_bytes = unmarked;
     }
 }
 
@@ -246,8 +339,13 @@ impl BypassObjectAlgorithm for SizeClassMarking {
         self.clock += 1;
         if self.cache.contains(object) {
             let clock = self.clock;
+            let cached_size = self.cache.entry(object).map_or(Bytes::ZERO, |e| e.size);
             if let Some(m) = self.meta.get_mut(object) {
-                m.marked = true;
+                if !m.marked {
+                    m.marked = true;
+                    self.class_heaps[m.class].remove(object);
+                    self.unmarked_bytes -= cached_size;
+                }
                 m.last_use = clock;
             }
             self.cache.record_hit(object, Bytes::ZERO);
@@ -256,21 +354,39 @@ impl BypassObjectAlgorithm for SizeClassMarking {
         if size > self.cache.capacity() {
             return Decision::Bypass;
         }
-        // A fault that cannot be served from unmarked space ends the phase.
+        // A fault that cannot be served from unmarked space ends the phase
+        // (after which unmarked space is the whole capacity ≥ size).
         if self.unmarked_space() < size {
             self.new_phase();
         }
         let class = size_class(size);
-        self.rekey(class);
-        let Some(plan) = self.cache.plan_eviction(size) else {
-            // Unreachable: size <= capacity was checked above. Bypassing
-            // is the safe, conservative answer if it ever fires.
-            return Decision::Bypass;
-        };
-        for &(v, _) in &plan {
-            self.meta.remove(v);
+        let mut evictions = Evictions::new();
+        while self.cache.free() < size {
+            let selected = if self.reference_selection {
+                self.scanned_victim(class)
+            } else {
+                self.merged_victim(class)
+            };
+            let Some((victim, _)) = selected else {
+                // Unreachable: the phase-end rule guarantees unmarked
+                // space covers the shortfall. Stop conservatively if it
+                // ever fires.
+                break;
+            };
+            let entry = self.cache.remove(victim);
+            if let Some(m) = self.meta.remove(victim) {
+                self.class_heaps[m.class].remove(victim);
+                if !m.marked {
+                    self.unmarked_bytes -= entry.as_ref().map_or(Bytes::ZERO, |e| e.size);
+                }
+            }
+            evictions.push(victim);
         }
-        self.cache.evict_and_insert(&plan, object, size, 0.0, now);
+        if self.cache.free() < size {
+            // Unreachable companion of the break above.
+            return Decision::Bypass;
+        }
+        self.cache.insert(object, size, 0.0, now);
         self.meta.insert(
             object,
             MarkMeta {
@@ -279,9 +395,7 @@ impl BypassObjectAlgorithm for SizeClassMarking {
                 class,
             },
         );
-        Decision::Load {
-            evictions: plan.into_iter().map(|(o, _)| o).collect(),
-        }
+        Decision::Load { evictions }
     }
 
     fn contains(&self, object: ObjectId) -> bool {
@@ -301,8 +415,20 @@ impl BypassObjectAlgorithm for SizeClassMarking {
     }
 
     fn invalidate(&mut self, object: ObjectId) -> bool {
-        self.meta.remove(object);
-        self.cache.remove(object).is_some()
+        let meta = self.meta.remove(object);
+        let entry = self.cache.remove(object);
+        if let Some(m) = meta {
+            self.class_heaps[m.class].remove(object);
+            if !m.marked {
+                self.unmarked_bytes -= entry.as_ref().map_or(Bytes::ZERO, |e| e.size);
+            }
+        }
+        entry.is_some()
+    }
+
+    fn debug_reference_planning(&mut self, enabled: bool) {
+        self.reference_selection = enabled;
+        self.cache.set_reference_planning(enabled);
     }
 }
 
@@ -384,7 +510,7 @@ mod tests {
         // space is 20 < 40 → phase ends, everything unmarks, LRU victim 0.
         let d = req(&mut m, 2, 40, 2);
         match d {
-            Decision::Load { evictions } => assert_eq!(evictions, vec![oid(0)]),
+            Decision::Load { evictions } => assert_eq!(evictions.as_slice(), &[oid(0)]),
             other => panic!("expected load, got {other:?}"),
         }
         assert_eq!(m.phases(), 1);
@@ -410,6 +536,69 @@ mod tests {
     fn marking_bypasses_oversized() {
         let mut m = SizeClassMarking::new(Bytes::new(50));
         assert_eq!(req(&mut m, 0, 60, 0), Decision::Bypass);
+    }
+
+    #[test]
+    fn marking_unmarked_accounting_matches_recount() {
+        let mut rng = byc_types::SplitMix64::new(3);
+        let mut m = SizeClassMarking::new(Bytes::new(400));
+        for t in 0..1_500u64 {
+            let i = rng.next_bounded(25) as u32;
+            let size = 10 + (i as u64 * 13) % 150;
+            req(&mut m, i, size, t);
+            if t % 97 == 0 {
+                m.invalidate(oid(rng.next_bounded(25) as u32));
+            }
+            // The incremental counter and class heaps must agree with a
+            // from-scratch recount of the unmarked population.
+            let mut recount = Bytes::ZERO;
+            let mut unmarked_objects = 0usize;
+            for (o, e) in m.cache.iter() {
+                let meta = m.meta.get(o).expect("cached object without meta");
+                if !meta.marked {
+                    recount += e.size;
+                    unmarked_objects += 1;
+                    assert!(
+                        m.class_heaps[meta.class].contains(o),
+                        "unmarked {o} missing from class heap"
+                    );
+                }
+            }
+            assert_eq!(m.unmarked_bytes, recount);
+            let in_heaps: usize = m.class_heaps.iter().map(|h| h.len()).sum();
+            assert_eq!(in_heaps, unmarked_objects);
+        }
+    }
+
+    #[test]
+    fn marking_reference_scan_matches_class_heads() {
+        let mut rng = byc_types::SplitMix64::new(5);
+        let mut fast = SizeClassMarking::new(Bytes::new(500));
+        let mut slow = SizeClassMarking::new(Bytes::new(500));
+        slow.debug_reference_planning(true);
+        for t in 0..3_000u64 {
+            let i = rng.next_bounded(30) as u32;
+            let size = 10 + (i as u64 * 17) % 190;
+            let df = req(&mut fast, i, size, t);
+            let ds = req(&mut slow, i, size, t);
+            assert_eq!(df, ds, "divergence at t={t}");
+            assert_eq!(fast.phases(), slow.phases());
+        }
+    }
+
+    #[test]
+    fn landlord_reference_planning_matches_heap() {
+        let mut rng = byc_types::SplitMix64::new(11);
+        let mut fast = Landlord::new(Bytes::new(500));
+        let mut slow = Landlord::new(Bytes::new(500));
+        slow.debug_reference_planning(true);
+        for t in 0..3_000u64 {
+            let i = rng.next_bounded(30) as u32;
+            let size = 10 + (i as u64 * 17) % 190;
+            let df = req(&mut fast, i, size, t);
+            let ds = req(&mut slow, i, size, t);
+            assert_eq!(df, ds, "divergence at t={t}");
+        }
     }
 
     #[test]

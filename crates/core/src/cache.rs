@@ -9,7 +9,7 @@
 //! membership, no hashing, deterministic iteration.
 
 use crate::dense::DenseMap;
-use crate::heap::{IndexedMinHeap, SelectionHeap};
+use crate::heap::IndexedMinHeap;
 use byc_types::{Bytes, ObjectId, Tick};
 
 /// Book-keeping for one cached object.
@@ -26,6 +26,60 @@ pub struct CachedEntry {
     pub hits: u64,
 }
 
+/// A reusable eviction plan: the victims speculatively popped from the
+/// utility heap by [`CacheState::plan_eviction_into`] (or its lazy
+/// variant), waiting to be either committed ([`CacheState::commit_plan`])
+/// or rolled back ([`CacheState::abort_plan`]).
+///
+/// The buffer is owned by the policy and reused across accesses, so a
+/// steady-state decision makes no allocations; stored stamps let an
+/// aborted plan restore the heap to the exact pre-planning state.
+#[derive(Clone, Debug, Default)]
+pub struct EvictionPlan {
+    /// Planned victims in eviction order: ascending `(utility, id)`.
+    victims: Vec<(ObjectId, f64)>,
+    /// Heap stamp each victim carried when popped, parallel to `victims`.
+    stamps: Vec<u64>,
+}
+
+impl EvictionPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The planned victims with their utilities, in eviction order
+    /// (ascending utility, ties by ascending id).
+    pub fn victims(&self) -> &[(ObjectId, f64)] {
+        &self.victims
+    }
+
+    /// Iterate the victim object ids in eviction order.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.victims.iter().map(|&(o, _)| o)
+    }
+
+    /// Number of planned victims.
+    pub fn len(&self) -> usize {
+        self.victims.len()
+    }
+
+    /// True iff the plan evicts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.victims.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.victims.clear();
+        self.stamps.clear();
+    }
+
+    fn push(&mut self, object: ObjectId, utility: f64, stamp: u64) {
+        self.victims.push((object, utility));
+        self.stamps.push(stamp);
+    }
+}
+
 /// Fixed-capacity cache state: a dense id-indexed table for O(1)
 /// membership (no hashing) plus a utility min-heap for victim selection.
 #[derive(Clone, Debug)]
@@ -34,8 +88,10 @@ pub struct CacheState {
     used: Bytes,
     entries: DenseMap<CachedEntry>,
     heap: IndexedMinHeap,
-    /// Reusable scratch for [`Self::plan_eviction`]'s partial selection.
-    scratch: SelectionHeap,
+    /// When set, victim selection finds minima by linear scan instead of
+    /// reading the heap root — the reference planner the equivalence
+    /// proptests compare against (see DESIGN.md §18).
+    reference_planning: bool,
 }
 
 impl CacheState {
@@ -46,8 +102,18 @@ impl CacheState {
             used: Bytes::ZERO,
             entries: DenseMap::new(),
             heap: IndexedMinHeap::new(),
-            scratch: SelectionHeap::new(),
+            reference_planning: false,
         }
+    }
+
+    /// Switch victim selection to (or from) the scan-based reference
+    /// planner. Decision streams must be bit-identical either way; the
+    /// toggle exists so equivalence tests can cross-check the heap
+    /// machinery against a structure-free implementation of the same
+    /// selection rule.
+    #[doc(hidden)]
+    pub fn set_reference_planning(&mut self, enabled: bool) {
+        self.reference_planning = enabled;
     }
 
     /// Configured capacity.
@@ -135,7 +201,9 @@ impl CacheState {
         Some(entry)
     }
 
-    /// Update the utility key of a cached object.
+    /// Update the utility key of a cached object. The key is marked
+    /// never-decaying (always fresh): use [`Self::set_utility_at`] for
+    /// keys that decay between touches.
     ///
     /// # Panics
     ///
@@ -143,6 +211,19 @@ impl CacheState {
     pub fn set_utility(&mut self, object: ObjectId, utility: f64) {
         assert!(self.contains(object), "set_utility on non-cached {object}");
         self.heap.update_key(object, utility);
+    }
+
+    /// Update the utility key of a cached object, recording that the key
+    /// is exact as of `now`. A later
+    /// [`Self::plan_eviction_lazy_into`] at a newer tick treats the entry
+    /// as stale and revalidates it before it can be popped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is not cached.
+    pub fn set_utility_at(&mut self, object: ObjectId, utility: f64, now: Tick) {
+        assert!(self.contains(object), "set_utility on non-cached {object}");
+        self.heap.update_stamped(object, utility, now.raw());
     }
 
     /// Current utility key of a cached object.
@@ -161,35 +242,179 @@ impl CacheState {
         self.entries.iter()
     }
 
-    /// Plan evictions to make room for an incoming object of `size`:
-    /// returns the lowest-utility victims (ascending by utility, ties by
-    /// ascending id) whose removal frees enough space, or `None` if the
-    /// object can never fit (`size > capacity`). An empty plan means it
-    /// already fits.
+    /// Plan evictions to make room for an incoming object of `size` into
+    /// the reusable `plan` buffer: the lowest-utility victims (ascending
+    /// by utility, ties by ascending id) whose removal frees enough
+    /// space. Returns `false` (with `plan` cleared) if the object can
+    /// never fit (`size > capacity`); an empty plan means it already
+    /// fits.
     ///
-    /// Victims are drawn by partial selection on a reusable
-    /// [`SelectionHeap`] scratch buffer — O(k + m log k) for m victims
-    /// among k cached objects instead of a full O(k log k) sort. The
-    /// `(utility, id)` order is total, so the victim sequence is exactly
-    /// the prefix the old full sort produced.
-    pub fn plan_eviction(&mut self, size: Bytes) -> Option<Vec<(ObjectId, f64)>> {
+    /// Victims are popped **directly off the utility heap** — O(m log k)
+    /// for m victims among k cached objects, with no per-call candidate
+    /// copy. Because the heap's `(utility, id)` order is total, the pop
+    /// sequence is exactly the prefix a full sort of the candidates would
+    /// produce. The popped entries are *speculative*: the cache index
+    /// still holds them, and the caller must finish with either
+    /// [`Self::commit_plan`] or [`Self::abort_plan`] before the next
+    /// query (an aborted plan restores the heap bit-exactly).
+    pub fn plan_eviction_into(&mut self, size: Bytes, plan: &mut EvictionPlan) -> bool {
+        plan.clear();
         if size > self.capacity {
-            return None;
+            return false;
         }
-        if size <= self.free() {
-            return Some(Vec::new());
-        }
-        self.scratch.load(self.heap.iter());
         let mut freed = self.free();
-        let mut victims = Vec::new();
         while freed < size {
-            let Some((object, utility)) = self.scratch.pop_min() else {
+            let next = if self.reference_planning {
+                self.heap.scan_min()
+            } else {
+                self.heap.peek_min()
+            };
+            let Some((object, utility)) = next else {
+                break;
+            };
+            let stamp = self
+                .heap
+                .stamp_of(object)
+                .unwrap_or(IndexedMinHeap::ALWAYS_FRESH);
+            self.heap.remove(object);
+            freed += self.entries.get(object).map_or(Bytes::ZERO, |e| e.size);
+            plan.push(object, utility, stamp);
+        }
+        debug_assert!(freed >= size);
+        true
+    }
+
+    /// [`Self::plan_eviction_into`] under **lazy revalidation**: before an
+    /// entry can be selected as a victim, a stale key (stamped before
+    /// `now`) is recomputed by `rekey` from the entry's bookkeeping,
+    /// re-stamped, and the selection repeats. Victims therefore carry
+    /// keys exact at `now` without any full-cache sweep.
+    ///
+    /// `rekey` must satisfy the staleness invariant: a stale stored key
+    /// is an upper bound of the recomputed key (see DESIGN.md §18), which
+    /// is what keeps a revalidated minimum at the top and the loop
+    /// amortized O(log k) per selected victim.
+    // A heap key without a cache entry means the lazy heap diverged from
+    // the resident set; abort rather than plan phantom evictions. See
+    // audit.toml.
+    #[allow(clippy::expect_used)]
+    pub fn plan_eviction_lazy_into(
+        &mut self,
+        size: Bytes,
+        now: Tick,
+        mut rekey: impl FnMut(ObjectId, &CachedEntry) -> f64,
+        plan: &mut EvictionPlan,
+    ) -> bool {
+        plan.clear();
+        if size > self.capacity {
+            return false;
+        }
+        let now_raw = now.raw();
+        let mut freed = self.free();
+        while freed < size {
+            let entries = &self.entries;
+            let popped = if self.reference_planning {
+                // Scan-based reference: identical selection rule, no heap
+                // ordering consulted. Find the stored minimum; revalidate
+                // it if stale; repeat until the minimum is fresh.
+                loop {
+                    let Some((object, key)) = self.heap.scan_min() else {
+                        break None;
+                    };
+                    let stamp = self
+                        .heap
+                        .stamp_of(object)
+                        .unwrap_or(IndexedMinHeap::ALWAYS_FRESH);
+                    if stamp == IndexedMinHeap::ALWAYS_FRESH || stamp == now_raw {
+                        self.heap.remove(object);
+                        break Some((object, key));
+                    }
+                    let entry = entries.get(object).expect("heap entry without cache entry");
+                    let fresh = rekey(object, entry);
+                    self.heap.update_stamped(object, fresh, now_raw);
+                }
+            } else {
+                self.heap.pop_min_revalidated(now_raw, |object| {
+                    let entry = entries.get(object).expect("heap entry without cache entry");
+                    rekey(object, entry)
+                })
+            };
+            let Some((object, utility)) = popped else {
                 break;
             };
             freed += self.entries.get(object).map_or(Bytes::ZERO, |e| e.size);
-            victims.push((object, utility));
+            plan.push(object, utility, now_raw);
         }
         debug_assert!(freed >= size);
+        true
+    }
+
+    /// Apply a plan: evict its victims and insert `object` (stamped exact
+    /// at `now`) in their place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the incoming object is already cached or still does not
+    /// fit (a planning bug).
+    pub fn commit_plan(
+        &mut self,
+        plan: &EvictionPlan,
+        object: ObjectId,
+        size: Bytes,
+        utility: f64,
+        now: Tick,
+    ) {
+        for &(victim, _) in plan.victims() {
+            // The heap entry was already popped during planning; only the
+            // index and the space accounting remain.
+            if let Some(entry) = self.entries.remove(victim) {
+                self.used -= entry.size;
+            }
+        }
+        assert!(!self.contains(object), "insert of already-cached {object}");
+        assert!(
+            size <= self.free(),
+            "insert of {object} ({size}) into {} free",
+            self.free()
+        );
+        self.entries.insert(
+            object,
+            CachedEntry {
+                size,
+                loaded_at: now,
+                accum_yield: Bytes::ZERO,
+                hits: 0,
+            },
+        );
+        self.used += size;
+        self.heap.push_stamped(object, utility, now.raw());
+    }
+
+    /// Roll a plan back: push every speculatively-popped victim back into
+    /// the utility heap with its original key and stamp. Because the heap
+    /// order is total, the restored heap pops identically to one that
+    /// never planned.
+    pub fn abort_plan(&mut self, plan: &EvictionPlan) {
+        for (i, &(victim, utility)) in plan.victims().iter().enumerate() {
+            self.heap.push_stamped(victim, utility, plan.stamps[i]);
+        }
+    }
+
+    /// Plan evictions for an incoming object of `size`, returning the
+    /// victims as a fresh vector and leaving the cache untouched: `None`
+    /// if the object can never fit, an empty vector if it already fits.
+    ///
+    /// This is the allocation-per-call convenience wrapper over
+    /// [`Self::plan_eviction_into`] + [`Self::abort_plan`]; the policy
+    /// hot paths use the `_into` APIs with a reusable
+    /// [`EvictionPlan`] instead.
+    pub fn plan_eviction(&mut self, size: Bytes) -> Option<Vec<(ObjectId, f64)>> {
+        let mut plan = EvictionPlan::new();
+        if !self.plan_eviction_into(size, &mut plan) {
+            return None;
+        }
+        let victims = plan.victims().to_vec();
+        self.abort_plan(&plan);
         Some(victims)
     }
 
@@ -461,6 +686,140 @@ mod tests {
             }
         }
         assert!(checked > 500, "churn exercised too few plans: {checked}");
+    }
+
+    #[test]
+    fn plan_into_then_commit_applies_plan() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(40), 3.0, Tick::ZERO);
+        c.insert(oid(1), Bytes::new(40), 1.0, Tick::ZERO);
+        let mut plan = EvictionPlan::new();
+        assert!(c.plan_eviction_into(Bytes::new(50), &mut plan));
+        assert_eq!(plan.victims(), &[(oid(1), 1.0)]);
+        c.commit_plan(&plan, oid(9), Bytes::new(50), 7.0, Tick::new(4));
+        assert!(c.contains(oid(9)));
+        assert!(!c.contains(oid(1)));
+        assert_eq!(c.used(), Bytes::new(90));
+        assert!(c.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn plan_into_rejects_oversized_and_clears() {
+        let mut c = cache(100);
+        c.insert(oid(0), Bytes::new(40), 3.0, Tick::ZERO);
+        let mut plan = EvictionPlan::new();
+        assert!(c.plan_eviction_into(Bytes::new(80), &mut plan));
+        assert_eq!(plan.len(), 1);
+        c.abort_plan(&plan);
+        assert!(!c.plan_eviction_into(Bytes::new(101), &mut plan));
+        assert!(plan.is_empty());
+        c.abort_plan(&plan); // empty abort is a no-op
+        assert!(c.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn abort_plan_restores_planning_state_exactly() {
+        let mut c = cache(100);
+        c.insert(oid(3), Bytes::new(30), 1.0, Tick::ZERO);
+        c.insert(oid(1), Bytes::new(30), 1.0, Tick::ZERO);
+        c.insert(oid(2), Bytes::new(30), 2.0, Tick::ZERO);
+        let mut plan = EvictionPlan::new();
+        assert!(c.plan_eviction_into(Bytes::new(70), &mut plan));
+        // 10 bytes already free: freeing both utility-1.0 entries (id
+        // ascending) covers the 70; the utility-2.0 entry is untouched.
+        assert_eq!(plan.victims(), &[(oid(1), 1.0), (oid(3), 1.0)]);
+        c.abort_plan(&plan);
+        assert!(c.check_invariants().is_ok());
+        // Re-planning after the rollback must reproduce the same victims.
+        let mut replay = EvictionPlan::new();
+        assert!(c.plan_eviction_into(Bytes::new(70), &mut replay));
+        assert_eq!(replay.victims(), plan.victims());
+        c.abort_plan(&replay);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.used(), Bytes::new(90));
+    }
+
+    #[test]
+    fn lazy_plan_revalidates_stale_keys_before_popping() {
+        // Keys stamped at tick 1 are upper bounds; at tick 9 the stored
+        // minimum (object 5, 0.8) has decayed to 0.5. The lazy planner
+        // must revalidate it at the top and pop it with the exact-at-now
+        // key, never touching the entry stored behind it.
+        let mut c = cache(100);
+        c.insert(oid(2), Bytes::new(40), 0.0, Tick::new(1));
+        c.insert(oid(5), Bytes::new(40), 0.0, Tick::new(1));
+        c.set_utility_at(oid(2), 1.0, Tick::new(1));
+        c.set_utility_at(oid(5), 0.8, Tick::new(1));
+        let mut plan = EvictionPlan::new();
+        let current = |o: ObjectId, _e: &CachedEntry| if o == oid(5) { 0.5 } else { 1.0 };
+        assert!(c.plan_eviction_lazy_into(Bytes::new(30), Tick::new(9), current, &mut plan));
+        assert_eq!(plan.victims(), &[(oid(5), 0.5)]);
+        // The non-victim was never revalidated: its stored key survives.
+        assert_eq!(c.utility(oid(2)), Some(1.0));
+        c.abort_plan(&plan);
+        // The aborted victim went back stamped at tick 9, so a same-tick
+        // replan pops it fresh without any recomputation.
+        let mut again = EvictionPlan::new();
+        let strict =
+            |_: ObjectId, _: &CachedEntry| -> f64 { panic!("same-tick replan must not rekey") };
+        assert!(c.plan_eviction_lazy_into(Bytes::new(30), Tick::new(9), strict, &mut again));
+        assert_eq!(again.victims(), plan.victims());
+        c.abort_plan(&again);
+    }
+
+    #[test]
+    fn reference_planning_matches_heap_planning_under_churn() {
+        // Two identical caches, one planning off the heap root and one by
+        // linear scan, must emit identical plans through random churn.
+        let mut fast = cache(500);
+        let mut reference = cache(500);
+        reference.set_reference_planning(true);
+        let mut rng = byc_types::SplitMix64::new(23);
+        let mut checked = 0u32;
+        for step in 0..2_000u32 {
+            let o = oid(rng.next_bounded(40) as u32);
+            let now = Tick::new(step as u64);
+            if fast.contains(o) {
+                if rng.chance(0.2) {
+                    fast.remove(o);
+                    reference.remove(o);
+                } else {
+                    let key = (rng.next_bounded(4) as f64) / 2.0;
+                    fast.set_utility_at(o, key, now);
+                    reference.set_utility_at(o, key, now);
+                }
+            } else {
+                let size = Bytes::new(rng.next_range(1, 150));
+                // Decay every stale key by half per elapsed tick — an
+                // upper-bound-preserving rekey rule.
+                let rekey = |_o: ObjectId, e: &CachedEntry| {
+                    let age = now.raw().saturating_sub(e.loaded_at.raw()) as f64;
+                    1.0 / (1.0 + age)
+                };
+                let mut plan = EvictionPlan::new();
+                let mut ref_plan = EvictionPlan::new();
+                let ok = fast.plan_eviction_lazy_into(size, now, rekey, &mut plan);
+                let ref_ok = reference.plan_eviction_lazy_into(size, now, rekey, &mut ref_plan);
+                assert_eq!(ok, ref_ok, "feasibility diverged at step {step}");
+                assert_eq!(
+                    plan.victims(),
+                    ref_plan.victims(),
+                    "plans diverged at step {step}"
+                );
+                if ok {
+                    checked += 1;
+                    let u = (rng.next_bounded(4) as f64) / 2.0;
+                    fast.commit_plan(&plan, o, size, u, now);
+                    reference.commit_plan(&ref_plan, o, size, u, now);
+                } else {
+                    fast.abort_plan(&plan);
+                    reference.abort_plan(&ref_plan);
+                }
+            }
+            assert!(fast.check_invariants().is_ok(), "step {step}");
+            assert!(reference.check_invariants().is_ok(), "step {step}");
+        }
+        assert!(checked > 300, "churn exercised too few plans: {checked}");
     }
 
     #[test]

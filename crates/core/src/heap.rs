@@ -1,4 +1,5 @@
-//! An indexed binary min-heap keyed by `f64` utility.
+//! An indexed binary min-heap keyed by `f64` utility, with lazy
+//! revalidation support.
 //!
 //! The paper's prototype keeps "a binary heap of database objects in which
 //! heap ordering is done based on utility value" with O(log k) insertion
@@ -6,17 +7,51 @@
 //! to *re-key* entries (rate profiles decay with time; GDS ages utilities),
 //! so this heap supports `update_key` and `remove` by object id through a
 //! position index.
+//!
+//! Two properties make this heap the engine of the incremental utility
+//! maintenance described in DESIGN.md §18:
+//!
+//! 1. **Total order.** Entries are ordered by `(key ascending, then
+//!    ObjectId ascending)`. With a total order the pop sequence of a given
+//!    entry multiset is *unique* — independent of insertion order or the
+//!    internal arrangement of the array — so eviction plans are
+//!    bit-reproducible even after speculative pops are rolled back.
+//! 2. **Stamps.** Every entry carries a `u64` stamp recording the tick at
+//!    which its key was last known exact ([`IndexedMinHeap::ALWAYS_FRESH`]
+//!    for keys that never decay). [`IndexedMinHeap::pop_min_revalidated`]
+//!    pops the minimum under lazy revalidation: while the root is stale it
+//!    recomputes the root's key at the current tick and re-stamps it,
+//!    popping only entries whose key is exact *now*. Policies whose keys
+//!    only ever shrink between touches (the rate profile's hyperbolic
+//!    decay) get amortized O(log n) victim selection with no full-cache
+//!    sweep.
 
-use byc_types::ObjectId;
+use byc_types::{ObjectId, Tick};
 
-/// Indexed binary min-heap over (object, utility) pairs.
+/// `a` orders strictly before `b` under the heap's `(key, id)` total
+/// order: ascending key, ties broken by ascending id. `total_cmp` keeps
+/// the comparison total without a NaN escape hatch (upstream
+/// `debug_assert`s exclude NaN keys, and no policy produces the
+/// negative zeros where `total_cmp` and `partial_cmp` disagree).
+pub(crate) fn before(a: (ObjectId, f64), b: (ObjectId, f64)) -> bool {
+    match a.1.total_cmp(&b.1) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.0 < b.0,
+    }
+}
+
+/// Indexed binary min-heap over (object, utility) pairs under the
+/// `(key, id)` total order, with a per-entry freshness stamp.
 ///
-/// Utilities must not be NaN; `debug_assert`s guard this. Ties are broken
-/// arbitrarily but deterministically.
+/// Utilities must not be NaN; `debug_assert`s guard this.
 #[derive(Clone, Debug, Default)]
 pub struct IndexedMinHeap {
     /// Heap-ordered (object, key) pairs.
     items: Vec<(ObjectId, f64)>,
+    /// Freshness stamp of each entry, parallel to `items`: the raw tick
+    /// at which the key was last exact, or [`Self::ALWAYS_FRESH`].
+    stamps: Vec<u64>,
     /// object index → position in `items`, or `usize::MAX` when absent.
     positions: Vec<usize>,
 }
@@ -24,6 +59,10 @@ pub struct IndexedMinHeap {
 const ABSENT: usize = usize::MAX;
 
 impl IndexedMinHeap {
+    /// Stamp of an entry whose key never decays: it is exact at every
+    /// tick and is popped without revalidation.
+    pub const ALWAYS_FRESH: u64 = u64::MAX;
+
     /// An empty heap.
     pub fn new() -> Self {
         Self::default()
@@ -52,17 +91,32 @@ impl IndexedMinHeap {
         (pos != ABSENT).then(|| self.items[pos].1)
     }
 
+    /// Current stamp of `object`, if present.
+    pub fn stamp_of(&self, object: ObjectId) -> Option<u64> {
+        let &pos = self.positions.get(object.index())?;
+        (pos != ABSENT).then(|| self.stamps[pos])
+    }
+
     /// The minimum entry without removing it.
     pub fn peek_min(&self) -> Option<(ObjectId, f64)> {
         self.items.first().copied()
     }
 
-    /// Insert `object` with `key`.
+    /// Insert `object` with a never-decaying `key`.
     ///
     /// # Panics
     ///
     /// Panics if the object is already present (policies track membership).
     pub fn push(&mut self, object: ObjectId, key: f64) {
+        self.push_stamped(object, key, Self::ALWAYS_FRESH);
+    }
+
+    /// Insert `object` with `key`, exact as of raw tick `stamp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is already present (policies track membership).
+    pub fn push_stamped(&mut self, object: ObjectId, key: f64, stamp: u64) {
         debug_assert!(!key.is_nan(), "heap keys must not be NaN");
         assert!(!self.contains(object), "duplicate heap insert for {object}");
         if self.positions.len() <= object.index() {
@@ -70,6 +124,7 @@ impl IndexedMinHeap {
         }
         let pos = self.items.len();
         self.items.push((object, key));
+        self.stamps.push(stamp);
         self.positions[object.index()] = pos;
         self.sift_up(pos);
     }
@@ -84,6 +139,48 @@ impl IndexedMinHeap {
         Some(min)
     }
 
+    /// Remove and return the minimum entry under lazy revalidation.
+    ///
+    /// While the root entry's stamp is neither [`Self::ALWAYS_FRESH`] nor
+    /// `now`, its key is recomputed by `rekey`, updated in place, and
+    /// re-stamped to `now`; the heap re-orders and the loop repeats. The
+    /// entry finally popped therefore carries a key that is exact at
+    /// `now`.
+    ///
+    /// The staleness invariant callers must uphold (DESIGN.md §18): a
+    /// stale stored key is an **upper bound** of the current key, so a
+    /// revalidated root can only move *down* in key and stays at the top
+    /// modulo the deterministic `(key, id)` tie-break — each revalidation
+    /// either pops or permanently freshens one entry, bounding the loop
+    /// at O(stale entries at the top).
+    pub fn pop_min_revalidated(
+        &mut self,
+        now: u64,
+        mut rekey: impl FnMut(ObjectId) -> f64,
+    ) -> Option<(ObjectId, f64)> {
+        loop {
+            let &(object, key) = self.items.first()?;
+            let stamp = self.stamps[0];
+            if stamp == Self::ALWAYS_FRESH || stamp == now {
+                self.remove_at(0);
+                return Some((object, key));
+            }
+            let fresh = rekey(object);
+            self.update_stamped(object, fresh, now);
+        }
+    }
+
+    /// The minimum entry found by a linear scan instead of reading the
+    /// root — a structural cross-check for tests and the reference
+    /// planning mode: on a valid heap it must agree with
+    /// [`Self::peek_min`] because the `(key, id)` order is total.
+    pub fn scan_min(&self) -> Option<(ObjectId, f64)> {
+        self.items
+            .iter()
+            .copied()
+            .reduce(|best, item| if before(item, best) { item } else { best })
+    }
+
     /// Remove `object`, returning its key if it was present.
     pub fn remove(&mut self, object: ObjectId) -> Option<f64> {
         let &pos = self.positions.get(object.index())?;
@@ -95,20 +192,30 @@ impl IndexedMinHeap {
         Some(key)
     }
 
-    /// Change the key of `object`; inserts if absent.
+    /// Change the key of `object` to a never-decaying `key`; inserts if
+    /// absent.
     pub fn update_key(&mut self, object: ObjectId, key: f64) {
+        self.update_stamped(object, key, Self::ALWAYS_FRESH);
+    }
+
+    /// Change the key of `object` to `key`, exact as of raw tick `stamp`;
+    /// inserts if absent.
+    pub fn update_stamped(&mut self, object: ObjectId, key: f64, stamp: u64) {
         debug_assert!(!key.is_nan(), "heap keys must not be NaN");
         match self.positions.get(object.index()).copied() {
             Some(pos) if pos != ABSENT => {
                 let old = self.items[pos].1;
                 self.items[pos].1 = key;
+                self.stamps[pos] = stamp;
+                // The id component of the order is unchanged, so an equal
+                // key means an unchanged position.
                 if key < old {
                     self.sift_up(pos);
                 } else if key > old {
                     self.sift_down(pos);
                 }
             }
-            _ => self.push(object, key),
+            _ => self.push_stamped(object, key, stamp),
         }
     }
 
@@ -123,13 +230,16 @@ impl IndexedMinHeap {
             self.positions[o.index()] = ABSENT;
         }
         self.items.clear();
+        self.stamps.clear();
     }
 
     fn remove_at(&mut self, pos: usize) {
         let last = self.items.len() - 1;
         let (removed, _) = self.items[pos];
         self.items.swap(pos, last);
+        self.stamps.swap(pos, last);
         self.items.pop();
+        self.stamps.pop();
         self.positions[removed.index()] = ABSENT;
         if pos < self.items.len() {
             self.positions[self.items[pos].0.index()] = pos;
@@ -142,7 +252,7 @@ impl IndexedMinHeap {
     fn sift_up(&mut self, mut pos: usize) {
         while pos > 0 {
             let parent = (pos - 1) / 2;
-            if self.items[pos].1 < self.items[parent].1 {
+            if before(self.items[pos], self.items[parent]) {
                 self.swap(pos, parent);
                 pos = parent;
             } else {
@@ -156,10 +266,10 @@ impl IndexedMinHeap {
             let left = 2 * pos + 1;
             let right = 2 * pos + 2;
             let mut smallest = pos;
-            if left < self.items.len() && self.items[left].1 < self.items[smallest].1 {
+            if left < self.items.len() && before(self.items[left], self.items[smallest]) {
                 smallest = left;
             }
-            if right < self.items.len() && self.items[right].1 < self.items[smallest].1 {
+            if right < self.items.len() && before(self.items[right], self.items[smallest]) {
                 smallest = right;
             }
             if smallest == pos {
@@ -172,6 +282,7 @@ impl IndexedMinHeap {
 
     fn swap(&mut self, a: usize, b: usize) {
         self.items.swap(a, b);
+        self.stamps.swap(a, b);
         self.positions[self.items[a].0.index()] = a;
         self.positions[self.items[b].0.index()] = b;
     }
@@ -179,13 +290,16 @@ impl IndexedMinHeap {
     /// Check the heap invariant and index consistency (test helper).
     #[doc(hidden)]
     pub fn validate(&self) -> bool {
-        for (pos, &(o, key)) in self.items.iter().enumerate() {
+        if self.stamps.len() != self.items.len() {
+            return false;
+        }
+        for (pos, &(o, _)) in self.items.iter().enumerate() {
             if self.positions[o.index()] != pos {
                 return false;
             }
             if pos > 0 {
                 let parent = (pos - 1) / 2;
-                if key < self.items[parent].1 {
+                if before(self.items[pos], self.items[parent]) {
                     return false;
                 }
             }
@@ -194,31 +308,56 @@ impl IndexedMinHeap {
     }
 }
 
-/// A reusable scratch min-heap for partial selection by `(key, id)`.
+/// A key type a [`SelectionHeap`] can order by.
 ///
-/// [`CacheState::plan_eviction`](crate::cache::CacheState::plan_eviction)
-/// needs the lowest-utility prefix of the cached objects, not a full sort:
-/// loading the heap is O(k) and each victim pop is O(log k), so planning
-/// `m` victims costs O(k + m log k) instead of the O(k log k) full
-/// `sort_by` it replaces. The order is the **total** order
-/// `(utility ascending, then ObjectId ascending)` — identical to the
-/// comparator the old sort used — so the popped victim sequence is unique
-/// regardless of how the candidates were arranged when loaded, and
-/// eviction plans stay bit-identical to the sort-based reference.
-///
-/// The buffer is owned by long-lived state (e.g. `CacheState`) and reused
-/// across calls; `load` clears and refills it without freeing the
-/// allocation.
-#[derive(Clone, Debug, Default)]
-pub struct SelectionHeap {
-    /// Heap-ordered (object, key) pairs under the `(key, id)` total order.
-    items: Vec<(ObjectId, f64)>,
+/// `key_lt` must be a strict weak ordering; incomparable values (NaN for
+/// `f64`) compare as equal, and the heap breaks all such ties by
+/// ascending [`ObjectId`].
+pub trait HeapKey: Copy {
+    /// Strictly-less comparison between keys.
+    fn key_lt(&self, other: &Self) -> bool;
 }
 
-impl SelectionHeap {
+impl HeapKey for f64 {
+    fn key_lt(&self, other: &Self) -> bool {
+        matches!(self.partial_cmp(other), Some(std::cmp::Ordering::Less))
+    }
+}
+
+impl HeapKey for Tick {
+    fn key_lt(&self, other: &Self) -> bool {
+        self < other
+    }
+}
+
+/// A reusable scratch min-heap for partial selection by `(key, id)`.
+///
+/// Callers that need the lowest-key prefix of a candidate set — victim
+/// planning, profile pruning — load it in O(k) and pop each selected
+/// entry in O(log k), so selecting `m` of `k` candidates costs
+/// O(k + m log k) instead of the O(k log k) full `sort_by` it replaces.
+/// The order is the **total** order `(key ascending, then ObjectId
+/// ascending)` — identical to the comparator the old sorts used — so the
+/// popped sequence is unique regardless of how the candidates were
+/// arranged when loaded.
+///
+/// The key type is generic over [`HeapKey`]: `f64` for utility selection,
+/// [`Tick`] for recency selection (profile pruning keeps its exact
+/// integer `(tick, object-id)` tie-break this way, with no float
+/// round-trip).
+///
+/// The buffer is owned by long-lived state and reused across calls;
+/// `load` clears and refills it without freeing the allocation.
+#[derive(Clone, Debug, Default)]
+pub struct SelectionHeap<K: HeapKey = f64> {
+    /// Heap-ordered (object, key) pairs under the `(key, id)` total order.
+    items: Vec<(ObjectId, K)>,
+}
+
+impl<K: HeapKey> SelectionHeap<K> {
     /// An empty scratch heap.
     pub fn new() -> Self {
-        Self::default()
+        Self { items: Vec::new() }
     }
 
     /// Number of entries currently loaded.
@@ -232,7 +371,7 @@ impl SelectionHeap {
     }
 
     /// Discard previous contents and heapify `candidates` in O(k).
-    pub fn load(&mut self, candidates: impl Iterator<Item = (ObjectId, f64)>) {
+    pub fn load(&mut self, candidates: impl Iterator<Item = (ObjectId, K)>) {
         self.items.clear();
         self.items.extend(candidates);
         let len = self.items.len();
@@ -242,7 +381,7 @@ impl SelectionHeap {
     }
 
     /// Remove and return the minimum entry under `(key, id)`.
-    pub fn pop_min(&mut self) -> Option<(ObjectId, f64)> {
+    pub fn pop_min(&mut self) -> Option<(ObjectId, K)> {
         let last = self.items.len().checked_sub(1)?;
         self.items.swap(0, last);
         let min = self.items.pop()?;
@@ -253,15 +392,15 @@ impl SelectionHeap {
     }
 
     /// `a` orders strictly before `b`: ascending key, ties broken by
-    /// ascending id. Incomparable keys (NaN, which upstream
-    /// `debug_assert`s exclude) compare as equal, exactly like the
-    /// `partial_cmp(..).unwrap_or(Equal)` comparator this replaces.
-    fn before(a: (ObjectId, f64), b: (ObjectId, f64)) -> bool {
-        match a.1.partial_cmp(&b.1) {
-            Some(std::cmp::Ordering::Less) => true,
-            Some(std::cmp::Ordering::Greater) => false,
-            _ => a.0 < b.0,
+    /// ascending id.
+    fn before(a: (ObjectId, K), b: (ObjectId, K)) -> bool {
+        if a.1.key_lt(&b.1) {
+            return true;
         }
+        if b.1.key_lt(&a.1) {
+            return false;
+        }
+        a.0 < b.0
     }
 
     fn sift_down(&mut self, mut pos: usize) {
@@ -306,6 +445,19 @@ mod tests {
     }
 
     #[test]
+    fn pop_breaks_ties_by_ascending_id() {
+        let mut h = IndexedMinHeap::new();
+        h.push(oid(9), 1.0);
+        h.push(oid(2), 1.0);
+        h.push(oid(5), 1.0);
+        h.push(oid(0), 2.0);
+        assert_eq!(h.pop_min(), Some((oid(2), 1.0)));
+        assert_eq!(h.pop_min(), Some((oid(5), 1.0)));
+        assert_eq!(h.pop_min(), Some((oid(9), 1.0)));
+        assert_eq!(h.pop_min(), Some((oid(0), 2.0)));
+    }
+
+    #[test]
     fn peek_does_not_remove() {
         let mut h = IndexedMinHeap::new();
         h.push(oid(7), 2.0);
@@ -321,6 +473,8 @@ mod tests {
         assert!(!h.contains(oid(4)));
         assert_eq!(h.key_of(oid(3)), Some(9.0));
         assert_eq!(h.key_of(oid(99)), None);
+        assert_eq!(h.stamp_of(oid(3)), Some(IndexedMinHeap::ALWAYS_FRESH));
+        assert_eq!(h.stamp_of(oid(99)), None);
     }
 
     #[test]
@@ -412,6 +566,80 @@ mod tests {
     }
 
     #[test]
+    fn scan_min_agrees_with_peek() {
+        let mut rng = SplitMix64::new(41);
+        let mut h = IndexedMinHeap::new();
+        for i in 0..64u32 {
+            // Quantized keys make (key, id) tie-breaks common.
+            h.push(oid(i), (rng.next_bounded(6) as f64) / 2.0);
+        }
+        while !h.is_empty() {
+            assert_eq!(h.scan_min(), h.peek_min());
+            h.pop_min();
+        }
+        assert_eq!(h.scan_min(), None);
+    }
+
+    #[test]
+    fn revalidated_pop_freshens_stale_roots_in_order() {
+        // Three entries stamped at tick 1 whose stored keys are upper
+        // bounds of their "current" value at tick 5; one always-fresh
+        // entry. The revalidating pop must (a) rekey exactly the stale
+        // entries that surface at the root, (b) restamp them to `now`,
+        // (c) pop each entry with its key exact at `now`. Selection
+        // follows the *stored*-key order — object 1's buried 0.5 only
+        // emerges once the entries stored ahead of it have popped; that
+        // is the lazy semantics DESIGN.md §18 specifies.
+        let mut h = IndexedMinHeap::new();
+        h.push_stamped(oid(0), 4.0, 1); // current value at t=5: 2.0
+        h.push_stamped(oid(1), 5.0, 1); // current value at t=5: 0.5
+        h.push_stamped(oid(2), 6.0, 1); // current value at t=5: 6.0 (already exact)
+        h.push(oid(3), 3.0); // ALWAYS_FRESH
+        let current = |o: ObjectId| match o.raw() {
+            0 => 2.0,
+            1 => 0.5,
+            _ => 6.0,
+        };
+
+        let mut order = Vec::new();
+        let mut revalidations = Vec::new();
+        while let Some((o, key)) = h.pop_min_revalidated(5, |o| {
+            revalidations.push(o);
+            current(o)
+        }) {
+            order.push((o, key));
+            assert!(h.validate());
+        }
+        // Stored order was 3 < 0 < 1 < 2. The fresh 3.0 pops untouched;
+        // each stale entry is revalidated exactly once, when it reaches
+        // the root, and pops with its exact-at-now key.
+        assert_eq!(revalidations, vec![oid(0), oid(1), oid(2)]);
+        assert_eq!(
+            order,
+            vec![(oid(3), 3.0), (oid(0), 2.0), (oid(1), 0.5), (oid(2), 6.0)]
+        );
+    }
+
+    #[test]
+    fn revalidated_pop_trusts_same_tick_stamps() {
+        let mut h = IndexedMinHeap::new();
+        h.push_stamped(oid(0), 1.0, 7);
+        let popped = h.pop_min_revalidated(7, |_| panic!("fresh entry must not be rekeyed"));
+        assert_eq!(popped, Some((oid(0), 1.0)));
+    }
+
+    #[test]
+    fn update_stamped_restamps_without_reorder() {
+        let mut h = IndexedMinHeap::new();
+        h.push_stamped(oid(0), 1.0, 1);
+        h.push_stamped(oid(1), 2.0, 1);
+        h.update_stamped(oid(0), 1.0, 3); // same key, fresher stamp
+        assert_eq!(h.stamp_of(oid(0)), Some(3));
+        assert_eq!(h.peek_min(), Some((oid(0), 1.0)));
+        assert!(h.validate());
+    }
+
+    #[test]
     fn selection_heap_pops_sorted_with_id_tiebreak() {
         let mut s = SelectionHeap::new();
         s.load([(oid(5), 2.0), (oid(1), 2.0), (oid(9), 1.0), (oid(3), 2.0)].into_iter());
@@ -456,5 +684,24 @@ mod tests {
             }
             assert_eq!(popped, reference);
         }
+    }
+
+    #[test]
+    fn selection_heap_orders_tick_keys_exactly() {
+        let mut s: SelectionHeap<Tick> = SelectionHeap::new();
+        s.load(
+            [
+                (oid(4), Tick::new(10)),
+                (oid(1), Tick::new(10)),
+                (oid(7), Tick::new(3)),
+                (oid(0), Tick::new(12)),
+            ]
+            .into_iter(),
+        );
+        assert_eq!(s.pop_min(), Some((oid(7), Tick::new(3))));
+        assert_eq!(s.pop_min(), Some((oid(1), Tick::new(10))));
+        assert_eq!(s.pop_min(), Some((oid(4), Tick::new(10))));
+        assert_eq!(s.pop_min(), Some((oid(0), Tick::new(12))));
+        assert_eq!(s.pop_min(), None);
     }
 }

@@ -13,9 +13,9 @@
 //! [`UtilityRule`].
 
 use crate::access::Access;
-use crate::cache::CacheState;
+use crate::cache::{CacheState, EvictionPlan};
 use crate::dense::DenseMap;
-use crate::policy::{CachePolicy, Decision};
+use crate::policy::{CachePolicy, Decision, Evictions};
 use byc_types::{Bytes, ObjectId};
 
 /// How a policy keys the utility heap.
@@ -38,6 +38,8 @@ pub trait UtilityRule {
 pub struct InlineCache<R> {
     cache: CacheState,
     rule: R,
+    /// Reusable eviction-plan scratch; empty between accesses.
+    plan: EvictionPlan,
 }
 
 impl<R: UtilityRule> InlineCache<R> {
@@ -46,6 +48,7 @@ impl<R: UtilityRule> InlineCache<R> {
         Self {
             cache: CacheState::new(capacity),
             rule,
+            plan: EvictionPlan::new(),
         }
     }
 
@@ -68,20 +71,25 @@ impl<R: UtilityRule> CachePolicy for InlineCache<R> {
             self.cache.set_utility(access.object, u);
             return Decision::Hit;
         }
-        let Some(plan) = self.cache.plan_eviction(access.size) else {
+        // In-line keys are refreshed on every hit and load, so the heap is
+        // always exact: plain (non-lazy) planning suffices.
+        let mut plan = std::mem::take(&mut self.plan);
+        if !self.cache.plan_eviction_into(access.size, &mut plan) {
             // Larger than the whole cache: physically uncacheable.
+            self.plan = plan;
             return Decision::Bypass;
-        };
-        for &(v, u) in &plan {
+        }
+        let mut evictions = Evictions::new();
+        for &(v, u) in plan.victims() {
             self.rule.on_evict(v, u);
+            evictions.push(v);
         }
         let utility = self.rule.on_load(access);
         self.cache
-            .evict_and_insert(&plan, access.object, access.size, utility, access.time);
+            .commit_plan(&plan, access.object, access.size, utility, access.time);
         self.cache.record_hit(access.object, access.yield_bytes);
-        Decision::Load {
-            evictions: plan.into_iter().map(|(o, _)| o).collect(),
-        }
+        self.plan = plan;
+        Decision::Load { evictions }
     }
 
     fn contains(&self, object: ObjectId) -> bool {
@@ -102,6 +110,10 @@ impl<R: UtilityRule> CachePolicy for InlineCache<R> {
 
     fn invalidate(&mut self, object: ObjectId) -> bool {
         self.cache.remove(object).is_some()
+    }
+
+    fn debug_reference_planning(&mut self, enabled: bool) {
+        self.cache.set_reference_planning(enabled);
     }
 }
 
@@ -406,7 +418,7 @@ mod tests {
         assert_eq!(
             d,
             Decision::Load {
-                evictions: vec![ObjectId::new(1)]
+                evictions: vec![ObjectId::new(1)].into()
             }
         );
     }
@@ -423,7 +435,7 @@ mod tests {
         assert_eq!(
             d,
             Decision::Load {
-                evictions: vec![ObjectId::new(1)]
+                evictions: vec![ObjectId::new(1)].into()
             }
         );
     }
@@ -441,7 +453,7 @@ mod tests {
         assert_eq!(
             d,
             Decision::Load {
-                evictions: vec![ObjectId::new(0)]
+                evictions: vec![ObjectId::new(0)].into()
             }
         );
     }
@@ -473,7 +485,7 @@ mod tests {
         assert_eq!(
             d,
             Decision::Load {
-                evictions: vec![ObjectId::new(1)]
+                evictions: vec![ObjectId::new(1)].into()
             }
         );
         // Frequency persists across evictions: reloading 1 later still
@@ -492,7 +504,7 @@ mod tests {
         assert_eq!(
             d,
             Decision::Load {
-                evictions: vec![ObjectId::new(1)]
+                evictions: vec![ObjectId::new(1)].into()
             }
         );
     }
@@ -509,7 +521,7 @@ mod tests {
         assert_eq!(
             d,
             Decision::Load {
-                evictions: vec![ObjectId::new(0)]
+                evictions: vec![ObjectId::new(0)].into()
             }
         );
     }
@@ -524,7 +536,7 @@ mod tests {
         assert_eq!(
             d,
             Decision::Load {
-                evictions: vec![ObjectId::new(0)]
+                evictions: vec![ObjectId::new(0)].into()
             }
         );
         assert!(p.contains(ObjectId::new(1)));
@@ -541,7 +553,7 @@ mod tests {
         assert_eq!(
             d,
             Decision::Load {
-                evictions: vec![ObjectId::new(1)]
+                evictions: vec![ObjectId::new(1)].into()
             }
         );
     }

@@ -3,6 +3,126 @@
 use crate::access::Access;
 use byc_types::{Bytes, ObjectId};
 
+/// Victims fit inline in an [`Evictions`] list up to this count before it
+/// spills to the heap. Steady-state loads evict a handful of objects at
+/// most, so the common case allocates nothing.
+const INLINE_VICTIMS: usize = 4;
+
+#[derive(Clone)]
+enum EvictionsRepr {
+    Inline {
+        buf: [ObjectId; INLINE_VICTIMS],
+        len: u8,
+    },
+    Spilled(Vec<ObjectId>),
+}
+
+/// The victim list of a [`Decision::Load`]: a small-buffer list of
+/// [`ObjectId`]s in eviction order.
+///
+/// Up to `INLINE_VICTIMS` victims live inline in the decision value
+/// itself, so the policy hot path emits loads without touching the
+/// allocator; longer lists (rare: one large incoming object displacing
+/// many small ones) spill to a `Vec`. The representation is invisible:
+/// equality, ordering of iteration, and `Debug` all go through the slice
+/// view, and the type derefs to `[ObjectId]`.
+#[derive(Clone)]
+pub struct Evictions {
+    repr: EvictionsRepr,
+}
+
+impl Evictions {
+    /// An empty victim list.
+    pub fn new() -> Self {
+        Self {
+            repr: EvictionsRepr::Inline {
+                buf: [ObjectId::new(0); INLINE_VICTIMS],
+                len: 0,
+            },
+        }
+    }
+
+    /// Append a victim, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, object: ObjectId) {
+        match &mut self.repr {
+            EvictionsRepr::Inline { buf, len } => {
+                let n = usize::from(*len);
+                if n < INLINE_VICTIMS {
+                    buf[n] = object;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(INLINE_VICTIMS + 1);
+                    spilled.extend_from_slice(&buf[..n]);
+                    spilled.push(object);
+                    self.repr = EvictionsRepr::Spilled(spilled);
+                }
+            }
+            EvictionsRepr::Spilled(v) => v.push(object),
+        }
+    }
+
+    /// The victims as a slice, in eviction order.
+    pub fn as_slice(&self) -> &[ObjectId] {
+        match &self.repr {
+            EvictionsRepr::Inline { buf, len } => &buf[..usize::from(*len)],
+            EvictionsRepr::Spilled(v) => v,
+        }
+    }
+}
+
+impl Default for Evictions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for Evictions {
+    type Target = [ObjectId];
+
+    fn deref(&self) -> &[ObjectId] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Evictions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for Evictions {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Evictions {}
+
+impl FromIterator<ObjectId> for Evictions {
+    fn from_iter<I: IntoIterator<Item = ObjectId>>(iter: I) -> Self {
+        let mut evictions = Evictions::new();
+        for object in iter {
+            evictions.push(object);
+        }
+        evictions
+    }
+}
+
+impl From<Vec<ObjectId>> for Evictions {
+    fn from(victims: Vec<ObjectId>) -> Self {
+        victims.into_iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Evictions {
+    type Item = &'a ObjectId;
+    type IntoIter = std::slice::Iter<'a, ObjectId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A policy's answer to one access.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Decision {
@@ -15,7 +135,7 @@ pub enum Decision {
     /// serve the query locally. WAN cost: the object's fetch cost.
     Load {
         /// Objects evicted to make room, in eviction order.
-        evictions: Vec<ObjectId>,
+        evictions: Evictions,
     },
 }
 
@@ -23,7 +143,7 @@ impl Decision {
     /// A load with no evictions.
     pub fn load() -> Self {
         Decision::Load {
-            evictions: Vec::new(),
+            evictions: Evictions::new(),
         }
     }
 
@@ -77,6 +197,19 @@ pub trait CachePolicy {
         let _ = object;
         false
     }
+
+    /// Route victim selection through the scan-based reference planner
+    /// instead of the utility heap (see
+    /// [`CacheState::set_reference_planning`]). A no-op for policies
+    /// without heap-backed state; wrappers forward it. Decision streams
+    /// must be bit-identical either way — the equivalence proptests flip
+    /// this to cross-check the heap machinery.
+    ///
+    /// [`CacheState::set_reference_planning`]: crate::cache::CacheState::set_reference_planning
+    #[doc(hidden)]
+    fn debug_reference_planning(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
 }
 
 impl<P: CachePolicy + ?Sized> CachePolicy for &mut P {
@@ -106,6 +239,10 @@ impl<P: CachePolicy + ?Sized> CachePolicy for &mut P {
 
     fn invalidate(&mut self, object: ObjectId) -> bool {
         (**self).invalidate(object)
+    }
+
+    fn debug_reference_planning(&mut self, enabled: bool) {
+        (**self).debug_reference_planning(enabled)
     }
 }
 
@@ -137,11 +274,19 @@ impl<P: CachePolicy + ?Sized> CachePolicy for Box<P> {
     fn invalidate(&mut self, object: ObjectId) -> bool {
         (**self).invalidate(object)
     }
+
+    fn debug_reference_planning(&mut self, enabled: bool) {
+        (**self).debug_reference_planning(enabled)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn oid(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
 
     #[test]
     fn decision_predicates() {
@@ -149,6 +294,45 @@ mod tests {
         assert!(Decision::Bypass.is_bypass());
         assert!(Decision::load().is_load());
         assert!(!Decision::Hit.is_load());
-        assert_eq!(Decision::load(), Decision::Load { evictions: vec![] });
+        assert_eq!(
+            Decision::load(),
+            Decision::Load {
+                evictions: Evictions::new()
+            }
+        );
+    }
+
+    #[test]
+    fn evictions_inline_then_spill() {
+        let mut e = Evictions::new();
+        assert!(e.is_empty());
+        for i in 0..6u32 {
+            e.push(oid(i));
+        }
+        assert_eq!(e.len(), 6);
+        assert_eq!(
+            e.as_slice(),
+            &[oid(0), oid(1), oid(2), oid(3), oid(4), oid(5)]
+        );
+        // Deref + iteration see the same order.
+        assert_eq!(e.first(), Some(&oid(0)));
+        let collected: Vec<ObjectId> = (&e).into_iter().copied().collect();
+        assert_eq!(
+            collected,
+            vec![oid(0), oid(1), oid(2), oid(3), oid(4), oid(5)]
+        );
+    }
+
+    #[test]
+    fn evictions_equality_ignores_representation() {
+        // Same sequence, one inline and one spilled.
+        let inline: Evictions = vec![oid(1), oid(2)].into();
+        let mut spilled: Evictions = (0..6u32).map(oid).collect();
+        assert_eq!(spilled.len(), 6);
+        spilled = vec![oid(1), oid(2)].into();
+        assert_eq!(inline, spilled);
+        assert_eq!(format!("{inline:?}"), format!("{:?}", vec![oid(1), oid(2)]));
+        let empty: Evictions = Vec::new().into();
+        assert_eq!(empty, Evictions::new());
     }
 }

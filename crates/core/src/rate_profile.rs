@@ -34,9 +34,10 @@
 //! metadata compact (§3).
 
 use crate::access::Access;
-use crate::cache::CacheState;
+use crate::cache::{CacheState, CachedEntry, EvictionPlan};
 use crate::dense::DenseMap;
-use crate::policy::{CachePolicy, Decision};
+use crate::heap::SelectionHeap;
+use crate::policy::{CachePolicy, Decision, Evictions};
 use byc_types::{Bytes, ObjectId, Tick};
 use std::collections::VecDeque;
 
@@ -161,12 +162,30 @@ impl ObjectProfile {
     }
 }
 
+/// The measured rate profile (Eq. 3) of a cached entry at `now`.
+///
+/// This is the rekey rule of the lazy utility heap (DESIGN.md §18): RP
+/// decays hyperbolically between touches, so a stored key stamped at an
+/// earlier tick is always an **upper bound** of the value this computes —
+/// the staleness invariant `plan_eviction_lazy_into` relies on.
+fn rate_of(entry: &CachedEntry, now: Tick) -> f64 {
+    let elapsed = now.since_at_least_one(entry.loaded_at) as f64;
+    let s = entry.size.as_f64().max(1.0);
+    entry.accum_yield.as_f64() / (elapsed * s)
+}
+
 /// The Rate-Profile bypass-yield caching policy.
 #[derive(Clone, Debug)]
 pub struct RateProfile {
     cache: CacheState,
     config: RateProfileConfig,
     profiles: DenseMap<ObjectProfile>,
+    /// Reusable eviction-plan scratch: steady-state decisions allocate
+    /// nothing.
+    plan: EvictionPlan,
+    /// Reusable partial-selection scratch for [`Self::prune_profiles`],
+    /// keyed by last-access tick (exact integer `(tick, id)` tie-break).
+    prune_scratch: SelectionHeap<Tick>,
 }
 
 impl RateProfile {
@@ -181,15 +200,14 @@ impl RateProfile {
             cache: CacheState::new(capacity),
             config,
             profiles: DenseMap::new(),
+            plan: EvictionPlan::new(),
+            prune_scratch: SelectionHeap::new(),
         }
     }
 
     /// The measured rate profile (Eq. 3) of a cached object at `now`.
     pub fn rate_profile(&self, object: ObjectId, now: Tick) -> Option<f64> {
-        let e = self.cache.entry(object)?;
-        let elapsed = now.since_at_least_one(e.loaded_at) as f64;
-        let s = e.size.as_f64().max(1.0);
-        Some(e.accum_yield.as_f64() / (elapsed * s))
+        Some(rate_of(self.cache.entry(object)?, now))
     }
 
     /// The load-adjusted rate (Eq. 6) of a profiled object.
@@ -249,37 +267,27 @@ impl RateProfile {
         profile.lar(decay)
     }
 
-    /// Refresh the heap keys of all cached objects to their current RPs.
-    fn refresh_utilities(&mut self, now: Tick) {
-        let rps: Vec<(ObjectId, f64)> = self
-            .cache
-            .iter()
-            .map(|(o, e)| {
-                let elapsed = now.since_at_least_one(e.loaded_at) as f64;
-                let s = e.size.as_f64().max(1.0);
-                (o, e.accum_yield.as_f64() / (elapsed * s))
-            })
-            .collect();
-        for (o, rp) in rps {
-            self.cache.set_utility(o, rp);
-        }
-    }
-
     /// Drop the least-recently-accessed profiles when over the cap.
+    ///
+    /// Partial selection on the reusable [`SelectionHeap`] scratch:
+    /// loading is O(P) and each pruned profile costs O(log P), against
+    /// the O(P log P) full sort it replaces. The `(last_access, id)`
+    /// order is total and integer-exact, so exactly the profiles the old
+    /// sort dropped are dropped. Pruning 10% below the cap means the
+    /// next O(P) load is at least `max_profiles / 10` accesses away —
+    /// amortized O(1) per access.
     fn prune_profiles(&mut self) {
         if self.profiles.len() <= self.config.max_profiles {
             return;
         }
-        let mut by_recency: Vec<(ObjectId, Tick)> = self
-            .profiles
-            .iter()
-            .map(|(o, p)| (o, p.last_access))
-            .collect();
-        by_recency.sort_by_key(|&(o, t)| (t, o));
-        // Prune 10% to amortize the scan.
         let target = self.config.max_profiles - self.config.max_profiles / 10;
         let excess = self.profiles.len().saturating_sub(target);
-        for &(o, _) in by_recency.iter().take(excess) {
+        self.prune_scratch
+            .load(self.profiles.iter().map(|(o, p)| (o, p.last_access)));
+        for _ in 0..excess {
+            let Some((o, _)) = self.prune_scratch.pop_min() else {
+                break;
+            };
             self.profiles.remove(o);
         }
     }
@@ -312,8 +320,18 @@ impl CachePolicy for RateProfile {
     }
 
     fn on_access(&mut self, access: &Access) -> Decision {
+        let now = access.time;
         if self.cache.contains(access.object) {
             self.cache.record_hit(access.object, access.yield_bytes);
+            // Re-key with the RP at the hit tick: every touch leaves the
+            // stored key exact-as-of-now, so between touches the stored
+            // key is an upper bound of the decaying true RP — the
+            // staleness invariant the lazy planner needs.
+            let rp = self
+                .cache
+                .entry(access.object)
+                .map_or(0.0, |e| rate_of(e, now));
+            self.cache.set_utility_at(access.object, rp, now);
             return Decision::Hit;
         }
 
@@ -324,30 +342,47 @@ impl CachePolicy for RateProfile {
             return Decision::Bypass;
         }
 
-        self.refresh_utilities(access.time);
-        let Some(plan) = self.cache.plan_eviction(access.size) else {
+        // Victims surface from the lazy utility heap revalidated at
+        // `now`, so each carries its exact current RP — no full-cache
+        // refresh sweep.
+        let mut plan = std::mem::take(&mut self.plan);
+        if !self
+            .cache
+            .plan_eviction_lazy_into(access.size, now, |_, e| rate_of(e, now), &mut plan)
+        {
+            self.plan = plan;
             return Decision::Bypass;
-        };
+        }
 
         // Load iff the expected rate beats every displaced one; untouched
         // free space displaces a savings rate of zero.
-        let beats_victims = plan.iter().all(|&(_, rp)| rp < lar);
+        let mut beats_victims = true;
+        for &(_, rp) in plan.victims() {
+            if rp < lar {
+                continue;
+            }
+            beats_victims = false;
+            break;
+        }
         if !(beats_victims && lar > 0.0) {
+            self.cache.abort_plan(&plan);
+            self.plan = plan;
             return Decision::Bypass;
         }
 
         // Fold each victim's cache-lifetime performance into its profile,
         // then evict and load.
-        let victims: Vec<ObjectId> = plan.iter().map(|&(o, _)| o).collect();
-        for &v in &victims {
+        let mut evictions = Evictions::new();
+        for &(v, _) in plan.victims() {
             // The fetch cost of a victim is unknown here; approximate it
             // by its size (the uniform-network assumption under which RPs
             // and LARs are compared in the first place).
             let vsize = self.cache.entry(v).map(|e| e.size).unwrap_or(Bytes::ZERO);
-            self.absorb_eviction(v, access.time, vsize);
+            self.absorb_eviction(v, now, vsize);
+            evictions.push(v);
         }
         self.cache
-            .evict_and_insert(&plan, access.object, access.size, 0.0, access.time);
+            .commit_plan(&plan, access.object, access.size, 0.0, now);
         // The triggering query is served from the fresh copy.
         self.cache.record_hit(access.object, access.yield_bytes);
         // Outside profile pauses while cached: close its open episode.
@@ -355,7 +390,8 @@ impl CachePolicy for RateProfile {
             let max_eps = self.config.max_episodes;
             p.close_episode(max_eps);
         }
-        Decision::Load { evictions: victims }
+        self.plan = plan;
+        Decision::Load { evictions }
     }
 
     fn contains(&self, object: ObjectId) -> bool {
@@ -379,6 +415,10 @@ impl CachePolicy for RateProfile {
         // past savings rates no longer predict the new data's behaviour.
         self.profiles.remove(object);
         self.cache.remove(object).is_some()
+    }
+
+    fn debug_reference_planning(&mut self, enabled: bool) {
+        self.cache.set_reference_planning(enabled);
     }
 }
 
@@ -479,7 +519,7 @@ mod tests {
         for i in 0..10 {
             let d = p.on_access(&acc(1, 500 + i, 95, 100));
             if let Decision::Load { evictions } = &d {
-                assert_eq!(evictions, &vec![ObjectId::new(0)]);
+                assert_eq!(evictions.as_slice(), &[ObjectId::new(0)]);
                 displaced = true;
                 break;
             }

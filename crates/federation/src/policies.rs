@@ -219,6 +219,10 @@ impl<P: CachePolicy> CachePolicy for UniformCostAdapter<P> {
     fn invalidate(&mut self, object: byc_types::ObjectId) -> bool {
         self.inner.invalidate(object)
     }
+
+    fn debug_reference_planning(&mut self, enabled: bool) {
+        self.inner.debug_reference_planning(enabled);
+    }
 }
 
 #[cfg(test)]
@@ -275,9 +279,7 @@ mod tests {
             fn on_access(&mut self, a: &Access) -> byc_core::policy::Decision {
                 self.saw
                     .push((a.size.raw(), a.fetch_cost.raw(), a.yield_bytes.raw()));
-                byc_core::policy::Decision::Load {
-                    evictions: Vec::new(),
-                }
+                byc_core::policy::Decision::load()
             }
             fn contains(&self, _: ObjectId) -> bool {
                 false

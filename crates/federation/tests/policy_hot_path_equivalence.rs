@@ -1,0 +1,225 @@
+//! Hot-path equivalence: the lazy-heap decision path is bit-identical
+//! to the eager reference scan.
+//!
+//! PR 10 rebuilt every policy's eviction planning around lazy-deletion
+//! heaps and reusable scratch buffers. The correctness contract is that
+//! the *selection rule* did not change: the reference mode
+//! ([`CachePolicy::debug_reference_planning`]) re-implements the same
+//! rule with exhaustive scans, so any divergence between the two modes
+//! is a bug in the heap machinery, not a modelling choice. This suite
+//! pins the full [`Decision`] stream — not just aggregate counters — of
+//! every shipped policy under both modes, across flat and two-tier
+//! topologies, fault-free and flaky (DESIGN.md §18).
+
+use byc_catalog::sdss::{self, SdssRelease};
+use byc_catalog::{Granularity, ObjectCatalog};
+use byc_core::access::Access;
+use byc_core::policy::{CachePolicy, Decision};
+use byc_federation::{
+    build_policy, CostReport, DegradationPolicy, FaultModel, FlakyLinks, PolicyKind, ReplaySession,
+    RetryPolicy, Topology, Uniform,
+};
+use byc_types::{Bytes, ObjectId};
+use byc_workload::{generate, Trace, WorkloadConfig, WorkloadStats};
+use proptest::prelude::*;
+
+/// Every policy the roster can build, not just the headline lineup.
+const ALL_POLICIES: [PolicyKind; 13] = [
+    PolicyKind::RateProfile,
+    PolicyKind::OnlineBY,
+    PolicyKind::OnlineBYMarking,
+    PolicyKind::SpaceEffBY,
+    PolicyKind::Gds,
+    PolicyKind::Gdsp,
+    PolicyKind::Lru,
+    PolicyKind::Lfu,
+    PolicyKind::LruK,
+    PolicyKind::Lff,
+    PolicyKind::GdStar,
+    PolicyKind::Static,
+    PolicyKind::NoCache,
+];
+
+/// Wraps a policy and records its full decision stream while forwarding
+/// every call — including the reference-planning toggle — untouched.
+struct Recorder {
+    inner: Box<dyn CachePolicy + Send + Sync>,
+    decisions: Vec<Decision>,
+}
+
+impl Recorder {
+    fn new(inner: Box<dyn CachePolicy + Send + Sync>) -> Self {
+        Self {
+            inner,
+            decisions: Vec::new(),
+        }
+    }
+}
+
+impl CachePolicy for Recorder {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn on_access(&mut self, access: &Access) -> Decision {
+        let decision = self.inner.on_access(access);
+        self.decisions.push(decision.clone());
+        decision
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        self.inner.contains(object)
+    }
+
+    fn used(&self) -> Bytes {
+        self.inner.used()
+    }
+
+    fn capacity(&self) -> Bytes {
+        self.inner.capacity()
+    }
+
+    fn cached_objects(&self) -> Vec<ObjectId> {
+        self.inner.cached_objects()
+    }
+
+    fn invalidate(&mut self, object: ObjectId) -> bool {
+        self.inner.invalidate(object)
+    }
+
+    fn debug_reference_planning(&mut self, enabled: bool) {
+        self.inner.debug_reference_planning(enabled);
+    }
+}
+
+/// One replay of `kind` in either planning mode, returning the report
+/// plus the recorded decision stream of every tier (bottom-up; a single
+/// stream for the flat path). Policies are rebuilt fresh per call so the
+/// two modes never share state.
+fn run_once(
+    trace: &Trace,
+    objects: &ObjectCatalog,
+    stats: &WorkloadStats,
+    kind: PolicyKind,
+    seed: u64,
+    cache_fraction: f64,
+    topology: Option<&Topology>,
+    faults: Option<(&dyn FaultModel, RetryPolicy, DegradationPolicy)>,
+    reference: bool,
+) -> (CostReport, Vec<Vec<Decision>>) {
+    let capacity = objects.total_size().scale(cache_fraction);
+    let tiers = topology.map_or(1, Topology::depth);
+    let mut recorders: Vec<Recorder> = (0..tiers)
+        .map(|_| {
+            let mut r = Recorder::new(build_policy(kind, capacity, &stats.demands, seed));
+            r.debug_reference_planning(reference);
+            r
+        })
+        .collect();
+    let mut session = ReplaySession::new(trace, objects);
+    match topology {
+        Some(topo) => {
+            session = session.topology(topo);
+            for recorder in &mut recorders {
+                session = session.tier_policy(recorder);
+            }
+        }
+        None => {
+            let [recorder] = &mut recorders[..] else {
+                unreachable!("flat path records exactly one policy");
+            };
+            session = session.policy(recorder);
+        }
+    }
+    if let Some((model, retry, degradation)) = faults {
+        session = session.faults(model).retry(retry).degrade(degradation);
+    }
+    let report = match session.run() {
+        Ok(replay) => replay.report,
+        Err(e) => panic!("replay failed: {e}"),
+    };
+    let streams = recorders.into_iter().map(|r| r.decisions).collect();
+    (report, streams)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For every shipped policy, flat and two-tier, fault-free and
+    /// flaky: the lazy-heap hot path and the eager reference scan
+    /// produce bit-identical decision streams and cost reports.
+    #[test]
+    fn lazy_and_reference_planning_are_bit_identical(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        cache_fraction in 0.05f64..0.6,
+        failure_p in 0.0f64..0.3,
+        inner_multiplier in 0.1f64..1.0,
+    ) {
+        let catalog = sdss::build(SdssRelease::Edr, 1e-4, 2);
+        let trace = generate(&catalog, &WorkloadConfig::smoke(seed, 140)).unwrap();
+        let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+        let stats = WorkloadStats::compute(&trace, &objects);
+        let two_tier = Topology::two_tier(inner_multiplier, Box::new(Uniform)).unwrap();
+        let flaky = FlakyLinks::new(fault_seed, failure_p, 0.1, 4.0);
+        let retry = RetryPolicy::new(2, 1);
+        for kind in ALL_POLICIES {
+            for topology in [None, Some(&two_tier)] {
+                for faulted in [false, true] {
+                    let faults = faulted.then_some((
+                        &flaky as &dyn FaultModel,
+                        retry,
+                        DegradationPolicy::ServeStale,
+                    ));
+                    let (lazy_report, lazy_streams) = run_once(
+                        &trace, &objects, &stats, kind, seed, cache_fraction,
+                        topology, faults, false,
+                    );
+                    let (ref_report, ref_streams) = run_once(
+                        &trace, &objects, &stats, kind, seed, cache_fraction,
+                        topology, faults, true,
+                    );
+                    prop_assert_eq!(
+                        &lazy_report, &ref_report,
+                        "{:?} tiered={} faulted={} cost report diverged",
+                        kind, topology.is_some(), faulted
+                    );
+                    prop_assert_eq!(
+                        lazy_streams.len(), ref_streams.len(),
+                        "{:?} tier count diverged", kind
+                    );
+                    for (tier, (lazy, reference)) in
+                        lazy_streams.iter().zip(&ref_streams).enumerate()
+                    {
+                        prop_assert_eq!(
+                            lazy, reference,
+                            "{:?} tiered={} faulted={} tier {} decision stream diverged",
+                            kind, topology.is_some(), faulted, tier
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The reference toggle reaches through every wrapper in the roster: a
+/// deterministic spot-check that flipping it on a fresh policy still
+/// replays the same smoke trace decision-for-decision. Guards against a
+/// wrapper (sharding, auditing, cost adapters) silently dropping the
+/// forward and the proptest above comparing lazy against lazy.
+#[test]
+fn reference_toggle_forwards_through_roster_wrappers() {
+    let catalog = sdss::build(SdssRelease::Edr, 1e-4, 2);
+    let trace = generate(&catalog, &WorkloadConfig::smoke(11, 200)).unwrap();
+    let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+    let stats = WorkloadStats::compute(&trace, &objects);
+    for kind in ALL_POLICIES {
+        let (lazy_report, lazy_streams) =
+            run_once(&trace, &objects, &stats, kind, 11, 0.2, None, None, false);
+        let (ref_report, ref_streams) =
+            run_once(&trace, &objects, &stats, kind, 11, 0.2, None, None, true);
+        assert_eq!(lazy_report, ref_report, "{kind:?} report diverged");
+        assert_eq!(lazy_streams, ref_streams, "{kind:?} decisions diverged");
+    }
+}
