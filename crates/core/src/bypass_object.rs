@@ -178,10 +178,6 @@ impl BypassObjectAlgorithm for Landlord {
 /// size class.
 const CLASS_PENALTY: f64 = 1e9;
 
-/// Victim-selection penalty for a marked object: effectively unevictable
-/// this phase (the phase-end rule guarantees one is never selected).
-const MARKED_PENALTY: f64 = 1e18;
-
 /// One size class past the largest [`size_class`] value (64 for u64
 /// sizes): the per-class heap table is indexed by class directly.
 const NUM_CLASSES: usize = 65;
@@ -275,23 +271,30 @@ impl SizeClassMarking {
         best
     }
 
-    /// Reference victim selection: recompute every cached object's
-    /// effective key from scratch, exactly like the pre-incremental
-    /// full-cache rekey sweep, and take the `(key, id)` minimum. Must
-    /// agree with [`Self::merged_victim`] whenever unmarked space covers
-    /// the fault — the equivalence tests flip
-    /// [`BypassObjectAlgorithm::debug_reference_planning`] to check this.
+    /// Reference victim selection: recompute every *unmarked* cached
+    /// object's effective key from scratch, exactly like the
+    /// pre-incremental full-cache rekey sweep, and take the `(key, id)`
+    /// minimum. Marked objects are skipped — not penalized — so this
+    /// implements the same rule as [`Self::merged_victim`] (whose class
+    /// heaps only ever hold unmarked entries) even in the
+    /// should-be-unreachable case where no unmarked object remains
+    /// mid-eviction: both selectors then return `None` and the fault
+    /// falls back to `Bypass` identically. The equivalence tests flip
+    /// [`BypassObjectAlgorithm::debug_reference_planning`] to check the
+    /// agreement.
     fn scanned_victim(&self, incoming_class: usize) -> Option<(ObjectId, f64)> {
         let mut best: Option<(ObjectId, f64)> = None;
         for (o, _) in self.cache.iter() {
             let Some(m) = self.meta.get(o) else { continue };
-            let marked_penalty = if m.marked { MARKED_PENALTY } else { 0.0 };
+            if m.marked {
+                continue;
+            }
             let class_penalty = if m.class == incoming_class {
                 0.0
             } else {
                 CLASS_PENALTY
             };
-            let cand = (o, marked_penalty + class_penalty + m.last_use as f64);
+            let cand = (o, class_penalty + m.last_use as f64);
             if best.is_none_or(|b| before(cand, b)) {
                 best = Some(cand);
             }

@@ -293,7 +293,10 @@ impl CacheState {
     /// `rekey` must satisfy the staleness invariant: a stale stored key
     /// is an upper bound of the recomputed key (see DESIGN.md §18), which
     /// is what keeps a revalidated minimum at the top and the loop
-    /// amortized O(log k) per selected victim.
+    /// amortized O(log k) per selected victim. Note the invariant bounds
+    /// the *loop*, not the selection: victims are chosen in stored-key
+    /// order, which for decaying keys is not the same as current-key
+    /// order (DESIGN.md §18.1 documents the semantic gap).
     // A heap key without a cache entry means the lazy heap diverged from
     // the resident set; abort rather than plan phantom evictions. See
     // audit.toml.

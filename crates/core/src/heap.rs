@@ -31,13 +31,27 @@ use byc_types::{ObjectId, Tick};
 /// `a` orders strictly before `b` under the heap's `(key, id)` total
 /// order: ascending key, ties broken by ascending id. `total_cmp` keeps
 /// the comparison total without a NaN escape hatch (upstream
-/// `debug_assert`s exclude NaN keys, and no policy produces the
-/// negative zeros where `total_cmp` and `partial_cmp` disagree).
+/// `debug_assert`s exclude NaN keys, and [`canon_f64`] folds `-0.0`
+/// into `+0.0` on every insert/update so the one other value where
+/// `total_cmp` and `partial_cmp` disagree never reaches a comparison).
 pub(crate) fn before(a: (ObjectId, f64), b: (ObjectId, f64)) -> bool {
     match a.1.total_cmp(&b.1) {
         std::cmp::Ordering::Less => true,
         std::cmp::Ordering::Greater => false,
         std::cmp::Ordering::Equal => a.0 < b.0,
+    }
+}
+
+/// Canonicalize a heap key: `-0.0` becomes `+0.0` (the comparison `==`
+/// treats them as equal, so the branch catches exactly the negative
+/// zero). Applied at every insertion and update in both heap types so
+/// `IndexedMinHeap`'s `total_cmp` order and `SelectionHeap`'s
+/// `partial_cmp`-based order agree on every stored key.
+fn canon_f64(key: f64) -> f64 {
+    if key == 0.0 {
+        0.0
+    } else {
+        key
     }
 }
 
@@ -118,6 +132,7 @@ impl IndexedMinHeap {
     /// Panics if the object is already present (policies track membership).
     pub fn push_stamped(&mut self, object: ObjectId, key: f64, stamp: u64) {
         debug_assert!(!key.is_nan(), "heap keys must not be NaN");
+        let key = canon_f64(key);
         assert!(!self.contains(object), "duplicate heap insert for {object}");
         if self.positions.len() <= object.index() {
             self.positions.resize(object.index() + 1, ABSENT);
@@ -139,7 +154,8 @@ impl IndexedMinHeap {
         Some(min)
     }
 
-    /// Remove and return the minimum entry under lazy revalidation.
+    /// Remove and return the entry that is minimal in **stored-key**
+    /// order, under lazy revalidation.
     ///
     /// While the root entry's stamp is neither [`Self::ALWAYS_FRESH`] nor
     /// `now`, its key is recomputed by `rekey`, updated in place, and
@@ -153,6 +169,16 @@ impl IndexedMinHeap {
     /// modulo the deterministic `(key, id)` tie-break — each revalidation
     /// either pops or permanently freshens one entry, bounding the loop
     /// at O(stale entries at the top).
+    ///
+    /// Note what the invariant does **not** give: minimality of the
+    /// popped entry's *current* key. Other entries' stored keys are upper
+    /// bounds too, so an untouched entry whose true key has decayed below
+    /// the popped one stays buried under its higher stored key. The
+    /// selection rule this implements is *minimum last-observed key,
+    /// settled exact at pop time* — a documented semantic difference from
+    /// an eager refresh-everything-then-argmin sweep whenever decay
+    /// curves cross (they do for per-entry hyperbolic decay; DESIGN.md
+    /// §18.1 quantifies the effect).
     pub fn pop_min_revalidated(
         &mut self,
         now: u64,
@@ -202,6 +228,7 @@ impl IndexedMinHeap {
     /// inserts if absent.
     pub fn update_stamped(&mut self, object: ObjectId, key: f64, stamp: u64) {
         debug_assert!(!key.is_nan(), "heap keys must not be NaN");
+        let key = canon_f64(key);
         match self.positions.get(object.index()).copied() {
             Some(pos) if pos != ABSENT => {
                 let old = self.items[pos].1;
@@ -316,11 +343,22 @@ impl IndexedMinHeap {
 pub trait HeapKey: Copy {
     /// Strictly-less comparison between keys.
     fn key_lt(&self, other: &Self) -> bool;
+
+    /// Canonical form stored in the heap; identity for most key types.
+    fn canon(self) -> Self {
+        self
+    }
 }
 
 impl HeapKey for f64 {
     fn key_lt(&self, other: &Self) -> bool {
         matches!(self.partial_cmp(other), Some(std::cmp::Ordering::Less))
+    }
+
+    /// `-0.0` folds into `+0.0` so this heap's `partial_cmp` order and
+    /// [`IndexedMinHeap`]'s `total_cmp` order agree on every stored key.
+    fn canon(self) -> Self {
+        canon_f64(self)
     }
 }
 
@@ -373,7 +411,7 @@ impl<K: HeapKey> SelectionHeap<K> {
     /// Discard previous contents and heapify `candidates` in O(k).
     pub fn load(&mut self, candidates: impl Iterator<Item = (ObjectId, K)>) {
         self.items.clear();
-        self.items.extend(candidates);
+        self.items.extend(candidates.map(|(o, k)| (o, k.canon())));
         let len = self.items.len();
         for pos in (0..len / 2).rev() {
             self.sift_down(pos);
@@ -637,6 +675,31 @@ mod tests {
         assert_eq!(h.stamp_of(oid(0)), Some(3));
         assert_eq!(h.peek_min(), Some((oid(0), 1.0)));
         assert!(h.validate());
+    }
+
+    #[test]
+    fn negative_zero_ties_break_by_id_in_both_heaps() {
+        // -0.0 is the one non-NaN value where total_cmp (IndexedMinHeap)
+        // and partial_cmp (SelectionHeap) disagree; canonicalization on
+        // insert/update must make both heaps store +0.0 and settle the
+        // tie by id alone.
+        let mut h = IndexedMinHeap::new();
+        h.push(oid(1), -0.0);
+        h.push_stamped(oid(0), 0.0, 5);
+        assert_eq!(h.peek_min(), Some((oid(0), 0.0)));
+        assert!(h.peek_min().unwrap().1.is_sign_positive());
+        h.update_stamped(oid(0), -0.0, 6); // update path canonicalizes too
+        assert_eq!(h.pop_min(), Some((oid(0), 0.0)));
+        let popped = h.pop_min().unwrap();
+        assert_eq!(popped.0, oid(1));
+        assert!(popped.1.is_sign_positive());
+
+        let mut s = SelectionHeap::new();
+        s.load([(oid(3), -0.0f64), (oid(2), 0.0)].into_iter());
+        let first = s.pop_min().unwrap();
+        let second = s.pop_min().unwrap();
+        assert_eq!((first.0, second.0), (oid(2), oid(3)));
+        assert!(first.1.is_sign_positive() && second.1.is_sign_positive());
     }
 
     #[test]

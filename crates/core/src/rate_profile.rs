@@ -186,6 +186,12 @@ pub struct RateProfile {
     /// Reusable partial-selection scratch for [`Self::prune_profiles`],
     /// keyed by last-access tick (exact integer `(tick, id)` tie-break).
     prune_scratch: SelectionHeap<Tick>,
+    /// Reusable (object, rate) scratch for the eager-refresh reference
+    /// mode ([`Self::debug_eager_refresh`]).
+    refresh_scratch: Vec<(ObjectId, f64)>,
+    /// When set, every plan is preceded by a full-cache RP refresh — the
+    /// seed's eager victim-selection rule.
+    eager_refresh: bool,
 }
 
 impl RateProfile {
@@ -202,7 +208,35 @@ impl RateProfile {
             profiles: DenseMap::new(),
             plan: EvictionPlan::new(),
             prune_scratch: SelectionHeap::new(),
+            refresh_scratch: Vec::new(),
+            eager_refresh: false,
         }
+    }
+
+    /// Switch victim selection to the seed's **eager refresh** rule:
+    /// before every plan, recompute the RP of every cached object at the
+    /// access tick, so victims pop in ascending order of *current* rate.
+    /// The default lazy path instead pops by *stored-key* (last-observed
+    /// rate) order, settled exact at pop time — a documented semantic
+    /// difference whenever per-object decay curves cross (DESIGN.md
+    /// §18.1). This hook restores the pre-incremental behaviour at
+    /// O(cache) per miss for equivalence tests and impact measurement.
+    #[doc(hidden)]
+    pub fn debug_eager_refresh(&mut self, enabled: bool) {
+        self.eager_refresh = enabled;
+    }
+
+    /// Refresh the heap key of every cached object to its exact RP at
+    /// `now`, stamped `now` — after this the subsequent plan's stored-key
+    /// order *is* the current-rate order.
+    fn refresh_all(&mut self, now: Tick) {
+        let mut scratch = std::mem::take(&mut self.refresh_scratch);
+        scratch.clear();
+        scratch.extend(self.cache.iter().map(|(o, e)| (o, rate_of(e, now))));
+        for &(o, rp) in &scratch {
+            self.cache.set_utility_at(o, rp, now);
+        }
+        self.refresh_scratch = scratch;
     }
 
     /// The measured rate profile (Eq. 3) of a cached object at `now`.
@@ -342,9 +376,14 @@ impl CachePolicy for RateProfile {
             return Decision::Bypass;
         }
 
-        // Victims surface from the lazy utility heap revalidated at
-        // `now`, so each carries its exact current RP — no full-cache
-        // refresh sweep.
+        // Victims surface from the lazy utility heap in *stored-key*
+        // (last-observed rate) order, each revalidated at `now` so it
+        // carries its exact current RP — no full-cache refresh sweep.
+        // See DESIGN.md §18.1 for how this selection rule differs from
+        // the eager argmin when decay curves cross.
+        if self.eager_refresh {
+            self.refresh_all(now);
+        }
         let mut plan = std::mem::take(&mut self.plan);
         if !self
             .cache
@@ -385,6 +424,17 @@ impl CachePolicy for RateProfile {
             .commit_plan(&plan, access.object, access.size, 0.0, now);
         // The triggering query is served from the fresh copy.
         self.cache.record_hit(access.object, access.yield_bytes);
+        // Re-key the newcomer with its actual post-hit rate, exactly like
+        // the hit path: committing it at 0.0 would leave a key that is a
+        // *lower* bound of the true rate — the wrong side of the
+        // staleness invariant — and a later miss in the same query (all
+        // accesses of one query share a tick) would trust the fresh-
+        // stamped 0.0 and evict the object it just loaded.
+        let rp = self
+            .cache
+            .entry(access.object)
+            .map_or(0.0, |e| rate_of(e, now));
+        self.cache.set_utility_at(access.object, rp, now);
         // Outside profile pauses while cached: close its open episode.
         if let Some(p) = self.profiles.get_mut(access.object) {
             let max_eps = self.config.max_episodes;
@@ -608,6 +658,69 @@ mod tests {
         // One access of 50 against fetch 100: (50-100)/(1·100) = -0.5.
         assert!((lar - (-0.5)).abs() < 1e-9, "{lar}");
         assert_eq!(p.load_adjusted_rate(ObjectId::new(9)), None);
+    }
+
+    #[test]
+    fn same_tick_miss_cannot_evict_a_just_loaded_object() {
+        // All accesses of one query share a tick, so a miss can plan at
+        // the same tick an earlier miss committed a load. The newcomer
+        // is keyed with its actual post-hit rate (not a fresh-stamped
+        // 0.0), so a same-tick rival must genuinely beat that rate: here
+        // both rates are 0.8 and the strict `rp < lar` test fails — the
+        // just-loaded object survives.
+        let mut p = RateProfile::new(Bytes::new(100), RateProfileConfig::default());
+        assert!(p.on_access(&acc(0, 0, 80, 100)).is_bypass());
+        assert!(p.on_access(&acc(1, 0, 90, 100)).is_bypass());
+        assert!(p.on_access(&acc(0, 1, 80, 100)).is_load());
+        let d = p.on_access(&acc(1, 1, 90, 100));
+        assert!(d.is_bypass(), "same-tick rival evicted the newcomer: {d:?}");
+        assert!(p.contains(ObjectId::new(0)));
+        // The newcomer's key is its true rate at the load tick.
+        let rp = p.rate_profile(ObjectId::new(0), Tick::new(1)).unwrap();
+        assert!((rp - 0.8).abs() < 1e-12, "{rp}");
+    }
+
+    /// The documented semantic difference between the default lazy
+    /// selection (pop by last-observed rate) and the seed's eager
+    /// refresh-then-argmin sweep (DESIGN.md §18.1): per-object decay
+    /// curves cross, so the stored-key minimum need not be the
+    /// current-rate minimum. Object 0 was observed long ago at a modest
+    /// rate; object 1 was observed recently at a high rate but decays
+    /// faster (later `loaded_at`). At the decision tick the lazy path
+    /// evicts object 0 (lowest *stored* rate), the eager path evicts
+    /// object 1 (lowest *current* rate).
+    #[test]
+    fn lazy_and_eager_selection_diverge_when_decay_curves_cross() {
+        let run = |eager: bool| {
+            let mut p = RateProfile::new(Bytes::new(200), RateProfileConfig::default());
+            p.debug_eager_refresh(eager);
+            // Object 0: loads at t=1, hits through t=10.
+            // Stored key at t=10: 1000/(9·100) ≈ 1.11.
+            assert!(p.on_access(&acc(0, 0, 100, 100)).is_bypass());
+            assert!(p.on_access(&acc(0, 1, 100, 100)).is_load());
+            for t in 2..=10 {
+                assert!(p.on_access(&acc(0, t, 100, 100)).is_hit());
+            }
+            // Object 1: loads at t=10, hit at t=11.
+            // Stored key at t=11: 200/(1·100) = 2 > object 0's stored key,
+            // but it decays faster: by t≈999 its current rate (~0.002) is
+            // far below object 0's (~0.01).
+            assert!(p.on_access(&acc(1, 9, 100, 100)).is_bypass());
+            assert!(p.on_access(&acc(1, 10, 100, 100)).is_load());
+            assert!(p.on_access(&acc(1, 11, 100, 100)).is_hit());
+            // Object 2 arrives much later and needs one eviction.
+            assert!(p.on_access(&acc(2, 998, 100, 100)).is_bypass());
+            p.on_access(&acc(2, 999, 100, 100))
+        };
+        let lazy = run(false);
+        let eager = run(true);
+        match (&lazy, &eager) {
+            (Decision::Load { evictions: l }, Decision::Load { evictions: e }) => {
+                assert_eq!(l.as_slice(), &[ObjectId::new(0)], "lazy evicts by stored rate");
+                assert_eq!(e.as_slice(), &[ObjectId::new(1)], "eager evicts by current rate");
+            }
+            other => panic!("both modes should load: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,15 +1,19 @@
 //! Hot-path equivalence: the lazy-heap decision path is bit-identical
-//! to the eager reference scan.
+//! to the scan-based reference planner.
 //!
 //! PR 10 rebuilt every policy's eviction planning around lazy-deletion
 //! heaps and reusable scratch buffers. The correctness contract is that
-//! the *selection rule* did not change: the reference mode
-//! ([`CachePolicy::debug_reference_planning`]) re-implements the same
-//! rule with exhaustive scans, so any divergence between the two modes
-//! is a bug in the heap machinery, not a modelling choice. This suite
-//! pins the full [`Decision`] stream — not just aggregate counters — of
-//! every shipped policy under both modes, across flat and two-tier
-//! topologies, fault-free and flaky (DESIGN.md §18).
+//! the heap machinery faithfully implements the *stored-key* selection
+//! rule: the reference mode ([`CachePolicy::debug_reference_planning`])
+//! re-implements that same rule with exhaustive scans (it is NOT the
+//! seed's eager refresh-then-argmin sweep — see DESIGN.md §18.1), so
+//! any divergence between the two modes is a bug in the heap machinery,
+//! not a modelling choice. This suite pins the full [`Decision`] stream
+//! — not just aggregate counters — of every shipped policy under both
+//! modes, across flat and two-tier topologies, fault-free and flaky.
+//! The deliberate semantic gap between the stored-key rule and the
+//! seed's eager rule (Rate-Profile only) is measured separately below
+//! in [`rate_profile_lazy_vs_eager_workload_impact`].
 
 use byc_catalog::sdss::{self, SdssRelease};
 use byc_catalog::{Granularity, ObjectCatalog};
@@ -201,6 +205,74 @@ proptest! {
             }
         }
     }
+}
+
+/// Rate-Profile is the only roster policy whose heap keys decay between
+/// touches, so its lazy selection (pop by last-observed rate, settled
+/// exact at pop time) is a documented semantic change from the seed's
+/// eager refresh-then-argmin sweep — the two rules pick different
+/// victims when per-object decay curves cross (DESIGN.md §18.1; the
+/// adversarial construction is pinned in `rate_profile.rs` unit tests).
+/// This test pins the workload-level impact: replay the same traces
+/// under both rules and bound how far the cost reports drift, so the
+/// recorded experiment numbers stay validated against the shipping
+/// rule. Measured on this trace (EDR at scale 1e-2, seed 42, 20,000
+/// queries): the two rules agree decision-for-decision at 15% and 30%
+/// cache fractions and drift 4.9% in total cost at 5%, where the cache
+/// is thin enough that the crossing construction occurs naturally.
+#[test]
+fn rate_profile_lazy_vs_eager_workload_impact() {
+    use byc_core::rate_profile::{RateProfile, RateProfileConfig};
+
+    let catalog = sdss::build(SdssRelease::Edr, 1e-2, 2);
+    let trace = generate(&catalog, &WorkloadConfig::smoke(42, 20_000)).unwrap();
+    let objects = ObjectCatalog::uniform(&catalog, Granularity::Column);
+    let run = |fraction: f64, eager: bool| {
+        let capacity = objects.total_size().scale(fraction);
+        let mut policy = RateProfile::new(capacity, RateProfileConfig::default());
+        policy.debug_eager_refresh(eager);
+        let mut recorder = Recorder::new(Box::new(policy));
+        let report = ReplaySession::new(&trace, &objects)
+            .policy(&mut recorder)
+            .run()
+            .expect("replay failed")
+            .report;
+        (report, recorder.decisions)
+    };
+    // Comfortable fractions: the rules coincide exactly on this trace.
+    for fraction in [0.15, 0.3] {
+        let (lazy_report, lazy_decisions) = run(fraction, false);
+        let (eager_report, eager_decisions) = run(fraction, true);
+        assert_eq!(
+            lazy_report, eager_report,
+            "fraction {fraction}: cost reports diverged"
+        );
+        assert_eq!(
+            lazy_decisions, eager_decisions,
+            "fraction {fraction}: decision streams diverged"
+        );
+    }
+    // Thin cache: victims genuinely differ (the rules are NOT
+    // equivalent), but the cost impact stays small. If this assertion
+    // starts failing in either direction — streams converge, or drift
+    // grows past the bound — re-measure and update DESIGN.md §18.1 and
+    // the EXPERIMENTS.md validation note.
+    let (lazy_report, lazy_decisions) = run(0.05, false);
+    let (eager_report, eager_decisions) = run(0.05, true);
+    assert_ne!(
+        lazy_decisions, eager_decisions,
+        "fraction 0.05: expected the stored-key and eager rules to pick \
+         different victims on this trace"
+    );
+    let drift = (lazy_report.total_cost().as_f64() - eager_report.total_cost().as_f64()).abs()
+        / eager_report.total_cost().as_f64().max(1.0);
+    assert!(
+        drift < 0.10,
+        "fraction 0.05: total-cost drift {drift:.4} exceeds the 10% bound \
+         (lazy {}, eager {})",
+        lazy_report.total_cost(),
+        eager_report.total_cost(),
+    );
 }
 
 /// The reference toggle reaches through every wrapper in the roster: a
